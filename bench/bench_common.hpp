@@ -1,0 +1,57 @@
+// Shared plumbing for the bench harnesses that regenerate the paper's
+// tables and figures: flag parsing into a StudyConfig, device selection,
+// and normalization helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/study.hpp"
+
+namespace gpurel::bench {
+
+struct BenchOptions {
+  core::StudyConfig study;
+  std::vector<arch::Architecture> archs;
+  unsigned sm_count = 2;
+  bool csv = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchOptions o;
+  o.study.app_beam_runs = static_cast<unsigned>(
+      cli.get_int_env("runs", "GPUREL_RUNS", o.study.app_beam_runs));
+  o.study.micro_beam_runs = static_cast<unsigned>(cli.get_int_env(
+      "micro-runs", "GPUREL_MICRO_RUNS", o.study.micro_beam_runs));
+  o.study.injections_per_kind = static_cast<unsigned>(cli.get_int_env(
+      "injections", "GPUREL_INJECTIONS", o.study.injections_per_kind));
+  o.study.micro_injections_per_kind = static_cast<unsigned>(
+      cli.get_int("micro-injections", o.study.micro_injections_per_kind));
+  o.study.workers =
+      static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 1));
+  o.study.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  o.study.app_scale = cli.get_double("scale", o.study.app_scale);
+  o.sm_count = static_cast<unsigned>(cli.get_int("sms", 2));
+  o.csv = cli.get_bool("csv");
+  const std::string arch = cli.get("arch", "both");
+  if (arch == "kepler" || arch == "both") o.archs.push_back(arch::Architecture::Kepler);
+  if (arch == "volta" || arch == "both") o.archs.push_back(arch::Architecture::Volta);
+  return o;
+}
+
+inline arch::GpuConfig gpu_for(arch::Architecture a, unsigned sms) {
+  return a == arch::Architecture::Kepler ? arch::GpuConfig::kepler_k40c(sms)
+                                         : arch::GpuConfig::volta_v100(sms);
+}
+
+inline void emit(const Table& t, bool csv) {
+  if (csv) std::fputs(t.to_csv().c_str(), stdout);
+  else std::fputs(t.to_text().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace gpurel::bench

@@ -1,0 +1,37 @@
+// Regenerates Fig. 1: instruction-type percentage per code (FMA, MUL, ADD,
+// INT, MMA, LDST, OTHERS) for the Kepler and Volta application sets.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "profile/profiler.hpp"
+
+using namespace gpurel;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  for (const auto a : opts.archs) {
+    core::Study study(bench::gpu_for(a, opts.sm_count), opts.study);
+    std::printf("== Fig. 1 instruction mix (%s) ==\n", study.gpu().name.c_str());
+    Table t({"code", "FMA%", "MUL%", "ADD%", "INT%", "MMA%", "LDST%", "OTHERS%"});
+    for (const auto& entry : study.app_catalog()) {
+      auto w = kernels::make_workload(
+          entry.base, entry.precision,
+          {study.gpu(), isa::CompilerProfile::Cuda10, opts.study.seed ^ 0x5eed,
+           opts.study.app_scale});
+      sim::Device dev(study.gpu());
+      const auto p = profile::profile_workload(*w, dev);
+      auto pct = [&](isa::MixClass c) { return 100.0 * p.mix_of(c); };
+      t.row()
+          .cell(kernels::entry_name(entry))
+          .cell(pct(isa::MixClass::FMA), 1)
+          .cell(pct(isa::MixClass::MUL), 1)
+          .cell(pct(isa::MixClass::ADD), 1)
+          .cell(pct(isa::MixClass::INT), 1)
+          .cell(pct(isa::MixClass::MMA), 1)
+          .cell(pct(isa::MixClass::LDST), 1)
+          .cell(pct(isa::MixClass::OTHERS), 1);
+    }
+    bench::emit(t, opts.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Regenerates Fig. 3: microbenchmark SDC and DUE FIT rates per device,
+// normalized to the device's lowest measured DUE value (FADD DUE on Kepler,
+// HFMA DUE on Volta in the paper), with the register file reported per MB.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace gpurel;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  for (const auto a : opts.archs) {
+    core::Study study(bench::gpu_for(a, opts.sm_count), opts.study);
+    const auto& micro = study.microbenchmarks();
+
+    // Normalization anchor: the paper uses FADD DUE (Kepler) / HFMA DUE
+    // (Volta); fall back to the smallest positive DUE when the anchor
+    // measured zero events at this run count.
+    const std::string anchor_name =
+        a == arch::Architecture::Kepler ? "FADD" : "HFMA";
+    double anchor = 0.0;
+    double min_pos_due = 0.0;
+    for (const auto& mc : micro) {
+      if (mc.name == anchor_name && mc.beam.fit_due > 0) anchor = mc.beam.fit_due;
+      if (mc.beam.fit_due > 0 &&
+          (min_pos_due == 0.0 || mc.beam.fit_due < min_pos_due))
+        min_pos_due = mc.beam.fit_due;
+    }
+    if (anchor == 0.0) anchor = min_pos_due > 0 ? min_pos_due : 1.0;
+
+    std::printf("== Fig. 3 microbenchmark FIT [a.u., normalized to %s DUE] (%s) ==\n",
+                anchor_name.c_str(), study.gpu().name.c_str());
+    Table t({"bench", "SDC", "SDC lo", "SDC hi", "DUE", "DUE lo", "DUE hi",
+             "runs"});
+    for (const auto& mc : micro) {
+      double scale = 1.0 / anchor;
+      std::string label = mc.name;
+      if (mc.is_rf) {
+        // Report per megabyte of register file, like the paper.
+        const double mb = mc.exposed_bits / 8.0 / (1 << 20);
+        scale = mb > 0 ? scale / mb : scale;
+        label = "RF/MB";
+      }
+      t.row()
+          .cell(label)
+          .cell(mc.beam.fit_sdc * scale, 2)
+          .cell(mc.beam.fit_sdc_ci.lower * scale, 2)
+          .cell(mc.beam.fit_sdc_ci.upper * scale, 2)
+          .cell(mc.beam.fit_due * scale, 2)
+          .cell(mc.beam.fit_due_ci.lower * scale, 2)
+          .cell(mc.beam.fit_due_ci.upper * scale, 2)
+          .cell_int(static_cast<long long>(mc.beam.runs));
+    }
+    bench::emit(t, opts.csv);
+
+    // The §V-B claims this figure supports.
+    auto fit_of = [&](const std::string& n) -> double {
+      for (const auto& mc : micro)
+        if (mc.name == n) return mc.beam.fit_sdc + mc.beam.fit_due;
+      return 0.0;
+    };
+    if (a == arch::Architecture::Kepler) {
+      const double fp = (fit_of("FADD") + fit_of("FMUL") + fit_of("FFMA")) / 3.0;
+      const double iu = (fit_of("IADD") + fit_of("IMUL") + fit_of("IMAD")) / 3.0;
+      std::printf("INT32 vs FP32 average FIT ratio: %.2fx (paper: ~4x)\n",
+                  fp > 0 ? iu / fp : 0.0);
+      std::printf("IMUL vs IADD: %.2fx (paper: ~1.3x), IMAD vs IMUL: %.2fx (>1)\n",
+                  fit_of("IADD") > 0 ? fit_of("IMUL") / fit_of("IADD") : 0.0,
+                  fit_of("IMUL") > 0 ? fit_of("IMAD") / fit_of("IMUL") : 0.0);
+      double ldst_sdc = 0, ldst_due = 0;
+      for (const auto& mc : micro)
+        if (mc.name == "LDST") {
+          ldst_sdc = mc.beam.fit_sdc;
+          ldst_due = mc.beam.fit_due;
+        }
+      std::printf("LDST DUE vs SDC: %.2fx (paper: 7.1x)\n",
+                  ldst_sdc > 0 ? ldst_due / ldst_sdc : 0.0);
+    } else {
+      std::printf("HMMA vs DFMA FIT: %.2fx, FMMA vs DFMA: %.2fx (paper: ~12x)\n",
+                  fit_of("DFMA") > 0 ? fit_of("HMMA") / fit_of("DFMA") : 0.0,
+                  fit_of("DFMA") > 0 ? fit_of("FMMA") / fit_of("DFMA") : 0.0);
+      std::printf("precision ordering H<F<D (ADD): %.2f < %.2f < %.2f\n",
+                  fit_of("HADD"), fit_of("FADD"), fit_of("DADD"));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

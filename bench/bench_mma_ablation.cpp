@@ -1,0 +1,63 @@
+// §V-B tensor-core analysis: the MMA unit's per-operation FIT is ~an order
+// of magnitude above scalar FMA (Fig. 3), yet one warp-wide MMA replaces
+// many warps of FMAs — so computing a product THROUGH the tensor core is
+// about 2x more reliable than the software MxM instruction stream. This
+// bench measures that end to end: same matrix product, same device, tiled
+// software GEMM versus tensor-core GEMM under beam.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace gpurel;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const auto gpu = arch::GpuConfig::volta_v100(opts.sm_count);
+  const auto db = beam::CrossSectionDb::volta();
+  core::WorkloadConfig wc{gpu, isa::CompilerProfile::Cuda10,
+                          opts.study.seed ^ 0x5eed, 1.0};
+
+  std::printf("== §V-B: software GEMM vs tensor-core GEMM reliability (%s) ==\n",
+              gpu.name.c_str());
+  Table t({"path", "FU SDC FIT", "DUE FIT", "MMA lane-ops", "FMA lane-ops"});
+
+  beam::BeamConfig bc;
+  bc.runs = opts.study.app_beam_runs * 4;
+  bc.ecc = true;
+  bc.seed = 4242;
+
+  double fit_sw = 0, fit_mma = 0;
+  for (const bool use_mma : {false, true}) {
+    const auto factory = kernels::workload_factory(
+        use_mma ? "GEMM-MMA" : "GEMM", core::Precision::Half, wc);
+    const auto r = beam::run_beam(db, factory, bc);
+    const auto& fu = r.by_target[static_cast<std::size_t>(
+        beam::StrikeTarget::FunctionalUnit)];
+    auto w = factory();
+    sim::Device dev(gpu);
+    w->prepare(dev);
+    const auto& st = w->golden_stats();
+    t.row()
+        .cell(use_mma ? "HGEMM-MMA (tensor)" : "HGEMM (software)")
+        .cell(r.fit_of(fu.sdc), 3)
+        .cell(r.fit_due, 3)
+        .cell_int(static_cast<long long>(
+            st.lane_per_unit[static_cast<std::size_t>(isa::UnitKind::MMA_H)]))
+        .cell_int(static_cast<long long>(
+            st.lane_per_unit[static_cast<std::size_t>(isa::UnitKind::HFMA)]));
+    (use_mma ? fit_mma : fit_sw) = r.fit_of(fu.sdc);
+  }
+  bench::emit(t, opts.csv);
+  if (fit_mma > 0) {
+    std::printf("measured software/tensor FU SDC FIT ratio: %.2fx\n",
+                fit_sw / fit_mma);
+    std::printf("paper-style per-instruction deduction (128 warp-FMA "
+                "instructions replaced by one full 16x16x16 MMA at ~12x the "
+                "per-benchmark FIT): ~%.0fx in the tensor core's favour "
+                "(paper: ~2x with 64 smaller MMAs). The two views differ in "
+                "whether a strike charges the instruction or the in-flight "
+                "area; EXPERIMENTS.md discusses.\n",
+                128.0 / 12.0);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Classic google-benchmark microbenchmarks of the simulation substrate
+// itself: SIMT execution throughput, trial turnaround for the campaign
+// engines, and strike-sampling overhead.
+#include <benchmark/benchmark.h>
+
+#include "beam/experiment.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+
+using namespace gpurel;
+
+namespace {
+
+core::WorkloadConfig cfg() {
+  return {arch::GpuConfig::kepler_k40c(2), isa::CompilerProfile::Cuda10, 0x5eed,
+          0.5};
+}
+
+void BM_ExecutorMxM(benchmark::State& state) {
+  kernels::MxM w(cfg(), core::Precision::Single,
+                 static_cast<unsigned>(state.range(0)));
+  sim::Device dev(w.config().gpu);
+  w.prepare(dev);
+  std::uint64_t lanes = 0;
+  for (auto _ : state) {
+    const auto r = w.run_trial(dev);
+    lanes += r.stats.lane_instructions;
+    benchmark::DoNotOptimize(r.stats.cycles);
+  }
+  state.counters["lane_instr/s"] = benchmark::Counter(
+      static_cast<double>(lanes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecutorMxM)->Arg(16)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_TrialWithObserver(benchmark::State& state) {
+  // Observer-instrumented trials (the fault-campaign hot path).
+  kernels::MxM w(cfg(), core::Precision::Single, 32);
+  sim::Device dev(w.config().gpu);
+  w.prepare(dev);
+  class Nop final : public sim::SimObserver {
+   public:
+    void after_exec(sim::ExecContext&) override { ++n; }
+    std::uint64_t n = 0;
+  } obs;
+  for (auto _ : state) {
+    const auto r = w.run_trial(dev, &obs);
+    benchmark::DoNotOptimize(r.outcome);
+  }
+  state.counters["hook_calls/s"] =
+      benchmark::Counter(static_cast<double>(obs.n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrialWithObserver)->Unit(benchmark::kMillisecond);
+
+void BM_BeamTrial(benchmark::State& state) {
+  const auto db = beam::CrossSectionDb::kepler();
+  const auto factory =
+      kernels::workload_factory("MXM", core::Precision::Single, cfg());
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    beam::BeamConfig bc;
+    bc.runs = 4;
+    bc.ecc = false;
+    bc.seed = ++seed;
+    const auto r = beam::run_beam(db, factory, bc);
+    benchmark::DoNotOptimize(r.fit_sdc);
+  }
+}
+BENCHMARK(BM_BeamTrial)->Unit(benchmark::kMillisecond);
+
+void BM_KernelBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    kernels::Gemm w(cfg(), core::Precision::Single, 32);
+    benchmark::DoNotOptimize(&w);
+    sim::Device dev(w.config().gpu);
+    w.prepare(dev);
+  }
+}
+BENCHMARK(BM_KernelBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

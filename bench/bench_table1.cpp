@@ -1,0 +1,36 @@
+// Regenerates Table I: per-code shared memory, registers per thread, IPC,
+// and achieved occupancy on the Kepler and Volta devices.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "profile/profiler.hpp"
+
+using namespace gpurel;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  for (const auto a : opts.archs) {
+    core::Study study(bench::gpu_for(a, opts.sm_count), opts.study);
+    std::printf("== Table I (%s, %s) ==\n",
+                std::string(arch::architecture_name(a)).c_str(),
+                study.gpu().name.c_str());
+    Table t({"code", "precision", "SHARED[B]", "RF[regs]", "IPC", "Occupancy"});
+    for (const auto& entry : study.app_catalog()) {
+      auto w = kernels::make_workload(
+          entry.base, entry.precision,
+          {study.gpu(), isa::CompilerProfile::Cuda10, opts.study.seed ^ 0x5eed,
+           opts.study.app_scale});
+      sim::Device dev(study.gpu());
+      const auto p = profile::profile_workload(*w, dev);
+      t.row()
+          .cell(kernels::entry_name(entry))
+          .cell(std::string(core::precision_name(entry.precision)))
+          .cell_int(p.shared_bytes)
+          .cell_int(p.regs_per_thread)
+          .cell(p.ipc, 2)
+          .cell(p.occupancy, 2);
+    }
+    bench::emit(t, opts.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// mma_study: a small Volta tensor-core reliability study — the §V-B
+// argument, end to end. Measures HMMA/FMMA/DFMA microbenchmark FITs under
+// beam, then compares the software and tensor-core GEMM paths computing the
+// same product, under the same flux, to show the per-operation vs
+// per-solution reliability trade-off.
+#include <cstdio>
+
+#include "beam/experiment.hpp"
+#include "common/cli.hpp"
+#include "kernels/registry.hpp"
+
+using namespace gpurel;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned runs =
+      static_cast<unsigned>(cli.get_int_env("runs", "GPUREL_RUNS", 250));
+  const auto gpu = arch::GpuConfig::volta_v100(2);
+  const auto db = beam::CrossSectionDb::volta();
+  const core::WorkloadConfig wc{gpu, isa::CompilerProfile::Cuda10, 0x5eed, 1.0};
+
+  std::printf("=== Volta tensor-core reliability study (%u beam runs each) "
+              "===\n\n",
+              runs);
+
+  // Per-operation view: microbenchmark FITs.
+  double dfma_fit = 0, hmma_fit = 0;
+  for (const char* base : {"FMA", "MMA"}) {
+    for (const auto prec : {core::Precision::Double, core::Precision::Half}) {
+      if (std::string(base) == "FMA" && prec != core::Precision::Double) continue;
+      if (std::string(base) == "MMA" && prec != core::Precision::Half) continue;
+      beam::BeamConfig bc;
+      bc.runs = runs;
+      bc.ecc = true;
+      bc.seed = 77;
+      const auto r = beam::run_beam(
+          db, kernels::workload_factory(base, prec, wc), bc);
+      std::printf("%-5s microbenchmark: SDC FIT %.4g, DUE FIT %.4g\n",
+                  std::string(base) == "FMA" ? "DFMA" : "HMMA", r.fit_sdc,
+                  r.fit_due);
+      (std::string(base) == "FMA" ? dfma_fit : hmma_fit) = r.fit_sdc;
+    }
+  }
+  if (dfma_fit > 0)
+    std::printf("  -> per-operation, the tensor core is %.1fx more sensitive "
+                "(paper: ~12x)\n\n",
+                hmma_fit / dfma_fit);
+
+  // Per-solution view: same half-precision matrix product both ways. The
+  // compute-path comparison uses the functional-unit-attributed SDC FIT so
+  // memory and hidden strikes (identical on both paths) do not drown it.
+  double sw = 0, tc = 0;
+  for (const bool mma : {false, true}) {
+    beam::BeamConfig bc;
+    bc.runs = runs * 3;
+    bc.ecc = true;
+    bc.seed = 99;
+    const auto r = beam::run_beam(
+        db,
+        kernels::workload_factory(mma ? "GEMM-MMA" : "GEMM",
+                                  core::Precision::Half, wc),
+        bc);
+    const auto& fu = r.by_target[static_cast<std::size_t>(
+        beam::StrikeTarget::FunctionalUnit)];
+    std::printf("%-18s: FU-attributed SDC FIT %.4g (total SDC %.4g, DUE "
+                "%.4g)\n",
+                mma ? "HGEMM via tensor" : "HGEMM software", r.fit_of(fu.sdc),
+                r.fit_sdc, r.fit_due);
+    (mma ? tc : sw) = r.fit_of(fu.sdc);
+  }
+  if (tc > 0)
+    std::printf("  -> measured per-solution FU SDC ratio (software/tensor): "
+                "%.2fx\n",
+                sw / tc);
+
+  // The paper's §V-B *deduction* works per instruction: one warp-wide MMA
+  // replaces warps' worth of FMA instructions, so even a hotter unit wins
+  // per delivered product. With our ISA one MMA covers a full 16x16x16
+  // product (4096 MACs = 128 warp-FMA instructions):
+  if (dfma_fit > 0) {
+    const double per_op_ratio = hmma_fit / dfma_fit;
+    std::printf("  -> paper-style per-instruction deduction: 128 warp-FMA "
+                "instructions replaced by 1 MMA at %.1fx the FIT -> %.1fx "
+                "in the tensor core's favour (paper deduces ~2x with its "
+                "64-instruction 8x8x4 MMAs).\n"
+                "     The beam measurement above instead charges the MMA's "
+                "whole in-flight area, where the tensor path loses — see "
+                "EXPERIMENTS.md for the discussion.\n",
+                per_op_ratio, 128.0 / per_op_ratio);
+  }
+  return 0;
+}

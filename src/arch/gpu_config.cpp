@@ -1,0 +1,136 @@
+#include "arch/gpu_config.hpp"
+
+#include <stdexcept>
+
+namespace gpurel::arch {
+
+std::string_view architecture_name(Architecture a) {
+  return a == Architecture::Kepler ? "Kepler" : "Volta";
+}
+
+GpuConfig GpuConfig::kepler_k40c(unsigned sm_count) {
+  GpuConfig c;
+  c.name = "K40c-sim";
+  c.arch = Architecture::Kepler;
+  c.sm_count = sm_count;
+  // Scaled device: SM internals are real except the warp slots, which are
+  // halved (64 -> 32) so that simulation-sized grids reach the same
+  // occupancy regimes the paper's full-sized workloads did (DESIGN.md §2).
+  c.max_warps_per_sm = 32;
+  c.max_blocks_per_sm = 16;
+  c.registers_per_sm = 65536;
+  c.shared_mem_per_sm = 49152;
+  c.schedulers_per_sm = 4;
+  c.issue_per_scheduler = 2;
+  c.fp32_lanes = 6;   // 192 CUDA cores / 32
+  c.fp64_lanes = 2;   // 64 FP64 units / 32
+  c.fp16_lanes = 0;
+  c.int_lanes = 0;
+  c.int_shares_fp32 = true;  // Kepler: INT32 executes on the FP32 cores (§V-B)
+  c.sfu_lanes = 1;
+  c.ldst_lanes = 1;
+  c.tensor_lanes = 0;
+  c.has_fp16 = false;
+  c.has_tensor = false;
+  c.ecc_available = true;
+  c.clock_ghz = 0.745;
+  c.process_nm = 28;
+  return c;
+}
+
+GpuConfig GpuConfig::volta_v100(unsigned sm_count) {
+  GpuConfig c;
+  c.name = "V100-sim";
+  c.arch = Architecture::Volta;
+  c.sm_count = sm_count;
+  c.max_warps_per_sm = 32;  // scaled (see kepler_k40c)
+  c.max_blocks_per_sm = 16;
+  c.registers_per_sm = 65536;
+  c.shared_mem_per_sm = 98304 - 2048;  // up to 96 KiB configurable; keep margin
+  c.schedulers_per_sm = 4;
+  c.issue_per_scheduler = 2;
+  c.fp32_lanes = 2;   // 64 FP32 cores / 32
+  c.fp64_lanes = 1;   // 32 FP64 units / 32
+  c.fp16_lanes = 4;   // FP32 cores run FP16 at 2x rate
+  c.int_lanes = 2;    // 64 dedicated INT32 cores (§III-A)
+  c.int_shares_fp32 = false;
+  c.sfu_lanes = 1;
+  c.ldst_lanes = 1;
+  c.tensor_lanes = 2;  // 8 tensor cores per SM; 2 warp-MMA issue slots modeled
+  c.has_fp16 = true;
+  c.has_tensor = true;
+  c.ecc_available = true;
+  c.clock_ghz = 1.38;
+  c.process_nm = 16;  // 12nm FFN marketed; FinFET class (vs Kepler 28nm planar)
+  return c;
+}
+
+GpuConfig GpuConfig::volta_titanv(unsigned sm_count) {
+  GpuConfig c = volta_v100(sm_count);
+  c.name = "TitanV-sim";
+  c.ecc_available = false;  // Titan V exposes no user-facing DRAM/RF ECC toggle
+  c.clock_ghz = 1.455;
+  return c;
+}
+
+std::string_view occupancy_limiter_name(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::Warps: return "warps";
+    case OccupancyLimiter::Registers: return "registers";
+    case OccupancyLimiter::SharedMem: return "shared";
+    case OccupancyLimiter::Blocks: return "blocks";
+    case OccupancyLimiter::GridSize: return "grid";
+    default: return "?";
+  }
+}
+
+OccupancyResult occupancy(const GpuConfig& gpu, unsigned regs_per_thread,
+                          std::uint32_t shared_bytes_per_block,
+                          unsigned threads_per_block) {
+  if (threads_per_block == 0 || threads_per_block > gpu.max_threads_per_block)
+    throw std::invalid_argument("occupancy: invalid block size");
+  if (regs_per_thread == 0) regs_per_thread = 1;
+
+  OccupancyResult r;
+  r.warps_per_block = (threads_per_block + gpu.warp_size - 1) / gpu.warp_size;
+
+  constexpr unsigned kUnbounded = ~0u;
+  const unsigned by_warps = gpu.max_warps_per_sm / r.warps_per_block;
+  const std::uint32_t regs_per_block = regs_per_thread * threads_per_block;
+  const unsigned by_regs =
+      regs_per_block == 0 ? kUnbounded
+                          : static_cast<unsigned>(gpu.registers_per_sm / regs_per_block);
+  const unsigned by_shared =
+      shared_bytes_per_block == 0
+          ? kUnbounded
+          : static_cast<unsigned>(gpu.shared_mem_per_sm / shared_bytes_per_block);
+  const unsigned by_blocks = gpu.max_blocks_per_sm;
+
+  unsigned blocks = by_warps;
+  r.limiter = OccupancyLimiter::Warps;
+  if (by_regs < blocks) {
+    blocks = by_regs;
+    r.limiter = OccupancyLimiter::Registers;
+  }
+  if (by_shared < blocks) {
+    blocks = by_shared;
+    r.limiter = OccupancyLimiter::SharedMem;
+  }
+  if (by_blocks < blocks) {
+    blocks = by_blocks;
+    r.limiter = OccupancyLimiter::Blocks;
+  }
+  if (blocks == 0)
+    throw std::invalid_argument(
+        "occupancy: block does not fit on an SM (regs=" +
+        std::to_string(regs_per_thread) + " shared=" +
+        std::to_string(shared_bytes_per_block) + " threads=" +
+        std::to_string(threads_per_block) + ")");
+
+  r.blocks_per_sm = blocks;
+  r.warps_per_sm = blocks * r.warps_per_block;
+  r.theoretical = static_cast<double>(r.warps_per_sm) / gpu.max_warps_per_sm;
+  return r;
+}
+
+}  // namespace gpurel::arch

@@ -1,0 +1,92 @@
+// Architecture descriptors for the simulated devices.
+//
+// The paper tests a Kepler Tesla K40c and Volta Titan V / Tesla V100. We keep
+// each SM's internal resources (register file, shared memory, warp slots,
+// schedulers, per-precision execution unit counts) at their real values but
+// default to a reduced SM count ("scaled device") so that the paper's
+// workloads, run at simulation-friendly sizes, exercise the same occupancy
+// regimes as the full-size workloads did on real silicon. The SM count is a
+// parameter; every FIT computation normalizes by the instantiated resources,
+// so the scaling is consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpurel::arch {
+
+enum class Architecture : std::uint8_t { Kepler, Volta };
+
+std::string_view architecture_name(Architecture a);
+
+struct GpuConfig {
+  std::string name;
+  Architecture arch = Architecture::Kepler;
+
+  unsigned sm_count = 2;
+  unsigned warp_size = 32;
+  unsigned max_warps_per_sm = 64;
+  unsigned max_blocks_per_sm = 16;
+  unsigned max_threads_per_block = 1024;
+  unsigned schedulers_per_sm = 4;
+  unsigned issue_per_scheduler = 2;  // dual issue
+
+  std::uint32_t registers_per_sm = 65536;   // 32-bit registers
+  std::uint32_t shared_mem_per_sm = 49152;  // bytes
+
+  // Execution unit counts per SM, in warp-widths (units / 32): the maximum
+  // number of warp-instructions of that kind an SM can start per cycle.
+  unsigned fp32_lanes = 6;
+  unsigned fp64_lanes = 2;
+  unsigned fp16_lanes = 0;   // Volta: FP32 cores paired for half rate x2
+  unsigned int_lanes = 0;    // 0 + int_shares_fp32 -> issue on FP32 units
+  unsigned sfu_lanes = 1;
+  unsigned ldst_lanes = 1;
+  unsigned tensor_lanes = 0;
+
+  bool int_shares_fp32 = true;   // Kepler executes INT32 on the FP32 cores
+  bool has_fp16 = false;
+  bool has_tensor = false;
+  bool ecc_available = true;
+
+  double clock_ghz = 0.745;
+  unsigned process_nm = 28;  // fabrication process (28nm planar vs 16nm FinFET)
+
+  /// Tesla K40c (GK110B): 15 SMs real; `sm_count` scales the device.
+  static GpuConfig kepler_k40c(unsigned sm_count = 2);
+  /// Tesla V100 (GV100): 80 SMs real.
+  static GpuConfig volta_v100(unsigned sm_count = 2);
+  /// Titan V (GV100, 80 SMs enabled differently; same SM internals).
+  static GpuConfig volta_titanv(unsigned sm_count = 2);
+
+  /// Total physical register-file bits on the device (for beam exposure).
+  std::uint64_t register_file_bits() const {
+    return static_cast<std::uint64_t>(registers_per_sm) * 32u * sm_count;
+  }
+  /// Total shared-memory bits on the device.
+  std::uint64_t shared_mem_bits() const {
+    return static_cast<std::uint64_t>(shared_mem_per_sm) * 8u * sm_count;
+  }
+};
+
+/// Why occupancy is capped.
+enum class OccupancyLimiter : std::uint8_t { Warps, Registers, SharedMem, Blocks, GridSize };
+
+std::string_view occupancy_limiter_name(OccupancyLimiter l);
+
+struct OccupancyResult {
+  unsigned blocks_per_sm = 0;
+  unsigned warps_per_block = 0;
+  unsigned warps_per_sm = 0;
+  double theoretical = 0.0;  // warps_per_sm / max_warps_per_sm
+  OccupancyLimiter limiter = OccupancyLimiter::Warps;
+};
+
+/// Static occupancy for a kernel with the given per-thread register count,
+/// per-block shared bytes (static + dynamic) and block size. Throws
+/// std::invalid_argument when the block cannot fit at all.
+OccupancyResult occupancy(const GpuConfig& gpu, unsigned regs_per_thread,
+                          std::uint32_t shared_bytes_per_block,
+                          unsigned threads_per_block);
+
+}  // namespace gpurel::arch

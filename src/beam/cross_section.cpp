@@ -1,0 +1,90 @@
+#include "beam/cross_section.hpp"
+
+namespace gpurel::beam {
+
+using isa::UnitKind;
+
+namespace {
+void set(CrossSectionDb& db, UnitKind k, double v) {
+  db.unit[static_cast<std::size_t>(k)] = v;
+}
+}  // namespace
+
+CrossSectionDb CrossSectionDb::kepler() {
+  CrossSectionDb db;
+  // FP32 baseline; integer ops run on the same cores with markedly lower
+  // efficiency (paper: INT microbenchmarks ~4x FP32, IMUL ~1.3x IADD,
+  // IMAD above IMUL).
+  set(db, UnitKind::FADD, 1.00);
+  set(db, UnitKind::FMUL, 1.05);
+  set(db, UnitKind::FFMA, 1.20);
+  // Kepler has no FP16 units; half ops (if ever emitted) ride the FP32 path.
+  set(db, UnitKind::HADD, 1.00);
+  set(db, UnitKind::HMUL, 1.05);
+  set(db, UnitKind::HFMA, 1.20);
+  set(db, UnitKind::DADD, 1.60);
+  set(db, UnitKind::DMUL, 1.80);
+  set(db, UnitKind::DFMA, 2.10);
+  set(db, UnitKind::IADD, 4.00);
+  set(db, UnitKind::IMUL, 5.20);
+  set(db, UnitKind::IMAD, 5.80);
+  set(db, UnitKind::LDST, 2.00);
+  set(db, UnitKind::SFU, 1.50);
+  set(db, UnitKind::OTHER, 0.80);  // unmeasured by the paper's method
+  db.ldst_addr_fraction = 0.88;
+  db.addr_invalid_fraction = 0.85;
+
+  db.rf_bit = 2.0e-2;      // 28nm planar SRAM: ~10x the Volta FinFET rate
+  db.shared_bit = 1.5e-2;
+  db.global_bit = 1.0e-5;
+
+  db.hidden_per_sm = 120.0;
+  db.hidden_due_fraction = 0.55;
+  db.hidden_sdc_fraction = 0.08;
+  db.mbu_rate = 0.02;
+  return db;
+}
+
+CrossSectionDb CrossSectionDb::volta() {
+  CrossSectionDb db;
+  // Mixed-precision cores: sensitivity grows with precision (area) and
+  // with operation complexity (paper §V-B).
+  set(db, UnitKind::HADD, 0.55);
+  set(db, UnitKind::HMUL, 0.65);
+  set(db, UnitKind::HFMA, 0.80);
+  set(db, UnitKind::FADD, 1.00);
+  set(db, UnitKind::FMUL, 1.15);
+  set(db, UnitKind::FFMA, 1.40);
+  set(db, UnitKind::DADD, 1.70);
+  set(db, UnitKind::DMUL, 1.95);
+  set(db, UnitKind::DFMA, 2.40);
+  // Dedicated INT32 cores: no Kepler-style shared-unit penalty.
+  set(db, UnitKind::IADD, 0.90);
+  set(db, UnitKind::IMUL, 1.15);
+  set(db, UnitKind::IMAD, 1.35);
+  // One warp-wide MMA performs a 16x16x16 product: far more logic in
+  // flight per operation than any scalar unit.
+  set(db, UnitKind::MMA_H, 120.0);
+  set(db, UnitKind::MMA_F, 150.0);
+  set(db, UnitKind::LDST, 1.80);
+  set(db, UnitKind::SFU, 1.20);
+  set(db, UnitKind::OTHER, 0.70);
+  db.ldst_addr_fraction = 0.88;
+  db.addr_invalid_fraction = 0.85;
+
+  db.rf_bit = 2.0e-3;      // 16nm-class FinFET
+  db.shared_bit = 1.5e-3;
+  db.global_bit = 5.0e-6;
+
+  db.hidden_per_sm = 100.0;
+  db.hidden_due_fraction = 0.55;
+  db.hidden_sdc_fraction = 0.08;
+  db.mbu_rate = 0.02;
+  return db;
+}
+
+CrossSectionDb CrossSectionDb::for_arch(arch::Architecture a) {
+  return a == arch::Architecture::Kepler ? kepler() : volta();
+}
+
+}  // namespace gpurel::beam

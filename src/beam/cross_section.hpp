@@ -1,0 +1,66 @@
+// The ground-truth hardware sensitivity database.
+//
+// In the physical experiment, each resource's neutron cross-section is a
+// property of the silicon; here it is an *input* of the simulation,
+// calibrated so that the relative per-unit sensitivities match what the
+// paper's Fig. 3 beam measurements established:
+//   Kepler: INT units ~4x FP32; IMUL ~1.3x IADD; IMAD above IMUL; LDST
+//           address-path dominated (DUE ~7x SDC); 28nm planar RF an order
+//           of magnitude more sensitive per bit than Volta's FinFET RF.
+//   Volta:  FIT grows with operand precision (H < F < D) and operation
+//           complexity (ADD < MUL < FMA); tensor MMA an order of magnitude
+//           above DFMA.
+// Everything downstream (microbenchmark FIT measurement, code FITs, the
+// Eq. 1-4 prediction and the Fig. 6 comparison) is *derived* by running the
+// pipelines against this DB — never copied from the paper.
+//
+// Units are arbitrary but consistent: a weight of sigma x exposure behaves
+// like (cross-section cm^2) x (resource-seconds), and all reported FIT
+// values are in the same arbitrary unit (the paper also reports a.u.).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/gpu_config.hpp"
+#include "isa/opcode.hpp"
+
+namespace gpurel::beam {
+
+struct CrossSectionDb {
+  /// Sensitivity of one in-flight lane-operation of each unit kind, per
+  /// busy-cycle.
+  std::array<double, static_cast<std::size_t>(isa::UnitKind::kCount)> unit{};
+
+  double rf_bit = 0.0;      ///< per register-file bit per cycle
+  double shared_bit = 0.0;  ///< per shared-memory bit per cycle
+  double global_bit = 0.0;  ///< per device-memory bit per cycle
+
+  /// Hidden, architecturally invisible resources (scheduler, dispatch
+  /// queues, instruction memory, memory management) per SM-active cycle.
+  double hidden_per_sm = 0.0;
+  /// Conditional outcome split for a hidden-resource strike.
+  double hidden_due_fraction = 0.0;
+  double hidden_sdc_fraction = 0.0;  // rest is masked
+
+  /// Fraction of LDST-unit strikes hitting the address path (vs the data
+  /// path); bad addresses overwhelmingly raise device exceptions.
+  double ldst_addr_fraction = 0.0;
+  /// Of address-path strikes, the fraction whose flipped (wide, virtual)
+  /// address bit escapes the sparse VA layout entirely -> device exception.
+  double addr_invalid_fraction = 0.0;
+
+  /// Multi-bit upset fraction for memory strikes (paper cites ~2% for RF).
+  double mbu_rate = 0.02;
+
+  double sigma_unit(isa::UnitKind k) const {
+    return unit[static_cast<std::size_t>(k)];
+  }
+
+  /// Calibrated databases per architecture.
+  static CrossSectionDb kepler();
+  static CrossSectionDb volta();
+  static CrossSectionDb for_arch(arch::Architecture a);
+};
+
+}  // namespace gpurel::beam

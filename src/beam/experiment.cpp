@@ -1,0 +1,472 @@
+#include "beam/experiment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/instr_info.hpp"
+#include "sim/timing.hpp"
+
+namespace gpurel::beam {
+
+using fault::OutcomeCounts;
+using isa::Opcode;
+using isa::UnitKind;
+
+std::string_view strike_target_name(StrikeTarget t) {
+  switch (t) {
+    case StrikeTarget::FunctionalUnit: return "functional-unit";
+    case StrikeTarget::RegisterFile: return "register-file";
+    case StrikeTarget::SharedMem: return "shared-memory";
+    case StrikeTarget::GlobalMem: return "global-memory";
+    case StrikeTarget::Hidden: return "hidden-resource";
+    default: return "?";
+  }
+}
+
+namespace {
+
+constexpr std::size_t kKinds = static_cast<std::size_t>(UnitKind::kCount);
+constexpr std::size_t kTargets = static_cast<std::size_t>(StrikeTarget::kCount);
+
+
+/// One planned strike, fully determined before the trial starts so that
+/// trials replay bit-identically.
+struct StrikePlan {
+  StrikeTarget target = StrikeTarget::FunctionalUnit;
+  UnitKind unit = UnitKind::OTHER;
+  std::uint64_t index = 0;        // FU: k-th lane-execution of `unit`
+  double warp_pos = 0.0;          // RF: position along the warp-cycle integral
+  double block_pos = 0.0;         // SH: position along the block-cycle integral
+  std::uint64_t cycle_pos = 0;    // GL / Hidden: absolute trial cycle
+  std::uint64_t rand = 0;         // entropy for fire-time choices
+  bool mbu = false;
+  bool addr_path = false;         // LDST address-generation strike
+  bool addr_invalid = false;      // corrupted address escapes the VA layout
+  bool hidden_sdc = false;        // Hidden: corrupt state (else handled outside)
+};
+
+/// Applies planned strikes during a trial.
+class BeamObserver final : public sim::SimObserver {
+ public:
+  BeamObserver(std::vector<StrikePlan> plans, unsigned max_regs)
+      : plans_(std::move(plans)), max_regs_(std::max(1u, max_regs)) {}
+
+  void on_launch_begin(const sim::LaunchInfo&, sim::Machine& m) override {
+    machine_ = &m;
+  }
+  void on_launch_end(const sim::LaunchStats& st) override {
+    cycle_offset_ += st.cycles;
+  }
+
+  // Lane-execution counting happens in before_exec (which the executor calls
+  // exactly once per executed lane, before any lane of the instruction runs).
+  // Output strikes are *scheduled* here and fired in the matching after_exec;
+  // address / store-data strikes corrupt the source operand immediately and
+  // restore it in the matching after_exec (the strike hits the unit's
+  // operand latch, not the register file).
+  void before_exec(sim::ExecContext& ctx) override {
+    const auto kind_idx = static_cast<std::size_t>(isa::unit_kind(ctx.instr->op));
+    const std::uint64_t my_index = fu_counts_[kind_idx]++;
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      StrikePlan& p = plans_[i];
+      if (fired_[i] || p.target != StrikeTarget::FunctionalUnit) continue;
+      if (static_cast<std::size_t>(p.unit) != kind_idx) continue;
+      if (p.index != my_index) continue;
+      fired_[i] = true;
+      if (p.addr_path || store_value_path(*ctx.instr)) {
+        const std::uint8_t reg =
+            p.addr_path ? ctx.instr->src[0] : ctx.instr->src[1];
+        if (reg == isa::kRZ) break;
+        saved_reg_ = reg;
+        saved_val_ = ctx.regs->get(reg);
+        saved_lane_regs_ = ctx.regs;
+        if (p.addr_path && p.addr_invalid) {
+          // A flipped high virtual-address bit lands outside the sparse VA
+          // layout: guaranteed device exception (paper §V-B: most corrupted
+          // addresses are invalid because little of the VA space is mapped).
+          ctx.regs->set(reg, 0xfff00000u | static_cast<std::uint32_t>(p.rand & 0xfffffu));
+        } else if (p.addr_path) {
+          // Low-bit flip: stays inside the mapped footprint (wrong data) or
+          // breaks alignment.
+          ctx.regs->set(reg, flip_bit32(saved_val_, p.rand % 18));
+        } else {
+          ctx.regs->set(reg, flip_bit32(saved_val_, p.rand % 32));
+        }
+        restore_pending_ = true;
+      } else {
+        pending_plan_ = static_cast<std::ptrdiff_t>(i);
+        pending_regs_ = ctx.regs;
+        pending_pc_ = ctx.pc;
+      }
+      break;
+    }
+  }
+
+  void after_exec(sim::ExecContext& ctx) override {
+    if (restore_pending_ && saved_lane_regs_ == ctx.regs) {
+      saved_lane_regs_->set(saved_reg_, saved_val_);
+      restore_pending_ = false;
+    }
+    if (pending_plan_ >= 0 && pending_regs_ == ctx.regs && pending_pc_ == ctx.pc) {
+      fire_output_strike(plans_[static_cast<std::size_t>(pending_plan_)], ctx);
+      pending_plan_ = -1;
+    }
+  }
+
+  void on_time_advance(std::uint64_t from, std::uint64_t to,
+                       sim::Machine& m) override {
+    const double delta = static_cast<double>(to - from);
+    const double warp_before = warp_integral_;
+    const double block_before = block_integral_;
+    warp_integral_ += delta * static_cast<double>(m.live_warp_count());
+    block_integral_ += delta * static_cast<double>(m.live_block_count());
+    const std::uint64_t cyc_before = cycle_offset_ + from;
+    const std::uint64_t cyc_after = cycle_offset_ + to;
+
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      if (fired_[i]) continue;
+      StrikePlan& p = plans_[i];
+      Rng rng(p.rand);
+      switch (p.target) {
+        case StrikeTarget::RegisterFile: {
+          if (!(p.warp_pos >= warp_before && p.warp_pos < warp_integral_)) break;
+          if (m.live_warp_count() == 0) break;
+          const auto w = rng.uniform_u64(m.live_warp_count());
+          const auto lane = static_cast<unsigned>(rng.uniform_u64(32));
+          auto& regs = m.live_warp_lane(w, lane);
+          const auto reg = static_cast<std::uint8_t>(rng.uniform_u64(max_regs_));
+          const auto bit = static_cast<unsigned>(rng.uniform_u64(32));
+          regs.set(reg, flip_bit32(regs.get(reg), bit));
+          if (p.mbu) regs.set(reg, flip_bit32(regs.get(reg), (bit + 1) % 32));
+          fired_[i] = true;
+          break;
+        }
+        case StrikeTarget::SharedMem: {
+          if (!(p.block_pos >= block_before && p.block_pos < block_integral_)) break;
+          if (m.live_block_count() == 0) break;
+          auto& sh = m.live_block_shared(rng.uniform_u64(m.live_block_count()));
+          if (sh.bits() == 0) break;
+          const auto bit = rng.uniform_u64(sh.bits());
+          sh.flip_bit(bit);
+          if (p.mbu) sh.flip_bit(bit ^ 1);
+          fired_[i] = true;
+          break;
+        }
+        case StrikeTarget::GlobalMem: {
+          if (!(p.cycle_pos >= cyc_before && p.cycle_pos < cyc_after)) break;
+          auto& g = m.global();
+          if (g.allocated_bits() == 0) break;
+          const auto bit = rng.uniform_u64(g.allocated_bits());
+          g.flip_allocated_bit(bit);
+          if (p.mbu) g.flip_allocated_bit(bit ^ 1);
+          fired_[i] = true;
+          break;
+        }
+        case StrikeTarget::Hidden: {
+          if (!(p.cycle_pos >= cyc_before && p.cycle_pos < cyc_after)) break;
+          if (p.hidden_sdc) {
+            // Dropped/duplicated micro-op: corrupt an arbitrary live value.
+            if (m.live_warp_count() > 0) {
+              const auto w = rng.uniform_u64(m.live_warp_count());
+              auto& regs = m.live_warp_lane(
+                  w, static_cast<unsigned>(rng.uniform_u64(32)));
+              const auto reg = static_cast<std::uint8_t>(rng.uniform_u64(max_regs_));
+              regs.set(reg, flip_bit32(regs.get(reg),
+                                       static_cast<unsigned>(rng.uniform_u64(32))));
+            }
+          } else {
+            m.raise_due(sim::DueKind::HiddenResource);
+          }
+          fired_[i] = true;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  static bool store_value_path(const isa::Instr& in) {
+    return in.op == Opcode::STG || in.op == Opcode::STS;
+  }
+
+  void fire_output_strike(StrikePlan& p, sim::ExecContext& ctx) {
+    Rng rng(p.rand);
+    const isa::Instr& in = *ctx.instr;
+    if (isa::writes_gpr(in.op) && in.dst != isa::kRZ) {
+      const unsigned width = std::max(sim::dst_reg_width(in), 1u);
+      const auto bsel = static_cast<unsigned>(rng.uniform_u64(width * 32));
+      const auto reg = static_cast<std::uint8_t>(in.dst + bsel / 32);
+      ctx.regs->set(reg, flip_bit32(ctx.regs->get(reg), bsel % 32));
+    } else if (isa::writes_predicate(in.op)) {
+      const std::uint8_t pr = in.dst & 0x07;
+      ctx.regs->set_pred(pr, !ctx.regs->get_pred(pr));
+    } else if (isa::is_control(in.op)) {
+      *ctx.next_pc ^= 1u << rng.uniform_u64(10);
+    }
+  }
+
+  std::vector<StrikePlan> plans_;
+  std::vector<bool> fired_ = std::vector<bool>(plans_.size(), false);
+  unsigned max_regs_;
+  sim::Machine* machine_ = nullptr;
+  std::array<std::uint64_t, kKinds> fu_counts_{};
+  double warp_integral_ = 0.0;
+  double block_integral_ = 0.0;
+  std::uint64_t cycle_offset_ = 0;
+  // Operand save/restore for address/store-data strikes.
+  bool restore_pending_ = false;
+  std::uint8_t saved_reg_ = 0;
+  std::uint32_t saved_val_ = 0;
+  sim::ThreadRegs* saved_lane_regs_ = nullptr;
+  // Scheduled output strike (fires in the matching after_exec).
+  std::ptrdiff_t pending_plan_ = -1;
+  sim::ThreadRegs* pending_regs_ = nullptr;
+  std::uint32_t pending_pc_ = 0;
+};
+
+struct Weights {
+  std::array<double, kKinds> unit{};
+  double rf = 0, sh = 0, gl = 0, hidden = 0;
+  double total() const {
+    double t = rf + sh + gl + hidden;
+    for (double u : unit) t += u;
+    return t;
+  }
+};
+
+Weights compute_weights(const CrossSectionDb& db, const ExposureBreakdown& e) {
+  Weights w;
+  for (std::size_t k = 0; k < kKinds; ++k)
+    w.unit[k] = db.unit[k] * e.unit_busy[k];
+  w.rf = db.rf_bit * e.rf_bit_cycles;
+  w.sh = db.shared_bit * e.shared_bit_cycles;
+  w.gl = db.global_bit * e.global_bit_cycles;
+  w.hidden = db.hidden_per_sm * e.hidden_sm_cycles;
+  return w;
+}
+
+}  // namespace
+
+ExposureBreakdown compute_exposure(const core::Workload& w,
+                                   std::uint64_t allocated_bits) {
+  const sim::LaunchStats& st = w.golden_stats();
+  const arch::GpuConfig& gpu = w.config().gpu;
+  (void)gpu;
+  ExposureBreakdown e;
+  e.unit_busy = st.lane_busy_per_unit;  // lanes x actual opcode latency
+  e.rf_bit_cycles = st.warp_cycles * 32.0 * w.max_regs_per_thread() * 32.0;
+  e.shared_bit_cycles = st.block_cycles * w.max_shared_bytes() * 8.0;
+  e.global_bit_cycles =
+      static_cast<double>(st.cycles) * static_cast<double>(allocated_bits);
+  e.hidden_sm_cycles = static_cast<double>(st.sm_active_cycles);
+  e.trial_cycles = st.cycles;
+  return e;
+}
+
+BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& factory,
+                    const BeamConfig& config) {
+  auto ref = factory();
+  sim::Device ref_dev(ref->config().gpu);
+  ref->prepare(ref_dev);
+  const std::uint64_t allocated_bits = ref_dev.memory().allocated_bits();
+  const ExposureBreakdown exposure = compute_exposure(*ref, allocated_bits);
+  const Weights weights = compute_weights(db, exposure);
+  const double total_weight = weights.total();
+  const sim::LaunchStats& golden = ref->golden_stats();
+
+  BeamResult result;
+  result.workload = ref->name();
+  result.device = ref->config().gpu.name;
+  result.ecc = config.ecc;
+  result.mode = config.mode;
+  result.runs = config.runs;
+  result.device_sigma_rate =
+      exposure.trial_cycles > 0 ? total_weight / exposure.trial_cycles : 0.0;
+
+  // Flat sampling vector: all unit kinds, then RF, SH, GL, Hidden.
+  std::vector<double> flat(kKinds + 4);
+  for (std::size_t k = 0; k < kKinds; ++k) flat[k] = weights.unit[k];
+  flat[kKinds + 0] = weights.rf;
+  flat[kKinds + 1] = weights.sh;
+  flat[kKinds + 2] = weights.gl;
+  flat[kKinds + 3] = weights.hidden;
+  {
+    const double t = weights.total();
+    if (t > 0) {
+      auto share = [&](StrikeTarget tg, double v) {
+        result.weight_share[static_cast<std::size_t>(tg)] = v / t;
+      };
+      double fu = 0;
+      for (std::size_t k = 0; k < kKinds; ++k) fu += weights.unit[k];
+      share(StrikeTarget::FunctionalUnit, fu);
+      share(StrikeTarget::RegisterFile, weights.rf);
+      share(StrikeTarget::SharedMem, weights.sh);
+      share(StrikeTarget::GlobalMem, weights.gl);
+      share(StrikeTarget::Hidden, weights.hidden);
+    }
+  }
+  if (total_weight <= 0.0) return result;
+
+  // Samples one strike plan; returns nullopt-style flag via `immediate` when
+  // the outcome is decided without simulation (ECC corrections/detections,
+  // hidden strikes that hang or do nothing).
+  struct Sampled {
+    StrikePlan plan;
+    bool immediate = false;
+    core::Outcome immediate_outcome = core::Outcome::Masked;
+    sim::DueKind immediate_due = sim::DueKind::None;
+    StrikeTarget target = StrikeTarget::FunctionalUnit;
+  };
+  auto sample_strike = [&](Rng& rng) {
+    Sampled s;
+    const std::size_t pick = rng.weighted_pick(flat);
+    StrikePlan& p = s.plan;
+    p.rand = rng.next_u64();
+    if (pick < kKinds) {
+      s.target = StrikeTarget::FunctionalUnit;
+      p.target = StrikeTarget::FunctionalUnit;
+      p.unit = static_cast<UnitKind>(pick);
+      p.index = rng.uniform_u64(std::max<std::uint64_t>(
+          1, golden.lane_per_unit[pick]));
+      p.addr_path =
+          p.unit == UnitKind::LDST && rng.bernoulli(db.ldst_addr_fraction);
+      p.addr_invalid = p.addr_path && rng.bernoulli(db.addr_invalid_fraction);
+    } else {
+      const std::size_t aux = pick - kKinds;
+      p.mbu = rng.bernoulli(db.mbu_rate);
+      if (aux == 0) {
+        s.target = p.target = StrikeTarget::RegisterFile;
+        p.warp_pos = rng.uniform() * golden.warp_cycles;
+      } else if (aux == 1) {
+        s.target = p.target = StrikeTarget::SharedMem;
+        p.block_pos = rng.uniform() * golden.block_cycles;
+      } else if (aux == 2) {
+        s.target = p.target = StrikeTarget::GlobalMem;
+        p.cycle_pos = rng.uniform_u64(std::max<std::uint64_t>(1, golden.cycles));
+      } else {
+        s.target = p.target = StrikeTarget::Hidden;
+        p.cycle_pos = rng.uniform_u64(std::max<std::uint64_t>(1, golden.cycles));
+        const double u = rng.uniform();
+        if (u < db.hidden_due_fraction) {
+          s.immediate = true;
+          s.immediate_outcome = core::Outcome::Due;
+          s.immediate_due = sim::DueKind::HiddenResource;
+        } else if (u < db.hidden_due_fraction + db.hidden_sdc_fraction) {
+          p.hidden_sdc = true;
+        } else {
+          s.immediate = true;
+          s.immediate_outcome = core::Outcome::Masked;
+        }
+      }
+      // SECDED: with ECC on, memory strikes are corrected (single bit) or
+      // detected-uncorrectable (multi-bit upset).
+      if (config.ecc && p.target != StrikeTarget::Hidden) {
+        s.immediate = true;
+        s.immediate_outcome = p.mbu ? core::Outcome::Due : core::Outcome::Masked;
+        s.immediate_due = p.mbu ? sim::DueKind::EccDoubleBit : sim::DueKind::None;
+      }
+    }
+    return s;
+  };
+
+  const unsigned workers = std::max(1u, config.workers);
+  struct Partial {
+    OutcomeCounts outcomes;
+    std::array<OutcomeCounts, kTargets> by_target{};
+  };
+  std::vector<Partial> partials(workers);
+
+  auto run_shard = [&](unsigned shard, Partial& out) {
+    auto w = factory();
+    sim::Device dev(w->config().gpu);
+    w->prepare(dev);
+    const unsigned max_regs = w->max_regs_per_thread();
+    std::uint64_t salt = config.seed;
+    // Regenerate the per-run seed deterministically by index.
+    std::vector<std::uint64_t> seeds(config.runs);
+    for (auto& sd : seeds) sd = splitmix64(salt);
+
+    for (std::uint64_t r = shard; r < config.runs; r += workers) {
+      Rng rng(seeds[r]);
+      if (config.mode == BeamMode::Accelerated) {
+        Sampled s = sample_strike(rng);
+        core::Outcome outcome;
+        if (s.immediate) {
+          outcome = s.immediate_outcome;
+        } else {
+          BeamObserver obs({s.plan}, max_regs);
+          outcome = w->run_trial(dev, &obs).outcome;
+        }
+        out.outcomes.add(outcome);
+        out.by_target[static_cast<std::size_t>(s.target)].add(outcome);
+      } else {
+        // Natural flux: Poisson number of strikes this run.
+        const double lambda = config.flux_scale * total_weight;
+        const std::uint64_t n = rng.poisson(lambda);
+        std::vector<StrikePlan> plans;
+        bool immediate_due = false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          Sampled s = sample_strike(rng);
+          if (s.immediate) {
+            if (s.immediate_outcome == core::Outcome::Due) immediate_due = true;
+          } else {
+            plans.push_back(s.plan);
+          }
+        }
+        core::Outcome outcome = core::Outcome::Masked;
+        if (immediate_due) {
+          outcome = core::Outcome::Due;
+        } else if (!plans.empty()) {
+          BeamObserver obs(std::move(plans), max_regs);
+          outcome = w->run_trial(dev, &obs).outcome;
+        }
+        out.outcomes.add(outcome);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    run_shard(0, partials[0]);
+  } else {
+    ThreadPool pool(workers);
+    parallel_for(pool, workers, [&](std::size_t s) {
+      run_shard(static_cast<unsigned>(s), partials[s]);
+    });
+  }
+  for (const auto& p : partials) {
+    result.outcomes.merge(p.outcomes);
+    for (std::size_t t = 0; t < kTargets; ++t)
+      result.by_target[t].merge(p.by_target[t]);
+  }
+
+  // Convert conditional probabilities to FIT (arbitrary units).
+  const double runs = static_cast<double>(std::max<std::uint64_t>(1, result.runs));
+  const double t_cycles = static_cast<double>(std::max<std::uint64_t>(1, golden.cycles));
+  double scale = 0.0;
+  if (config.mode == BeamMode::Accelerated) {
+    scale = total_weight / t_cycles;  // FIT = Σw/T * P(X|strike)
+  } else {
+    scale = 1.0 / (config.flux_scale * t_cycles);  // FIT = count/(runs*flux*T)
+  }
+  // Display normalization keeps typical values O(1..100).
+  constexpr double kDisplay = 1.0e3;
+  result.per_event_fit = scale * kDisplay / runs;
+  auto to_fit = [&](std::uint64_t count, ConfidenceInterval& ci_out) {
+    const ConfidenceInterval ci = poisson_ci95(count);
+    const double fit = scale * (static_cast<double>(count) / runs) * kDisplay;
+    ci_out.point = fit;
+    ci_out.lower = scale * (ci.lower / runs) * kDisplay;
+    ci_out.upper = scale * (ci.upper / runs) * kDisplay;
+    return fit;
+  };
+  result.fit_sdc = to_fit(result.outcomes.sdc, result.fit_sdc_ci);
+  result.fit_due = to_fit(result.outcomes.due, result.fit_due_ci);
+  return result;
+}
+
+}  // namespace gpurel::beam

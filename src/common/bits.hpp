@@ -1,0 +1,43 @@
+// Bit-level utilities shared by the ISA interpreter, fault models, and the
+// beam simulator. Everything here is constexpr-friendly and branch-light.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace gpurel {
+
+/// Reinterpret a float as its IEEE-754 bit pattern.
+inline std::uint32_t f32_bits(float v) { return std::bit_cast<std::uint32_t>(v); }
+/// Reinterpret a bit pattern as a float.
+inline float bits_f32(std::uint32_t b) { return std::bit_cast<float>(b); }
+/// Reinterpret a double as its IEEE-754 bit pattern.
+inline std::uint64_t f64_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+/// Reinterpret a bit pattern as a double.
+inline double bits_f64(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+/// Flip bit `bit` (0 = LSB) of a 32-bit word.
+constexpr std::uint32_t flip_bit32(std::uint32_t w, unsigned bit) {
+  return w ^ (std::uint32_t{1} << (bit & 31u));
+}
+
+/// Flip bit `bit` (0 = LSB) of a 64-bit word.
+constexpr std::uint64_t flip_bit64(std::uint64_t w, unsigned bit) {
+  return w ^ (std::uint64_t{1} << (bit & 63u));
+}
+
+/// Test bit `bit` of a 32-bit word.
+constexpr bool test_bit32(std::uint32_t w, unsigned bit) {
+  return (w >> (bit & 31u)) & 1u;
+}
+
+/// Number of set bits in a 64-bit lane mask.
+constexpr int popcount64(std::uint64_t m) { return std::popcount(m); }
+
+/// Lane mask with the low `n` lanes set (n <= 64).
+constexpr std::uint64_t lane_mask(unsigned n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+}  // namespace gpurel

@@ -1,0 +1,70 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gpurel {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;  // ignore positional arguments
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("--" + name + ": not an integer: " + it->second);
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("--" + name + ": not a number: " + it->second);
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::int64_t Cli::get_int_env(const std::string& name, const char* env,
+                              std::int64_t def) const {
+  if (has(name)) return get_int(name, def);
+  if (const char* v = std::getenv(env)) {
+    try {
+      return std::stoll(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string(env) + ": not an integer: " + v);
+    }
+  }
+  return def;
+}
+
+}  // namespace gpurel

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Supports --name=value, --name value, and bare --flag booleans, plus
+// environment-variable fallbacks so the whole bench suite can be scaled
+// with GPUREL_RUNS / GPUREL_INJECTIONS without editing invocations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gpurel {
+
+/// Parsed flags with typed accessors and defaults.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// String flag; returns `def` when absent.
+  std::string get(const std::string& name, const std::string& def = "") const;
+  /// Integer flag (base 10); throws std::invalid_argument on malformed value.
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  /// Double flag; throws std::invalid_argument on malformed value.
+  double get_double(const std::string& name, double def) const;
+  /// Boolean flag: present without value, or =true/=false.
+  bool get_bool(const std::string& name, bool def = false) const;
+  /// Whether the flag appeared at all.
+  bool has(const std::string& name) const;
+
+  /// Integer from flag, else environment variable `env`, else `def`.
+  std::int64_t get_int_env(const std::string& name, const char* env,
+                           std::int64_t def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gpurel

@@ -1,0 +1,52 @@
+// Software IEEE-754 binary16 ("half") arithmetic.
+//
+// Volta's mixed-precision cores operate on binary16 with round-to-nearest-
+// even; the simulator stores a half in the low 16 bits of a 32-bit register.
+// Arithmetic is performed by converting to float (exact: every half is
+// exactly representable in float), computing, and rounding back once. For
+// fused multiply-add the intermediate is computed in double so the single
+// final rounding matches a true fused operation.
+#pragma once
+
+#include <cstdint>
+
+namespace gpurel {
+
+/// Opaque binary16 value. Construction from float rounds to nearest-even.
+class Half {
+ public:
+  constexpr Half() = default;
+  /// Wrap raw binary16 bits.
+  static constexpr Half from_bits(std::uint16_t b) {
+    Half h;
+    h.bits_ = b;
+    return h;
+  }
+  /// Round a float to binary16 (RNE, with proper subnormal/overflow handling).
+  static Half from_float(float f);
+
+  /// Exact widening conversion to float.
+  float to_float() const;
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  bool is_nan() const;
+  bool is_inf() const;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// a + b with one binary16 rounding.
+Half half_add(Half a, Half b);
+/// a * b with one binary16 rounding.
+Half half_mul(Half a, Half b);
+/// a * b + c fused: single rounding of the exact product-sum.
+Half half_fma(Half a, Half b, Half c);
+
+/// Convert float -> binary16 bits (RNE). Exposed for tests.
+std::uint16_t f32_to_f16_bits(float f);
+/// Convert binary16 bits -> float (exact).
+float f16_bits_to_f32(std::uint16_t h);
+
+}  // namespace gpurel

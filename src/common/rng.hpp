@@ -1,0 +1,68 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of the framework (beam strike sampling, fault
+// site selection, workload input generation) draws from an Rng seeded from a
+// campaign-level master seed, so whole experiments replay bit-identically.
+// The generator is xoshiro256** seeded via splitmix64, following the
+// reference construction by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpurel {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+class Rng {
+ public:
+  /// Seed the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derive an independent child stream; advancing the child never perturbs
+  /// the parent beyond this single draw. Used to give each campaign trial its
+  /// own stream so trials are order-independent and parallelizable.
+  Rng split();
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+  /// Next raw 32 random bits.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased). bound > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (no cached second value; simple and
+  /// deterministic under splitting).
+  double normal();
+
+  /// Exponential with the given rate (rate > 0); used for Poisson arrival
+  /// inter-strike times in the natural-flux beam mode.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+  /// Sample an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gpurel

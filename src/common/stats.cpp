@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gpurel {
+
+double ConfidenceInterval::relative_half_width() const {
+  if (point == 0.0) return 0.0;
+  return 0.5 * (upper - lower) / point;
+}
+
+namespace {
+
+// Wilson–Hilferty approximation of the chi-square quantile with d degrees of
+// freedom at probability p (z is the standard normal quantile for p).
+double chi2_quantile(double d, double z) {
+  if (d <= 0.0) return 0.0;
+  const double t = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+constexpr double kZ975 = 1.959963984540054;
+
+}  // namespace
+
+ConfidenceInterval poisson_ci95(std::uint64_t events) {
+  ConfidenceInterval ci;
+  ci.point = static_cast<double>(events);
+  if (events == 0) {
+    ci.lower = 0.0;
+    ci.upper = 3.689;  // exact: -ln(0.025)
+    return ci;
+  }
+  const auto k = static_cast<double>(events);
+  // Exact relations: lower = chi2(0.025, 2k)/2, upper = chi2(0.975, 2k+2)/2.
+  ci.lower = 0.5 * chi2_quantile(2.0 * k, -kZ975);
+  ci.upper = 0.5 * chi2_quantile(2.0 * k + 2.0, kZ975);
+  return ci;
+}
+
+ConfidenceInterval poisson_rate_ci95(std::uint64_t events, double exposure) {
+  if (exposure <= 0.0) throw std::invalid_argument("poisson_rate_ci95: exposure must be > 0");
+  ConfidenceInterval ci = poisson_ci95(events);
+  ci.point /= exposure;
+  ci.lower /= exposure;
+  ci.upper /= exposure;
+  return ci;
+}
+
+ConfidenceInterval wilson_ci95(std::uint64_t successes, std::uint64_t trials) {
+  ConfidenceInterval ci;
+  if (trials == 0) {
+    ci.point = 0.0;
+    ci.lower = 0.0;
+    ci.upper = 1.0;
+    return ci;
+  }
+  if (successes > trials) throw std::invalid_argument("wilson_ci95: successes > trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = kZ975;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ci.point = p;
+  ci.lower = successes == 0 ? 0.0 : std::max(0.0, center - half);
+  ci.upper = successes == trials ? 1.0 : std::min(1.0, center + half);
+  return ci;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geometric_mean: values must be > 0");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double signed_ratio(double measured, double predicted) {
+  if (measured <= 0.0 || predicted <= 0.0) return 0.0;
+  if (measured >= predicted) return measured / predicted;
+  return -(predicted / measured);
+}
+
+double ratio_magnitude(double signed_ratio_value) {
+  const double m = std::fabs(signed_ratio_value);
+  return m < 1.0 ? 1.0 : m;
+}
+
+}  // namespace gpurel

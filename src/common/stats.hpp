@@ -1,0 +1,49 @@
+// Statistics used throughout the evaluation: Poisson confidence intervals for
+// beam error counts (the paper reports 95% CIs assuming a Poisson process),
+// Wilson intervals for AVF proportions, and small descriptive helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gpurel {
+
+/// A two-sided confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+
+  /// Half-width relative to the point estimate (0 when point == 0).
+  double relative_half_width() const;
+};
+
+/// 95% CI for the mean of a Poisson process observed to produce `events`
+/// counts. Uses the Wilson–Hilferty chi-square approximation, with exact
+/// values for the small-count lower tail; accurate to ~1% for k >= 1.
+ConfidenceInterval poisson_ci95(std::uint64_t events);
+
+/// 95% CI for a rate: `events` over `exposure` units (exposure > 0).
+ConfidenceInterval poisson_rate_ci95(std::uint64_t events, double exposure);
+
+/// Wilson score 95% CI for a binomial proportion `successes` / `trials`.
+ConfidenceInterval wilson_ci95(std::uint64_t successes, std::uint64_t trials);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than two values.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean of strictly positive values; 0 for empty input.
+double geometric_mean(std::span<const double> xs);
+
+/// The paper's Fig. 6 convention: measured/predicted when measured >=
+/// predicted, else -(predicted/measured). Returns 0 if either input is <= 0.
+double signed_ratio(double measured, double predicted);
+
+/// Magnitude of a signed_ratio value (how many x apart, >= 1).
+double ratio_magnitude(double signed_ratio_value);
+
+}  // namespace gpurel

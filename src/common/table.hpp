@@ -1,0 +1,60 @@
+// Fixed-width text table and CSV rendering for the bench harnesses, which
+// regenerate the paper's tables and figures as terminal output.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpurel {
+
+/// Column alignment for text rendering.
+enum class Align { Left, Right };
+
+/// A simple row/column table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendering pads to the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls append to it.
+  Table& row();
+  /// Append a string cell to the current row.
+  Table& cell(std::string value);
+  /// Append a numeric cell with `precision` fractional digits.
+  Table& cell(double value, int precision = 2);
+  /// Append an integer cell.
+  Table& cell_int(long long value);
+
+  /// Set alignment for a column (default Right for all but column 0).
+  void set_align(std::size_t col, Align align);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  /// Access a rendered cell (throws std::out_of_range when out of bounds).
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Render as an aligned text table with a header separator.
+  void render_text(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-style quoting for cells containing , " or \n).
+  void render_csv(std::ostream& os) const;
+
+  /// Convenience: render_text to a string.
+  std::string to_text() const;
+  /// Convenience: render_csv to a string.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Format a double with `precision` digits after the decimal point.
+std::string format_fixed(double value, int precision);
+
+/// Format a value in scientific notation with 3 significant digits.
+std::string format_sci(double value);
+
+}  // namespace gpurel

@@ -1,0 +1,54 @@
+// A small work-stealing-free thread pool used to parallelize fault-injection
+// and beam campaigns (each trial is an independent simulation). Trials are
+// seeded per-index, so results are identical regardless of worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gpurel {
+
+/// Fixed-size pool executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// Create `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue a job. Must not be called after destruction begins.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool; blocks until done.
+/// Exceptions thrown by body propagate (first one wins) after all indices
+/// complete or are abandoned.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace gpurel

@@ -1,0 +1,128 @@
+#include "core/report.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace gpurel::core {
+
+std::string prediction_verdict(double beam_fit, double predicted_fit) {
+  const double r = signed_ratio(beam_fit, predicted_fit);
+  if (r == 0.0) return "no events / no prediction";
+  const double mag = ratio_magnitude(r);
+  char buf[96];
+  if (mag <= 5.0) {
+    std::snprintf(buf, sizeof(buf), "within the paper's 5x band (%+.1fx)", r);
+  } else if (r > 0) {
+    std::snprintf(buf, sizeof(buf), "underestimated %.0fx", mag);
+  } else {
+    std::snprintf(buf, sizeof(buf), "overestimated %.0fx", mag);
+  }
+  return buf;
+}
+
+void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
+                       const ReportOptions& options) {
+  os << "=== " << ev.name << " ===\n";
+  if (options.include_profile) {
+    Table t({"metric", "value"});
+    t.set_align(1, Align::Right);
+    t.row().cell("IPC").cell(ev.profile.ipc, 2);
+    t.row().cell("achieved occupancy").cell(ev.profile.occupancy, 2);
+    t.row().cell("phi (Eq. 4)").cell(ev.profile.phi(), 2);
+    t.row().cell("registers/thread").cell_int(ev.profile.regs_per_thread);
+    t.row().cell("shared bytes/block").cell_int(ev.profile.shared_bytes);
+    for (std::size_t c = 0; c < static_cast<std::size_t>(isa::MixClass::kCount);
+         ++c) {
+      const auto cls = static_cast<isa::MixClass>(c);
+      t.row()
+          .cell("mix % " + std::string(isa::mix_class_name(cls)))
+          .cell(100.0 * ev.profile.mix_of(cls), 1);
+    }
+    if (options.csv) t.render_csv(os);
+    else t.render_text(os);
+  }
+  if (options.include_avf) {
+    Table t({"injector", "SDC AVF", "DUE AVF", "masked", "injections", "note"});
+    auto add = [&](const char* name, const fault::CampaignResult& r,
+                   const std::string& note) {
+      t.row()
+          .cell(name)
+          .cell(r.overall_avf_sdc(), 3)
+          .cell(r.overall_avf_due(), 3)
+          .cell(r.overall_masked(), 3)
+          .cell_int(static_cast<long long>(r.total_injections()))
+          .cell(note);
+    };
+    if (ev.sassifi) add("SASSIFI", *ev.sassifi, "");
+    if (ev.nvbitfi) {
+      std::string note;
+      if (ev.nvbitfi_substituted) note = "AVF from Volta (library code)";
+      if (ev.half_avf_substituted)
+        note += note.empty() ? "FP16 AVFs from FP32 variant"
+                             : "; FP16 AVFs from FP32 variant";
+      add("NVBitFI", *ev.nvbitfi, note);
+    }
+    if (!ev.sassifi && !ev.nvbitfi) os << "(not instrumentable)\n";
+    else if (options.csv) t.render_csv(os);
+    else t.render_text(os);
+  }
+  if (options.include_beam) {
+    Table t({"ECC", "SDC FIT", "SDC 95% CI", "DUE FIT", "DUE 95% CI"});
+    auto add = [&](const char* ecc, const beam::BeamResult& r) {
+      t.row()
+          .cell(ecc)
+          .cell(format_sci(r.fit_sdc))
+          .cell("[" + format_sci(r.fit_sdc_ci.lower) + ", " +
+                format_sci(r.fit_sdc_ci.upper) + "]")
+          .cell(format_sci(r.fit_due))
+          .cell("[" + format_sci(r.fit_due_ci.lower) + ", " +
+                format_sci(r.fit_due_ci.upper) + "]");
+    };
+    add("off", ev.beam_ecc_off);
+    add("on", ev.beam_ecc_on);
+    if (options.csv) t.render_csv(os);
+    else t.render_text(os);
+  }
+  if (options.include_prediction) {
+    Table t({"prediction", "SDC", "verdict", "DUE", "DUE verdict"});
+    auto add = [&](const char* tag, const std::optional<model::FitPrediction>& p,
+                   const beam::BeamResult& beam) {
+      if (!p) return;
+      t.row()
+          .cell(tag)
+          .cell(format_sci(p->sdc))
+          .cell(prediction_verdict(beam.fit_sdc, p->sdc))
+          .cell(format_sci(p->due))
+          .cell(prediction_verdict(beam.fit_due, p->due));
+    };
+    add("SASSIFI/ECC off", ev.pred_sassifi_off, ev.beam_ecc_off);
+    add("SASSIFI/ECC on", ev.pred_sassifi_on, ev.beam_ecc_on);
+    add("NVBitFI/ECC off", ev.pred_nvbitfi_off, ev.beam_ecc_off);
+    add("NVBitFI/ECC on", ev.pred_nvbitfi_on, ev.beam_ecc_on);
+    if (t.num_rows() > 0) {
+      if (options.csv) t.render_csv(os);
+      else t.render_text(os);
+    }
+  }
+}
+
+void write_micro_report(std::ostream& os,
+                        const std::vector<Study::MicroCharacterization>& micro,
+                        bool csv) {
+  Table t({"bench", "unit", "SDC FIT", "DUE FIT", "micro AVF", "runs"});
+  for (const auto& mc : micro) {
+    t.row()
+        .cell(mc.name)
+        .cell(mc.is_rf ? "RF" : std::string(isa::unit_kind_name(mc.kind)))
+        .cell(format_sci(mc.beam.fit_sdc))
+        .cell(format_sci(mc.beam.fit_due))
+        .cell(mc.micro_avf, 2)
+        .cell_int(static_cast<long long>(mc.beam.runs));
+  }
+  if (csv) t.render_csv(os);
+  else t.render_text(os);
+}
+
+}  // namespace gpurel::core

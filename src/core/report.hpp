@@ -1,0 +1,34 @@
+// Human-readable reports over Study results: the library-level rendering
+// used by the reliability_report example and available to downstream tools
+// (text or CSV, stable field ordering for scripting).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/study.hpp"
+
+namespace gpurel::core {
+
+struct ReportOptions {
+  bool include_profile = true;
+  bool include_avf = true;
+  bool include_beam = true;
+  bool include_prediction = true;
+  bool csv = false;
+};
+
+/// Render one code's full evaluation.
+void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
+                       const ReportOptions& options = {});
+
+/// Render the microbenchmark characterization (Fig. 3 data).
+void write_micro_report(std::ostream& os,
+                        const std::vector<Study::MicroCharacterization>& micro,
+                        bool csv = false);
+
+/// One-line verdict for a prediction vs a beam measurement, in the paper's
+/// signed-ratio language ("within 5x", "underestimated Nx", ...).
+std::string prediction_verdict(double beam_fit, double predicted_fit);
+
+}  // namespace gpurel::core

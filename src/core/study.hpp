@@ -1,0 +1,130 @@
+// Study: the paper's end-to-end methodology on one device.
+//
+//   stage 1  characterize the functional units and memories with beam
+//            experiments on the synthetic microbenchmarks (§V / Fig. 3) and
+//            measure each microbenchmark's own AVF by fault injection;
+//   stage 2  for every code: profile it (Table I / Fig. 1), run the
+//            applicable fault-injection campaigns (§VI / Fig. 4) — with the
+//            paper's substitution of NVBitFI-on-Volta AVFs for Kepler
+//            library codes — and measure its FIT under beam with ECC on and
+//            off (Fig. 5);
+//   stage 3  predict each code's FIT from stage 1 + profiling + AVFs
+//            (Eqs. 1-4) and compare against the beam measurement (Fig. 6,
+//            §VII-B DUE analysis).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "beam/experiment.hpp"
+#include "fault/campaign.hpp"
+#include "kernels/registry.hpp"
+#include "model/fit_model.hpp"
+#include "profile/profiler.hpp"
+
+namespace gpurel::core {
+
+struct StudyConfig {
+  unsigned micro_beam_runs = 300;
+  unsigned app_beam_runs = 150;
+  unsigned injections_per_kind = 60;
+  unsigned micro_injections_per_kind = 40;
+  unsigned rf_injections = 50;
+  unsigned pred_injections = 30;
+  unsigned ia_injections = 30;
+  unsigned store_injections = 30;
+  unsigned workers = 1;
+  std::uint64_t seed = 42;
+  /// Size knob for the application workloads.
+  double app_scale = 1.0;
+  /// Size knob for the microbenchmarks (FIT estimates are size-invariant
+  /// under conditional strike sampling, so these can be small).
+  double micro_scale = 0.1;
+};
+
+class Study {
+ public:
+  Study(arch::GpuConfig gpu, StudyConfig config);
+
+  const arch::GpuConfig& gpu() const { return gpu_; }
+  const StudyConfig& config() const { return config_; }
+
+  // ---- Stage 1 -----------------------------------------------------------
+  struct MicroCharacterization {
+    kernels::CatalogEntry entry;
+    std::string name;
+    isa::UnitKind kind = isa::UnitKind::OTHER;  // OTHER for the RF benchmark
+    bool is_rf = false;
+    beam::BeamResult beam;   // ECC on for unit benches, off for RF
+    double micro_avf = 1.0;  // injected AVF of the microbenchmark itself
+    double exposed_bits = 0.0;  // RF: average resident register bits
+  };
+
+  /// Beam + injection characterization of every microbenchmark in the
+  /// device's Fig. 3 catalog (cached after the first call).
+  const std::vector<MicroCharacterization>& microbenchmarks();
+
+  /// Eq. 1-4 inputs distilled from stage 1 (cached).
+  const model::FitInputs& fit_inputs();
+
+  // ---- Stage 2 + 3 -------------------------------------------------------
+  struct CodeEvaluation {
+    kernels::CatalogEntry entry;
+    std::string name;
+
+    profile::CodeProfile profile;            // of the NVBitFI-era binary
+    std::optional<profile::CodeProfile> profile_cuda7;  // SASSIFI-era binary
+
+    std::optional<fault::CampaignResult> sassifi;
+    std::optional<fault::CampaignResult> nvbitfi;
+    /// Kepler library code: the NVBitFI AVF was measured on Volta (§III-D).
+    bool nvbitfi_substituted = false;
+    /// Half-precision code: FP16 per-kind AVFs were grafted from the
+    /// single-precision variant's campaign (NVBitFI cannot inject half
+    /// instructions — the paper's §VII-A simplification, responsible for
+    /// its HHotspot overestimation).
+    bool half_avf_substituted = false;
+
+    beam::BeamResult beam_ecc_on;
+    beam::BeamResult beam_ecc_off;
+
+    std::optional<model::FitPrediction> pred_sassifi_on, pred_sassifi_off;
+    std::optional<model::FitPrediction> pred_nvbitfi_on, pred_nvbitfi_off;
+  };
+
+  /// Which stages of an evaluation to run (predictions need injections).
+  struct EvalParts {
+    bool injections = true;
+    bool beam = true;
+    bool predictions = true;
+  };
+  static constexpr EvalParts kAllParts{true, true, true};
+
+  /// Full (or partial) evaluation of one catalog entry.
+  CodeEvaluation evaluate(const kernels::CatalogEntry& entry,
+                          EvalParts parts = kAllParts);
+
+  /// The device's Table-I application catalog.
+  std::vector<kernels::CatalogEntry> app_catalog() const;
+  /// The device's Fig.-3 microbenchmark catalog.
+  std::vector<kernels::CatalogEntry> micro_catalog() const;
+
+ private:
+  WorkloadConfig workload_config(double scale, isa::CompilerProfile profile) const;
+  std::optional<fault::CampaignResult> run_injection(
+      const fault::Injector& injector, const kernels::CatalogEntry& entry,
+      bool aux_modes, unsigned injections_per_kind, bool* substituted);
+  model::FitPrediction make_prediction(const kernels::CatalogEntry& entry,
+                                       const profile::CodeProfile& prof,
+                                       const fault::CampaignResult& avf,
+                                       bool ecc);
+
+  arch::GpuConfig gpu_;
+  StudyConfig config_;
+  beam::CrossSectionDb db_;
+  std::optional<std::vector<MicroCharacterization>> micro_;
+  std::optional<model::FitInputs> inputs_;
+};
+
+}  // namespace gpurel::core

@@ -1,0 +1,164 @@
+#include "core/workload.hpp"
+
+#include <stdexcept>
+
+namespace gpurel::core {
+
+std::string_view precision_prefix(Precision p) {
+  switch (p) {
+    case Precision::Int32: return "";
+    case Precision::Half: return "H";
+    case Precision::Single: return "F";
+    case Precision::Double: return "D";
+  }
+  return "";
+}
+
+std::string_view precision_name(Precision p) {
+  switch (p) {
+    case Precision::Int32: return "INT32";
+    case Precision::Half: return "FP16";
+    case Precision::Single: return "FP32";
+    case Precision::Double: return "FP64";
+  }
+  return "?";
+}
+
+unsigned precision_bytes(Precision p) {
+  switch (p) {
+    case Precision::Int32: return 4;
+    case Precision::Half: return 2;
+    case Precision::Single: return 4;
+    case Precision::Double: return 8;
+  }
+  return 4;
+}
+
+std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Masked: return "Masked";
+    case Outcome::Sdc: return "SDC";
+    case Outcome::Due: return "DUE";
+  }
+  return "?";
+}
+
+TrialRunner::TrialRunner(sim::Device& dev, sim::SimObserver* obs,
+                         std::uint64_t cycle_budget)
+    : dev_(dev), obs_(obs), cycle_budget_(cycle_budget) {}
+
+bool TrialRunner::launch(const sim::KernelLaunch& kl) {
+  if (due()) return false;
+  const std::uint64_t remaining =
+      cycle_budget_ == 0 ? 0
+                         : (stats_.cycles >= cycle_budget_
+                                ? 1  // out of budget: next launch trips instantly
+                                : cycle_budget_ - stats_.cycles);
+  const sim::LaunchStats st = dev_.launch(kl, obs_, remaining, ordinal_++);
+  stats_.merge(st);
+  return stats_.due == sim::DueKind::None;
+}
+
+void TrialRunner::force_due(sim::DueKind kind) {
+  if (stats_.due == sim::DueKind::None) stats_.due = kind;
+}
+
+std::string Workload::name() const {
+  return std::string(precision_prefix(precision())) + base_name();
+}
+
+void Workload::register_output(std::uint32_t addr, std::uint32_t bytes) {
+  outputs_.push_back({addr, bytes});
+}
+
+void Workload::register_program(const isa::Program* prog) {
+  programs_.push_back(prog);
+}
+
+unsigned Workload::max_regs_per_thread() const {
+  unsigned m = 0;
+  for (const auto* p : programs_) m = std::max<unsigned>(m, p->regs_per_thread());
+  return m;
+}
+
+std::uint32_t Workload::max_shared_bytes() const {
+  std::uint32_t m = max_dynamic_shared_;
+  for (const auto* p : programs_) m = std::max(m, p->shared_bytes());
+  return m;
+}
+
+const sim::LaunchStats& Workload::golden_stats() const {
+  if (!prepared_) throw std::logic_error("Workload::golden_stats before prepare()");
+  return golden_stats_;
+}
+
+void Workload::prepare(sim::Device& dev) {
+  if (prepared_) return;
+  build_programs();
+  if (programs_.empty())
+    throw std::logic_error(name() + ": build_programs registered no kernels");
+
+  dev.reset();
+  outputs_.clear();
+  setup(dev);
+  TrialRunner runner(dev, nullptr, /*cycle_budget=*/0);
+  execute(dev, runner);
+  if (runner.due())
+    throw std::runtime_error(name() + ": fault-free reference trial raised DUE: " +
+                             std::string(sim::due_kind_name(runner.stats().due)));
+  golden_stats_ = runner.stats();
+  golden_stats_.finalize(config_.gpu.max_warps_per_sm);
+  capture_golden(dev);
+  // Budget: generous multiple of the clean runtime so fault-lengthened but
+  // converging runs finish, while true hangs trip quickly.
+  watchdog_budget_ = golden_stats_.cycles * 20 + 100000;
+  prepared_ = true;
+
+  // The reference outputs must verify against themselves.
+  if (!verify(dev))
+    throw std::logic_error(name() + ": golden outputs fail self-verification");
+}
+
+void Workload::capture_golden(sim::Device& dev) {
+  golden_.clear();
+  golden_.reserve(outputs_.size());
+  for (const auto& region : outputs_) {
+    std::vector<std::uint8_t> bytes(region.bytes);
+    dev.memory().read_bytes(region.addr, bytes);
+    golden_.push_back(std::move(bytes));
+  }
+}
+
+bool Workload::verify(sim::Device& dev) {
+  if (outputs_.empty())
+    throw std::logic_error(name() + ": no output regions registered and verify() "
+                                    "not overridden");
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    std::vector<std::uint8_t> bytes(outputs_[i].bytes);
+    dev.memory().read_bytes(outputs_[i].addr, bytes);
+    if (bytes != golden_[i]) return false;
+  }
+  return true;
+}
+
+TrialResult Workload::run_trial(sim::Device& dev, sim::SimObserver* obs) {
+  if (!prepared_) throw std::logic_error(name() + ": run_trial before prepare()");
+  dev.reset();
+  outputs_.clear();
+  setup(dev);
+  TrialRunner runner(dev, obs, watchdog_budget_);
+  execute(dev, runner);
+
+  TrialResult result;
+  result.stats = runner.stats();
+  result.stats.finalize(config_.gpu.max_warps_per_sm);
+  if (runner.due()) {
+    result.outcome = Outcome::Due;
+    result.due = result.stats.due;
+  } else {
+    result.outcome = verify(dev) ? Outcome::Masked : Outcome::Sdc;
+  }
+  return result;
+}
+
+}  // namespace gpurel::core

@@ -1,0 +1,157 @@
+// Workload abstraction: one of the paper's codes (or microbenchmarks),
+// instantiated for a device, compiler profile, and numeric precision.
+//
+// A workload owns its compiled kernels and its input generation; a *trial* is
+// one complete execution against fresh device memory, optionally observed
+// (profiled, fault-injected, or beam-irradiated), classified against the
+// golden fault-free output as Masked / SDC / DUE — exactly the taxonomy of
+// the paper (§II).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/gpu_config.hpp"
+#include "isa/compiler_profile.hpp"
+#include "isa/program.hpp"
+#include "sim/device.hpp"
+#include "sim/launch.hpp"
+#include "sim/observer.hpp"
+
+namespace gpurel::core {
+
+enum class Precision : std::uint8_t { Int32, Half, Single, Double };
+
+/// Paper naming convention: H/F/D prefix for floating point, none for INT32.
+std::string_view precision_prefix(Precision p);
+std::string_view precision_name(Precision p);
+/// Bytes of one element of this precision.
+unsigned precision_bytes(Precision p);
+
+enum class Outcome : std::uint8_t { Masked, Sdc, Due };
+std::string_view outcome_name(Outcome o);
+
+struct TrialResult {
+  Outcome outcome = Outcome::Masked;
+  sim::DueKind due = sim::DueKind::None;
+  sim::LaunchStats stats;  // merged over all launches of the trial
+};
+
+class Workload;
+
+/// Constructs fresh workload instances (campaign workers each own one).
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/// Drives the launches of one trial: applies the observer and the watchdog,
+/// accumulates statistics, and latches the first DUE.
+class TrialRunner {
+ public:
+  TrialRunner(sim::Device& dev, sim::SimObserver* obs, std::uint64_t cycle_budget);
+
+  /// Launch a kernel; returns false once a DUE has occurred (callers must
+  /// stop driving the trial). Safe to call after a DUE (no-op, false).
+  bool launch(const sim::KernelLaunch& kl);
+
+  /// Force a DUE from host-side logic (e.g. an iterative workload whose
+  /// convergence loop exceeds its bound because device data was corrupted).
+  void force_due(sim::DueKind kind);
+
+  bool due() const { return stats_.due != sim::DueKind::None; }
+  const sim::LaunchStats& stats() const { return stats_; }
+
+ private:
+  sim::Device& dev_;
+  sim::SimObserver* obs_;
+  std::uint64_t cycle_budget_;
+  unsigned ordinal_ = 0;
+  sim::LaunchStats stats_;
+};
+
+struct WorkloadConfig {
+  arch::GpuConfig gpu;
+  isa::CompilerProfile profile = isa::CompilerProfile::Cuda10;
+  std::uint64_t input_seed = 0x5eed;
+  /// Global scale knob for workload sizes (1 = default paper-sim sizes).
+  double scale = 1.0;
+};
+
+class Workload {
+ public:
+  explicit Workload(WorkloadConfig config) : config_(std::move(config)) {}
+  virtual ~Workload() = default;
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  /// Paper-style short name without precision prefix, e.g. "MxM".
+  virtual std::string base_name() const = 0;
+  virtual Precision precision() const = 0;
+  /// Full display name, e.g. "FMXM" / "QUICKSORT".
+  virtual std::string name() const;
+  /// Whether the kernels model a precompiled vendor library (cuBLAS-like);
+  /// SASSIFI cannot instrument such kernels on Kepler (paper §III-D).
+  virtual bool uses_library() const { return false; }
+
+  const WorkloadConfig& config() const { return config_; }
+
+  /// Build programs and run the fault-free reference trial: captures golden
+  /// outputs, baseline statistics, and the watchdog budget. Must be called
+  /// once before run_trial.
+  void prepare(sim::Device& dev);
+  bool prepared() const { return prepared_; }
+
+  /// Statistics of the fault-free reference trial.
+  const sim::LaunchStats& golden_stats() const;
+  /// All compiled kernels of this workload.
+  const std::vector<const isa::Program*>& programs() const { return programs_; }
+  /// Maximum architectural registers per thread over all kernels.
+  unsigned max_regs_per_thread() const;
+  /// Maximum shared bytes per block over all kernels (static + dynamic).
+  std::uint32_t max_shared_bytes() const;
+  /// Cycle budget used as the trial watchdog.
+  std::uint64_t watchdog_budget() const { return watchdog_budget_; }
+
+  /// Execute one trial against fresh device memory and classify the result.
+  TrialResult run_trial(sim::Device& dev, sim::SimObserver* obs = nullptr);
+
+ protected:
+  // --- subclass interface -------------------------------------------------
+  /// Compile kernels; call register_program for each.
+  virtual void build_programs() = 0;
+  /// Allocate and initialize inputs/outputs on a fresh device.
+  virtual void setup(sim::Device& dev) = 0;
+  /// Drive the launches of one trial (check runner.launch return values).
+  virtual void execute(sim::Device& dev, TrialRunner& runner) = 0;
+  /// Compare device outputs to golden. Default: byte-compare every region
+  /// registered via register_output.
+  virtual bool verify(sim::Device& dev);
+  /// Capture golden data after the clean run. Default: snapshot registered
+  /// output regions.
+  virtual void capture_golden(sim::Device& dev);
+
+  /// Register an output region for the default golden capture/verify.
+  void register_output(std::uint32_t addr, std::uint32_t bytes);
+  void register_program(const isa::Program* prog);
+  std::uint32_t max_dynamic_shared_ = 0;  // subclasses set if they use it
+
+  WorkloadConfig config_;
+
+ private:
+  struct OutputRegion {
+    std::uint32_t addr;
+    std::uint32_t bytes;
+  };
+
+  std::vector<const isa::Program*> programs_;
+  std::vector<OutputRegion> outputs_;
+  std::vector<std::vector<std::uint8_t>> golden_;
+  sim::LaunchStats golden_stats_;
+  std::uint64_t watchdog_budget_ = 0;
+  bool prepared_ = false;
+};
+
+}  // namespace gpurel::core

@@ -1,0 +1,322 @@
+#include "fault/campaign.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/instr_info.hpp"
+
+namespace gpurel::fault {
+
+using isa::UnitKind;
+
+void OutcomeCounts::add(core::Outcome o) {
+  switch (o) {
+    case core::Outcome::Masked: ++masked; break;
+    case core::Outcome::Sdc: ++sdc; break;
+    case core::Outcome::Due: ++due; break;
+  }
+}
+
+void OutcomeCounts::merge(const OutcomeCounts& other) {
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+}
+
+namespace {
+
+constexpr std::size_t kKinds = static_cast<std::size_t>(UnitKind::kCount);
+
+/// Fault-free pass: count the dynamic sites each mode can target.
+class CountingObserver final : public sim::SimObserver {
+ public:
+  explicit CountingObserver(const Injector& inj) : inj_(inj) {}
+
+  void after_exec(sim::ExecContext& ctx) override {
+    ++total_lane_;
+    if (isa::writes_predicate(ctx.instr->op)) ++pred_;
+    if (ctx.instr->op == isa::Opcode::STG || ctx.instr->op == isa::Opcode::STS)
+      ++stores_;
+    if (inj_.eligible_output(*ctx.instr))
+      ++per_kind_[static_cast<std::size_t>(isa::unit_kind(ctx.instr->op))];
+  }
+
+  std::array<std::uint64_t, kKinds> per_kind_{};
+  std::uint64_t pred_ = 0;
+  std::uint64_t stores_ = 0;
+  std::uint64_t total_lane_ = 0;
+
+ private:
+  const Injector& inj_;
+};
+
+/// One-shot single-fault observer.
+class InjectionObserver final : public sim::SimObserver {
+ public:
+  FaultModel mode = FaultModel::InstructionOutput;
+  const Injector* inj = nullptr;
+  UnitKind target_kind = UnitKind::OTHER;
+  std::uint64_t target_index = 0;   // among this mode's eligible sites
+  unsigned bit = 0;                 // flip position within the destination
+  unsigned rf_reg = 0;              // RegisterFile mode: which register
+  unsigned ia_bit = 0;              // InstructionAddress mode: PC bit to flip
+
+  bool fired = false;
+
+  // Store-operand modes corrupt the source register just before the store
+  // executes and restore it afterwards (the strike hits the store unit's
+  // operand latch, not the register file).
+  void before_exec(sim::ExecContext& ctx) override {
+    if (fired) return;
+    if (mode != FaultModel::StoreValue && mode != FaultModel::StoreAddress)
+      return;
+    const bool is_store =
+        ctx.instr->op == isa::Opcode::STG || ctx.instr->op == isa::Opcode::STS;
+    if (!is_store) return;
+    if (store_count_++ != target_index) return;
+    const std::uint8_t reg =
+        mode == FaultModel::StoreAddress ? ctx.instr->src[0] : ctx.instr->src[1];
+    fired = true;
+    if (reg == isa::kRZ) return;
+    saved_reg_ = reg;
+    saved_val_ = ctx.regs->get(reg);
+    saved_regs_ = ctx.regs;
+    ctx.regs->set(reg, flip_bit32(saved_val_, bit % 32));
+    restore_pending_ = true;
+  }
+
+  void after_exec(sim::ExecContext& ctx) override {
+    if (restore_pending_ && saved_regs_ == ctx.regs) {
+      saved_regs_->set(saved_reg_, saved_val_);
+      restore_pending_ = false;
+    }
+    if (fired) return;
+    switch (mode) {
+      case FaultModel::InstructionOutput: {
+        if (!inj->eligible_output(*ctx.instr)) return;
+        if (isa::unit_kind(ctx.instr->op) != target_kind) return;
+        if (count_++ != target_index) return;
+        const unsigned width = std::max(sim::dst_reg_width(*ctx.instr), 1u);
+        const unsigned bsel = bit % (width * 32);  // uniform over the dest bits
+        const unsigned reg = ctx.instr->dst + bsel / 32;
+        ctx.regs->set(static_cast<std::uint8_t>(reg),
+                      flip_bit32(ctx.regs->get(static_cast<std::uint8_t>(reg)),
+                                 bsel % 32));
+        fired = true;
+        break;
+      }
+      case FaultModel::Predicate: {
+        if (!isa::writes_predicate(ctx.instr->op)) return;
+        if (count_++ != target_index) return;
+        const std::uint8_t p = ctx.instr->dst & 0x07;
+        ctx.regs->set_pred(p, !ctx.regs->get_pred(p));
+        fired = true;
+        break;
+      }
+      case FaultModel::InstructionAddress: {
+        if (count_++ != target_index) return;
+        *ctx.next_pc ^= (1u << (ia_bit & 15u));
+        fired = true;
+        break;
+      }
+      case FaultModel::RegisterFile: {
+        if (count_++ != target_index) return;
+        ctx.regs->set(static_cast<std::uint8_t>(rf_reg),
+                      flip_bit32(ctx.regs->get(static_cast<std::uint8_t>(rf_reg)),
+                                 bit % 32));
+        fired = true;
+        break;
+      }
+      case FaultModel::StoreValue:
+      case FaultModel::StoreAddress:
+        break;  // handled in before_exec
+    }
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t store_count_ = 0;
+  bool restore_pending_ = false;
+  std::uint8_t saved_reg_ = 0;
+  std::uint32_t saved_val_ = 0;
+  sim::ThreadRegs* saved_regs_ = nullptr;
+};
+
+struct TrialDesc {
+  FaultModel mode;
+  UnitKind kind;       // IOV only
+  std::uint64_t seed;
+};
+
+}  // namespace
+
+double CampaignResult::overall_avf_sdc() const {
+  double num = 0, den = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (per_kind[k].counts.total() == 0) continue;
+    num += static_cast<double>(per_kind[k].dynamic_sites) *
+           per_kind[k].counts.avf_sdc();
+    den += static_cast<double>(per_kind[k].dynamic_sites);
+  }
+  if (pred.total() > 0 && pred_sites > 0) {
+    num += static_cast<double>(pred_sites) * pred.avf_sdc();
+    den += static_cast<double>(pred_sites);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+double CampaignResult::overall_avf_due() const {
+  double num = 0, den = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (per_kind[k].counts.total() == 0) continue;
+    num += static_cast<double>(per_kind[k].dynamic_sites) *
+           per_kind[k].counts.avf_due();
+    den += static_cast<double>(per_kind[k].dynamic_sites);
+  }
+  if (pred.total() > 0 && pred_sites > 0) {
+    num += static_cast<double>(pred_sites) * pred.avf_due();
+    den += static_cast<double>(pred_sites);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+double CampaignResult::overall_masked() const {
+  return 1.0 - overall_avf_sdc() - overall_avf_due();
+}
+
+std::uint64_t CampaignResult::total_injections() const {
+  std::uint64_t t = rf.total() + pred.total() + ia.total() +
+                    store_value.total() + store_addr.total();
+  for (const auto& k : per_kind) t += k.counts.total();
+  return t;
+}
+
+CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& factory,
+                            const CampaignConfig& config) {
+  // Reference instance: prepare, check instrumentability, count sites.
+  auto ref = factory();
+  if (!ref) throw std::invalid_argument("run_campaign: factory returned null");
+  sim::Device ref_dev(ref->config().gpu);
+  ref->prepare(ref_dev);
+  if (!injector.can_instrument(*ref, ref->config().gpu))
+    throw std::invalid_argument(injector.name() + " cannot instrument " +
+                                ref->name() + " on " + ref->config().gpu.name);
+  if (ref->config().profile != injector.profile())
+    throw std::invalid_argument(
+        "run_campaign: workload was built with the wrong compiler profile for " +
+        injector.name());
+
+  CountingObserver counter(injector);
+  {
+    const auto r = ref->run_trial(ref_dev, &counter);
+    if (r.outcome != core::Outcome::Masked)
+      throw std::logic_error("counting pass produced a non-masked outcome for " +
+                             ref->name());
+  }
+
+  CampaignResult result;
+  result.injector = injector.name();
+  result.workload = ref->name();
+  result.pred_sites = counter.pred_;
+  result.store_sites = counter.stores_;
+  result.total_lane_sites = counter.total_lane_;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    result.per_kind[k].dynamic_sites = counter.per_kind_[k];
+    result.eligible_output_sites += counter.per_kind_[k];
+  }
+
+  // Build the trial list (stratified by kind, plus aux modes).
+  std::vector<TrialDesc> trials;
+  std::uint64_t salt = config.seed;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (counter.per_kind_[k] == 0) continue;
+    for (unsigned i = 0; i < config.injections_per_kind; ++i)
+      trials.push_back({FaultModel::InstructionOutput, static_cast<UnitKind>(k),
+                        splitmix64(salt)});
+  }
+  auto add_aux = [&](FaultModel mode, unsigned n, std::uint64_t sites) {
+    if (!injector.supports(mode) || sites == 0) return;
+    for (unsigned i = 0; i < n; ++i) trials.push_back({mode, UnitKind::OTHER,
+                                                       splitmix64(salt)});
+  };
+  add_aux(FaultModel::RegisterFile, config.rf_injections, counter.total_lane_);
+  add_aux(FaultModel::Predicate, config.pred_injections, counter.pred_);
+  add_aux(FaultModel::InstructionAddress, config.ia_injections,
+          counter.total_lane_);
+  add_aux(FaultModel::StoreValue, config.store_value_injections, counter.stores_);
+  add_aux(FaultModel::StoreAddress, config.store_addr_injections,
+          counter.stores_);
+
+  // Execute trials (sharded across workers; each shard owns a device).
+  const unsigned workers = std::max(1u, config.workers);
+  std::vector<CampaignResult> partials(workers);
+  auto run_shard = [&](unsigned shard, CampaignResult& out) {
+    auto w = factory();
+    sim::Device dev(w->config().gpu);
+    w->prepare(dev);
+    const unsigned max_regs = w->max_regs_per_thread();
+    for (std::size_t t = shard; t < trials.size(); t += workers) {
+      const TrialDesc& desc = trials[t];
+      Rng rng(desc.seed);
+      InjectionObserver obs;
+      obs.mode = desc.mode;
+      obs.inj = &injector;
+      obs.bit = rng.next_u32();  // reduced modulo the destination width at fire time
+      obs.ia_bit = static_cast<unsigned>(rng.uniform_u64(12));
+      obs.rf_reg = static_cast<unsigned>(rng.uniform_u64(std::max(1u, max_regs)));
+      switch (desc.mode) {
+        case FaultModel::InstructionOutput:
+          obs.target_kind = desc.kind;
+          obs.target_index = rng.uniform_u64(
+              counter.per_kind_[static_cast<std::size_t>(desc.kind)]);
+          break;
+        case FaultModel::Predicate:
+          obs.target_index = rng.uniform_u64(counter.pred_);
+          break;
+        case FaultModel::RegisterFile:
+        case FaultModel::InstructionAddress:
+          obs.target_index = rng.uniform_u64(counter.total_lane_);
+          break;
+        case FaultModel::StoreValue:
+        case FaultModel::StoreAddress:
+          obs.target_index = rng.uniform_u64(counter.stores_);
+          break;
+      }
+      const core::TrialResult r = w->run_trial(dev, &obs);
+      switch (desc.mode) {
+        case FaultModel::InstructionOutput:
+          out.per_kind[static_cast<std::size_t>(desc.kind)].counts.add(r.outcome);
+          break;
+        case FaultModel::RegisterFile: out.rf.add(r.outcome); break;
+        case FaultModel::Predicate: out.pred.add(r.outcome); break;
+        case FaultModel::InstructionAddress: out.ia.add(r.outcome); break;
+        case FaultModel::StoreValue: out.store_value.add(r.outcome); break;
+        case FaultModel::StoreAddress: out.store_addr.add(r.outcome); break;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    run_shard(0, partials[0]);
+  } else {
+    ThreadPool pool(workers);
+    parallel_for(pool, workers, [&](std::size_t s) {
+      run_shard(static_cast<unsigned>(s), partials[s]);
+    });
+  }
+  for (const auto& p : partials) {
+    for (std::size_t k = 0; k < kKinds; ++k)
+      result.per_kind[k].counts.merge(p.per_kind[k].counts);
+    result.rf.merge(p.rf);
+    result.pred.merge(p.pred);
+    result.ia.merge(p.ia);
+    result.store_value.merge(p.store_value);
+    result.store_addr.merge(p.store_addr);
+  }
+  return result;
+}
+
+}  // namespace gpurel::fault

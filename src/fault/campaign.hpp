@@ -1,0 +1,94 @@
+// Fault-injection campaigns: stratified single-bit-flip injections over the
+// sites an injector can reach, producing per-instruction-kind AVFs (used by
+// the Eq. 2 prediction) and the overall SDC/DUE/Masked AVF split of Fig. 4.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/workload.hpp"
+#include "fault/injector.hpp"
+
+namespace gpurel::fault {
+
+struct OutcomeCounts {
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+
+  std::uint64_t total() const { return masked + sdc + due; }
+  double avf_sdc() const {
+    return total() ? static_cast<double>(sdc) / total() : 0.0;
+  }
+  double avf_due() const {
+    return total() ? static_cast<double>(due) / total() : 0.0;
+  }
+  double masked_fraction() const {
+    return total() ? static_cast<double>(masked) / total() : 0.0;
+  }
+  ConfidenceInterval sdc_ci() const { return wilson_ci95(sdc, total()); }
+  ConfidenceInterval due_ci() const { return wilson_ci95(due, total()); }
+
+  void add(core::Outcome o);
+  void merge(const OutcomeCounts& other);
+};
+
+struct CampaignConfig {
+  /// IOV injections per eligible instruction kind (paper: 1,000 per kind
+  /// with SASSIFI; scaled down by default for simulation budgets).
+  unsigned injections_per_kind = 120;
+  /// Aux-mode injections (only run when the injector supports the mode).
+  unsigned rf_injections = 0;
+  unsigned pred_injections = 0;
+  unsigned ia_injections = 0;
+  unsigned store_value_injections = 0;
+  unsigned store_addr_injections = 0;
+  std::uint64_t seed = 0x1234;
+  unsigned workers = 1;
+};
+
+struct KindStats {
+  OutcomeCounts counts;
+  std::uint64_t dynamic_sites = 0;  // eligible lane-level executions
+};
+
+struct CampaignResult {
+  std::string injector;
+  std::string workload;
+
+  std::array<KindStats, static_cast<std::size_t>(isa::UnitKind::kCount)> per_kind{};
+  OutcomeCounts rf, pred, ia, store_value, store_addr;
+  std::uint64_t pred_sites = 0;
+  std::uint64_t store_sites = 0;  // lane-level STG/STS executions
+  std::uint64_t total_lane_sites = 0;  // all lane executions (IA/RF anchor)
+  std::uint64_t eligible_output_sites = 0;
+
+  const KindStats& kind(isa::UnitKind k) const {
+    return per_kind[static_cast<std::size_t>(k)];
+  }
+  /// Per-kind SDC AVF (AVF_INST_i in Eq. 2); 0 when the kind was not hit.
+  double avf_sdc(isa::UnitKind k) const { return kind(k).counts.avf_sdc(); }
+  double avf_due(isa::UnitKind k) const { return kind(k).counts.avf_due(); }
+
+  /// Overall AVF: per-kind results weighted by each kind's dynamic site
+  /// count (plus the predicate stratum when it was exercised), matching a
+  /// uniform-over-reachable-sites campaign.
+  double overall_avf_sdc() const;
+  double overall_avf_due() const;
+  double overall_masked() const;
+
+  std::uint64_t total_injections() const;  // every mode, every kind
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<core::Workload>()>;
+
+/// Run a full campaign. Throws std::invalid_argument when the injector
+/// cannot instrument the workload on its device (the paper substitutes
+/// NVBitFI-on-Volta AVFs in that case — a decision made by the Study layer).
+CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& factory,
+                            const CampaignConfig& config);
+
+}  // namespace gpurel::fault

@@ -1,0 +1,111 @@
+#include "fault/injector.hpp"
+
+namespace gpurel::fault {
+
+using isa::Opcode;
+using isa::UnitKind;
+
+std::string_view fault_model_name(FaultModel m) {
+  switch (m) {
+    case FaultModel::InstructionOutput: return "IOV";
+    case FaultModel::RegisterFile: return "RF";
+    case FaultModel::Predicate: return "PR";
+    case FaultModel::InstructionAddress: return "IA";
+    case FaultModel::StoreValue: return "STV";
+    case FaultModel::StoreAddress: return "STA";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_half_unit(UnitKind k) {
+  return k == UnitKind::HADD || k == UnitKind::HMUL || k == UnitKind::HFMA ||
+         k == UnitKind::MMA_H;
+}
+
+class Sassifi final : public Injector {
+ public:
+  std::string name() const override { return "SASSIFI"; }
+  isa::CompilerProfile profile() const override {
+    return isa::CompilerProfile::Cuda7;
+  }
+
+  bool eligible_output(const isa::Instr& in) const override {
+    if (!isa::writes_gpr(in.op)) return false;
+    switch (isa::unit_kind(in.op)) {
+      case UnitKind::FADD:
+      case UnitKind::FMUL:
+      case UnitKind::FFMA:
+      case UnitKind::DADD:
+      case UnitKind::DMUL:
+      case UnitKind::DFMA:
+      case UnitKind::IADD:
+      case UnitKind::IMUL:
+      case UnitKind::IMAD:
+        return true;
+      case UnitKind::LDST:
+        // Load value corruption; stores write no register.
+        return in.op == Opcode::LDG || in.op == Opcode::LDS;
+      default:
+        return false;
+    }
+  }
+
+  bool supports(FaultModel m) const override {
+    switch (m) {
+      case FaultModel::InstructionOutput:
+      case FaultModel::RegisterFile:
+      case FaultModel::Predicate:
+      case FaultModel::InstructionAddress:
+      case FaultModel::StoreValue:
+      case FaultModel::StoreAddress:
+        return true;  // SASSIFI's full mode set
+    }
+    return false;
+  }
+
+  bool can_instrument(const core::Workload& w,
+                      const arch::GpuConfig& gpu) const override {
+    if (gpu.arch != arch::Architecture::Kepler) return false;
+    return !w.uses_library();
+  }
+};
+
+class Nvbitfi final : public Injector {
+ public:
+  std::string name() const override { return "NVBitFI"; }
+  isa::CompilerProfile profile() const override {
+    return isa::CompilerProfile::Cuda10;
+  }
+
+  bool eligible_output(const isa::Instr& in) const override {
+    if (!isa::writes_gpr(in.op)) return false;
+    const UnitKind k = isa::unit_kind(in.op);
+    if (is_half_unit(k)) return false;  // no FP16 injection (paper §VII-A)
+    if (in.op == Opcode::F2H || in.op == Opcode::H2F) return false;
+    // MOV32I materializes immediates that real SASS embeds in the consuming
+    // instruction's constant operand, and reg-to-reg MOVs model allocator
+    // artifacts that register coalescing removes from real optimized SASS;
+    // neither is a distinct injectable output site on hardware.
+    if (in.op == Opcode::MOV32I || in.op == Opcode::MOV) return false;
+    return true;  // any other GPR-writing instruction
+  }
+
+  bool supports(FaultModel m) const override {
+    return m == FaultModel::InstructionOutput;
+  }
+
+  bool can_instrument(const core::Workload& w,
+                      const arch::GpuConfig& gpu) const override {
+    if (w.uses_library() && gpu.arch == arch::Architecture::Kepler) return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Injector> make_sassifi() { return std::make_unique<Sassifi>(); }
+std::unique_ptr<Injector> make_nvbitfi() { return std::make_unique<Nvbitfi>(); }
+
+}  // namespace gpurel::fault

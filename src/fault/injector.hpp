@@ -1,0 +1,64 @@
+// Architecture-level fault injector models.
+//
+// Both tools the paper uses instrument SASS and corrupt architecturally
+// visible state; they differ in which sites they can reach (§III-D):
+//
+//   SASSIFI  (CUDA 7 era, Kepler/Maxwell only, no vendor-library kernels):
+//     instruction output values of FP32/FP64/INT/load instructions,
+//     general-purpose register file bits, predicate registers, and
+//     instruction addresses.
+//
+//   NVBitFI  (CUDA 10.1+, Kepler..Turing, vendor libraries OK on Volta):
+//     output values of instructions that write general-purpose registers —
+//     but, as of the paper's submission, no FP16 instructions, no predicate
+//     registers, no instruction addresses.
+//
+// Each injector also pins the compiler profile its era of tooling implies,
+// which changes the generated SASS and hence the AVF (§VI).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/gpu_config.hpp"
+#include "core/workload.hpp"
+#include "isa/compiler_profile.hpp"
+#include "isa/instruction.hpp"
+
+namespace gpurel::fault {
+
+/// Fault models the campaign can exercise (subset of SASSIFI's modes).
+enum class FaultModel : std::uint8_t {
+  InstructionOutput,   // flip one bit of the destination after execution
+  RegisterFile,        // flip one bit of a random allocated register
+  Predicate,           // flip the predicate written by a SETP
+  InstructionAddress,  // corrupt the warp PC after an instruction issues
+  StoreValue,          // flip one bit of the value a store writes out
+  StoreAddress,        // flip one bit of a store's address operand
+};
+
+std::string_view fault_model_name(FaultModel m);
+
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  virtual std::string name() const = 0;
+  /// The toolchain era this injector instruments (affects codegen/AVF).
+  virtual isa::CompilerProfile profile() const = 0;
+
+  /// Whether the injector can corrupt the output of this instruction.
+  virtual bool eligible_output(const isa::Instr& in) const = 0;
+  virtual bool supports(FaultModel m) const = 0;
+
+  /// Whether the injector can instrument this workload on this device at
+  /// all (SASSIFI: Kepler only, no library kernels; NVBitFI: library kernels
+  /// only on Volta+).
+  virtual bool can_instrument(const core::Workload& w,
+                              const arch::GpuConfig& gpu) const = 0;
+};
+
+std::unique_ptr<Injector> make_sassifi();
+std::unique_ptr<Injector> make_nvbitfi();
+
+}  // namespace gpurel::fault

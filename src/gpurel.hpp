@@ -1,0 +1,37 @@
+// Umbrella header: the public API of the gpurel framework.
+//
+//   #include "gpurel.hpp"
+//
+// Layers (each usable on its own):
+//   isa::KernelBuilder / isa::Program     write SASS-like kernels
+//   sim::Device                           run them on a simulated GPU
+//   profile::profile_workload             NVPROF-style metrics
+//   fault::run_campaign                   SASSIFI / NVBitFI AVF campaigns
+//   beam::run_beam                        beam-experiment FIT measurement
+//   model::predict_fit                    the paper's Eq. 1-4 prediction
+//   core::Study                           the full cross-validation methodology
+#pragma once
+
+#include "arch/gpu_config.hpp"
+#include "beam/cross_section.hpp"
+#include "beam/experiment.hpp"
+#include "common/cli.hpp"
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "core/workload.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "isa/kernel_builder.hpp"
+#include "isa/program.hpp"
+#include "kernels/registry.hpp"
+#include "model/fit_model.hpp"
+#include "model/tuned_avf.hpp"
+#include "model/what_if.hpp"
+#include "profile/profiler.hpp"
+#include "sim/device.hpp"
+#include "sim/trace.hpp"

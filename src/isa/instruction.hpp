@@ -1,0 +1,52 @@
+// Instruction encoding. Uniform 4-operand format: a destination register (or
+// predicate index for *SETP), up to three source registers, an optional guard
+// predicate, a 32-bit immediate, and a small auxiliary field whose meaning is
+// opcode-specific (CmpOp, AtomOp, MemWidth, SEL predicate, shift width...).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace gpurel::isa {
+
+/// Register-file geometry: R0..R254 are general purpose; R255 reads as zero
+/// and discards writes, mirroring NVIDIA's RZ.
+inline constexpr std::uint8_t kRZ = 255;
+/// Predicate registers P0..P6; index 7 is PT (always true), as on hardware.
+inline constexpr std::uint8_t kPT = 7;
+inline constexpr unsigned kNumGprs = 255;
+inline constexpr unsigned kNumPredicates = 7;
+
+/// Guard encoding: low 3 bits = predicate index (kPT = unconditional),
+/// bit 7 = negate.
+inline constexpr std::uint8_t kGuardAlways = kPT;
+inline constexpr std::uint8_t kGuardNegateBit = 0x80;
+
+struct Instr {
+  Opcode op = Opcode::NOP;
+  std::uint8_t dst = kRZ;        // GPR destination, or predicate index for SETP
+  std::uint8_t src[3] = {kRZ, kRZ, kRZ};
+  std::uint8_t guard = kGuardAlways;
+  std::uint8_t aux = 0;          // opcode-specific small field
+  std::int32_t imm = 0;          // immediate / branch target / selector
+
+  /// Guard predicate index (0..7).
+  std::uint8_t guard_index() const { return guard & 0x07; }
+  /// Whether the guard is negated (@!P).
+  bool guard_negated() const { return (guard & kGuardNegateBit) != 0; }
+  /// Whether the instruction executes unconditionally.
+  bool unguarded() const { return guard == kGuardAlways; }
+};
+
+/// Build a guard byte.
+constexpr std::uint8_t guard(std::uint8_t pred, bool negate = false) {
+  return static_cast<std::uint8_t>((pred & 0x07) | (negate ? kGuardNegateBit : 0));
+}
+
+/// Aux-field bit marking src1 (or the compare right operand) as immediate.
+inline constexpr std::uint8_t kAuxImmSrc1 = 0x10;
+/// Aux-field bit negating the SEL predicate.
+inline constexpr std::uint8_t kAuxSelNegate = 0x08;
+
+}  // namespace gpurel::isa

@@ -1,0 +1,548 @@
+#include "isa/kernel_builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/fp16.hpp"
+
+namespace gpurel::isa {
+
+KernelBuilder::KernelBuilder(std::string name, CompilerProfile profile)
+    : name_(std::move(name)), profile_(profile), opts_(codegen_options(profile)) {}
+
+void KernelBuilder::emit(Instr in) {
+  if (built_) throw std::logic_error("KernelBuilder: emit after build()");
+  code_.push_back(in);
+}
+
+std::uint8_t KernelBuilder::take_gpr() {
+  for (unsigned i = 0; i < kNumGprs; ++i) {
+    if (!gpr_used_[i]) {
+      gpr_used_[i] = true;
+      gpr_high_water_ = std::max(gpr_high_water_, i + 1);
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  throw std::runtime_error("KernelBuilder(" + name_ + "): out of registers");
+}
+
+Reg KernelBuilder::reg() { return Reg{take_gpr()}; }
+
+Reg KernelBuilder::reg_block(unsigned n) {
+  if (n == 0) throw std::invalid_argument("reg_block: n must be > 0");
+  for (unsigned start = 0; start + n <= kNumGprs; ++start) {
+    bool ok = true;
+    for (unsigned i = start; i < start + n; ++i)
+      if (gpr_used_[i]) {
+        ok = false;
+        start = i;  // skip past the conflict
+        break;
+      }
+    if (ok) {
+      for (unsigned i = start; i < start + n; ++i) gpr_used_[i] = true;
+      gpr_high_water_ = std::max(gpr_high_water_, start + n);
+      return Reg{static_cast<std::uint8_t>(start)};
+    }
+  }
+  throw std::runtime_error("KernelBuilder(" + name_ + "): no contiguous block of " +
+                           std::to_string(n));
+}
+
+RegPair KernelBuilder::reg_pair() {
+  for (unsigned i = 0; i + 1 < kNumGprs; i += 2) {
+    if (!gpr_used_[i] && !gpr_used_[i + 1]) {
+      gpr_used_[i] = gpr_used_[i + 1] = true;
+      gpr_high_water_ = std::max(gpr_high_water_, i + 2);
+      return RegPair{static_cast<std::uint8_t>(i)};
+    }
+  }
+  throw std::runtime_error("KernelBuilder(" + name_ + "): out of register pairs");
+}
+
+void KernelBuilder::free(Reg r) {
+  if (r.index >= kNumGprs) return;  // RZ is never tracked
+  gpr_used_[r.index] = false;
+}
+
+void KernelBuilder::free(RegPair r) {
+  if (r.index >= kNumGprs) return;
+  gpr_used_[r.index] = false;
+  gpr_used_[r.index + 1] = false;
+}
+
+void KernelBuilder::free_block(Reg first, unsigned n) {
+  for (unsigned i = 0; i < n && first.index + i < kNumGprs; ++i)
+    gpr_used_[first.index + i] = false;
+}
+
+Pred KernelBuilder::pred() {
+  for (unsigned i = 0; i < kNumPredicates; ++i) {
+    if (!pred_used_[i]) {
+      pred_used_[i] = true;
+      return Pred{static_cast<std::uint8_t>(i)};
+    }
+  }
+  throw std::runtime_error("KernelBuilder(" + name_ + "): out of predicates");
+}
+
+void KernelBuilder::free(Pred p) {
+  if (p.index < kNumPredicates) pred_used_[p.index] = false;
+}
+
+void KernelBuilder::reserve_regs(unsigned n) {
+  reserved_regs_ = std::max(reserved_regs_, n);
+}
+
+std::uint32_t KernelBuilder::shared_alloc(std::uint32_t bytes, std::uint32_t align) {
+  shared_bytes_ = (shared_bytes_ + align - 1) / align * align;
+  const std::uint32_t offset = shared_bytes_;
+  shared_bytes_ += bytes;
+  return offset;
+}
+
+Reg KernelBuilder::load_param(unsigned slot) {
+  Reg d = reg();
+  load_param(d, slot);
+  return d;
+}
+
+void KernelBuilder::load_param(Reg dst, unsigned slot) {
+  emit({.op = Opcode::LDC, .dst = dst.index, .imm = static_cast<std::int32_t>(slot)});
+}
+
+void KernelBuilder::s2r(Reg dst, SpecialReg sr) {
+  emit({.op = Opcode::S2R, .dst = dst.index, .imm = static_cast<std::int32_t>(sr)});
+}
+
+Reg KernelBuilder::tid_x() {
+  Reg d = reg();
+  s2r(d, SpecialReg::TID_X);
+  return d;
+}
+Reg KernelBuilder::ctaid_x() {
+  Reg d = reg();
+  s2r(d, SpecialReg::CTAID_X);
+  return d;
+}
+Reg KernelBuilder::ntid_x() {
+  Reg d = reg();
+  s2r(d, SpecialReg::NTID_X);
+  return d;
+}
+Reg KernelBuilder::nctaid_x() {
+  Reg d = reg();
+  s2r(d, SpecialReg::NCTAID_X);
+  return d;
+}
+
+Reg KernelBuilder::global_tid_x() {
+  Reg tid = tid_x();
+  Reg cta = ctaid_x();
+  Reg ntid = ntid_x();
+  Reg d = reg();
+  imad(d, cta, ntid, tid);
+  free(tid);
+  free(cta);
+  free(ntid);
+  return d;
+}
+
+void KernelBuilder::mov(Reg dst, Reg src) {
+  emit({.op = Opcode::MOV, .dst = dst.index, .src = {src.index, kRZ, kRZ}});
+}
+
+void KernelBuilder::movi(Reg dst, std::int32_t imm) {
+  emit({.op = Opcode::MOV32I, .dst = dst.index, .imm = imm});
+}
+
+void KernelBuilder::movf(Reg dst, float value) {
+  movi(dst, static_cast<std::int32_t>(f32_bits(value)));
+}
+
+void KernelBuilder::movh(Reg dst, float value) {
+  movi(dst, static_cast<std::int32_t>(f32_to_f16_bits(value)));
+}
+
+void KernelBuilder::movd(RegPair dst, double value) {
+  const std::uint64_t bits = f64_bits(value);
+  movi(Reg{dst.index}, static_cast<std::int32_t>(static_cast<std::uint32_t>(bits)));
+  movi(Reg{static_cast<std::uint8_t>(dst.index + 1)},
+       static_cast<std::int32_t>(static_cast<std::uint32_t>(bits >> 32)));
+}
+
+void KernelBuilder::sel(Reg dst, Reg a, Reg b, Pred p, bool negate) {
+  const std::uint8_t aux =
+      static_cast<std::uint8_t>((p.index & 0x07) | (negate ? kAuxSelNegate : 0));
+  emit({.op = Opcode::SEL, .dst = dst.index, .src = {a.index, b.index, kRZ}, .aux = aux});
+}
+
+void KernelBuilder::emit_arith(Opcode op, std::uint8_t d, std::uint8_t a,
+                               std::uint8_t b, std::uint8_t c, std::uint8_t aux,
+                               std::int32_t imm) {
+  emit({.op = op, .dst = d, .src = {a, b, c}, .aux = aux, .imm = imm});
+}
+
+// ---- FP32 -------------------------------------------------------------------
+void KernelBuilder::fadd(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::FADD, d.index, a.index, b.index);
+}
+void KernelBuilder::faddi(Reg d, Reg a, float imm) {
+  emit_arith(Opcode::FADD, d.index, a.index, kRZ, kRZ, kAuxImmSrc1,
+             static_cast<std::int32_t>(f32_bits(imm)));
+}
+void KernelBuilder::fmul(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::FMUL, d.index, a.index, b.index);
+}
+void KernelBuilder::fmuli(Reg d, Reg a, float imm) {
+  emit_arith(Opcode::FMUL, d.index, a.index, kRZ, kRZ, kAuxImmSrc1,
+             static_cast<std::int32_t>(f32_bits(imm)));
+}
+void KernelBuilder::ffma(Reg d, Reg a, Reg b, Reg c) {
+  emit_arith(Opcode::FFMA, d.index, a.index, b.index, c.index);
+}
+void KernelBuilder::fmnmx(Reg d, Reg a, Reg b, bool take_max) {
+  emit_arith(Opcode::FMNMX, d.index, a.index, b.index, kRZ, take_max ? 1 : 0);
+}
+void KernelBuilder::fsetp(Pred p, Reg a, Reg b, CmpOp cmp) {
+  emit_arith(Opcode::FSETP, p.index, a.index, b.index, kRZ,
+             static_cast<std::uint8_t>(cmp));
+}
+void KernelBuilder::fsetpi(Pred p, Reg a, float imm, CmpOp cmp) {
+  emit_arith(Opcode::FSETP, p.index, a.index, kRZ, kRZ,
+             static_cast<std::uint8_t>(static_cast<std::uint8_t>(cmp) | kAuxImmSrc1),
+             static_cast<std::int32_t>(f32_bits(imm)));
+}
+void KernelBuilder::mul_add_f32(Reg d, Reg a, Reg b, Reg c) {
+  if (opts_.contract_fma) {
+    ffma(d, a, b, c);
+  } else {
+    Reg t = reg();
+    fmul(t, a, b);
+    fadd(d, t, c);
+    if (opts_.dead_code) fadd(dead_reg(), t, c);  // never read (weak DCE)
+    free(t);
+  }
+}
+
+// ---- FP64 -------------------------------------------------------------------
+void KernelBuilder::dadd(RegPair d, RegPair a, RegPair b) {
+  emit_arith(Opcode::DADD, d.index, a.index, b.index);
+}
+void KernelBuilder::dmul(RegPair d, RegPair a, RegPair b) {
+  emit_arith(Opcode::DMUL, d.index, a.index, b.index);
+}
+void KernelBuilder::dfma(RegPair d, RegPair a, RegPair b, RegPair c) {
+  emit_arith(Opcode::DFMA, d.index, a.index, b.index, c.index);
+}
+void KernelBuilder::dsetp(Pred p, RegPair a, RegPair b, CmpOp cmp) {
+  emit_arith(Opcode::DSETP, p.index, a.index, b.index, kRZ,
+             static_cast<std::uint8_t>(cmp));
+}
+void KernelBuilder::mul_add_f64(RegPair d, RegPair a, RegPair b, RegPair c) {
+  if (opts_.contract_fma) {
+    dfma(d, a, b, c);
+  } else {
+    RegPair t = reg_pair();
+    dmul(t, a, b);
+    dadd(d, t, c);
+    if (opts_.dead_code) dadd(dead_pair(), t, c);
+    free(t);
+  }
+}
+
+// ---- FP16 -------------------------------------------------------------------
+void KernelBuilder::hadd(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::HADD, d.index, a.index, b.index);
+}
+void KernelBuilder::hmul(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::HMUL, d.index, a.index, b.index);
+}
+void KernelBuilder::hfma(Reg d, Reg a, Reg b, Reg c) {
+  emit_arith(Opcode::HFMA, d.index, a.index, b.index, c.index);
+}
+void KernelBuilder::hsetp(Pred p, Reg a, Reg b, CmpOp cmp) {
+  emit_arith(Opcode::HSETP, p.index, a.index, b.index, kRZ,
+             static_cast<std::uint8_t>(cmp));
+}
+void KernelBuilder::mul_add_f16(Reg d, Reg a, Reg b, Reg c) {
+  if (opts_.contract_fma) {
+    hfma(d, a, b, c);
+  } else {
+    Reg t = reg();
+    hmul(t, a, b);
+    hadd(d, t, c);
+    if (opts_.dead_code) hadd(dead_reg(), t, c);
+    free(t);
+  }
+}
+
+// ---- INT32 ------------------------------------------------------------------
+void KernelBuilder::iadd(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::IADD, d.index, a.index, b.index);
+}
+void KernelBuilder::iaddi(Reg d, Reg a, std::int32_t imm) {
+  emit_arith(Opcode::IADD, d.index, a.index, kRZ, kRZ, kAuxImmSrc1, imm);
+}
+void KernelBuilder::imul(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::IMUL, d.index, a.index, b.index);
+}
+void KernelBuilder::imuli(Reg d, Reg a, std::int32_t imm) {
+  emit_arith(Opcode::IMUL, d.index, a.index, kRZ, kRZ, kAuxImmSrc1, imm);
+}
+void KernelBuilder::imad(Reg d, Reg a, Reg b, Reg c) {
+  emit_arith(Opcode::IMAD, d.index, a.index, b.index, c.index);
+}
+void KernelBuilder::imnmx(Reg d, Reg a, Reg b, bool take_max) {
+  emit_arith(Opcode::IMNMX, d.index, a.index, b.index, kRZ, take_max ? 1 : 0);
+}
+void KernelBuilder::isetp(Pred p, Reg a, Reg b, CmpOp cmp) {
+  emit_arith(Opcode::ISETP, p.index, a.index, b.index, kRZ,
+             static_cast<std::uint8_t>(cmp));
+}
+void KernelBuilder::isetpi(Pred p, Reg a, std::int32_t imm, CmpOp cmp) {
+  emit_arith(Opcode::ISETP, p.index, a.index, kRZ, kRZ,
+             static_cast<std::uint8_t>(static_cast<std::uint8_t>(cmp) | kAuxImmSrc1),
+             imm);
+}
+void KernelBuilder::shl(Reg d, Reg a, unsigned amount) {
+  emit_arith(Opcode::SHL, d.index, a.index, kRZ, kRZ, 0,
+             static_cast<std::int32_t>(amount));
+}
+void KernelBuilder::shr(Reg d, Reg a, unsigned amount) {
+  emit_arith(Opcode::SHR, d.index, a.index, kRZ, kRZ, 0,
+             static_cast<std::int32_t>(amount));
+}
+void KernelBuilder::shrs(Reg d, Reg a, unsigned amount) {
+  emit_arith(Opcode::SHRS, d.index, a.index, kRZ, kRZ, 0,
+             static_cast<std::int32_t>(amount));
+}
+void KernelBuilder::land(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::LOP_AND, d.index, a.index, b.index);
+}
+void KernelBuilder::landi(Reg d, Reg a, std::int32_t imm) {
+  emit_arith(Opcode::LOP_AND, d.index, a.index, kRZ, kRZ, kAuxImmSrc1, imm);
+}
+void KernelBuilder::lor(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::LOP_OR, d.index, a.index, b.index);
+}
+void KernelBuilder::lxor(Reg d, Reg a, Reg b) {
+  emit_arith(Opcode::LOP_XOR, d.index, a.index, b.index);
+}
+
+void KernelBuilder::addr_index(Reg d, Reg base, Reg idx, std::uint32_t scale) {
+  if (scale == 0 || (scale & (scale - 1)) != 0)
+    throw std::invalid_argument("addr_index: scale must be a power of two");
+  if (opts_.imad_addressing) {
+    Reg s = reg();
+    movi(s, static_cast<std::int32_t>(scale));
+    imad(d, idx, s, base);
+    free(s);
+  } else {
+    unsigned log2 = 0;
+    while ((scale >> log2) != 1) ++log2;
+    Reg t = reg();
+    shl(t, idx, log2);
+    iadd(d, base, t);
+    if (opts_.dead_code) {
+      // -O0-style rematerialization: the address is recomputed for a
+      // consumer that common-subexpression elimination would have shared;
+      // the recomputation's results are dead.
+      shl(dead_reg(), idx, log2);
+      iadd(dead_reg(), t, base);
+    }
+    free(t);
+  }
+}
+
+Reg KernelBuilder::dead_reg() {
+  if (dead_reg_.index == kRZ) dead_reg_ = reg();
+  return dead_reg_;
+}
+
+RegPair KernelBuilder::dead_pair() {
+  if (dead_pair_.index == kRZ) dead_pair_ = reg_pair();
+  return dead_pair_;
+}
+
+// ---- SFU / conversions --------------------------------------------------------
+void KernelBuilder::rcp(Reg d, Reg a) { emit_arith(Opcode::MUFU_RCP, d.index, a.index, kRZ); }
+void KernelBuilder::rsq(Reg d, Reg a) { emit_arith(Opcode::MUFU_RSQ, d.index, a.index, kRZ); }
+void KernelBuilder::ex2(Reg d, Reg a) { emit_arith(Opcode::MUFU_EX2, d.index, a.index, kRZ); }
+void KernelBuilder::lg2(Reg d, Reg a) { emit_arith(Opcode::MUFU_LG2, d.index, a.index, kRZ); }
+void KernelBuilder::i2f(Reg d, Reg a) { emit_arith(Opcode::I2F, d.index, a.index, kRZ); }
+void KernelBuilder::f2i(Reg d, Reg a) { emit_arith(Opcode::F2I, d.index, a.index, kRZ); }
+void KernelBuilder::f2h(Reg d, Reg a) { emit_arith(Opcode::F2H, d.index, a.index, kRZ); }
+void KernelBuilder::h2f(Reg d, Reg a) { emit_arith(Opcode::H2F, d.index, a.index, kRZ); }
+void KernelBuilder::f2d(RegPair d, Reg a) { emit_arith(Opcode::F2D, d.index, a.index, kRZ); }
+void KernelBuilder::d2f(Reg d, RegPair a) { emit_arith(Opcode::D2F, d.index, a.index, kRZ); }
+void KernelBuilder::i2d(RegPair d, Reg a) { emit_arith(Opcode::I2D, d.index, a.index, kRZ); }
+void KernelBuilder::d2i(Reg d, RegPair a) { emit_arith(Opcode::D2I, d.index, a.index, kRZ); }
+
+// ---- Memory ---------------------------------------------------------------------
+void KernelBuilder::ldg(Reg d, Reg addr, std::int32_t offset, MemWidth w) {
+  emit({.op = Opcode::LDG, .dst = d.index, .src = {addr.index, kRZ, kRZ},
+        .aux = static_cast<std::uint8_t>(w), .imm = offset});
+}
+void KernelBuilder::ldg64(RegPair d, Reg addr, std::int32_t offset) {
+  emit({.op = Opcode::LDG, .dst = d.index, .src = {addr.index, kRZ, kRZ},
+        .aux = static_cast<std::uint8_t>(MemWidth::B64), .imm = offset});
+}
+void KernelBuilder::stg(Reg addr, Reg value, std::int32_t offset, MemWidth w) {
+  emit({.op = Opcode::STG, .dst = kRZ, .src = {addr.index, value.index, kRZ},
+        .aux = static_cast<std::uint8_t>(w), .imm = offset});
+}
+void KernelBuilder::stg64(Reg addr, RegPair value, std::int32_t offset) {
+  emit({.op = Opcode::STG, .dst = kRZ, .src = {addr.index, value.index, kRZ},
+        .aux = static_cast<std::uint8_t>(MemWidth::B64), .imm = offset});
+}
+void KernelBuilder::lds(Reg d, Reg addr, std::int32_t offset, MemWidth w) {
+  emit({.op = Opcode::LDS, .dst = d.index, .src = {addr.index, kRZ, kRZ},
+        .aux = static_cast<std::uint8_t>(w), .imm = offset});
+}
+void KernelBuilder::lds64(RegPair d, Reg addr, std::int32_t offset) {
+  emit({.op = Opcode::LDS, .dst = d.index, .src = {addr.index, kRZ, kRZ},
+        .aux = static_cast<std::uint8_t>(MemWidth::B64), .imm = offset});
+}
+void KernelBuilder::sts(Reg addr, Reg value, std::int32_t offset, MemWidth w) {
+  emit({.op = Opcode::STS, .dst = kRZ, .src = {addr.index, value.index, kRZ},
+        .aux = static_cast<std::uint8_t>(w), .imm = offset});
+}
+void KernelBuilder::sts64(Reg addr, RegPair value, std::int32_t offset) {
+  emit({.op = Opcode::STS, .dst = kRZ, .src = {addr.index, value.index, kRZ},
+        .aux = static_cast<std::uint8_t>(MemWidth::B64), .imm = offset});
+}
+void KernelBuilder::atom(Reg dst, Reg addr, Reg value, AtomOp op, std::int32_t offset) {
+  emit({.op = Opcode::ATOM, .dst = dst.index, .src = {addr.index, value.index, kRZ},
+        .aux = static_cast<std::uint8_t>(op), .imm = offset});
+}
+
+void KernelBuilder::atom_cas(Reg dst, Reg addr, Reg compare, Reg value,
+                             std::int32_t offset) {
+  emit({.op = Opcode::ATOM, .dst = dst.index,
+        .src = {addr.index, compare.index, value.index},
+        .aux = static_cast<std::uint8_t>(AtomOp::CAS), .imm = offset});
+}
+
+// ---- Tensor core -------------------------------------------------------------------
+void KernelBuilder::hmma(Reg d, Reg a, Reg b, Reg c) {
+  emit({.op = Opcode::HMMA, .dst = d.index, .src = {a.index, b.index, c.index}});
+}
+void KernelBuilder::fmma(Reg d, Reg a, Reg b, Reg c) {
+  emit({.op = Opcode::FMMA, .dst = d.index, .src = {a.index, b.index, c.index}});
+}
+
+// ---- Control flow -------------------------------------------------------------------
+void KernelBuilder::bar() { emit({.op = Opcode::BAR}); }
+void KernelBuilder::nop() { emit({.op = Opcode::NOP}); }
+
+Label KernelBuilder::make_label() {
+  label_pos_.push_back(-1);
+  return Label{static_cast<std::uint32_t>(label_pos_.size() - 1)};
+}
+
+void KernelBuilder::bind(Label l) {
+  if (label_pos_.at(l.id) != -1) throw std::logic_error("label bound twice");
+  label_pos_[l.id] = static_cast<std::int64_t>(code_.size());
+}
+
+void KernelBuilder::bra(Label l) {
+  fixups_.emplace_back(static_cast<std::uint32_t>(code_.size()), l.id);
+  emit({.op = Opcode::BRA});
+}
+
+void KernelBuilder::bra_if(Label l, Pred p, bool negate) {
+  fixups_.emplace_back(static_cast<std::uint32_t>(code_.size()), l.id);
+  emit({.op = Opcode::BRA, .guard = guard(p.index, negate)});
+}
+
+void KernelBuilder::if_then(Pred p, const std::function<void()>& then_fn, bool negate) {
+  Label l_skip = make_label();
+  Label l_end = make_label();
+  // SSY's target is the instruction after the closing SYNCs.
+  fixups_.emplace_back(static_cast<std::uint32_t>(code_.size()), l_end.id);
+  emit({.op = Opcode::SSY});
+  bra_if(l_skip, p, !negate);  // lanes NOT entering the body jump to their SYNC
+  then_fn();
+  emit({.op = Opcode::SYNC});
+  bind(l_skip);
+  emit({.op = Opcode::SYNC});
+  bind(l_end);
+}
+
+void KernelBuilder::if_then_else(Pred p, const std::function<void()>& then_fn,
+                                 const std::function<void()>& else_fn) {
+  Label l_else = make_label();
+  Label l_end = make_label();
+  fixups_.emplace_back(static_cast<std::uint32_t>(code_.size()), l_end.id);
+  emit({.op = Opcode::SSY});
+  bra_if(l_else, p, /*negate=*/true);
+  then_fn();
+  emit({.op = Opcode::SYNC});
+  bind(l_else);
+  else_fn();
+  emit({.op = Opcode::SYNC});
+  bind(l_end);
+}
+
+void KernelBuilder::while_loop(const std::function<void(Pred)>& cond,
+                               const std::function<void()>& body) {
+  Label l_end = make_label();
+  Label l_head = make_label();
+  fixups_.emplace_back(static_cast<std::uint32_t>(code_.size()), l_end.id);
+  emit({.op = Opcode::PBK});
+  bind(l_head);
+  Pred p = pred();
+  cond(p);
+  emit({.op = Opcode::BRK, .guard = guard(p.index, /*negate=*/true)});
+  body();
+  bra(l_head);
+  bind(l_end);
+  free(p);
+}
+
+void KernelBuilder::for_range(Reg i, std::int32_t start, Reg bound, std::int32_t step,
+                              const std::function<void()>& body) {
+  movi(i, start);
+  while_loop([&](Pred p) { isetp(p, i, bound, CmpOp::LT); },
+             [&] {
+               body();
+               iaddi(i, i, step);
+             });
+}
+
+void KernelBuilder::for_range_static(Reg i, std::int32_t start, std::int32_t bound,
+                                     std::int32_t step,
+                                     const std::function<void()>& body) {
+  if (step <= 0) throw std::invalid_argument("for_range_static: step must be > 0");
+  const std::int64_t trip =
+      start >= bound ? 0 : (static_cast<std::int64_t>(bound) - start + step - 1) / step;
+  const unsigned unroll = opts_.unroll;
+  movi(i, start);
+  if (trip == 0) return;
+  const bool can_unroll = unroll > 1 && trip % unroll == 0 && trip >= unroll;
+  const unsigned per_iter = can_unroll ? unroll : 1;
+  while_loop([&](Pred p) { isetpi(p, i, bound, CmpOp::LT); },
+             [&] {
+               for (unsigned u = 0; u < per_iter; ++u) {
+                 body();
+                 iaddi(i, i, step);
+               }
+             });
+}
+
+Program KernelBuilder::build(bool library_code) {
+  if (built_) throw std::logic_error("KernelBuilder: build() called twice");
+  emit({.op = Opcode::EXIT});
+  built_ = true;
+  for (const auto& [at, label] : fixups_) {
+    const std::int64_t pos = label_pos_.at(label);
+    if (pos < 0) throw std::logic_error("unbound label in kernel " + name_);
+    code_[at].imm = static_cast<std::int32_t>(pos);
+  }
+  const auto regs = static_cast<std::uint16_t>(
+      std::max(gpr_high_water_, std::max(reserved_regs_, 1u)));
+  return Program(name_, std::move(code_), regs, shared_bytes_, library_code);
+}
+
+}  // namespace gpurel::isa

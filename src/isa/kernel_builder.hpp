@@ -1,0 +1,241 @@
+// Structured kernel emission. The builder is the only way kernels are
+// written in this codebase; it guarantees the control-flow discipline the
+// SIMT executor's divergence stack relies on:
+//
+//   * if/else lowers to SSY / guarded BRA / SYNC with balanced stack use,
+//   * loops lower to PBK / guarded BRK / BRA with the break evaluated at the
+//     loop head (never under unresolved divergence),
+//   * MMA is only emitted at convergent points.
+//
+// Register and predicate allocation is explicit with a free list, so helper
+// routines can release temporaries; the high-water mark becomes the kernel's
+// architectural register count (which drives occupancy, as in Table I).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/compiler_profile.hpp"
+#include "isa/program.hpp"
+
+namespace gpurel::isa {
+
+/// A general-purpose register handle.
+struct Reg {
+  std::uint8_t index = kRZ;
+  constexpr bool operator==(const Reg&) const = default;
+};
+/// The zero register.
+inline constexpr Reg RZ{kRZ};
+
+/// An aligned even/odd register pair holding an FP64 value (index = even reg).
+struct RegPair {
+  std::uint8_t index = kRZ;
+};
+
+/// A predicate register handle (P0..P6).
+struct Pred {
+  std::uint8_t index = kPT;
+};
+
+/// A branch target; create with KernelBuilder::make_label, place with bind().
+struct Label {
+  std::uint32_t id = 0;
+};
+
+class KernelBuilder {
+ public:
+  KernelBuilder(std::string name, CompilerProfile profile = CompilerProfile::Cuda10);
+
+  CompilerProfile profile() const { return profile_; }
+  const CodegenOptions& options() const { return opts_; }
+
+  // ---- Register management ----------------------------------------------
+  /// Allocate one GPR (throws when the file is exhausted).
+  Reg reg();
+  /// Allocate `n` contiguous GPRs (for MMA fragments); returns the first.
+  Reg reg_block(unsigned n);
+  /// Allocate an aligned pair for FP64.
+  RegPair reg_pair();
+  /// Release a register / pair / block back to the free list.
+  void free(Reg r);
+  void free(RegPair r);
+  void free_block(Reg first, unsigned n);
+  /// Allocate a predicate register.
+  Pred pred();
+  void free(Pred p);
+  /// Force the kernel's reported register count to at least `n` (models the
+  /// register footprint of heavily unrolled vendor-library kernels).
+  void reserve_regs(unsigned n);
+
+  // ---- Shared memory and parameters --------------------------------------
+  /// Reserve `bytes` of static shared memory (aligned); returns byte offset.
+  std::uint32_t shared_alloc(std::uint32_t bytes, std::uint32_t align = 4);
+  /// Load 32-bit kernel parameter `slot` into a fresh register.
+  Reg load_param(unsigned slot);
+  /// Load parameter into an existing register.
+  void load_param(Reg dst, unsigned slot);
+
+  // ---- Special registers --------------------------------------------------
+  void s2r(Reg dst, SpecialReg sr);
+  Reg tid_x();
+  Reg ctaid_x();
+  Reg ntid_x();
+  Reg nctaid_x();
+  /// blockIdx.x * blockDim.x + threadIdx.x into a fresh register.
+  Reg global_tid_x();
+
+  // ---- Moves --------------------------------------------------------------
+  void mov(Reg dst, Reg src);
+  void movi(Reg dst, std::int32_t imm);
+  void movf(Reg dst, float value);
+  void movh(Reg dst, float value);      // binary16 bit pattern of value
+  void movd(RegPair dst, double value); // two MOV32I
+  void sel(Reg dst, Reg a, Reg b, Pred p, bool negate = false);
+
+  // ---- FP32 ---------------------------------------------------------------
+  void fadd(Reg d, Reg a, Reg b);
+  void faddi(Reg d, Reg a, float imm);
+  void fmul(Reg d, Reg a, Reg b);
+  void fmuli(Reg d, Reg a, float imm);
+  void ffma(Reg d, Reg a, Reg b, Reg c);
+  void fmnmx(Reg d, Reg a, Reg b, bool take_max);
+  void fsetp(Pred p, Reg a, Reg b, CmpOp cmp);
+  void fsetpi(Pred p, Reg a, float imm, CmpOp cmp);
+  /// d = a*b + c honouring the profile's FMA-contraction setting (may use a
+  /// scratch register under Cuda7).
+  void mul_add_f32(Reg d, Reg a, Reg b, Reg c);
+
+  // ---- FP64 ---------------------------------------------------------------
+  void dadd(RegPair d, RegPair a, RegPair b);
+  void dmul(RegPair d, RegPair a, RegPair b);
+  void dfma(RegPair d, RegPair a, RegPair b, RegPair c);
+  void dsetp(Pred p, RegPair a, RegPair b, CmpOp cmp);
+  void mul_add_f64(RegPair d, RegPair a, RegPair b, RegPair c);
+
+  // ---- FP16 ---------------------------------------------------------------
+  void hadd(Reg d, Reg a, Reg b);
+  void hmul(Reg d, Reg a, Reg b);
+  void hfma(Reg d, Reg a, Reg b, Reg c);
+  void hsetp(Pred p, Reg a, Reg b, CmpOp cmp);
+  void mul_add_f16(Reg d, Reg a, Reg b, Reg c);
+
+  // ---- INT32 --------------------------------------------------------------
+  void iadd(Reg d, Reg a, Reg b);
+  void iaddi(Reg d, Reg a, std::int32_t imm);
+  void imul(Reg d, Reg a, Reg b);
+  void imuli(Reg d, Reg a, std::int32_t imm);
+  void imad(Reg d, Reg a, Reg b, Reg c);
+  void imnmx(Reg d, Reg a, Reg b, bool take_max);
+  void isetp(Pred p, Reg a, Reg b, CmpOp cmp);
+  void isetpi(Pred p, Reg a, std::int32_t imm, CmpOp cmp);
+  void shl(Reg d, Reg a, unsigned amount);
+  void shr(Reg d, Reg a, unsigned amount);
+  void shrs(Reg d, Reg a, unsigned amount);
+  void land(Reg d, Reg a, Reg b);
+  void landi(Reg d, Reg a, std::int32_t imm);
+  void lor(Reg d, Reg a, Reg b);
+  void lxor(Reg d, Reg a, Reg b);
+  /// d = base + idx * scale (scale a power of two); one IMAD under Cuda10,
+  /// SHL+IADD under Cuda7 (uses a scratch register).
+  void addr_index(Reg d, Reg base, Reg idx, std::uint32_t scale);
+
+  // ---- SFU / conversions ---------------------------------------------------
+  void rcp(Reg d, Reg a);
+  void rsq(Reg d, Reg a);
+  void ex2(Reg d, Reg a);
+  void lg2(Reg d, Reg a);
+  void i2f(Reg d, Reg a);
+  void f2i(Reg d, Reg a);
+  void f2h(Reg d, Reg a);
+  void h2f(Reg d, Reg a);
+  void f2d(RegPair d, Reg a);
+  void d2f(Reg d, RegPair a);
+  void i2d(RegPair d, Reg a);
+  void d2i(Reg d, RegPair a);
+
+  // ---- Memory ---------------------------------------------------------------
+  void ldg(Reg d, Reg addr, std::int32_t offset = 0, MemWidth w = MemWidth::B32);
+  void ldg64(RegPair d, Reg addr, std::int32_t offset = 0);
+  void stg(Reg addr, Reg value, std::int32_t offset = 0, MemWidth w = MemWidth::B32);
+  void stg64(Reg addr, RegPair value, std::int32_t offset = 0);
+  void lds(Reg d, Reg addr, std::int32_t offset = 0, MemWidth w = MemWidth::B32);
+  void lds64(RegPair d, Reg addr, std::int32_t offset = 0);
+  void sts(Reg addr, Reg value, std::int32_t offset = 0, MemWidth w = MemWidth::B32);
+  void sts64(Reg addr, RegPair value, std::int32_t offset = 0);
+  /// Global atomic; dst receives the old value (pass RZ to discard).
+  void atom(Reg dst, Reg addr, Reg value, AtomOp op, std::int32_t offset = 0);
+  /// Compare-and-swap: *addr == compare ? *addr = value; dst = old value.
+  void atom_cas(Reg dst, Reg addr, Reg compare, Reg value,
+                std::int32_t offset = 0);
+
+  // ---- Tensor core -----------------------------------------------------------
+  /// d/a/b/c are fragment base registers: A and B hold 8 halves in 4 packed
+  /// regs per thread; the accumulator holds 8 halves in 4 regs (HMMA) or
+  /// 8 floats in 8 regs (FMMA). Computes D = A(16x16) * B(16x16) + C.
+  void hmma(Reg d, Reg a, Reg b, Reg c);
+  void fmma(Reg d, Reg a, Reg b, Reg c);
+
+  // ---- Control flow -----------------------------------------------------------
+  void bar();
+  void nop();
+
+  Label make_label();
+  void bind(Label l);
+  void bra(Label l);
+  void bra_if(Label l, Pred p, bool negate = false);
+
+  /// Structured if: body executes for lanes where p (optionally negated).
+  void if_then(Pred p, const std::function<void()>& then_fn, bool negate = false);
+  /// Structured if/else.
+  void if_then_else(Pred p, const std::function<void()>& then_fn,
+                    const std::function<void()>& else_fn);
+  /// Structured while: `cond` emits code leaving the continue-condition in the
+  /// given predicate; lanes with a false predicate leave the loop.
+  void while_loop(const std::function<void(Pred)>& cond,
+                  const std::function<void()>& body);
+  /// Counted loop over a register i = start; i < bound(reg); i += step.
+  /// `i` must be caller-allocated; freed by the caller.
+  void for_range(Reg i, std::int32_t start, Reg bound, std::int32_t step,
+                 const std::function<void()>& body);
+  /// Counted loop with static trip count; unrolls per the compiler profile
+  /// (body receives the unroll lane's statically-known iteration offset
+  /// register `i` still updated correctly).
+  void for_range_static(Reg i, std::int32_t start, std::int32_t bound,
+                        std::int32_t step, const std::function<void()>& body);
+
+  // ---- Finish ----------------------------------------------------------------
+  /// Append EXIT, resolve labels, and produce a validated Program.
+  Program build(bool library_code = false);
+
+  /// Number of instructions emitted so far.
+  std::uint32_t position() const { return static_cast<std::uint32_t>(code_.size()); }
+
+ private:
+  void emit(Instr in);
+  void emit_arith(Opcode op, std::uint8_t d, std::uint8_t a, std::uint8_t b,
+                  std::uint8_t c = kRZ, std::uint8_t aux = 0, std::int32_t imm = 0);
+  std::uint8_t take_gpr();
+  /// Scratch register whose value is never read (Cuda7 dead-code modeling).
+  Reg dead_reg();
+  RegPair dead_pair();
+
+  std::string name_;
+  CompilerProfile profile_;
+  CodegenOptions opts_;
+  std::vector<Instr> code_;
+  std::vector<bool> gpr_used_ = std::vector<bool>(kNumGprs, false);
+  std::vector<bool> pred_used_ = std::vector<bool>(kNumPredicates, false);
+  unsigned gpr_high_water_ = 0;
+  unsigned reserved_regs_ = 0;
+  std::uint32_t shared_bytes_ = 0;
+  std::vector<std::int64_t> label_pos_;               // -1 = unbound
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> fixups_;  // (code idx, label)
+  Reg dead_reg_{kRZ};
+  RegPair dead_pair_{kRZ};
+  bool built_ = false;
+};
+
+}  // namespace gpurel::isa

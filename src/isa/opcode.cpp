@@ -1,0 +1,187 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+namespace gpurel::isa {
+
+namespace {
+
+struct OpInfo {
+  std::string_view name;
+  MixClass mix;
+  UnitKind unit;
+};
+
+constexpr auto make_op_table() {
+  std::array<OpInfo, static_cast<std::size_t>(Opcode::kCount)> t{};
+  auto set = [&](Opcode op, std::string_view n, MixClass m, UnitKind u) {
+    t[static_cast<std::size_t>(op)] = {n, m, u};
+  };
+  set(Opcode::NOP, "NOP", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::FADD, "FADD", MixClass::ADD, UnitKind::FADD);
+  set(Opcode::FMUL, "FMUL", MixClass::MUL, UnitKind::FMUL);
+  set(Opcode::FFMA, "FFMA", MixClass::FMA, UnitKind::FFMA);
+  set(Opcode::FSETP, "FSETP", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::FMNMX, "FMNMX", MixClass::ADD, UnitKind::FADD);
+  set(Opcode::DADD, "DADD", MixClass::ADD, UnitKind::DADD);
+  set(Opcode::DMUL, "DMUL", MixClass::MUL, UnitKind::DMUL);
+  set(Opcode::DFMA, "DFMA", MixClass::FMA, UnitKind::DFMA);
+  set(Opcode::DSETP, "DSETP", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::HADD, "HADD", MixClass::ADD, UnitKind::HADD);
+  set(Opcode::HMUL, "HMUL", MixClass::MUL, UnitKind::HMUL);
+  set(Opcode::HFMA, "HFMA", MixClass::FMA, UnitKind::HFMA);
+  set(Opcode::HSETP, "HSETP", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::IADD, "IADD", MixClass::INT, UnitKind::IADD);
+  set(Opcode::IMUL, "IMUL", MixClass::INT, UnitKind::IMUL);
+  set(Opcode::IMAD, "IMAD", MixClass::INT, UnitKind::IMAD);
+  set(Opcode::ISETP, "ISETP", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::IMNMX, "IMNMX", MixClass::INT, UnitKind::IADD);
+  set(Opcode::SHL, "SHL", MixClass::INT, UnitKind::IADD);
+  set(Opcode::SHR, "SHR", MixClass::INT, UnitKind::IADD);
+  set(Opcode::SHRS, "SHR.S", MixClass::INT, UnitKind::IADD);
+  set(Opcode::LOP_AND, "LOP.AND", MixClass::INT, UnitKind::IADD);
+  set(Opcode::LOP_OR, "LOP.OR", MixClass::INT, UnitKind::IADD);
+  set(Opcode::LOP_XOR, "LOP.XOR", MixClass::INT, UnitKind::IADD);
+  set(Opcode::MUFU_RCP, "MUFU.RCP", MixClass::OTHERS, UnitKind::SFU);
+  set(Opcode::MUFU_RSQ, "MUFU.RSQ", MixClass::OTHERS, UnitKind::SFU);
+  set(Opcode::MUFU_EX2, "MUFU.EX2", MixClass::OTHERS, UnitKind::SFU);
+  set(Opcode::MUFU_LG2, "MUFU.LG2", MixClass::OTHERS, UnitKind::SFU);
+  set(Opcode::I2F, "I2F", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::F2I, "F2I", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::F2H, "F2H", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::H2F, "H2F", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::F2D, "F2D", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::D2F, "D2F", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::I2D, "I2D", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::D2I, "D2I", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::MOV, "MOV", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::MOV32I, "MOV32I", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::SEL, "SEL", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::S2R, "S2R", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::LDC, "LDC", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::LDG, "LDG", MixClass::LDST, UnitKind::LDST);
+  set(Opcode::STG, "STG", MixClass::LDST, UnitKind::LDST);
+  set(Opcode::LDS, "LDS", MixClass::LDST, UnitKind::LDST);
+  set(Opcode::STS, "STS", MixClass::LDST, UnitKind::LDST);
+  set(Opcode::ATOM, "ATOM", MixClass::OTHERS, UnitKind::LDST);
+  set(Opcode::HMMA, "HMMA", MixClass::MMA, UnitKind::MMA_H);
+  set(Opcode::FMMA, "FMMA", MixClass::MMA, UnitKind::MMA_F);
+  set(Opcode::BRA, "BRA", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::SSY, "SSY", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::SYNC, "SYNC", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::PBK, "PBK", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::BRK, "BRK", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::BAR, "BAR", MixClass::OTHERS, UnitKind::OTHER);
+  set(Opcode::EXIT, "EXIT", MixClass::OTHERS, UnitKind::OTHER);
+  return t;
+}
+
+constexpr auto kOpTable = make_op_table();
+
+const OpInfo& info(Opcode op) { return kOpTable[static_cast<std::size_t>(op)]; }
+
+}  // namespace
+
+std::string_view opcode_name(Opcode op) { return info(op).name; }
+MixClass mix_class(Opcode op) { return info(op).mix; }
+UnitKind unit_kind(Opcode op) { return info(op).unit; }
+
+std::string_view mix_class_name(MixClass c) {
+  switch (c) {
+    case MixClass::FMA: return "FMA";
+    case MixClass::MUL: return "MUL";
+    case MixClass::ADD: return "ADD";
+    case MixClass::INT: return "INT";
+    case MixClass::MMA: return "MMA";
+    case MixClass::LDST: return "LDST";
+    case MixClass::OTHERS: return "OTHERS";
+    default: return "?";
+  }
+}
+
+std::string_view unit_kind_name(UnitKind k) {
+  switch (k) {
+    case UnitKind::HADD: return "HADD";
+    case UnitKind::HMUL: return "HMUL";
+    case UnitKind::HFMA: return "HFMA";
+    case UnitKind::FADD: return "FADD";
+    case UnitKind::FMUL: return "FMUL";
+    case UnitKind::FFMA: return "FFMA";
+    case UnitKind::DADD: return "DADD";
+    case UnitKind::DMUL: return "DMUL";
+    case UnitKind::DFMA: return "DFMA";
+    case UnitKind::IADD: return "IADD";
+    case UnitKind::IMUL: return "IMUL";
+    case UnitKind::IMAD: return "IMAD";
+    case UnitKind::MMA_H: return "HMMA";
+    case UnitKind::MMA_F: return "FMMA";
+    case UnitKind::LDST: return "LDST";
+    case UnitKind::SFU: return "SFU";
+    case UnitKind::OTHER: return "OTHER";
+    default: return "?";
+  }
+}
+
+bool writes_gpr(Opcode op) {
+  switch (op) {
+    case Opcode::NOP:
+    case Opcode::FSETP:
+    case Opcode::DSETP:
+    case Opcode::HSETP:
+    case Opcode::ISETP:
+    case Opcode::STG:
+    case Opcode::STS:
+    case Opcode::BRA:
+    case Opcode::SSY:
+    case Opcode::SYNC:
+    case Opcode::PBK:
+    case Opcode::BRK:
+    case Opcode::BAR:
+    case Opcode::EXIT:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool writes_predicate(Opcode op) {
+  switch (op) {
+    case Opcode::FSETP:
+    case Opcode::DSETP:
+    case Opcode::HSETP:
+    case Opcode::ISETP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_control(Opcode op) {
+  switch (op) {
+    case Opcode::BRA:
+    case Opcode::SSY:
+    case Opcode::SYNC:
+    case Opcode::PBK:
+    case Opcode::BRK:
+    case Opcode::BAR:
+    case Opcode::EXIT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_memory(Opcode op) {
+  switch (op) {
+    case Opcode::LDG:
+    case Opcode::STG:
+    case Opcode::LDS:
+    case Opcode::STS:
+    case Opcode::ATOM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gpurel::isa

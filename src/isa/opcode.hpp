@@ -1,0 +1,112 @@
+// The SASS-like instruction set executed by the SIMT simulator.
+//
+// The set mirrors the portion of NVIDIA's native ISA that the paper's tools
+// (SASSIFI / NVBitFI) observe and instrument: per-precision arithmetic,
+// integer arithmetic and logic, conversions, predication, memory movement,
+// warp-wide tensor MMA, and structured control flow (SSY/SYNC for branch
+// reconvergence, PBK/BRK for loop break masks, Kepler-style).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpurel::isa {
+
+enum class Opcode : std::uint8_t {
+  NOP,
+  // --- FP32 ---
+  FADD, FMUL, FFMA, FSETP, FMNMX,
+  // --- FP64 (operands in aligned even/odd register pairs) ---
+  DADD, DMUL, DFMA, DSETP,
+  // --- FP16 (low 16 bits of a register) ---
+  HADD, HMUL, HFMA, HSETP,
+  // --- INT32 ---
+  IADD, IMUL, IMAD, ISETP, IMNMX,
+  SHL, SHR, SHRS,          // logical shifts + arithmetic right shift
+  LOP_AND, LOP_OR, LOP_XOR,
+  // --- Transcendental approximations (SFU) ---
+  MUFU_RCP, MUFU_RSQ, MUFU_EX2, MUFU_LG2,
+  // --- Conversions ---
+  I2F, F2I,                // int32 <-> fp32 (round-to-nearest / truncate)
+  F2H, H2F,                // fp32 <-> fp16
+  F2D, D2F,                // fp32 <-> fp64
+  I2D, D2I,                // int32 <-> fp64
+  // --- Data movement within the register file ---
+  MOV,                     // dst = src0
+  MOV32I,                  // dst = imm
+  SEL,                     // dst = aux-predicate ? src0 : src1
+  S2R,                     // dst = special register (imm selects which)
+  LDC,                     // dst = kernel parameter slot imm
+  // --- Memory ---
+  LDG, STG,                // global:  LDG d, [s0 + imm] / STG [s0 + imm], s1
+  LDS, STS,                // shared, same shape
+  ATOM,                    // global atomic, aux = AtomOp; dst = old value
+  // --- Tensor core (warp-wide 16x16x16 MMA on register fragments) ---
+  HMMA,                    // fp16 multiply, fp16 accumulate
+  FMMA,                    // fp16 multiply (inputs cast), fp32 accumulate
+  // --- Control flow ---
+  BRA,                     // (guarded) branch to code index imm
+  SSY,                     // push reconvergence point imm
+  SYNC,                    // pop to reconvergence point
+  PBK,                     // push loop-break point imm
+  BRK,                     // (guarded) deactivate lanes until break pop
+  BAR,                     // block-wide barrier
+  EXIT,                    // thread exit
+
+  kCount,
+};
+
+/// Instruction class for Fig. 1 style mix profiling (the paper's grouping).
+enum class MixClass : std::uint8_t {
+  FMA, MUL, ADD, INT, MMA, LDST, OTHERS,
+  kCount,
+};
+
+/// Hardware unit kind: the granularity at which the paper measures per-unit
+/// FIT rates with microbenchmarks (Fig. 3) and per-instruction AVFs.
+enum class UnitKind : std::uint8_t {
+  HADD, HMUL, HFMA,
+  FADD, FMUL, FFMA,
+  DADD, DMUL, DFMA,
+  IADD, IMUL, IMAD,
+  MMA_H, MMA_F,
+  LDST,
+  SFU,
+  OTHER,     // control / moves / conversions / predicates
+  kCount,
+};
+
+/// Comparison operator for *SETP (stored in Instr::aux).
+enum class CmpOp : std::uint8_t { LT, LE, GT, GE, EQ, NE };
+
+/// Atomic operation for ATOM (stored in Instr::aux).
+enum class AtomOp : std::uint8_t { Add, Min, Max, Exch, CAS };
+
+/// Memory access width for LDG/STG/LDS/STS (stored in Instr::aux).
+enum class MemWidth : std::uint8_t { B16, B32, B64 };
+
+/// Special registers readable via S2R (selector in Instr::imm).
+enum class SpecialReg : std::uint8_t {
+  TID_X, TID_Y, CTAID_X, CTAID_Y, NTID_X, NTID_Y, NCTAID_X, NCTAID_Y, LANEID,
+};
+
+/// Human-readable mnemonic.
+std::string_view opcode_name(Opcode op);
+/// Fig.-1 instruction class of an opcode.
+MixClass mix_class(Opcode op);
+/// Functional-unit kind of an opcode (for FIT/AVF bookkeeping).
+UnitKind unit_kind(Opcode op);
+/// Name of a mix class.
+std::string_view mix_class_name(MixClass c);
+/// Name of a unit kind ("FADD", "HMMA", ...).
+std::string_view unit_kind_name(UnitKind k);
+/// Whether the opcode writes a general-purpose destination register.
+bool writes_gpr(Opcode op);
+/// Whether the opcode writes a predicate register.
+bool writes_predicate(Opcode op);
+/// Whether the opcode is control flow (BRA/SSY/SYNC/PBK/BRK/EXIT/BAR).
+bool is_control(Opcode op);
+/// Whether the opcode is a memory access (LDG/STG/LDS/STS/ATOM).
+bool is_memory(Opcode op);
+
+}  // namespace gpurel::isa

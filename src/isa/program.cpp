@@ -1,0 +1,171 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gpurel::isa {
+
+Program::Program(std::string name, std::vector<Instr> code,
+                 std::uint16_t regs_per_thread, std::uint32_t shared_bytes,
+                 bool library_code)
+    : name_(std::move(name)),
+      code_(std::move(code)),
+      regs_per_thread_(regs_per_thread),
+      shared_bytes_(shared_bytes),
+      library_code_(library_code) {
+  validate();
+}
+
+namespace {
+
+bool is_fp64_op(Opcode op) {
+  switch (op) {
+    case Opcode::DADD:
+    case Opcode::DMUL:
+    case Opcode::DFMA:
+    case Opcode::DSETP:
+    case Opcode::F2D:
+    case Opcode::D2F:
+    case Opcode::I2D:
+    case Opcode::D2I:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[noreturn]] void fail(std::uint32_t pc, const Instr& in, const std::string& why) {
+  std::ostringstream ss;
+  ss << "invalid instruction @" << pc << " (" << opcode_name(in.op) << "): " << why;
+  throw std::invalid_argument(ss.str());
+}
+
+}  // namespace
+
+void Program::validate() const {
+  if (code_.empty()) throw std::invalid_argument("program '" + name_ + "' is empty");
+  if (code_.back().op != Opcode::EXIT)
+    throw std::invalid_argument("program '" + name_ + "' must end with EXIT");
+
+  for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+    const Instr& in = code_[pc];
+    if (in.op >= Opcode::kCount) fail(pc, in, "unknown opcode");
+
+    if (writes_predicate(in.op) && in.dst >= kNumPredicates)
+      fail(pc, in, "SETP destination must be P0..P6");
+
+    switch (in.op) {
+      case Opcode::BRA:
+      case Opcode::SSY:
+      case Opcode::PBK:
+        if (in.imm < 0 || static_cast<std::size_t>(in.imm) >= code_.size())
+          fail(pc, in, "branch target out of range");
+        break;
+      case Opcode::SEL:
+        if ((in.aux & 0x07) > kPT) fail(pc, in, "SEL predicate out of range");
+        break;
+      default:
+        break;
+    }
+
+    if (is_fp64_op(in.op)) {
+      // FP64 values live in aligned even/odd pairs; the even register is
+      // named. Conversions pair only their FP64 side; DSETP writes a
+      // predicate.
+      auto check_pair = [&](std::uint8_t r, const char* what) {
+        if (r == kRZ) return;  // RZ pair reads as +0.0
+        if (r % 2 != 0 || static_cast<unsigned>(r) + 1 >= kNumGprs)
+          fail(pc, in, std::string("unaligned FP64 register pair in ") + what);
+      };
+      const bool dst_is_pair = in.op == Opcode::DADD || in.op == Opcode::DMUL ||
+                               in.op == Opcode::DFMA || in.op == Opcode::F2D ||
+                               in.op == Opcode::I2D;
+      const bool src0_is_pair = in.op == Opcode::DADD || in.op == Opcode::DMUL ||
+                                in.op == Opcode::DFMA || in.op == Opcode::DSETP ||
+                                in.op == Opcode::D2F || in.op == Opcode::D2I;
+      if (dst_is_pair) check_pair(in.dst, "dst");
+      if (src0_is_pair) check_pair(in.src[0], "src0");
+      if (in.op == Opcode::DADD || in.op == Opcode::DMUL || in.op == Opcode::DFMA ||
+          in.op == Opcode::DSETP)
+        check_pair(in.src[1], "src1");
+      if (in.op == Opcode::DFMA) check_pair(in.src[2], "src2");
+    }
+
+    if (in.op == Opcode::LDG || in.op == Opcode::LDS) {
+      if (static_cast<MemWidth>(in.aux) == MemWidth::B64 && (in.dst % 2 != 0))
+        fail(pc, in, "64-bit load destination must be an aligned pair");
+    }
+    if (in.op == Opcode::STG || in.op == Opcode::STS) {
+      if (static_cast<MemWidth>(in.aux) == MemWidth::B64 &&
+          (in.src[1] % 2 != 0 && in.src[1] != kRZ))
+        fail(pc, in, "64-bit store source must be an aligned pair");
+    }
+  }
+}
+
+std::string disassemble_instr(const Instr& in, std::uint32_t pc) {
+  std::ostringstream ss;
+  ss << pc << ":\t";
+  if (!in.unguarded()) {
+    ss << '@' << (in.guard_negated() ? "!" : "") << 'P'
+       << static_cast<int>(in.guard_index()) << ' ';
+  }
+  ss << opcode_name(in.op);
+  auto reg = [](std::uint8_t r) {
+    return r == kRZ ? std::string("RZ") : "R" + std::to_string(r);
+  };
+  switch (in.op) {
+    case Opcode::BRA:
+    case Opcode::SSY:
+    case Opcode::PBK:
+      ss << " ->" << in.imm;
+      break;
+    case Opcode::BRK:
+    case Opcode::SYNC:
+    case Opcode::EXIT:
+    case Opcode::BAR:
+    case Opcode::NOP:
+      break;
+    case Opcode::MOV32I:
+      ss << ' ' << reg(in.dst) << ", 0x" << std::hex << static_cast<std::uint32_t>(in.imm)
+         << std::dec;
+      break;
+    case Opcode::S2R:
+    case Opcode::LDC:
+      ss << ' ' << reg(in.dst) << ", [" << in.imm << ']';
+      break;
+    case Opcode::LDG:
+    case Opcode::LDS:
+      ss << ' ' << reg(in.dst) << ", [" << reg(in.src[0]) << '+' << in.imm << ']';
+      break;
+    case Opcode::STG:
+    case Opcode::STS:
+      ss << " [" << reg(in.src[0]) << '+' << in.imm << "], " << reg(in.src[1]);
+      break;
+    case Opcode::FSETP:
+    case Opcode::DSETP:
+    case Opcode::HSETP:
+    case Opcode::ISETP:
+      ss << " P" << static_cast<int>(in.dst) << ", " << reg(in.src[0]) << ", "
+         << reg(in.src[1]);
+      break;
+    default:
+      ss << ' ' << reg(in.dst);
+      for (int s = 0; s < 3; ++s)
+        if (in.src[s] != kRZ || s == 0) ss << ", " << reg(in.src[s]);
+      if (in.imm != 0) ss << ", " << in.imm;
+      break;
+  }
+  return ss.str();
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream ss;
+  ss << ".kernel " << name_ << "  regs=" << regs_per_thread_
+     << " shared=" << shared_bytes_ << (library_code_ ? " [library]" : "") << '\n';
+  for (std::uint32_t pc = 0; pc < code_.size(); ++pc)
+    ss << disassemble_instr(code_[pc], pc) << '\n';
+  return ss.str();
+}
+
+}  // namespace gpurel::isa

@@ -1,0 +1,51 @@
+// A compiled kernel: the instruction stream plus the static resource facts
+// (registers per thread, static shared memory) that drive occupancy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace gpurel::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code, std::uint16_t regs_per_thread,
+          std::uint32_t shared_bytes, bool library_code = false);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instr>& code() const { return code_; }
+  const Instr& at(std::uint32_t pc) const { return code_[pc]; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(code_.size()); }
+
+  /// Architectural registers per thread (allocated, for occupancy).
+  std::uint16_t regs_per_thread() const { return regs_per_thread_; }
+  /// Static shared memory per block in bytes.
+  std::uint32_t shared_bytes() const { return shared_bytes_; }
+  /// Whether this kernel models a precompiled vendor library (cuBLAS-style);
+  /// SASSIFI cannot instrument such kernels on Kepler (paper §III-D).
+  bool library_code() const { return library_code_; }
+
+  /// Static validity checks: branch targets in range, register indices legal,
+  /// SETP writes to a real predicate, FP64 pairs aligned. Throws
+  /// std::invalid_argument with a description on the first violation.
+  void validate() const;
+
+  /// Multi-line textual disassembly (one instruction per line with indices).
+  std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+  std::uint16_t regs_per_thread_ = 0;
+  std::uint32_t shared_bytes_ = 0;
+  bool library_code_ = false;
+};
+
+/// Disassemble a single instruction at index pc (standalone helper).
+std::string disassemble_instr(const Instr& in, std::uint32_t pc);
+
+}  // namespace gpurel::isa

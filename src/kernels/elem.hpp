@@ -1,0 +1,169 @@
+// Precision-generic element emission: lets one kernel source serve the
+// paper's half/single/double variants (Hotspot, Lava, MxM, ... run the SAME
+// kernel for every precision — §VI), with FP64 transparently mapped to
+// register pairs and FP16 to packed 16-bit loads/stores.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+/// A value of the emitter's precision held in registers.
+struct Elem {
+  isa::Reg r{};       // Int32 / Half / Single
+  isa::RegPair d{};   // Double
+};
+
+class ElemEmitter {
+ public:
+  ElemEmitter(isa::KernelBuilder& b, core::Precision p) : b_(b), p_(p) {
+    if (p == core::Precision::Int32)
+      throw std::invalid_argument("ElemEmitter: integer codes emit directly");
+  }
+
+  core::Precision precision() const { return p_; }
+  unsigned esz() const { return core::precision_bytes(p_); }
+  bool is_double() const { return p_ == core::Precision::Double; }
+  bool is_half() const { return p_ == core::Precision::Half; }
+
+  Elem alloc() {
+    Elem e;
+    if (is_double()) e.d = b_.reg_pair();
+    else e.r = b_.reg();
+    return e;
+  }
+  void free(Elem e) {
+    if (is_double()) b_.free(e.d);
+    else b_.free(e.r);
+  }
+
+  void constant(Elem dst, double v) {
+    if (is_double()) b_.movd(dst.d, v);
+    else if (is_half()) b_.movh(dst.r, static_cast<float>(v));
+    else b_.movf(dst.r, static_cast<float>(v));
+  }
+
+  void load(Elem dst, isa::Reg addr, std::int32_t offset = 0) {
+    if (is_double()) b_.ldg64(dst.d, addr, offset);
+    else if (is_half()) b_.ldg(dst.r, addr, offset, isa::MemWidth::B16);
+    else b_.ldg(dst.r, addr, offset);
+  }
+  void store(isa::Reg addr, Elem v, std::int32_t offset = 0) {
+    if (is_double()) b_.stg64(addr, v.d, offset);
+    else if (is_half()) b_.stg(addr, v.r, offset, isa::MemWidth::B16);
+    else b_.stg(addr, v.r, offset);
+  }
+  void load_shared(Elem dst, isa::Reg addr, std::int32_t offset = 0) {
+    if (is_double()) b_.lds64(dst.d, addr, offset);
+    else if (is_half()) b_.lds(dst.r, addr, offset, isa::MemWidth::B16);
+    else b_.lds(dst.r, addr, offset);
+  }
+  void store_shared(isa::Reg addr, Elem v, std::int32_t offset = 0) {
+    if (is_double()) b_.sts64(addr, v.d, offset);
+    else if (is_half()) b_.sts(addr, v.r, offset, isa::MemWidth::B16);
+    else b_.sts(addr, v.r, offset);
+  }
+
+  void add(Elem d, Elem a, Elem b) {
+    if (is_double()) b_.dadd(d.d, a.d, b.d);
+    else if (is_half()) b_.hadd(d.r, a.r, b.r);
+    else b_.fadd(d.r, a.r, b.r);
+  }
+  void mul(Elem d, Elem a, Elem b) {
+    if (is_double()) b_.dmul(d.d, a.d, b.d);
+    else if (is_half()) b_.hmul(d.r, a.r, b.r);
+    else b_.fmul(d.r, a.r, b.r);
+  }
+  /// d = a*b + c, honouring the compiler profile's FMA contraction.
+  void mul_add(Elem d, Elem a, Elem b, Elem c) {
+    if (is_double()) b_.mul_add_f64(d.d, a.d, b.d, c.d);
+    else if (is_half()) b_.mul_add_f16(d.r, a.r, b.r, c.r);
+    else b_.mul_add_f32(d.r, a.r, b.r, c.r);
+  }
+  void mov(Elem d, Elem a) {
+    if (is_double()) {
+      b_.mov(isa::Reg{d.d.index}, isa::Reg{a.d.index});
+      b_.mov(isa::Reg{static_cast<std::uint8_t>(d.d.index + 1)},
+             isa::Reg{static_cast<std::uint8_t>(a.d.index + 1)});
+    } else {
+      b_.mov(d.r, a.r);
+    }
+  }
+  /// d = p ? a : b (per 32-bit word for FP64 pairs).
+  void select(Elem d, Elem a, Elem b, isa::Pred p, bool negate = false) {
+    if (is_double()) {
+      b_.sel(isa::Reg{d.d.index}, isa::Reg{a.d.index}, isa::Reg{b.d.index}, p,
+             negate);
+      b_.sel(isa::Reg{static_cast<std::uint8_t>(d.d.index + 1)},
+             isa::Reg{static_cast<std::uint8_t>(a.d.index + 1)},
+             isa::Reg{static_cast<std::uint8_t>(b.d.index + 1)}, p, negate);
+    } else {
+      b_.sel(d.r, a.r, b.r, p, negate);
+    }
+  }
+  /// d = max(a, b) via compare+select (works in every precision).
+  void maximum(Elem d, Elem a, Elem b, isa::Pred scratch) {
+    setp(scratch, a, b, isa::CmpOp::GT);
+    select(d, a, b, scratch);
+  }
+  void setp(isa::Pred p, Elem a, Elem b, isa::CmpOp cmp) {
+    if (is_double()) b_.dsetp(p, a.d, b.d, cmp);
+    else if (is_half()) b_.hsetp(p, a.r, b.r, cmp);
+    else b_.fsetp(p, a.r, b.r, cmp);
+  }
+  /// Convert an int register (e.g. a thread id) to this precision.
+  void from_int(Elem d, isa::Reg i) {
+    if (is_double()) {
+      b_.i2d(d.d, i);
+    } else if (is_half()) {
+      b_.i2f(d.r, i);
+      b_.f2h(d.r, d.r);
+    } else {
+      b_.i2f(d.r, i);
+    }
+  }
+
+ private:
+  isa::KernelBuilder& b_;
+  core::Precision p_;
+};
+
+/// Host-side element packing for inputs/outputs of a given precision.
+template <typename Fn>
+inline std::vector<std::uint8_t> pack_elements(core::Precision p, std::size_t count,
+                                               Fn&& value_at) {
+  std::vector<std::uint8_t> out(count * core::precision_bytes(p));
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = value_at(i);
+    switch (p) {
+      case core::Precision::Half: {
+        const std::uint16_t h = Half::from_float(static_cast<float>(v)).bits();
+        std::memcpy(&out[i * 2], &h, 2);
+        break;
+      }
+      case core::Precision::Single: {
+        const float f = static_cast<float>(v);
+        std::memcpy(&out[i * 4], &f, 4);
+        break;
+      }
+      case core::Precision::Double: {
+        std::memcpy(&out[i * 8], &v, 8);
+        break;
+      }
+      case core::Precision::Int32: {
+        const auto iv = static_cast<std::int32_t>(v);
+        std::memcpy(&out[i * 4], &iv, 4);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gpurel::kernels

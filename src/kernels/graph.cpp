@@ -1,0 +1,345 @@
+#include "kernels/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpurel::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+Bfs::Bfs(core::WorkloadConfig config, unsigned nodes, unsigned degree)
+    : Workload(std::move(config)), nodes_(nodes), degree_(degree) {
+  if (nodes_ == 0)
+    nodes_ = std::max(256u, static_cast<unsigned>(2048 * config_.scale) / 64 * 64);
+  if (nodes_ % 64 != 0) throw std::invalid_argument("Bfs: nodes must be 64-aligned");
+}
+
+void Bfs::build_programs() {
+  KernelBuilder b("BFS.step", config_.profile);
+  Reg row_off = b.load_param(0), col = b.load_param(1), cost = b.load_param(2);
+  Reg fin = b.load_param(3), fout = b.load_param(4), changed = b.load_param(5);
+  Reg n = b.load_param(6);
+
+  Reg v = b.global_tid_x();
+  Pred in_range = b.pred();
+  b.isetp(in_range, v, n, CmpOp::LT);
+  b.if_then(in_range, [&] {
+    Reg fin_addr = b.reg(), fv = b.reg();
+    b.addr_index(fin_addr, fin, v, 4);
+    b.ldg(fv, fin_addr);
+    Pred active = b.pred();
+    b.isetpi(active, fv, 1, CmpOp::EQ);
+    b.if_then(active, [&] {
+      Reg zero = b.reg();
+      b.movi(zero, 0);
+      b.stg(fin_addr, zero);
+      Reg cv_addr = b.reg(), cv = b.reg();
+      b.addr_index(cv_addr, cost, v, 4);
+      b.ldg(cv, cv_addr);
+      Reg next_cost = b.reg();
+      b.iaddi(next_cost, cv, 1);
+      // edge range [row_off[v], row_off[v+1])
+      Reg ra = b.reg(), e = b.reg(), e_end = b.reg();
+      b.addr_index(ra, row_off, v, 4);
+      b.ldg(e, ra);
+      b.ldg(e_end, ra, 4);
+      b.while_loop([&](Pred p) { b.isetp(p, e, e_end, CmpOp::LT); },
+                   [&] {
+                     Reg ca = b.reg(), u = b.reg();
+                     b.addr_index(ca, col, e, 4);
+                     b.ldg(u, ca);
+                     Reg cu_addr = b.reg(), cu = b.reg();
+                     b.addr_index(cu_addr, cost, u, 4);
+                     b.ldg(cu, cu_addr);
+                     Pred unvisited = b.pred();
+                     b.isetpi(unvisited, cu, 0, CmpOp::LT);
+                     b.if_then(unvisited, [&] {
+                       b.stg(cu_addr, next_cost);
+                       Reg one = b.reg(), fa = b.reg();
+                       b.movi(one, 1);
+                       b.addr_index(fa, fout, u, 4);
+                       b.stg(fa, one);
+                       b.stg(changed, one);
+                       b.free(one);
+                       b.free(fa);
+                     });
+                     b.free(unvisited);
+                     b.free(ca);
+                     b.free(u);
+                     b.free(cu_addr);
+                     b.free(cu);
+                     b.iaddi(e, e, 1);
+                   });
+      b.free(active);
+    });
+  });
+  step_ = b.build();
+  register_program(&step_);
+}
+
+void Bfs::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  std::vector<std::uint32_t> row_off(nodes_ + 1);
+  std::vector<std::uint32_t> col;
+  col.reserve(static_cast<std::size_t>(nodes_) * degree_);
+  for (unsigned v = 0; v < nodes_; ++v) {
+    row_off[v] = static_cast<std::uint32_t>(col.size());
+    for (unsigned d = 0; d < degree_; ++d)
+      col.push_back(static_cast<std::uint32_t>(rng.uniform_u64(nodes_)));
+  }
+  row_off[nodes_] = static_cast<std::uint32_t>(col.size());
+
+  std::vector<std::int32_t> cost(nodes_, -1);
+  cost[0] = 0;
+  std::vector<std::uint32_t> fin(nodes_, 0), fout(nodes_, 0);
+  fin[0] = 1;
+
+  row_off_ = dev.alloc_copy<std::uint32_t>(row_off);
+  col_ = dev.alloc_copy<std::uint32_t>(col);
+  cost_ = dev.alloc_copy<std::int32_t>(cost);
+  frontier_[0] = dev.alloc_copy<std::uint32_t>(fin);
+  frontier_[1] = dev.alloc_copy<std::uint32_t>(fout);
+  changed_ = dev.alloc(4);
+  register_output(cost_, nodes_ * 4);
+}
+
+void Bfs::execute(sim::Device& dev, core::TrialRunner& runner) {
+  const unsigned max_levels = 24;  // random graphs of this size stay shallow
+  for (unsigned level = 0;; ++level) {
+    if (level >= max_levels) {
+      // Fault-perturbed traversal refusing to converge: host-visible hang.
+      runner.force_due(sim::DueKind::Watchdog);
+      return;
+    }
+    dev.memory().write_u32(changed_, 0);
+    sim::KernelLaunch kl{&step_,
+                         {nodes_ / 64, 1},
+                         {64, 1},
+                         0,
+                         {row_off_, col_, cost_, frontier_[level % 2],
+                          frontier_[(level + 1) % 2], changed_, nodes_}};
+    if (!runner.launch(kl)) return;
+    if (dev.memory().read_u32(changed_) == 0) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CCL
+// ---------------------------------------------------------------------------
+
+Ccl::Ccl(core::WorkloadConfig config, unsigned dim)
+    : Workload(std::move(config)), dim_(dim) {
+  if (dim_ < 8 || (dim_ & (dim_ - 1)) != 0)
+    throw std::invalid_argument("Ccl: dim must be a power of two >= 8");
+  dim_log2_ = 0;
+  while ((dim_ >> dim_log2_) != 1) ++dim_log2_;
+}
+
+void Ccl::build_programs() {
+  KernelBuilder b("CCL.step", config_.profile);
+  Reg img = b.load_param(0), labels = b.load_param(1), changed = b.load_param(2);
+
+  Reg p = b.global_tid_x();
+  Reg row = b.reg(), c = b.reg();
+  b.shr(row, p, dim_log2_);
+  b.landi(c, p, static_cast<std::int32_t>(dim_ - 1));
+
+  Reg ia = b.reg(), fg = b.reg();
+  b.addr_index(ia, img, p, 4);
+  b.ldg(fg, ia);
+  Pred is_fg = b.pred();
+  b.isetpi(is_fg, fg, 1, CmpOp::EQ);
+  b.if_then(is_fg, [&] {
+    Reg la = b.reg(), m = b.reg();
+    b.addr_index(la, labels, p, 4);
+    b.ldg(m, la);
+    Reg orig = b.reg();
+    b.mov(orig, m);
+
+    auto consider = [&](std::int32_t q_off, Pred bound) {
+      b.if_then(bound, [&] {
+        Reg qi = b.reg(), qa = b.reg(), qfg = b.reg();
+        b.iaddi(qi, p, q_off);
+        b.addr_index(qa, img, qi, 4);
+        b.ldg(qfg, qa);
+        Pred q_fg = b.pred();
+        b.isetpi(q_fg, qfg, 1, CmpOp::EQ);
+        b.if_then(q_fg, [&] {
+          Reg ql_addr = b.reg(), ql = b.reg();
+          b.addr_index(ql_addr, labels, qi, 4);
+          b.ldg(ql, ql_addr);
+          b.imnmx(m, m, ql, /*take_max=*/false);
+          b.free(ql_addr);
+          b.free(ql);
+        });
+        b.free(q_fg);
+        b.free(qi);
+        b.free(qa);
+        b.free(qfg);
+      });
+    };
+
+    Pred bound = b.pred();
+    b.isetpi(bound, row, 0, CmpOp::GT);
+    consider(-static_cast<std::int32_t>(dim_), bound);
+    b.isetpi(bound, row, static_cast<std::int32_t>(dim_ - 1), CmpOp::LT);
+    consider(static_cast<std::int32_t>(dim_), bound);
+    b.isetpi(bound, c, 0, CmpOp::GT);
+    consider(-1, bound);
+    b.isetpi(bound, c, static_cast<std::int32_t>(dim_ - 1), CmpOp::LT);
+    consider(1, bound);
+    b.free(bound);
+
+    Pred shrunk = b.pred();
+    b.isetp(shrunk, m, orig, CmpOp::LT);
+    b.if_then(shrunk, [&] {
+      b.stg(la, m);
+      Reg one = b.reg();
+      b.movi(one, 1);
+      b.stg(changed, one);
+      b.free(one);
+    });
+    b.free(shrunk);
+  });
+  step_ = b.build();
+  register_program(&step_);
+}
+
+void Ccl::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  const unsigned total = dim_ * dim_;
+  std::vector<std::uint32_t> img(total);
+  std::vector<std::int32_t> labels(total);
+  for (unsigned p = 0; p < total; ++p) {
+    img[p] = rng.bernoulli(0.6) ? 1 : 0;
+    labels[p] = img[p] ? static_cast<std::int32_t>(p) : -1;
+  }
+  img_ = dev.alloc_copy<std::uint32_t>(img);
+  labels_ = dev.alloc_copy<std::int32_t>(labels);
+  changed_ = dev.alloc(4);
+  register_output(labels_, total * 4);
+}
+
+void Ccl::execute(sim::Device& dev, core::TrialRunner& runner) {
+  const unsigned total = dim_ * dim_;
+  const unsigned max_iters = 4 * dim_;
+  for (unsigned it = 0;; ++it) {
+    if (it >= max_iters) {
+      runner.force_due(sim::DueKind::Watchdog);
+      return;
+    }
+    dev.memory().write_u32(changed_, 0);
+    sim::KernelLaunch kl{&step_, {total / 64, 1}, {64, 1}, 0,
+                         {img_, labels_, changed_}};
+    if (!runner.launch(kl)) return;
+    if (dev.memory().read_u32(changed_) == 0) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NW
+// ---------------------------------------------------------------------------
+
+Nw::Nw(core::WorkloadConfig config, unsigned len)
+    : Workload(std::move(config)), len_(len) {
+  if (len_ == 0)
+    len_ = std::max(16u, static_cast<unsigned>(48 * config_.scale) / 8 * 8);
+  if (len_ < 8) throw std::invalid_argument("Nw: len too small");
+}
+
+void Nw::build_programs() {
+  KernelBuilder b("NW.diag", config_.profile);
+  Reg score = b.load_param(0), seqa = b.load_param(1), seqb = b.load_param(2);
+  Reg n = b.load_param(3), d = b.load_param(4), start_i = b.load_param(5);
+  Reg count = b.load_param(6);
+
+  Reg t = b.global_tid_x();
+  Pred in_range = b.pred();
+  b.isetp(in_range, t, count, CmpOp::LT);
+  b.if_then(in_range, [&] {
+    Reg i = b.reg(), j = b.reg();
+    b.iadd(i, start_i, t);
+    Reg neg_i = b.reg(), minus1 = b.reg();
+    b.movi(minus1, -1);
+    b.imad(neg_i, i, minus1, d);  // j = d - i
+    b.mov(j, neg_i);
+
+    Reg sa = b.reg(), sb = b.reg(), addr = b.reg();
+    b.addr_index(addr, seqa, i, 4);
+    b.ldg(sa, addr);
+    b.addr_index(addr, seqb, j, 4);
+    b.ldg(sb, addr);
+    Pred eq = b.pred();
+    b.isetp(eq, sa, sb, CmpOp::EQ);
+    Reg match = b.reg(), mismatch = b.reg(), sim = b.reg();
+    b.movi(match, 1);
+    b.movi(mismatch, -1);
+    b.sel(sim, match, mismatch, eq);
+
+    // stride = n + 1; cell (i+1, j+1)
+    Reg stride = b.reg();
+    b.iaddi(stride, n, 1);
+    Reg base = b.reg();  // index of score[i][j]
+    b.imad(base, i, stride, j);
+    Reg diag = b.reg(), up = b.reg(), left = b.reg();
+    b.addr_index(addr, score, base, 4);
+    b.ldg(diag, addr);                       // score[i][j]
+    b.ldg(up, addr, 4);                      // score[i][j+1]
+    Reg base2 = b.reg();
+    b.iadd(base2, base, stride);
+    b.addr_index(addr, score, base2, 4);
+    b.ldg(left, addr);                       // score[i+1][j]
+
+    b.iadd(diag, diag, sim);
+    b.iaddi(up, up, -2);
+    b.iaddi(left, left, -2);
+    b.imnmx(diag, diag, up, /*take_max=*/true);
+    b.imnmx(diag, diag, left, /*take_max=*/true);
+    b.addr_index(addr, score, base2, 4);
+    b.stg(addr, diag, 4);                    // score[i+1][j+1]
+  });
+  diag_ = b.build();
+  register_program(&diag_);
+}
+
+void Nw::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  std::vector<std::int32_t> a(len_), bb(len_);
+  for (auto& v : a) v = static_cast<std::int32_t>(rng.uniform_u64(4));
+  for (auto& v : bb) v = static_cast<std::int32_t>(rng.uniform_u64(4));
+  const unsigned stride = len_ + 1;
+  std::vector<std::int32_t> score(static_cast<std::size_t>(stride) * stride, 0);
+  for (unsigned k = 0; k < stride; ++k) {
+    score[k] = -2 * static_cast<std::int32_t>(k);            // top row
+    score[k * stride] = -2 * static_cast<std::int32_t>(k);   // left column
+  }
+  score_ = dev.alloc_copy<std::int32_t>(score);
+  seqa_ = dev.alloc_copy<std::int32_t>(a);
+  seqb_ = dev.alloc_copy<std::int32_t>(bb);
+  register_output(score_, stride * stride * 4);
+}
+
+void Nw::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  for (unsigned d = 0; d <= 2 * (len_ - 1); ++d) {
+    const unsigned start_i = d >= len_ ? d - len_ + 1 : 0;
+    const unsigned end_i = std::min(d, len_ - 1);
+    const unsigned count = end_i - start_i + 1;
+    const unsigned blocks = (count + 31) / 32;
+    sim::KernelLaunch kl{&diag_, {blocks, 1}, {32, 1}, 0,
+                         {score_, seqa_, seqb_, len_, d, start_i, count}};
+    if (!runner.launch(kl)) return;
+  }
+}
+
+}  // namespace gpurel::kernels

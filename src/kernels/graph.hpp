@@ -1,0 +1,74 @@
+// Irregular integer workloads: frontier-based BFS (Rodinia-style, one kernel
+// launch per level with host-managed frontier swap) and connected-component
+// labeling by iterative label propagation (host loop until fixpoint). Both
+// match the paper's profile for these codes: branchy integer code, poor
+// memory access patterns, and under-utilized functional units.
+#pragma once
+
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+class Bfs final : public core::Workload {
+ public:
+  Bfs(core::WorkloadConfig config, unsigned nodes = 0, unsigned degree = 4);
+
+  std::string base_name() const override { return "BFS"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned nodes_;
+  unsigned degree_;
+  isa::Program step_;
+  std::uint32_t row_off_ = 0, col_ = 0, cost_ = 0;
+  std::uint32_t frontier_[2] = {0, 0};
+  std::uint32_t changed_ = 0;
+};
+
+class Ccl final : public core::Workload {
+ public:
+  explicit Ccl(core::WorkloadConfig config, unsigned dim = 16);
+
+  std::string base_name() const override { return "CCL"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned dim_;       // image is dim x dim, dim a power of two
+  unsigned dim_log2_;
+  isa::Program step_;
+  std::uint32_t img_ = 0, labels_ = 0, changed_ = 0;
+};
+
+/// Needleman–Wunsch sequence alignment: integer dynamic programming swept
+/// one anti-diagonal per kernel launch (severely underutilized GPU, as the
+/// paper's Table I occupancy/IPC for NW shows).
+class Nw final : public core::Workload {
+ public:
+  explicit Nw(core::WorkloadConfig config, unsigned len = 0);
+
+  std::string base_name() const override { return "NW"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned len_;
+  isa::Program diag_;
+  std::uint32_t score_ = 0, seqa_ = 0, seqb_ = 0;
+};
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,232 @@
+#include "kernels/linalg.hpp"
+
+#include "common/rng.hpp"
+#include "kernels/elem.hpp"
+
+namespace gpurel::kernels {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+
+/// Diagonally dominant random matrix: keeps elimination numerically tame.
+std::vector<float> random_dd_matrix(unsigned n, Rng& rng) {
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  for (unsigned i = 0; i < n; ++i)
+    for (unsigned j = 0; j < n; ++j)
+      a[i * n + j] = static_cast<float>(rng.uniform(-1.0, 1.0)) +
+                     (i == j ? static_cast<float>(n) : 0.0f);
+  return a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Gaussian
+// ---------------------------------------------------------------------------
+
+Gaussian::Gaussian(core::WorkloadConfig config, unsigned n)
+    : Workload(std::move(config)) {
+  n_ = n ? n : std::max(16u, static_cast<unsigned>(32 * config_.scale) / 8 * 8);
+  if (n_ % 8 != 0) throw std::invalid_argument("Gaussian: n must be 8-aligned");
+}
+
+void Gaussian::build_programs() {
+  // Fan1: for i > k: M[i] = A[i][k] / A[k][k]; b[i] -= M[i] * b[k].
+  {
+    KernelBuilder b("FGAUSSIAN.fan1", config_.profile);
+    Reg a = b.load_param(0), bv = b.load_param(1), m = b.load_param(2);
+    Reg n = b.load_param(3), k = b.load_param(4);
+    Reg i = b.global_tid_x();
+    Pred active = b.pred();
+    b.isetp(active, i, k, CmpOp::GT);
+    Pred in_range = b.pred();
+    b.isetp(in_range, i, n, CmpOp::LT);
+    b.if_then(in_range, [&] {
+      b.if_then(active, [&] {
+        Reg idx = b.reg(), addr = b.reg();
+        Reg akk = b.reg(), aik = b.reg(), rc = b.reg(), mi = b.reg();
+        b.imad(idx, k, n, k);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(akk, addr);
+        b.imad(idx, i, n, k);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(aik, addr);
+        b.rcp(rc, akk);
+        b.fmul(mi, aik, rc);
+        b.addr_index(addr, m, i, 4);
+        b.stg(addr, mi);
+        // b[i] -= M[i]*b[k]
+        Reg bk = b.reg(), bi = b.reg(), t = b.reg();
+        b.addr_index(addr, bv, k, 4);
+        b.ldg(bk, addr);
+        b.addr_index(addr, bv, i, 4);
+        b.ldg(bi, addr);
+        b.fmul(t, mi, bk);
+        b.fmuli(t, t, -1.0f);
+        b.fadd(bi, bi, t);
+        b.stg(addr, bi);
+      });
+    });
+    fan1_ = b.build();
+    register_program(&fan1_);
+  }
+  // Fan2: for i > k, j >= k: A[i][j] -= M[i] * A[k][j].
+  {
+    KernelBuilder b("FGAUSSIAN.fan2", config_.profile);
+    Reg a = b.load_param(0), m = b.load_param(1);
+    Reg n = b.load_param(2), k = b.load_param(3);
+    Reg tx = b.tid_x(), bx = b.ctaid_x(), ntx = b.ntid_x();
+    Reg j = b.reg();
+    b.imad(j, bx, ntx, tx);
+    Reg ty = b.reg(), by = b.reg(), nty = b.reg();
+    b.s2r(ty, isa::SpecialReg::TID_Y);
+    b.s2r(by, isa::SpecialReg::CTAID_Y);
+    b.s2r(nty, isa::SpecialReg::NTID_Y);
+    Reg i = b.reg();
+    b.imad(i, by, nty, ty);
+    Pred pi = b.pred(), pj = b.pred();
+    b.isetp(pi, i, k, CmpOp::GT);
+    b.isetp(pj, j, k, CmpOp::GE);
+    b.if_then(pi, [&] {
+      b.if_then(pj, [&] {
+        Reg idx = b.reg(), addr = b.reg();
+        Reg mi = b.reg(), akj = b.reg(), aij = b.reg(), t = b.reg();
+        b.addr_index(addr, m, i, 4);
+        b.ldg(mi, addr);
+        b.imad(idx, k, n, j);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(akj, addr);
+        b.imad(idx, i, n, j);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(aij, addr);
+        b.fmul(t, mi, akj);
+        b.fmuli(t, t, -1.0f);
+        b.fadd(aij, aij, t);
+        b.stg(addr, aij);
+      });
+    });
+    fan2_ = b.build();
+    register_program(&fan2_);
+  }
+}
+
+void Gaussian::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  const auto a = random_dd_matrix(n_, rng);
+  std::vector<float> bvec(n_);
+  for (auto& v : bvec) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  a_ = dev.alloc_copy<float>(a);
+  bvec_ = dev.alloc_copy<float>(bvec);
+  mult_ = dev.alloc(n_ * 4);
+  register_output(a_, n_ * n_ * 4);
+  register_output(bvec_, n_ * 4);
+}
+
+void Gaussian::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  for (unsigned k = 0; k + 1 < n_; ++k) {
+    sim::KernelLaunch f1{&fan1_, {n_ / 8, 1}, {8, 1}, 0, {a_, bvec_, mult_, n_, k}};
+    if (!runner.launch(f1)) return;
+    sim::KernelLaunch f2{&fan2_, {n_ / 8, n_ / 8}, {8, 8}, 0, {a_, mult_, n_, k}};
+    if (!runner.launch(f2)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LUD
+// ---------------------------------------------------------------------------
+
+Lud::Lud(core::WorkloadConfig config, unsigned n) : Workload(std::move(config)) {
+  n_ = n ? n : std::max(16u, static_cast<unsigned>(32 * config_.scale) / 8 * 8);
+  if (n_ % 8 != 0) throw std::invalid_argument("Lud: n must be 8-aligned");
+}
+
+void Lud::build_programs() {
+  // scale: for i > k: A[i][k] /= A[k][k].
+  {
+    KernelBuilder b("FLUD.scale", config_.profile);
+    Reg a = b.load_param(0), n = b.load_param(1), k = b.load_param(2);
+    Reg i = b.global_tid_x();
+    Pred pi = b.pred(), pr = b.pred();
+    b.isetp(pi, i, k, CmpOp::GT);
+    b.isetp(pr, i, n, CmpOp::LT);
+    b.if_then(pr, [&] {
+      b.if_then(pi, [&] {
+        Reg idx = b.reg(), addr_kk = b.reg(), addr_ik = b.reg();
+        Reg akk = b.reg(), aik = b.reg(), rc = b.reg();
+        b.imad(idx, k, n, k);
+        b.addr_index(addr_kk, a, idx, 4);
+        b.ldg(akk, addr_kk);
+        b.imad(idx, i, n, k);
+        b.addr_index(addr_ik, a, idx, 4);
+        b.ldg(aik, addr_ik);
+        b.rcp(rc, akk);
+        b.fmul(aik, aik, rc);
+        b.stg(addr_ik, aik);
+      });
+    });
+    scale_ = b.build();
+    register_program(&scale_);
+  }
+  // update: for i > k, j > k: A[i][j] -= A[i][k] * A[k][j].
+  {
+    KernelBuilder b("FLUD.update", config_.profile);
+    Reg a = b.load_param(0), n = b.load_param(1), k = b.load_param(2);
+    Reg tx = b.tid_x(), bx = b.ctaid_x(), ntx = b.ntid_x();
+    Reg j = b.reg();
+    b.imad(j, bx, ntx, tx);
+    Reg ty = b.reg(), by = b.reg(), nty = b.reg();
+    b.s2r(ty, isa::SpecialReg::TID_Y);
+    b.s2r(by, isa::SpecialReg::CTAID_Y);
+    b.s2r(nty, isa::SpecialReg::NTID_Y);
+    Reg i = b.reg();
+    b.imad(i, by, nty, ty);
+    Pred pi = b.pred(), pj = b.pred();
+    b.isetp(pi, i, k, CmpOp::GT);
+    b.isetp(pj, j, k, CmpOp::GT);
+    b.if_then(pi, [&] {
+      b.if_then(pj, [&] {
+        Reg idx = b.reg(), addr = b.reg();
+        Reg aik = b.reg(), akj = b.reg(), aij = b.reg(), t = b.reg();
+        b.imad(idx, i, n, k);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(aik, addr);
+        b.imad(idx, k, n, j);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(akj, addr);
+        b.imad(idx, i, n, j);
+        b.addr_index(addr, a, idx, 4);
+        b.ldg(aij, addr);
+        b.fmul(t, aik, akj);
+        b.fmuli(t, t, -1.0f);
+        b.fadd(aij, aij, t);
+        b.stg(addr, aij);
+      });
+    });
+    update_ = b.build();
+    register_program(&update_);
+  }
+}
+
+void Lud::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  const auto a = random_dd_matrix(n_, rng);
+  a_ = dev.alloc_copy<float>(a);
+  register_output(a_, n_ * n_ * 4);
+}
+
+void Lud::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  for (unsigned k = 0; k + 1 < n_; ++k) {
+    sim::KernelLaunch s{&scale_, {n_ / 8, 1}, {8, 1}, 0, {a_, n_, k}};
+    if (!runner.launch(s)) return;
+    sim::KernelLaunch u{&update_, {n_ / 8, n_ / 8}, {8, 8}, 0, {a_, n_, k}};
+    if (!runner.launch(u)) return;
+  }
+}
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,52 @@
+// Dense linear-algebra solvers from the paper's Rodinia set: Gaussian
+// elimination (Fan1/Fan2-style multiplier + submatrix-update kernels driven
+// by a host loop over elimination steps — low occupancy and IPC, Table I)
+// and LU decomposition (in-place column-scale + trailing-update kernels).
+#pragma once
+
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+class Gaussian final : public core::Workload {
+ public:
+  Gaussian(core::WorkloadConfig config, unsigned n = 0);
+
+  std::string base_name() const override { return "GAUSSIAN"; }
+  core::Precision precision() const override { return core::Precision::Single; }
+  unsigned n() const { return n_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned n_;
+  isa::Program fan1_;  // multipliers + rhs update
+  isa::Program fan2_;  // submatrix update
+  std::uint32_t a_ = 0, bvec_ = 0, mult_ = 0;
+};
+
+class Lud final : public core::Workload {
+ public:
+  Lud(core::WorkloadConfig config, unsigned n = 0);
+
+  std::string base_name() const override { return "LUD"; }
+  core::Precision precision() const override { return core::Precision::Single; }
+  unsigned n() const { return n_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned n_;
+  isa::Program scale_;
+  isa::Program update_;
+  std::uint32_t a_ = 0;
+};
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,433 @@
+#include "kernels/matmul.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "kernels/elem.hpp"
+
+namespace gpurel::kernels {
+
+using core::Precision;
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::MemWidth;
+using isa::Pred;
+using isa::Reg;
+using isa::RegPair;
+
+namespace {
+
+/// Upload an n*n matrix of small random values of the given precision.
+std::uint32_t upload_matrix(sim::Device& dev, Precision p, unsigned n, Rng& rng) {
+  auto bytes = pack_elements(p, static_cast<std::size_t>(n) * n,
+                             [&](std::size_t) { return rng.uniform(-0.5, 0.5); });
+  return dev.alloc_copy<std::uint8_t>(bytes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MxM (naive)
+// ---------------------------------------------------------------------------
+
+MxM::MxM(core::WorkloadConfig config, Precision precision, unsigned n)
+    : Workload(std::move(config)), precision_(precision) {
+  n_ = n ? n : std::max(16u, static_cast<unsigned>(48 * config_.scale) / 16 * 16);
+  if (n_ % 16 != 0) throw std::invalid_argument("MxM: n must be a multiple of 16");
+  if (precision_ == Precision::Int32)
+    throw std::invalid_argument("MxM: paper variants are H/F/D");
+}
+
+void MxM::build_programs() {
+  KernelBuilder b(name(), config_.profile);
+  ElemEmitter e(b, precision_);
+  const unsigned esz = e.esz();
+
+  Reg a_base = b.load_param(0), b_base = b.load_param(1), c_base = b.load_param(2);
+  Reg n = b.load_param(3);
+
+  Reg tid_x = b.tid_x();
+  Reg cta_x = b.ctaid_x();
+  Reg ntid_x = b.ntid_x();
+  Reg col = b.reg();
+  b.imad(col, cta_x, ntid_x, tid_x);
+  Reg tid_y = b.reg(), cta_y = b.reg(), ntid_y = b.reg();
+  b.s2r(tid_y, isa::SpecialReg::TID_Y);
+  b.s2r(cta_y, isa::SpecialReg::CTAID_Y);
+  b.s2r(ntid_y, isa::SpecialReg::NTID_Y);
+  Reg row = b.reg();
+  b.imad(row, cta_y, ntid_y, tid_y);
+
+  // addr_a walks A row `row`; addr_b walks B column `col`.
+  Reg rown = b.reg();
+  b.imul(rown, row, n);
+  Reg addr_a = b.reg();
+  b.addr_index(addr_a, a_base, rown, esz);
+  Reg addr_b = b.reg();
+  b.addr_index(addr_b, b_base, col, esz);
+  Reg stride_b = b.reg();
+  b.imuli(stride_b, n, static_cast<std::int32_t>(esz));
+
+  Elem acc = e.alloc(), va = e.alloc(), vb = e.alloc();
+  e.constant(acc, 0.0);
+  // The K loop is unrolled per the compiler profile with immediate-offset
+  // loads along the A row, like the optimizer's generated SASS; B advances
+  // by a whole unroll stride per iteration.
+  const unsigned unroll = std::max(1u, b.options().unroll);
+  Reg k = b.reg();
+  b.for_range_static(
+      k, 0, static_cast<std::int32_t>(n_ / unroll), 1, [&] {
+        for (unsigned u = 0; u < unroll; ++u) {
+          e.load(va, addr_a, static_cast<std::int32_t>(u * esz));
+          e.load(vb, addr_b);
+          e.mul_add(acc, va, vb, acc);
+          if (u + 1 < unroll) b.iadd(addr_b, addr_b, stride_b);
+        }
+        b.iaddi(addr_a, addr_a, static_cast<std::int32_t>(unroll * esz));
+        b.iadd(addr_b, addr_b, stride_b);
+      });
+
+  Reg out_idx = b.reg();
+  b.iadd(out_idx, rown, col);
+  Reg addr_c = b.reg();
+  b.addr_index(addr_c, c_base, out_idx, esz);
+  e.store(addr_c, acc);
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void MxM::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  a_ = upload_matrix(dev, precision_, n_, rng);
+  b_ = upload_matrix(dev, precision_, n_, rng);
+  const std::uint32_t bytes = n_ * n_ * core::precision_bytes(precision_);
+  c_ = dev.alloc(bytes);
+  register_output(c_, bytes);
+}
+
+void MxM::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  sim::KernelLaunch kl{&program_, {n_ / 16, n_ / 16}, {16, 16}, 0, {a_, b_, c_, n_}};
+  runner.launch(kl);
+}
+
+// ---------------------------------------------------------------------------
+// Gemm (tiled, library-modeled)
+// ---------------------------------------------------------------------------
+
+Gemm::Gemm(core::WorkloadConfig config, Precision precision, unsigned n)
+    : Workload(std::move(config)), precision_(precision) {
+  tile_ = 16;
+  n_ = n ? n : std::max(2 * tile_, static_cast<unsigned>(64 * config_.scale) /
+                                       tile_ * tile_);
+  if (n_ % tile_ != 0) throw std::invalid_argument("Gemm: n must be tile-aligned");
+  if (precision_ == Precision::Int32)
+    throw std::invalid_argument("Gemm: paper variants are H/F/D");
+}
+
+void Gemm::build_programs() {
+  KernelBuilder b(name(), config_.profile);
+  ElemEmitter e(b, precision_);
+  const unsigned esz = e.esz();
+  const unsigned T = tile_;
+
+  const std::uint32_t s_a = b.shared_alloc(T * T * esz, 8);
+  const std::uint32_t s_b = b.shared_alloc(T * T * esz, 8);
+  // The vendor library configures far more shared memory and registers than
+  // the textbook tiling needs (double buffering, wide register blocking);
+  // reserve footprints matching Table I so occupancy behaves like the paper.
+  const bool kepler = config_.gpu.arch == arch::Architecture::Kepler;
+  const std::uint32_t target_shared = kepler ? 31u * 1024 : 62u * 1024;
+  if (target_shared > s_b + T * T * esz)
+    b.shared_alloc(target_shared - (s_b + T * T * esz));
+  unsigned reserve = 0;
+  if (kepler) reserve = 248;
+  else if (precision_ == Precision::Half) reserve = 127;
+  else if (precision_ == Precision::Single) reserve = 134;
+  else reserve = 234;
+  b.reserve_regs(reserve);
+
+  Reg a_base = b.load_param(0), b_base = b.load_param(1), c_base = b.load_param(2);
+  Reg n = b.load_param(3);
+
+  Reg tx = b.tid_x();
+  Reg ty = b.reg();
+  b.s2r(ty, isa::SpecialReg::TID_Y);
+  Reg bx = b.ctaid_x();
+  Reg by = b.reg();
+  b.s2r(by, isa::SpecialReg::CTAID_Y);
+
+  // Register blocking: a T x T/2 thread block where each thread owns TWO
+  // C rows (ty and ty+T/2), reusing every staged B value for two FMAs —
+  // the library-kernel trick that makes GEMM's dynamic mix FMA-heavy.
+  const unsigned H = T / 2;
+  Reg col = b.reg(), row = b.reg();
+  Reg tconst = b.reg();
+  b.movi(tconst, static_cast<std::int32_t>(T));
+  b.imad(col, bx, tconst, tx);
+  b.imad(row, by, tconst, ty);  // first owned row; second is row + H
+
+  Reg rown = b.reg();
+  b.imul(rown, row, n);
+  Reg half_rows = b.reg();  // H*n*esz: byte offset between the two owned rows
+  b.imuli(half_rows, n, static_cast<std::int32_t>(H * esz));
+
+  // Per-step global addresses: A[row][kt*T + tx], B[kt*T + ty][col].
+  Reg addr_a = b.reg();  // A + (row*n + tx)*esz, advances by T*esz each step
+  Reg tmp = b.reg();
+  b.iadd(tmp, rown, tx);
+  b.addr_index(addr_a, a_base, tmp, esz);
+  Reg addr_a2 = b.reg();
+  b.iadd(addr_a2, addr_a, half_rows);
+  Reg addr_b = b.reg();  // B + (ty*n + col)*esz, advances by T*n*esz each step
+  b.imul(tmp, ty, n);
+  b.iadd(tmp, tmp, col);
+  b.addr_index(addr_b, b_base, tmp, esz);
+  Reg addr_b2 = b.reg();
+  b.iadd(addr_b2, addr_b, half_rows);
+  Reg step_b = b.reg();
+  b.imuli(step_b, n, static_cast<std::int32_t>(T * esz));
+
+  // Shared tile addresses (each thread stages two cells per tile).
+  const auto s_half = static_cast<std::int32_t>(H * T * esz);
+  Reg s_a_store = b.reg();  // &sA[ty][tx]
+  b.imuli(tmp, ty, static_cast<std::int32_t>(T));
+  b.iadd(tmp, tmp, tx);
+  Reg sbase = b.reg();
+  b.movi(sbase, static_cast<std::int32_t>(s_a));
+  b.addr_index(s_a_store, sbase, tmp, esz);
+  Reg s_b_store = b.reg();  // &sB[ty][tx]
+  b.movi(sbase, static_cast<std::int32_t>(s_b));
+  b.addr_index(s_b_store, sbase, tmp, esz);
+
+  Reg s_a_row = b.reg();  // &sA[ty][0]
+  b.imuli(tmp, ty, static_cast<std::int32_t>(T));
+  b.movi(sbase, static_cast<std::int32_t>(s_a));
+  b.addr_index(s_a_row, sbase, tmp, esz);
+  Reg s_b_col = b.reg();  // &sB[0][tx]
+  b.movi(sbase, static_cast<std::int32_t>(s_b));
+  b.addr_index(s_b_col, sbase, tx, esz);
+
+  Elem acc0 = e.alloc(), acc1 = e.alloc();
+  Elem va0 = e.alloc(), va1 = e.alloc(), vb = e.alloc(), staged = e.alloc();
+  e.constant(acc0, 0.0);
+  e.constant(acc1, 0.0);
+
+  Reg kt = b.reg();
+  b.for_range_static(kt, 0, static_cast<std::int32_t>(n_ / T), 1, [&] {
+    e.load(staged, addr_a);
+    e.store_shared(s_a_store, staged);
+    e.load(staged, addr_a2);
+    e.store_shared(s_a_store, staged, s_half);
+    e.load(staged, addr_b);
+    e.store_shared(s_b_store, staged);
+    e.load(staged, addr_b2);
+    e.store_shared(s_b_store, staged, s_half);
+    b.bar();
+    // Fully unrolled inner product over the staged tiles with immediate
+    // offsets — no loop bookkeeping, as in the library's generated SASS;
+    // each B value feeds both owned rows.
+    for (unsigned k = 0; k < T; ++k) {
+      e.load_shared(va0, s_a_row, static_cast<std::int32_t>(k * esz));
+      e.load_shared(va1, s_a_row, static_cast<std::int32_t>(k * esz) + s_half);
+      e.load_shared(vb, s_b_col, static_cast<std::int32_t>(k * T * esz));
+      e.mul_add(acc0, va0, vb, acc0);
+      e.mul_add(acc1, va1, vb, acc1);
+    }
+    b.bar();
+    b.iaddi(addr_a, addr_a, static_cast<std::int32_t>(T * esz));
+    b.iaddi(addr_a2, addr_a2, static_cast<std::int32_t>(T * esz));
+    b.iadd(addr_b, addr_b, step_b);
+    b.iadd(addr_b2, addr_b2, step_b);
+  });
+
+  Reg out_idx = b.reg();
+  b.iadd(out_idx, rown, col);
+  Reg addr_c = b.reg();
+  b.addr_index(addr_c, c_base, out_idx, esz);
+  e.store(addr_c, acc0);
+  Reg addr_c2 = b.reg();
+  b.iadd(addr_c2, addr_c, half_rows);
+  e.store(addr_c2, acc1);
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void Gemm::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  a_ = upload_matrix(dev, precision_, n_, rng);
+  b_ = upload_matrix(dev, precision_, n_, rng);
+  const std::uint32_t bytes = n_ * n_ * core::precision_bytes(precision_);
+  c_ = dev.alloc(bytes);
+  register_output(c_, bytes);
+}
+
+void Gemm::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  // T x T/2 threads per block: each thread computes two C rows.
+  sim::KernelLaunch kl{&program_, {n_ / tile_, n_ / tile_},
+                       {tile_, tile_ / 2}, 0, {a_, b_, c_, n_}};
+  runner.launch(kl);
+}
+
+// ---------------------------------------------------------------------------
+// GemmMma (tensor cores)
+// ---------------------------------------------------------------------------
+
+GemmMma::GemmMma(core::WorkloadConfig config, Precision precision, unsigned n)
+    : Workload(std::move(config)), precision_(precision) {
+  if (precision_ != Precision::Half && precision_ != Precision::Single)
+    throw std::invalid_argument("GemmMma: precision must be Half or Single");
+  if (!config_.gpu.has_tensor)
+    throw std::invalid_argument("GemmMma: " + config_.gpu.name +
+                                " has no tensor cores");
+  n_ = n ? n : 64;
+  // Tile mapping uses shifts: n/16 must be a power of two.
+  const unsigned tiles = n_ / 16;
+  if (n_ % 16 != 0 || (tiles & (tiles - 1)) != 0)
+    throw std::invalid_argument("GemmMma: n/16 must be a power of two");
+}
+
+void GemmMma::build_programs() {
+  const bool half = precision_ == Precision::Half;
+  const unsigned esz_in = half ? 2 : 4;
+  const unsigned tiles_per_row = n_ / 16;
+  unsigned tiles_log2 = 0;
+  while ((tiles_per_row >> tiles_log2) != 1) ++tiles_log2;
+
+  KernelBuilder b(name(), config_.profile);
+  b.reserve_regs(96);  // library-style footprint
+  Reg a_base = b.load_param(0), b_base = b.load_param(1), c_base = b.load_param(2);
+  Reg n = b.load_param(3);
+
+  Reg lane = b.reg();
+  b.s2r(lane, isa::SpecialReg::LANEID);
+  Reg gtid = b.global_tid_x();
+  Reg warp = b.reg();
+  b.shr(warp, gtid, 5);
+  Reg trow = b.reg(), tcol = b.reg();
+  b.shr(trow, warp, tiles_log2);
+  b.landi(tcol, warp, static_cast<std::int32_t>(tiles_per_row - 1));
+  Reg row0 = b.reg(), col0 = b.reg();
+  b.shl(row0, trow, 4);
+  b.shl(col0, tcol, 4);
+
+  Reg fa = b.reg_block(4), fb = b.reg_block(4);
+  const unsigned acc_regs = half ? 4 : 8;
+  Reg facc = b.reg_block(acc_regs);
+  for (unsigned k = 0; k < acc_regs; ++k) {
+    Reg r{static_cast<std::uint8_t>(facc.index + k)};
+    if (half) b.movi(r, 0);
+    else b.movf(r, 0.0f);
+  }
+
+  Reg lane8 = b.reg();
+  b.shl(lane8, lane, 3);  // first element index of this lane's fragment slice
+
+  // Loads one packed fragment register pair-slot; for the float variant the
+  // two fp32 values are cast to fp16 before packing (cuBLAS mixed-precision).
+  auto load_frag = [&](Reg frag, Reg mat_base, Reg r_origin, Reg c_origin,
+                       Reg k_origin, bool row_major_r_is_row) {
+    Reg er = b.reg(), ec = b.reg(), eidx = b.reg(), addr = b.reg(), h = b.reg();
+    Reg tmp = b.reg();
+    for (unsigned s = 0; s < 8; ++s) {
+      b.iaddi(eidx, lane8, static_cast<std::int32_t>(s));
+      b.shr(er, eidx, 4);
+      b.landi(ec, eidx, 15);
+      // element (er, ec) of the 16x16 tile; map into the matrix.
+      Reg mrow = b.reg(), mcol = b.reg();
+      if (row_major_r_is_row) {  // A tile: row = r_origin+er, col = k_origin+ec
+        b.iadd(mrow, r_origin, er);
+        b.iadd(mcol, k_origin, ec);
+      } else {  // B tile: row = k_origin+er, col = c_origin+ec
+        b.iadd(mrow, k_origin, er);
+        b.iadd(mcol, c_origin, ec);
+      }
+      b.imad(tmp, mrow, n, mcol);
+      b.addr_index(addr, mat_base, tmp, esz_in);
+      if (half) {
+        b.ldg(h, addr, 0, MemWidth::B16);
+      } else {
+        b.ldg(h, addr, 0, MemWidth::B32);
+        b.f2h(h, h);
+      }
+      Reg dst{static_cast<std::uint8_t>(frag.index + (s >> 1))};
+      if (s % 2 == 0) {
+        b.mov(dst, h);
+      } else {
+        b.shl(h, h, 16);
+        b.lor(dst, dst, h);
+      }
+      b.free(mrow);
+      b.free(mcol);
+    }
+    b.free(er);
+    b.free(ec);
+    b.free(eidx);
+    b.free(addr);
+    b.free(h);
+    b.free(tmp);
+  };
+
+  Reg kt = b.reg();
+  Reg k0 = b.reg();
+  b.for_range_static(kt, 0, static_cast<std::int32_t>(tiles_per_row), 1, [&] {
+    b.shl(k0, kt, 4);
+    load_frag(fa, a_base, row0, col0, k0, /*row_major_r_is_row=*/true);
+    load_frag(fb, b_base, row0, col0, k0, /*row_major_r_is_row=*/false);
+    if (half) b.hmma(facc, fa, fb, facc);
+    else b.fmma(facc, fa, fb, facc);
+  });
+
+  // Store the accumulator fragment to C.
+  {
+    Reg eidx = b.reg(), er = b.reg(), ec = b.reg(), addr = b.reg(), tmp = b.reg();
+    Reg mrow = b.reg(), mcol = b.reg(), h = b.reg();
+    for (unsigned s = 0; s < 8; ++s) {
+      b.iaddi(eidx, lane8, static_cast<std::int32_t>(s));
+      b.shr(er, eidx, 4);
+      b.landi(ec, eidx, 15);
+      b.iadd(mrow, row0, er);
+      b.iadd(mcol, col0, ec);
+      b.imad(tmp, mrow, n, mcol);
+      const unsigned esz_out = half ? 2 : 4;
+      b.addr_index(addr, c_base, tmp, esz_out);
+      if (half) {
+        Reg src{static_cast<std::uint8_t>(facc.index + (s >> 1))};
+        if (s % 2 == 0) {
+          b.stg(addr, src, 0, MemWidth::B16);
+        } else {
+          b.shr(h, src, 16);
+          b.stg(addr, h, 0, MemWidth::B16);
+        }
+      } else {
+        b.stg(addr, Reg{static_cast<std::uint8_t>(facc.index + s)});
+      }
+    }
+  }
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void GemmMma::setup(sim::Device& dev) {
+  // Same generator and range as Gemm, so the two paths consume identical
+  // inputs for a given seed (cross-validated in tests).
+  Rng rng(config_.input_seed);
+  a_ = upload_matrix(dev, precision_, n_, rng);
+  b_ = upload_matrix(dev, precision_, n_, rng);
+  const std::uint32_t bytes = n_ * n_ * core::precision_bytes(precision_);
+  c_ = dev.alloc(bytes);
+  register_output(c_, bytes);
+}
+
+void GemmMma::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  const unsigned total_warps = (n_ / 16) * (n_ / 16);
+  const unsigned warps_per_block = 2;
+  const unsigned blocks = std::max(1u, total_warps / warps_per_block);
+  sim::KernelLaunch kl{&program_, {blocks, 1}, {warps_per_block * 32, 1}, 0,
+                       {a_, b_, c_, n_}};
+  runner.launch(kl);
+}
+
+}  // namespace gpurel::kernels

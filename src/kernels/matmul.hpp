@@ -1,0 +1,86 @@
+// Matrix multiplication workloads (§III-B): the naive per-output-element MxM
+// in half/single/double precision, the tiled shared-memory GEMM that models
+// the cuBLAS library kernels (per-precision tile/register configurations,
+// large register and shared footprints, low occupancy / high IPC — Table I),
+// and the tensor-core GEMM-MMA variants that drive warp-wide 16x16 MMAs.
+#pragma once
+
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+/// Naive MxM: one thread per C element, K-loop over global memory.
+class MxM final : public core::Workload {
+ public:
+  MxM(core::WorkloadConfig config, core::Precision precision, unsigned n = 0);
+
+  std::string base_name() const override { return "MXM"; }
+  core::Precision precision() const override { return precision_; }
+  unsigned n() const { return n_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;
+  unsigned n_;
+  isa::Program program_;
+  std::uint32_t a_ = 0, b_ = 0, c_ = 0;
+};
+
+/// Tiled shared-memory GEMM modeling the vendor library kernel: staged
+/// A/B tiles with a block-wide barrier per step, precision-specific tile
+/// configuration, and a register footprint reservation mirroring the
+/// heavily unrolled library code (Table I: 248 regs on Kepler FGEMM).
+class Gemm final : public core::Workload {
+ public:
+  Gemm(core::WorkloadConfig config, core::Precision precision, unsigned n = 0);
+
+  std::string base_name() const override { return "GEMM"; }
+  core::Precision precision() const override { return precision_; }
+  bool uses_library() const override { return true; }
+  unsigned n() const { return n_; }
+  unsigned tile() const { return tile_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;
+  unsigned n_;
+  unsigned tile_;
+  isa::Program program_;
+  std::uint32_t a_ = 0, b_ = 0, c_ = 0;
+};
+
+/// Tensor-core GEMM: each warp owns one 16x16 C tile and iterates MMA over
+/// the K dimension. Half variant (HGEMM-MMA) keeps fp16 storage and
+/// accumulation; float variant (FGEMM-MMA) loads fp32, casts the multiply
+/// inputs to fp16 (as cuBLAS does on Volta), and accumulates in fp32.
+class GemmMma final : public core::Workload {
+ public:
+  GemmMma(core::WorkloadConfig config, core::Precision precision, unsigned n = 0);
+
+  std::string base_name() const override { return "GEMM-MMA"; }
+  core::Precision precision() const override { return precision_; }
+  bool uses_library() const override { return true; }
+  unsigned n() const { return n_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;  // Half or Single
+  unsigned n_;
+  isa::Program program_;
+  std::uint32_t a_ = 0, b_ = 0, c_ = 0;
+};
+
+}  // namespace gpurel::kernels

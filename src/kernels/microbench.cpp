@@ -1,0 +1,396 @@
+#include "kernels/microbench.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+
+namespace gpurel::kernels {
+
+using core::Precision;
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::MemWidth;
+using isa::Pred;
+using isa::Reg;
+using isa::RegPair;
+
+namespace {
+
+constexpr unsigned kChains = 4;  // independent accumulator chains (ILP)
+
+unsigned fill_threads(const arch::GpuConfig& gpu) {
+  // Enough 256-thread blocks to populate every SM well (paper: the thread
+  // count is tuned to occupy all available functional units).
+  return gpu.sm_count * 8 * 256;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArithMicro
+// ---------------------------------------------------------------------------
+
+ArithMicro::ArithMicro(core::WorkloadConfig config, Precision precision, MicroOp op)
+    : Workload(std::move(config)), precision_(precision), op_(op) {
+  // Floor keeps the chain long enough that this unit dominates the bench's
+  // exposure regardless of the global scale knob.
+  ops_per_thread_ = std::max(64u, static_cast<unsigned>(256 * config_.scale));
+  threads_ = fill_threads(config_.gpu);
+}
+
+std::string ArithMicro::base_name() const {
+  switch (op_) {
+    case MicroOp::Add: return "ADD";
+    case MicroOp::Mul: return "MUL";
+    case MicroOp::Fma: return precision_ == Precision::Int32 ? "MAD" : "FMA";
+  }
+  return "?";
+}
+
+std::string ArithMicro::name() const {
+  const std::string_view prefix =
+      precision_ == Precision::Int32 ? "I" : core::precision_prefix(precision_);
+  return std::string(prefix) + base_name();
+}
+
+void ArithMicro::build_programs() {
+  KernelBuilder b(name(), config_.profile);
+  Reg tid = b.global_tid_x();
+  Reg out = b.load_param(0);
+  const unsigned iters = std::max(1u, ops_per_thread_ / (2 * kChains));
+
+  if (precision_ == Precision::Double) {
+    RegPair acc[kChains];
+    RegPair x = b.reg_pair(), y = b.reg_pair();
+    RegPair seed = b.reg_pair();
+    b.i2d(seed, tid);
+    for (unsigned j = 0; j < kChains; ++j) {
+      acc[j] = b.reg_pair();
+      RegPair offs = b.reg_pair();
+      b.movd(offs, 0.125 * (j + 1));
+      b.dmul(acc[j], seed, offs);
+    }
+    switch (op_) {
+      case MicroOp::Add: b.movd(x, 0.5); b.movd(y, 0.25); break;
+      case MicroOp::Mul: b.movd(x, 1.25); b.movd(y, 0.8); break;
+      case MicroOp::Fma: b.movd(x, 0.99); b.movd(y, 0.01); break;
+    }
+    RegPair c1 = b.reg_pair();
+    b.movd(c1, 0.01);
+    Reg i = b.reg();
+    b.for_range_static(i, 0, static_cast<std::int32_t>(iters), 1, [&] {
+      for (unsigned j = 0; j < kChains; ++j) {
+        switch (op_) {
+          case MicroOp::Add:
+            b.dadd(acc[j], acc[j], x);
+            b.dadd(acc[j], acc[j], y);
+            break;
+          case MicroOp::Mul:
+            b.dmul(acc[j], acc[j], x);
+            b.dmul(acc[j], acc[j], y);
+            break;
+          case MicroOp::Fma:
+            b.dfma(acc[j], acc[j], x, c1);
+            b.dfma(acc[j], acc[j], x, c1);
+            break;
+        }
+      }
+    });
+    Reg addr = b.reg();
+    b.addr_index(addr, out, tid, kChains * 8);
+    for (unsigned j = 0; j < kChains; ++j)
+      b.stg64(addr, acc[j], static_cast<std::int32_t>(j * 8));
+  } else {
+    Reg acc[kChains];
+    Reg x = b.reg(), y = b.reg(), c1 = b.reg();
+    const bool half = precision_ == Precision::Half;
+    const bool fp = precision_ != Precision::Int32;
+    // Initialize chains from the thread id so every thread's data differs.
+    for (unsigned j = 0; j < kChains; ++j) {
+      acc[j] = b.reg();
+      if (precision_ == Precision::Int32) {
+        b.imuli(acc[j], tid, static_cast<std::int32_t>(2654435761u));
+        b.iaddi(acc[j], acc[j], static_cast<std::int32_t>(j * 40503u + 1));
+      } else {
+        Reg low = b.reg();
+        b.landi(low, tid, 63);  // bound the magnitude
+        b.i2f(acc[j], low);
+        b.fmuli(acc[j], acc[j], 0.01f);
+        b.faddi(acc[j], acc[j], 0.125f * static_cast<float>(j + 1));
+        if (half) b.f2h(acc[j], acc[j]);
+        b.free(low);
+      }
+    }
+    auto set_consts = [&](float a32, float b32, std::int32_t ai, std::int32_t bi) {
+      if (precision_ == Precision::Int32) {
+        b.movi(x, ai);
+        b.movi(y, bi);
+        b.movi(c1, 1);
+      } else if (half) {
+        b.movh(x, a32);
+        b.movh(y, b32);
+        b.movh(c1, 0.01f);
+      } else {
+        b.movf(x, a32);
+        b.movf(y, b32);
+        b.movf(c1, 0.01f);
+      }
+    };
+    switch (op_) {
+      case MicroOp::Add: set_consts(0.5f, 0.25f, 3, 5); break;
+      case MicroOp::Mul: set_consts(1.25f, 0.8f, 3, 5); break;
+      case MicroOp::Fma: set_consts(0.99f, 0.99f, 3, 3); break;
+    }
+    auto emit_op = [&](Reg a, Reg operand) {
+      switch (op_) {
+        case MicroOp::Add:
+          if (precision_ == Precision::Int32) b.iadd(a, a, operand);
+          else if (half) b.hadd(a, a, operand);
+          else b.fadd(a, a, operand);
+          break;
+        case MicroOp::Mul:
+          if (precision_ == Precision::Int32) b.imul(a, a, operand);
+          else if (half) b.hmul(a, a, operand);
+          else b.fmul(a, a, operand);
+          break;
+        case MicroOp::Fma:
+          if (precision_ == Precision::Int32) b.imad(a, a, operand, c1);
+          else if (half) b.hfma(a, a, operand, c1);
+          else b.ffma(a, a, operand, c1);
+          break;
+      }
+    };
+    Reg i = b.reg();
+    b.for_range_static(i, 0, static_cast<std::int32_t>(iters), 1, [&] {
+      for (unsigned j = 0; j < kChains; ++j) {
+        emit_op(acc[j], x);
+        emit_op(acc[j], y);
+      }
+    });
+    (void)fp;
+    Reg addr = b.reg();
+    const unsigned esz = half ? 2 : 4;
+    b.addr_index(addr, out, tid, kChains * esz);
+    for (unsigned j = 0; j < kChains; ++j)
+      b.stg(addr, acc[j], static_cast<std::int32_t>(j * esz),
+            half ? MemWidth::B16 : MemWidth::B32);
+  }
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void ArithMicro::setup(sim::Device& dev) {
+  const unsigned esz = core::precision_bytes(precision_);
+  const std::uint32_t bytes = threads_ * kChains * esz;
+  out_addr_ = dev.alloc(bytes);
+  register_output(out_addr_, bytes);
+}
+
+void ArithMicro::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  sim::KernelLaunch kl{&program_, {threads_ / 256, 1}, {256, 1}, 0, {out_addr_}};
+  runner.launch(kl);
+}
+
+// ---------------------------------------------------------------------------
+// RfMicro
+// ---------------------------------------------------------------------------
+
+RfMicro::RfMicro(core::WorkloadConfig config, unsigned regs_per_thread,
+                 unsigned delay_iters)
+    : Workload(std::move(config)),
+      data_regs_(regs_per_thread),
+      delay_iters_(std::max(16u, static_cast<unsigned>(delay_iters * config_.scale))) {
+  if (data_regs_ < 8 || data_regs_ > 240)
+    throw std::invalid_argument("RfMicro: regs_per_thread must be in [8, 240]");
+  // One 256-thread block per SM: near-maximal RF utilization per the paper's
+  // design ("lowest possible number of threads while fully utilizing the RF").
+  threads_ = config_.gpu.sm_count * 256;
+}
+
+void RfMicro::build_programs() {
+  KernelBuilder b("RF", config_.profile);
+  Reg tid = b.global_tid_x();
+  Reg out = b.load_param(0);
+
+  // Fill a block of registers with a thread-unique pattern.
+  Reg data = b.reg_block(data_regs_);
+  Reg tmp = b.reg();
+  for (unsigned r = 0; r < data_regs_; ++r) {
+    Reg dr{static_cast<std::uint8_t>(data.index + r)};
+    b.movi(tmp, static_cast<std::int32_t>(r * 0x9e3779b9u + 0x7f4a7c15u));
+    b.imad(dr, tid, tmp, tmp);
+  }
+  // Exposure window: a lightweight delay loop (the beam sees mostly RF bits).
+  Reg i = b.reg(), sink = b.reg();
+  b.movi(sink, 0);
+  b.for_range_static(i, 0, static_cast<std::int32_t>(delay_iters_), 1,
+                     [&] { b.iaddi(sink, sink, 1); });
+  // Read-back: store every register.
+  Reg addr = b.reg();
+  Reg first = b.reg();
+  b.imuli(first, tid, static_cast<std::int32_t>(data_regs_));
+  b.addr_index(addr, out, first, 4);
+  b.free(first);
+  for (unsigned r = 0; r < data_regs_; ++r)
+    b.stg(addr, Reg{static_cast<std::uint8_t>(data.index + r)},
+          static_cast<std::int32_t>(r * 4));
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void RfMicro::setup(sim::Device& dev) {
+  const std::uint32_t bytes = threads_ * data_regs_ * 4;
+  out_addr_ = dev.alloc(bytes);
+  register_output(out_addr_, bytes);
+}
+
+void RfMicro::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  sim::KernelLaunch kl{&program_, {threads_ / 256, 1}, {256, 1}, 0, {out_addr_}};
+  runner.launch(kl);
+}
+
+// ---------------------------------------------------------------------------
+// LdstMicro
+// ---------------------------------------------------------------------------
+
+LdstMicro::LdstMicro(core::WorkloadConfig config, unsigned moves_per_thread)
+    : Workload(std::move(config)),
+      moves_per_thread_(
+          std::max(16u, static_cast<unsigned>(moves_per_thread * config_.scale))) {
+  threads_ = fill_threads(config_.gpu);
+}
+
+void LdstMicro::build_programs() {
+  KernelBuilder b("LDST", config_.profile);
+  Reg tid = b.global_tid_x();
+  Reg in = b.load_param(0), out = b.load_param(1);
+  Reg in_addr = b.reg(), out_addr = b.reg();
+  Reg first = b.reg();
+  b.imuli(first, tid, static_cast<std::int32_t>(moves_per_thread_));
+  b.addr_index(in_addr, in, first, 4);
+  b.addr_index(out_addr, out, first, 4);
+  b.free(first);
+  Reg i = b.reg(), v = b.reg();
+  b.for_range_static(i, 0, static_cast<std::int32_t>(moves_per_thread_), 1, [&] {
+    b.ldg(v, in_addr);
+    b.stg(out_addr, v);
+    b.iaddi(in_addr, in_addr, 4);
+    b.iaddi(out_addr, out_addr, 4);
+  });
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void LdstMicro::setup(sim::Device& dev) {
+  const std::uint32_t bytes = threads_ * moves_per_thread_ * 4;
+  std::vector<std::uint32_t> pattern(bytes / 4);
+  Rng rng(config_.input_seed);
+  for (auto& w : pattern) w = rng.next_u32();
+  in_addr_ = dev.alloc_copy<std::uint32_t>(pattern);
+  out_addr_ = dev.alloc(bytes);
+  register_output(out_addr_, bytes);
+}
+
+void LdstMicro::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  sim::KernelLaunch kl{&program_, {threads_ / 256, 1}, {256, 1}, 0,
+                       {in_addr_, out_addr_}};
+  runner.launch(kl);
+}
+
+// ---------------------------------------------------------------------------
+// MmaMicro
+// ---------------------------------------------------------------------------
+
+MmaMicro::MmaMicro(core::WorkloadConfig config, Precision precision,
+                   unsigned mmas_per_warp)
+    : Workload(std::move(config)),
+      precision_(precision),
+      mmas_per_warp_(
+          std::max(32u, static_cast<unsigned>(mmas_per_warp * config_.scale))) {
+  if (precision_ != Precision::Half && precision_ != Precision::Single)
+    throw std::invalid_argument("MmaMicro: precision must be Half or Single");
+  if (!config_.gpu.has_tensor)
+    throw std::invalid_argument("MmaMicro: " + config_.gpu.name +
+                                " has no tensor cores");
+  warps_ = config_.gpu.sm_count * 16;
+}
+
+void MmaMicro::build_programs() {
+  const bool half_acc = precision_ == Precision::Half;
+  KernelBuilder b(name(), config_.profile);
+  Reg pa = b.load_param(0), pb = b.load_param(1), pd = b.load_param(2);
+  Reg lane = b.reg();
+  b.s2r(lane, isa::SpecialReg::LANEID);
+  Reg tid = b.global_tid_x();
+  Reg warp = b.reg();
+  b.shr(warp, tid, 5);  // global warp index
+
+  Reg fa = b.reg_block(4), fb = b.reg_block(4);
+  const unsigned acc_regs = half_acc ? 4 : 8;
+  Reg fc = b.reg_block(acc_regs);
+
+  Reg addr = b.reg();
+  b.addr_index(addr, pa, lane, 16);  // 8 halves = 16 bytes per lane
+  for (unsigned k = 0; k < 4; ++k)
+    b.ldg(Reg{static_cast<std::uint8_t>(fa.index + k)}, addr,
+          static_cast<std::int32_t>(k * 4));
+  b.addr_index(addr, pb, lane, 16);
+  for (unsigned k = 0; k < 4; ++k)
+    b.ldg(Reg{static_cast<std::uint8_t>(fb.index + k)}, addr,
+          static_cast<std::int32_t>(k * 4));
+  for (unsigned k = 0; k < acc_regs; ++k) {
+    Reg r{static_cast<std::uint8_t>(fc.index + k)};
+    if (half_acc) b.movi(r, 0);
+    else b.movf(r, 0.0f);
+  }
+
+  Reg i = b.reg();
+  b.for_range_static(i, 0, static_cast<std::int32_t>(mmas_per_warp_), 1, [&] {
+    if (half_acc) b.hmma(fc, fa, fb, fc);
+    else b.fmma(fc, fa, fb, fc);
+  });
+
+  // Store the accumulator fragment: per warp region, per lane slice.
+  const unsigned lane_bytes = half_acc ? 16 : 32;
+  Reg wbase = b.reg();
+  b.addr_index(wbase, pd, warp, 32 * lane_bytes);
+  b.addr_index(addr, wbase, lane, lane_bytes);
+  for (unsigned k = 0; k < acc_regs; ++k)
+    b.stg(addr, Reg{static_cast<std::uint8_t>(fc.index + k)},
+          static_cast<std::int32_t>(k * 4));
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void MmaMicro::setup(sim::Device& dev) {
+  // One shared pair of 16x16 fragments in fragment order (element e at lane
+  // e/8, slot e%8); magnitudes keep fp16 accumulation well in range.
+  std::vector<std::uint16_t> A(256), B(256);
+  Rng rng(config_.input_seed);
+  for (unsigned e = 0; e < 256; ++e) {
+    A[e] = Half::from_float(static_cast<float>(rng.uniform(-0.05, 0.05))).bits();
+    B[e] = Half::from_float(static_cast<float>(rng.uniform(-0.05, 0.05))).bits();
+  }
+  a_addr_ = dev.alloc_copy<std::uint16_t>(A);
+  b_addr_ = dev.alloc_copy<std::uint16_t>(B);
+  const bool half_acc = precision_ == Precision::Half;
+  const std::uint32_t bytes = warps_ * 32 * (half_acc ? 16u : 32u);
+  out_addr_ = dev.alloc(bytes);
+  register_output(out_addr_, bytes);
+}
+
+void MmaMicro::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  const unsigned threads = warps_ * 32;
+  sim::KernelLaunch kl{&program_, {threads / 128, 1}, {128, 1}, 0,
+                       {a_addr_, b_addr_, out_addr_}};
+  runner.launch(kl);
+}
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,119 @@
+// The paper's seven synthetic microbenchmark classes (§V): per-precision
+// ADD / MUL / FMA chains (IMAD for integer), a register-file exposure
+// benchmark, a global-memory LDST mover, and warp-wide tensor MMA chains.
+// Beam runs against these measure the per-unit FIT rates (Fig. 3) that feed
+// the Eq. 1-4 prediction; fault-injection runs against them measure the
+// >70% (100% integer) microbenchmark AVFs the paper reports.
+#pragma once
+
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+enum class MicroOp : std::uint8_t { Add, Mul, Fma };
+
+/// Chained arithmetic on registers: every thread advances four independent
+/// accumulator chains for `ops_per_thread` operations and stores them. A
+/// corrupted accumulator almost always survives to the output, matching the
+/// paper's measured microbenchmark AVFs.
+class ArithMicro final : public core::Workload {
+ public:
+  ArithMicro(core::WorkloadConfig config, core::Precision precision, MicroOp op);
+
+  std::string base_name() const override;
+  std::string name() const override;
+  core::Precision precision() const override { return precision_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;
+  MicroOp op_;
+  unsigned ops_per_thread_;
+  unsigned threads_;
+  isa::Program program_;
+  std::uint32_t out_addr_ = 0;
+};
+
+/// Register-file storage exposure: threads write a pattern into many
+/// registers, idle through a delay loop (the beam window), then read the
+/// registers back out (paper §V-A, "RF" microbenchmark).
+class RfMicro final : public core::Workload {
+ public:
+  RfMicro(core::WorkloadConfig config, unsigned regs_per_thread = 192,
+          unsigned delay_iters = 256);
+
+  std::string base_name() const override { return "RF"; }
+  std::string name() const override { return "RF"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+  unsigned data_regs() const { return data_regs_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned data_regs_;
+  unsigned delay_iters_;
+  unsigned threads_;
+  isa::Program program_;
+  std::uint32_t out_addr_ = 0;
+};
+
+/// Global-memory movement: each thread performs a sequence of load+store
+/// round trips on a unique pattern (paper §V-A, "LDST"). The dominant fault
+/// effect is a corrupted address, which raises a device exception — the
+/// source of the 7.1x DUE:SDC ratio the paper measures.
+class LdstMicro final : public core::Workload {
+ public:
+  LdstMicro(core::WorkloadConfig config, unsigned moves_per_thread = 32);
+
+  std::string base_name() const override { return "LDST"; }
+  std::string name() const override { return "LDST"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned moves_per_thread_;
+  unsigned threads_;
+  isa::Program program_;
+  std::uint32_t in_addr_ = 0;
+  std::uint32_t out_addr_ = 0;
+};
+
+/// Tensor-core chains: each warp iterates D = A x B + D on 16x16 fragments
+/// (paper §V-A, HMMA with fp16 accumulate / FMMA with fp32 accumulate).
+class MmaMicro final : public core::Workload {
+ public:
+  MmaMicro(core::WorkloadConfig config, core::Precision precision,
+           unsigned mmas_per_warp = 48);
+
+  std::string base_name() const override { return "MMA"; }
+  core::Precision precision() const override { return precision_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;  // Half -> HMMA, Single -> FMMA
+  unsigned mmas_per_warp_;
+  unsigned warps_;
+  isa::Program program_;
+  std::uint32_t a_addr_ = 0;
+  std::uint32_t b_addr_ = 0;
+  std::uint32_t out_addr_ = 0;
+};
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,114 @@
+#include "kernels/registry.hpp"
+
+#include <stdexcept>
+
+#include "kernels/graph.hpp"
+#include "kernels/linalg.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/microbench.hpp"
+#include "kernels/sort.hpp"
+#include "kernels/stencil.hpp"
+#include "kernels/yolo.hpp"
+
+namespace gpurel::kernels {
+
+using core::Precision;
+
+std::unique_ptr<core::Workload> make_workload(const std::string& base,
+                                              Precision precision,
+                                              core::WorkloadConfig config) {
+  if (base == "MXM") return std::make_unique<MxM>(std::move(config), precision);
+  if (base == "GEMM") return std::make_unique<Gemm>(std::move(config), precision);
+  if (base == "GEMM-MMA")
+    return std::make_unique<GemmMma>(std::move(config), precision);
+  if (base == "HOTSPOT")
+    return std::make_unique<Hotspot>(std::move(config), precision);
+  if (base == "LAVA") return std::make_unique<Lava>(std::move(config), precision);
+  if (base == "GAUSSIAN") return std::make_unique<Gaussian>(std::move(config));
+  if (base == "LUD") return std::make_unique<Lud>(std::move(config));
+  if (base == "NW") return std::make_unique<Nw>(std::move(config));
+  if (base == "BFS") return std::make_unique<Bfs>(std::move(config));
+  if (base == "CCL") return std::make_unique<Ccl>(std::move(config));
+  if (base == "MERGESORT") return std::make_unique<Mergesort>(std::move(config));
+  if (base == "QUICKSORT") return std::make_unique<Quicksort>(std::move(config));
+  if (base == "YOLOV2") return ConvNet::yolov2(std::move(config), precision);
+  if (base == "YOLOV3") return ConvNet::yolov3(std::move(config), precision);
+  if (base == "ADD")
+    return std::make_unique<ArithMicro>(std::move(config), precision, MicroOp::Add);
+  if (base == "MUL")
+    return std::make_unique<ArithMicro>(std::move(config), precision, MicroOp::Mul);
+  if (base == "FMA" || base == "MAD")
+    return std::make_unique<ArithMicro>(std::move(config), precision, MicroOp::Fma);
+  if (base == "LDST") return std::make_unique<LdstMicro>(std::move(config));
+  if (base == "RF") return std::make_unique<RfMicro>(std::move(config));
+  if (base == "MMA")
+    return std::make_unique<MmaMicro>(std::move(config), precision);
+  throw std::invalid_argument("make_workload: unknown workload '" + base + "'");
+}
+
+core::WorkloadFactory workload_factory(std::string base, Precision precision,
+                                       core::WorkloadConfig config) {
+  return [base = std::move(base), precision, config] {
+    return make_workload(base, precision, config);
+  };
+}
+
+std::vector<CatalogEntry> kepler_app_catalog() {
+  return {
+      {"CCL", Precision::Int32},     {"BFS", Precision::Int32},
+      {"LAVA", Precision::Single},   {"HOTSPOT", Precision::Single},
+      {"GAUSSIAN", Precision::Single}, {"LUD", Precision::Single},
+      {"NW", Precision::Int32},      {"MXM", Precision::Single},
+      {"GEMM", Precision::Single},   {"MERGESORT", Precision::Int32},
+      {"QUICKSORT", Precision::Int32}, {"YOLOV2", Precision::Single},
+      {"YOLOV3", Precision::Single},
+  };
+}
+
+std::vector<CatalogEntry> volta_app_catalog() {
+  return {
+      {"LAVA", Precision::Half},     {"LAVA", Precision::Single},
+      {"LAVA", Precision::Double},   {"HOTSPOT", Precision::Half},
+      {"HOTSPOT", Precision::Single}, {"HOTSPOT", Precision::Double},
+      {"MXM", Precision::Half},      {"MXM", Precision::Single},
+      {"MXM", Precision::Double},    {"GEMM", Precision::Half},
+      {"GEMM", Precision::Single},   {"GEMM", Precision::Double},
+      {"GEMM-MMA", Precision::Half}, {"GEMM-MMA", Precision::Single},
+      {"YOLOV3", Precision::Half},   {"YOLOV3", Precision::Single},
+  };
+}
+
+std::vector<CatalogEntry> kepler_micro_catalog() {
+  return {
+      {"ADD", Precision::Single},  {"MUL", Precision::Single},
+      {"FMA", Precision::Single},  {"ADD", Precision::Int32},
+      {"MUL", Precision::Int32},   {"MAD", Precision::Int32},
+      {"LDST", Precision::Int32},  {"RF", Precision::Int32},
+  };
+}
+
+std::vector<CatalogEntry> volta_micro_catalog() {
+  return {
+      {"ADD", Precision::Half},    {"MUL", Precision::Half},
+      {"FMA", Precision::Half},    {"ADD", Precision::Single},
+      {"MUL", Precision::Single},  {"FMA", Precision::Single},
+      {"ADD", Precision::Double},  {"MUL", Precision::Double},
+      {"FMA", Precision::Double},  {"ADD", Precision::Int32},
+      {"MUL", Precision::Int32},   {"MAD", Precision::Int32},
+      {"MMA", Precision::Half},    {"MMA", Precision::Single},
+      {"RF", Precision::Int32},
+  };
+}
+
+std::string entry_name(const CatalogEntry& e) {
+  // Reuse the workloads' own naming (integer microbenchmarks prefix "I").
+  if (e.base == "ADD" || e.base == "MUL" || e.base == "FMA" || e.base == "MAD") {
+    const std::string_view prefix =
+        e.precision == Precision::Int32 ? "I" : core::precision_prefix(e.precision);
+    const std::string b = e.base == "MAD" ? "MAD" : e.base;
+    return std::string(prefix) + b;
+  }
+  return std::string(core::precision_prefix(e.precision)) + e.base;
+}
+
+}  // namespace gpurel::kernels

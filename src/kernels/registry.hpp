@@ -1,0 +1,44 @@
+// Central factory for every workload in the study, plus the per-device
+// catalogs mirroring the paper's Table I (application codes) and Fig. 3
+// (microbenchmarks).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+
+namespace gpurel::kernels {
+
+/// Instantiate a workload by base name ("MXM", "GEMM", "GEMM-MMA", "HOTSPOT",
+/// "LAVA", "GAUSSIAN", "LUD", "NW", "BFS", "CCL", "MERGESORT", "QUICKSORT",
+/// "YOLOV2", "YOLOV3", and microbenchmarks "ADD", "MUL", "FMA", "MAD",
+/// "LDST", "RF", "MMA"). Throws std::invalid_argument for unknown names or
+/// unsupported precision/device combinations.
+std::unique_ptr<core::Workload> make_workload(const std::string& base,
+                                              core::Precision precision,
+                                              core::WorkloadConfig config);
+
+/// A factory that repeatedly builds the same workload (for campaigns).
+core::WorkloadFactory workload_factory(std::string base, core::Precision precision,
+                                       core::WorkloadConfig config);
+
+struct CatalogEntry {
+  std::string base;
+  core::Precision precision;
+};
+
+/// Application codes tested on the Kepler K40c (Table I, left).
+std::vector<CatalogEntry> kepler_app_catalog();
+/// Application codes tested on the Volta V100 (Table I, right).
+std::vector<CatalogEntry> volta_app_catalog();
+/// Microbenchmarks beam-tested on Kepler (Fig. 3, left).
+std::vector<CatalogEntry> kepler_micro_catalog();
+/// Microbenchmarks beam-tested on Volta (Fig. 3, right).
+std::vector<CatalogEntry> volta_micro_catalog();
+
+/// Display name for an entry ("FMXM", "HGEMM-MMA", "QUICKSORT", ...).
+std::string entry_name(const CatalogEntry& e);
+
+}  // namespace gpurel::kernels

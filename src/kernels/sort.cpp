@@ -1,0 +1,368 @@
+#include "kernels/sort.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpurel::kernels {
+
+using isa::AtomOp;
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+namespace {
+constexpr std::int32_t kSentinelMax = 0x7fffffff;
+constexpr std::int32_t kSentinelMin = static_cast<std::int32_t>(0x80000000);
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mergesort
+// ---------------------------------------------------------------------------
+
+Mergesort::Mergesort(core::WorkloadConfig config, unsigned n)
+    : Workload(std::move(config)), n_(n) {
+  if (n_ == 0) {
+    n_ = 256;
+    while (n_ * 2 <= static_cast<unsigned>(4096 * config_.scale)) n_ *= 2;
+  }
+  if (n_ < 64 || (n_ & (n_ - 1)) != 0)
+    throw std::invalid_argument("Mergesort: n must be a power of two >= 64");
+  for (unsigned w = 1; w < n_; w <<= 1) ++passes_;
+}
+
+void Mergesort::build_programs() {
+  KernelBuilder b("MERGESORT.pass", config_.profile);
+  Reg src = b.load_param(0), dst = b.load_param(1);
+  Reg width = b.load_param(2), n = b.load_param(3), threads = b.load_param(4);
+
+  Reg t = b.global_tid_x();
+  Pred in_range = b.pred();
+  b.isetp(in_range, t, threads, CmpOp::LT);
+  b.if_then(in_range, [&] {
+    Reg two_w = b.reg();
+    b.shl(two_w, width, 1);
+    Reg lo1 = b.reg();
+    b.imul(lo1, t, two_w);
+    Reg end1 = b.reg(), end2 = b.reg();
+    b.iadd(end1, lo1, width);
+    b.iadd(end2, lo1, two_w);
+
+    Reg i = b.reg(), j = b.reg(), o = b.reg();
+    b.mov(i, lo1);
+    b.mov(j, end1);
+    b.mov(o, lo1);
+
+    Reg nm1 = b.reg(), sent = b.reg();
+    b.iaddi(nm1, n, -1);
+    b.movi(sent, kSentinelMax);
+
+    b.while_loop([&](Pred p) { b.isetp(p, o, end2, CmpOp::LT); },
+                 [&] {
+                   // Sentinel-guarded heads of both runs (clamped loads keep
+                   // exhausted-run reads in bounds).
+                   Reg ic = b.reg(), jc = b.reg(), addr = b.reg();
+                   Reg v1 = b.reg(), v2 = b.reg();
+                   b.imnmx(ic, i, nm1, /*take_max=*/false);
+                   b.addr_index(addr, src, ic, 4);
+                   b.ldg(v1, addr);
+                   b.imnmx(jc, j, nm1, /*take_max=*/false);
+                   b.addr_index(addr, src, jc, 4);
+                   b.ldg(v2, addr);
+                   Pred live1 = b.pred(), live2 = b.pred();
+                   b.isetp(live1, i, end1, CmpOp::LT);
+                   b.isetp(live2, j, end2, CmpOp::LT);
+                   b.sel(v1, v1, sent, live1);
+                   b.sel(v2, v2, sent, live2);
+                   Pred take1 = b.pred();
+                   b.isetp(take1, v1, v2, CmpOp::LE);
+                   Reg val = b.reg();
+                   b.sel(val, v1, v2, take1);
+                   b.addr_index(addr, dst, o, 4);
+                   b.stg(addr, val);
+                   Reg one = b.reg(), zero = b.reg(), step = b.reg();
+                   b.movi(one, 1);
+                   b.movi(zero, 0);
+                   b.sel(step, one, zero, take1);
+                   b.iadd(i, i, step);
+                   b.sel(step, zero, one, take1);
+                   b.iadd(j, j, step);
+                   b.iaddi(o, o, 1);
+                   b.free(ic);
+                   b.free(jc);
+                   b.free(addr);
+                   b.free(v1);
+                   b.free(v2);
+                   b.free(live1);
+                   b.free(live2);
+                   b.free(take1);
+                   b.free(val);
+                   b.free(one);
+                   b.free(zero);
+                   b.free(step);
+                 });
+  });
+  merge_ = b.build();
+  register_program(&merge_);
+}
+
+void Mergesort::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  std::vector<std::int32_t> data(n_);
+  for (auto& v : data)
+    v = static_cast<std::int32_t>(rng.uniform_i64(-1000000, 1000000));
+  buf_[0] = dev.alloc_copy<std::int32_t>(data);
+  buf_[1] = dev.alloc(n_ * 4);
+  register_output(buf_[passes_ % 2], n_ * 4);
+}
+
+void Mergesort::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  unsigned pass = 0;
+  for (unsigned w = 1; w < n_; w <<= 1, ++pass) {
+    const unsigned threads = n_ / (2 * w);
+    const unsigned blocks = std::max(1u, threads / 64);
+    sim::KernelLaunch kl{&merge_,
+                         {blocks, 1},
+                         {std::min(threads, 64u), 1},
+                         0,
+                         {buf_[pass % 2], buf_[(pass + 1) % 2], w, n_, threads}};
+    if (!runner.launch(kl)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quicksort
+// ---------------------------------------------------------------------------
+
+Quicksort::Quicksort(core::WorkloadConfig config, unsigned n)
+    : Workload(std::move(config)), n_(n) {
+  if (n_ == 0)
+    n_ = std::max(256u, static_cast<unsigned>(2048 * config_.scale) / 64 * 64);
+  if (n_ < 128 || n_ % 64 != 0)
+    throw std::invalid_argument("Quicksort: n must be 64-aligned and >= 128");
+}
+
+void Quicksort::build_programs() {
+  // partition: scatter data[lo, hi-1) around `pivot` into scratch using two
+  // atomic cursors (less-than grows from lo; rest fills down from hi-2).
+  {
+    KernelBuilder b("QUICKSORT.partition", config_.profile);
+    Reg data = b.load_param(0), scratch = b.load_param(1), ctr = b.load_param(2);
+    Reg lo = b.load_param(3), hi = b.load_param(4), pivot = b.load_param(5);
+    Reg t = b.global_tid_x();
+    Reg seg_len = b.reg();
+    Reg minus1 = b.reg();
+    b.movi(minus1, -1);
+    b.iadd(seg_len, hi, minus1);
+    Reg neg_lo = b.reg();
+    b.imul(neg_lo, lo, minus1);
+    b.iadd(seg_len, seg_len, neg_lo);  // hi - 1 - lo
+    Pred in_range = b.pred();
+    b.isetp(in_range, t, seg_len, CmpOp::LT);
+    b.if_then(in_range, [&] {
+      Reg idx = b.reg(), addr = b.reg(), v = b.reg();
+      b.iadd(idx, lo, t);
+      b.addr_index(addr, data, idx, 4);
+      b.ldg(v, addr);
+      Pred less = b.pred();
+      b.isetp(less, v, pivot, CmpOp::LT);
+      Reg one = b.reg(), pos = b.reg(), out_idx = b.reg();
+      b.movi(one, 1);
+      b.if_then_else(
+          less,
+          [&] {
+            b.atom(pos, ctr, one, AtomOp::Add, 0);
+            b.iadd(out_idx, lo, pos);
+          },
+          [&] {
+            b.atom(pos, ctr, one, AtomOp::Add, 4);
+            // hi - 2 - pos
+            Reg tmp = b.reg();
+            b.iaddi(tmp, hi, -2);
+            Reg neg_pos = b.reg();
+            b.imul(neg_pos, pos, minus1);
+            b.iadd(out_idx, tmp, neg_pos);
+            b.free(tmp);
+            b.free(neg_pos);
+          });
+      Reg oaddr = b.reg();
+      b.addr_index(oaddr, scratch, out_idx, 4);
+      b.stg(oaddr, v);
+    });
+    partition_ = b.build();
+    register_program(&partition_);
+  }
+  // copyback: data[lo+t (+1 past the split)] = scratch[lo+t].
+  {
+    KernelBuilder b("QUICKSORT.copyback", config_.profile);
+    Reg data = b.load_param(0), scratch = b.load_param(1);
+    Reg lo = b.load_param(2), seg_len = b.load_param(3), lt = b.load_param(4);
+    Reg t = b.global_tid_x();
+    Pred in_range = b.pred();
+    b.isetp(in_range, t, seg_len, CmpOp::LT);
+    b.if_then(in_range, [&] {
+      Reg idx = b.reg(), addr = b.reg(), v = b.reg();
+      b.iadd(idx, lo, t);
+      b.addr_index(addr, scratch, idx, 4);
+      b.ldg(v, addr);
+      Pred past = b.pred();
+      b.isetp(past, t, lt, CmpOp::GE);
+      Reg shifted = b.reg();
+      b.iaddi(shifted, idx, 1);
+      Reg dst_idx = b.reg();
+      b.sel(dst_idx, shifted, idx, past);
+      b.addr_index(addr, data, dst_idx, 4);
+      b.stg(addr, v);
+    });
+    copyback_ = b.build();
+    register_program(&copyback_);
+  }
+  // small_sort: one thread insertion-sorts one small segment.
+  {
+    KernelBuilder b("QUICKSORT.small", config_.profile);
+    Reg data = b.load_param(0), segtab = b.load_param(1), nsegs = b.load_param(2);
+    Reg t = b.global_tid_x();
+    Pred in_range = b.pred();
+    b.isetp(in_range, t, nsegs, CmpOp::LT);
+    b.if_then(in_range, [&] {
+      Reg two_t = b.reg(), addr = b.reg(), lo = b.reg(), hi = b.reg();
+      b.shl(two_t, t, 1);
+      b.addr_index(addr, segtab, two_t, 4);
+      b.ldg(lo, addr);
+      b.ldg(hi, addr, 4);
+      Reg i = b.reg();
+      b.iaddi(i, lo, 1);
+      Reg sent = b.reg();
+      b.movi(sent, kSentinelMin);
+      b.while_loop(
+          [&](Pred p) { b.isetp(p, i, hi, CmpOp::LT); },
+          [&] {
+            Reg key = b.reg(), ka = b.reg();
+            b.addr_index(ka, data, i, 4);
+            b.ldg(key, ka);
+            Reg j = b.reg();
+            b.iaddi(j, i, -1);
+            // while (j >= lo && data[j] > key): sentinel turns the exhausted
+            // case into INT_MIN which never exceeds key.
+            Reg w = b.reg(), jaddr = b.reg(), jc = b.reg();
+            auto load_guarded = [&] {
+              b.imnmx(jc, j, lo, /*take_max=*/true);
+              b.addr_index(jaddr, data, jc, 4);
+              b.ldg(w, jaddr);
+              Pred livej = b.pred();
+              b.isetp(livej, j, lo, CmpOp::GE);
+              b.sel(w, w, sent, livej);
+              b.free(livej);
+            };
+            load_guarded();
+            b.while_loop(
+                [&](Pred p) { b.isetp(p, w, key, CmpOp::GT); },
+                [&] {
+                  // data[j+1] = data[j]; --j
+                  Reg j1 = b.reg(), da = b.reg();
+                  b.iaddi(j1, j, 1);
+                  b.addr_index(da, data, j1, 4);
+                  b.stg(da, w);
+                  b.iaddi(j, j, -1);
+                  load_guarded();
+                  b.free(j1);
+                  b.free(da);
+                });
+            Reg j1 = b.reg(), da = b.reg();
+            b.iaddi(j1, j, 1);
+            b.addr_index(da, data, j1, 4);
+            b.stg(da, key);
+            b.iaddi(i, i, 1);
+            b.free(key);
+            b.free(ka);
+            b.free(j);
+            b.free(w);
+            b.free(jaddr);
+            b.free(jc);
+            b.free(j1);
+            b.free(da);
+          });
+    });
+    small_sort_ = b.build();
+    register_program(&small_sort_);
+  }
+}
+
+void Quicksort::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  std::vector<std::int32_t> data(n_);
+  for (auto& v : data)
+    v = static_cast<std::int32_t>(rng.uniform_i64(-1000000, 1000000));
+  data_ = dev.alloc_copy<std::int32_t>(data);
+  scratch_ = dev.alloc(n_ * 4);
+  counters_ = dev.alloc(8);
+  segtab_ = dev.alloc(n_ * 8);
+  register_output(data_, n_ * 4);
+}
+
+void Quicksort::execute(sim::Device& dev, core::TrialRunner& runner) {
+  constexpr unsigned kSmall = 32;
+  std::vector<std::pair<unsigned, unsigned>> stack{{0, n_}};
+  std::vector<std::pair<unsigned, unsigned>> small_segs;
+  unsigned iterations = 0;
+  const unsigned max_iterations = 8 * n_;
+
+  while (!stack.empty()) {
+    if (++iterations > max_iterations) {
+      runner.force_due(sim::DueKind::Watchdog);
+      return;
+    }
+    auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi == lo) continue;       // empty side of a degenerate split
+    if (hi < lo || hi > n_) {     // host-visible corruption
+      runner.force_due(sim::DueKind::InvalidAddress);
+      return;
+    }
+    if (hi - lo <= kSmall) {
+      if (hi - lo >= 2) small_segs.emplace_back(lo, hi);
+      continue;
+    }
+    // Host reads the pivot (cudaMemcpy equivalent) and resets the cursors.
+    const std::uint32_t pivot = dev.memory().read_u32(data_ + (hi - 1) * 4);
+    dev.memory().write_u32(counters_, 0);
+    dev.memory().write_u32(counters_ + 4, 0);
+
+    const unsigned seg_len = hi - lo - 1;
+    const unsigned blocks = (seg_len + 63) / 64;
+    sim::KernelLaunch part{&partition_, {blocks, 1}, {64, 1}, 0,
+                           {data_, scratch_, counters_, lo, hi, pivot}};
+    if (!runner.launch(part)) return;
+
+    const std::uint32_t lt = dev.memory().read_u32(counters_);
+    if (lt > seg_len) {  // corrupted cursor escaped the segment
+      runner.force_due(sim::DueKind::InvalidAddress);
+      return;
+    }
+    sim::KernelLaunch copy{&copyback_, {blocks, 1}, {64, 1}, 0,
+                           {data_, scratch_, lo, seg_len, lt}};
+    if (!runner.launch(copy)) return;
+    dev.memory().write_u32(data_ + (lo + lt) * 4, pivot);
+
+    stack.emplace_back(lo, lo + lt);
+    stack.emplace_back(lo + lt + 1, hi);
+  }
+
+  if (small_segs.empty()) return;
+  std::vector<std::uint32_t> table;
+  table.reserve(small_segs.size() * 2);
+  for (auto [lo, hi] : small_segs) {
+    table.push_back(lo);
+    table.push_back(hi);
+  }
+  dev.copy_in<std::uint32_t>(segtab_, table);
+  const auto nsegs = static_cast<unsigned>(small_segs.size());
+  sim::KernelLaunch fin{&small_sort_, {(nsegs + 31) / 32, 1}, {32, 1}, 0,
+                        {data_, segtab_, nsegs}};
+  runner.launch(fin);
+}
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,56 @@
+// Integer sorting codes (paper Table I: Mergesort and Quicksort, INT32).
+//
+// Mergesort: bottom-up, one kernel launch per pass; each thread merges two
+// sorted runs between ping-pong buffers using sentinel-guarded selection.
+//
+// Quicksort: host-driven recursion. A partition kernel scatters a segment
+// around its pivot using global atomic counters; the host reads the split
+// point and pushes sub-segments until they are small, then a final kernel
+// insertion-sorts all small segments in parallel (one thread each).
+#pragma once
+
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+class Mergesort final : public core::Workload {
+ public:
+  explicit Mergesort(core::WorkloadConfig config, unsigned n = 0);
+
+  std::string base_name() const override { return "MERGESORT"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned n_;
+  unsigned passes_ = 0;
+  isa::Program merge_;
+  std::uint32_t buf_[2] = {0, 0};
+};
+
+class Quicksort final : public core::Workload {
+ public:
+  explicit Quicksort(core::WorkloadConfig config, unsigned n = 0);
+
+  std::string base_name() const override { return "QUICKSORT"; }
+  core::Precision precision() const override { return core::Precision::Int32; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  unsigned n_;
+  isa::Program partition_;
+  isa::Program copyback_;
+  isa::Program small_sort_;
+  std::uint32_t data_ = 0, scratch_ = 0, counters_ = 0, segtab_ = 0;
+};
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,299 @@
+#include "kernels/stencil.hpp"
+
+#include "common/rng.hpp"
+#include "kernels/elem.hpp"
+
+namespace gpurel::kernels {
+
+using core::Precision;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+// ---------------------------------------------------------------------------
+// Hotspot
+// ---------------------------------------------------------------------------
+
+Hotspot::Hotspot(core::WorkloadConfig config, Precision precision,
+                 unsigned grid_dim, unsigned steps)
+    : Workload(std::move(config)), precision_(precision), steps_(steps) {
+  n_ = grid_dim ? grid_dim
+                : std::max(16u, static_cast<unsigned>(48 * config_.scale) / 8 * 8);
+  if (n_ % 8 != 0) throw std::invalid_argument("Hotspot: grid must be 8-aligned");
+  if (precision_ == Precision::Int32)
+    throw std::invalid_argument("Hotspot: paper variants are H/F/D");
+}
+
+void Hotspot::build_programs() {
+  KernelBuilder b(name(), config_.profile);
+  ElemEmitter e(b, precision_);
+  const unsigned esz = e.esz();
+
+  Reg t_in = b.load_param(0), t_out = b.load_param(1), power = b.load_param(2);
+  Reg n = b.load_param(3);
+
+  Reg tx = b.tid_x(), bx = b.ctaid_x(), ntx = b.ntid_x();
+  Reg col = b.reg();
+  b.imad(col, bx, ntx, tx);
+  Reg ty = b.reg(), by = b.reg(), nty = b.reg();
+  b.s2r(ty, isa::SpecialReg::TID_Y);
+  b.s2r(by, isa::SpecialReg::CTAID_Y);
+  b.s2r(nty, isa::SpecialReg::NTID_Y);
+  Reg row = b.reg();
+  b.imad(row, by, nty, ty);
+
+  // Clamped neighbour coordinates.
+  Reg zero = b.reg(), nm1 = b.reg();
+  b.movi(zero, 0);
+  b.iaddi(nm1, n, -1);
+  Reg rm = b.reg(), rp = b.reg(), cm = b.reg(), cp = b.reg();
+  b.iaddi(rm, row, -1);
+  b.imnmx(rm, rm, zero, /*take_max=*/true);
+  b.iaddi(rp, row, 1);
+  b.imnmx(rp, rp, nm1, /*take_max=*/false);
+  b.iaddi(cm, col, -1);
+  b.imnmx(cm, cm, zero, /*take_max=*/true);
+  b.iaddi(cp, col, 1);
+  b.imnmx(cp, cp, nm1, /*take_max=*/false);
+
+  auto idx_addr = [&](Reg base, Reg r, Reg c) {
+    Reg idx = b.reg(), addr = b.reg();
+    b.imad(idx, r, n, c);
+    b.addr_index(addr, base, idx, esz);
+    b.free(idx);
+    return addr;
+  };
+
+  Elem tc = e.alloc(), tn = e.alloc(), ts = e.alloc(), tw = e.alloc(),
+       te = e.alloc(), p = e.alloc();
+  {
+    Reg a = idx_addr(t_in, row, col);
+    e.load(tc, a);
+    b.free(a);
+    a = idx_addr(t_in, rm, col);
+    e.load(tn, a);
+    b.free(a);
+    a = idx_addr(t_in, rp, col);
+    e.load(ts, a);
+    b.free(a);
+    a = idx_addr(t_in, row, cm);
+    e.load(tw, a);
+    b.free(a);
+    a = idx_addr(t_in, row, cp);
+    e.load(te, a);
+    b.free(a);
+    a = idx_addr(power, row, col);
+    e.load(p, a);
+    b.free(a);
+  }
+
+  // T' = T + step*(P + cn*(N+S-2T) + ce*(E+W-2T) + ca*(Tamb-T))
+  Elem acc = e.alloc(), tmp = e.alloc(), k = e.alloc();
+  e.mov(acc, p);
+  e.add(tmp, tn, ts);
+  e.constant(k, -2.0);
+  e.mul_add(tmp, tc, k, tmp);      // N+S-2T
+  e.constant(k, 0.1);
+  e.mul_add(acc, tmp, k, acc);
+  e.add(tmp, te, tw);
+  e.constant(k, -2.0);
+  e.mul_add(tmp, tc, k, tmp);      // E+W-2T
+  e.constant(k, 0.1);
+  e.mul_add(acc, tmp, k, acc);
+  e.constant(tmp, 80.0);           // ambient
+  Elem mtc = e.alloc();
+  e.constant(k, -1.0);
+  e.mul(mtc, tc, k);
+  e.add(tmp, tmp, mtc);            // Tamb - T
+  e.constant(k, 0.05);
+  e.mul_add(acc, tmp, k, acc);
+  e.constant(k, 0.5);              // step
+  e.mul_add(tc, acc, k, tc);
+
+  Reg out_addr = idx_addr(t_out, row, col);
+  e.store(out_addr, tc);
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void Hotspot::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  const std::size_t cells = static_cast<std::size_t>(n_) * n_;
+  auto temp0 = pack_elements(precision_, cells,
+                             [&](std::size_t) { return rng.uniform(60.0, 90.0); });
+  auto power = pack_elements(precision_, cells,
+                             [&](std::size_t) { return rng.uniform(0.0, 2.0); });
+  temp_[0] = dev.alloc_copy<std::uint8_t>(temp0);
+  temp_[1] = dev.alloc(static_cast<std::uint32_t>(temp0.size()));
+  power_ = dev.alloc_copy<std::uint8_t>(power);
+  // Final temperatures land in buffer steps_ % 2.
+  register_output(temp_[steps_ % 2],
+                  static_cast<std::uint32_t>(cells * core::precision_bytes(precision_)));
+}
+
+void Hotspot::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  for (unsigned s = 0; s < steps_; ++s) {
+    sim::KernelLaunch kl{&program_,
+                         {n_ / 8, n_ / 8},
+                         {8, 8},
+                         0,
+                         {temp_[s % 2], temp_[(s + 1) % 2], power_, n_}};
+    if (!runner.launch(kl)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LavaMD
+// ---------------------------------------------------------------------------
+
+Lava::Lava(core::WorkloadConfig config, Precision precision, unsigned boxes,
+           unsigned particles_per_box)
+    : Workload(std::move(config)), precision_(precision), boxes_(boxes),
+      ppb_(particles_per_box) {
+  if (boxes_ == 0)
+    boxes_ = std::max(4u, static_cast<unsigned>(16 * config_.scale));
+  if (precision_ == Precision::Int32)
+    throw std::invalid_argument("Lava: paper variants are H/F/D");
+  if (ppb_ % 32 != 0) throw std::invalid_argument("Lava: particles per box % 32");
+}
+
+void Lava::build_programs() {
+  KernelBuilder b(name(), config_.profile);
+  ElemEmitter e(b, precision_);
+  const unsigned esz = e.esz();
+  // The paper's Lava kernel has a huge register footprint on Volta (254) and
+  // a moderate one on Kepler (37) — Table I.
+  if (config_.gpu.arch == arch::Architecture::Volta) b.reserve_regs(254);
+  const std::uint32_t s_pos = b.shared_alloc(ppb_ * esz, 8);
+  const std::uint32_t s_chg = b.shared_alloc(ppb_ * esz, 8);
+
+  Reg pos = b.load_param(0), charge = b.load_param(1), force = b.load_param(2);
+  Reg boxes = b.load_param(3);
+
+  Reg t = b.tid_x();
+  Reg box = b.ctaid_x();
+  Reg my_idx = b.reg();
+  Reg ppb = b.reg();
+  b.movi(ppb, static_cast<std::int32_t>(ppb_));
+  b.imad(my_idx, box, ppb, t);
+
+  Elem xi = e.alloc(), qi = e.alloc();
+  {
+    Reg a = b.reg();
+    b.addr_index(a, pos, my_idx, esz);
+    e.load(xi, a);
+    b.addr_index(a, charge, my_idx, esz);
+    e.load(qi, a);
+    b.free(a);
+  }
+
+  Elem f = e.alloc();
+  e.constant(f, 0.0);
+
+  Reg zero = b.reg(), bm1 = b.reg();
+  b.movi(zero, 0);
+  b.iaddi(bm1, boxes, -1);
+
+  Elem sj = e.alloc(), qj = e.alloc(), d = e.alloc(), ee = e.alloc(),
+       neg = e.alloc(), prod = e.alloc();
+  for (int off = -1; off <= 1; ++off) {
+    // nb = clamp(box + off)
+    Reg nb = b.reg();
+    b.iaddi(nb, box, off);
+    b.imnmx(nb, nb, zero, /*take_max=*/true);
+    b.imnmx(nb, nb, bm1, /*take_max=*/false);
+    // Stage the neighbour box into shared memory.
+    Reg src_idx = b.reg(), ga = b.reg(), sa = b.reg(), sbase = b.reg();
+    b.imad(src_idx, nb, ppb, t);
+    b.addr_index(ga, pos, src_idx, esz);
+    Elem staged = e.alloc();
+    e.load(staged, ga);
+    b.movi(sbase, static_cast<std::int32_t>(s_pos));
+    b.addr_index(sa, sbase, t, esz);
+    e.store_shared(sa, staged);
+    b.addr_index(ga, charge, src_idx, esz);
+    e.load(staged, ga);
+    b.movi(sbase, static_cast<std::int32_t>(s_chg));
+    b.addr_index(sa, sbase, t, esz);
+    e.store_shared(sa, staged);
+    e.free(staged);
+    b.bar();
+
+    Reg j = b.reg(), ja = b.reg();
+    b.for_range_static(j, 0, static_cast<std::int32_t>(ppb_), 1, [&] {
+      Reg jb = b.reg();
+      b.movi(jb, static_cast<std::int32_t>(s_pos));
+      b.addr_index(ja, jb, j, esz);
+      e.load_shared(sj, ja);
+      b.movi(jb, static_cast<std::int32_t>(s_chg));
+      b.addr_index(ja, jb, j, esz);
+      e.load_shared(qj, ja);
+      b.free(jb);
+      // d = xi - xj; f += qj * exp2(-d*d) * d
+      Elem k = e.alloc();
+      e.constant(k, -1.0);
+      e.mul(d, sj, k);
+      e.add(d, xi, d);
+      e.mul(neg, d, d);
+      e.mul(neg, neg, k);
+      e.free(k);
+      // exp2 runs on the FP32 SFU; convert around it for half/double.
+      if (e.is_double()) {
+        Reg f32 = b.reg();
+        b.d2f(f32, neg.d);
+        b.ex2(f32, f32);
+        b.f2d(ee.d, f32);
+        b.free(f32);
+      } else if (e.is_half()) {
+        Reg f32 = b.reg();
+        b.h2f(f32, neg.r);
+        b.ex2(f32, f32);
+        b.f2h(ee.r, f32);
+        b.free(f32);
+      } else {
+        b.ex2(ee.r, neg.r);
+      }
+      e.mul(prod, qj, ee);
+      e.mul_add(f, prod, d, f);
+    });
+    b.free(j);
+    b.free(ja);
+    b.bar();
+    b.free(nb);
+    b.free(src_idx);
+    b.free(ga);
+    b.free(sa);
+    b.free(sbase);
+  }
+
+  Reg oa = b.reg();
+  b.addr_index(oa, force, my_idx, esz);
+  e.store(oa, f);
+  program_ = b.build();
+  register_program(&program_);
+}
+
+void Lava::setup(sim::Device& dev) {
+  Rng rng(config_.input_seed);
+  const std::size_t total = static_cast<std::size_t>(boxes_) * ppb_;
+  auto pos = pack_elements(precision_, total,
+                           [&](std::size_t) { return rng.uniform(-1.0, 1.0); });
+  auto chg = pack_elements(precision_, total,
+                           [&](std::size_t) { return rng.uniform(0.1, 1.0); });
+  pos_ = dev.alloc_copy<std::uint8_t>(pos);
+  charge_ = dev.alloc_copy<std::uint8_t>(chg);
+  const auto bytes =
+      static_cast<std::uint32_t>(total * core::precision_bytes(precision_));
+  force_ = dev.alloc(bytes);
+  register_output(force_, bytes);
+}
+
+void Lava::execute(sim::Device& dev, core::TrialRunner& runner) {
+  (void)dev;
+  sim::KernelLaunch kl{&program_, {boxes_, 1}, {ppb_, 1}, 0,
+                       {pos_, charge_, force_, boxes_}};
+  runner.launch(kl);
+}
+
+}  // namespace gpurel::kernels

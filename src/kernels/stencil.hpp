@@ -1,0 +1,61 @@
+// Hotspot (Rodinia): iterative 2D thermal simulation. One thread per cell,
+// ping-pong temperature buffers, one kernel launch per time step. Runs the
+// same kernel in half/single/double precision (Table I / §VI) with the
+// paper's high-occupancy profile.
+#pragma once
+
+#include "core/workload.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gpurel::kernels {
+
+class Hotspot final : public core::Workload {
+ public:
+  Hotspot(core::WorkloadConfig config, core::Precision precision,
+          unsigned grid_dim = 0, unsigned steps = 4);
+
+  std::string base_name() const override { return "HOTSPOT"; }
+  core::Precision precision() const override { return precision_; }
+  unsigned grid_dim() const { return n_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;
+  unsigned n_;
+  unsigned steps_;
+  isa::Program program_;
+  std::uint32_t temp_[2] = {0, 0};
+  std::uint32_t power_ = 0;
+};
+
+/// LavaMD (Rodinia): particle interactions within neighbouring boxes, with
+/// an exponential force term (SFU transcendental) and shared-memory staging
+/// of the neighbour box. One block per box; low occupancy as in Table I.
+class Lava final : public core::Workload {
+ public:
+  Lava(core::WorkloadConfig config, core::Precision precision,
+       unsigned boxes = 0, unsigned particles_per_box = 64);
+
+  std::string base_name() const override { return "LAVA"; }
+  core::Precision precision() const override { return precision_; }
+
+ protected:
+  void build_programs() override;
+  void setup(sim::Device& dev) override;
+  void execute(sim::Device& dev, core::TrialRunner& runner) override;
+
+ private:
+  core::Precision precision_;
+  unsigned boxes_;
+  unsigned ppb_;
+  isa::Program program_;
+  std::uint32_t pos_ = 0;
+  std::uint32_t charge_ = 0;
+  std::uint32_t force_ = 0;
+};
+
+}  // namespace gpurel::kernels

@@ -1,0 +1,83 @@
+#include "model/fit_model.hpp"
+
+#include <algorithm>
+
+namespace gpurel::model {
+
+using isa::UnitKind;
+
+bool kind_in_method(UnitKind k) {
+  switch (k) {
+    case UnitKind::HADD:
+    case UnitKind::HMUL:
+    case UnitKind::HFMA:
+    case UnitKind::FADD:
+    case UnitKind::FMUL:
+    case UnitKind::FFMA:
+    case UnitKind::DADD:
+    case UnitKind::DMUL:
+    case UnitKind::DFMA:
+    case UnitKind::IADD:
+    case UnitKind::IMUL:
+    case UnitKind::IMAD:
+    case UnitKind::MMA_H:
+    case UnitKind::MMA_F:
+    case UnitKind::LDST:
+      return true;
+    default:
+      return false;  // SFU / moves / control: outside the method (paper §VII)
+  }
+}
+
+FitPrediction predict_fit(const FitInputs& inputs, const CodeObservables& code,
+                          double scale) {
+  FitPrediction out;
+  out.phi = code.profile.phi();  // Eq. 4
+
+  for (std::size_t ki = 0; ki < out.sdc_per_kind.size(); ++ki) {
+    const auto kind = static_cast<UnitKind>(ki);
+    if (!kind_in_method(kind)) continue;
+    const UnitFit& uf = inputs.unit(kind);
+    if (!uf.measured) continue;
+
+    const double f = code.profile.lane_fraction(kind);  // f(INST_i)
+    if (f <= 0.0) continue;
+
+    // Undo the microbenchmark's own masking so FIT_i is the raw unit rate.
+    const double correction = uf.micro_avf > 0.05 ? 1.0 / uf.micro_avf : 1.0;
+
+    double avf_sdc = 0.0, avf_due = 0.0;
+    if (code.avf != nullptr) {
+      const auto& ks = code.avf->kind(kind);
+      if (ks.counts.total() > 0) {
+        avf_sdc = ks.counts.avf_sdc();
+        avf_due = ks.counts.avf_due();
+      }
+    }
+
+    // The unit's raw fault rate is its microbenchmark SDC FIT with the
+    // microbenchmark's masking undone; the code's per-kind AVFs then split
+    // that rate into SDC and DUE manifestations (Eq. 2, applied per class).
+    const double raw_rate = uf.fit_sdc * correction;
+    const double sdc = scale * f * avf_sdc * raw_rate * out.phi;  // Eq. 2 x 4
+    const double due = scale * f * avf_due * raw_rate * out.phi;
+    out.sdc_per_kind[ki] = sdc;
+    out.sdc_inst += sdc;
+    out.due_inst += due;
+  }
+
+  // Eq. 3: memory levels, only meaningful with ECC disabled.
+  if (!code.ecc) {
+    const double onchip_bits = code.rf_bits + code.shared_bits;
+    out.sdc_mem = onchip_bits * inputs.sram_bit_fit_sdc * code.mem_avf_sdc +
+                  code.global_bits * inputs.dram_bit_fit_sdc * code.mem_avf_sdc;
+    out.due_mem = onchip_bits * inputs.sram_bit_fit_due * code.mem_avf_due +
+                  code.global_bits * inputs.dram_bit_fit_due * code.mem_avf_due;
+  }
+
+  out.sdc = out.sdc_inst + out.sdc_mem;
+  out.due = out.due_inst + out.due_mem;
+  return out;
+}
+
+}  // namespace gpurel::model

@@ -1,0 +1,98 @@
+// The paper's FIT-rate prediction (§IV):
+//
+//   †FIT = Σ_i P(E_INST_i) + Σ_j P(E_MEM_j)                      (Eq. 1)
+//   P(E_INST_i) = f(INST_i) · AVF_INST_i · FIT_INST_i · φ        (Eq. 2 + 4)
+//   P(E_MEM_j)  = f(MEM_j)  · AVF_MEM_j  · FIT_MEM_j             (Eq. 3)
+//   φ = AchievedOccupancy · IPC                                  (Eq. 4)
+//
+// where f(INST_i) is the dynamic fraction of instruction kind i, FIT_INST_i
+// the per-unit FIT measured by beam on the microbenchmarks (corrected for
+// the microbenchmark's own masking by its injected AVF), AVF_INST_i the
+// per-kind AVF measured by fault injection on the *code*, and the memory
+// terms cover the instantiated register-file/shared/global bits (only when
+// ECC is off; SECDED drives AVF_MEM ≈ 0).
+//
+// Only the instruction kinds the paper's method covers (H/F/D ADD/MUL/FMA,
+// IADD/IMUL/IMAD, MMA, LDST) contribute: faults in unmeasured units (SFU,
+// moves, predicates, control) and in hidden resources are invisible to the
+// method — the very gap the beam-vs-prediction comparison quantifies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fault/campaign.hpp"
+#include "isa/opcode.hpp"
+#include "profile/profiler.hpp"
+
+namespace gpurel::model {
+
+/// Per-unit beam characterization (Fig. 3 data in machine-readable form).
+struct UnitFit {
+  double fit_sdc = 0.0;
+  double fit_due = 0.0;
+  /// Microbenchmark AVF (>= ~0.7 in the paper, 1.0 for integer chains);
+  /// divides the measured FIT to undo the microbenchmark's own masking.
+  double micro_avf = 1.0;
+  bool measured = false;
+};
+
+struct FitInputs {
+  std::array<UnitFit, static_cast<std::size_t>(isa::UnitKind::kCount)> units{};
+  /// Per-bit FIT of on-chip SRAM (register file; shared memory assumed
+  /// equal) from the RF microbenchmark, ECC off.
+  double sram_bit_fit_sdc = 0.0;
+  double sram_bit_fit_due = 0.0;
+  /// Per-bit FIT of device memory, estimated from the LDST microbenchmark
+  /// (ECC-off minus ECC-on, divided by the exposed bits).
+  double dram_bit_fit_sdc = 0.0;
+  double dram_bit_fit_due = 0.0;
+
+  UnitFit& unit(isa::UnitKind k) { return units[static_cast<std::size_t>(k)]; }
+  const UnitFit& unit(isa::UnitKind k) const {
+    return units[static_cast<std::size_t>(k)];
+  }
+};
+
+/// Everything the method knows about one code on one device.
+struct CodeObservables {
+  profile::CodeProfile profile;
+  const fault::CampaignResult* avf = nullptr;  // injection campaign results
+  /// Instantiated memory bits (time-averaged resident for RF/shared,
+  /// allocated for global).
+  double rf_bits = 0.0;
+  double shared_bits = 0.0;
+  double global_bits = 0.0;
+  bool ecc = true;
+  /// AVF of a memory bit fault (RF-mode injections when the injector has
+  /// them; falls back to the code's overall AVF).
+  double mem_avf_sdc = 0.0;
+  double mem_avf_due = 0.0;
+};
+
+struct FitPrediction {
+  double sdc = 0.0;
+  double due = 0.0;
+  double sdc_inst = 0.0;
+  double sdc_mem = 0.0;
+  double due_inst = 0.0;
+  double due_mem = 0.0;
+  double phi = 0.0;
+  /// Per-kind SDC contributions (diagnostic).
+  std::array<double, static_cast<std::size_t>(isa::UnitKind::kCount)>
+      sdc_per_kind{};
+};
+
+/// The instruction kinds the methodology measures (µbench + injectable).
+bool kind_in_method(isa::UnitKind k);
+
+/// Global scale aligning the model's dimensionless φ-weighted combination
+/// with the beam simulator's FIT unit. One constant for every code, device,
+/// injector, and ECC setting (see DESIGN.md §5; the paper's two methods
+/// share a normalization the same way).
+inline constexpr double kModelScale = 1.3;
+
+FitPrediction predict_fit(const FitInputs& inputs, const CodeObservables& code,
+                          double scale = kModelScale);
+
+}  // namespace gpurel::model

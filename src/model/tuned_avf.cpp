@@ -1,0 +1,41 @@
+#include "model/tuned_avf.hpp"
+
+namespace gpurel::model {
+
+TunedAvf beam_tuned_avf(const fault::CampaignResult& campaign,
+                        const FitInputs& inputs,
+                        const profile::CodeProfile& profile) {
+  TunedAvf out;
+  double covered = 0.0, total = 0.0;
+  double sdc = 0.0, due = 0.0, masked = 0.0;
+
+  for (std::size_t ki = 0;
+       ki < static_cast<std::size_t>(isa::UnitKind::kCount); ++ki) {
+    const auto kind = static_cast<isa::UnitKind>(ki);
+    const UnitFit& uf = inputs.unit(kind);
+    if (!uf.measured) continue;
+    const double f = profile.lane_fraction(kind);
+    if (f <= 0.0) continue;
+    // Physical strike weight of this kind in this code: raw unit rate
+    // (masking-corrected) x dynamic usage.
+    const double correction = uf.micro_avf > 0.05 ? 1.0 / uf.micro_avf : 1.0;
+    const double w = f * uf.fit_sdc * correction;
+    total += w;
+    const auto& ks = campaign.kind(kind);
+    if (ks.counts.total() == 0) continue;
+    covered += w;
+    sdc += w * ks.counts.avf_sdc();
+    due += w * ks.counts.avf_due();
+    masked += w * ks.counts.masked_fraction();
+  }
+
+  if (covered > 0.0) {
+    out.sdc = sdc / covered;
+    out.due = due / covered;
+    out.masked = masked / covered;
+  }
+  out.covered_weight_fraction = total > 0.0 ? covered / total : 0.0;
+  return out;
+}
+
+}  // namespace gpurel::model

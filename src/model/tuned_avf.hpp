@@ -1,0 +1,34 @@
+// Beam-tuned fault simulation — the paper's concluding suggestion ("this
+// data can be used to tune future fault simulation frameworks").
+//
+// A plain campaign weighs every reachable site equally, which misrepresents
+// reality when units differ in sensitivity (an IMAD site on Kepler is ~6x
+// more likely to be struck than an FADD site, Fig. 3). The tuned AVF
+// re-weights each instruction kind's injected AVF by its *physical* fault
+// rate — beam-measured unit FIT times the code's dynamic usage — yielding
+// the failure probability profile a beam actually sees, from injection data
+// alone.
+#pragma once
+
+#include "fault/campaign.hpp"
+#include "model/fit_model.hpp"
+#include "profile/profiler.hpp"
+
+namespace gpurel::model {
+
+struct TunedAvf {
+  double sdc = 0.0;
+  double due = 0.0;
+  double masked = 0.0;
+  /// Total physical weight covered by kinds the campaign measured (the
+  /// remainder of the code's fault rate was not injectable).
+  double covered_weight_fraction = 0.0;
+};
+
+/// Re-weight a campaign's per-kind AVFs by beam-measured unit sensitivities
+/// and the code's dynamic mix.
+TunedAvf beam_tuned_avf(const fault::CampaignResult& campaign,
+                        const FitInputs& inputs,
+                        const profile::CodeProfile& profile);
+
+}  // namespace gpurel::model

@@ -1,0 +1,54 @@
+#include "model/what_if.hpp"
+
+#include <algorithm>
+
+namespace gpurel::model {
+
+WhatIfResult what_if(const FitInputs& inputs, const CodeObservables& code,
+                     const Hardening& scheme, double scale) {
+  WhatIfResult out;
+  out.baseline = predict_fit(inputs, code, scale);
+
+  // Hardened prediction: start from the baseline and move protected SDC
+  // contributions into detections.
+  out.hardened = out.baseline;
+
+  auto protect_kind = [&](isa::UnitKind k) {
+    const auto ki = static_cast<std::size_t>(k);
+    const double sdc = out.hardened.sdc_per_kind[ki];
+    if (sdc <= 0.0) return;
+    out.hardened.sdc_per_kind[ki] = 0.0;
+    out.hardened.sdc_inst -= sdc;
+    out.hardened.due_inst += sdc;  // duplication turns corruption into detection
+  };
+
+  if (scheme.duplicate_all) {
+    for (std::size_t ki = 0; ki < out.hardened.sdc_per_kind.size(); ++ki)
+      protect_kind(static_cast<isa::UnitKind>(ki));
+  } else {
+    for (isa::UnitKind k : scheme.hardened_units) protect_kind(k);
+  }
+
+  if (scheme.ecc_memory && !code.ecc) {
+    // SECDED corrects single-bit upsets; only the ~2% multi-bit residue of
+    // the formerly effective memory faults survives, as a detection
+    // (consistent with the beam model's strike handling).
+    const double mbu = 0.02;
+    out.hardened.due_mem =
+        (out.baseline.sdc_mem + out.baseline.due_mem) * mbu;
+    out.hardened.sdc_mem = 0.0;
+  }
+
+  // Clamp accumulated subtraction residue.
+  out.hardened.sdc_inst = std::max(0.0, out.hardened.sdc_inst);
+  out.hardened.sdc = out.hardened.sdc_inst + out.hardened.sdc_mem;
+  out.hardened.due = out.hardened.due_inst + out.hardened.due_mem;
+
+  out.sdc_removed = std::max(0.0, out.baseline.sdc - out.hardened.sdc);
+  out.due_added = std::max(0.0, out.hardened.due - out.baseline.due);
+  out.sdc_reduction =
+      out.baseline.sdc > 0.0 ? out.sdc_removed / out.baseline.sdc : 0.0;
+  return out;
+}
+
+}  // namespace gpurel::model

@@ -1,0 +1,47 @@
+// Selective-hardening "what-if" analysis.
+//
+// The paper's motivation for trusting fault simulation is evaluating error
+// mitigation before building it (§I: "Evaluating the effectiveness of many
+// error mitigation techniques requires fault injection"). Once a code's
+// Eq. 1-4 inputs exist, the FIT impact of a protection scheme is a
+// prediction with the protected resources' AVF (or rate) zeroed:
+//
+//   - EccMemory        SECDED on RF/shared/global (AVF_MEM -> 0)
+//   - HardenUnit(k)    duplicate/residue-check one functional unit kind
+//   - DuplicateAll     full instruction duplication (DMR) on the measured
+//                      units — SDCs become detections
+#pragma once
+
+#include <vector>
+
+#include "model/fit_model.hpp"
+
+namespace gpurel::model {
+
+struct Hardening {
+  /// Enable SECDED over all memory levels.
+  bool ecc_memory = false;
+  /// Unit kinds protected by duplication/residue checks: their SDC AVF drops
+  /// to zero (errors become detections, counted as DUE).
+  std::vector<isa::UnitKind> hardened_units;
+  /// Full duplication of every measured instruction: all instruction-term
+  /// SDCs convert to detections.
+  bool duplicate_all = false;
+};
+
+struct WhatIfResult {
+  FitPrediction baseline;
+  FitPrediction hardened;
+  /// SDC FIT removed by the scheme (baseline - hardened).
+  double sdc_removed = 0.0;
+  /// Detection (DUE) FIT added by converting SDCs into detections.
+  double due_added = 0.0;
+  /// Fraction of the baseline SDC FIT eliminated.
+  double sdc_reduction = 0.0;
+};
+
+/// Predict the FIT impact of a hardening scheme on a code.
+WhatIfResult what_if(const FitInputs& inputs, const CodeObservables& code,
+                     const Hardening& scheme, double scale = kModelScale);
+
+}  // namespace gpurel::model

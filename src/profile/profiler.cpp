@@ -1,0 +1,26 @@
+#include "profile/profiler.hpp"
+
+namespace gpurel::profile {
+
+CodeProfile profile_workload(core::Workload& w, sim::Device& dev) {
+  if (!w.prepared()) w.prepare(dev);
+  const sim::LaunchStats& st = w.golden_stats();
+
+  CodeProfile p;
+  p.name = w.name();
+  p.cycles = st.cycles;
+  p.warp_instructions = st.warp_instructions;
+  p.lane_instructions = st.lane_instructions;
+  p.ipc = st.ipc;
+  p.occupancy = st.achieved_occupancy;
+  p.lane_per_unit = st.lane_per_unit;
+  if (st.warp_instructions > 0) {
+    for (std::size_t i = 0; i < p.mix.size(); ++i)
+      p.mix[i] = static_cast<double>(st.warp_per_mix[i]) / st.warp_instructions;
+  }
+  p.regs_per_thread = w.max_regs_per_thread();
+  p.shared_bytes = w.max_shared_bytes();
+  return p;
+}
+
+}  // namespace gpurel::profile

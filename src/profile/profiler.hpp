@@ -1,0 +1,58 @@
+// Kernel profiling à la NVPROF / Nsight Compute: instruction mix (Fig. 1),
+// IPC and achieved occupancy (Table I, Eq. 4), and static resources. The
+// profile of a workload is extracted from its fault-free reference trial.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/workload.hpp"
+#include "isa/opcode.hpp"
+
+namespace gpurel::profile {
+
+struct CodeProfile {
+  std::string name;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t lane_instructions = 0;
+
+  /// NVPROF-style executed IPC (warp instructions per active SM cycle).
+  double ipc = 0.0;
+  /// Achieved occupancy in [0, 1].
+  double occupancy = 0.0;
+
+  /// Fig. 1: fraction of dynamic (warp-level) instructions per class.
+  std::array<double, static_cast<std::size_t>(isa::MixClass::kCount)> mix{};
+  /// Lane-level dynamic executions per functional-unit kind: these are the
+  /// fault/beam exposure site counts used by Eq. 2.
+  std::array<std::uint64_t, static_cast<std::size_t>(isa::UnitKind::kCount)>
+      lane_per_unit{};
+
+  unsigned regs_per_thread = 0;
+  std::uint32_t shared_bytes = 0;
+
+  /// The paper's parallelism factor (Eq. 4).
+  double phi() const { return ipc * occupancy; }
+
+  double mix_of(isa::MixClass c) const {
+    return mix[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t lanes_of(isa::UnitKind k) const {
+    return lane_per_unit[static_cast<std::size_t>(k)];
+  }
+  /// Fraction of lane-level executions on the given unit kind (f(INST_i)).
+  double lane_fraction(isa::UnitKind k) const {
+    return lane_instructions == 0
+               ? 0.0
+               : static_cast<double>(lanes_of(k)) / lane_instructions;
+  }
+};
+
+/// Profile a workload from its fault-free reference run (prepares it first if
+/// necessary).
+CodeProfile profile_workload(core::Workload& w, sim::Device& dev);
+
+}  // namespace gpurel::profile

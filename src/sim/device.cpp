@@ -1,0 +1,24 @@
+#include "sim/device.hpp"
+
+#include <stdexcept>
+
+namespace gpurel::sim {
+
+Device::Device(arch::GpuConfig config, std::uint32_t mem_capacity)
+    : config_(std::move(config)), memory_(mem_capacity) {
+  ecc_ = config_.ecc_available;
+}
+
+void Device::set_ecc(bool on) {
+  if (on && !config_.ecc_available)
+    throw std::invalid_argument(config_.name + " does not expose an ECC toggle");
+  ecc_ = on;
+}
+
+LaunchStats Device::launch(const KernelLaunch& kl, SimObserver* observer,
+                           std::uint64_t max_cycles, unsigned ordinal) {
+  Executor exec(config_, memory_);
+  return exec.run(kl, observer, max_cycles, ordinal);
+}
+
+}  // namespace gpurel::sim

@@ -1,0 +1,861 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/fp16.hpp"
+#include "sim/instr_info.hpp"
+#include "sim/timing.hpp"
+
+namespace gpurel::sim {
+
+using isa::CmpOp;
+using isa::Instr;
+using isa::kRZ;
+using isa::MemWidth;
+using isa::Opcode;
+
+namespace {
+
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+constexpr std::size_t kMaxStackDepth = 64;
+constexpr unsigned kBlockLaunchOverheadCycles = 20;
+
+template <typename T>
+bool cmp_eval(CmpOp op, T a, T b) {
+  switch (op) {
+    case CmpOp::LT: return a < b;
+    case CmpOp::LE: return a <= b;
+    case CmpOp::GT: return a > b;
+    case CmpOp::GE: return a >= b;
+    case CmpOp::EQ: return a == b;
+    case CmpOp::NE: return a != b;
+  }
+  return false;
+}
+
+std::int32_t f2i_sat(float f) {
+  if (std::isnan(f)) return 0;
+  if (f >= 2147483648.0f) return std::numeric_limits<std::int32_t>::max();
+  if (f <= -2147483648.0f) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(f);
+}
+
+std::int32_t d2i_sat(double d) {
+  if (std::isnan(d)) return 0;
+  if (d >= 2147483648.0) return std::numeric_limits<std::int32_t>::max();
+  if (d <= -2147483648.0) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(d);
+}
+
+}  // namespace
+
+namespace {
+bool is_fp64_pair_op(Opcode op) {
+  switch (op) {
+    case Opcode::DADD:
+    case Opcode::DMUL:
+    case Opcode::DFMA:
+    case Opcode::DSETP:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+unsigned dst_reg_width(const Instr& in) {
+  switch (in.op) {
+    case Opcode::DADD:
+    case Opcode::DMUL:
+    case Opcode::DFMA:
+    case Opcode::F2D:
+    case Opcode::I2D:
+      return 2;
+    case Opcode::LDG:
+    case Opcode::LDS:
+      return static_cast<MemWidth>(in.aux) == MemWidth::B64 ? 2 : 1;
+    case Opcode::HMMA:
+      return 4;
+    case Opcode::FMMA:
+      return 8;
+    default:
+      return isa::writes_gpr(in.op) ? 1 : 0;
+  }
+}
+
+unsigned src_reg_width(const Instr& in, unsigned slot) {
+  if (is_fp64_pair_op(in.op)) return 2;
+  switch (in.op) {
+    case Opcode::D2F:
+    case Opcode::D2I:
+      return slot == 0 ? 2 : 1;
+    case Opcode::STG:
+    case Opcode::STS:
+      return (slot == 1 && static_cast<MemWidth>(in.aux) == MemWidth::B64) ? 2 : 1;
+    case Opcode::HMMA:
+      return slot == 2 ? 4 : 4;
+    case Opcode::FMMA:
+      return slot == 2 ? 8 : 4;
+    default:
+      return 1;
+  }
+}
+
+bool src_slot_used(const Instr& in, unsigned slot) {
+  if (in.src[slot] == kRZ) return false;
+  if (slot == 1 && (in.aux & isa::kAuxImmSrc1)) return false;
+  return true;
+}
+
+Executor::Executor(const arch::GpuConfig& gpu, GlobalMemory& global)
+    : gpu_(gpu), global_(global) {}
+
+ThreadRegs& Executor::live_warp_lane(std::size_t live_index, unsigned lane) {
+  return live_warps_.at(live_index)->lanes.at(lane & 31u);
+}
+
+SharedMemory& Executor::live_block_shared(std::size_t live_index) {
+  return *live_blocks_.at(live_index)->shared;
+}
+
+void Executor::raise_due(DueKind kind) {
+  if (due_ == DueKind::None) due_ = kind;
+}
+
+void Executor::rebuild_live_lists() {
+  live_blocks_.clear();
+  live_warps_.clear();
+  for (auto& sm : sms_) {
+    for (BlockRt* b : sm.blocks) {
+      live_blocks_.push_back(b);
+      for (auto& w : b->warps)
+        if (!w->exited) live_warps_.push_back(w.get());
+    }
+  }
+}
+
+void Executor::place_block(unsigned sm, unsigned linear_block, std::uint64_t cycle) {
+  const auto& launch = *launch_;
+  auto block = std::make_unique<BlockRt>();
+  block->cta_x = linear_block % launch.grid.x;
+  block->cta_y = linear_block / launch.grid.x;
+  block->sm = sm;
+  block->threads = launch.block.count();
+  block->warps_total = (block->threads + gpu_.warp_size - 1) / gpu_.warp_size;
+  const std::uint32_t shared_bytes =
+      launch.program->shared_bytes() + launch.dynamic_shared;
+  block->shared = std::make_unique<SharedMemory>(std::max(shared_bytes, 4u));
+
+  SmState& s = sms_[sm];
+  for (unsigned wi = 0; wi < block->warps_total; ++wi) {
+    auto w = std::make_unique<WarpRt>();
+    w->block = block.get();
+    w->sm = sm;
+    w->warp_id = next_warp_id_++;
+    w->warp_in_block = wi;
+    w->scheduler = static_cast<unsigned>(s.warps.size()) % gpu_.schedulers_per_sm;
+    w->next_try = cycle + kBlockLaunchOverheadCycles;
+    const unsigned first = wi * gpu_.warp_size;
+    const unsigned last = std::min(block->threads, first + gpu_.warp_size);
+    w->active = static_cast<std::uint32_t>(lane_mask(last - first));
+    s.warps.push_back(w.get());
+    s.resident_warps += 1;
+    block->warps.push_back(std::move(w));
+  }
+  s.blocks.push_back(block.get());
+  block_storage_.push_back(std::move(block));
+}
+
+void Executor::remove_block(BlockRt* block, std::uint64_t cycle) {
+  SmState& s = sms_[block->sm];
+  std::erase(s.blocks, block);
+  for (auto& w : block->warps) std::erase(s.warps, w.get());
+  // resident_warps was already decremented warp-by-warp at each EXIT.
+  ++completed_blocks_;
+  if (next_block_ < total_blocks_ && s.blocks.size() < max_blocks_per_sm_)
+    place_block(block->sm, next_block_++, cycle);
+  // The BlockRt itself stays alive in block_storage_ until the launch ends;
+  // only its scheduling presence is removed.
+}
+
+std::uint32_t Executor::guard_true_mask(const WarpRt& w, const Instr& in) const {
+  if (in.unguarded()) return w.active;
+  std::uint32_t m = 0;
+  for (unsigned l = 0; l < 32; ++l)
+    if ((w.active >> l) & 1u)
+      if (w.lanes[l].guard_true(in.guard)) m |= 1u << l;
+  return m;
+}
+
+std::uint64_t Executor::dependency_ready(const WarpRt& w, const Instr& in) const {
+  std::uint64_t ready = 0;
+  auto need_regs = [&](std::uint8_t base, unsigned width) {
+    if (base == kRZ) return;
+    for (unsigned i = 0; i < width; ++i)
+      ready = std::max(ready, w.reg_ready[base + i]);
+  };
+  for (unsigned s = 0; s < 3; ++s)
+    if (src_slot_used(in, s)) need_regs(in.src[s], src_reg_width(in, s));
+  if (isa::writes_gpr(in.op)) need_regs(in.dst, dst_reg_width(in));
+  if (!in.unguarded()) ready = std::max(ready, w.pred_ready[in.guard_index()]);
+  if (isa::writes_predicate(in.op))
+    ready = std::max(ready, w.pred_ready[in.dst & 0x07]);
+  if (in.op == Opcode::SEL)
+    ready = std::max(ready, w.pred_ready[in.aux & 0x07]);
+  return ready;
+}
+
+void Executor::retire_writeback(WarpRt& w, const Instr& in, std::uint64_t cycle) {
+  const std::uint64_t ready = cycle + latency(gpu_, in.op);
+  if (isa::writes_gpr(in.op) && in.dst != kRZ) {
+    const unsigned width = dst_reg_width(in);
+    for (unsigned i = 0; i < width; ++i) w.reg_ready[in.dst + i] = ready;
+  }
+  if (isa::writes_predicate(in.op)) w.pred_ready[in.dst & 0x07] = ready;
+}
+
+void Executor::release_barrier_if_complete(BlockRt& block, std::uint64_t cycle) {
+  if (block.warps_at_barrier == 0) return;
+  if (block.warps_at_barrier + block.warps_exited < block.warps_total) return;
+  for (auto& w : block.warps) {
+    if (!w->exited && w->at_barrier) {
+      w->at_barrier = false;
+      w->next_try = cycle + latency(gpu_, Opcode::BAR);
+    }
+  }
+  block.warps_at_barrier = 0;
+}
+
+void Executor::exec_control(WarpRt& w, const Instr& in, std::uint32_t pc,
+                            std::uint32_t guard_mask, std::uint64_t cycle) {
+  switch (in.op) {
+    case Opcode::BRA: {
+      const std::uint32_t taken = guard_mask;
+      if (taken == 0) break;  // fall through
+      if (taken == w.active) {
+        w.pc = static_cast<std::uint32_t>(in.imm);
+        break;
+      }
+      if (w.stack.size() >= kMaxStackDepth) {
+        raise_due(DueKind::IllegalInstruction);
+        break;
+      }
+      w.stack.push_back({StackEntry::Kind::Div,
+                         static_cast<std::uint32_t>(in.imm), taken});
+      w.active &= ~taken;
+      break;
+    }
+    case Opcode::SSY:
+      if (w.stack.size() >= kMaxStackDepth) {
+        raise_due(DueKind::IllegalInstruction);
+        break;
+      }
+      w.stack.push_back({StackEntry::Kind::Ssy,
+                         static_cast<std::uint32_t>(in.imm), w.active});
+      break;
+    case Opcode::SYNC: {
+      if (w.stack.empty() || w.stack.back().kind == StackEntry::Kind::Pbk) {
+        raise_due(DueKind::IllegalInstruction);
+        break;
+      }
+      const StackEntry e = w.stack.back();
+      w.stack.pop_back();
+      w.pc = e.pc;
+      w.active = e.mask;
+      break;
+    }
+    case Opcode::PBK:
+      if (w.stack.size() >= kMaxStackDepth) {
+        raise_due(DueKind::IllegalInstruction);
+        break;
+      }
+      w.stack.push_back({StackEntry::Kind::Pbk,
+                         static_cast<std::uint32_t>(in.imm), w.active});
+      break;
+    case Opcode::BRK: {
+      w.active &= ~guard_mask;
+      if (w.active != 0) break;
+      if (w.stack.empty() || w.stack.back().kind != StackEntry::Kind::Pbk) {
+        raise_due(DueKind::IllegalInstruction);
+        break;
+      }
+      const StackEntry e = w.stack.back();
+      w.stack.pop_back();
+      w.pc = e.pc;
+      w.active = e.mask;
+      break;
+    }
+    case Opcode::BAR:
+      w.at_barrier = true;
+      w.block->warps_at_barrier += 1;
+      release_barrier_if_complete(*w.block, cycle);
+      break;
+    case Opcode::EXIT:
+      w.exited = true;
+      w.active = 0;
+      w.block->warps_exited += 1;
+      sms_[w.sm].resident_warps -= 1;  // occupancy counts live warps only
+      release_barrier_if_complete(*w.block, cycle);
+      std::erase(live_warps_, &w);
+      break;
+    default:
+      break;
+  }
+  (void)pc;
+}
+
+void Executor::exec_mma(WarpRt& w, const Instr& in, std::uint64_t cycle,
+                        std::uint32_t pc) {
+  // Tensor-core MMA requires a fully converged warp; corrupted control flow
+  // that reaches an MMA divergent is a device-level error.
+  if (w.active != kFullMask) {
+    raise_due(DueKind::IllegalInstruction);
+    return;
+  }
+  const bool half_acc = in.op == Opcode::HMMA;
+  // Gather 16x16 fragments distributed across the warp: element e of a
+  // matrix lives in lane e>>3, slot e&7. A and B are packed halves (2 per
+  // 32-bit register); the accumulator is packed halves (HMMA) or one float
+  // per register (FMMA).
+  auto load_half = [&](std::uint8_t base, unsigned e) {
+    const ThreadRegs& r = w.lanes[e >> 3];
+    const unsigned slot = e & 7;
+    const std::uint32_t word = r.get(static_cast<std::uint8_t>(base + (slot >> 1)));
+    const std::uint16_t h =
+        static_cast<std::uint16_t>((slot & 1) ? (word >> 16) : (word & 0xffffu));
+    return Half::from_bits(h).to_float();
+  };
+  float a[16][16], b[16][16], acc[16][16];
+  for (unsigned e = 0; e < 256; ++e) {
+    a[e / 16][e % 16] = load_half(in.src[0], e);
+    b[e / 16][e % 16] = load_half(in.src[1], e);
+    if (half_acc) {
+      acc[e / 16][e % 16] = load_half(in.src[2], e);
+    } else {
+      const ThreadRegs& r = w.lanes[e >> 3];
+      acc[e / 16][e % 16] = r.getf(static_cast<std::uint8_t>(in.src[2] + (e & 7)));
+    }
+  }
+  // The tensor core multiplies in fp16 precision with fp32 accumulation and
+  // one final rounding per element (Volta behaviour).
+  float d[16][16];
+  for (unsigned i = 0; i < 16; ++i) {
+    for (unsigned j = 0; j < 16; ++j) {
+      float sum = acc[i][j];
+      for (unsigned k = 0; k < 16; ++k) sum += a[i][k] * b[k][j];
+      d[i][j] = sum;
+    }
+  }
+  for (unsigned e = 0; e < 256; ++e) {
+    ThreadRegs& r = w.lanes[e >> 3];
+    const unsigned slot = e & 7;
+    const float v = d[e / 16][e % 16];
+    if (half_acc) {
+      const std::uint8_t reg = static_cast<std::uint8_t>(in.dst + (slot >> 1));
+      std::uint32_t word = r.get(reg);
+      const std::uint16_t h = Half::from_float(v).bits();
+      if (slot & 1) word = (word & 0x0000ffffu) | (static_cast<std::uint32_t>(h) << 16);
+      else word = (word & 0xffff0000u) | h;
+      r.set(reg, word);
+    } else {
+      r.setf(static_cast<std::uint8_t>(in.dst + slot), v);
+    }
+  }
+  (void)cycle;
+  (void)pc;
+}
+
+void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
+                         std::uint64_t cycle, std::uint32_t pc) {
+  ThreadRegs& r = w.lanes[lane];
+  std::uint32_t eff_addr = 0;
+
+  auto src1_u32 = [&]() -> std::uint32_t {
+    return (in.aux & isa::kAuxImmSrc1) ? static_cast<std::uint32_t>(in.imm)
+                                       : r.get(in.src[1]);
+  };
+  auto src1_f32 = [&]() -> float { return bits_f32(src1_u32()); };
+  const std::uint8_t cmp_bits = in.aux & 0x07;
+
+  switch (in.op) {
+    case Opcode::NOP:
+      break;
+    // ---- FP32 ----
+    case Opcode::FADD:
+      r.setf(in.dst, r.getf(in.src[0]) + src1_f32());
+      break;
+    case Opcode::FMUL:
+      r.setf(in.dst, r.getf(in.src[0]) * src1_f32());
+      break;
+    case Opcode::FFMA:
+      r.setf(in.dst, std::fma(r.getf(in.src[0]), r.getf(in.src[1]), r.getf(in.src[2])));
+      break;
+    case Opcode::FMNMX:
+      r.setf(in.dst, in.aux & 1 ? std::fmax(r.getf(in.src[0]), r.getf(in.src[1]))
+                                : std::fmin(r.getf(in.src[0]), r.getf(in.src[1])));
+      break;
+    case Opcode::FSETP:
+      r.set_pred(in.dst, cmp_eval(static_cast<CmpOp>(cmp_bits), r.getf(in.src[0]),
+                                  src1_f32()));
+      break;
+    // ---- FP64 ----
+    case Opcode::DADD:
+      r.setd(in.dst, r.getd(in.src[0]) + r.getd(in.src[1]));
+      break;
+    case Opcode::DMUL:
+      r.setd(in.dst, r.getd(in.src[0]) * r.getd(in.src[1]));
+      break;
+    case Opcode::DFMA:
+      r.setd(in.dst, std::fma(r.getd(in.src[0]), r.getd(in.src[1]), r.getd(in.src[2])));
+      break;
+    case Opcode::DSETP:
+      r.set_pred(in.dst, cmp_eval(static_cast<CmpOp>(cmp_bits), r.getd(in.src[0]),
+                                  r.getd(in.src[1])));
+      break;
+    // ---- FP16 ----
+    case Opcode::HADD:
+      r.seth(in.dst, half_add(r.geth(in.src[0]), r.geth(in.src[1])));
+      break;
+    case Opcode::HMUL:
+      r.seth(in.dst, half_mul(r.geth(in.src[0]), r.geth(in.src[1])));
+      break;
+    case Opcode::HFMA:
+      r.seth(in.dst, half_fma(r.geth(in.src[0]), r.geth(in.src[1]), r.geth(in.src[2])));
+      break;
+    case Opcode::HSETP:
+      r.set_pred(in.dst, cmp_eval(static_cast<CmpOp>(cmp_bits),
+                                  r.geth(in.src[0]).to_float(),
+                                  r.geth(in.src[1]).to_float()));
+      break;
+    // ---- INT32 ----
+    case Opcode::IADD:
+      r.set(in.dst, r.get(in.src[0]) + src1_u32());
+      break;
+    case Opcode::IMUL:
+      r.set(in.dst, r.get(in.src[0]) * src1_u32());
+      break;
+    case Opcode::IMAD:
+      r.set(in.dst, r.get(in.src[0]) * r.get(in.src[1]) + r.get(in.src[2]));
+      break;
+    case Opcode::IMNMX: {
+      const auto a = static_cast<std::int32_t>(r.get(in.src[0]));
+      const auto b = static_cast<std::int32_t>(r.get(in.src[1]));
+      r.set(in.dst, static_cast<std::uint32_t>((in.aux & 1) ? std::max(a, b)
+                                                            : std::min(a, b)));
+      break;
+    }
+    case Opcode::ISETP:
+      r.set_pred(in.dst, cmp_eval(static_cast<CmpOp>(cmp_bits),
+                                  static_cast<std::int32_t>(r.get(in.src[0])),
+                                  static_cast<std::int32_t>(src1_u32())));
+      break;
+    case Opcode::SHL:
+      r.set(in.dst, r.get(in.src[0]) << (in.imm & 31));
+      break;
+    case Opcode::SHR:
+      r.set(in.dst, r.get(in.src[0]) >> (in.imm & 31));
+      break;
+    case Opcode::SHRS:
+      r.set(in.dst, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(r.get(in.src[0])) >> (in.imm & 31)));
+      break;
+    case Opcode::LOP_AND:
+      r.set(in.dst, r.get(in.src[0]) & src1_u32());
+      break;
+    case Opcode::LOP_OR:
+      r.set(in.dst, r.get(in.src[0]) | src1_u32());
+      break;
+    case Opcode::LOP_XOR:
+      r.set(in.dst, r.get(in.src[0]) ^ src1_u32());
+      break;
+    // ---- SFU ----
+    case Opcode::MUFU_RCP:
+      r.setf(in.dst, 1.0f / r.getf(in.src[0]));
+      break;
+    case Opcode::MUFU_RSQ:
+      r.setf(in.dst, 1.0f / std::sqrt(r.getf(in.src[0])));
+      break;
+    case Opcode::MUFU_EX2:
+      r.setf(in.dst, std::exp2(r.getf(in.src[0])));
+      break;
+    case Opcode::MUFU_LG2:
+      r.setf(in.dst, std::log2(r.getf(in.src[0])));
+      break;
+    // ---- Conversions ----
+    case Opcode::I2F:
+      r.setf(in.dst, static_cast<float>(static_cast<std::int32_t>(r.get(in.src[0]))));
+      break;
+    case Opcode::F2I:
+      r.set(in.dst, static_cast<std::uint32_t>(f2i_sat(r.getf(in.src[0]))));
+      break;
+    case Opcode::F2H:
+      r.seth(in.dst, Half::from_float(r.getf(in.src[0])));
+      break;
+    case Opcode::H2F:
+      r.setf(in.dst, r.geth(in.src[0]).to_float());
+      break;
+    case Opcode::F2D:
+      r.setd(in.dst, static_cast<double>(r.getf(in.src[0])));
+      break;
+    case Opcode::D2F:
+      r.setf(in.dst, static_cast<float>(r.getd(in.src[0])));
+      break;
+    case Opcode::I2D:
+      r.setd(in.dst, static_cast<double>(static_cast<std::int32_t>(r.get(in.src[0]))));
+      break;
+    case Opcode::D2I:
+      r.set(in.dst, static_cast<std::uint32_t>(d2i_sat(r.getd(in.src[0]))));
+      break;
+    // ---- Moves ----
+    case Opcode::MOV:
+      r.set(in.dst, r.get(in.src[0]));
+      break;
+    case Opcode::MOV32I:
+      r.set(in.dst, static_cast<std::uint32_t>(in.imm));
+      break;
+    case Opcode::SEL: {
+      const bool p = r.get_pred(in.aux & 0x07);
+      const bool take_a = (in.aux & isa::kAuxSelNegate) ? !p : p;
+      r.set(in.dst, take_a ? r.get(in.src[0]) : r.get(in.src[1]));
+      break;
+    }
+    case Opcode::S2R: {
+      const unsigned linear = w.warp_in_block * gpu_.warp_size + lane;
+      std::uint32_t v = 0;
+      switch (static_cast<isa::SpecialReg>(in.imm)) {
+        case isa::SpecialReg::TID_X: v = linear % launch_->block.x; break;
+        case isa::SpecialReg::TID_Y: v = linear / launch_->block.x; break;
+        case isa::SpecialReg::CTAID_X: v = w.block->cta_x; break;
+        case isa::SpecialReg::CTAID_Y: v = w.block->cta_y; break;
+        case isa::SpecialReg::NTID_X: v = launch_->block.x; break;
+        case isa::SpecialReg::NTID_Y: v = launch_->block.y; break;
+        case isa::SpecialReg::NCTAID_X: v = launch_->grid.x; break;
+        case isa::SpecialReg::NCTAID_Y: v = launch_->grid.y; break;
+        case isa::SpecialReg::LANEID: v = lane; break;
+      }
+      r.set(in.dst, v);
+      break;
+    }
+    case Opcode::LDC:
+      if (static_cast<std::size_t>(in.imm) >= launch_->params.size())
+        throw std::invalid_argument("LDC: kernel parameter slot out of range in " +
+                                    launch_->program->name());
+      r.set(in.dst, launch_->params[static_cast<std::size_t>(in.imm)]);
+      break;
+    // ---- Memory ----
+    case Opcode::LDG:
+    case Opcode::LDS: {
+      eff_addr = r.get(in.src[0]) + static_cast<std::uint32_t>(in.imm);
+      const auto width = static_cast<MemWidth>(in.aux);
+      std::uint64_t v = 0;
+      const MemStatus st = in.op == Opcode::LDG
+                               ? global_.load(eff_addr, width, v)
+                               : w.block->shared->load(eff_addr, width, v);
+      if (st != MemStatus::Ok) {
+        raise_due(st == MemStatus::OutOfBounds ? DueKind::InvalidAddress
+                                               : DueKind::MisalignedAddress);
+        break;
+      }
+      if (width == MemWidth::B64) r.set64(in.dst, v);
+      else r.set(in.dst, static_cast<std::uint32_t>(v));
+      break;
+    }
+    case Opcode::STG:
+    case Opcode::STS: {
+      eff_addr = r.get(in.src[0]) + static_cast<std::uint32_t>(in.imm);
+      const auto width = static_cast<MemWidth>(in.aux);
+      const std::uint64_t v = width == MemWidth::B64
+                                  ? r.get64(in.src[1])
+                                  : (width == MemWidth::B16
+                                         ? (r.get(in.src[1]) & 0xffffu)
+                                         : r.get(in.src[1]));
+      const MemStatus st = in.op == Opcode::STG
+                               ? global_.store(eff_addr, width, v)
+                               : w.block->shared->store(eff_addr, width, v);
+      if (st != MemStatus::Ok)
+        raise_due(st == MemStatus::OutOfBounds ? DueKind::InvalidAddress
+                                               : DueKind::MisalignedAddress);
+      break;
+    }
+    case Opcode::ATOM: {
+      eff_addr = r.get(in.src[0]) + static_cast<std::uint32_t>(in.imm);
+      std::uint64_t old64 = 0;
+      if (global_.load(eff_addr, MemWidth::B32, old64) != MemStatus::Ok) {
+        raise_due(DueKind::InvalidAddress);
+        break;
+      }
+      const auto old = static_cast<std::uint32_t>(old64);
+      std::uint32_t next = old;
+      const std::uint32_t val = r.get(in.src[1]);
+      switch (static_cast<isa::AtomOp>(in.aux & 0x07)) {
+        case isa::AtomOp::Add: next = old + val; break;
+        case isa::AtomOp::Min:
+          next = static_cast<std::uint32_t>(
+              std::min(static_cast<std::int32_t>(old), static_cast<std::int32_t>(val)));
+          break;
+        case isa::AtomOp::Max:
+          next = static_cast<std::uint32_t>(
+              std::max(static_cast<std::int32_t>(old), static_cast<std::int32_t>(val)));
+          break;
+        case isa::AtomOp::Exch: next = val; break;
+        case isa::AtomOp::CAS: next = old == val ? r.get(in.src[2]) : old; break;
+      }
+      global_.store(eff_addr, MemWidth::B32, next);
+      r.set(in.dst, old);
+      break;
+    }
+    default:
+      break;  // control and MMA handled at warp level
+  }
+
+  if (obs_ != nullptr) {
+    ExecContext ctx{cycle, w.sm, lane, w.warp_id, pc, &in, &r, &w.pc, eff_addr};
+    obs_->after_exec(ctx);
+  }
+}
+
+void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
+  const std::uint32_t pc = w.pc;
+  const Instr& in = launch_->program->at(pc);
+  w.pc = pc + 1;
+
+  const std::uint32_t exec_mask = guard_true_mask(w, in);
+
+  // Accounting (warp- and lane-level, per unit and per mix class).
+  stats_.warp_instructions += 1;
+  const auto unit = static_cast<std::size_t>(isa::unit_kind(in.op));
+  const auto mix = static_cast<std::size_t>(isa::mix_class(in.op));
+  stats_.warp_per_unit[unit] += 1;
+  stats_.warp_per_mix[mix] += 1;
+  const unsigned lanes = static_cast<unsigned>(std::popcount(exec_mask));
+  stats_.lane_instructions += lanes;
+  stats_.lane_per_unit[unit] += lanes;
+  stats_.lane_busy_per_unit[unit] +=
+      static_cast<double>(lanes) * latency(gpu_, in.op);
+
+  if (obs_ != nullptr && exec_mask != 0) {
+    for (unsigned l = 0; l < 32; ++l) {
+      if ((exec_mask >> l) & 1u) {
+        ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
+        obs_->before_exec(ctx);
+      }
+    }
+  }
+
+  if (isa::is_control(in.op)) {
+    exec_control(w, in, pc, exec_mask, cycle);
+    if (obs_ != nullptr) {
+      for (unsigned l = 0; l < 32; ++l) {
+        if ((exec_mask >> l) & 1u) {
+          ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
+          obs_->after_exec(ctx);
+        }
+      }
+    }
+  } else if (in.op == Opcode::HMMA || in.op == Opcode::FMMA) {
+    exec_mma(w, in, cycle, pc);
+    if (obs_ != nullptr && due_ == DueKind::None) {
+      for (unsigned l = 0; l < 32; ++l) {
+        ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
+        obs_->after_exec(ctx);
+      }
+    }
+  } else {
+    for (unsigned l = 0; l < 32 && due_ == DueKind::None; ++l)
+      if ((exec_mask >> l) & 1u) exec_lane(w, l, in, cycle, pc);
+  }
+
+  retire_writeback(w, in, cycle);
+  if (!w.exited && !w.at_barrier) w.next_try = cycle + 1;
+
+  // A corrupted PC (fault injection) or runaway control flow lands outside
+  // the program: device exception.
+  if (!w.exited && w.pc >= launch_->program->size())
+    raise_due(DueKind::IllegalInstruction);
+}
+
+bool Executor::try_issue(
+    WarpRt& w, std::uint64_t cycle,
+    std::array<unsigned, static_cast<std::size_t>(UnitGroup::kCount)>& used) {
+  if (w.pc >= launch_->program->size()) {
+    raise_due(DueKind::IllegalInstruction);
+    return false;
+  }
+  const Instr& in = launch_->program->at(w.pc);
+  const std::uint64_t dep = dependency_ready(w, in);
+  if (dep > cycle) {
+    w.next_try = std::max(w.next_try, dep);
+    return false;
+  }
+  const UnitGroup g = unit_group(gpu_, in.op);
+  if (used[static_cast<std::size_t>(g)] >= group_issue_limit(gpu_, g)) {
+    w.next_try = cycle + 1;
+    return false;
+  }
+  used[static_cast<std::size_t>(g)] += 1;
+  issue_instr(w, cycle);
+  return true;
+}
+
+void Executor::schedule_sm(unsigned sm, std::uint64_t cycle) {
+  SmState& s = sms_[sm];
+  if (s.warps.empty()) return;
+  std::array<unsigned, static_cast<std::size_t>(UnitGroup::kCount)> used{};
+
+  for (unsigned sched = 0; sched < gpu_.schedulers_per_sm; ++sched) {
+    // Collect this scheduler's eligible warps in round-robin order.
+    WarpRt* picked = nullptr;
+    const std::size_t n = s.warps.size();
+    const unsigned start = s.rr[sched];
+    for (std::size_t k = 0; k < n; ++k) {
+      WarpRt* w = s.warps[(start + k) % n];
+      if (w->scheduler != sched || w->exited || w->at_barrier) continue;
+      if (w->next_try > cycle) continue;
+      if (!try_issue(*w, cycle, used)) {
+        if (due_ != DueKind::None) return;
+        continue;
+      }
+      picked = w;
+      s.rr[sched] = static_cast<unsigned>((start + k + 1) % n);
+      break;
+    }
+    if (due_ != DueKind::None) return;
+    if (picked == nullptr) continue;
+
+    // Dual issue: a second independent instruction from the same warp.
+    if (gpu_.issue_per_scheduler >= 2 && !picked->exited && !picked->at_barrier &&
+        picked->pc < launch_->program->size()) {
+      const Instr& next = launch_->program->at(picked->pc);
+      if (!isa::is_control(next.op) && dependency_ready(*picked, next) <= cycle) {
+        const UnitGroup g = unit_group(gpu_, next.op);
+        if (used[static_cast<std::size_t>(g)] < group_issue_limit(gpu_, g)) {
+          used[static_cast<std::size_t>(g)] += 1;
+          issue_instr(*picked, cycle);
+          if (due_ != DueKind::None) return;
+        }
+      }
+    }
+  }
+}
+
+LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
+                          std::uint64_t max_cycles, unsigned launch_ordinal) {
+  if (launch.program == nullptr)
+    throw std::invalid_argument("Executor::run: null program");
+  if (launch.grid.count() == 0 || launch.block.count() == 0)
+    throw std::invalid_argument("Executor::run: empty grid or block");
+  if (launch.block.count() > gpu_.max_threads_per_block)
+    throw std::invalid_argument("Executor::run: block too large");
+
+  launch_ = &launch;
+  obs_ = observer;
+  due_ = DueKind::None;
+  stats_ = LaunchStats{};
+  stats_.shared_bytes_per_block =
+      launch.program->shared_bytes() + launch.dynamic_shared;
+  sms_.assign(gpu_.sm_count, SmState{});
+  for (auto& s : sms_) s.rr.assign(gpu_.schedulers_per_sm, 0);
+  block_storage_.clear();
+  live_blocks_.clear();
+  live_warps_.clear();
+  next_block_ = 0;
+  completed_blocks_ = 0;
+  next_warp_id_ = 0;
+
+  const auto occ = arch::occupancy(
+      gpu_, launch.program->regs_per_thread(),
+      launch.program->shared_bytes() + launch.dynamic_shared, launch.block.count());
+  max_blocks_per_sm_ = occ.blocks_per_sm;
+  total_blocks_ = launch.grid.count();
+
+  // Initial placement, round-robin across SMs.
+  for (unsigned round = 0; round < max_blocks_per_sm_ && next_block_ < total_blocks_;
+       ++round)
+    for (unsigned sm = 0; sm < gpu_.sm_count && next_block_ < total_blocks_; ++sm)
+      place_block(sm, next_block_++, 0);
+  rebuild_live_lists();
+
+  if (obs_ != nullptr) {
+    LaunchInfo info{&launch, launch_ordinal};
+    obs_->on_launch_begin(info, *this);
+  }
+
+  std::uint64_t cycle = 0;
+  while (completed_blocks_ < total_blocks_ && due_ == DueKind::None) {
+    // Next event: the earliest cycle any warp can try to issue.
+    std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& s : sms_)
+      for (const WarpRt* w : s.warps)
+        if (!w->exited && !w->at_barrier) next = std::min(next, w->next_try);
+
+    if (next == std::numeric_limits<std::uint64_t>::max()) {
+      raise_due(DueKind::BarrierDeadlock);
+      break;
+    }
+    if (max_cycles != 0 && next > max_cycles) {
+      raise_due(DueKind::Watchdog);
+      cycle = max_cycles;
+      break;
+    }
+
+    // Account the stall gap (occupancy integral) and deliver time to the
+    // observer (beam strikes land inside this window).
+    const std::uint64_t delta = next - cycle;
+    if (delta > 0) {
+      unsigned resident = 0;
+      std::size_t blocks = 0;
+      for (const auto& s : sms_) {
+        if (s.resident_warps > 0) stats_.sm_active_cycles += delta;
+        resident += s.resident_warps;
+        blocks += s.blocks.size();
+      }
+      stats_.warp_cycles += static_cast<double>(delta) * resident;
+      stats_.block_cycles += static_cast<double>(delta) * static_cast<double>(blocks);
+      if (obs_ != nullptr) {
+        obs_->on_time_advance(cycle, next, *this);
+        if (due_ != DueKind::None) {
+          cycle = next;
+          break;
+        }
+      }
+    }
+    cycle = next;
+
+    bool placement_dirty = false;
+    for (unsigned sm = 0; sm < gpu_.sm_count && due_ == DueKind::None; ++sm)
+      schedule_sm(sm, cycle);
+
+    // Retire completed blocks and place pending ones.
+    for (auto& s : sms_) {
+      for (std::size_t i = 0; i < s.blocks.size();) {
+        BlockRt* b = s.blocks[i];
+        if (b->warps_exited == b->warps_total) {
+          remove_block(b, cycle);
+          placement_dirty = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    if (placement_dirty) rebuild_live_lists();
+  }
+
+  stats_.cycles = cycle;
+  stats_.due = due_;
+  stats_.finalize(gpu_.max_warps_per_sm);
+  if (obs_ != nullptr) obs_->on_launch_end(stats_);
+
+  launch_ = nullptr;
+  obs_ = nullptr;
+  sms_.clear();
+  live_blocks_.clear();
+  live_warps_.clear();
+  block_storage_.clear();
+  return stats_;
+}
+
+}  // namespace gpurel::sim

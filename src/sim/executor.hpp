@@ -1,0 +1,85 @@
+// The SIMT execution engine: places blocks on SMs up to the occupancy limit,
+// schedules warps through per-SM dual-issue schedulers with a register
+// scoreboard and per-port throughput limits, executes instructions
+// functionally at issue time, and advances simulated time event-to-event
+// (skipping stall gaps). It is simultaneously the functional model (producing
+// outputs and fault effects) and the timing model (producing cycles, IPC and
+// achieved occupancy for the paper's Eq. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_config.hpp"
+#include "sim/launch.hpp"
+#include "sim/memory.hpp"
+#include "sim/observer.hpp"
+#include "sim/timing.hpp"
+#include "sim/warp.hpp"
+
+namespace gpurel::sim {
+
+class Executor final : public Machine {
+ public:
+  Executor(const arch::GpuConfig& gpu, GlobalMemory& global);
+
+  /// Run one kernel launch to completion (or DUE). `max_cycles` is the
+  /// watchdog budget (0 = no watchdog). The observer may be null.
+  LaunchStats run(const KernelLaunch& launch, SimObserver* observer,
+                  std::uint64_t max_cycles, unsigned launch_ordinal = 0);
+
+  // Machine interface ------------------------------------------------------
+  GlobalMemory& global() override { return global_; }
+  std::size_t live_warp_count() const override { return live_warps_.size(); }
+  ThreadRegs& live_warp_lane(std::size_t live_index, unsigned lane) override;
+  std::size_t live_block_count() const override { return live_blocks_.size(); }
+  SharedMemory& live_block_shared(std::size_t live_index) override;
+  void raise_due(DueKind kind) override;
+
+ private:
+  struct SmState {
+    std::vector<BlockRt*> blocks;
+    std::vector<WarpRt*> warps;           // all resident warps (stable order)
+    std::vector<unsigned> rr;             // round-robin cursor per scheduler
+    unsigned resident_warps = 0;
+  };
+
+  void place_block(unsigned sm, unsigned linear_block, std::uint64_t cycle);
+  void remove_block(BlockRt* block, std::uint64_t cycle);
+  void rebuild_live_lists();
+  void schedule_sm(unsigned sm, std::uint64_t cycle);
+  /// Returns true if an instruction was issued (false: warp was re-timed).
+  bool try_issue(WarpRt& w, std::uint64_t cycle,
+                 std::array<unsigned,
+                            static_cast<std::size_t>(UnitGroup::kCount)>& used);
+  std::uint64_t dependency_ready(const WarpRt& w, const isa::Instr& in) const;
+  void issue_instr(WarpRt& w, std::uint64_t cycle);
+  void exec_lane(WarpRt& w, unsigned lane, const isa::Instr& in,
+                 std::uint64_t cycle, std::uint32_t pc);
+  void exec_mma(WarpRt& w, const isa::Instr& in, std::uint64_t cycle,
+                std::uint32_t pc);
+  void exec_control(WarpRt& w, const isa::Instr& in, std::uint32_t pc,
+                    std::uint32_t guard_mask, std::uint64_t cycle);
+  void release_barrier_if_complete(BlockRt& block, std::uint64_t cycle);
+  void retire_writeback(WarpRt& w, const isa::Instr& in, std::uint64_t cycle);
+  std::uint32_t guard_true_mask(const WarpRt& w, const isa::Instr& in) const;
+
+  const arch::GpuConfig& gpu_;
+  GlobalMemory& global_;
+  SimObserver* obs_ = nullptr;
+
+  const KernelLaunch* launch_ = nullptr;
+  std::vector<SmState> sms_;
+  std::vector<BlockRt*> live_blocks_;
+  std::vector<WarpRt*> live_warps_;
+  std::vector<std::unique_ptr<BlockRt>> block_storage_;
+  unsigned next_block_ = 0;       // next linear block to place
+  unsigned total_blocks_ = 0;
+  unsigned completed_blocks_ = 0;
+  unsigned next_warp_id_ = 0;
+  unsigned max_blocks_per_sm_ = 0;
+  DueKind due_ = DueKind::None;
+  LaunchStats stats_;
+};
+
+}  // namespace gpurel::sim

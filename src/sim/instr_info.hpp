@@ -1,0 +1,20 @@
+// Operand-shape queries shared by the scheduler and the fault injectors
+// (which must know how many destination registers an instruction writes to
+// pick a flip target).
+#pragma once
+
+#include "isa/instruction.hpp"
+
+namespace gpurel::sim {
+
+/// Number of consecutive GPRs written by the instruction's destination
+/// (0 when it writes no GPR; 2 for FP64/B64, 4/8 for MMA fragments).
+unsigned dst_reg_width(const isa::Instr& in);
+
+/// Number of consecutive GPRs read through source slot `slot`.
+unsigned src_reg_width(const isa::Instr& in, unsigned slot);
+
+/// Whether source slot `slot` names a register (not RZ / not an immediate).
+bool src_slot_used(const isa::Instr& in, unsigned slot);
+
+}  // namespace gpurel::sim

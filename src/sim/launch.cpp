@@ -1,0 +1,45 @@
+#include "sim/launch.hpp"
+
+namespace gpurel::sim {
+
+std::string_view due_kind_name(DueKind k) {
+  switch (k) {
+    case DueKind::None: return "none";
+    case DueKind::InvalidAddress: return "invalid-address";
+    case DueKind::MisalignedAddress: return "misaligned-address";
+    case DueKind::Watchdog: return "watchdog";
+    case DueKind::IllegalInstruction: return "illegal-instruction";
+    case DueKind::BarrierDeadlock: return "barrier-deadlock";
+    case DueKind::EccDoubleBit: return "ecc-double-bit";
+    case DueKind::HiddenResource: return "hidden-resource";
+    default: return "?";
+  }
+}
+
+void LaunchStats::merge(const LaunchStats& other) {
+  cycles += other.cycles;
+  warp_instructions += other.warp_instructions;
+  lane_instructions += other.lane_instructions;
+  for (std::size_t i = 0; i < lane_per_unit.size(); ++i) {
+    lane_per_unit[i] += other.lane_per_unit[i];
+    lane_busy_per_unit[i] += other.lane_busy_per_unit[i];
+    warp_per_unit[i] += other.warp_per_unit[i];
+  }
+  for (std::size_t i = 0; i < warp_per_mix.size(); ++i)
+    warp_per_mix[i] += other.warp_per_mix[i];
+  warp_cycles += other.warp_cycles;
+  block_cycles += other.block_cycles;
+  sm_active_cycles += other.sm_active_cycles;
+  shared_bytes_per_block = std::max(shared_bytes_per_block, other.shared_bytes_per_block);
+  if (due == DueKind::None) due = other.due;
+}
+
+void LaunchStats::finalize(unsigned max_warps_per_sm) {
+  if (sm_active_cycles > 0) {
+    ipc = static_cast<double>(warp_instructions) / sm_active_cycles;
+    achieved_occupancy =
+        warp_cycles / static_cast<double>(sm_active_cycles) / max_warps_per_sm;
+  }
+}
+
+}  // namespace gpurel::sim

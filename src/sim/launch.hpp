@@ -1,0 +1,80 @@
+// Kernel launch descriptors and per-launch statistics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace gpurel::sim {
+
+struct Dim2 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned count() const { return x * y; }
+};
+
+struct KernelLaunch {
+  const isa::Program* program = nullptr;
+  Dim2 grid;
+  Dim2 block;
+  std::uint32_t dynamic_shared = 0;       // bytes on top of static shared
+  std::vector<std::uint32_t> params;      // 32-bit parameter slots
+};
+
+/// Detected Unrecoverable Error classes the simulator can raise. These map to
+/// the paper's DUE taxonomy (§VII-B): device exceptions from bad accesses,
+/// kernel hangs caught by a watchdog, ECC double-bit interrupts, and faults
+/// in hidden (non-architectural) resources.
+enum class DueKind : std::uint8_t {
+  None,
+  InvalidAddress,     // out-of-bounds / unmapped access
+  MisalignedAddress,
+  Watchdog,           // cycle budget exceeded (hang)
+  IllegalInstruction, // control-flow state corrupted beyond recovery
+  BarrierDeadlock,
+  EccDoubleBit,       // SECDED detected-uncorrectable interrupt
+  HiddenResource,     // scheduler / dispatch / queue hard fault
+};
+
+std::string_view due_kind_name(DueKind k);
+
+struct LaunchStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t lane_instructions = 0;
+  /// Per functional-unit lane-level executions (fault/beam exposure sites).
+  std::array<std::uint64_t, static_cast<std::size_t>(isa::UnitKind::kCount)>
+      lane_per_unit{};
+  /// Per functional-unit busy time: lane executions x issue latency of the
+  /// actual opcode (the beam exposure integral of the unit).
+  std::array<double, static_cast<std::size_t>(isa::UnitKind::kCount)>
+      lane_busy_per_unit{};
+  /// Per functional-unit warp-level instruction counts.
+  std::array<std::uint64_t, static_cast<std::size_t>(isa::UnitKind::kCount)>
+      warp_per_unit{};
+  /// Per mix-class warp-level instruction counts (Fig. 1).
+  std::array<std::uint64_t, static_cast<std::size_t>(isa::MixClass::kCount)>
+      warp_per_mix{};
+  /// Integral of live (resident, not exited) warps over time (warp-cycles).
+  double warp_cycles = 0.0;
+  /// Integral of resident blocks over time (block-cycles).
+  double block_cycles = 0.0;
+  /// Sum over SMs of cycles during which the SM had at least one warp.
+  std::uint64_t sm_active_cycles = 0;
+  /// Peak shared-memory bytes per block (static + dynamic).
+  std::uint32_t shared_bytes_per_block = 0;
+  /// Achieved occupancy (average resident warps per active SM cycle / max).
+  double achieved_occupancy = 0.0;
+  /// Warp instructions per active SM cycle (NVPROF-style IPC).
+  double ipc = 0.0;
+  DueKind due = DueKind::None;
+
+  void merge(const LaunchStats& other);
+  /// Recompute the derived metrics from the accumulators.
+  void finalize(unsigned max_warps_per_sm);
+};
+
+}  // namespace gpurel::sim

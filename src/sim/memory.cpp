@@ -1,0 +1,132 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gpurel::sim {
+
+namespace {
+
+constexpr std::uint32_t width_bytes(isa::MemWidth w) {
+  switch (w) {
+    case isa::MemWidth::B16: return 2;
+    case isa::MemWidth::B32: return 4;
+    case isa::MemWidth::B64: return 8;
+  }
+  return 4;
+}
+
+MemStatus check(std::uint32_t addr, std::uint32_t size, bool in_bounds) {
+  if (!in_bounds) return MemStatus::OutOfBounds;
+  if (addr % size != 0) return MemStatus::Misaligned;
+  return MemStatus::Ok;
+}
+
+std::uint64_t load_raw(const std::uint8_t* p, std::uint32_t size) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, size);
+  return v;
+}
+
+void store_raw(std::uint8_t* p, std::uint32_t size, std::uint64_t v) {
+  std::memcpy(p, &v, size);
+}
+
+}  // namespace
+
+GlobalMemory::GlobalMemory(std::uint32_t capacity) : data_(capacity, 0) {
+  if (capacity <= kNullGuard)
+    throw std::invalid_argument("GlobalMemory: capacity below null guard");
+}
+
+std::uint32_t GlobalMemory::alloc(std::uint32_t bytes, std::uint32_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("GlobalMemory::alloc: alignment must be a power of two");
+  const std::uint32_t base = (top_ + align - 1) / align * align;
+  if (base + bytes < base || base + bytes > data_.size())
+    throw std::runtime_error("GlobalMemory::alloc: device memory exhausted");
+  top_ = base + bytes;
+  return base;
+}
+
+void GlobalMemory::reset() {
+  // Only the previously allocated window can be dirty.
+  std::fill(data_.begin(), data_.begin() + top_, 0);
+  top_ = kNullGuard;
+}
+
+MemStatus GlobalMemory::load(std::uint32_t addr, isa::MemWidth w,
+                             std::uint64_t& out) const {
+  const std::uint32_t size = width_bytes(w);
+  const MemStatus st = check(addr, size, valid(addr, size));
+  if (st != MemStatus::Ok) return st;
+  out = load_raw(&data_[addr], size);
+  return MemStatus::Ok;
+}
+
+MemStatus GlobalMemory::store(std::uint32_t addr, isa::MemWidth w,
+                              std::uint64_t value) {
+  const std::uint32_t size = width_bytes(w);
+  const MemStatus st = check(addr, size, valid(addr, size));
+  if (st != MemStatus::Ok) return st;
+  store_raw(&data_[addr], size, value);
+  return MemStatus::Ok;
+}
+
+void GlobalMemory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  if (!valid(addr, static_cast<std::uint32_t>(bytes.size())))
+    throw std::out_of_range("GlobalMemory::write_bytes");
+  std::memcpy(&data_[addr], bytes.data(), bytes.size());
+}
+
+void GlobalMemory::read_bytes(std::uint32_t addr, std::span<std::uint8_t> out) const {
+  if (!valid(addr, static_cast<std::uint32_t>(out.size())))
+    throw std::out_of_range("GlobalMemory::read_bytes");
+  std::memcpy(out.data(), &data_[addr], out.size());
+}
+
+std::uint32_t GlobalMemory::read_u32(std::uint32_t addr) const {
+  std::uint64_t v = 0;
+  if (load(addr, isa::MemWidth::B32, v) != MemStatus::Ok)
+    throw std::out_of_range("GlobalMemory::read_u32");
+  return static_cast<std::uint32_t>(v);
+}
+
+void GlobalMemory::write_u32(std::uint32_t addr, std::uint32_t value) {
+  if (store(addr, isa::MemWidth::B32, value) != MemStatus::Ok)
+    throw std::out_of_range("GlobalMemory::write_u32");
+}
+
+void GlobalMemory::flip_allocated_bit(std::uint64_t bit_index) {
+  if (bit_index >= allocated_bits())
+    throw std::out_of_range("GlobalMemory::flip_allocated_bit");
+  const std::uint64_t byte = kNullGuard + bit_index / 8;
+  data_[byte] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+MemStatus SharedMemory::load(std::uint32_t addr, isa::MemWidth w,
+                             std::uint64_t& out) const {
+  const std::uint32_t size = width_bytes(w);
+  const bool in_bounds = addr + size >= addr && addr + size <= data_.size();
+  const MemStatus st = check(addr, size, in_bounds);
+  if (st != MemStatus::Ok) return st;
+  out = load_raw(&data_[addr], size);
+  return MemStatus::Ok;
+}
+
+MemStatus SharedMemory::store(std::uint32_t addr, isa::MemWidth w,
+                              std::uint64_t value) {
+  const std::uint32_t size = width_bytes(w);
+  const bool in_bounds = addr + size >= addr && addr + size <= data_.size();
+  const MemStatus st = check(addr, size, in_bounds);
+  if (st != MemStatus::Ok) return st;
+  store_raw(&data_[addr], size, value);
+  return MemStatus::Ok;
+}
+
+void SharedMemory::flip_bit(std::uint64_t bit_index) {
+  if (bit_index >= bits()) throw std::out_of_range("SharedMemory::flip_bit");
+  data_[bit_index / 8] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+}  // namespace gpurel::sim

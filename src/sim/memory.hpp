@@ -1,0 +1,79 @@
+// Simulated memories. Global memory is one flat byte space per device with a
+// bump allocator; addresses below the first page are unmapped so that
+// fault-corrupted pointers reliably fault (a large source of DUEs, §V-B).
+// Shared memory is a per-block scratchpad. Both expose bit-flip entry points
+// for the beam simulator and report access validity instead of throwing so
+// the executor can turn bad accesses into device exceptions (DUEs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/opcode.hpp"
+
+namespace gpurel::sim {
+
+/// Result of a guest access attempt.
+enum class MemStatus : std::uint8_t { Ok, OutOfBounds, Misaligned };
+
+class GlobalMemory {
+ public:
+  /// `capacity` bytes of device memory. The first `kNullGuard` bytes are
+  /// permanently unmapped.
+  explicit GlobalMemory(std::uint32_t capacity);
+
+  static constexpr std::uint32_t kNullGuard = 4096;
+
+  /// Allocate `bytes` (aligned); throws std::bad_alloc style runtime_error on
+  /// exhaustion. Returns the guest address.
+  std::uint32_t alloc(std::uint32_t bytes, std::uint32_t align = 256);
+  /// Reset the allocator and zero memory (fresh trial).
+  void reset();
+
+  /// Guest access (bounds- and alignment-checked against the allocated
+  /// watermark). B16 loads zero-extend; B64 moves 8 bytes.
+  MemStatus load(std::uint32_t addr, isa::MemWidth w, std::uint64_t& out) const;
+  MemStatus store(std::uint32_t addr, isa::MemWidth w, std::uint64_t value);
+
+  /// Host access (asserted valid).
+  void write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+  void read_bytes(std::uint32_t addr, std::span<std::uint8_t> out) const;
+  std::uint32_t read_u32(std::uint32_t addr) const;
+  void write_u32(std::uint32_t addr, std::uint32_t value);
+
+  /// Flip one bit anywhere in the *allocated* region (beam strike). The bit
+  /// index is relative to the allocated window starting at kNullGuard.
+  void flip_allocated_bit(std::uint64_t bit_index);
+  /// Number of allocated (exposed) bits.
+  std::uint64_t allocated_bits() const {
+    return static_cast<std::uint64_t>(top_ - kNullGuard) * 8;
+  }
+
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(data_.size()); }
+  std::uint32_t allocated_top() const { return top_; }
+
+ private:
+  bool valid(std::uint32_t addr, std::uint32_t size) const {
+    return addr >= kNullGuard && addr + size >= addr && addr + size <= top_;
+  }
+  std::vector<std::uint8_t> data_;
+  std::uint32_t top_ = kNullGuard;
+};
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::uint32_t bytes) : data_(bytes, 0) {}
+
+  MemStatus load(std::uint32_t addr, isa::MemWidth w, std::uint64_t& out) const;
+  MemStatus store(std::uint32_t addr, isa::MemWidth w, std::uint64_t value);
+
+  void flip_bit(std::uint64_t bit_index);
+  std::uint64_t bits() const { return static_cast<std::uint64_t>(data_.size()) * 8; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(data_.size()); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace gpurel::sim

@@ -1,0 +1,72 @@
+// Observation and intervention interface used by the profiler, the fault
+// injectors, and the beam simulator. The executor invokes the observer around
+// every lane-level instruction execution and across every simulated-time
+// advance; the Machine view gives controlled access to live architectural
+// state (registers, shared memories, global memory) and a way to raise DUEs,
+// which is how hidden-resource strikes manifest.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "sim/launch.hpp"
+#include "sim/memory.hpp"
+#include "sim/registers.hpp"
+
+namespace gpurel::sim {
+
+/// Access to the live machine, valid during a launch.
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  virtual GlobalMemory& global() = 0;
+  /// Number of currently resident (not exited) warps.
+  virtual std::size_t live_warp_count() const = 0;
+  /// Architectural registers of a lane of a live warp (indices are dense over
+  /// the live set and stable only until the next placement event).
+  virtual ThreadRegs& live_warp_lane(std::size_t live_index, unsigned lane) = 0;
+  /// Number of currently resident blocks.
+  virtual std::size_t live_block_count() const = 0;
+  /// Shared memory of a resident block.
+  virtual SharedMemory& live_block_shared(std::size_t live_index) = 0;
+  /// Abort the launch with the given DUE (takes effect at the next step).
+  virtual void raise_due(DueKind kind) = 0;
+};
+
+struct LaunchInfo {
+  const KernelLaunch* launch = nullptr;
+  unsigned ordinal = 0;  // launch index within the trial
+};
+
+/// Per-lane execution context handed to before_exec / after_exec.
+/// before_exec runs after operand registers exist but before the instruction
+/// executes (mutating sources changes the executed operation — used for
+/// address-generation faults); after_exec runs after writeback (mutating the
+/// destination models an output fault; mutating *next_pc models an
+/// instruction-address fault).
+struct ExecContext {
+  std::uint64_t cycle = 0;
+  unsigned sm = 0;
+  unsigned lane = 0;
+  unsigned warp_id = 0;          // launch-unique warp ordinal
+  std::uint32_t pc = 0;
+  const isa::Instr* instr = nullptr;
+  ThreadRegs* regs = nullptr;
+  std::uint32_t* next_pc = nullptr;
+  std::uint32_t eff_addr = 0;    // effective address for memory ops (post-exec)
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_launch_begin(const LaunchInfo&, Machine&) {}
+  virtual void on_launch_end(const LaunchStats&) {}
+  /// Simulated time advanced from `from` (exclusive) to `to` (inclusive).
+  virtual void on_time_advance(std::uint64_t /*from*/, std::uint64_t /*to*/,
+                               Machine&) {}
+  virtual void before_exec(ExecContext&) {}
+  virtual void after_exec(ExecContext&) {}
+};
+
+}  // namespace gpurel::sim

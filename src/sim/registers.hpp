@@ -1,0 +1,74 @@
+// Per-thread architectural state: 255 general-purpose 32-bit registers (R255
+// reads as zero and swallows writes, like NVIDIA's RZ) and 7 predicate
+// registers (index 7 is PT). FP64 values occupy aligned even/odd pairs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/fp16.hpp"
+#include "isa/instruction.hpp"
+
+namespace gpurel::sim {
+
+struct ThreadRegs {
+  std::array<std::uint32_t, 256> r{};
+  std::uint8_t preds = 0;  // bit i = Pi
+
+  std::uint32_t get(std::uint8_t idx) const {
+    return idx == isa::kRZ ? 0u : r[idx];
+  }
+  void set(std::uint8_t idx, std::uint32_t v) {
+    if (idx != isa::kRZ) r[idx] = v;
+  }
+
+  float getf(std::uint8_t idx) const { return bits_f32(get(idx)); }
+  void setf(std::uint8_t idx, float v) { set(idx, f32_bits(v)); }
+
+  Half geth(std::uint8_t idx) const {
+    return Half::from_bits(static_cast<std::uint16_t>(get(idx) & 0xffffu));
+  }
+  void seth(std::uint8_t idx, Half v) { set(idx, v.bits()); }
+
+  double getd(std::uint8_t idx) const {
+    if (idx == isa::kRZ) return 0.0;
+    const std::uint64_t lo = r[idx];
+    const std::uint64_t hi = r[idx + 1];
+    return bits_f64(lo | (hi << 32));
+  }
+  void setd(std::uint8_t idx, double v) {
+    if (idx == isa::kRZ) return;
+    const std::uint64_t b = f64_bits(v);
+    r[idx] = static_cast<std::uint32_t>(b);
+    r[idx + 1] = static_cast<std::uint32_t>(b >> 32);
+  }
+
+  std::uint64_t get64(std::uint8_t idx) const {
+    if (idx == isa::kRZ) return 0;
+    return static_cast<std::uint64_t>(r[idx]) |
+           (static_cast<std::uint64_t>(r[idx + 1]) << 32);
+  }
+  void set64(std::uint8_t idx, std::uint64_t v) {
+    if (idx == isa::kRZ) return;
+    r[idx] = static_cast<std::uint32_t>(v);
+    r[idx + 1] = static_cast<std::uint32_t>(v >> 32);
+  }
+
+  bool get_pred(std::uint8_t idx) const {
+    return idx >= isa::kNumPredicates ? true : ((preds >> idx) & 1u) != 0;
+  }
+  void set_pred(std::uint8_t idx, bool v) {
+    if (idx >= isa::kNumPredicates) return;  // PT is immutable
+    if (v) preds |= static_cast<std::uint8_t>(1u << idx);
+    else preds &= static_cast<std::uint8_t>(~(1u << idx));
+  }
+
+  /// Evaluate a guard byte against the predicate file.
+  bool guard_true(std::uint8_t g) const {
+    const bool v = get_pred(g & 0x07);
+    return (g & isa::kGuardNegateBit) ? !v : v;
+  }
+};
+
+}  // namespace gpurel::sim

@@ -1,0 +1,136 @@
+#include "sim/timing.hpp"
+
+namespace gpurel::sim {
+
+using isa::Opcode;
+
+UnitGroup unit_group(const arch::GpuConfig& gpu, Opcode op) {
+  switch (isa::unit_kind(op)) {
+    case isa::UnitKind::FADD:
+    case isa::UnitKind::FMUL:
+    case isa::UnitKind::FFMA:
+      return UnitGroup::FP32;
+    case isa::UnitKind::DADD:
+    case isa::UnitKind::DMUL:
+    case isa::UnitKind::DFMA:
+      return UnitGroup::FP64;
+    case isa::UnitKind::HADD:
+    case isa::UnitKind::HMUL:
+    case isa::UnitKind::HFMA:
+      return gpu.has_fp16 ? UnitGroup::FP16 : UnitGroup::FP32;
+    case isa::UnitKind::IADD:
+    case isa::UnitKind::IMUL:
+    case isa::UnitKind::IMAD:
+      return gpu.int_shares_fp32 ? UnitGroup::FP32 : UnitGroup::INT;
+    case isa::UnitKind::MMA_H:
+    case isa::UnitKind::MMA_F:
+      return UnitGroup::TENSOR;
+    case isa::UnitKind::LDST:
+      return UnitGroup::LDST;
+    case isa::UnitKind::SFU:
+      return UnitGroup::SFU;
+    case isa::UnitKind::OTHER:
+    default:
+      // Conversions execute on the FP pipes on real hardware; moves, setp,
+      // and control consume scheduler slots only. MISC keeps them off the
+      // arithmetic ports without an artificial bottleneck.
+      return UnitGroup::MISC;
+  }
+}
+
+unsigned latency(const arch::GpuConfig& gpu, Opcode op) {
+  const bool kepler = gpu.arch == arch::Architecture::Kepler;
+  switch (op) {
+    case Opcode::FADD:
+    case Opcode::FMUL:
+    case Opcode::FFMA:
+    case Opcode::FMNMX:
+      return kepler ? 9 : 4;
+    case Opcode::HADD:
+    case Opcode::HMUL:
+    case Opcode::HFMA:
+      return kepler ? 9 : 4;  // Kepler has no FP16 units; emulated on FP32
+    case Opcode::DADD:
+    case Opcode::DMUL:
+    case Opcode::DFMA:
+      return kepler ? 10 : 8;
+    case Opcode::IADD:
+    case Opcode::IMNMX:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SHRS:
+    case Opcode::LOP_AND:
+    case Opcode::LOP_OR:
+    case Opcode::LOP_XOR:
+      return kepler ? 9 : 4;
+    case Opcode::IMUL:
+    case Opcode::IMAD:
+      return kepler ? 9 : 5;
+    case Opcode::ISETP:
+    case Opcode::FSETP:
+    case Opcode::DSETP:
+    case Opcode::HSETP:
+      return kepler ? 9 : 4;
+    case Opcode::MUFU_RCP:
+    case Opcode::MUFU_RSQ:
+    case Opcode::MUFU_EX2:
+    case Opcode::MUFU_LG2:
+      return kepler ? 28 : 16;
+    case Opcode::I2F:
+    case Opcode::F2I:
+    case Opcode::F2H:
+    case Opcode::H2F:
+    case Opcode::F2D:
+    case Opcode::D2F:
+    case Opcode::I2D:
+    case Opcode::D2I:
+      return kepler ? 10 : 6;
+    case Opcode::MOV:
+    case Opcode::MOV32I:
+    case Opcode::SEL:
+    case Opcode::S2R:
+    case Opcode::LDC:
+      return kepler ? 9 : 4;
+    case Opcode::LDG:
+      return kepler ? 320 : 260;  // device-memory round trip
+    case Opcode::STG:
+      return kepler ? 40 : 30;    // fire-and-forget past the write queue
+    case Opcode::ATOM:
+      return kepler ? 360 : 300;
+    case Opcode::LDS:
+    case Opcode::STS:
+      return kepler ? 33 : 24;
+    case Opcode::HMMA:
+    case Opcode::FMMA:
+      return 32;  // full 16x16x16 warp-MMA through the tensor pipe
+    case Opcode::BRA:
+    case Opcode::SSY:
+    case Opcode::SYNC:
+    case Opcode::PBK:
+    case Opcode::BRK:
+    case Opcode::EXIT:
+    case Opcode::NOP:
+      return kepler ? 9 : 4;
+    case Opcode::BAR:
+      return kepler ? 12 : 8;  // plus the wait, which the executor models
+    default:
+      return 4;
+  }
+}
+
+unsigned group_issue_limit(const arch::GpuConfig& gpu, UnitGroup g) {
+  switch (g) {
+    case UnitGroup::FP32: return gpu.fp32_lanes;
+    case UnitGroup::FP64: return gpu.fp64_lanes;
+    case UnitGroup::FP16: return gpu.fp16_lanes ? gpu.fp16_lanes : gpu.fp32_lanes;
+    case UnitGroup::INT: return gpu.int_lanes ? gpu.int_lanes : gpu.fp32_lanes;
+    case UnitGroup::SFU: return gpu.sfu_lanes;
+    case UnitGroup::LDST: return gpu.ldst_lanes;
+    case UnitGroup::TENSOR: return gpu.tensor_lanes ? gpu.tensor_lanes : 1;
+    case UnitGroup::MISC:
+    default:
+      return gpu.schedulers_per_sm * gpu.issue_per_scheduler;
+  }
+}
+
+}  // namespace gpurel::sim

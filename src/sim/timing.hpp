@@ -1,0 +1,30 @@
+// Per-opcode issue latency and execution unit assignment, per architecture.
+// Latencies are in SM cycles and follow published microbenchmark studies at
+// coarse granularity; what matters to the study is the *relative* cost
+// structure that shapes IPC and exposure time, not cycle-exact fidelity.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/gpu_config.hpp"
+#include "isa/opcode.hpp"
+
+namespace gpurel::sim {
+
+/// Issue port groups with per-SM per-cycle throughput limits.
+enum class UnitGroup : std::uint8_t {
+  FP32, FP64, FP16, INT, SFU, LDST, TENSOR, MISC,
+  kCount,
+};
+
+/// Which issue port an opcode occupies on the given architecture (Kepler
+/// routes INT to the FP32 cores; Volta has a dedicated INT port).
+UnitGroup unit_group(const arch::GpuConfig& gpu, isa::Opcode op);
+
+/// Result-ready latency of an opcode in cycles.
+unsigned latency(const arch::GpuConfig& gpu, isa::Opcode op);
+
+/// Per-SM warp-instructions of this group that may issue each cycle.
+unsigned group_issue_limit(const arch::GpuConfig& gpu, UnitGroup g);
+
+}  // namespace gpurel::sim

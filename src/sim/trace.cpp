@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+
+#include "isa/program.hpp"
+#include "sim/instr_info.hpp"
+
+namespace gpurel::sim {
+
+Tracer::Tracer(std::ostream& os, TraceFilter filter)
+    : os_(os), filter_(std::move(filter)) {}
+
+void Tracer::after_exec(ExecContext& ctx) {
+  if (filter_.limit != 0 && lines_ >= filter_.limit) return;
+  if (filter_.warp >= 0 && static_cast<std::int64_t>(ctx.warp_id) != filter_.warp)
+    return;
+  if (filter_.lane >= 0 && static_cast<std::int64_t>(ctx.lane) != filter_.lane)
+    return;
+  if (filter_.opcode && !filter_.opcode(ctx.instr->op)) return;
+
+  os_ << "c" << std::setw(8) << ctx.cycle << " sm" << ctx.sm << " w"
+      << std::setw(3) << ctx.warp_id << " l" << std::setw(2) << ctx.lane << "  "
+      << isa::disassemble_instr(*ctx.instr, ctx.pc);
+  if (isa::writes_gpr(ctx.instr->op) && ctx.instr->dst != isa::kRZ) {
+    const unsigned width = dst_reg_width(*ctx.instr);
+    os_ << "   => R" << static_cast<int>(ctx.instr->dst) << "=0x" << std::hex
+        << ctx.regs->get(ctx.instr->dst) << std::dec;
+    if (width >= 2)
+      os_ << " R" << static_cast<int>(ctx.instr->dst) + 1 << "=0x" << std::hex
+          << ctx.regs->get(static_cast<std::uint8_t>(ctx.instr->dst + 1))
+          << std::dec;
+  } else if (isa::writes_predicate(ctx.instr->op)) {
+    os_ << "   => P" << static_cast<int>(ctx.instr->dst & 7) << '='
+        << (ctx.regs->get_pred(ctx.instr->dst & 7) ? 1 : 0);
+  }
+  os_ << '\n';
+  ++lines_;
+}
+
+}  // namespace gpurel::sim

@@ -1,0 +1,41 @@
+// Execution tracing: an observer that streams executed instructions (with
+// optional filters) for debugging kernels and fault propagation — the
+// "printf of the simulator". Each line shows cycle, SM, warp, lane, PC, the
+// disassembled instruction, and the destination value written.
+#pragma once
+
+#include <functional>
+#include <ostream>
+
+#include "sim/observer.hpp"
+
+namespace gpurel::sim {
+
+struct TraceFilter {
+  /// Only trace this warp (-1 = all warps).
+  std::int64_t warp = -1;
+  /// Only trace this lane (-1 = all lanes).
+  std::int64_t lane = -1;
+  /// Only trace instructions whose opcode satisfies the predicate (null =
+  /// all opcodes).
+  std::function<bool(isa::Opcode)> opcode;
+  /// Stop tracing after this many lines (0 = unlimited).
+  std::uint64_t limit = 0;
+};
+
+class Tracer final : public SimObserver {
+ public:
+  explicit Tracer(std::ostream& os, TraceFilter filter = {});
+
+  void after_exec(ExecContext& ctx) override;
+
+  /// Lines emitted so far.
+  std::uint64_t lines() const { return lines_; }
+
+ private:
+  std::ostream& os_;
+  TraceFilter filter_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace gpurel::sim

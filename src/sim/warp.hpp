@@ -1,0 +1,62 @@
+// Runtime structures for resident blocks and warps. Warps execute in
+// lock-step over a divergence stack:
+//   SSY pushes a reconvergence entry {target, mask};
+//   a divergent guarded BRA pushes {branch target, taken mask} and continues
+//   on the fall-through path with the not-taken mask;
+//   SYNC pops a Div entry (switching to the deferred path) or an Ssy entry
+//   (reconverging at its target with the saved mask);
+//   PBK pushes a loop-break entry; BRK clears lanes from the active mask and,
+//   when it reaches zero, pops the Pbk entry resuming all lanes at its target.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/registers.hpp"
+
+namespace gpurel::sim {
+
+struct StackEntry {
+  enum class Kind : std::uint8_t { Ssy, Div, Pbk };
+  Kind kind;
+  std::uint32_t pc;
+  std::uint32_t mask;
+};
+
+struct BlockRt;
+
+struct WarpRt {
+  BlockRt* block = nullptr;
+  unsigned sm = 0;
+  unsigned scheduler = 0;
+  unsigned warp_id = 0;        // launch-unique ordinal
+  unsigned warp_in_block = 0;
+
+  std::uint32_t pc = 0;
+  std::uint32_t active = 0;    // lane mask
+  std::vector<StackEntry> stack;
+  bool exited = false;
+  bool at_barrier = false;
+
+  std::uint64_t next_try = 0;  // earliest cycle the warp may issue
+  std::array<std::uint64_t, 256> reg_ready{};
+  std::array<std::uint64_t, 8> pred_ready{};
+  std::array<ThreadRegs, 32> lanes;
+};
+
+struct BlockRt {
+  unsigned cta_x = 0;
+  unsigned cta_y = 0;
+  unsigned sm = 0;
+  unsigned threads = 0;
+  unsigned warps_total = 0;
+  unsigned warps_exited = 0;
+  unsigned warps_at_barrier = 0;
+  std::unique_ptr<SharedMemory> shared;
+  std::vector<std::unique_ptr<WarpRt>> warps;
+};
+
+}  // namespace gpurel::sim

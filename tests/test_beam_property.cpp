@@ -1,0 +1,179 @@
+// Property-style beam-simulator tests, parameterized across workloads:
+// estimator agreement (accelerated vs natural), ECC invariants (ON never
+// raises the SDC FIT for the same seed, and decides all memory strikes
+// without simulation), exposure/weight consistency, and per-event FIT
+// bookkeeping.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "beam/experiment.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+
+namespace gpurel::beam {
+namespace {
+
+struct Spec {
+  const char* base;
+  core::Precision prec;
+};
+
+std::string spec_name(const ::testing::TestParamInfo<Spec>& info) {
+  std::string n = info.param.base;
+  for (char& c : n)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  return n;
+}
+
+core::WorkloadFactory factory_for(const Spec& s) {
+  return kernels::workload_factory(
+      s.base, s.prec,
+      {arch::GpuConfig::kepler_k40c(2), isa::CompilerProfile::Cuda10, 0x5eed,
+       0.3});
+}
+
+class BeamOnWorkload : public ::testing::TestWithParam<Spec> {};
+
+TEST_P(BeamOnWorkload, EccNeverRaisesSdcPerRun) {
+  // With identical seeds, every run's strike is the same; ECC can only turn
+  // memory-strike outcomes into Masked or DUE, so SDC(on) <= SDC(off).
+  BeamConfig on;
+  on.runs = 120;
+  on.seed = 5;
+  on.ecc = true;
+  BeamConfig off = on;
+  off.ecc = false;
+  const auto db = CrossSectionDb::kepler();
+  const auto r_on = run_beam(db, factory_for(GetParam()), on);
+  const auto r_off = run_beam(db, factory_for(GetParam()), off);
+  EXPECT_LE(r_on.outcomes.sdc, r_off.outcomes.sdc);
+}
+
+TEST_P(BeamOnWorkload, WeightSharesSumToOne) {
+  BeamConfig bc;
+  bc.runs = 8;
+  bc.seed = 3;
+  const auto r = run_beam(CrossSectionDb::kepler(), factory_for(GetParam()), bc);
+  double total = 0;
+  for (double s : r.weight_share) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(BeamOnWorkload, PerEventFitBookkeeping) {
+  BeamConfig bc;
+  bc.runs = 100;
+  bc.seed = 9;
+  bc.ecc = false;
+  const auto r = run_beam(CrossSectionDb::kepler(), factory_for(GetParam()), bc);
+  EXPECT_NEAR(r.fit_sdc, r.fit_of(r.outcomes.sdc), 1e-9);
+  EXPECT_NEAR(r.fit_due, r.fit_of(r.outcomes.due), 1e-9);
+  // Target-attributed events reassemble the totals.
+  std::uint64_t sdc = 0, due = 0, total = 0;
+  for (const auto& c : r.by_target) {
+    sdc += c.sdc;
+    due += c.due;
+    total += c.total();
+  }
+  EXPECT_EQ(sdc, r.outcomes.sdc);
+  EXPECT_EQ(due, r.outcomes.due);
+  EXPECT_EQ(total, r.outcomes.total());
+  EXPECT_EQ(total, r.runs);
+}
+
+TEST_P(BeamOnWorkload, OutcomeCountsCoverEveryRun) {
+  BeamConfig bc;
+  bc.runs = 50;
+  bc.seed = 21;
+  const auto r = run_beam(CrossSectionDb::kepler(), factory_for(GetParam()), bc);
+  EXPECT_EQ(r.outcomes.total(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, BeamOnWorkload,
+                         ::testing::Values(Spec{"MXM", core::Precision::Single},
+                                           Spec{"HOTSPOT", core::Precision::Single},
+                                           Spec{"NW", core::Precision::Int32},
+                                           Spec{"QUICKSORT", core::Precision::Int32},
+                                           Spec{"LAVA", core::Precision::Single}),
+                         spec_name);
+
+TEST(BeamProperty, ExposureScalesWithWork) {
+  // Doubling a matrix dimension multiplies the FFMA exposure ~8x and the
+  // memory bit-count ~4x.
+  auto small = kernels::make_workload(
+      "MXM", core::Precision::Single,
+      {arch::GpuConfig::kepler_k40c(2), isa::CompilerProfile::Cuda10, 1, 0.3});
+  auto large = kernels::MxM({arch::GpuConfig::kepler_k40c(2),
+                             isa::CompilerProfile::Cuda10, 1, 0.3},
+                            core::Precision::Single, 32);
+  sim::Device d1(small->config().gpu), d2(large.config().gpu);
+  small->prepare(d1);
+  large.prepare(d2);
+  const auto e1 = compute_exposure(*small, d1.memory().allocated_bits());
+  const auto e2 = compute_exposure(large, d2.memory().allocated_bits());
+  const auto ffma = static_cast<std::size_t>(isa::UnitKind::FFMA);
+  // small is n=16 at scale 0.3 -> n=16; large n=32: 8x the MACs.
+  EXPECT_NEAR(e2.unit_busy[ffma] / e1.unit_busy[ffma], 8.0, 1.5);
+}
+
+TEST(BeamProperty, NaturalModeMatchesAcceleratedOnSecondWorkload) {
+  const auto db = CrossSectionDb::kepler();
+  const auto f = factory_for({"HOTSPOT", core::Precision::Single});
+  BeamConfig acc;
+  acc.runs = 300;
+  acc.seed = 31;
+  acc.ecc = false;
+  const auto a = run_beam(db, f, acc);
+
+  auto w = f();
+  sim::Device dev(w->config().gpu);
+  w->prepare(dev);
+  const double total_weight =
+      a.device_sigma_rate * static_cast<double>(w->golden_stats().cycles);
+  BeamConfig nat = acc;
+  nat.mode = BeamMode::Natural;
+  nat.runs = 600;
+  nat.flux_scale = 0.4 / total_weight;
+  const auto n = run_beam(db, f, nat);
+  ASSERT_GT(a.fit_sdc, 0.0);
+  ASSERT_GT(n.fit_sdc, 0.0);
+  const double ratio = a.fit_sdc / n.fit_sdc;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(BeamProperty, HigherFluxMeansMoreMultiStrikeRuns) {
+  const auto db = CrossSectionDb::kepler();
+  const auto f = factory_for({"MXM", core::Precision::Single});
+  auto w = f();
+  sim::Device dev(w->config().gpu);
+  w->prepare(dev);
+
+  BeamConfig lo;
+  lo.mode = BeamMode::Natural;
+  lo.runs = 150;
+  lo.seed = 77;
+  lo.ecc = false;
+  // Estimate total weight via a tiny accelerated run.
+  BeamConfig probe;
+  probe.runs = 4;
+  probe.seed = 1;
+  const auto pr = run_beam(db, f, probe);
+  const double total_weight =
+      pr.device_sigma_rate * static_cast<double>(w->golden_stats().cycles);
+  lo.flux_scale = 0.2 / total_weight;
+  BeamConfig hi = lo;
+  hi.flux_scale = 4.0 / total_weight;
+  const auto r_lo = run_beam(db, f, lo);
+  const auto r_hi = run_beam(db, f, hi);
+  // At ~4 strikes/run nearly every run is affected; at 0.2 most are clean.
+  EXPECT_GT(r_hi.outcomes.sdc + r_hi.outcomes.due,
+            r_lo.outcomes.sdc + r_lo.outcomes.due);
+  EXPECT_GT(r_lo.outcomes.masked, r_hi.outcomes.masked);
+}
+
+}  // namespace
+}  // namespace gpurel::beam

@@ -1,0 +1,70 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gpurel {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli c = make({"--runs=50", "--name=hello"});
+  EXPECT_EQ(c.get_int("runs", 0), 50);
+  EXPECT_EQ(c.get("name"), "hello");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const Cli c = make({"--runs", "75"});
+  EXPECT_EQ(c.get_int("runs", 0), 75);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Cli c = make({"--csv"});
+  EXPECT_TRUE(c.get_bool("csv"));
+  EXPECT_FALSE(c.get_bool("other"));
+  EXPECT_TRUE(c.get_bool("other", true));
+}
+
+TEST(Cli, ExplicitFalse) {
+  const Cli c = make({"--csv=false", "--x=0"});
+  EXPECT_FALSE(c.get_bool("csv", true));
+  EXPECT_FALSE(c.get_bool("x", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli c = make({});
+  EXPECT_EQ(c.get_int("runs", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("flux", 1.5), 1.5);
+  EXPECT_EQ(c.get("name", "d"), "d");
+  EXPECT_FALSE(c.has("runs"));
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  const Cli c = make({"--runs=abc", "--flux=1.2.3"});
+  EXPECT_THROW(c.get_int("runs", 0), std::exception);
+  EXPECT_THROW(c.get_double("flux", 0), std::exception);
+}
+
+TEST(Cli, EnvFallback) {
+  ::setenv("GPUREL_TEST_ENV", "123", 1);
+  const Cli c = make({});
+  EXPECT_EQ(c.get_int_env("runs", "GPUREL_TEST_ENV", 7), 123);
+  const Cli c2 = make({"--runs=9"});
+  EXPECT_EQ(c2.get_int_env("runs", "GPUREL_TEST_ENV", 7), 9);  // flag wins
+  ::unsetenv("GPUREL_TEST_ENV");
+  EXPECT_EQ(c.get_int_env("runs", "GPUREL_TEST_ENV", 7), 7);
+}
+
+TEST(Cli, DoubleParsing) {
+  const Cli c = make({"--flux=3.5e6"});
+  EXPECT_DOUBLE_EQ(c.get_double("flux", 0), 3.5e6);
+}
+
+}  // namespace
+}  // namespace gpurel

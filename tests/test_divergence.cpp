@@ -1,0 +1,364 @@
+// SIMT divergence-stack torture tests: deeply nested control flow, loops
+// inside branches, divergent loop exits, barrier interactions, and
+// parameterized sweeps over warp fill patterns — the invariants the
+// builder/executor contract (DESIGN.md §5) promises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/kernel_builder.hpp"
+#include "sim/device.hpp"
+
+namespace gpurel::sim {
+namespace {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+
+arch::GpuConfig gpu() { return arch::GpuConfig::kepler_k40c(1); }
+
+std::vector<std::uint32_t> run_per_thread(Program& prog, unsigned threads,
+                                          std::vector<std::uint32_t> extra = {}) {
+  Device dev(gpu());
+  // Pad the output for the block-rounded launch (no range guard in these
+  // kernels; extra threads write padding slots).
+  const unsigned padded = (threads + 63) / 64 * 64;
+  const auto out = dev.alloc(padded * 4);
+  std::vector<std::uint32_t> params{out};
+  params.insert(params.end(), extra.begin(), extra.end());
+  sim::KernelLaunch kl{&prog, {(threads + 63) / 64, 1},
+                       {std::min(threads, 64u), 1}, 0, params};
+  const auto st = dev.launch(kl, nullptr, 4'000'000);
+  EXPECT_EQ(st.due, DueKind::None);
+  return dev.copy_out<std::uint32_t>(out, threads);
+}
+
+// Store helper: out[tid] = v.
+void store_result(KernelBuilder& b, Reg tid, Reg v) {
+  Reg out = b.load_param(0);
+  Reg addr = b.reg();
+  b.addr_index(addr, out, tid, 4);
+  b.stg(addr, v);
+}
+
+TEST(Divergence, ThreeLevelNestedIf) {
+  KernelBuilder b("nest3");
+  Reg tid = b.global_tid_x();
+  Reg v = b.reg();
+  b.movi(v, 0);
+  Pred p1 = b.pred(), p2 = b.pred(), p3 = b.pred();
+  Reg bit = b.reg();
+  b.landi(bit, tid, 1);
+  b.isetpi(p1, bit, 1, CmpOp::EQ);
+  b.if_then_else(
+      p1,
+      [&] {
+        b.landi(bit, tid, 2);
+        b.isetpi(p2, bit, 2, CmpOp::EQ);
+        b.if_then_else(
+            p2,
+            [&] {
+              b.landi(bit, tid, 4);
+              b.isetpi(p3, bit, 4, CmpOp::EQ);
+              b.if_then_else(p3, [&] { b.movi(v, 7); }, [&] { b.movi(v, 3); });
+            },
+            [&] { b.movi(v, 1); });
+      },
+      [&] {
+        b.landi(bit, tid, 2);
+        b.isetpi(p2, bit, 2, CmpOp::EQ);
+        b.if_then(p2, [&] { b.movi(v, 2); });
+      });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 64);
+  for (unsigned t = 0; t < 64; ++t) {
+    std::uint32_t want = 0;
+    if (t & 1) {
+      if (t & 2) want = (t & 4) ? 7 : 3;
+      else want = 1;
+    } else if (t & 2) {
+      want = 2;
+    }
+    EXPECT_EQ(out[t], want) << t;
+  }
+}
+
+TEST(Divergence, LoopInsideDivergentBranch) {
+  // Odd threads sum 0..tid; even threads return 100+tid.
+  KernelBuilder b("loop_in_if");
+  Reg tid = b.global_tid_x();
+  Reg v = b.reg();
+  Reg bit = b.reg();
+  b.landi(bit, tid, 1);
+  Pred odd = b.pred();
+  b.isetpi(odd, bit, 1, CmpOp::EQ);
+  b.if_then_else(
+      odd,
+      [&] {
+        Reg i = b.reg();
+        b.movi(v, 0);
+        b.movi(i, 0);
+        b.while_loop([&](Pred p) { b.isetp(p, i, tid, CmpOp::LE); },
+                     [&] {
+                       b.iadd(v, v, i);
+                       b.iaddi(i, i, 1);
+                     });
+        b.free(i);
+      },
+      [&] {
+        b.iaddi(v, tid, 100);
+      });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 64);
+  for (unsigned t = 0; t < 64; ++t) {
+    const std::uint32_t want = (t & 1) ? t * (t + 1) / 2 : 100 + t;
+    EXPECT_EQ(out[t], want) << t;
+  }
+}
+
+TEST(Divergence, IfInsideLoopInsideIf) {
+  // Threads with tid%4==3: count odd numbers in [0, tid); others: tid.
+  KernelBuilder b("if_loop_if");
+  Reg tid = b.global_tid_x();
+  Reg v = b.reg();
+  b.mov(v, tid);
+  Reg m = b.reg();
+  b.landi(m, tid, 3);
+  Pred sel = b.pred();
+  b.isetpi(sel, m, 3, CmpOp::EQ);
+  b.if_then(sel, [&] {
+    Reg i = b.reg(), bit = b.reg();
+    b.movi(v, 0);
+    b.movi(i, 0);
+    b.while_loop([&](Pred p) { b.isetp(p, i, tid, CmpOp::LT); },
+                 [&] {
+                   b.landi(bit, i, 1);
+                   Pred oddp = b.pred();
+                   b.isetpi(oddp, bit, 1, CmpOp::EQ);
+                   b.if_then(oddp, [&] { b.iaddi(v, v, 1); });
+                   b.free(oddp);
+                   b.iaddi(i, i, 1);
+                 });
+    b.free(i);
+    b.free(bit);
+  });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 64);
+  for (unsigned t = 0; t < 64; ++t) {
+    const std::uint32_t want = (t % 4 == 3) ? t / 2 : t;
+    EXPECT_EQ(out[t], want) << t;
+  }
+}
+
+TEST(Divergence, NestedLoopsDivergentTripCounts) {
+  // out[tid] = sum over i<tid%5 of (i * (tid%3)): nested dynamic loops.
+  KernelBuilder b("nested_loops");
+  Reg tid = b.global_tid_x();
+  Reg mod5 = b.reg(), mod3 = b.reg(), v = b.reg();
+  // tid % 5 and % 3 via repeated subtraction (no modulo instruction).
+  b.mov(mod5, tid);
+  b.while_loop([&](Pred p) { b.isetpi(p, mod5, 5, CmpOp::GE); },
+               [&] { b.iaddi(mod5, mod5, -5); });
+  b.mov(mod3, tid);
+  b.while_loop([&](Pred p) { b.isetpi(p, mod3, 3, CmpOp::GE); },
+               [&] { b.iaddi(mod3, mod3, -3); });
+  b.movi(v, 0);
+  Reg i = b.reg();
+  b.movi(i, 0);
+  b.while_loop([&](Pred p) { b.isetp(p, i, mod5, CmpOp::LT); },
+               [&] {
+                 Reg j = b.reg();
+                 b.movi(j, 0);
+                 b.while_loop([&](Pred p) { b.isetp(p, j, mod3, CmpOp::LT); },
+                              [&] {
+                                b.iadd(v, v, i);
+                                b.iaddi(j, j, 1);
+                              });
+                 b.free(j);
+                 b.iaddi(i, i, 1);
+               });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 96);
+  for (unsigned t = 0; t < 96; ++t) {
+    std::uint32_t want = 0;
+    for (unsigned i2 = 0; i2 < t % 5; ++i2)
+      for (unsigned j = 0; j < t % 3; ++j) want += i2;
+    EXPECT_EQ(out[t], want) << t;
+  }
+}
+
+TEST(Divergence, AllLanesTakeSamePathStackStaysBalanced) {
+  KernelBuilder b("uniform");
+  Reg tid = b.global_tid_x();
+  Reg v = b.reg();
+  Pred p = b.pred();
+  b.isetpi(p, tid, 1000, CmpOp::LT);  // uniformly true
+  b.if_then_else(p, [&] { b.movi(v, 1); }, [&] { b.movi(v, 2); });
+  Pred q = b.pred();
+  b.isetpi(q, tid, 1000, CmpOp::GE);  // uniformly false
+  b.if_then_else(q, [&] { b.movi(v, 3); }, [&] { b.iaddi(v, v, 10); });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 64);
+  for (unsigned t = 0; t < 64; ++t) EXPECT_EQ(out[t], 11u);
+}
+
+TEST(Divergence, SingleLaneSurvivesLoop) {
+  // Only lane 31 iterates; everyone else skips. Reconvergence must restore
+  // the full warp for the store.
+  KernelBuilder b("lone_lane");
+  Reg tid = b.global_tid_x();
+  Reg lane = b.reg();
+  b.landi(lane, tid, 31);
+  Reg v = b.reg();
+  b.movi(v, 5);
+  Pred is31 = b.pred();
+  b.isetpi(is31, lane, 31, CmpOp::EQ);
+  b.if_then(is31, [&] {
+    Reg i = b.reg();
+    b.movi(i, 0);
+    b.while_loop([&](Pred p) { b.isetpi(p, i, 10, CmpOp::LT); },
+                 [&] {
+                   b.iaddi(v, v, 2);
+                   b.iaddi(i, i, 1);
+                 });
+    b.free(i);
+  });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 64);
+  for (unsigned t = 0; t < 64; ++t)
+    EXPECT_EQ(out[t], (t % 32 == 31) ? 25u : 5u) << t;
+}
+
+// Parameterized: a predicated accumulation pattern must be exact for any
+// warp fill (partial warps exercise the initial active-mask path).
+class WarpFill : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WarpFill, PartialWarpsComputeExactly) {
+  const unsigned threads = GetParam();
+  KernelBuilder b("fill");
+  Reg tid = b.global_tid_x();
+  Reg v = b.reg();
+  b.movi(v, 0);
+  Reg i = b.reg();
+  b.movi(i, 0);
+  b.while_loop([&](Pred p) { b.isetp(p, i, tid, CmpOp::LT); },
+               [&] {
+                 Reg bit = b.reg();
+                 b.landi(bit, i, 1);
+                 Pred oddp = b.pred();
+                 b.isetpi(oddp, bit, 1, CmpOp::EQ);
+                 b.if_then_else(oddp, [&] { b.iaddi(v, v, 3); },
+                                [&] { b.iaddi(v, v, 1); });
+                 b.free(oddp);
+                 b.free(bit);
+                 b.iaddi(i, i, 1);
+               });
+  store_result(b, tid, v);
+  Program prog = b.build();
+
+  Device dev(gpu());
+  const auto out_addr = dev.alloc(threads * 4);
+  sim::KernelLaunch kl{&prog, {1, 1}, {threads, 1}, 0, {out_addr}};
+  ASSERT_EQ(dev.launch(kl, nullptr, 4'000'000).due, DueKind::None);
+  const auto out = dev.copy_out<std::uint32_t>(out_addr, threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    std::uint32_t want = 0;
+    for (unsigned i2 = 0; i2 < t; ++i2) want += (i2 & 1) ? 3 : 1;
+    EXPECT_EQ(out[t], want) << "threads=" << threads << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fills, WarpFill,
+                         ::testing::Values(1u, 7u, 31u, 32u, 33u, 48u, 64u,
+                                           96u, 100u, 128u));
+
+TEST(Divergence, BarrierAfterDivergenceReconverges) {
+  // Divergent work, then reconverge, then BAR, then shared exchange.
+  KernelBuilder b("bar_after_div");
+  const auto s_off = b.shared_alloc(64 * 4);
+  Reg tid = b.tid_x();
+  Reg v = b.reg();
+  Reg bit = b.reg();
+  b.landi(bit, tid, 1);
+  Pred odd = b.pred();
+  b.isetpi(odd, bit, 1, CmpOp::EQ);
+  b.if_then_else(odd, [&] { b.imuli(v, tid, 10); }, [&] { b.imuli(v, tid, 2); });
+  Reg sbase = b.reg(), saddr = b.reg();
+  b.movi(sbase, static_cast<std::int32_t>(s_off));
+  b.addr_index(saddr, sbase, tid, 4);
+  b.sts(saddr, v);
+  b.bar();
+  // read neighbour (tid ^ 1)
+  Reg ntid = b.reg();
+  b.lxor(ntid, tid, bit);  // careful: bit = tid&1; tid^ (tid&1) clears low bit
+  Reg one = b.reg();
+  b.movi(one, 1);
+  b.lxor(ntid, tid, one);
+  b.addr_index(saddr, sbase, ntid, 4);
+  Reg nv = b.reg();
+  b.lds(nv, saddr);
+  store_result(b, tid, nv);
+  Program prog = b.build();
+
+  Device dev(gpu());
+  const auto out_addr = dev.alloc(64 * 4);
+  sim::KernelLaunch kl{&prog, {1, 1}, {64, 1}, 0, {out_addr}};
+  ASSERT_EQ(dev.launch(kl).due, DueKind::None);
+  const auto out = dev.copy_out<std::uint32_t>(out_addr, 64);
+  for (unsigned t = 0; t < 64; ++t) {
+    const unsigned n = t ^ 1;
+    const std::uint32_t want = (n & 1) ? n * 10 : n * 2;
+    EXPECT_EQ(out[t], want) << t;
+  }
+}
+
+TEST(Divergence, DeepNestingHitsStackLimitGracefully) {
+  // 70 nested ifs exceed the 64-entry stack: the executor must flag an
+  // IllegalInstruction DUE rather than corrupt memory.
+  KernelBuilder b("deep");
+  Reg tid = b.global_tid_x();
+  Pred p = b.pred();
+  Reg bit = b.reg();
+  b.landi(bit, tid, 1);
+  b.isetpi(p, bit, 1, CmpOp::EQ);
+  std::function<void(unsigned)> nest = [&](unsigned depth) {
+    if (depth == 0) return;
+    b.if_then(p, [&] { nest(depth - 1); });
+  };
+  nest(70);
+  Reg v = b.reg();
+  b.movi(v, 1);
+  store_result(b, tid, v);
+  Program prog = b.build();
+  Device dev(gpu());
+  (void)dev.alloc(64 * 4);
+  sim::KernelLaunch kl{&prog, {1, 1}, {64, 1}, 0, {4096}};
+  EXPECT_EQ(dev.launch(kl, nullptr, 1'000'000).due, DueKind::IllegalInstruction);
+}
+
+TEST(Divergence, ZeroTripLoopForEveryLane) {
+  KernelBuilder b("zero_trip");
+  Reg tid = b.global_tid_x();
+  Reg v = b.reg();
+  b.movi(v, 9);
+  Reg i = b.reg();
+  b.movi(i, 5);
+  b.while_loop([&](Pred p) { b.isetpi(p, i, 5, CmpOp::LT); },  // false at once
+               [&] { b.iaddi(v, v, 1); });
+  store_result(b, tid, v);
+  Program prog = b.build();
+  const auto out = run_per_thread(prog, 64);
+  for (unsigned t = 0; t < 64; ++t) EXPECT_EQ(out[t], 9u);
+}
+
+}  // namespace
+}  // namespace gpurel::sim

@@ -1,0 +1,190 @@
+// Parameterized ElemEmitter coverage: the precision-generic emission layer
+// must compute identical mathematical results (up to each format's rounding)
+// for every floating precision, through registers, global and shared memory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fp16.hpp"
+#include "kernels/elem.hpp"
+#include "sim/device.hpp"
+
+namespace gpurel::kernels {
+namespace {
+
+using core::Precision;
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+
+class ElemPrecision : public ::testing::TestWithParam<Precision> {
+ protected:
+  double tolerance() const {
+    switch (GetParam()) {
+      case Precision::Half: return 2e-2;
+      case Precision::Single: return 1e-5;
+      default: return 1e-12;
+    }
+  }
+
+  /// Reads element `i` of a device buffer in the parameter precision.
+  double read_elem(sim::Device& dev, std::uint32_t addr, unsigned i) const {
+    switch (GetParam()) {
+      case Precision::Half: {
+        const auto v = dev.copy_out<std::uint16_t>(addr + i * 2, 1);
+        return Half::from_bits(v[0]).to_float();
+      }
+      case Precision::Single: {
+        const auto v = dev.copy_out<float>(addr + i * 4, 1);
+        return v[0];
+      }
+      default: {
+        const auto v = dev.copy_out<double>(addr + i * 8, 1);
+        return v[0];
+      }
+    }
+  }
+};
+
+std::string prec_name(const ::testing::TestParamInfo<Precision>& info) {
+  return std::string(core::precision_name(info.param));
+}
+
+TEST_P(ElemPrecision, ArithmeticChain) {
+  // out[tid] = (tid*0.25) * 2 + 1, then doubled via add.
+  KernelBuilder b("elem_arith");
+  ElemEmitter e(b, GetParam());
+  Reg tid = b.global_tid_x();
+  Reg out = b.load_param(0);
+  Elem v = e.alloc(), k = e.alloc(), one = e.alloc();
+  e.from_int(v, tid);
+  e.constant(k, 0.25);
+  e.mul(v, v, k);
+  e.constant(k, 2.0);
+  e.constant(one, 1.0);
+  e.mul_add(v, v, k, one);
+  e.add(v, v, v);
+  Reg addr = b.reg();
+  b.addr_index(addr, out, tid, e.esz());
+  e.store(addr, v);
+  Program prog = b.build();
+
+  sim::Device dev(arch::GpuConfig::volta_v100(1));
+  const auto out_addr = dev.alloc(32 * e.esz());
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out_addr}};
+  ASSERT_EQ(dev.launch(kl).due, sim::DueKind::None);
+  for (unsigned t = 0; t < 32; ++t) {
+    const double want = 2.0 * (t * 0.25 * 2.0 + 1.0);
+    EXPECT_NEAR(read_elem(dev, out_addr, t), want, tolerance() * (1 + want)) << t;
+  }
+}
+
+TEST_P(ElemPrecision, SharedMemoryRoundTrip) {
+  KernelBuilder b("elem_shared");
+  ElemEmitter e(b, GetParam());
+  const auto s_off = b.shared_alloc(32 * e.esz(), 8);
+  Reg tid = b.tid_x();
+  Reg out = b.load_param(0);
+  Elem v = e.alloc();
+  e.from_int(v, tid);
+  Reg sbase = b.reg(), saddr = b.reg();
+  b.movi(sbase, static_cast<std::int32_t>(s_off));
+  b.addr_index(saddr, sbase, tid, e.esz());
+  e.store_shared(saddr, v);
+  b.bar();
+  // Read neighbour tid^1 back out.
+  Reg one = b.reg(), n = b.reg();
+  b.movi(one, 1);
+  b.lxor(n, tid, one);
+  b.addr_index(saddr, sbase, n, e.esz());
+  Elem w = e.alloc();
+  e.load_shared(w, saddr);
+  Reg oaddr = b.reg();
+  b.addr_index(oaddr, out, tid, e.esz());
+  e.store(oaddr, w);
+  Program prog = b.build();
+
+  sim::Device dev(arch::GpuConfig::volta_v100(1));
+  const auto out_addr = dev.alloc(32 * e.esz());
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out_addr}};
+  ASSERT_EQ(dev.launch(kl).due, sim::DueKind::None);
+  for (unsigned t = 0; t < 32; ++t)
+    EXPECT_NEAR(read_elem(dev, out_addr, t), static_cast<double>(t ^ 1),
+                tolerance() * 32)
+        << t;
+}
+
+TEST_P(ElemPrecision, CompareSelectMaximum) {
+  // out[tid] = max(tid, 16) computed via setp+select.
+  KernelBuilder b("elem_max");
+  ElemEmitter e(b, GetParam());
+  Reg tid = b.global_tid_x();
+  Reg out = b.load_param(0);
+  Elem v = e.alloc(), k = e.alloc();
+  e.from_int(v, tid);
+  e.constant(k, 16.0);
+  Pred p = b.pred();
+  e.maximum(v, v, k, p);
+  Reg addr = b.reg();
+  b.addr_index(addr, out, tid, e.esz());
+  e.store(addr, v);
+  Program prog = b.build();
+
+  sim::Device dev(arch::GpuConfig::volta_v100(1));
+  const auto out_addr = dev.alloc(32 * e.esz());
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out_addr}};
+  ASSERT_EQ(dev.launch(kl).due, sim::DueKind::None);
+  for (unsigned t = 0; t < 32; ++t)
+    EXPECT_NEAR(read_elem(dev, out_addr, t), std::max<double>(t, 16.0),
+                tolerance() * 32)
+        << t;
+}
+
+TEST_P(ElemPrecision, SelectWithNegate) {
+  KernelBuilder b("elem_sel");
+  ElemEmitter e(b, GetParam());
+  Reg tid = b.global_tid_x();
+  Reg out = b.load_param(0);
+  Elem a = e.alloc(), c = e.alloc(), r = e.alloc();
+  e.constant(a, 7.0);
+  e.constant(c, 3.0);
+  Reg bit = b.reg();
+  b.landi(bit, tid, 1);
+  Pred odd = b.pred();
+  b.isetpi(odd, bit, 1, CmpOp::EQ);
+  e.select(r, a, c, odd, /*negate=*/true);  // odd -> 3, even -> 7
+  Reg addr = b.reg();
+  b.addr_index(addr, out, tid, e.esz());
+  e.store(addr, r);
+  Program prog = b.build();
+
+  sim::Device dev(arch::GpuConfig::volta_v100(1));
+  const auto out_addr = dev.alloc(32 * e.esz());
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out_addr}};
+  ASSERT_EQ(dev.launch(kl).due, sim::DueKind::None);
+  for (unsigned t = 0; t < 32; ++t)
+    EXPECT_NEAR(read_elem(dev, out_addr, t), (t & 1) ? 3.0 : 7.0, 1e-6) << t;
+}
+
+TEST_P(ElemPrecision, PackElementsRoundTrips) {
+  const auto p = GetParam();
+  const auto bytes = pack_elements(p, 8, [](std::size_t i) {
+    return 0.5 * static_cast<double>(i) - 1.0;
+  });
+  EXPECT_EQ(bytes.size(), 8u * core::precision_bytes(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, ElemPrecision,
+                         ::testing::Values(Precision::Half, Precision::Single,
+                                           Precision::Double),
+                         prec_name);
+
+TEST(ElemEmitter, RejectsInteger) {
+  KernelBuilder b("int");
+  EXPECT_THROW(ElemEmitter(b, Precision::Int32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpurel::kernels

@@ -1,0 +1,253 @@
+// Fault-injector and campaign tests: eligibility/capability modeling,
+// deterministic reproducibility, outcome taxonomy on a known-vulnerable
+// microbenchmark (integer chains: AVF ~100%, paper §V-A) and on matrix codes.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/microbench.hpp"
+
+namespace gpurel::fault {
+namespace {
+
+using core::Precision;
+using core::WorkloadConfig;
+using isa::CompilerProfile;
+using isa::Instr;
+using isa::Opcode;
+using isa::UnitKind;
+using kernels::ArithMicro;
+using kernels::Gemm;
+using kernels::MicroOp;
+using kernels::MxM;
+
+WorkloadConfig cfg_for(const Injector& inj, bool volta = false,
+                       double scale = 0.05) {
+  return {volta ? arch::GpuConfig::volta_v100(2) : arch::GpuConfig::kepler_k40c(2),
+          inj.profile(), 0x5eed, scale};
+}
+
+TEST(Injector, SassifiCapabilities) {
+  auto s = make_sassifi();
+  EXPECT_EQ(s->name(), "SASSIFI");
+  EXPECT_EQ(s->profile(), CompilerProfile::Cuda7);
+  EXPECT_TRUE(s->supports(FaultModel::Predicate));
+  EXPECT_TRUE(s->supports(FaultModel::InstructionAddress));
+  EXPECT_TRUE(s->supports(FaultModel::RegisterFile));
+
+  EXPECT_TRUE(s->eligible_output(Instr{.op = Opcode::FFMA}));
+  EXPECT_TRUE(s->eligible_output(Instr{.op = Opcode::IADD}));
+  EXPECT_TRUE(s->eligible_output(Instr{.op = Opcode::LDG}));
+  EXPECT_FALSE(s->eligible_output(Instr{.op = Opcode::STG}));
+  EXPECT_FALSE(s->eligible_output(Instr{.op = Opcode::MOV}));
+  EXPECT_FALSE(s->eligible_output(Instr{.op = Opcode::ISETP}));
+}
+
+TEST(Injector, NvbitfiCapabilities) {
+  auto n = make_nvbitfi();
+  EXPECT_EQ(n->profile(), CompilerProfile::Cuda10);
+  EXPECT_TRUE(n->supports(FaultModel::InstructionOutput));
+  EXPECT_FALSE(n->supports(FaultModel::Predicate));
+  EXPECT_FALSE(n->supports(FaultModel::InstructionAddress));
+  EXPECT_FALSE(n->supports(FaultModel::RegisterFile));
+
+  // GPR-writing instructions are fair game...
+  EXPECT_TRUE(n->eligible_output(Instr{.op = Opcode::FFMA}));
+  EXPECT_TRUE(n->eligible_output(Instr{.op = Opcode::SEL}));
+  EXPECT_TRUE(n->eligible_output(Instr{.op = Opcode::S2R}));
+  // ...except register moves / immediate materialization, which have no
+  // distinct injectable output site in real optimized SASS...
+  EXPECT_FALSE(n->eligible_output(Instr{.op = Opcode::MOV}));
+  EXPECT_FALSE(n->eligible_output(Instr{.op = Opcode::MOV32I}));
+  // ...but not FP16 ops (paper: no half injection as of submission).
+  EXPECT_FALSE(n->eligible_output(Instr{.op = Opcode::HFMA}));
+  EXPECT_FALSE(n->eligible_output(Instr{.op = Opcode::HMMA}));
+  EXPECT_TRUE(n->eligible_output(Instr{.op = Opcode::FMMA}));
+}
+
+TEST(Injector, LibraryAndArchRestrictions) {
+  auto s = make_sassifi();
+  auto n = make_nvbitfi();
+  const auto kepler = arch::GpuConfig::kepler_k40c(2);
+  const auto volta = arch::GpuConfig::volta_v100(2);
+
+  MxM plain({kepler, CompilerProfile::Cuda7, 1, 0.05}, Precision::Single, 16);
+  Gemm lib({kepler, CompilerProfile::Cuda10, 1, 0.05}, Precision::Single, 32);
+  Gemm lib_volta({volta, CompilerProfile::Cuda10, 1, 0.05}, Precision::Single, 32);
+
+  EXPECT_TRUE(s->can_instrument(plain, kepler));
+  EXPECT_FALSE(s->can_instrument(lib, kepler));    // no library kernels
+  EXPECT_FALSE(s->can_instrument(plain, volta));   // Kepler-only tool
+  EXPECT_FALSE(n->can_instrument(lib, kepler));    // library on Kepler: no
+  EXPECT_TRUE(n->can_instrument(lib_volta, volta));
+  EXPECT_TRUE(n->can_instrument(plain, kepler));
+}
+
+TEST(Campaign, IntegerMicrobenchHasNearTotalAvf) {
+  // Paper §V-A: microbenchmark AVF is ~100% for the integer versions —
+  // a flipped accumulator bit always survives to the output.
+  auto inj = make_nvbitfi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 40;
+  cc.seed = 7;
+  auto factory = [&] {
+    return std::make_unique<ArithMicro>(cfg_for(*inj), Precision::Int32,
+                                        MicroOp::Fma);
+  };
+  const auto r = run_campaign(*inj, factory, cc);
+  EXPECT_EQ(r.workload, "IMAD");
+  // IMAD-output flips land in a live accumulator chain: SDC nearly always.
+  EXPECT_GT(r.avf_sdc(UnitKind::IMAD), 0.9);
+  EXPECT_GT(r.kind(UnitKind::IMAD).counts.total(), 0u);
+}
+
+TEST(Campaign, ResultsAreReproducible) {
+  auto inj = make_nvbitfi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 15;
+  cc.seed = 99;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  const auto a = run_campaign(*inj, factory, cc);
+  const auto b = run_campaign(*inj, factory, cc);
+  EXPECT_EQ(a.overall_avf_sdc(), b.overall_avf_sdc());
+  EXPECT_EQ(a.overall_avf_due(), b.overall_avf_due());
+  EXPECT_EQ(a.total_injections(), b.total_injections());
+}
+
+TEST(Campaign, WorkerCountDoesNotChangeResults) {
+  auto inj = make_nvbitfi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 12;
+  cc.seed = 31;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  CampaignConfig cc2 = cc;
+  cc2.workers = 3;
+  const auto a = run_campaign(*inj, factory, cc);
+  const auto b = run_campaign(*inj, factory, cc2);
+  EXPECT_EQ(a.overall_avf_sdc(), b.overall_avf_sdc());
+  EXPECT_EQ(a.total_injections(), b.total_injections());
+}
+
+TEST(Campaign, MxMShowsAllThreeOutcomeClasses) {
+  auto inj = make_sassifi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 60;
+  cc.ia_injections = 40;
+  cc.pred_injections = 30;
+  cc.rf_injections = 30;
+  cc.seed = 5;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  const auto r = run_campaign(*inj, factory, cc);
+  // Address-arithmetic faults in MxM produce DUEs, data faults SDCs, and
+  // high-bit-of-dead-value faults masks: all three classes must appear.
+  std::uint64_t sdc = 0, due = 0, masked = 0;
+  for (const auto& k : r.per_kind) {
+    sdc += k.counts.sdc;
+    due += k.counts.due;
+    masked += k.counts.masked;
+  }
+  EXPECT_GT(sdc, 0u);
+  EXPECT_GT(due + r.ia.due, 0u);
+  EXPECT_GT(masked + r.ia.masked + r.pred.masked, 0u);
+  // Instruction-address corruption overwhelmingly crashes or misroutes.
+  EXPECT_GT(r.ia.total(), 0u);
+  EXPECT_GT(r.pred.total(), 0u);
+  EXPECT_GT(r.rf.total(), 0u);
+}
+
+TEST(Campaign, RejectsMismatchedProfile) {
+  auto inj = make_sassifi();
+  CampaignConfig cc;
+  auto bad_factory = [&] {
+    // Cuda10 workload given to the Cuda7-era injector.
+    return std::make_unique<MxM>(
+        WorkloadConfig{arch::GpuConfig::kepler_k40c(2), CompilerProfile::Cuda10,
+                       1, 0.05},
+        Precision::Single, 16);
+  };
+  EXPECT_THROW(run_campaign(*inj, bad_factory, cc), std::invalid_argument);
+}
+
+TEST(Campaign, RejectsUninstrumentableWorkload) {
+  auto inj = make_sassifi();
+  CampaignConfig cc;
+  auto lib_factory = [&] {
+    return std::make_unique<Gemm>(cfg_for(*inj), Precision::Single, 32);
+  };
+  EXPECT_THROW(run_campaign(*inj, lib_factory, cc), std::invalid_argument);
+}
+
+
+TEST(Campaign, StoreModesExerciseStores) {
+  auto inj = make_sassifi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 10;
+  cc.store_value_injections = 40;
+  cc.store_addr_injections = 40;
+  cc.seed = 13;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  const auto r = run_campaign(*inj, factory, cc);
+  EXPECT_GT(r.store_sites, 0u);
+  EXPECT_EQ(r.store_value.total(), 40u);
+  EXPECT_EQ(r.store_addr.total(), 40u);
+  // Corrupted store values land in the output: SDC-heavy.
+  EXPECT_GT(r.store_value.avf_sdc(), 0.3);
+  // Corrupted store addresses mostly leave the footprint or misalign: DUEs
+  // (with some silent wrong-location writes).
+  EXPECT_GT(r.store_addr.avf_due() + r.store_addr.avf_sdc(), 0.3);
+  EXPECT_GT(r.store_addr.avf_due(), r.store_value.avf_due());
+}
+
+TEST(Campaign, NvbitfiIgnoresStoreModes) {
+  auto inj = make_nvbitfi();
+  EXPECT_FALSE(inj->supports(FaultModel::StoreValue));
+  EXPECT_FALSE(inj->supports(FaultModel::StoreAddress));
+  CampaignConfig cc;
+  cc.injections_per_kind = 5;
+  cc.store_value_injections = 20;  // requested but unsupported: skipped
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  const auto r = run_campaign(*inj, factory, cc);
+  EXPECT_EQ(r.store_value.total(), 0u);
+}
+
+TEST(Injector, FaultModelNames) {
+  EXPECT_EQ(fault_model_name(FaultModel::InstructionOutput), "IOV");
+  EXPECT_EQ(fault_model_name(FaultModel::RegisterFile), "RF");
+  EXPECT_EQ(fault_model_name(FaultModel::Predicate), "PR");
+  EXPECT_EQ(fault_model_name(FaultModel::InstructionAddress), "IA");
+  EXPECT_EQ(fault_model_name(FaultModel::StoreValue), "STV");
+  EXPECT_EQ(fault_model_name(FaultModel::StoreAddress), "STA");
+}
+
+TEST(OutcomeCounts, Accounting) {
+  OutcomeCounts c;
+  c.add(core::Outcome::Sdc);
+  c.add(core::Outcome::Sdc);
+  c.add(core::Outcome::Due);
+  c.add(core::Outcome::Masked);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_DOUBLE_EQ(c.avf_sdc(), 0.5);
+  EXPECT_DOUBLE_EQ(c.avf_due(), 0.25);
+  EXPECT_DOUBLE_EQ(c.masked_fraction(), 0.25);
+  OutcomeCounts d;
+  d.merge(c);
+  d.merge(c);
+  EXPECT_EQ(d.total(), 8u);
+  const auto ci = c.sdc_ci();
+  EXPECT_LT(ci.lower, 0.5);
+  EXPECT_GT(ci.upper, 0.5);
+}
+
+}  // namespace
+}  // namespace gpurel::fault

@@ -1,0 +1,116 @@
+#include "common/fp16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gpurel {
+namespace {
+
+TEST(Fp16, KnownEncodings) {
+  EXPECT_EQ(f32_to_f16_bits(0.0f), 0x0000u);
+  EXPECT_EQ(f32_to_f16_bits(-0.0f), 0x8000u);
+  EXPECT_EQ(f32_to_f16_bits(1.0f), 0x3c00u);
+  EXPECT_EQ(f32_to_f16_bits(-1.0f), 0xbc00u);
+  EXPECT_EQ(f32_to_f16_bits(2.0f), 0x4000u);
+  EXPECT_EQ(f32_to_f16_bits(0.5f), 0x3800u);
+  EXPECT_EQ(f32_to_f16_bits(65504.0f), 0x7bffu);  // max finite half
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  EXPECT_EQ(f32_to_f16_bits(65520.0f), 0x7c00u);  // rounds up to inf
+  EXPECT_EQ(f32_to_f16_bits(1e10f), 0x7c00u);
+  EXPECT_EQ(f32_to_f16_bits(-1e10f), 0xfc00u);
+}
+
+TEST(Fp16, InfAndNanPropagate) {
+  EXPECT_EQ(f32_to_f16_bits(INFINITY), 0x7c00u);
+  EXPECT_EQ(f32_to_f16_bits(-INFINITY), 0xfc00u);
+  EXPECT_TRUE(Half::from_float(NAN).is_nan());
+  EXPECT_TRUE(Half::from_bits(0x7c00).is_inf());
+  EXPECT_FALSE(Half::from_bits(0x7c00).is_nan());
+}
+
+TEST(Fp16, SubnormalsRoundTrip) {
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(f32_to_f16_bits(std::ldexp(1.0f, -24)), 0x0001u);
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x0001), std::ldexp(1.0f, -24));
+  // Largest subnormal: (1023/1024) * 2^-14.
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x03ff), std::ldexp(1023.0f, -24));
+  // Below half the smallest subnormal rounds to zero.
+  EXPECT_EQ(f32_to_f16_bits(std::ldexp(1.0f, -26)), 0x0000u);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 (0x3c00, even) and 1+2^-10 (0x3c01).
+  EXPECT_EQ(f32_to_f16_bits(1.0f + std::ldexp(1.0f, -11)), 0x3c00u);
+  // 1 + 3*2^-11 is between 0x3c01 (odd) and 0x3c02 (even): rounds to even.
+  EXPECT_EQ(f32_to_f16_bits(1.0f + 3 * std::ldexp(1.0f, -11)), 0x3c02u);
+}
+
+TEST(Fp16, AllBitPatternsRoundTripThroughFloat) {
+  // Property: every finite half converts to float and back unchanged.
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const auto h = static_cast<std::uint16_t>(b);
+    const bool is_nan = ((h >> 10) & 0x1f) == 0x1f && (h & 0x3ff) != 0;
+    if (is_nan) continue;
+    EXPECT_EQ(f32_to_f16_bits(f16_bits_to_f32(h)), h) << "pattern " << b;
+  }
+}
+
+TEST(Fp16, ArithmeticMatchesReferenceOnExactCases) {
+  const Half two = Half::from_float(2.0f);
+  const Half three = Half::from_float(3.0f);
+  EXPECT_FLOAT_EQ(half_add(two, three).to_float(), 5.0f);
+  EXPECT_FLOAT_EQ(half_mul(two, three).to_float(), 6.0f);
+  EXPECT_FLOAT_EQ(half_fma(two, three, two).to_float(), 8.0f);
+}
+
+TEST(Fp16, AdditionRoundsOnce) {
+  // 2048 + 1 = 2049 is not representable (spacing 2 at that magnitude);
+  // RNE takes it to 2048.
+  const Half big = Half::from_float(2048.0f);
+  const Half one = Half::from_float(1.0f);
+  EXPECT_FLOAT_EQ(half_add(big, one).to_float(), 2048.0f);
+  // 2048 + 3 = 2051 ties between 2050 (odd mantissa) and 2052 (even): RNE
+  // picks 2052.
+  EXPECT_FLOAT_EQ(half_add(big, Half::from_float(3.0f)).to_float(), 2052.0f);
+  // 2048 + 5 -> 2052 unambiguously (2053 is closer to 2052 than 2054).
+  EXPECT_FLOAT_EQ(half_add(big, Half::from_float(5.0f)).to_float(), 2052.0f);
+}
+
+TEST(Fp16, FmaIsFused) {
+  // Choose a, b, c where mul-then-round differs from fused: a*b slightly
+  // below a representable value, c pushes across.
+  Rng rng(99);
+  int fused_differs = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Half a = Half::from_float(static_cast<float>(rng.uniform(0.5, 2.0)));
+    const Half b = Half::from_float(static_cast<float>(rng.uniform(0.5, 2.0)));
+    const Half c = Half::from_float(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    const Half fused = half_fma(a, b, c);
+    const Half split = half_add(half_mul(a, b), c);
+    const double exact =
+        static_cast<double>(a.to_float()) * b.to_float() + c.to_float();
+    // Fused result must be at least as close to exact as the split result.
+    EXPECT_LE(std::fabs(fused.to_float() - exact),
+              std::fabs(split.to_float() - exact) + 1e-12);
+    if (fused.bits() != split.bits()) ++fused_differs;
+  }
+  EXPECT_GT(fused_differs, 0);  // fusion is observable
+}
+
+TEST(Fp16, ConversionIsMonotonic) {
+  // Property: increasing float inputs produce non-decreasing half values.
+  float prev = f16_bits_to_f32(0x0000);
+  for (std::uint16_t h = 1; h < 0x7c00; ++h) {
+    const float cur = f16_bits_to_f32(h);
+    EXPECT_GT(cur, prev) << "at " << h;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace gpurel

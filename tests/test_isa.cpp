@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace gpurel::isa {
+namespace {
+
+TEST(Opcode, NamesAndClasses) {
+  EXPECT_EQ(opcode_name(Opcode::FFMA), "FFMA");
+  EXPECT_EQ(mix_class(Opcode::FFMA), MixClass::FMA);
+  EXPECT_EQ(mix_class(Opcode::FMUL), MixClass::MUL);
+  EXPECT_EQ(mix_class(Opcode::DADD), MixClass::ADD);
+  EXPECT_EQ(mix_class(Opcode::IMAD), MixClass::INT);
+  EXPECT_EQ(mix_class(Opcode::HMMA), MixClass::MMA);
+  EXPECT_EQ(mix_class(Opcode::LDG), MixClass::LDST);
+  EXPECT_EQ(mix_class(Opcode::BRA), MixClass::OTHERS);
+  EXPECT_EQ(mix_class(Opcode::ATOM), MixClass::OTHERS);
+  EXPECT_EQ(unit_kind(Opcode::SHL), UnitKind::IADD);
+  EXPECT_EQ(unit_kind(Opcode::MUFU_EX2), UnitKind::SFU);
+  EXPECT_EQ(unit_kind(Opcode::HFMA), UnitKind::HFMA);
+}
+
+TEST(Opcode, WriteFlags) {
+  EXPECT_TRUE(writes_gpr(Opcode::FADD));
+  EXPECT_TRUE(writes_gpr(Opcode::LDG));
+  EXPECT_FALSE(writes_gpr(Opcode::STG));
+  EXPECT_FALSE(writes_gpr(Opcode::ISETP));
+  EXPECT_TRUE(writes_predicate(Opcode::ISETP));
+  EXPECT_FALSE(writes_predicate(Opcode::IADD));
+  EXPECT_TRUE(is_control(Opcode::SYNC));
+  EXPECT_TRUE(is_memory(Opcode::ATOM));
+  EXPECT_FALSE(is_memory(Opcode::MOV));
+}
+
+TEST(Instr, GuardEncoding) {
+  Instr in;
+  EXPECT_TRUE(in.unguarded());
+  in.guard = guard(2, true);
+  EXPECT_EQ(in.guard_index(), 2);
+  EXPECT_TRUE(in.guard_negated());
+  in.guard = guard(5, false);
+  EXPECT_FALSE(in.guard_negated());
+}
+
+TEST(Builder, RegisterAllocationAndHighWater) {
+  KernelBuilder b("k");
+  Reg r0 = b.reg();
+  Reg r1 = b.reg();
+  EXPECT_NE(r0.index, r1.index);
+  b.free(r0);
+  Reg r2 = b.reg();
+  EXPECT_EQ(r2.index, r0.index);  // free list reuse
+  b.movi(r1, 1);
+  b.movi(r2, 2);
+  Program p = b.build();
+  EXPECT_EQ(p.regs_per_thread(), 2);
+}
+
+TEST(Builder, RegPairIsAligned) {
+  KernelBuilder b("k");
+  (void)b.reg();  // occupy R0
+  RegPair d = b.reg_pair();
+  EXPECT_EQ(d.index % 2, 0);
+  b.movd(d, 1.0);
+  Program p = b.build();
+  EXPECT_GE(p.regs_per_thread(), 4);  // pair at R2/R3
+}
+
+TEST(Builder, RegBlockContiguity) {
+  KernelBuilder b("k");
+  Reg r0 = b.reg();
+  Reg blk = b.reg_block(8);
+  for (unsigned i = 0; i < 8; ++i) EXPECT_NE(blk.index + i, r0.index);
+  b.free_block(blk, 8);
+  Reg blk2 = b.reg_block(8);
+  EXPECT_EQ(blk2.index, blk.index);
+  b.movi(r0, 0);
+  (void)b.build();
+}
+
+TEST(Builder, PredicateExhaustion) {
+  KernelBuilder b("k");
+  for (int i = 0; i < 7; ++i) (void)b.pred();
+  EXPECT_THROW(b.pred(), std::runtime_error);
+}
+
+TEST(Builder, SharedAllocAligns) {
+  KernelBuilder b("k");
+  const auto a = b.shared_alloc(6, 4);
+  const auto c = b.shared_alloc(8, 8);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(c % 8, 0u);
+  EXPECT_GE(c, 6u);
+  b.nop();
+  Program p = b.build();
+  EXPECT_GE(p.shared_bytes(), c + 8);
+}
+
+TEST(Builder, ReserveRegsFloorsReportedCount) {
+  KernelBuilder b("k");
+  Reg r = b.reg();
+  b.movi(r, 1);
+  b.reserve_regs(200);
+  Program p = b.build();
+  EXPECT_EQ(p.regs_per_thread(), 200);
+}
+
+TEST(Builder, IfThenLowering) {
+  KernelBuilder b("k");
+  Pred p = b.pred();
+  Reg r = b.reg();
+  b.isetpi(p, r, 0, CmpOp::GT);
+  b.if_then(p, [&] { b.movi(r, 1); });
+  Program prog = b.build();
+  // Expect SSY ... BRA ... MOV32I ... SYNC SYNC layout.
+  const auto& code = prog.code();
+  int ssy = 0, sync = 0, bra = 0;
+  for (const auto& in : code) {
+    if (in.op == Opcode::SSY) ++ssy;
+    if (in.op == Opcode::SYNC) ++sync;
+    if (in.op == Opcode::BRA) ++bra;
+  }
+  EXPECT_EQ(ssy, 1);
+  EXPECT_EQ(sync, 2);
+  EXPECT_EQ(bra, 1);
+  // SSY target must point past the final SYNC.
+  for (std::uint32_t i = 0; i < prog.size(); ++i) {
+    if (code[i].op == Opcode::SSY) {
+      EXPECT_EQ(code[static_cast<std::uint32_t>(code[i].imm) - 1].op, Opcode::SYNC);
+    }
+  }
+}
+
+TEST(Builder, WhileLoopLowering) {
+  KernelBuilder b("k");
+  Reg i = b.reg();
+  b.movi(i, 0);
+  b.while_loop([&](Pred p) { b.isetpi(p, i, 10, CmpOp::LT); },
+               [&] { b.iaddi(i, i, 1); });
+  Program prog = b.build();
+  int pbk = 0, brk = 0;
+  for (const auto& in : prog.code()) {
+    if (in.op == Opcode::PBK) ++pbk;
+    if (in.op == Opcode::BRK) ++brk;
+  }
+  EXPECT_EQ(pbk, 1);
+  EXPECT_EQ(brk, 1);
+}
+
+TEST(Builder, CompilerProfileChangesCodegen) {
+  auto gen = [](CompilerProfile prof) {
+    KernelBuilder b("k", prof);
+    Reg a = b.reg(), c = b.reg(), d = b.reg(), base = b.reg(), idx = b.reg();
+    b.mul_add_f32(d, a, c, d);
+    b.addr_index(base, base, idx, 4);
+    return b.build();
+  };
+  const Program p7 = gen(CompilerProfile::Cuda7);
+  const Program p10 = gen(CompilerProfile::Cuda10);
+  // Cuda7: FMUL+FADD and SHL+IADD; Cuda10: FFMA and MOV32I+IMAD.
+  auto has = [](const Program& p, Opcode op) {
+    for (const auto& in : p.code())
+      if (in.op == op) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(p7, Opcode::FMUL));
+  EXPECT_TRUE(has(p7, Opcode::FADD));
+  EXPECT_FALSE(has(p7, Opcode::FFMA));
+  EXPECT_TRUE(has(p7, Opcode::SHL));
+  EXPECT_TRUE(has(p10, Opcode::FFMA));
+  EXPECT_TRUE(has(p10, Opcode::IMAD));
+  EXPECT_FALSE(has(p10, Opcode::SHL));
+}
+
+TEST(Builder, StaticUnrollUnderCuda10) {
+  auto count_brk = [](CompilerProfile prof) {
+    KernelBuilder b("k", prof);
+    Reg i = b.reg(), acc = b.reg();
+    b.movi(acc, 0);
+    b.for_range_static(i, 0, 16, 1, [&] { b.iaddi(acc, acc, 1); });
+    Program p = b.build();
+    std::size_t n = 0;
+    for (const auto& in : p.code())
+      if (in.op == Opcode::IADD) ++n;
+    return n;
+  };
+  // Cuda10 unrolls by 4: body appears 4x + trip increments inside loop body.
+  EXPECT_GT(count_brk(CompilerProfile::Cuda10), count_brk(CompilerProfile::Cuda7));
+}
+
+TEST(Program, ValidationCatchesBadBranch) {
+  std::vector<Instr> code;
+  code.push_back({.op = Opcode::BRA, .imm = 99});
+  code.push_back({.op = Opcode::EXIT});
+  EXPECT_THROW(Program("bad", std::move(code), 1, 0), std::invalid_argument);
+}
+
+TEST(Program, ValidationRequiresExit) {
+  std::vector<Instr> code;
+  code.push_back({.op = Opcode::NOP});
+  EXPECT_THROW(Program("bad", std::move(code), 1, 0), std::invalid_argument);
+  EXPECT_THROW(Program("empty", {}, 1, 0), std::invalid_argument);
+}
+
+TEST(Program, ValidationCatchesUnalignedPair) {
+  std::vector<Instr> code;
+  code.push_back({.op = Opcode::DADD, .dst = 1, .src = {2, 4, kRZ}});
+  code.push_back({.op = Opcode::EXIT});
+  EXPECT_THROW(Program("bad", std::move(code), 8, 0), std::invalid_argument);
+}
+
+TEST(Program, ValidationCatchesBadSetpDst) {
+  std::vector<Instr> code;
+  code.push_back({.op = Opcode::ISETP, .dst = 9, .src = {0, 1, kRZ}});
+  code.push_back({.op = Opcode::EXIT});
+  EXPECT_THROW(Program("bad", std::move(code), 2, 0), std::invalid_argument);
+}
+
+TEST(Program, DisassemblyMentionsEveryInstruction) {
+  KernelBuilder b("dis");
+  Reg r = b.reg();
+  b.movi(r, 42);
+  b.iaddi(r, r, 1);
+  Program p = b.build();
+  const std::string d = p.disassemble();
+  EXPECT_NE(d.find("MOV32I"), std::string::npos);
+  EXPECT_NE(d.find("IADD"), std::string::npos);
+  EXPECT_NE(d.find("EXIT"), std::string::npos);
+  EXPECT_NE(d.find(".kernel dis"), std::string::npos);
+}
+
+TEST(Builder, BuildTwiceThrows) {
+  KernelBuilder b("k");
+  b.nop();
+  (void)b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  KernelBuilder b("k");
+  Label l = b.make_label();
+  b.bra(l);
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpurel::isa

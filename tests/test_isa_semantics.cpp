@@ -1,0 +1,268 @@
+// Instruction-semantics tests: conversions (saturation, NaN), SFU
+// approximations, min/max, logical/shift edge cases, atomics, constant-bank
+// misuse, and a parameterized disassembly sweep over the whole opcode space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/fp16.hpp"
+#include "isa/kernel_builder.hpp"
+#include "sim/device.hpp"
+
+namespace gpurel::sim {
+namespace {
+
+using isa::AtomOp;
+using isa::CmpOp;
+using isa::Instr;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Program;
+using isa::Reg;
+using isa::RegPair;
+
+/// Runs a 1-thread kernel writing one 32-bit result to out[0].
+std::uint32_t run_scalar(const std::function<void(KernelBuilder&, Reg)>& emit) {
+  KernelBuilder b("scalar");
+  Reg out = b.load_param(0);
+  Reg v = b.reg();
+  emit(b, v);
+  b.stg(out, v);
+  Program prog = b.build();
+  Device dev(arch::GpuConfig::volta_v100(1));
+  const auto out_addr = dev.alloc(4);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out_addr}};
+  EXPECT_EQ(dev.launch(kl).due, DueKind::None);
+  return dev.memory().read_u32(out_addr);
+}
+
+float run_scalar_f(const std::function<void(KernelBuilder&, Reg)>& emit) {
+  return bits_f32(run_scalar(emit));
+}
+
+TEST(Semantics, F2ISaturatesAndZerosNan) {
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg f = b.reg();
+              b.movf(f, 3.7f);
+              b.f2i(v, f);
+            }),
+            3u);
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg f = b.reg();
+              b.movf(f, -3.7f);
+              b.f2i(v, f);
+            }),
+            static_cast<std::uint32_t>(-3));
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg f = b.reg();
+              b.movf(f, 1e20f);
+              b.f2i(v, f);
+            }),
+            0x7fffffffu);
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg f = b.reg();
+              b.movf(f, -1e20f);
+              b.f2i(v, f);
+            }),
+            0x80000000u);
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg f = b.reg();
+              b.movi(f, static_cast<std::int32_t>(0x7fc00000u));  // NaN
+              b.f2i(v, f);
+            }),
+            0u);
+}
+
+TEST(Semantics, DoubleConversionsRoundTrip) {
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              RegPair d = b.reg_pair();
+              b.movd(d, -7.0);
+              b.d2i(v, d);
+            }),
+            static_cast<std::uint32_t>(-7));
+  EXPECT_FLOAT_EQ(run_scalar_f([](KernelBuilder& b, Reg v) {
+                    Reg i = b.reg();
+                    b.movi(i, 13);
+                    RegPair d = b.reg_pair();
+                    b.i2d(d, i);
+                    RegPair half = b.reg_pair();
+                    b.movd(half, 0.5);
+                    b.dmul(d, d, half);
+                    b.d2f(v, d);
+                  }),
+                  6.5f);
+}
+
+TEST(Semantics, HalfConversions) {
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg f = b.reg();
+              b.movf(f, 1.5f);
+              b.f2h(v, f);
+            }),
+            static_cast<std::uint32_t>(f32_to_f16_bits(1.5f)));
+  EXPECT_FLOAT_EQ(run_scalar_f([](KernelBuilder& b, Reg v) {
+                    Reg h = b.reg();
+                    b.movh(h, 2.25f);
+                    b.h2f(v, h);
+                  }),
+                  2.25f);
+}
+
+TEST(Semantics, SfuApproximations) {
+  EXPECT_NEAR(run_scalar_f([](KernelBuilder& b, Reg v) {
+                Reg f = b.reg();
+                b.movf(f, 4.0f);
+                b.rcp(v, f);
+              }),
+              0.25f, 1e-6);
+  EXPECT_NEAR(run_scalar_f([](KernelBuilder& b, Reg v) {
+                Reg f = b.reg();
+                b.movf(f, 16.0f);
+                b.rsq(v, f);
+              }),
+              0.25f, 1e-6);
+  EXPECT_NEAR(run_scalar_f([](KernelBuilder& b, Reg v) {
+                Reg f = b.reg();
+                b.movf(f, 3.0f);
+                b.ex2(v, f);
+              }),
+              8.0f, 1e-5);
+  EXPECT_NEAR(run_scalar_f([](KernelBuilder& b, Reg v) {
+                Reg f = b.reg();
+                b.movf(f, 32.0f);
+                b.lg2(v, f);
+              }),
+              5.0f, 1e-6);
+}
+
+TEST(Semantics, MinMaxAndNan) {
+  EXPECT_FLOAT_EQ(run_scalar_f([](KernelBuilder& b, Reg v) {
+                    Reg a = b.reg(), c = b.reg();
+                    b.movf(a, -2.0f);
+                    b.movf(c, 5.0f);
+                    b.fmnmx(v, a, c, /*take_max=*/true);
+                  }),
+                  5.0f);
+  // std::fmax semantics: NaN loses to the numeric operand.
+  EXPECT_FLOAT_EQ(run_scalar_f([](KernelBuilder& b, Reg v) {
+                    Reg a = b.reg(), c = b.reg();
+                    b.movi(a, static_cast<std::int32_t>(0x7fc00000u));
+                    b.movf(c, 5.0f);
+                    b.fmnmx(v, a, c, /*take_max=*/true);
+                  }),
+                  5.0f);
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg a = b.reg(), c = b.reg();
+              b.movi(a, -5);
+              b.movi(c, 3);
+              b.imnmx(v, a, c, /*take_max=*/false);
+            }),
+            static_cast<std::uint32_t>(-5));
+}
+
+TEST(Semantics, ShiftsAndLogic) {
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg a = b.reg();
+              b.movi(a, -8);
+              b.shrs(v, a, 1);  // arithmetic: sign-extends
+            }),
+            static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg a = b.reg();
+              b.movi(a, -8);
+              b.shr(v, a, 1);  // logical
+            }),
+            0x7ffffffcu);
+  EXPECT_EQ(run_scalar([](KernelBuilder& b, Reg v) {
+              Reg a = b.reg(), c = b.reg();
+              b.movi(a, 0x0ff0);
+              b.movi(c, 0x00ff);
+              b.lxor(v, a, c);
+            }),
+            0x0f0fu);
+}
+
+TEST(Semantics, AtomicExchAndCas) {
+  KernelBuilder b("atom");
+  Reg base = b.load_param(0);
+  Reg lane = b.reg();
+  b.s2r(lane, isa::SpecialReg::LANEID);
+  isa::Pred first = b.pred();
+  b.isetpi(first, lane, 0, CmpOp::EQ);
+  b.if_then(first, [&] {
+    Reg val = b.reg(), old = b.reg(), cmp = b.reg(), nv = b.reg();
+    b.movi(val, 42);
+    b.atom(old, base, val, AtomOp::Exch, 0);   // [0]=42, old=7
+    b.stg(base, old, 4);                       // [1]=7
+    b.movi(cmp, 42);
+    b.movi(nv, 99);
+    b.atom_cas(old, base, cmp, nv, 0);         // [0]=99 (match), old=42
+    b.stg(base, old, 8);                       // [2]=42
+    b.atom_cas(old, base, cmp, nv, 0);         // no match: [0] stays 99
+    b.stg(base, old, 12);                      // [3]=99
+  });
+  Program prog = b.build();
+  Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto addr = dev.alloc(16);
+  dev.memory().write_u32(addr, 7);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {addr}};
+  ASSERT_EQ(dev.launch(kl).due, DueKind::None);
+  EXPECT_EQ(dev.memory().read_u32(addr + 4), 7u);    // Exch returned old
+  EXPECT_EQ(dev.memory().read_u32(addr + 8), 42u);   // matching CAS: old
+  EXPECT_EQ(dev.memory().read_u32(addr + 12), 99u);  // failed CAS: current
+  EXPECT_EQ(dev.memory().read_u32(addr), 99u);       // final cell value
+}
+
+TEST(Semantics, LdcOutOfRangeThrows) {
+  KernelBuilder b("ldc_oob");
+  Reg v = b.load_param(3);  // slot 3 with only one param supplied
+  Reg out = b.load_param(0);
+  b.stg(out, v);
+  Program prog = b.build();
+  Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto addr = dev.alloc(4);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {addr}};
+  EXPECT_THROW(dev.launch(kl), std::invalid_argument);
+}
+
+TEST(Semantics, B16StoreWritesLowHalfOnly) {
+  KernelBuilder b("b16");
+  Reg out = b.load_param(0);
+  Reg v = b.reg();
+  b.movi(v, static_cast<std::int32_t>(0xaabbccdd));
+  b.stg(out, v, 0, isa::MemWidth::B16);
+  Program prog = b.build();
+  Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto addr = dev.alloc(4);
+  dev.memory().write_u32(addr, 0x11112222);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {addr}};
+  ASSERT_EQ(dev.launch(kl).due, DueKind::None);
+  EXPECT_EQ(dev.memory().read_u32(addr), 0x1111ccddu);
+}
+
+// Every opcode must disassemble to a non-empty line containing its mnemonic.
+class DisasmSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisasmSweep, EveryOpcodeRenders) {
+  const auto op = static_cast<Opcode>(GetParam());
+  Instr in{.op = op};
+  if (isa::writes_predicate(op)) in.dst = 2;
+  const std::string line = isa::disassemble_instr(in, 7);
+  EXPECT_NE(line.find(std::string(isa::opcode_name(op))), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("7:"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmSweep,
+    ::testing::Range(0, static_cast<int>(Opcode::kCount)),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string n(isa::opcode_name(static_cast<Opcode>(info.param)));
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace gpurel::sim

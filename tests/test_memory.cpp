@@ -1,0 +1,113 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpurel::sim {
+namespace {
+
+using isa::MemWidth;
+
+TEST(GlobalMemory, AllocRespectsGuardAndAlignment) {
+  GlobalMemory m(1 << 20);
+  const auto a = m.alloc(100);
+  EXPECT_GE(a, GlobalMemory::kNullGuard);
+  EXPECT_EQ(a % 256, 0u);
+  const auto b = m.alloc(8, 8);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(b % 8, 0u);
+}
+
+TEST(GlobalMemory, NullPageFaults) {
+  GlobalMemory m(1 << 20);
+  (void)m.alloc(64);
+  std::uint64_t v = 0;
+  EXPECT_EQ(m.load(0, MemWidth::B32, v), MemStatus::OutOfBounds);
+  EXPECT_EQ(m.load(4092, MemWidth::B32, v), MemStatus::OutOfBounds);
+  EXPECT_EQ(m.store(0, MemWidth::B32, 1), MemStatus::OutOfBounds);
+}
+
+TEST(GlobalMemory, AccessBeyondWatermarkFaults) {
+  GlobalMemory m(1 << 20);
+  const auto a = m.alloc(64);
+  std::uint64_t v = 0;
+  EXPECT_EQ(m.load(a + 64, MemWidth::B32, v), MemStatus::OutOfBounds);
+  EXPECT_EQ(m.load(a + 60, MemWidth::B32, v), MemStatus::Ok);
+  EXPECT_EQ(m.load(a + 60, MemWidth::B64, v), MemStatus::OutOfBounds);
+}
+
+TEST(GlobalMemory, MisalignedFaults) {
+  GlobalMemory m(1 << 20);
+  const auto a = m.alloc(64);
+  std::uint64_t v = 0;
+  EXPECT_EQ(m.load(a + 2, MemWidth::B32, v), MemStatus::Misaligned);
+  EXPECT_EQ(m.load(a + 4, MemWidth::B64, v), MemStatus::Misaligned);
+  EXPECT_EQ(m.load(a + 1, MemWidth::B16, v), MemStatus::Misaligned);
+}
+
+TEST(GlobalMemory, RoundTripAllWidths) {
+  GlobalMemory m(1 << 20);
+  const auto a = m.alloc(64);
+  ASSERT_EQ(m.store(a, MemWidth::B64, 0x1122334455667788ull), MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(m.load(a, MemWidth::B64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x1122334455667788ull);
+  ASSERT_EQ(m.load(a, MemWidth::B32, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x55667788u);
+  ASSERT_EQ(m.load(a, MemWidth::B16, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x7788u);
+}
+
+TEST(GlobalMemory, HostHelpersAndReset) {
+  GlobalMemory m(1 << 20);
+  const auto a = m.alloc(8);
+  m.write_u32(a, 0xdeadbeef);
+  EXPECT_EQ(m.read_u32(a), 0xdeadbeefu);
+  m.reset();
+  const auto b = m.alloc(8);
+  EXPECT_EQ(b, a);              // allocator rewound
+  EXPECT_EQ(m.read_u32(b), 0u);  // contents cleared
+}
+
+TEST(GlobalMemory, BitFlipChangesExactlyOneBit) {
+  GlobalMemory m(1 << 20);
+  const auto a = m.alloc(16);
+  m.write_u32(a, 0);
+  // Allocation is 256-aligned at the guard boundary, so bit 0 of the
+  // allocated window is bit 0 of address kNullGuard == a.
+  m.flip_allocated_bit(5);
+  EXPECT_EQ(m.read_u32(a), 1u << 5);
+  m.flip_allocated_bit(5);
+  EXPECT_EQ(m.read_u32(a), 0u);
+  EXPECT_THROW(m.flip_allocated_bit(m.allocated_bits()), std::out_of_range);
+}
+
+TEST(GlobalMemory, ExhaustionThrows) {
+  GlobalMemory m(8192);
+  (void)m.alloc(2048);
+  EXPECT_THROW(m.alloc(1 << 20), std::runtime_error);
+  EXPECT_THROW(m.alloc(16, 3), std::invalid_argument);  // non-power-of-two align
+}
+
+TEST(SharedMemory, BoundsAndRoundTrip) {
+  SharedMemory s(256);
+  EXPECT_EQ(s.store(0, MemWidth::B32, 42), MemStatus::Ok);
+  std::uint64_t v = 0;
+  EXPECT_EQ(s.load(0, MemWidth::B32, v), MemStatus::Ok);
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(s.load(256, MemWidth::B32, v), MemStatus::OutOfBounds);
+  EXPECT_EQ(s.load(254, MemWidth::B32, v), MemStatus::OutOfBounds);
+  EXPECT_EQ(s.load(2, MemWidth::B32, v), MemStatus::Misaligned);
+}
+
+TEST(SharedMemory, BitFlip) {
+  SharedMemory s(64);
+  s.store(4, MemWidth::B32, 0);
+  s.flip_bit(4 * 8 + 31);
+  std::uint64_t v = 0;
+  s.load(4, MemWidth::B32, v);
+  EXPECT_EQ(v, 0x80000000u);
+  EXPECT_THROW(s.flip_bit(64 * 8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gpurel::sim

@@ -1,0 +1,199 @@
+// Unit tests for the Eq. 1-4 prediction: term structure, φ scaling, ECC
+// gating of the memory term, and the method's deliberate blind spots.
+#include <gtest/gtest.h>
+
+#include "model/fit_model.hpp"
+#include "model/what_if.hpp"
+
+namespace gpurel::model {
+namespace {
+
+using isa::UnitKind;
+
+FitInputs simple_inputs() {
+  FitInputs in;
+  auto& ffma = in.unit(UnitKind::FFMA);
+  ffma.fit_sdc = 10.0;
+  ffma.fit_due = 1.0;
+  ffma.micro_avf = 0.8;
+  ffma.measured = true;
+  auto& ldst = in.unit(UnitKind::LDST);
+  ldst.fit_sdc = 4.0;
+  ldst.micro_avf = 1.0;
+  ldst.measured = true;
+  in.sram_bit_fit_sdc = 0.001;
+  in.sram_bit_fit_due = 0.0001;
+  in.dram_bit_fit_sdc = 0.0002;
+  in.dram_bit_fit_due = 0.00002;
+  return in;
+}
+
+fault::CampaignResult simple_avf() {
+  fault::CampaignResult r;
+  auto& ffma = r.per_kind[static_cast<std::size_t>(UnitKind::FFMA)];
+  ffma.dynamic_sites = 1000;
+  ffma.counts.sdc = 50;
+  ffma.counts.due = 10;
+  ffma.counts.masked = 40;
+  auto& ldst = r.per_kind[static_cast<std::size_t>(UnitKind::LDST)];
+  ldst.dynamic_sites = 500;
+  ldst.counts.sdc = 30;
+  ldst.counts.due = 30;
+  ldst.counts.masked = 40;
+  return r;
+}
+
+CodeObservables simple_code(const fault::CampaignResult& avf) {
+  CodeObservables obs;
+  obs.profile.ipc = 2.0;
+  obs.profile.occupancy = 0.5;
+  obs.profile.lane_instructions = 2000;
+  obs.profile.lane_per_unit[static_cast<std::size_t>(UnitKind::FFMA)] = 1000;
+  obs.profile.lane_per_unit[static_cast<std::size_t>(UnitKind::LDST)] = 500;
+  obs.avf = &avf;
+  obs.rf_bits = 1.0e5;
+  obs.shared_bits = 1.0e4;
+  obs.global_bits = 1.0e6;
+  obs.mem_avf_sdc = 0.4;
+  obs.mem_avf_due = 0.1;
+  obs.ecc = true;
+  return obs;
+}
+
+TEST(FitModel, PhiIsOccupancyTimesIpc) {
+  const auto avf = simple_avf();
+  const auto obs = simple_code(avf);
+  const auto p = predict_fit(simple_inputs(), obs, 1.0);
+  EXPECT_DOUBLE_EQ(p.phi, 1.0);  // 2.0 * 0.5  (Eq. 4)
+}
+
+TEST(FitModel, InstructionTermMatchesHandComputation) {
+  const auto avf = simple_avf();
+  const auto obs = simple_code(avf);
+  const auto p = predict_fit(simple_inputs(), obs, 1.0);
+  // FFMA: f=0.5, AVF_sdc=0.5, FIT=10/0.8=12.5, phi=1 -> 3.125
+  // LDST: f=0.25, AVF_sdc=0.3, FIT=4/1.0=4   -> 0.3
+  EXPECT_NEAR(p.sdc_per_kind[static_cast<std::size_t>(UnitKind::FFMA)], 3.125,
+              1e-9);
+  EXPECT_NEAR(p.sdc_per_kind[static_cast<std::size_t>(UnitKind::LDST)], 0.3,
+              1e-9);
+  EXPECT_NEAR(p.sdc_inst, 3.425, 1e-9);
+  // DUE: FFMA f*0.1*12.5 = 0.625; LDST 0.25*0.3*4 = 0.3.
+  EXPECT_NEAR(p.due_inst, 0.925, 1e-9);
+}
+
+TEST(FitModel, EccGatesMemoryTerm) {
+  const auto avf = simple_avf();
+  auto obs = simple_code(avf);
+  const auto inputs = simple_inputs();
+  const auto with_ecc = predict_fit(inputs, obs, 1.0);
+  EXPECT_DOUBLE_EQ(with_ecc.sdc_mem, 0.0);
+  EXPECT_DOUBLE_EQ(with_ecc.due_mem, 0.0);
+
+  obs.ecc = false;
+  const auto without = predict_fit(inputs, obs, 1.0);
+  // (1e5+1e4)*0.001*0.4 + 1e6*0.0002*0.4 = 44 + 80 = 124
+  EXPECT_NEAR(without.sdc_mem, 124.0, 1e-6);
+  EXPECT_GT(without.sdc, with_ecc.sdc);
+  EXPECT_DOUBLE_EQ(without.sdc_inst, with_ecc.sdc_inst);
+}
+
+TEST(FitModel, ScaleIsGlobalAndLinear) {
+  const auto avf = simple_avf();
+  const auto obs = simple_code(avf);
+  const auto inputs = simple_inputs();
+  const auto one = predict_fit(inputs, obs, 1.0);
+  const auto three = predict_fit(inputs, obs, 3.0);
+  EXPECT_NEAR(three.sdc_inst, 3.0 * one.sdc_inst, 1e-9);
+  // The memory term is not φ-weighted and not scaled (Eq. 3).
+  EXPECT_DOUBLE_EQ(three.sdc_mem, one.sdc_mem);
+}
+
+TEST(FitModel, UnmeasuredUnitsContributeNothing) {
+  auto avf = simple_avf();
+  auto& sfu = avf.per_kind[static_cast<std::size_t>(UnitKind::SFU)];
+  sfu.dynamic_sites = 800;
+  sfu.counts.sdc = 80;  // even with a high injected AVF...
+  auto obs = simple_code(avf);
+  obs.profile.lane_per_unit[static_cast<std::size_t>(UnitKind::SFU)] = 800;
+  const auto p = predict_fit(simple_inputs(), obs, 1.0);
+  // ...the SFU is outside the method: no µbench FIT, no contribution.
+  EXPECT_DOUBLE_EQ(p.sdc_per_kind[static_cast<std::size_t>(UnitKind::SFU)], 0.0);
+  EXPECT_FALSE(kind_in_method(UnitKind::SFU));
+  EXPECT_FALSE(kind_in_method(UnitKind::OTHER));
+  EXPECT_TRUE(kind_in_method(UnitKind::FFMA));
+  EXPECT_TRUE(kind_in_method(UnitKind::MMA_H));
+  EXPECT_TRUE(kind_in_method(UnitKind::LDST));
+}
+
+TEST(FitModel, ZeroPhiZeroesInstructionTerm) {
+  const auto avf = simple_avf();
+  auto obs = simple_code(avf);
+  obs.profile.ipc = 0.0;
+  obs.ecc = false;
+  const auto p = predict_fit(simple_inputs(), obs, 1.0);
+  EXPECT_DOUBLE_EQ(p.sdc_inst, 0.0);
+  EXPECT_GT(p.sdc_mem, 0.0);  // Eq. 3 is φ-independent
+}
+
+TEST(FitModel, MissingAvfMeansZeroPrediction) {
+  const auto obs_avf = simple_avf();
+  auto obs = simple_code(obs_avf);
+  obs.avf = nullptr;
+  const auto p = predict_fit(simple_inputs(), obs, 1.0);
+  EXPECT_DOUBLE_EQ(p.sdc_inst, 0.0);
+}
+
+
+TEST(WhatIf, EccMemoryEliminatesMemorySdc) {
+  const auto avf = simple_avf();
+  auto obs = simple_code(avf);
+  obs.ecc = false;
+  Hardening scheme;
+  scheme.ecc_memory = true;
+  const auto r = what_if(simple_inputs(), obs, scheme, 1.0);
+  EXPECT_GT(r.baseline.sdc_mem, 0.0);
+  EXPECT_DOUBLE_EQ(r.hardened.sdc_mem, 0.0);
+  EXPECT_DOUBLE_EQ(r.hardened.sdc_inst, r.baseline.sdc_inst);
+  EXPECT_NEAR(r.hardened.due_mem,
+              0.02 * (r.baseline.sdc_mem + r.baseline.due_mem), 1e-9);
+  EXPECT_GT(r.sdc_removed, 0.0);
+  EXPECT_GT(r.sdc_reduction, 0.0);
+}
+
+TEST(WhatIf, HardeningOneUnitMovesItsSdcToDetections) {
+  const auto avf = simple_avf();
+  const auto obs = simple_code(avf);
+  Hardening scheme;
+  scheme.hardened_units = {UnitKind::FFMA};
+  const auto r = what_if(simple_inputs(), obs, scheme, 1.0);
+  const auto ffma = static_cast<std::size_t>(UnitKind::FFMA);
+  EXPECT_GT(r.baseline.sdc_per_kind[ffma], 0.0);
+  EXPECT_DOUBLE_EQ(r.hardened.sdc_per_kind[ffma], 0.0);
+  // LDST untouched.
+  const auto ldst = static_cast<std::size_t>(UnitKind::LDST);
+  EXPECT_DOUBLE_EQ(r.hardened.sdc_per_kind[ldst],
+                   r.baseline.sdc_per_kind[ldst]);
+  // Its SDCs became detections.
+  EXPECT_NEAR(r.due_added, r.baseline.sdc_per_kind[ffma], 1e-9);
+}
+
+TEST(WhatIf, DuplicateAllRemovesEveryInstructionSdc) {
+  const auto avf = simple_avf();
+  auto obs = simple_code(avf);
+  obs.ecc = false;
+  Hardening scheme;
+  scheme.duplicate_all = true;
+  const auto r = what_if(simple_inputs(), obs, scheme, 1.0);
+  EXPECT_DOUBLE_EQ(r.hardened.sdc_inst, 0.0);
+  // Memory is NOT covered by instruction duplication.
+  EXPECT_DOUBLE_EQ(r.hardened.sdc_mem, r.baseline.sdc_mem);
+  EXPECT_LT(r.sdc_reduction, 1.0);
+  scheme.ecc_memory = true;
+  const auto full = what_if(simple_inputs(), obs, scheme, 1.0);
+  EXPECT_DOUBLE_EQ(full.hardened.sdc, 0.0);
+  EXPECT_DOUBLE_EQ(full.sdc_reduction, 1.0);
+}
+
+}  // namespace
+}  // namespace gpurel::model

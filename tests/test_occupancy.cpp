@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "arch/gpu_config.hpp"
+
+namespace gpurel::arch {
+namespace {
+
+TEST(GpuConfig, FactoryShapes) {
+  const auto k = GpuConfig::kepler_k40c();
+  EXPECT_EQ(k.arch, Architecture::Kepler);
+  EXPECT_TRUE(k.int_shares_fp32);
+  EXPECT_FALSE(k.has_tensor);
+  EXPECT_FALSE(k.has_fp16);
+  EXPECT_EQ(k.process_nm, 28u);
+
+  const auto v = GpuConfig::volta_v100();
+  EXPECT_EQ(v.arch, Architecture::Volta);
+  EXPECT_FALSE(v.int_shares_fp32);
+  EXPECT_TRUE(v.has_tensor);
+  EXPECT_TRUE(v.has_fp16);
+  EXPECT_EQ(v.process_nm, 16u);
+  EXPECT_GT(v.int_lanes, 0u);
+
+  const auto t = GpuConfig::volta_titanv();
+  EXPECT_FALSE(t.ecc_available);
+}
+
+TEST(GpuConfig, SmCountScalesResources) {
+  const auto one = GpuConfig::kepler_k40c(1);
+  const auto four = GpuConfig::kepler_k40c(4);
+  EXPECT_EQ(four.register_file_bits(), 4 * one.register_file_bits());
+  EXPECT_EQ(four.shared_mem_bits(), 4 * one.shared_mem_bits());
+}
+
+TEST(Occupancy, FullWhenUnconstrained) {
+  const auto gpu = GpuConfig::kepler_k40c();
+  // 16 regs, no shared, 256-thread blocks: limited by the (scaled) 32 warp
+  // slots per SM.
+  const auto r = occupancy(gpu, 16, 0, 256);
+  EXPECT_EQ(r.warps_per_block, 8u);
+  EXPECT_EQ(r.warps_per_sm, 32u);
+  EXPECT_DOUBLE_EQ(r.theoretical, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const auto gpu = GpuConfig::kepler_k40c();
+  // 255 regs * 256 threads = 65280 regs per block: one block per SM.
+  const auto r = occupancy(gpu, 255, 0, 256);
+  EXPECT_EQ(r.blocks_per_sm, 1u);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::Registers);
+  EXPECT_NEAR(r.theoretical, 8.0 / 32.0, 1e-9);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const auto gpu = GpuConfig::kepler_k40c();
+  // 20 KB shared per block on a 48 KB SM: two blocks.
+  const auto r = occupancy(gpu, 16, 20 * 1024, 128);
+  EXPECT_EQ(r.blocks_per_sm, 2u);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::SharedMem);
+}
+
+TEST(Occupancy, BlockCountLimited) {
+  const auto gpu = GpuConfig::kepler_k40c();
+  // Tiny blocks: capped by max_blocks_per_sm (16), 16 warps resident.
+  const auto r = occupancy(gpu, 8, 0, 32);
+  EXPECT_EQ(r.blocks_per_sm, 16u);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::Blocks);
+  EXPECT_NEAR(r.theoretical, 16.0 / 32.0, 1e-9);
+}
+
+TEST(Occupancy, ImpossibleBlockThrows) {
+  const auto gpu = GpuConfig::kepler_k40c();
+  EXPECT_THROW(occupancy(gpu, 255, 0, 1024), std::invalid_argument);  // regs
+  EXPECT_THROW(occupancy(gpu, 16, 1 << 20, 128), std::invalid_argument);  // shared
+  EXPECT_THROW(occupancy(gpu, 16, 0, 0), std::invalid_argument);
+  EXPECT_THROW(occupancy(gpu, 16, 0, 4096), std::invalid_argument);
+}
+
+TEST(Occupancy, VoltaBlockCap) {
+  const auto v = GpuConfig::volta_v100();
+  const auto r = occupancy(v, 8, 0, 32);
+  EXPECT_EQ(r.blocks_per_sm, 16u);
+}
+
+}  // namespace
+}  // namespace gpurel::arch

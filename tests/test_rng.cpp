@@ -1,0 +1,161 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace gpurel {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsIndependentOfChildUse) {
+  Rng a(7);
+  Rng a_child = a.split();
+  const std::uint64_t after_split = a.next_u64();
+
+  Rng b(7);
+  Rng b_child = b.split();
+  for (int i = 0; i < 50; ++i) b_child.next_u64();  // burn the child stream
+  EXPECT_EQ(after_split, b.next_u64());
+  (void)a_child;
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_u64(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng r(5);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 7000; ++i) counts[r.uniform_u64(7)]++;
+  for (int c : counts) EXPECT_GT(c, 700);  // each ~1000 expected
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformI64Inclusive) {
+  Rng r(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_i64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(19);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng r(29);
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(2.5));
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMean) {
+  Rng r(37);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng r(41);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) counts[r.weighted_pick(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, WeightedPickRejectsBadInput) {
+  Rng r(43);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(r.weighted_pick(zero), std::invalid_argument);
+  const std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(r.weighted_pick(neg), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(47);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += r.bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.2, 0.01);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, UniformU64ZeroBoundThrows) {
+  Rng r(53);
+  EXPECT_THROW(r.uniform_u64(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpurel

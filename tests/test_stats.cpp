@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpurel {
+namespace {
+
+TEST(PoissonCi, ZeroEvents) {
+  const auto ci = poisson_ci95(0);
+  EXPECT_DOUBLE_EQ(ci.point, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_NEAR(ci.upper, 3.689, 0.01);
+}
+
+TEST(PoissonCi, KnownValues) {
+  // Exact 95% Poisson CIs (Garwood): k=1 -> [0.0253, 5.572],
+  // k=10 -> [4.795, 18.39], k=100 -> [81.36, 121.63].
+  auto ci1 = poisson_ci95(1);
+  EXPECT_NEAR(ci1.lower, 0.0253, 0.03);
+  EXPECT_NEAR(ci1.upper, 5.572, 0.12);
+  auto ci10 = poisson_ci95(10);
+  EXPECT_NEAR(ci10.lower, 4.795, 0.15);
+  EXPECT_NEAR(ci10.upper, 18.39, 0.25);
+  auto ci100 = poisson_ci95(100);
+  EXPECT_NEAR(ci100.lower, 81.36, 0.5);
+  EXPECT_NEAR(ci100.upper, 121.63, 0.5);
+}
+
+TEST(PoissonCi, IntervalsShrinkRelatively) {
+  const auto small = poisson_ci95(5);
+  const auto large = poisson_ci95(500);
+  EXPECT_GT(small.relative_half_width(), large.relative_half_width());
+}
+
+TEST(PoissonRate, ScalesByExposure) {
+  const auto ci = poisson_rate_ci95(10, 100.0);
+  EXPECT_DOUBLE_EQ(ci.point, 0.1);
+  EXPECT_LT(ci.lower, 0.1);
+  EXPECT_GT(ci.upper, 0.1);
+  EXPECT_THROW(poisson_rate_ci95(1, 0.0), std::invalid_argument);
+}
+
+TEST(WilsonCi, BasicProperties) {
+  const auto ci = wilson_ci95(50, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.5);
+  EXPECT_NEAR(ci.lower, 0.404, 0.01);
+  EXPECT_NEAR(ci.upper, 0.596, 0.01);
+}
+
+TEST(WilsonCi, EdgeCases) {
+  const auto zero = wilson_ci95(0, 100);
+  EXPECT_DOUBLE_EQ(zero.point, 0.0);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);
+  const auto all = wilson_ci95(100, 100);
+  EXPECT_DOUBLE_EQ(all.point, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  const auto empty = wilson_ci95(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lower, 0.0);
+  EXPECT_DOUBLE_EQ(empty.upper, 1.0);
+  EXPECT_THROW(wilson_ci95(5, 4), std::invalid_argument);
+}
+
+TEST(Descriptive, MeanStd) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Descriptive, GeometricMean) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-9);
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(bad), std::invalid_argument);
+}
+
+TEST(SignedRatio, PaperConvention) {
+  // measured >= predicted: positive measured/predicted.
+  EXPECT_DOUBLE_EQ(signed_ratio(12.0, 1.0), 12.0);
+  // measured < predicted: negative predicted/measured (Fig. 6 convention).
+  EXPECT_DOUBLE_EQ(signed_ratio(1.0, 7.0), -7.0);
+  EXPECT_DOUBLE_EQ(signed_ratio(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(signed_ratio(0.0, 5.0), 0.0);
+}
+
+TEST(SignedRatio, Magnitude) {
+  EXPECT_DOUBLE_EQ(ratio_magnitude(-7.0), 7.0);
+  EXPECT_DOUBLE_EQ(ratio_magnitude(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ratio_magnitude(0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace gpurel

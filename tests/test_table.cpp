@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpurel {
+namespace {
+
+TEST(Table, BuildsAndRendersText) {
+  Table t({"code", "fit", "due"});
+  t.row().cell("MxM").cell(12.345, 2).cell_int(7);
+  t.row().cell("GEMM").cell(1.5, 2).cell_int(42);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.at(0, 1), "12.35");
+  EXPECT_EQ(t.at(1, 2), "42");
+
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("code"), std::string::npos);
+  EXPECT_NE(text.find("12.35"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.row().cell("a,b").cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, AlignmentPadsCorrectly) {
+  Table t({"k", "v"});
+  t.set_align(1, Align::Right);
+  t.row().cell("x").cell("1");
+  t.row().cell("longer").cell("100");
+  std::ostringstream ss;
+  t.render_text(ss);
+  const std::string text = ss.str();
+  // Right-aligned short value gets leading spaces: "  1" at line end region.
+  EXPECT_NE(text.find("  1\n"), std::string::npos);
+}
+
+TEST(Table, ErrorsOnMisuse) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);  // no row yet
+  t.row().cell("1");
+  EXPECT_THROW(t.cell("2"), std::logic_error);  // row full
+  EXPECT_THROW(t.at(5, 0), std::out_of_range);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_THROW(t.set_align(3, Align::Left), std::out_of_range);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_fixed(3.14159, 3), "3.142");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(format_sci(12345.0), "1.23e+04");
+}
+
+}  // namespace
+}  // namespace gpurel

@@ -1,0 +1,69 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gpurel {
+namespace {
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
+  auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<long> out(200, 0);
+    parallel_for(pool, out.size(),
+                 [&](std::size_t i) { out[i] = static_cast<long>(i * i); });
+    return std::accumulate(out.begin(), out.end(), 0L);
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, SingleWorkerIsSerialSafe) {
+  ThreadPool pool(1);
+  int counter = 0;  // unsynchronized: safe only if jobs are serial
+  for (int i = 0; i < 50; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter, 50);
+}
+
+}  // namespace
+}  // namespace gpurel

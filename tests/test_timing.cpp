@@ -1,0 +1,138 @@
+// Timing-model behavior: latency hiding with more warps, ILP via the
+// scoreboard (independent chains beat a dependent chain), per-port
+// throughput (FP64 slower than FP32 on Volta), LDG latency dominating
+// dependent pointer chases, and the Titan V ECC restriction.
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hpp"
+#include "sim/device.hpp"
+
+namespace gpurel::sim {
+namespace {
+
+using isa::KernelBuilder;
+using isa::Program;
+using isa::Reg;
+using isa::RegPair;
+
+/// N dependent or independent FADD chains, `ops` each; returns kernel cycles.
+std::uint64_t run_chains(const arch::GpuConfig& gpu, unsigned chains,
+                         unsigned ops, bool fp64 = false, unsigned warps = 4) {
+  KernelBuilder b("chains");
+  Reg out = b.load_param(0);
+  Reg tid = b.global_tid_x();
+  std::uint64_t cycles = 0;
+  if (!fp64) {
+    std::vector<Reg> acc(chains);
+    Reg x = b.reg();
+    b.movf(x, 0.5f);
+    for (auto& a : acc) {
+      a = b.reg();
+      b.i2f(a, tid);
+    }
+    Reg i = b.reg();
+    b.for_range_static(i, 0, static_cast<std::int32_t>(ops / chains), 1, [&] {
+      for (auto& a : acc) b.fadd(a, a, x);
+    });
+    Reg addr = b.reg();
+    b.addr_index(addr, out, tid, 4);
+    b.stg(addr, acc[0]);
+  } else {
+    std::vector<RegPair> acc(chains);
+    RegPair x = b.reg_pair();
+    b.movd(x, 0.5);
+    for (auto& a : acc) {
+      a = b.reg_pair();
+      b.i2d(a, tid);
+    }
+    Reg i = b.reg();
+    b.for_range_static(i, 0, static_cast<std::int32_t>(ops / chains), 1, [&] {
+      for (auto& a : acc) b.dadd(a, a, x);
+    });
+    Reg addr = b.reg();
+    b.addr_index(addr, out, tid, 8);
+    b.stg64(addr, acc[0]);
+  }
+  Program prog = b.build();
+  Device dev(gpu);
+  const auto out_addr = dev.alloc(warps * 32 * 8);
+  sim::KernelLaunch kl{&prog, {1, 1}, {warps * 32, 1}, 0, {out_addr}};
+  const auto st = dev.launch(kl);
+  EXPECT_EQ(st.due, DueKind::None);
+  cycles = st.cycles;
+  return cycles;
+}
+
+TEST(Timing, IndependentChainsBeatOneDependentChain) {
+  const auto gpu = arch::GpuConfig::kepler_k40c(1);
+  const auto one = run_chains(gpu, 1, 128, false, 1);
+  const auto four = run_chains(gpu, 4, 128, false, 1);
+  // Same op count; four independent chains overlap latency.
+  EXPECT_LT(four, one);
+}
+
+TEST(Timing, MoreWarpsHideLatency) {
+  const auto gpu = arch::GpuConfig::kepler_k40c(1);
+  const auto few = run_chains(gpu, 1, 128, false, 1);
+  const auto many = run_chains(gpu, 1, 128, false, 16);
+  // 16x the total work in much less than 16x the time.
+  EXPECT_LT(many, few * 6);
+}
+
+TEST(Timing, VoltaFp64ThroughputBelowFp32) {
+  const auto gpu = arch::GpuConfig::volta_v100(1);
+  // Saturate with many warps and independent chains: the FP64 port (1 warp
+  // per cycle) must fall behind the FP32 port (2 per cycle).
+  const auto f32 = run_chains(gpu, 4, 256, false, 16);
+  const auto f64 = run_chains(gpu, 4, 256, true, 16);
+  EXPECT_GT(static_cast<double>(f64), 1.3 * static_cast<double>(f32));
+}
+
+TEST(Timing, DependentLoadsPayFullLatency) {
+  // Pointer-chase: each load feeds the next address. 16 loads on Kepler at
+  // ~320 cycles each must cost >> an unrolled arithmetic loop of equal
+  // instruction count.
+  KernelBuilder b("chase");
+  Reg base = b.load_param(0);
+  Reg addr = b.reg();
+  b.mov(addr, base);
+  Reg v = b.reg();
+  for (int i = 0; i < 16; ++i) {
+    b.ldg(v, addr);      // memory holds the next address
+    b.mov(addr, v);
+  }
+  b.stg(base, v);
+  Program prog = b.build();
+
+  Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto arr = dev.alloc(64 * 4);
+  // Self-loop chain: every cell points at the buffer base.
+  for (unsigned i = 0; i < 64; ++i) dev.memory().write_u32(arr + i * 4, arr);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {arr}};
+  const auto st = dev.launch(kl);
+  ASSERT_EQ(st.due, DueKind::None);
+  EXPECT_GT(st.cycles, 16u * 300u);  // ~16 serialized global round trips
+}
+
+TEST(Timing, CyclesScaleRoughlyWithWork) {
+  const auto gpu = arch::GpuConfig::kepler_k40c(1);
+  const auto small = run_chains(gpu, 4, 128, false, 8);
+  const auto large = run_chains(gpu, 4, 512, false, 8);
+  const double ratio = static_cast<double>(large) / small;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Timing, TitanVHasNoEccToggle) {
+  Device dev(arch::GpuConfig::volta_titanv(1));
+  EXPECT_FALSE(dev.ecc_enabled());
+  EXPECT_THROW(dev.set_ecc(true), std::invalid_argument);
+  dev.set_ecc(false);  // allowed (no-op)
+  Device v100(arch::GpuConfig::volta_v100(1));
+  EXPECT_TRUE(v100.ecc_enabled());
+  v100.set_ecc(false);
+  EXPECT_FALSE(v100.ecc_enabled());
+}
+
+}  // namespace
+}  // namespace gpurel::sim

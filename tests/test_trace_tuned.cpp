@@ -1,0 +1,137 @@
+// Tests for the execution tracer and the beam-tuned AVF re-weighting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/kernel_builder.hpp"
+#include "model/tuned_avf.hpp"
+#include "sim/device.hpp"
+#include "sim/trace.hpp"
+
+namespace gpurel {
+namespace {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Opcode;
+using isa::Pred;
+using isa::Program;
+using isa::Reg;
+using isa::UnitKind;
+
+Program tiny_kernel() {
+  KernelBuilder b("tiny");
+  Reg tid = b.global_tid_x();
+  Reg out = b.load_param(0);
+  Reg addr = b.reg(), v = b.reg();
+  b.addr_index(addr, out, tid, 4);
+  b.imuli(v, tid, 3);
+  b.stg(addr, v);
+  return b.build();
+}
+
+TEST(Tracer, EmitsOneLinePerExecution) {
+  Program prog = tiny_kernel();
+  sim::Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto out = dev.alloc(32 * 4);
+  std::ostringstream ss;
+  sim::Tracer tracer(ss);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out}};
+  const auto st = dev.launch(kl, &tracer);
+  ASSERT_EQ(st.due, sim::DueKind::None);
+  EXPECT_EQ(tracer.lines(), st.lane_instructions);
+  EXPECT_NE(ss.str().find("IMUL"), std::string::npos);
+  EXPECT_NE(ss.str().find("=> R"), std::string::npos);
+}
+
+TEST(Tracer, LaneFilterRestrictsOutput) {
+  Program prog = tiny_kernel();
+  sim::Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto out = dev.alloc(32 * 4);
+  std::ostringstream ss;
+  sim::TraceFilter f;
+  f.lane = 3;
+  sim::Tracer tracer(ss, f);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out}};
+  const auto st = dev.launch(kl, &tracer);
+  EXPECT_EQ(tracer.lines(), st.lane_instructions / 32);
+  EXPECT_NE(ss.str().find(" l 3"), std::string::npos);
+  EXPECT_EQ(ss.str().find(" l 5"), std::string::npos);
+}
+
+TEST(Tracer, OpcodeFilterAndLimit) {
+  Program prog = tiny_kernel();
+  sim::Device dev(arch::GpuConfig::kepler_k40c(1));
+  const auto out = dev.alloc(32 * 4);
+  std::ostringstream ss;
+  sim::TraceFilter f;
+  f.opcode = [](Opcode op) { return op == Opcode::STG; };
+  f.limit = 10;
+  sim::Tracer tracer(ss, f);
+  sim::KernelLaunch kl{&prog, {1, 1}, {32, 1}, 0, {out}};
+  (void)dev.launch(kl, &tracer);
+  EXPECT_EQ(tracer.lines(), 10u);
+  EXPECT_EQ(ss.str().find("IMUL"), std::string::npos);
+}
+
+model::FitInputs two_unit_inputs() {
+  model::FitInputs in;
+  auto& iadd = in.unit(UnitKind::IADD);
+  iadd.fit_sdc = 4.0;  // "hot" unit
+  iadd.micro_avf = 1.0;
+  iadd.measured = true;
+  auto& fadd = in.unit(UnitKind::FADD);
+  fadd.fit_sdc = 1.0;
+  fadd.micro_avf = 1.0;
+  fadd.measured = true;
+  return in;
+}
+
+TEST(TunedAvf, WeightsTowardSensitiveUnits) {
+  fault::CampaignResult campaign;
+  auto& iadd = campaign.per_kind[static_cast<std::size_t>(UnitKind::IADD)];
+  iadd.dynamic_sites = 100;
+  iadd.counts.sdc = 10;  // AVF 1.0 (all SDC)
+  auto& fadd = campaign.per_kind[static_cast<std::size_t>(UnitKind::FADD)];
+  fadd.dynamic_sites = 100;
+  fadd.counts.masked = 10;  // AVF 0.0
+
+  profile::CodeProfile prof;
+  prof.lane_instructions = 200;
+  prof.lane_per_unit[static_cast<std::size_t>(UnitKind::IADD)] = 100;
+  prof.lane_per_unit[static_cast<std::size_t>(UnitKind::FADD)] = 100;
+
+  const auto tuned = model::beam_tuned_avf(campaign, two_unit_inputs(), prof);
+  // Unweighted AVF would be 0.5; with IADD 4x hotter it is 4/5.
+  EXPECT_NEAR(tuned.sdc, 0.8, 1e-9);
+  EXPECT_NEAR(tuned.masked, 0.2, 1e-9);
+  EXPECT_NEAR(tuned.covered_weight_fraction, 1.0, 1e-9);
+}
+
+TEST(TunedAvf, ReportsUncoveredWeight) {
+  fault::CampaignResult campaign;  // nothing injected for FADD
+  auto& iadd = campaign.per_kind[static_cast<std::size_t>(UnitKind::IADD)];
+  iadd.counts.sdc = 5;
+
+  profile::CodeProfile prof;
+  prof.lane_instructions = 200;
+  prof.lane_per_unit[static_cast<std::size_t>(UnitKind::IADD)] = 100;
+  prof.lane_per_unit[static_cast<std::size_t>(UnitKind::FADD)] = 100;
+
+  const auto tuned = model::beam_tuned_avf(campaign, two_unit_inputs(), prof);
+  EXPECT_NEAR(tuned.sdc, 1.0, 1e-9);  // only the covered stratum
+  // FADD carries 1/(4+1) of the physical weight and was not injectable.
+  EXPECT_NEAR(tuned.covered_weight_fraction, 0.8, 1e-9);
+}
+
+TEST(TunedAvf, EmptyInputsYieldZero) {
+  fault::CampaignResult campaign;
+  profile::CodeProfile prof;
+  const auto tuned =
+      model::beam_tuned_avf(campaign, model::FitInputs{}, prof);
+  EXPECT_DOUBLE_EQ(tuned.sdc, 0.0);
+  EXPECT_DOUBLE_EQ(tuned.covered_weight_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace gpurel
