@@ -1,0 +1,169 @@
+// bench_campaign_throughput: campaign-runtime scheduling benchmark.
+//
+// Runs the same fault-injection campaign under the legacy static round-robin
+// sharding and the chunked dynamic scheduler, on two trial mixes:
+//
+//   balanced   IOV-only injections on MXM — every trial costs roughly the
+//              golden runtime, so any schedule balances well;
+//   due-heavy  instruction-address + store-address heavy injections on
+//              QUICKSORT — control-flow corruption in its data-dependent
+//              loops produces a heavy-tailed cost distribution (a fraction
+//              of trials burn the full watchdog budget, ~20x the median),
+//              the load profile that stalls static shards.
+//
+// For each (mix, schedule) it reports wall-clock trials/sec and, because
+// wall clock on a loaded/oversubscribed CI box is noisy, also a
+// deterministic *model makespan*: per-trial simulated-cycle costs (identical
+// across schedules — results are bit-identical) replayed through each
+// scheduling policy. `model_x` is the modeled speedup of the dynamic
+// scheduler over static sharding at the requested worker count; it is the
+// scheduling-limited bound a parallel host converges to.
+//
+//   ./bench_campaign_throughput --workers=4 --ia=160 --injections=40
+//   GPUREL_TELEMETRY=out.jsonl ./bench_campaign_throughput --progress
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_pool.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "kernels/registry.hpp"
+
+using namespace gpurel;
+
+namespace {
+
+struct Mix {
+  std::string name;
+  std::string code;  ///< kernel catalog code the mix runs on
+  fault::CampaignConfig config;
+};
+
+/// Replay per-trial costs through static round-robin sharding: the makespan
+/// is the heaviest shard.
+std::uint64_t static_makespan(const std::vector<std::uint64_t>& cost,
+                              unsigned workers) {
+  std::uint64_t worst = 0;
+  for (unsigned s = 0; s < workers; ++s) {
+    std::uint64_t shard = 0;
+    for (std::size_t t = s; t < cost.size(); t += workers) shard += cost[t];
+    worst = std::max(worst, shard);
+  }
+  return worst;
+}
+
+/// Replay per-trial costs through chunked dynamic self-scheduling: each free
+/// worker pulls the next chunk (guided_chunk sizes when chunk == 0, exactly
+/// like parallel_chunks); the makespan is the last worker to finish.
+std::uint64_t dynamic_makespan(const std::vector<std::uint64_t>& cost,
+                               unsigned workers, std::size_t chunk) {
+  std::vector<std::uint64_t> busy_until(workers, 0);
+  for (std::size_t begin = 0; begin < cost.size();) {
+    const std::size_t size =
+        chunk > 0 ? chunk : guided_chunk(cost.size() - begin, workers);
+    const std::size_t end = std::min(cost.size(), begin + size);
+    std::uint64_t chunk_cost = 0;
+    for (std::size_t t = begin; t < end; ++t) chunk_cost += cost[t];
+    auto next = std::min_element(busy_until.begin(), busy_until.end());
+    *next += chunk_cost;
+    begin = end;
+  }
+  return *std::max_element(busy_until.begin(), busy_until.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const unsigned workers = std::max<unsigned>(
+      1, static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 4)));
+  const unsigned iov = static_cast<unsigned>(
+      cli.get_int_env("injections", "GPUREL_INJECTIONS", 16));
+  const unsigned ia = static_cast<unsigned>(cli.get_int("ia", 4 * iov));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const unsigned chunk_flag = static_cast<unsigned>(cli.get_int("chunk", 0));
+  const double scale = cli.get_double("scale", 0.05);
+  const bool csv = cli.get_bool("csv");
+  const bool progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
+
+  auto injector = fault::make_sassifi();
+  const core::WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
+                                injector->profile(), 0x5eed, scale};
+
+  fault::CampaignConfig base;
+  base.injections_per_kind = iov;
+  base.chunk = chunk_flag;
+  base.seed = seed;
+  base.workers = workers;
+  base.progress = progress;
+
+  std::vector<Mix> mixes;
+  {
+    Mix balanced{"balanced", "MXM", base};
+    mixes.push_back(balanced);
+    Mix heavy{"due-heavy", "QUICKSORT", base};
+    heavy.config.injections_per_kind = std::max(1u, iov / 4);
+    heavy.config.ia_injections = ia;  // control-flow corruption: hangs
+    heavy.config.rf_injections = ia;  // loop-state corruption: hangs
+    heavy.config.store_addr_injections = ia / 2;  // invalid-address DUEs
+    mixes.push_back(heavy);
+  }
+
+  Table table({"mix", "schedule", "trials", "wall_ms", "trials/s",
+               "model_Mcyc", "model_x"});
+  table.set_align(1, Align::Left);
+
+  for (const Mix& mix : mixes) {
+    const auto factory =
+        kernels::workload_factory(mix.code, core::Precision::Single, wc);
+    std::vector<std::uint64_t> cost;
+    fault::CampaignResult reference;
+    double speedup_model = 0.0;
+    for (const bool dynamic : {false, true}) {
+      fault::CampaignConfig cc = mix.config;
+      cc.schedule = dynamic ? fault::Schedule::Dynamic
+                            : fault::Schedule::StaticRoundRobin;
+      cc.trial_cycles_out = &cost;
+      telemetry::Timer wall;
+      const auto result = fault::run_campaign(*injector, factory, cc);
+      const double ms = wall.elapsed_ms();
+
+      if (!dynamic) {
+        reference = result;
+      } else if (result.total_injections() != reference.total_injections() ||
+                 result.overall_avf_sdc() != reference.overall_avf_sdc() ||
+                 result.overall_avf_due() != reference.overall_avf_due()) {
+        std::fprintf(stderr, "FATAL: schedules disagree on %s\n",
+                     mix.name.c_str());
+        return 1;
+      }
+
+      const std::uint64_t makespan =
+          dynamic ? dynamic_makespan(cost, workers, cc.chunk)
+                  : static_makespan(cost, workers);
+      if (dynamic)
+        speedup_model = static_cast<double>(static_makespan(cost, workers)) /
+                        static_cast<double>(std::max<std::uint64_t>(1, makespan));
+
+      table.row()
+          .cell(mix.name)
+          .cell(dynamic ? "dynamic" : "static")
+          .cell_int(static_cast<long long>(cost.size()))
+          .cell(ms, 1)
+          .cell(ms > 0 ? 1000.0 * static_cast<double>(cost.size()) / ms : 0.0, 1)
+          .cell(static_cast<double>(makespan) / 1e6, 2)
+          .cell(dynamic ? speedup_model : 1.0, 2);
+    }
+  }
+
+  if (csv) std::fputs(table.to_csv().c_str(), stdout);
+  else std::fputs(table.to_text().c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::printf("workers=%u; model_x = modeled dynamic-vs-static speedup from "
+              "per-trial simulated cycles\n", workers);
+  return 0;
+}

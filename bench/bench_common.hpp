@@ -33,6 +33,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
       cli.get_int("micro-injections", o.study.micro_injections_per_kind));
   o.study.workers =
       static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 1));
+  // Live progress on stderr; JSONL event telemetry is enabled separately via
+  // the GPUREL_TELEMETRY=<path> environment override (see common/telemetry.hpp).
+  o.study.progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
   o.study.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   o.study.app_scale = cli.get_double("scale", o.study.app_scale);
   o.sm_count = static_cast<unsigned>(cli.get_int("sms", 2));

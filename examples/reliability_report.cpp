@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
       cli.get_int_env("injections", "GPUREL_INJECTIONS", 50));
   sc.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   sc.app_scale = cli.get_double("scale", 1.0);
+  sc.workers = static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 1));
+  sc.progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
   core::Study study(volta ? arch::GpuConfig::volta_v100(2)
                           : arch::GpuConfig::kepler_k40c(2),
                     sc);

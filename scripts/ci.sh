@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: strict-warnings build + tier-1 test suite, and (optionally)
+# a ThreadSanitizer pass over the concurrency-sensitive tests.
+#
+#   scripts/ci.sh          # werror build + full ctest
+#   scripts/ci.sh tsan     # additionally build + run the TSan test subset
+#
+# GPUREL_RUNS / GPUREL_INJECTIONS trim the statistical test sizes so the
+# suite stays fast on small CI runners; the tests' assertions are written to
+# hold at these reduced sizes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export GPUREL_RUNS="${GPUREL_RUNS:-80}"
+export GPUREL_INJECTIONS="${GPUREL_INJECTIONS:-30}"
+JOBS="$(nproc)"
+
+echo "==> configure+build (werror preset: -Wall -Wextra -Werror)"
+cmake --preset werror
+cmake --build --preset werror -j "${JOBS}"
+
+echo "==> tier-1 tests (GPUREL_RUNS=${GPUREL_RUNS} GPUREL_INJECTIONS=${GPUREL_INJECTIONS})"
+ctest --preset werror -j "${JOBS}"
+
+if [[ "${1:-}" == "tsan" ]]; then
+  echo "==> ThreadSanitizer pass (campaign runtime / thread pool / telemetry)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" --target \
+    test_thread_pool test_fault test_beam test_determinism test_telemetry
+  ctest --preset tsan -j "${JOBS}"
+fi
+
+echo "==> CI OK"

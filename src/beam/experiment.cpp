@@ -5,6 +5,7 @@
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/instr_info.hpp"
 #include "sim/timing.hpp"
@@ -310,7 +311,30 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
       share(StrikeTarget::Hidden, weights.hidden);
     }
   }
-  if (total_weight <= 0.0) return result;
+  telemetry::Sink* sink = telemetry::resolve(config.telemetry);
+  telemetry::Timer wall;
+  const unsigned workers = std::max(1u, config.workers);
+  const bool dynamic = config.schedule == fault::Schedule::Dynamic;
+  const std::size_t chunk = config.chunk;  // 0 = guided (see guided_chunk)
+  if (sink != nullptr)
+    sink->emit("beam_start",
+               {{"workload", result.workload},
+                {"device", result.device},
+                {"runs", std::uint64_t{config.runs}},
+                {"workers", workers},
+                {"chunk", dynamic ? chunk : std::size_t{0}},
+                {"schedule", dynamic ? "dynamic" : "static"},
+                {"mode", config.mode == BeamMode::Accelerated ? "accelerated"
+                                                              : "natural"},
+                {"ecc", config.ecc}});
+
+  if (total_weight <= 0.0) {
+    if (sink != nullptr)
+      sink->emit("beam_end", {{"workload", result.workload},
+                              {"runs", std::uint64_t{0}},
+                              {"wall_ms", wall.elapsed_ms()}});
+    return result;
+  }
 
   // Samples one strike plan; returns nullopt-style flag via `immediate` when
   // the outcome is decided without simulation (ECC corrections/detections,
@@ -374,74 +398,129 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
     return s;
   };
 
-  const unsigned workers = std::max(1u, config.workers);
-  struct Partial {
-    OutcomeCounts outcomes;
-    std::array<OutcomeCounts, kTargets> by_target{};
-  };
-  std::vector<Partial> partials(workers);
-
-  auto run_shard = [&](unsigned shard, Partial& out) {
-    auto w = factory();
-    sim::Device dev(w->config().gpu);
-    w->prepare(dev);
-    const unsigned max_regs = w->max_regs_per_thread();
+  // Per-run seeds derived once by index: runs replay bit-identically
+  // regardless of which worker executes them, in any order.
+  std::vector<std::uint64_t> seeds(config.runs);
+  {
     std::uint64_t salt = config.seed;
-    // Regenerate the per-run seed deterministically by index.
-    std::vector<std::uint64_t> seeds(config.runs);
     for (auto& sd : seeds) sd = splitmix64(salt);
+  }
 
-    for (std::uint64_t r = shard; r < config.runs; r += workers) {
-      Rng rng(seeds[r]);
-      if (config.mode == BeamMode::Accelerated) {
-        Sampled s = sample_strike(rng);
-        core::Outcome outcome;
-        if (s.immediate) {
-          outcome = s.immediate_outcome;
-        } else {
-          BeamObserver obs({s.plan}, max_regs);
-          outcome = w->run_trial(dev, &obs).outcome;
-        }
-        out.outcomes.add(outcome);
-        out.by_target[static_cast<std::size_t>(s.target)].add(outcome);
+  // Per-run records, tallied serially afterwards (bit-identical results for
+  // any worker count / chunk size / schedule).
+  std::vector<core::Outcome> outcomes(config.runs, core::Outcome::Masked);
+  std::vector<std::uint8_t> run_target(config.runs,
+                                       static_cast<std::uint8_t>(kTargets));
+
+  // Each worker lazily prepares one workload instance and reuses it across
+  // all runs it pulls; worker 0 inherits the reference instance.
+  struct WorkerState {
+    std::unique_ptr<core::Workload> w;
+    std::unique_ptr<sim::Device> dev;
+    unsigned max_regs = 0;
+  };
+  std::vector<WorkerState> states(workers);
+  states[0].w = std::move(ref);
+  states[0].dev = std::make_unique<sim::Device>(states[0].w->config().gpu);
+  states[0].max_regs = states[0].w->max_regs_per_thread();
+  auto ensure_state = [&](std::size_t s) -> WorkerState& {
+    WorkerState& st = states[s];
+    if (!st.w) {
+      st.w = factory();
+      st.dev = std::make_unique<sim::Device>(st.w->config().gpu);
+      st.w->prepare(*st.dev);
+      st.max_regs = st.w->max_regs_per_thread();
+    }
+    return st;
+  };
+
+  auto run_one = [&](WorkerState& st, std::size_t r) {
+    Rng rng(seeds[r]);
+    if (config.mode == BeamMode::Accelerated) {
+      Sampled s = sample_strike(rng);
+      core::Outcome outcome;
+      if (s.immediate) {
+        outcome = s.immediate_outcome;
       } else {
-        // Natural flux: Poisson number of strikes this run.
-        const double lambda = config.flux_scale * total_weight;
-        const std::uint64_t n = rng.poisson(lambda);
-        std::vector<StrikePlan> plans;
-        bool immediate_due = false;
-        for (std::uint64_t i = 0; i < n; ++i) {
-          Sampled s = sample_strike(rng);
-          if (s.immediate) {
-            if (s.immediate_outcome == core::Outcome::Due) immediate_due = true;
-          } else {
-            plans.push_back(s.plan);
-          }
-        }
-        core::Outcome outcome = core::Outcome::Masked;
-        if (immediate_due) {
-          outcome = core::Outcome::Due;
-        } else if (!plans.empty()) {
-          BeamObserver obs(std::move(plans), max_regs);
-          outcome = w->run_trial(dev, &obs).outcome;
-        }
-        out.outcomes.add(outcome);
+        BeamObserver obs({s.plan}, st.max_regs);
+        outcome = st.w->run_trial(*st.dev, &obs).outcome;
       }
+      outcomes[r] = outcome;
+      run_target[r] = static_cast<std::uint8_t>(s.target);
+    } else {
+      // Natural flux: Poisson number of strikes this run.
+      const double lambda = config.flux_scale * total_weight;
+      const std::uint64_t n = rng.poisson(lambda);
+      std::vector<StrikePlan> plans;
+      bool immediate_due = false;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        Sampled s = sample_strike(rng);
+        if (s.immediate) {
+          if (s.immediate_outcome == core::Outcome::Due) immediate_due = true;
+        } else {
+          plans.push_back(s.plan);
+        }
+      }
+      core::Outcome outcome = core::Outcome::Masked;
+      if (immediate_due) {
+        outcome = core::Outcome::Due;
+      } else if (!plans.empty()) {
+        BeamObserver obs(std::move(plans), st.max_regs);
+        outcome = st.w->run_trial(*st.dev, &obs).outcome;
+      }
+      outcomes[r] = outcome;
     }
   };
 
-  if (workers == 1) {
-    run_shard(0, partials[0]);
+  telemetry::Progress progress(config.progress, "beam " + result.workload,
+                               config.runs);
+  telemetry::Counter done;
+  auto after_chunk = [&](std::size_t begin, std::size_t end) {
+    done.add(end - begin);
+    progress.tick(end - begin);
+    if (sink != nullptr)
+      sink->emit("beam_chunk", {{"begin", begin},
+                                {"end", end},
+                                {"done", done.value()},
+                                {"total", std::uint64_t{config.runs}}});
+  };
+  auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    WorkerState& st = ensure_state(worker);
+    for (std::size_t r = begin; r < end; ++r) run_one(st, r);
+    after_chunk(begin, end);
+  };
+
+  if (!dynamic) {
+    auto run_shard = [&](std::size_t shard) {
+      WorkerState& st = ensure_state(shard);
+      std::size_t n = 0;
+      for (std::size_t r = shard; r < config.runs; r += workers, ++n)
+        run_one(st, r);
+      if (n > 0) after_chunk(shard, shard + n);  // one completion per shard
+    };
+    if (workers == 1) {
+      run_shard(0);
+    } else {
+      ThreadPool pool(workers);
+      parallel_for(pool, workers, run_shard);
+    }
+  } else if (workers == 1) {
+    for (std::size_t begin = 0; begin < config.runs;) {
+      const std::size_t step =
+          chunk > 0 ? chunk
+                    : guided_chunk(std::size_t{config.runs} - begin, 1);
+      const std::size_t end = std::min<std::size_t>(config.runs, begin + step);
+      run_range(0, begin, end);
+      begin = end;
+    }
   } else {
     ThreadPool pool(workers);
-    parallel_for(pool, workers, [&](std::size_t s) {
-      run_shard(static_cast<unsigned>(s), partials[s]);
-    });
+    parallel_chunks(pool, config.runs, chunk, run_range);
   }
-  for (const auto& p : partials) {
-    result.outcomes.merge(p.outcomes);
-    for (std::size_t t = 0; t < kTargets; ++t)
-      result.by_target[t].merge(p.by_target[t]);
+
+  for (std::size_t r = 0; r < config.runs; ++r) {
+    result.outcomes.add(outcomes[r]);
+    if (run_target[r] < kTargets) result.by_target[run_target[r]].add(outcomes[r]);
   }
 
   // Convert conditional probabilities to FIT (arbitrary units).
@@ -466,6 +545,21 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
   };
   result.fit_sdc = to_fit(result.outcomes.sdc, result.fit_sdc_ci);
   result.fit_due = to_fit(result.outcomes.due, result.fit_due_ci);
+
+  if (sink != nullptr) {
+    const double ms = wall.elapsed_ms();
+    sink->emit("beam_end",
+               {{"workload", result.workload},
+                {"runs", std::uint64_t{config.runs}},
+                {"masked", result.outcomes.masked},
+                {"sdc", result.outcomes.sdc},
+                {"due", result.outcomes.due},
+                {"fit_sdc", result.fit_sdc},
+                {"fit_due", result.fit_due},
+                {"wall_ms", ms},
+                {"runs_per_sec",
+                 ms > 0 ? 1000.0 * static_cast<double>(config.runs) / ms : 0.0}});
+  }
   return result;
 }
 

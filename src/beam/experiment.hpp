@@ -55,6 +55,15 @@ struct BeamConfig {
   bool ecc = true;
   std::uint64_t seed = 0xbea3;
   unsigned workers = 1;
+  /// Run distribution over workers (see fault::Schedule); results are
+  /// bit-identical under either policy and any worker count.
+  fault::Schedule schedule = fault::Schedule::Dynamic;
+  /// Runs per dynamically-scheduled chunk; 0 = guided self-scheduling.
+  unsigned chunk = 0;
+  /// JSONL telemetry sink; null falls back to GPUREL_TELEMETRY=<path>.
+  telemetry::Sink* telemetry = nullptr;
+  /// Live runs-done meter on stderr.
+  bool progress = false;
 };
 
 struct BeamResult {

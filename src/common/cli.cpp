@@ -30,7 +30,12 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   std::size_t pos = 0;
-  const std::int64_t v = std::stoll(it->second, &pos);
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;  // stoll threw ("abc", out of range): same error
+  }
   if (pos != it->second.size())
     throw std::invalid_argument("--" + name + ": not an integer: " + it->second);
   return v;
@@ -40,7 +45,12 @@ double Cli::get_double(const std::string& name, double def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   std::size_t pos = 0;
-  const double v = std::stod(it->second, &pos);
+  double v = 0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
   if (pos != it->second.size())
     throw std::invalid_argument("--" + name + ": not a number: " + it->second);
   return v;
@@ -63,6 +73,16 @@ std::int64_t Cli::get_int_env(const std::string& name, const char* env,
     } catch (const std::exception&) {
       throw std::invalid_argument(std::string(env) + ": not an integer: " + v);
     }
+  }
+  return def;
+}
+
+bool Cli::get_bool_env(const std::string& name, const char* env,
+                       bool def) const {
+  if (has(name)) return get_bool(name, def);
+  if (const char* v = std::getenv(env)) {
+    const std::string s(v);
+    return !s.empty() && s != "0" && s != "false";
   }
   return def;
 }

@@ -30,6 +30,10 @@ class Cli {
   std::int64_t get_int_env(const std::string& name, const char* env,
                            std::int64_t def) const;
 
+  /// Boolean from flag (e.g. --progress), else environment variable `env`
+  /// ("" / "0" / "false" are false, anything else true), else `def`.
+  bool get_bool_env(const std::string& name, const char* env, bool def) const;
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -1,7 +1,9 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
 
 namespace gpurel {
 
@@ -15,18 +17,24 @@ ThreadPool::ThreadPool(std::size_t workers) {
     threads_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lk(mu_);
+    if (stop_) return;  // idempotent (and destructor after shutdown())
     stop_ = true;
   }
   cv_job_.notify_all();
   for (auto& t : threads_) t.join();
+  threads_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard lk(mu_);
+    if (stop_)
+      throw std::runtime_error("ThreadPool::submit after shutdown began");
     jobs_.push(std::move(job));
     ++in_flight_;
   }
@@ -57,12 +65,34 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Shared first-exception latch for the parallel loops.
+class ErrorLatch {
+ public:
+  void capture() {
+    failed_.store(true, std::memory_order_relaxed);
+    std::lock_guard lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+  void rethrow_if_set() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr error_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
+  ErrorLatch latch;
 
   const std::size_t shards = std::min(count, pool.size());
   for (std::size_t s = 0; s < shards; ++s) {
@@ -73,14 +103,58 @@ void parallel_for(ThreadPool& pool, std::size_t count,
         try {
           body(i);
         } catch (...) {
-          std::lock_guard lk(err_mu);
-          if (!first_error) first_error = std::current_exception();
+          latch.capture();
         }
       }
     });
   }
   pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  latch.rethrow_if_set();
+}
+
+std::size_t guided_chunk(std::size_t remaining, std::size_t workers) {
+  return std::clamp<std::size_t>(remaining / (4 * std::max<std::size_t>(1, workers)),
+                                 1, 8);
+}
+
+void parallel_chunks(
+    ThreadPool& pool, std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  ErrorLatch latch;
+
+  // Claim the next half-open range off the shared cursor; empty when done.
+  // Guided sizes depend on the cursor, so the claim is a CAS; fixed sizes
+  // could use fetch_add but share the loop for simplicity.
+  const auto claim = [&](std::size_t& begin, std::size_t& end) {
+    begin = next.load(std::memory_order_relaxed);
+    do {
+      if (begin >= count) return false;
+      const std::size_t size =
+          chunk > 0 ? chunk : guided_chunk(count - begin, pool.size());
+      end = std::min(count, begin + size);
+    } while (!next.compare_exchange_weak(begin, end, std::memory_order_relaxed));
+    return true;
+  };
+
+  const std::size_t pullers =
+      chunk > 0 ? std::min(pool.size(), (count + chunk - 1) / chunk)
+                : std::min(pool.size(), count);
+  for (std::size_t p = 0; p < pullers; ++p) {
+    pool.submit([&, p] {
+      std::size_t begin = 0, end = 0;
+      while (!latch.failed() && claim(begin, end)) {
+        try {
+          body(p, begin, end);
+        } catch (...) {
+          latch.capture();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  latch.rethrow_if_set();
 }
 
 }  // namespace gpurel

@@ -27,11 +27,16 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const { return threads_.size(); }
 
-  /// Enqueue a job. Must not be called after destruction begins.
+  /// Enqueue a job. Throws std::runtime_error once shutdown has begun
+  /// (explicit shutdown() or destruction).
   void submit(std::function<void()> job);
 
   /// Block until every submitted job has finished.
   void wait_idle();
+
+  /// Stop accepting jobs, drain the queue, and join every worker. Idempotent;
+  /// also invoked by the destructor. After shutdown, submit() throws.
+  void shutdown();
 
  private:
   void worker_loop();
@@ -46,9 +51,29 @@ class ThreadPool {
 };
 
 /// Run body(i) for i in [0, count) across the pool; blocks until done.
-/// Exceptions thrown by body propagate (first one wins) after all indices
-/// complete or are abandoned.
+/// Every index runs even if some throw; the first exception (in completion
+/// order) is rethrown after the loop finishes.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
+
+/// Chunk size the guided self-scheduler hands to the next free puller:
+/// remaining/(4*workers), clamped to [1, 8]. Decreasing chunks keep the
+/// cursor cheap early on and balance stragglers (e.g. watchdog-timeout
+/// trials) near the end of the loop. Exposed so schedule models (see
+/// bench_campaign_throughput) replay exactly what the runtime does.
+std::size_t guided_chunk(std::size_t remaining, std::size_t workers);
+
+/// Dynamically-scheduled chunked loop: up to pool.size() concurrent pullers
+/// grab half-open ranges [begin, end) from a shared atomic cursor and invoke
+/// body(puller, begin, end). chunk >= 1 fixes the range length; chunk == 0
+/// selects guided self-scheduling where each pull takes
+/// guided_chunk(remaining, pool.size()) indices. `puller` is a dense id in
+/// [0, pool.size()); each puller's calls are sequential, so per-puller state
+/// (e.g. a prepared workload) needs no synchronization. On an exception the
+/// first one wins, remaining chunks are abandoned, and the exception is
+/// rethrown after in-flight chunks finish. Blocks until done.
+void parallel_chunks(
+    ThreadPool& pool, std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
 }  // namespace gpurel

@@ -1,6 +1,9 @@
 #include "core/study.hpp"
 
+#include <cstdio>
 #include <stdexcept>
+
+#include "common/telemetry.hpp"
 
 namespace gpurel::core {
 
@@ -64,6 +67,9 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
   if (micro_) return *micro_;
   micro_.emplace();
 
+  telemetry::Sink* sink = telemetry::resolve(config_.telemetry);
+  const telemetry::Timer stage_timer;
+
   auto catalog = micro_catalog();
   // The model needs the LDST unit even on devices whose Fig. 3 set omits it.
   bool has_ldst = false;
@@ -78,6 +84,10 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
     mc.name = kernels::entry_name(entry);
     mc.kind = micro_unit_kind(entry);
     mc.is_rf = entry.base == "RF";
+    if (config_.progress)
+      std::fprintf(stderr, "[study] stage 1: characterizing %s\n",
+                   mc.name.c_str());
+    const telemetry::Timer micro_timer;
 
     const auto factory = kernels::workload_factory(
         entry.base, entry.precision, workload_config(config_.micro_scale,
@@ -86,6 +96,7 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
     bc.runs = config_.micro_beam_runs;
     bc.seed = config_.seed * 7919 + std::hash<std::string>{}(mc.name);
     bc.workers = config_.workers;
+    bc.telemetry = config_.telemetry;
     // The paper runs the arithmetic benches with ECC on (they use almost no
     // memory); the RF bench needs ECC off to observe storage upsets, and
     // LDST is additionally measured with ECC off to expose device memory.
@@ -109,6 +120,7 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
         cc.injections_per_kind = config_.micro_injections_per_kind;
         cc.seed = config_.seed * 31 + std::hash<std::string>{}(mc.name);
         cc.workers = config_.workers;
+        cc.telemetry = config_.telemetry;
         const auto r = fault::run_campaign(*nvbitfi, factory, cc);
         const auto& ks = r.kind(mc.kind);
         if (ks.counts.total() > 0)
@@ -117,17 +129,26 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
         mc.micro_avf = 0.0;  // filled from the counterpart when building inputs
       }
     }
+    if (sink != nullptr)
+      sink->emit("study_micro", {{"name", mc.name},
+                                 {"wall_ms", micro_timer.elapsed_ms()}});
     micro_->push_back(std::move(mc));
   }
+  if (sink != nullptr)
+    sink->emit("study_stage", {{"stage", 1},
+                               {"name", "micro_characterization"},
+                               {"wall_ms", stage_timer.elapsed_ms()}});
   return *micro_;
 }
 
 const model::FitInputs& Study::fit_inputs() {
   if (inputs_) return *inputs_;
+  const auto& micro = microbenchmarks();  // stage 1 time billed separately
+
+  telemetry::Sink* sink = telemetry::resolve(config_.telemetry);
+  const telemetry::Timer stage_timer;
   inputs_.emplace();
   model::FitInputs& in = *inputs_;
-
-  const auto& micro = microbenchmarks();
   const MicroCharacterization* ldst = nullptr;
 
   for (const auto& mc : micro) {
@@ -163,6 +184,7 @@ const model::FitInputs& Study::fit_inputs() {
     bc.runs = config_.micro_beam_runs;
     bc.seed = config_.seed * 104729;
     bc.workers = config_.workers;
+    bc.telemetry = config_.telemetry;
     bc.ecc = false;
     const auto off = beam::run_beam(db_, factory, bc);
     auto w = factory();
@@ -176,6 +198,10 @@ const model::FitInputs& Study::fit_inputs() {
           std::max(0.0, off.fit_due - ldst->beam.fit_due) / bits;
     }
   }
+  if (sink != nullptr)
+    sink->emit("study_stage", {{"stage", 1},
+                               {"name", "fit_inputs"},
+                               {"wall_ms", stage_timer.elapsed_ms()}});
   return *inputs_;
 }
 
@@ -211,6 +237,8 @@ std::optional<fault::CampaignResult> Study::run_injection(
             std::hash<std::string>{}(injector.name() + entry.base) +
             static_cast<std::uint64_t>(entry.precision);
   cc.workers = config_.workers;
+  cc.telemetry = config_.telemetry;
+  cc.progress = config_.progress;
   if (aux_modes && injector.supports(fault::FaultModel::RegisterFile)) {
     cc.rf_injections = config_.rf_injections;
     cc.pred_injections = config_.pred_injections;
@@ -257,6 +285,20 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
   ev.entry = entry;
   ev.name = kernels::entry_name(entry);
 
+  telemetry::Sink* sink = telemetry::resolve(config_.telemetry);
+  telemetry::Timer stage_timer;
+  auto stage_done = [&](int stage, const char* name) {
+    if (config_.progress)
+      std::fprintf(stderr, "[study] stage %d: %s done for %s\n", stage, name,
+                   ev.name.c_str());
+    if (sink != nullptr)
+      sink->emit("study_stage", {{"stage", stage},
+                                 {"name", name},
+                                 {"code", ev.name},
+                                 {"wall_ms", stage_timer.elapsed_ms()}});
+    stage_timer.reset();
+  };
+
   // Profiles per toolchain era.
   {
     auto w = kernels::make_workload(
@@ -276,6 +318,7 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
       ev.profile_cuda7 = profile::profile_workload(*probe, dev);
     }
   }
+  stage_done(2, "profile");
 
   // Injection campaigns.
   if (parts.injections || parts.predictions) {
@@ -313,6 +356,7 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
         }
       }
     }
+    stage_done(2, "injections");
   }
 
   // Beam experiments, ECC on and off.
@@ -324,15 +368,23 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
     bc.runs = config_.app_beam_runs;
     bc.workers = config_.workers;
     bc.seed = config_.seed * 257 + std::hash<std::string>{}(ev.name);
+    bc.telemetry = config_.telemetry;
+    bc.progress = config_.progress;
     bc.ecc = true;
     ev.beam_ecc_on = beam::run_beam(db_, factory, bc);
     bc.ecc = false;
     bc.seed += 1;
     ev.beam_ecc_off = beam::run_beam(db_, factory, bc);
+    stage_done(2, "beam");
   }
 
   // Predictions (Eq. 1-4) per injector and ECC setting.
   if (parts.predictions) {
+    // The FIT inputs are built lazily and bill their own stage-1 events;
+    // force them now and restart the clock so the stage-3 window below
+    // covers only the predictions themselves.
+    fit_inputs();
+    stage_timer.reset();
     if (ev.sassifi) {
       const auto& prof = ev.profile_cuda7 ? *ev.profile_cuda7 : ev.profile;
       ev.pred_sassifi_on = make_prediction(entry, prof, *ev.sassifi, true);
@@ -342,6 +394,7 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
       ev.pred_nvbitfi_on = make_prediction(entry, ev.profile, *ev.nvbitfi, true);
       ev.pred_nvbitfi_off = make_prediction(entry, ev.profile, *ev.nvbitfi, false);
     }
+    stage_done(3, "predictions");
   }
   return ev;
 }

@@ -41,6 +41,12 @@ struct StudyConfig {
   /// Size knob for the microbenchmarks (FIT estimates are size-invariant
   /// under conditional strike sampling, so these can be small).
   double micro_scale = 0.1;
+  /// JSONL telemetry sink, propagated to every campaign/beam run and used
+  /// for per-stage `study_stage` timings; null falls back to the
+  /// GPUREL_TELEMETRY=<path> environment override.
+  telemetry::Sink* telemetry = nullptr;
+  /// Stage/progress reporting on stderr (propagated to campaigns and beam).
+  bool progress = false;
 };
 
 class Study {

@@ -1,10 +1,12 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/instr_info.hpp"
 
@@ -118,7 +120,9 @@ class InjectionObserver final : public sim::SimObserver {
       }
       case FaultModel::InstructionAddress: {
         if (count_++ != target_index) return;
-        *ctx.next_pc ^= (1u << (ia_bit & 15u));
+        // ia_bit is sampled in [0, ia_pc_bits(workload)), so the flip is
+        // applied verbatim — every sampled bit is reachable.
+        *ctx.next_pc ^= (1u << (ia_bit & 31u));
         fired = true;
         break;
       }
@@ -184,7 +188,22 @@ double CampaignResult::overall_avf_due() const {
 }
 
 double CampaignResult::overall_masked() const {
+  double den = 0;
+  for (std::size_t k = 0; k < kKinds; ++k)
+    if (per_kind[k].counts.total() > 0)
+      den += static_cast<double>(per_kind[k].dynamic_sites);
+  if (pred.total() > 0 && pred_sites > 0) den += static_cast<double>(pred_sites);
+  if (den <= 0) return 0.0;  // nothing injected: no masked mass either
   return 1.0 - overall_avf_sdc() - overall_avf_due();
+}
+
+unsigned ia_pc_bits(const core::Workload& w) {
+  std::uint32_t max_size = 2;  // even a 1-instruction program has PC bit 0
+  for (const isa::Program* p : w.programs())
+    max_size = std::max(max_size, p->size());
+  unsigned bits = 1;
+  while ((std::uint64_t{1} << bits) < max_size) ++bits;
+  return bits;
 }
 
 std::uint64_t CampaignResult::total_injections() const {
@@ -250,71 +269,166 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   add_aux(FaultModel::StoreAddress, config.store_addr_injections,
           counter.stores_);
 
-  // Execute trials (sharded across workers; each shard owns a device).
+  // Execute trials. Each worker lazily prepares one workload instance and
+  // reuses it across every trial it pulls (prepare() is idempotent and
+  // run_trial() resets device memory); worker 0 inherits the already
+  // prepared reference instance. Per-trial outcomes land in a vector indexed
+  // by trial id and are tallied serially afterwards, so the result is
+  // bit-identical for any worker count, chunk size, or schedule.
   const unsigned workers = std::max(1u, config.workers);
-  std::vector<CampaignResult> partials(workers);
-  auto run_shard = [&](unsigned shard, CampaignResult& out) {
-    auto w = factory();
-    sim::Device dev(w->config().gpu);
-    w->prepare(dev);
-    const unsigned max_regs = w->max_regs_per_thread();
-    for (std::size_t t = shard; t < trials.size(); t += workers) {
-      const TrialDesc& desc = trials[t];
-      Rng rng(desc.seed);
-      InjectionObserver obs;
-      obs.mode = desc.mode;
-      obs.inj = &injector;
-      obs.bit = rng.next_u32();  // reduced modulo the destination width at fire time
-      obs.ia_bit = static_cast<unsigned>(rng.uniform_u64(12));
-      obs.rf_reg = static_cast<unsigned>(rng.uniform_u64(std::max(1u, max_regs)));
-      switch (desc.mode) {
-        case FaultModel::InstructionOutput:
-          obs.target_kind = desc.kind;
-          obs.target_index = rng.uniform_u64(
-              counter.per_kind_[static_cast<std::size_t>(desc.kind)]);
-          break;
-        case FaultModel::Predicate:
-          obs.target_index = rng.uniform_u64(counter.pred_);
-          break;
-        case FaultModel::RegisterFile:
-        case FaultModel::InstructionAddress:
-          obs.target_index = rng.uniform_u64(counter.total_lane_);
-          break;
-        case FaultModel::StoreValue:
-        case FaultModel::StoreAddress:
-          obs.target_index = rng.uniform_u64(counter.stores_);
-          break;
-      }
-      const core::TrialResult r = w->run_trial(dev, &obs);
-      switch (desc.mode) {
-        case FaultModel::InstructionOutput:
-          out.per_kind[static_cast<std::size_t>(desc.kind)].counts.add(r.outcome);
-          break;
-        case FaultModel::RegisterFile: out.rf.add(r.outcome); break;
-        case FaultModel::Predicate: out.pred.add(r.outcome); break;
-        case FaultModel::InstructionAddress: out.ia.add(r.outcome); break;
-        case FaultModel::StoreValue: out.store_value.add(r.outcome); break;
-        case FaultModel::StoreAddress: out.store_addr.add(r.outcome); break;
-      }
+  const std::size_t chunk = config.chunk;  // 0 = guided (see guided_chunk)
+  const unsigned pc_bits = ia_pc_bits(*ref);
+
+  telemetry::Sink* sink = telemetry::resolve(config.telemetry);
+  telemetry::Timer wall;
+  const bool dynamic = config.schedule == Schedule::Dynamic;
+  if (sink != nullptr)
+    sink->emit("campaign_start",
+               {{"injector", result.injector},
+                {"workload", result.workload},
+                {"trials", trials.size()},
+                {"workers", workers},
+                {"chunk", dynamic ? chunk : std::size_t{0}},
+                {"schedule", dynamic ? "dynamic" : "static"},
+                {"ia_pc_bits", pc_bits}});
+  telemetry::Progress progress(config.progress, "campaign " + result.workload,
+                               trials.size());
+  telemetry::Counter done;
+
+  std::vector<core::Outcome> outcomes(trials.size(), core::Outcome::Masked);
+  std::vector<std::uint64_t> cycles;
+  if (config.trial_cycles_out != nullptr) cycles.assign(trials.size(), 0);
+
+  struct WorkerState {
+    std::unique_ptr<core::Workload> w;
+    std::unique_ptr<sim::Device> dev;
+    unsigned max_regs = 0;
+  };
+  std::vector<WorkerState> states(workers);
+  states[0].w = std::move(ref);
+  states[0].dev = std::make_unique<sim::Device>(states[0].w->config().gpu);
+  states[0].max_regs = states[0].w->max_regs_per_thread();
+
+  auto ensure_state = [&](std::size_t s) -> WorkerState& {
+    WorkerState& st = states[s];
+    if (!st.w) {
+      st.w = factory();
+      st.dev = std::make_unique<sim::Device>(st.w->config().gpu);
+      st.w->prepare(*st.dev);
+      st.max_regs = st.w->max_regs_per_thread();
     }
+    return st;
   };
 
-  if (workers == 1) {
-    run_shard(0, partials[0]);
+  auto run_one = [&](WorkerState& st, std::size_t t) {
+    const TrialDesc& desc = trials[t];
+    Rng rng(desc.seed);
+    InjectionObserver obs;
+    obs.mode = desc.mode;
+    obs.inj = &injector;
+    obs.bit = rng.next_u32();  // reduced modulo the destination width at fire time
+    obs.ia_bit = static_cast<unsigned>(rng.uniform_u64(pc_bits));
+    obs.rf_reg =
+        static_cast<unsigned>(rng.uniform_u64(std::max(1u, st.max_regs)));
+    switch (desc.mode) {
+      case FaultModel::InstructionOutput:
+        obs.target_kind = desc.kind;
+        obs.target_index = rng.uniform_u64(
+            counter.per_kind_[static_cast<std::size_t>(desc.kind)]);
+        break;
+      case FaultModel::Predicate:
+        obs.target_index = rng.uniform_u64(counter.pred_);
+        break;
+      case FaultModel::RegisterFile:
+      case FaultModel::InstructionAddress:
+        obs.target_index = rng.uniform_u64(counter.total_lane_);
+        break;
+      case FaultModel::StoreValue:
+      case FaultModel::StoreAddress:
+        obs.target_index = rng.uniform_u64(counter.stores_);
+        break;
+    }
+    const core::TrialResult r = st.w->run_trial(*st.dev, &obs);
+    outcomes[t] = r.outcome;
+    if (!cycles.empty()) cycles[t] = r.stats.cycles;
+  };
+
+  auto after_chunk = [&](std::size_t begin, std::size_t end) {
+    done.add(end - begin);
+    progress.tick(end - begin);
+    if (sink != nullptr)
+      sink->emit("campaign_chunk", {{"begin", begin},
+                                    {"end", end},
+                                    {"done", done.value()},
+                                    {"total", trials.size()}});
+  };
+
+  auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    WorkerState& st = ensure_state(worker);
+    for (std::size_t t = begin; t < end; ++t) run_one(st, t);
+    after_chunk(begin, end);
+  };
+
+  if (!dynamic) {
+    // Legacy static round-robin sharding (benchmark baseline).
+    auto run_shard = [&](std::size_t shard) {
+      WorkerState& st = ensure_state(shard);
+      std::size_t n = 0;
+      for (std::size_t t = shard; t < trials.size(); t += workers, ++n)
+        run_one(st, t);
+      if (n > 0) after_chunk(shard, shard + n);  // one completion per shard
+    };
+    if (workers == 1) {
+      run_shard(0);
+    } else {
+      ThreadPool pool(workers);
+      parallel_for(pool, workers, run_shard);
+    }
+  } else if (workers == 1) {
+    for (std::size_t begin = 0; begin < trials.size();) {
+      const std::size_t step =
+          chunk > 0 ? chunk : guided_chunk(trials.size() - begin, 1);
+      const std::size_t end = std::min(trials.size(), begin + step);
+      run_range(0, begin, end);
+      begin = end;
+    }
   } else {
     ThreadPool pool(workers);
-    parallel_for(pool, workers, [&](std::size_t s) {
-      run_shard(static_cast<unsigned>(s), partials[s]);
-    });
+    parallel_chunks(pool, trials.size(), chunk, run_range);
   }
-  for (const auto& p : partials) {
-    for (std::size_t k = 0; k < kKinds; ++k)
-      result.per_kind[k].counts.merge(p.per_kind[k].counts);
-    result.rf.merge(p.rf);
-    result.pred.merge(p.pred);
-    result.ia.merge(p.ia);
-    result.store_value.merge(p.store_value);
-    result.store_addr.merge(p.store_addr);
+
+  // Serial tally in trial order.
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    switch (trials[t].mode) {
+      case FaultModel::InstructionOutput:
+        result.per_kind[static_cast<std::size_t>(trials[t].kind)].counts.add(
+            outcomes[t]);
+        break;
+      case FaultModel::RegisterFile: result.rf.add(outcomes[t]); break;
+      case FaultModel::Predicate: result.pred.add(outcomes[t]); break;
+      case FaultModel::InstructionAddress: result.ia.add(outcomes[t]); break;
+      case FaultModel::StoreValue: result.store_value.add(outcomes[t]); break;
+      case FaultModel::StoreAddress: result.store_addr.add(outcomes[t]); break;
+    }
+  }
+  if (config.trial_cycles_out != nullptr)
+    *config.trial_cycles_out = std::move(cycles);
+
+  if (sink != nullptr) {
+    OutcomeCounts all;
+    for (const core::Outcome o : outcomes) all.add(o);
+    const double ms = wall.elapsed_ms();
+    sink->emit("campaign_end",
+               {{"injector", result.injector},
+                {"workload", result.workload},
+                {"trials", trials.size()},
+                {"masked", all.masked},
+                {"sdc", all.sdc},
+                {"due", all.due},
+                {"wall_ms", ms},
+                {"trials_per_sec",
+                 ms > 0 ? 1000.0 * static_cast<double>(trials.size()) / ms
+                        : 0.0}});
   }
   return result;
 }

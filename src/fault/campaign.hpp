@@ -4,13 +4,19 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "core/workload.hpp"
 #include "fault/injector.hpp"
+
+namespace gpurel::telemetry {
+class Sink;
+}
 
 namespace gpurel::fault {
 
@@ -36,6 +42,18 @@ struct OutcomeCounts {
   void merge(const OutcomeCounts& other);
 };
 
+/// How trials are distributed over campaign workers. Per-trial seeding makes
+/// results bit-identical under either policy and any worker count.
+enum class Schedule : std::uint8_t {
+  /// Chunked dynamic self-scheduling (default): workers pull small index
+  /// chunks from a shared cursor, so a run of watchdog-timeout DUE trials
+  /// cannot stall one shard while the others sit idle.
+  Dynamic,
+  /// Legacy static round-robin sharding (trial i -> worker i % workers);
+  /// kept as the measurable baseline for bench_campaign_throughput.
+  StaticRoundRobin,
+};
+
 struct CampaignConfig {
   /// IOV injections per eligible instruction kind (paper: 1,000 per kind
   /// with SASSIFI; scaled down by default for simulation budgets).
@@ -48,6 +66,20 @@ struct CampaignConfig {
   unsigned store_addr_injections = 0;
   std::uint64_t seed = 0x1234;
   unsigned workers = 1;
+  Schedule schedule = Schedule::Dynamic;
+  /// Trials per dynamically-scheduled chunk; 0 = guided self-scheduling
+  /// (decreasing chunk sizes, see gpurel::guided_chunk). Either way results
+  /// are bit-identical — only the work distribution changes.
+  unsigned chunk = 0;
+  /// JSONL telemetry sink; when null the GPUREL_TELEMETRY=<path> environment
+  /// override is consulted (see common/telemetry.hpp).
+  telemetry::Sink* telemetry = nullptr;
+  /// Live trials-done meter on stderr.
+  bool progress = false;
+  /// When set, receives the per-trial simulated-cycle cost, indexed by the
+  /// campaign's (deterministic) internal trial order. Consumed by scheduling
+  /// benchmarks; leave null otherwise.
+  std::vector<std::uint64_t>* trial_cycles_out = nullptr;
 };
 
 struct KindStats {
@@ -78,12 +110,23 @@ struct CampaignResult {
   /// uniform-over-reachable-sites campaign.
   double overall_avf_sdc() const;
   double overall_avf_due() const;
+  /// 1 - overall_avf_sdc() - overall_avf_due() when at least one weighted
+  /// stratum was exercised; 0 otherwise (mirroring the zero-denominator
+  /// guard of the AVF accessors — an empty campaign masks nothing).
   double overall_masked() const;
 
   std::uint64_t total_injections() const;  // every mode, every kind
 };
 
 using WorkloadFactory = std::function<std::unique_ptr<core::Workload>()>;
+
+/// Width of the InstructionAddress fault model's flip range for a prepared
+/// workload: the smallest b (>= 1) with 2^b covering every program's
+/// instruction indices. The campaign samples the flip bit uniformly from
+/// [0, ia_pc_bits) and the observer applies exactly the sampled bit, so all
+/// sampled bits are reachable; flips into [size, 2^b) model the realistic
+/// jump-past-the-end PC corruption (immediate DUE).
+unsigned ia_pc_bits(const core::Workload& w);
 
 /// Run a full campaign. Throws std::invalid_argument when the injector
 /// cannot instrument the workload on its device (the paper substitutes

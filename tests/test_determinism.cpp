@@ -1,0 +1,150 @@
+// Scheduling-determinism regression tests: fault-injection campaigns and
+// beam experiments must be bit-identical for any worker count, chunk size,
+// or scheduling policy. The runtime guarantees this by seeding every
+// trial/run from its index and tallying per-index outcome vectors serially,
+// so these tests pin the whole contract: if a refactor makes results depend
+// on which worker ran a trial, they fail.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "beam/experiment.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "kernels/matmul.hpp"
+
+namespace gpurel {
+namespace {
+
+using core::Precision;
+using kernels::MxM;
+
+core::WorkloadConfig cfg(isa::CompilerProfile profile) {
+  return {arch::GpuConfig::kepler_k40c(2), profile, 0x5eed, 0.05};
+}
+
+void expect_same_campaign(const fault::CampaignResult& a,
+                          const fault::CampaignResult& b, const char* what) {
+  EXPECT_EQ(a.total_injections(), b.total_injections()) << what;
+  EXPECT_EQ(a.overall_avf_sdc(), b.overall_avf_sdc()) << what;
+  EXPECT_EQ(a.overall_avf_due(), b.overall_avf_due()) << what;
+  EXPECT_EQ(a.overall_masked(), b.overall_masked()) << what;
+  for (std::size_t k = 0; k < a.per_kind.size(); ++k) {
+    const auto& ka = a.per_kind[k].counts;
+    const auto& kb = b.per_kind[k].counts;
+    EXPECT_EQ(ka.masked, kb.masked) << what << " kind " << k;
+    EXPECT_EQ(ka.sdc, kb.sdc) << what << " kind " << k;
+    EXPECT_EQ(ka.due, kb.due) << what << " kind " << k;
+  }
+  EXPECT_EQ(a.rf.sdc, b.rf.sdc) << what;
+  EXPECT_EQ(a.pred.sdc, b.pred.sdc) << what;
+  EXPECT_EQ(a.ia.sdc, b.ia.sdc) << what;
+  EXPECT_EQ(a.ia.due, b.ia.due) << what;
+  EXPECT_EQ(a.store_value.sdc, b.store_value.sdc) << what;
+  EXPECT_EQ(a.store_addr.due, b.store_addr.due) << what;
+}
+
+TEST(Determinism, CampaignBitIdenticalAcrossWorkerCounts) {
+  auto inj = fault::make_sassifi();
+  fault::CampaignConfig base;
+  base.injections_per_kind = 8;
+  base.ia_injections = 12;
+  base.rf_injections = 12;
+  base.store_addr_injections = 6;
+  base.seed = 1234;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg(inj->profile()), Precision::Single, 16);
+  };
+
+  fault::CampaignConfig cc1 = base;
+  cc1.workers = 1;
+  const auto r1 = fault::run_campaign(*inj, factory, cc1);
+  for (const unsigned workers : {2u, 4u}) {
+    fault::CampaignConfig cc = base;
+    cc.workers = workers;
+    const auto r = fault::run_campaign(*inj, factory, cc);
+    expect_same_campaign(r1, r, "workers");
+  }
+}
+
+TEST(Determinism, CampaignBitIdenticalAcrossSchedulesAndChunks) {
+  auto inj = fault::make_sassifi();
+  fault::CampaignConfig base;
+  base.injections_per_kind = 8;
+  base.ia_injections = 10;
+  base.seed = 77;
+  base.workers = 3;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg(inj->profile()), Precision::Single, 16);
+  };
+
+  const auto dynamic_guided = fault::run_campaign(*inj, factory, base);
+
+  fault::CampaignConfig fixed = base;
+  fixed.chunk = 1;
+  expect_same_campaign(dynamic_guided, fault::run_campaign(*inj, factory, fixed),
+                       "chunk=1");
+  fixed.chunk = 7;
+  expect_same_campaign(dynamic_guided, fault::run_campaign(*inj, factory, fixed),
+                       "chunk=7");
+
+  fault::CampaignConfig rr = base;
+  rr.schedule = fault::Schedule::StaticRoundRobin;
+  expect_same_campaign(dynamic_guided, fault::run_campaign(*inj, factory, rr),
+                       "static round-robin");
+
+  // Per-trial cycle costs are schedule-independent too (the benchmark's
+  // model makespans rely on this).
+  std::vector<std::uint64_t> cyc_dyn, cyc_rr;
+  fault::CampaignConfig with_cycles = base;
+  with_cycles.trial_cycles_out = &cyc_dyn;
+  fault::run_campaign(*inj, factory, with_cycles);
+  rr.trial_cycles_out = &cyc_rr;
+  fault::run_campaign(*inj, factory, rr);
+  EXPECT_EQ(cyc_dyn, cyc_rr);
+}
+
+TEST(Determinism, BeamBitIdenticalAcrossWorkersAndSchedules) {
+  beam::BeamConfig base;
+  base.runs = 60;
+  base.seed = 4321;
+  const auto db = beam::CrossSectionDb::kepler();
+  const auto factory = [] {
+    return std::make_unique<MxM>(cfg(isa::CompilerProfile::Cuda10),
+                                 Precision::Single, 16);
+  };
+
+  beam::BeamConfig one = base;
+  one.workers = 1;
+  const auto r1 = beam::run_beam(db, factory, one);
+
+  auto check = [&](const beam::BeamConfig& bc, const char* what) {
+    const auto r = beam::run_beam(db, factory, bc);
+    EXPECT_EQ(r.outcomes.masked, r1.outcomes.masked) << what;
+    EXPECT_EQ(r.outcomes.sdc, r1.outcomes.sdc) << what;
+    EXPECT_EQ(r.outcomes.due, r1.outcomes.due) << what;
+    EXPECT_EQ(r.fit_sdc, r1.fit_sdc) << what;
+    EXPECT_EQ(r.fit_due, r1.fit_due) << what;
+    for (std::size_t t = 0; t < r.by_target.size(); ++t) {
+      EXPECT_EQ(r.by_target[t].sdc, r1.by_target[t].sdc) << what << " t" << t;
+      EXPECT_EQ(r.by_target[t].due, r1.by_target[t].due) << what << " t" << t;
+    }
+  };
+
+  for (const unsigned workers : {2u, 4u}) {
+    beam::BeamConfig bc = base;
+    bc.workers = workers;
+    check(bc, "workers");
+  }
+  beam::BeamConfig rr = base;
+  rr.workers = 4;
+  rr.schedule = fault::Schedule::StaticRoundRobin;
+  check(rr, "static round-robin");
+  beam::BeamConfig chunked = base;
+  chunked.workers = 2;
+  chunked.chunk = 5;
+  check(chunked, "chunk=5");
+}
+
+}  // namespace
+}  // namespace gpurel

@@ -7,6 +7,7 @@
 #include "fault/injector.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/microbench.hpp"
+#include "sim/device.hpp"
 
 namespace gpurel::fault {
 namespace {
@@ -228,6 +229,67 @@ TEST(Injector, FaultModelNames) {
   EXPECT_EQ(fault_model_name(FaultModel::InstructionAddress), "IA");
   EXPECT_EQ(fault_model_name(FaultModel::StoreValue), "STV");
   EXPECT_EQ(fault_model_name(FaultModel::StoreAddress), "STA");
+}
+
+TEST(Campaign, OverallMaskedIsZeroWithoutTrials) {
+  // Regression: an empty campaign used to report overall_masked() == 1.0
+  // (1 - 0 - 0), disagreeing with the zero-denominator guard every other
+  // overall_* accessor applies. No trials means no masked fraction.
+  const CampaignResult empty;
+  EXPECT_DOUBLE_EQ(empty.overall_masked(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.overall_avf_sdc(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.overall_avf_due(), 0.0);
+
+  // Same through the campaign runner with every injection count at zero.
+  auto inj = make_nvbitfi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 0;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  const auto r = run_campaign(*inj, factory, cc);
+  EXPECT_EQ(r.total_injections(), 0u);
+  EXPECT_DOUBLE_EQ(r.overall_masked(), 0.0);
+}
+
+TEST(Campaign, NonEmptyMaskedSdcDueSumToOne) {
+  auto inj = make_nvbitfi();
+  CampaignConfig cc;
+  cc.injections_per_kind = 10;
+  cc.seed = 5;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  };
+  const auto r = run_campaign(*inj, factory, cc);
+  ASSERT_GT(r.total_injections(), 0u);
+  EXPECT_NEAR(r.overall_masked() + r.overall_avf_sdc() + r.overall_avf_due(),
+              1.0, 1e-12);
+}
+
+TEST(Campaign, IaPcBitsCoverProgramRange) {
+  // Regression: IA trials used to sample uniform_u64(12) but apply `& 15u`,
+  // so bits 12-14 were declared yet never flipped and the sampled range had
+  // no relation to the program. The bit width now derives from the largest
+  // program: smallest b >= 1 with 2^b >= max instruction count.
+  auto inj = make_sassifi();
+  auto w = std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
+  sim::Device dev(w->config().gpu);
+  w->prepare(dev);
+
+  std::uint32_t max_size = 0;
+  for (const isa::Program* p : w->programs())
+    max_size = std::max(max_size, p->size());
+  ASSERT_GT(max_size, 0u);
+
+  const unsigned bits = ia_pc_bits(*w);
+  ASSERT_GE(bits, 1u);
+  ASSERT_LT(bits, 32u);
+  // Wide enough to reach every instruction, tight enough to waste at most
+  // one doubling.
+  EXPECT_GE(std::uint64_t{1} << bits, max_size);
+  if (bits > 1) {
+    EXPECT_LT((std::uint64_t{1} << (bits - 1)), max_size);
+  }
 }
 
 TEST(OutcomeCounts, Accounting) {

@@ -65,5 +65,118 @@ TEST(ThreadPool, SingleWorkerIsSerialSafe) {
   EXPECT_EQ(counter, 50);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op
+  EXPECT_EQ(count.load(), 10);  // shutdown drains the queue before joining
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWins) {
+  // A single worker runs indices in order, so the first throw (i == 3) is
+  // deterministically the first in completion order and must be the one
+  // rethrown — even though i == 7 also throws later.
+  ThreadPool pool(1);
+  try {
+    parallel_for(pool, 10, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("first");
+      if (i == 7) throw std::logic_error("second");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexDespiteThrows) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for(pool, hits.size(),
+                            [&](std::size_t i) {
+                              hits[i].fetch_add(1);
+                              if (i % 8 == 0) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);  // throwing does not skip work
+}
+
+TEST(ThreadPool, ParallelChunksCoversEveryIndexOnce) {
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{200}, std::size_t{0}}) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(200);
+    parallel_chunks(pool, hits.size(), chunk,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      ASSERT_LE(begin, end);
+                      ASSERT_LE(end, hits.size());
+                      for (std::size_t t = begin; t < end; ++t)
+                        hits[t].fetch_add(1);
+                    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk=" << chunk;
+  }
+}
+
+TEST(ThreadPool, ParallelChunksPullerIdsAreDense) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> by_puller(pool.size());
+  parallel_chunks(pool, 100, 4,
+                  [&](std::size_t puller, std::size_t begin, std::size_t end) {
+                    ASSERT_LT(puller, by_puller.size());
+                    by_puller[puller].fetch_add(static_cast<int>(end - begin));
+                  });
+  int total = 0;
+  for (auto& n : by_puller) total += n.load();
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPool, ParallelChunksPropagatesExceptionAndAbandons) {
+  // One puller (pool of 1) runs chunks in order; after the throwing chunk the
+  // remaining chunks must be abandoned, not executed.
+  ThreadPool pool(1);
+  std::size_t ran = 0;
+  EXPECT_THROW(
+      parallel_chunks(pool, 100, 10,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        ran += end - begin;
+                        if (begin == 20) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  EXPECT_EQ(ran, 30u);  // chunks [0,10), [10,20), [20,30) — nothing after
+}
+
+TEST(ThreadPool, ParallelChunksZeroCount) {
+  ThreadPool pool(2);
+  parallel_chunks(pool, 0, 4,
+                  [](std::size_t, std::size_t, std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, GuidedChunkShrinksToOne) {
+  // Early pulls are larger (capped at 8), late pulls shrink to 1, and the
+  // boundary walk covers the range exactly.
+  EXPECT_EQ(guided_chunk(1000, 4), 8u);
+  EXPECT_EQ(guided_chunk(16, 4), 1u);
+  EXPECT_EQ(guided_chunk(1, 1), 1u);
+  EXPECT_EQ(guided_chunk(0, 4), 1u);  // clamped; callers stop at count anyway
+  std::size_t begin = 0, pulls = 0;
+  while (begin < 500) {
+    const std::size_t step = guided_chunk(500 - begin, 4);
+    ASSERT_GE(step, 1u);
+    ASSERT_LE(step, 8u);
+    begin += step;
+    ++pulls;
+  }
+  EXPECT_EQ(begin, 500u);
+  EXPECT_GT(pulls, 500u / 8);
+}
+
 }  // namespace
 }  // namespace gpurel
