@@ -32,6 +32,8 @@
 #include "fault/campaign.hpp"
 #include "fault/injector.hpp"
 #include "kernels/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 using namespace gpurel;
 
@@ -89,6 +91,7 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.05);
   const bool csv = cli.get_bool("csv");
   const bool progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
+  obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
 
   auto injector = fault::make_sassifi();
   const core::WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
@@ -128,9 +131,17 @@ int main(int argc, char** argv) {
       cc.schedule = dynamic ? fault::Schedule::Dynamic
                             : fault::Schedule::StaticRoundRobin;
       cc.trial_cycles_out = &cost;
+      cc.trace = exporter.trace();
       telemetry::Timer wall;
       const auto result = fault::run_campaign(*injector, factory, cc);
       const double ms = wall.elapsed_ms();
+      const obs::Labels labels{{"bench", "campaign_throughput"},
+                               {"mix", mix.name},
+                               {"schedule", dynamic ? "dynamic" : "static"}};
+      auto& metrics = obs::Registry::global();
+      metrics.gauge("gpurel_bench_wall_ms", labels).set(ms);
+      metrics.gauge("gpurel_bench_trials_per_sec", labels)
+          .set(ms > 0 ? 1000.0 * static_cast<double>(cost.size()) / ms : 0.0);
 
       if (!dynamic) {
         reference = result;

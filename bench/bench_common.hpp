@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/study.hpp"
+#include "obs/export.hpp"
 
 namespace gpurel::bench {
 
@@ -18,6 +20,10 @@ struct BenchOptions {
   std::vector<arch::Architecture> archs;
   unsigned sm_count = 2;
   bool csv = false;
+  /// Owns --metrics-out / --trace-out (and their GPUREL_METRICS /
+  /// GPUREL_TRACE env fallbacks); flushed when the options go out of scope
+  /// at the end of main. study.trace aliases exporter->trace().
+  std::shared_ptr<obs::Exporter> exporter;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -40,6 +46,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
   o.study.app_scale = cli.get_double("scale", o.study.app_scale);
   o.sm_count = static_cast<unsigned>(cli.get_int("sms", 2));
   o.csv = cli.get_bool("csv");
+  o.exporter = std::make_shared<obs::Exporter>(cli.get("metrics-out"),
+                                               cli.get("trace-out"));
+  o.study.trace = o.exporter->trace();
   const std::string arch = cli.get("arch", "both");
   if (arch == "kepler" || arch == "both") o.archs.push_back(arch::Architecture::Kepler);
   if (arch == "volta" || arch == "both") o.archs.push_back(arch::Architecture::Volta);

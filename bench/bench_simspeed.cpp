@@ -1,11 +1,18 @@
 // Classic google-benchmark microbenchmarks of the simulation substrate
 // itself: SIMT execution throughput, trial turnaround for the campaign
-// engines, and strike-sampling overhead.
+// engines, and strike-sampling overhead. Run timings are mirrored into the
+// gpurel::obs metrics registry so --metrics-out=<path> (or GPUREL_METRICS)
+// exports them alongside every other gpurel binary's counters.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "beam/experiment.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 using namespace gpurel;
 
@@ -77,6 +84,48 @@ void BM_KernelBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelBuild)->Unit(benchmark::kMillisecond);
 
+/// ConsoleReporter that additionally records each run's real time into the
+/// process-global metrics registry as gpurel_bench_wall_ms{bench,name}.
+class RegistryReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::Registry::global()
+          .gauge("gpurel_bench_wall_ms",
+                 {{"bench", "simspeed"}, {"name", run.benchmark_name()}})
+          .set(run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off the gpurel observability flags before google-benchmark sees
+  // (and rejects) them.
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  obs::Exporter exporter(metrics_out, trace_out);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

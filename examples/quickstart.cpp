@@ -7,19 +7,27 @@
 //      it, and print FIT / AVF numbers.
 //
 // Build: cmake --build build && ./build/examples/quickstart
+//
+// Observability: --metrics-out=metrics.json writes the metrics registry
+// snapshot (plus metrics.prom Prometheus text), --trace-out=trace.json a
+// Chrome-trace timeline; GPUREL_METRICS / GPUREL_TRACE env vars do the same.
 #include <cstdio>
 #include <vector>
 
 #include "beam/experiment.hpp"
+#include "common/cli.hpp"
 #include "fault/campaign.hpp"
 #include "isa/kernel_builder.hpp"
 #include "kernels/registry.hpp"
+#include "obs/export.hpp"
 #include "profile/profiler.hpp"
 #include "sim/device.hpp"
 
 using namespace gpurel;
 
-int main() {
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
   // ---- 1. A hand-written kernel: out[i] = a[i] * a[i] + 1 ------------------
   isa::KernelBuilder b("square_plus_one");
   isa::Reg tid = b.global_tid_x();
@@ -57,7 +65,7 @@ int main() {
                           isa::CompilerProfile::Cuda10, 0x5eed, 0.5};
   auto mxm = kernels::make_workload("MXM", core::Precision::Single, wc);
   sim::Device dev2(wc.gpu);
-  const auto profile = profile::profile_workload(*mxm, dev2);
+  const auto profile = profile::profile_workload(*mxm, dev2, exporter.trace());
   std::printf("FMXM profile: IPC %.2f, occupancy %.2f, %u regs/thread, "
               "FMA share %.0f%%\n\n",
               profile.ipc, profile.occupancy, profile.regs_per_thread,
@@ -69,6 +77,7 @@ int main() {
   beam::BeamConfig bc;
   bc.runs = 60;
   bc.ecc = false;
+  bc.trace = exporter.trace();
   const auto beam_result =
       beam::run_beam(beam::CrossSectionDb::kepler(), factory, bc);
   std::printf("beam (ECC off, %llu runs): SDC FIT %.3g [%.3g, %.3g], "
@@ -80,6 +89,7 @@ int main() {
   auto injector = fault::make_nvbitfi();
   fault::CampaignConfig cc;
   cc.injections_per_kind = 25;
+  cc.trace = exporter.trace();
   const auto campaign = fault::run_campaign(*injector, factory, cc);
   std::printf("NVBitFI campaign (%llu injections): SDC AVF %.2f, DUE AVF "
               "%.2f, masked %.2f\n",

@@ -5,6 +5,7 @@
 //
 //   ./reliability_report --code=MXM --precision=single --arch=kepler
 //   ./reliability_report --code=GEMM-MMA --precision=half --arch=volta --csv
+//   ./reliability_report --code=MXM --metrics-out=m.json --trace-out=t.json
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/cli.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "obs/export.hpp"
 
 using namespace gpurel;
 
@@ -41,6 +43,8 @@ int main(int argc, char** argv) {
   sc.app_scale = cli.get_double("scale", 1.0);
   sc.workers = static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 1));
   sc.progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
+  obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
+  sc.trace = exporter.trace();
   core::Study study(volta ? arch::GpuConfig::volta_v100(2)
                           : arch::GpuConfig::kepler_k40c(2),
                     sc);

@@ -2,8 +2,9 @@
 # CI entry point: strict-warnings build + tier-1 test suite, and (optionally)
 # a ThreadSanitizer pass over the concurrency-sensitive tests.
 #
-#   scripts/ci.sh          # werror build + full ctest
+#   scripts/ci.sh          # werror build + full ctest + observability smoke
 #   scripts/ci.sh tsan     # additionally build + run the TSan test subset
+#   scripts/ci.sh asan     # additionally build + run the ASan test subset
 #
 # GPUREL_RUNS / GPUREL_INJECTIONS trim the statistical test sizes so the
 # suite stays fast on small CI runners; the tests' assertions are written to
@@ -22,11 +23,55 @@ cmake --build --preset werror -j "${JOBS}"
 echo "==> tier-1 tests (GPUREL_RUNS=${GPUREL_RUNS} GPUREL_INJECTIONS=${GPUREL_INJECTIONS})"
 ctest --preset werror -j "${JOBS}"
 
+echo "==> observability smoke (telemetry JSONL + metrics JSON/Prometheus + trace)"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "${OBS_DIR}"' EXIT
+GPUREL_TELEMETRY="${OBS_DIR}/telemetry.jsonl" \
+  ./build-werror/examples/quickstart \
+  --metrics-out="${OBS_DIR}/metrics.json" \
+  --trace-out="${OBS_DIR}/trace.json" >/dev/null
+# Every artifact must parse: the JSONL sink line-by-line, the metrics
+# snapshot and Chrome trace as whole documents, and the Prometheus text
+# exposition's sample lines must scan.
+python3 - "${OBS_DIR}" <<'EOF'
+import json, re, sys
+d = sys.argv[1]
+lines = open(f"{d}/telemetry.jsonl").read().splitlines()
+assert lines, "telemetry JSONL is empty"
+for line in lines:
+    json.loads(line)
+metrics = json.load(open(f"{d}/metrics.json"))
+names = {m["name"] for m in metrics["metrics"]}
+assert any(n.startswith("gpurel_campaign_") for n in names), names
+assert any(n.startswith("gpurel_beam_") for n in names), names
+trace = json.load(open(f"{d}/trace.json"))
+assert isinstance(trace, list) and trace, "trace is not a non-empty JSON array"
+phases = {ev.get("ph") for ev in trace}
+assert "X" in phases and "M" in phases, phases
+sample = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$')
+prom = [l for l in open(f"{d}/metrics.prom").read().splitlines() if l]
+assert prom, "Prometheus exposition is empty"
+for line in prom:
+    assert line.startswith("# TYPE ") or sample.match(line), line
+print(f"observability smoke OK: {len(lines)} telemetry events, "
+      f"{len(names)} metric names, {len(trace)} trace events, "
+      f"{len(prom)} exposition lines")
+EOF
+
+if [[ "${1:-}" == "asan" ]]; then
+  echo "==> AddressSanitizer pass (serializers / observability / profiler)"
+  cmake --preset asan
+  cmake --build --preset asan -j "${JOBS}" --target \
+    test_telemetry test_obs test_profiler test_stats test_table test_determinism
+  ctest --preset asan -j "${JOBS}"
+fi
+
 if [[ "${1:-}" == "tsan" ]]; then
   echo "==> ThreadSanitizer pass (campaign runtime / thread pool / telemetry)"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" --target \
-    test_thread_pool test_fault test_beam test_determinism test_telemetry
+    test_thread_pool test_fault test_beam test_determinism test_telemetry \
+    test_obs
   ctest --preset tsan -j "${JOBS}"
 fi
 

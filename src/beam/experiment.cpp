@@ -7,6 +7,8 @@
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/instr_info.hpp"
 #include "sim/timing.hpp"
 
@@ -312,6 +314,12 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
     }
   }
   telemetry::Sink* sink = telemetry::resolve(config.telemetry);
+  obs::TraceWriter* trace = obs::resolve_trace(config.trace);
+  if (trace != nullptr)
+    trace->name_process(obs::kWallPid, "gpurel runtime (wall clock)");
+  auto& metrics = obs::Registry::global();
+  obs::Counter& m_runs = metrics.counter("gpurel_beam_runs_total");
+  obs::Histogram& m_latency = metrics.histogram("gpurel_beam_run_latency_ms");
   telemetry::Timer wall;
   const unsigned workers = std::max(1u, config.workers);
   const bool dynamic = config.schedule == fault::Schedule::Dynamic;
@@ -435,6 +443,7 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
   };
 
   auto run_one = [&](WorkerState& st, std::size_t r) {
+    const telemetry::Timer run_wall;
     Rng rng(seeds[r]);
     if (config.mode == BeamMode::Accelerated) {
       Sampled s = sample_strike(rng);
@@ -470,6 +479,8 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
       }
       outcomes[r] = outcome;
     }
+    m_latency.observe(run_wall.elapsed_ms());
+    m_runs.add();
   };
 
   telemetry::Progress progress(config.progress, "beam " + result.workload,
@@ -484,19 +495,34 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
                                 {"done", done.value()},
                                 {"total", std::uint64_t{config.runs}}});
   };
+  auto emit_chunk_span = [&](std::size_t worker, double t0, std::size_t begin,
+                             std::size_t n) {
+    if (trace == nullptr) return;
+    trace->name_thread(obs::kWallPid, static_cast<int>(worker),
+                       "worker " + std::to_string(worker));
+    trace->complete("beam " + result.workload, "beam", obs::kWallPid,
+                    static_cast<int>(worker), t0, trace->now_us() - t0,
+                    {{"begin", begin}, {"runs", n}});
+  };
   auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     WorkerState& st = ensure_state(worker);
+    const double t0 = trace != nullptr ? trace->now_us() : 0.0;
     for (std::size_t r = begin; r < end; ++r) run_one(st, r);
+    emit_chunk_span(worker, t0, begin, end - begin);
     after_chunk(begin, end);
   };
 
   if (!dynamic) {
     auto run_shard = [&](std::size_t shard) {
       WorkerState& st = ensure_state(shard);
+      const double t0 = trace != nullptr ? trace->now_us() : 0.0;
       std::size_t n = 0;
       for (std::size_t r = shard; r < config.runs; r += workers, ++n)
         run_one(st, r);
-      if (n > 0) after_chunk(shard, shard + n);  // one completion per shard
+      if (n > 0) {
+        emit_chunk_span(shard, t0, shard, n);
+        after_chunk(shard, shard + n);  // one completion per shard
+      }
     };
     if (workers == 1) {
       run_shard(0);
@@ -521,6 +547,24 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
   for (std::size_t r = 0; r < config.runs; ++r) {
     result.outcomes.add(outcomes[r]);
     if (run_target[r] < kTargets) result.by_target[run_target[r]].add(outcomes[r]);
+  }
+
+  // Registry snapshot: beam outcomes by strike target.
+  for (std::size_t t = 0; t < kTargets; ++t) {
+    const fault::OutcomeCounts& c = result.by_target[t];
+    if (c.total() == 0) continue;
+    const auto target =
+        std::string(strike_target_name(static_cast<StrikeTarget>(t)));
+    auto bump = [&](const char* outcome, std::uint64_t n) {
+      if (n > 0)
+        metrics
+            .counter("gpurel_beam_outcomes_total",
+                     {{"target", target}, {"outcome", outcome}})
+            .add(n);
+    };
+    bump("masked", c.masked);
+    bump("sdc", c.sdc);
+    bump("due", c.due);
   }
 
   // Convert conditional probabilities to FIT (arbitrary units).

@@ -62,6 +62,9 @@ struct BeamConfig {
   unsigned chunk = 0;
   /// JSONL telemetry sink; null falls back to GPUREL_TELEMETRY=<path>.
   telemetry::Sink* telemetry = nullptr;
+  /// Chrome-trace timeline writer (per-worker chunk spans); null falls back
+  /// to GPUREL_TRACE=<path>. Strictly observational.
+  obs::TraceWriter* trace = nullptr;
   /// Live runs-done meter on stderr.
   bool progress = false;
 };

@@ -77,6 +77,13 @@ std::int64_t Cli::get_int_env(const std::string& name, const char* env,
   return def;
 }
 
+std::string Cli::get_env(const std::string& name, const char* env,
+                         const std::string& def) const {
+  if (has(name)) return get(name);
+  if (const char* v = std::getenv(env)) return v;
+  return def;
+}
+
 bool Cli::get_bool_env(const std::string& name, const char* env,
                        bool def) const {
   if (has(name)) return get_bool(name, def);

@@ -30,6 +30,12 @@ class Cli {
   std::int64_t get_int_env(const std::string& name, const char* env,
                            std::int64_t def) const;
 
+  /// String from flag, else environment variable `env`, else `def` (used by
+  /// the observability flags: --metrics-out/GPUREL_METRICS,
+  /// --trace-out/GPUREL_TRACE, --telemetry/GPUREL_TELEMETRY).
+  std::string get_env(const std::string& name, const char* env,
+                      const std::string& def = "") const;
+
   /// Boolean from flag (e.g. --progress), else environment variable `env`
   /// ("" / "0" / "false" are false, anything else true), else `def`.
   bool get_bool_env(const std::string& name, const char* env, bool def) const;

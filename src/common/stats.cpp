@@ -1,5 +1,6 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -104,6 +105,40 @@ double signed_ratio(double measured, double predicted) {
 double ratio_magnitude(double signed_ratio_value) {
   const double m = std::fabs(signed_ratio_value);
   return m < 1.0 ? 1.0 : m;
+}
+
+HistogramBuckets::HistogramBuckets(double first, double factor,
+                                   std::size_t count) {
+  if (!(first > 0.0) || !(factor > 1.0) || count == 0)
+    throw std::invalid_argument(
+        "HistogramBuckets: need first > 0, factor > 1, count >= 1");
+  bounds_.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds_.push_back(b);
+    b *= factor;
+  }
+}
+
+std::size_t HistogramBuckets::index_of(double v) const {
+  // NaN compares false with every bound, which would make lower_bound
+  // return bucket 0; it belongs with the out-of-range values instead.
+  if (std::isnan(v)) return bounds_.size();
+  // First bound >= v; binary search keeps observe() cheap for wide layouts.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 }  // namespace gpurel

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace gpurel {
 
@@ -45,5 +46,37 @@ double signed_ratio(double measured, double predicted);
 
 /// Magnitude of a signed_ratio value (how many x apart, >= 1).
 double ratio_magnitude(double signed_ratio_value);
+
+/// Log-spaced histogram bucket boundaries: bucket i covers values v with
+/// v <= bound(i) (and v > bound(i-1)); values above the last bound fall in
+/// the overflow bucket at index size(). Shared by obs::Histogram and any
+/// future latency accounting so bucket layouts stay comparable across tools.
+class HistogramBuckets {
+ public:
+  /// `count` upper bounds: first, first*factor, first*factor^2, ...
+  /// Requires first > 0, factor > 1, count >= 1.
+  HistogramBuckets(double first, double factor, std::size_t count);
+
+  /// Default layout for millisecond latencies: 1 us .. ~1100 s in x2 steps.
+  static HistogramBuckets latency_ms() {
+    return HistogramBuckets(1e-3, 2.0, 31);
+  }
+
+  /// Number of finite buckets (excluding the overflow bucket).
+  std::size_t size() const { return bounds_.size(); }
+  /// Inclusive upper bound of finite bucket i.
+  double bound(std::size_t i) const { return bounds_[i]; }
+  /// Bucket index for a value, in [0, size()]; size() is the overflow
+  /// bucket. NaN counts as overflow (it compares false with every bound).
+  std::size_t index_of(double v) const;
+
+ private:
+  std::vector<double> bounds_;
+};
+
+/// Order statistic with linear interpolation between ranks (the "linear"
+/// convention: rank = q * (n-1)). q is clamped to [0, 1]; returns 0 for
+/// empty input. Takes a copy because it must sort.
+double quantile(std::span<const double> xs, double q);
 
 }  // namespace gpurel

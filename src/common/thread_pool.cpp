@@ -5,7 +5,32 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace gpurel {
+
+namespace {
+
+// Pool metrics, resolved once (registration takes a lock; bumps don't).
+struct PoolMetrics {
+  obs::Counter& jobs = obs::Registry::global().counter(
+      "gpurel_threadpool_jobs_total");
+  obs::Gauge& depth = obs::Registry::global().gauge(
+      "gpurel_threadpool_queue_depth");
+  obs::Gauge& depth_peak = obs::Registry::global().gauge(
+      "gpurel_threadpool_queue_depth_peak");
+  obs::Counter& chunk_pulls = obs::Registry::global().counter(
+      "gpurel_threadpool_chunk_pulls_total");
+  obs::Counter& index_pulls = obs::Registry::global().counter(
+      "gpurel_threadpool_index_pulls_total");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -37,6 +62,10 @@ void ThreadPool::submit(std::function<void()> job) {
       throw std::runtime_error("ThreadPool::submit after shutdown began");
     jobs_.push(std::move(job));
     ++in_flight_;
+    const auto depth = static_cast<double>(jobs_.size());
+    pool_metrics().depth.set(depth);
+    pool_metrics().depth_peak.set_max(depth);
+    pool_metrics().jobs.add();
   }
   cv_job_.notify_one();
 }
@@ -55,6 +84,7 @@ void ThreadPool::worker_loop() {
       if (jobs_.empty()) return;  // stop_ and drained
       job = std::move(jobs_.front());
       jobs_.pop();
+      pool_metrics().depth.set(static_cast<double>(jobs_.size()));
     }
     job();
     {
@@ -100,6 +130,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
+        pool_metrics().index_pulls.add();
         try {
           body(i);
         } catch (...) {
@@ -145,6 +176,7 @@ void parallel_chunks(
     pool.submit([&, p] {
       std::size_t begin = 0, end = 0;
       while (!latch.failed() && claim(begin, end)) {
+        pool_metrics().chunk_pulls.add();
         try {
           body(p, begin, end);
         } catch (...) {

@@ -40,8 +40,41 @@ void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
           .cell("mix % " + std::string(isa::mix_class_name(cls)))
           .cell(100.0 * ev.profile.mix_of(cls), 1);
     }
+    t.row().cell("active-lane fraction").cell(ev.profile.active_lane_fraction, 3);
+    t.row().cell("SM imbalance (max/mean)").cell(ev.profile.sm_imbalance, 2);
+    t.row()
+        .cell("global bytes (ld+st)")
+        .cell_int(static_cast<long long>(ev.profile.global_load_bytes +
+                                         ev.profile.global_store_bytes));
+    t.row()
+        .cell("shared bytes (ld+st)")
+        .cell_int(static_cast<long long>(ev.profile.shared_load_bytes +
+                                         ev.profile.shared_store_bytes));
     if (options.csv) t.render_csv(os);
     else t.render_text(os);
+
+    if (options.hotspot_top_n > 0 && !ev.profile.pc_hotspots.empty()) {
+      Table h({"kernel", "pc", "instr", "warp execs", "share %", "lanes %"});
+      h.set_align(3, Align::Right);
+      const std::size_t n = std::min<std::size_t>(options.hotspot_top_n,
+                                                  ev.profile.pc_hotspots.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& hs = ev.profile.pc_hotspots[i];
+        h.row()
+            .cell(hs.program)
+            .cell_int(static_cast<long long>(hs.pc))
+            .cell(hs.mnemonic)
+            .cell_int(static_cast<long long>(hs.warp_count))
+            .cell(ev.profile.warp_instructions > 0
+                      ? 100.0 * static_cast<double>(hs.warp_count) /
+                            static_cast<double>(ev.profile.warp_instructions)
+                      : 0.0,
+                  1)
+            .cell(100.0 * hs.lane_fraction, 1);
+      }
+      if (options.csv) h.render_csv(os);
+      else h.render_text(os);
+    }
   }
   if (options.include_avf) {
     Table t({"injector", "SDC AVF", "DUE AVF", "masked", "injections", "note"});

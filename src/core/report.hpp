@@ -16,6 +16,8 @@ struct ReportOptions {
   bool include_beam = true;
   bool include_prediction = true;
   bool csv = false;
+  /// Per-PC hotspot rows shown under the profile table (0 disables).
+  unsigned hotspot_top_n = 5;
 };
 
 /// Render one code's full evaluation.

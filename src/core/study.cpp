@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace gpurel::core {
 
@@ -11,6 +12,9 @@ using isa::UnitKind;
 using kernels::CatalogEntry;
 
 namespace {
+
+/// Trace track for Study stage spans, away from the worker tids (0..N).
+constexpr int kStudyTid = 1000;
 
 /// Which functional unit a micro catalog entry characterizes.
 UnitKind micro_unit_kind(const CatalogEntry& e) {
@@ -97,6 +101,7 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
     bc.seed = config_.seed * 7919 + std::hash<std::string>{}(mc.name);
     bc.workers = config_.workers;
     bc.telemetry = config_.telemetry;
+    bc.trace = config_.trace;
     // The paper runs the arithmetic benches with ECC on (they use almost no
     // memory); the RF bench needs ECC off to observe storage upsets, and
     // LDST is additionally measured with ECC off to expose device memory.
@@ -121,6 +126,7 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
         cc.seed = config_.seed * 31 + std::hash<std::string>{}(mc.name);
         cc.workers = config_.workers;
         cc.telemetry = config_.telemetry;
+        cc.trace = config_.trace;
         const auto r = fault::run_campaign(*nvbitfi, factory, cc);
         const auto& ks = r.kind(mc.kind);
         if (ks.counts.total() > 0)
@@ -138,6 +144,14 @@ const std::vector<Study::MicroCharacterization>& Study::microbenchmarks() {
     sink->emit("study_stage", {{"stage", 1},
                                {"name", "micro_characterization"},
                                {"wall_ms", stage_timer.elapsed_ms()}});
+  if (obs::TraceWriter* trace = obs::resolve_trace(config_.trace)) {
+    const double ms = stage_timer.elapsed_ms();
+    trace->name_process(obs::kWallPid, "gpurel runtime (wall clock)");
+    trace->name_thread(obs::kWallPid, kStudyTid, "study stages");
+    trace->complete("micro_characterization", "study", obs::kWallPid,
+                    kStudyTid, trace->now_us() - ms * 1000.0, ms * 1000.0,
+                    {{"stage", 1}});
+  }
   return *micro_;
 }
 
@@ -185,6 +199,7 @@ const model::FitInputs& Study::fit_inputs() {
     bc.seed = config_.seed * 104729;
     bc.workers = config_.workers;
     bc.telemetry = config_.telemetry;
+    bc.trace = config_.trace;
     bc.ecc = false;
     const auto off = beam::run_beam(db_, factory, bc);
     auto w = factory();
@@ -238,6 +253,7 @@ std::optional<fault::CampaignResult> Study::run_injection(
             static_cast<std::uint64_t>(entry.precision);
   cc.workers = config_.workers;
   cc.telemetry = config_.telemetry;
+  cc.trace = config_.trace;
   cc.progress = config_.progress;
   if (aux_modes && injector.supports(fault::FaultModel::RegisterFile)) {
     cc.rf_injections = config_.rf_injections;
@@ -286,8 +302,14 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
   ev.name = kernels::entry_name(entry);
 
   telemetry::Sink* sink = telemetry::resolve(config_.telemetry);
+  obs::TraceWriter* trace = obs::resolve_trace(config_.trace);
+  if (trace != nullptr) {
+    trace->name_process(obs::kWallPid, "gpurel runtime (wall clock)");
+    trace->name_thread(obs::kWallPid, kStudyTid, "study stages");
+  }
   telemetry::Timer stage_timer;
   auto stage_done = [&](int stage, const char* name) {
+    const double ms = stage_timer.elapsed_ms();
     if (config_.progress)
       std::fprintf(stderr, "[study] stage %d: %s done for %s\n", stage, name,
                    ev.name.c_str());
@@ -295,17 +317,22 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
       sink->emit("study_stage", {{"stage", stage},
                                  {"name", name},
                                  {"code", ev.name},
-                                 {"wall_ms", stage_timer.elapsed_ms()}});
+                                 {"wall_ms", ms}});
+    if (trace != nullptr)
+      trace->complete(std::string(name) + " " + ev.name, "study",
+                      obs::kWallPid, kStudyTid, trace->now_us() - ms * 1000.0,
+                      ms * 1000.0, {{"stage", stage}, {"code", ev.name}});
     stage_timer.reset();
   };
 
-  // Profiles per toolchain era.
+  // Profiles per toolchain era. The deep-profiled trial also renders the
+  // simulated-time timeline when tracing is on.
   {
     auto w = kernels::make_workload(
         entry.base, entry.precision,
         workload_config(config_.app_scale, isa::CompilerProfile::Cuda10));
     sim::Device dev(gpu_);
-    ev.profile = profile::profile_workload(*w, dev);
+    ev.profile = profile::profile_workload(*w, dev, trace);
   }
   auto sassifi = fault::make_sassifi();
   auto nvbitfi = fault::make_nvbitfi();
@@ -369,6 +396,7 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
     bc.workers = config_.workers;
     bc.seed = config_.seed * 257 + std::hash<std::string>{}(ev.name);
     bc.telemetry = config_.telemetry;
+    bc.trace = config_.trace;
     bc.progress = config_.progress;
     bc.ecc = true;
     ev.beam_ecc_on = beam::run_beam(db_, factory, bc);

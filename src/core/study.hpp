@@ -45,6 +45,10 @@ struct StudyConfig {
   /// for per-stage `study_stage` timings; null falls back to the
   /// GPUREL_TELEMETRY=<path> environment override.
   telemetry::Sink* telemetry = nullptr;
+  /// Chrome-trace timeline writer, propagated to every campaign/beam run
+  /// and to the per-code deep profiling pass; Study stages get their own
+  /// spans. Null falls back to GPUREL_TRACE=<path>.
+  obs::TraceWriter* trace = nullptr;
   /// Stage/progress reporting on stderr (propagated to campaigns and beam).
   bool progress = false;
 };

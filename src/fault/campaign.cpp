@@ -8,6 +8,8 @@
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/instr_info.hpp"
 
 namespace gpurel::fault {
@@ -280,6 +282,13 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   const unsigned pc_bits = ia_pc_bits(*ref);
 
   telemetry::Sink* sink = telemetry::resolve(config.telemetry);
+  obs::TraceWriter* trace = obs::resolve_trace(config.trace);
+  if (trace != nullptr)
+    trace->name_process(obs::kWallPid, "gpurel runtime (wall clock)");
+  auto& metrics = obs::Registry::global();
+  obs::Counter& m_trials = metrics.counter("gpurel_campaign_trials_total");
+  obs::Histogram& m_latency =
+      metrics.histogram("gpurel_campaign_trial_latency_ms");
   telemetry::Timer wall;
   const bool dynamic = config.schedule == Schedule::Dynamic;
   if (sink != nullptr)
@@ -348,7 +357,10 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
         obs.target_index = rng.uniform_u64(counter.stores_);
         break;
     }
+    const telemetry::Timer trial_wall;
     const core::TrialResult r = st.w->run_trial(*st.dev, &obs);
+    m_latency.observe(trial_wall.elapsed_ms());
+    m_trials.add();
     outcomes[t] = r.outcome;
     if (!cycles.empty()) cycles[t] = r.stats.cycles;
   };
@@ -363,9 +375,21 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                                     {"total", trials.size()}});
   };
 
+  auto emit_chunk_span = [&](std::size_t worker, double t0, std::size_t begin,
+                             std::size_t n) {
+    if (trace == nullptr) return;
+    trace->name_thread(obs::kWallPid, static_cast<int>(worker),
+                       "worker " + std::to_string(worker));
+    trace->complete("campaign " + result.workload, "campaign", obs::kWallPid,
+                    static_cast<int>(worker), t0, trace->now_us() - t0,
+                    {{"begin", begin}, {"trials", n}});
+  };
+
   auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     WorkerState& st = ensure_state(worker);
+    const double t0 = trace != nullptr ? trace->now_us() : 0.0;
     for (std::size_t t = begin; t < end; ++t) run_one(st, t);
+    emit_chunk_span(worker, t0, begin, end - begin);
     after_chunk(begin, end);
   };
 
@@ -373,10 +397,14 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     // Legacy static round-robin sharding (benchmark baseline).
     auto run_shard = [&](std::size_t shard) {
       WorkerState& st = ensure_state(shard);
+      const double t0 = trace != nullptr ? trace->now_us() : 0.0;
       std::size_t n = 0;
       for (std::size_t t = shard; t < trials.size(); t += workers, ++n)
         run_one(st, t);
-      if (n > 0) after_chunk(shard, shard + n);  // one completion per shard
+      if (n > 0) {
+        emit_chunk_span(shard, t0, shard, n);
+        after_chunk(shard, shard + n);  // one completion per shard
+      }
     };
     if (workers == 1) {
       run_shard(0);
@@ -413,6 +441,43 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   }
   if (config.trial_cycles_out != nullptr)
     *config.trial_cycles_out = std::move(cycles);
+
+  // Registry snapshot of this campaign's outcomes and injection-site
+  // coverage (counters accumulate across campaigns in one process).
+  auto count_outcomes = [&](const char* model, const char* kind,
+                            const OutcomeCounts& c) {
+    if (c.total() == 0) return;
+    auto bump = [&](const char* outcome, std::uint64_t n) {
+      if (n > 0)
+        metrics
+            .counter("gpurel_campaign_outcomes_total",
+                     {{"model", model}, {"kind", kind}, {"outcome", outcome}})
+            .add(n);
+    };
+    bump("masked", c.masked);
+    bump("sdc", c.sdc);
+    bump("due", c.due);
+  };
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    const KindStats& ks = result.per_kind[k];
+    const auto kind_name =
+        std::string(isa::unit_kind_name(static_cast<UnitKind>(k)));
+    count_outcomes("output", kind_name.c_str(), ks.counts);
+    if (ks.dynamic_sites > 0) {
+      metrics
+          .gauge("gpurel_campaign_dynamic_sites", {{"kind", kind_name}})
+          .set(static_cast<double>(ks.dynamic_sites));
+      metrics
+          .gauge("gpurel_campaign_site_coverage", {{"kind", kind_name}})
+          .set(static_cast<double>(ks.counts.total()) /
+               static_cast<double>(ks.dynamic_sites));
+    }
+  }
+  count_outcomes("rf", "all", result.rf);
+  count_outcomes("pred", "all", result.pred);
+  count_outcomes("ia", "all", result.ia);
+  count_outcomes("store_value", "all", result.store_value);
+  count_outcomes("store_addr", "all", result.store_addr);
 
   if (sink != nullptr) {
     OutcomeCounts all;

@@ -18,6 +18,10 @@ namespace gpurel::telemetry {
 class Sink;
 }
 
+namespace gpurel::obs {
+class TraceWriter;
+}
+
 namespace gpurel::fault {
 
 struct OutcomeCounts {
@@ -74,6 +78,10 @@ struct CampaignConfig {
   /// JSONL telemetry sink; when null the GPUREL_TELEMETRY=<path> environment
   /// override is consulted (see common/telemetry.hpp).
   telemetry::Sink* telemetry = nullptr;
+  /// Chrome-trace timeline writer (per-worker chunk spans); when null the
+  /// GPUREL_TRACE=<path> override is consulted (see obs/trace.hpp). Strictly
+  /// observational — results stay bit-identical with tracing on or off.
+  obs::TraceWriter* trace = nullptr;
   /// Live trials-done meter on stderr.
   bool progress = false;
   /// When set, receives the per-trial simulated-cycle cost, indexed by the

@@ -1,0 +1,51 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/metrics.hpp"
+
+namespace gpurel::obs {
+
+std::string prometheus_path_for(const std::string& metrics_path) {
+  const std::string json_ext = ".json";
+  if (metrics_path.size() > json_ext.size() &&
+      metrics_path.compare(metrics_path.size() - json_ext.size(),
+                           json_ext.size(), json_ext) == 0)
+    return metrics_path.substr(0, metrics_path.size() - json_ext.size()) +
+           ".prom";
+  return metrics_path + ".prom";
+}
+
+Exporter::Exporter(std::string metrics_path, std::string trace_path)
+    : metrics_path_(std::move(metrics_path)) {
+  if (metrics_path_.empty()) {
+    const char* env = std::getenv("GPUREL_METRICS");
+    if (env != nullptr) metrics_path_ = env;
+  }
+  if (!trace_path.empty()) {
+    try {
+      owned_trace_ = std::make_unique<TraceWriter>(trace_path);
+      trace_ = owned_trace_.get();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gpurel: --trace-out disabled: %s\n", e.what());
+    }
+  } else {
+    trace_ = env_trace();
+  }
+}
+
+Exporter::~Exporter() { flush(); }
+
+void Exporter::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (owned_trace_ != nullptr) owned_trace_->close();
+  if (metrics_path_.empty()) return;
+  const Registry& reg = Registry::global();
+  reg.write_json(metrics_path_);
+  reg.write_prometheus(prometheus_path_for(metrics_path_));
+}
+
+}  // namespace gpurel::obs

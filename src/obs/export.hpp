@@ -1,0 +1,44 @@
+// Command-line plumbing shared by bench and example mains: one Exporter
+// owns the optional --trace-out writer and, on flush/destruction, snapshots
+// the global metrics registry to --metrics-out as JSON plus the Prometheus
+// text exposition alongside it. Empty paths fall back to the GPUREL_METRICS
+// and GPUREL_TRACE environment variables; unset means disabled.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace gpurel::obs {
+
+/// Where the Prometheus rendering of `metrics_path` goes: the same path with
+/// a ".json" suffix swapped for ".prom", else path + ".prom".
+std::string prometheus_path_for(const std::string& metrics_path);
+
+class Exporter {
+ public:
+  /// Paths may be empty (env fallback applies). An unopenable trace path
+  /// warns and disables tracing rather than aborting the run.
+  Exporter(std::string metrics_path, std::string trace_path);
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// The trace writer campaigns/profilers should use, or null when tracing
+  /// is disabled. (Metrics need no handle: the registry is process-global.)
+  TraceWriter* trace() const { return trace_; }
+
+  /// Write metrics (JSON + Prometheus) and close the trace. Idempotent;
+  /// also run by the destructor.
+  void flush();
+
+ private:
+  std::string metrics_path_;
+  std::unique_ptr<TraceWriter> owned_trace_;
+  TraceWriter* trace_ = nullptr;
+  bool flushed_ = false;
+};
+
+}  // namespace gpurel::obs

@@ -1,0 +1,100 @@
+#include "obs/sim_tracer.hpp"
+
+#include <atomic>
+
+#include "isa/program.hpp"
+
+namespace gpurel::obs {
+
+namespace {
+
+int next_sim_pid() {
+  static std::atomic<int> next{kSimPid};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+constexpr int kKernelTid = 0;
+
+int block_tid(unsigned sm, int lane) {
+  // One viewer thread per (SM, residency lane); lane counts stay tiny
+  // (bounded by blocks-per-SM occupancy), so the encoding never collides.
+  return 1 + static_cast<int>(sm) * 64 + lane;
+}
+
+}  // namespace
+
+SimTracer::SimTracer(TraceWriter& writer, std::string label)
+    : writer_(writer), label_(std::move(label)), pid_(next_sim_pid()) {
+  writer_.name_process(pid_, "sim " + label_ + " (cycles as us)");
+  writer_.name_thread(pid_, kKernelTid, "kernel launches");
+}
+
+void SimTracer::on_launch_begin(const sim::LaunchInfo& info, sim::Machine&) {
+  launch_start_ = cycle_offset_;
+  launch_ordinal_ = info.ordinal;
+  launch_name_ =
+      info.launch != nullptr && info.launch->program != nullptr
+          ? info.launch->program->name()
+          : std::string("kernel");
+}
+
+void SimTracer::on_launch_end(const sim::LaunchStats& stats) {
+  const double end = launch_start_ + static_cast<double>(stats.cycles);
+  // Blocks still resident at an aborted (DUE) launch end never retire;
+  // close their residency spans at the end of the launch.
+  for (const auto& [key, ts] : open_blocks_) {
+    const int lane = lane_for(key.first, ts, end);
+    writer_.complete("cta " + std::to_string(key.second), "sim_block", pid_,
+                     block_tid(key.first, lane), ts, end - ts,
+                     {{"sm", key.first}, {"cta", key.second}});
+  }
+  open_blocks_.clear();
+  writer_.complete(launch_name_, "sim_kernel", pid_, kKernelTid, launch_start_,
+                   static_cast<double>(stats.cycles),
+                   {{"ordinal", launch_ordinal_},
+                    {"cycles", stats.cycles},
+                    {"warp_instructions", stats.warp_instructions},
+                    {"ipc", stats.ipc},
+                    {"achieved_occupancy", stats.achieved_occupancy},
+                    {"due", sim::due_kind_name(stats.due)}});
+  cycle_offset_ = end;
+  for (auto& [sm, lanes] : sm_lanes_)
+    for (double& until : lanes) until = 0.0;  // next launch reuses lane 0+
+}
+
+void SimTracer::on_block_placed(unsigned sm, unsigned cta,
+                                std::uint64_t cycle) {
+  // Initial placement fires before on_launch_begin; cycle_offset_ already
+  // points at this launch's origin either way.
+  open_blocks_[{sm, cta}] = cycle_offset_ + static_cast<double>(cycle);
+}
+
+void SimTracer::on_block_retired(unsigned sm, unsigned cta,
+                                 std::uint64_t cycle) {
+  const auto it = open_blocks_.find({sm, cta});
+  if (it == open_blocks_.end()) return;
+  const double ts = it->second;
+  const double end = cycle_offset_ + static_cast<double>(cycle);
+  open_blocks_.erase(it);
+  const int lane = lane_for(sm, ts, end);
+  writer_.complete("cta " + std::to_string(cta), "sim_block", pid_,
+                   block_tid(sm, lane), ts, end - ts,
+                   {{"sm", sm}, {"cta", cta}});
+}
+
+int SimTracer::lane_for(unsigned sm, double from, double until) {
+  auto& lanes = sm_lanes_[sm];
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i] <= from) {
+      lanes[i] = until;
+      return static_cast<int>(i);
+    }
+  }
+  lanes.push_back(until);
+  const int lane = static_cast<int>(lanes.size()) - 1;
+  writer_.name_thread(pid_, block_tid(sm, lane),
+                      "SM " + std::to_string(sm) + " residency");
+  return lane;
+}
+
+}  // namespace gpurel::obs

@@ -1,0 +1,49 @@
+// SimObserver that renders a simulated-time timeline: one span per kernel
+// launch plus per-SM block-residency lanes, written as Chrome-trace events
+// with ts/dur in simulated cycles (shown as "us" by the viewers). Each
+// tracer instance claims its own trace process group so several traced
+// workloads in one run stay visually separate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/observer.hpp"
+
+namespace gpurel::obs {
+
+class SimTracer final : public sim::SimObserver {
+ public:
+  /// `label` names the trace process group (typically the workload name).
+  SimTracer(TraceWriter& writer, std::string label);
+
+  void on_launch_begin(const sim::LaunchInfo& info, sim::Machine&) override;
+  void on_launch_end(const sim::LaunchStats& stats) override;
+  void on_block_placed(unsigned sm, unsigned cta, std::uint64_t cycle) override;
+  void on_block_retired(unsigned sm, unsigned cta,
+                        std::uint64_t cycle) override;
+
+ private:
+  /// First free residency lane on `sm` at time `from` (extends the lane's
+  /// busy horizon to `until`). Lanes map to viewer threads, so concurrent
+  /// blocks on one SM never share a track.
+  int lane_for(unsigned sm, double from, double until);
+
+  TraceWriter& writer_;
+  std::string label_;
+  int pid_;
+  // Launches within a trial each restart at cycle 0; the offset strings them
+  // into one monotonic timeline.
+  double cycle_offset_ = 0.0;
+  double launch_start_ = 0.0;
+  std::string launch_name_;
+  unsigned launch_ordinal_ = 0;
+  std::map<std::pair<unsigned, unsigned>, double> open_blocks_;  // (sm,cta)->ts
+  std::map<unsigned, std::vector<double>> sm_lanes_;  // sm -> busy-until
+};
+
+}  // namespace gpurel::obs

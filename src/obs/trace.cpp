@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gpurel::obs {
+
+namespace {
+
+void append_ts(std::string& out, double us) {
+  if (!std::isfinite(us)) us = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  out += buf;
+}
+
+void append_common(std::string& out, std::string_view name,
+                   std::string_view category, int pid, int tid, double ts_us) {
+  out += "\"name\":";
+  telemetry::append_json_string(out, name);
+  out += ",\"cat\":";
+  telemetry::append_json_string(out, category);
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts(out, ts_us);
+}
+
+void append_args(std::string& out,
+                 std::initializer_list<telemetry::Field> args) {
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& f : args) {
+    if (!first) out += ',';
+    first = false;
+    f.append_to(out);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr)
+    throw std::runtime_error("TraceWriter: cannot open '" + path +
+                             "' for writing");
+  std::fputs("[\n", file_);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fputs("\n]\n", file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void TraceWriter::emit(const std::string& event_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (!first_) std::fputs(",\n", file_);
+  first_ = false;
+  std::fwrite(event_json.data(), 1, event_json.size(), file_);
+  emitted_.add();
+}
+
+void TraceWriter::complete(std::string_view name, std::string_view category,
+                           int pid, int tid, double ts_us, double dur_us,
+                           std::initializer_list<telemetry::Field> args) {
+  std::string out = "{\"ph\":\"X\",";
+  append_common(out, name, category, pid, tid, ts_us);
+  out += ",\"dur\":";
+  append_ts(out, dur_us < 0.0 ? 0.0 : dur_us);
+  append_args(out, args);
+  out += '}';
+  emit(out);
+}
+
+void TraceWriter::instant(std::string_view name, std::string_view category,
+                          int pid, int tid, double ts_us,
+                          std::initializer_list<telemetry::Field> args) {
+  std::string out = "{\"ph\":\"i\",\"s\":\"t\",";
+  append_common(out, name, category, pid, tid, ts_us);
+  append_args(out, args);
+  out += '}';
+  emit(out);
+}
+
+void TraceWriter::name_process(int pid, std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!named_processes_.insert(pid).second) return;
+  }
+  std::string out =
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+      ",\"ts\":0,\"args\":{";
+  telemetry::Field("name", name).append_to(out);
+  out += "}}";
+  emit(out);
+}
+
+void TraceWriter::name_thread(int pid, int tid, std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!named_threads_.insert({pid, tid}).second) return;
+  }
+  std::string out =
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(pid) +
+      ",\"tid\":" + std::to_string(tid) + ",\"ts\":0,\"args\":{";
+  telemetry::Field("name", name).append_to(out);
+  out += "}}";
+  emit(out);
+}
+
+TraceWriter* env_trace() {
+  struct Holder {
+    TraceWriter* writer = nullptr;
+    Holder() {
+      const char* path = std::getenv("GPUREL_TRACE");
+      if (path == nullptr || path[0] == '\0') return;
+      try {
+        writer = new TraceWriter(path);  // lives until process exit; the
+        // atexit hook below writes the closing bracket so the file is valid
+        // JSON even without an explicit close().
+        std::atexit([] { env_trace()->close(); });
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gpurel: GPUREL_TRACE disabled: %s\n", e.what());
+      }
+    }
+  };
+  static Holder holder;
+  return holder.writer;
+}
+
+}  // namespace gpurel::obs

@@ -1,0 +1,88 @@
+// Chrome-trace / Perfetto timeline output. A TraceWriter streams a valid
+// JSON array of trace events ("X" complete spans plus "M" metadata) to a
+// file; load the result in https://ui.perfetto.dev or chrome://tracing.
+//
+// Two process groups (pids) keep wall-clock and simulated time apart:
+//   kWallPid — campaign/beam chunks per worker thread, Study stages
+//              (ts = wall-clock microseconds since the writer opened);
+//   kSimPid  — kernel launches and per-SM block residency emitted by
+//              obs::SimTracer (ts = simulated cycles, rendered as "us").
+//
+// Like telemetry, tracing is strictly observational: it reads timestamps and
+// simulator state but never feeds anything back into RNG, scheduling, or
+// results (pinned by tests/test_determinism.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/telemetry.hpp"
+
+namespace gpurel::obs {
+
+/// Wall-clock track group: campaign chunks (tid = worker), Study stages.
+inline constexpr int kWallPid = 1;
+/// Simulated-cycles track group: kernel spans and SM residency lanes.
+inline constexpr int kSimPid = 2;
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Wall-clock microseconds since this writer was opened (span timestamps
+  /// in the kWallPid group use this clock).
+  double now_us() const { return since_open_.elapsed_ms() * 1000.0; }
+
+  /// Emit one complete ("X") span. `args` become the event's args object.
+  void complete(std::string_view name, std::string_view category, int pid,
+                int tid, double ts_us, double dur_us,
+                std::initializer_list<telemetry::Field> args = {});
+  /// Emit an instant ("i") event (thread scope).
+  void instant(std::string_view name, std::string_view category, int pid,
+               int tid, double ts_us,
+               std::initializer_list<telemetry::Field> args = {});
+
+  /// Name a track group / track in the viewer. Idempotent per (pid[, tid]).
+  void name_process(int pid, std::string_view name);
+  void name_thread(int pid, int tid, std::string_view name);
+
+  std::uint64_t events_emitted() const { return emitted_.value(); }
+
+  /// Write the closing bracket and close the file (also done by the
+  /// destructor). Further emits are dropped.
+  void close();
+
+ private:
+  void emit(const std::string& event_json);
+
+  std::FILE* file_;
+  std::mutex mu_;
+  telemetry::Timer since_open_;
+  telemetry::Counter emitted_;
+  bool first_ = true;
+  std::set<int> named_processes_;
+  std::set<std::pair<int, int>> named_threads_;
+};
+
+/// Process-wide writer configured by GPUREL_TRACE=<path> (nullptr when unset
+/// or empty; opened lazily on first call, warns once if unopenable).
+TraceWriter* env_trace();
+
+/// The writer a component should use: the configured one when non-null, else
+/// the GPUREL_TRACE fallback, else nullptr (disabled).
+inline TraceWriter* resolve_trace(TraceWriter* configured) {
+  return configured != nullptr ? configured : env_trace();
+}
+
+}  // namespace gpurel::obs

@@ -1,8 +1,136 @@
 #include "profile/profiler.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <optional>
+
+#include "isa/program.hpp"
+#include "obs/sim_tracer.hpp"
+#include "obs/trace.hpp"
+#include "sim/observer.hpp"
+
 namespace gpurel::profile {
 
-CodeProfile profile_workload(core::Workload& w, sim::Device& dev) {
+namespace {
+
+unsigned mem_width_bytes(const isa::Instr& in) {
+  switch (static_cast<isa::MemWidth>(in.aux)) {
+    case isa::MemWidth::B16: return 2;
+    case isa::MemWidth::B64: return 8;
+    case isa::MemWidth::B32: default: return 4;
+  }
+}
+
+// Collects the deep-profile counters from on_warp_issue: per-PC warp issues
+// (per program), per-SM issue counts, and lane-level memory traffic. Purely
+// observational — it never touches machine state.
+class DeepProfiler final : public sim::SimObserver {
+ public:
+  explicit DeepProfiler(unsigned sm_count) : sm_issues_(sm_count, 0) {}
+
+  void on_launch_begin(const sim::LaunchInfo& info, sim::Machine&) override {
+    current_ = info.launch != nullptr ? info.launch->program : nullptr;
+    if (current_ != nullptr) {
+      auto& counters = per_program_[current_];
+      if (counters.empty()) counters.resize(current_->size());
+    }
+  }
+
+  void on_warp_issue(const sim::WarpIssue& wi) override {
+    if (current_ != nullptr && wi.pc < per_program_[current_].size()) {
+      auto& c = per_program_[current_][wi.pc];
+      c.warps += 1;
+      c.lanes += static_cast<unsigned>(std::popcount(wi.exec_mask));
+    }
+    if (wi.sm < sm_issues_.size()) sm_issues_[wi.sm] += 1;
+
+    const isa::Instr& in = *wi.instr;
+    const auto lanes =
+        static_cast<std::uint64_t>(std::popcount(wi.exec_mask));
+    switch (in.op) {
+      case isa::Opcode::LDG:
+        global_load_bytes_ += lanes * mem_width_bytes(in);
+        break;
+      case isa::Opcode::STG:
+        global_store_bytes_ += lanes * mem_width_bytes(in);
+        break;
+      case isa::Opcode::LDS:
+        shared_load_bytes_ += lanes * mem_width_bytes(in);
+        break;
+      case isa::Opcode::STS:
+        shared_store_bytes_ += lanes * mem_width_bytes(in);
+        break;
+      case isa::Opcode::ATOM:
+        // Read-modify-write on a 32-bit global word per active lane.
+        atomic_lane_ops_ += lanes;
+        global_load_bytes_ += lanes * 4;
+        global_store_bytes_ += lanes * 4;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void fill(CodeProfile& p) const {
+    for (const auto& [prog, counters] : per_program_) {
+      for (std::uint32_t pc = 0; pc < counters.size(); ++pc) {
+        if (counters[pc].warps == 0) continue;
+        PcHotspot h;
+        h.program = prog->name();
+        h.pc = pc;
+        h.mnemonic = std::string(isa::opcode_name(prog->at(pc).op));
+        h.warp_count = counters[pc].warps;
+        h.lane_fraction = static_cast<double>(counters[pc].lanes) /
+                          (32.0 * static_cast<double>(counters[pc].warps));
+        p.pc_hotspots.push_back(std::move(h));
+      }
+    }
+    std::sort(p.pc_hotspots.begin(), p.pc_hotspots.end(),
+              [](const PcHotspot& a, const PcHotspot& b) {
+                if (a.warp_count != b.warp_count)
+                  return a.warp_count > b.warp_count;
+                if (a.program != b.program) return a.program < b.program;
+                return a.pc < b.pc;
+              });
+
+    p.sm_warp_issues = sm_issues_;
+    std::uint64_t total = 0, peak = 0;
+    for (const std::uint64_t n : sm_issues_) {
+      total += n;
+      peak = std::max(peak, n);
+    }
+    if (total > 0 && !sm_issues_.empty())
+      p.sm_imbalance = static_cast<double>(peak) * sm_issues_.size() /
+                       static_cast<double>(total);
+
+    p.global_load_bytes = global_load_bytes_;
+    p.global_store_bytes = global_store_bytes_;
+    p.shared_load_bytes = shared_load_bytes_;
+    p.shared_store_bytes = shared_store_bytes_;
+    p.atomic_lane_ops = atomic_lane_ops_;
+  }
+
+ private:
+  struct PcCounters {
+    std::uint64_t warps = 0;
+    std::uint64_t lanes = 0;
+  };
+
+  const isa::Program* current_ = nullptr;
+  std::map<const isa::Program*, std::vector<PcCounters>> per_program_;
+  std::vector<std::uint64_t> sm_issues_;
+  std::uint64_t global_load_bytes_ = 0;
+  std::uint64_t global_store_bytes_ = 0;
+  std::uint64_t shared_load_bytes_ = 0;
+  std::uint64_t shared_store_bytes_ = 0;
+  std::uint64_t atomic_lane_ops_ = 0;
+};
+
+}  // namespace
+
+CodeProfile profile_workload(core::Workload& w, sim::Device& dev,
+                             obs::TraceWriter* trace) {
   if (!w.prepared()) w.prepare(dev);
   const sim::LaunchStats& st = w.golden_stats();
 
@@ -20,6 +148,18 @@ CodeProfile profile_workload(core::Workload& w, sim::Device& dev) {
   }
   p.regs_per_thread = w.max_regs_per_thread();
   p.shared_bytes = w.max_shared_bytes();
+  if (st.warp_instructions > 0)
+    p.active_lane_fraction = static_cast<double>(st.lane_instructions) /
+                             (32.0 * static_cast<double>(st.warp_instructions));
+
+  // Deep pass: one extra observed fault-free trial for the per-PC / per-SM /
+  // traffic counters (and optionally the simulated-time trace).
+  DeepProfiler deep(w.config().gpu.sm_count);
+  std::optional<obs::SimTracer> tracer;
+  if (trace != nullptr) tracer.emplace(*trace, w.name());
+  sim::TeeObserver tee(&deep, tracer ? &*tracer : nullptr);
+  w.run_trial(dev, &tee);
+  deep.fill(p);
   return p;
 }
 

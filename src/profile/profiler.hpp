@@ -6,11 +6,28 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/workload.hpp"
 #include "isa/opcode.hpp"
 
+namespace gpurel::obs {
+class TraceWriter;
+}
+
 namespace gpurel::profile {
+
+/// One dynamic hotspot: how many warp instructions a static PC issued during
+/// the deep-profiled trial (Nsight-style per-instruction counters).
+struct PcHotspot {
+  std::string program;
+  std::uint32_t pc = 0;
+  std::string mnemonic;
+  std::uint64_t warp_count = 0;
+  /// Mean active-lane fraction at this PC (divergence: < 1 means some lanes
+  /// were masked off).
+  double lane_fraction = 0.0;
+};
 
 struct CodeProfile {
   std::string name;
@@ -34,6 +51,24 @@ struct CodeProfile {
   unsigned regs_per_thread = 0;
   std::uint32_t shared_bytes = 0;
 
+  // --- deep profile (one additional observed trial) -----------------------
+  /// Per-PC warp-issue counters over every kernel of the workload, sorted by
+  /// count descending (ties by program/pc). Sums to warp_instructions.
+  std::vector<PcHotspot> pc_hotspots;
+  /// Warp instructions issued per SM during the deep-profiled trial.
+  std::vector<std::uint64_t> sm_warp_issues;
+  /// Load imbalance across SMs: max / mean of sm_warp_issues (1 = perfectly
+  /// balanced, 0 when nothing was issued).
+  double sm_imbalance = 0.0;
+  /// Divergence: lane_instructions / (warp_size * warp_instructions).
+  double active_lane_fraction = 0.0;
+  /// Memory traffic (lane-level bytes moved; ATOM counts 4B load + 4B store).
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t global_store_bytes = 0;
+  std::uint64_t shared_load_bytes = 0;
+  std::uint64_t shared_store_bytes = 0;
+  std::uint64_t atomic_lane_ops = 0;
+
   /// The paper's parallelism factor (Eq. 4).
   double phi() const { return ipc * occupancy; }
 
@@ -51,8 +86,12 @@ struct CodeProfile {
   }
 };
 
-/// Profile a workload from its fault-free reference run (prepares it first if
-/// necessary).
-CodeProfile profile_workload(core::Workload& w, sim::Device& dev);
+/// Profile a workload: headline counters come from its fault-free reference
+/// run (prepared first if necessary); the deep-profile fields come from one
+/// additional observed trial. When `trace` is non-null that trial also emits
+/// a simulated-time timeline (kernel spans + per-SM block residency) into
+/// the Chrome trace. Neither pass perturbs the workload's golden state.
+CodeProfile profile_workload(core::Workload& w, sim::Device& dev,
+                             obs::TraceWriter* trace = nullptr);
 
 }  // namespace gpurel::profile

@@ -168,9 +168,13 @@ void Executor::place_block(unsigned sm, unsigned linear_block, std::uint64_t cyc
   }
   s.blocks.push_back(block.get());
   block_storage_.push_back(std::move(block));
+  if (obs_ != nullptr) obs_->on_block_placed(sm, linear_block, cycle);
 }
 
 void Executor::remove_block(BlockRt* block, std::uint64_t cycle) {
+  if (obs_ != nullptr)
+    obs_->on_block_retired(
+        block->sm, block->cta_y * launch_->grid.x + block->cta_x, cycle);
   SmState& s = sms_[block->sm];
   std::erase(s.blocks, block);
   for (auto& w : block->warps) std::erase(s.warps, w.get());
@@ -636,6 +640,11 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
   stats_.lane_per_unit[unit] += lanes;
   stats_.lane_busy_per_unit[unit] +=
       static_cast<double>(lanes) * latency(gpu_, in.op);
+
+  if (obs_ != nullptr) {
+    const WarpIssue wi{cycle, w.sm, w.warp_id, pc, &in, exec_mask};
+    obs_->on_warp_issue(wi);
+  }
 
   if (obs_ != nullptr && exec_mask != 0) {
     for (unsigned l = 0; l < 32; ++l) {

@@ -57,6 +57,18 @@ struct ExecContext {
   std::uint32_t eff_addr = 0;    // effective address for memory ops (post-exec)
 };
 
+/// One issued warp instruction (all guard-true lanes together), handed to
+/// on_warp_issue before the per-lane before_exec/after_exec pair. Read-only:
+/// issue observers profile and trace; they never mutate state.
+struct WarpIssue {
+  std::uint64_t cycle = 0;
+  unsigned sm = 0;
+  unsigned warp_id = 0;          // launch-unique warp ordinal
+  std::uint32_t pc = 0;
+  const isa::Instr* instr = nullptr;
+  std::uint32_t exec_mask = 0;   // guard-true lanes participating this issue
+};
+
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -65,8 +77,65 @@ class SimObserver {
   /// Simulated time advanced from `from` (exclusive) to `to` (inclusive).
   virtual void on_time_advance(std::uint64_t /*from*/, std::uint64_t /*to*/,
                                Machine&) {}
+  /// Once per issued warp instruction (see WarpIssue); for deep profiling
+  /// and tracing. Initial placement fires before on_launch_begin.
+  virtual void on_warp_issue(const WarpIssue&) {}
+  /// Block lifecycle on its SM (cta is the linear CTA id within the grid);
+  /// drives per-SM residency tracks in the timeline trace. Blocks still
+  /// resident when a launch aborts (DUE) see no on_block_retired.
+  virtual void on_block_placed(unsigned /*sm*/, unsigned /*cta*/,
+                               std::uint64_t /*cycle*/) {}
+  virtual void on_block_retired(unsigned /*sm*/, unsigned /*cta*/,
+                                std::uint64_t /*cycle*/) {}
   virtual void before_exec(ExecContext&) {}
   virtual void after_exec(ExecContext&) {}
+};
+
+/// Fans every hook out to two observers in order (a, then b). Used by the
+/// profiler to run deep profiling and timeline tracing over a single trial.
+/// Either may be null.
+class TeeObserver final : public SimObserver {
+ public:
+  TeeObserver(SimObserver* a, SimObserver* b) : a_(a), b_(b) {}
+
+  void on_launch_begin(const LaunchInfo& li, Machine& m) override {
+    if (a_ != nullptr) a_->on_launch_begin(li, m);
+    if (b_ != nullptr) b_->on_launch_begin(li, m);
+  }
+  void on_launch_end(const LaunchStats& s) override {
+    if (a_ != nullptr) a_->on_launch_end(s);
+    if (b_ != nullptr) b_->on_launch_end(s);
+  }
+  void on_time_advance(std::uint64_t from, std::uint64_t to,
+                       Machine& m) override {
+    if (a_ != nullptr) a_->on_time_advance(from, to, m);
+    if (b_ != nullptr) b_->on_time_advance(from, to, m);
+  }
+  void on_warp_issue(const WarpIssue& wi) override {
+    if (a_ != nullptr) a_->on_warp_issue(wi);
+    if (b_ != nullptr) b_->on_warp_issue(wi);
+  }
+  void on_block_placed(unsigned sm, unsigned cta, std::uint64_t cycle) override {
+    if (a_ != nullptr) a_->on_block_placed(sm, cta, cycle);
+    if (b_ != nullptr) b_->on_block_placed(sm, cta, cycle);
+  }
+  void on_block_retired(unsigned sm, unsigned cta,
+                        std::uint64_t cycle) override {
+    if (a_ != nullptr) a_->on_block_retired(sm, cta, cycle);
+    if (b_ != nullptr) b_->on_block_retired(sm, cta, cycle);
+  }
+  void before_exec(ExecContext& ctx) override {
+    if (a_ != nullptr) a_->before_exec(ctx);
+    if (b_ != nullptr) b_->before_exec(ctx);
+  }
+  void after_exec(ExecContext& ctx) override {
+    if (a_ != nullptr) a_->after_exec(ctx);
+    if (b_ != nullptr) b_->after_exec(ctx);
+  }
+
+ private:
+  SimObserver* a_;
+  SimObserver* b_;
 };
 
 }  // namespace gpurel::sim

@@ -6,12 +6,16 @@
 // on which worker ran a trial, they fail.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "beam/experiment.hpp"
+#include "common/telemetry.hpp"
 #include "fault/campaign.hpp"
 #include "fault/injector.hpp"
 #include "kernels/matmul.hpp"
+#include "obs/trace.hpp"
 
 namespace gpurel {
 namespace {
@@ -102,6 +106,65 @@ TEST(Determinism, CampaignBitIdenticalAcrossSchedulesAndChunks) {
   rr.trial_cycles_out = &cyc_rr;
   fault::run_campaign(*inj, factory, rr);
   EXPECT_EQ(cyc_dyn, cyc_rr);
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbResults) {
+  // The full observability stack — JSONL telemetry, the metrics registry
+  // (always on), and Chrome-trace output — reads timestamps and counters but
+  // must never feed back into seeding, scheduling decisions, or tallies:
+  // an instrumented campaign is bit-identical to a bare one.
+  auto inj = fault::make_sassifi();
+  fault::CampaignConfig base;
+  base.injections_per_kind = 8;
+  base.ia_injections = 10;
+  base.store_addr_injections = 6;
+  base.seed = 99;
+  base.workers = 3;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg(inj->profile()), Precision::Single, 16);
+  };
+
+  const auto bare = fault::run_campaign(*inj, factory, base);
+
+  const std::string tele_path = testing::TempDir() + "gpurel_det_tele.jsonl";
+  const std::string trace_path = testing::TempDir() + "gpurel_det_trace.json";
+  {
+    telemetry::Sink sink(tele_path);
+    obs::TraceWriter trace(trace_path);
+    fault::CampaignConfig instrumented = base;
+    instrumented.telemetry = &sink;
+    instrumented.trace = &trace;
+    expect_same_campaign(bare,
+                         fault::run_campaign(*inj, factory, instrumented),
+                         "instrumented campaign");
+    EXPECT_GT(sink.events_emitted(), 0u);
+    EXPECT_GT(trace.events_emitted(), 0u);
+  }
+  std::remove(tele_path.c_str());
+  std::remove(trace_path.c_str());
+
+  // Same contract for beam experiments.
+  const auto db = beam::CrossSectionDb::kepler();
+  const auto beam_factory = [] {
+    return std::make_unique<MxM>(cfg(isa::CompilerProfile::Cuda10),
+                                 Precision::Single, 16);
+  };
+  beam::BeamConfig bb;
+  bb.runs = 40;
+  bb.seed = 7;
+  bb.workers = 2;
+  const auto beam_bare = beam::run_beam(db, beam_factory, bb);
+  {
+    obs::TraceWriter trace(testing::TempDir() + "gpurel_det_beam.json");
+    beam::BeamConfig bi = bb;
+    bi.trace = &trace;
+    const auto beam_instr = beam::run_beam(db, beam_factory, bi);
+    EXPECT_EQ(beam_instr.outcomes.sdc, beam_bare.outcomes.sdc);
+    EXPECT_EQ(beam_instr.outcomes.due, beam_bare.outcomes.due);
+    EXPECT_EQ(beam_instr.fit_sdc, beam_bare.fit_sdc);
+    EXPECT_EQ(beam_instr.fit_due, beam_bare.fit_due);
+  }
+  std::remove((testing::TempDir() + "gpurel_det_beam.json").c_str());
 }
 
 TEST(Determinism, BeamBitIdenticalAcrossWorkersAndSchedules) {

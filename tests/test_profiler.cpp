@@ -1,0 +1,158 @@
+// Profiler invariants: the headline metrics (mix, IPC, occupancy, Eq. 4 phi)
+// and the deep-profile counters (per-PC hotspots, per-SM issue balance,
+// divergence, memory traffic) must be mutually consistent — the deep trial
+// re-executes the same deterministic kernels the golden run did, so its
+// counters must tie out against the golden aggregates exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "kernels/matmul.hpp"
+#include "obs/trace.hpp"
+#include "profile/profiler.hpp"
+#include "sim/device.hpp"
+
+namespace gpurel::profile {
+namespace {
+
+core::WorkloadConfig cfg() {
+  return {arch::GpuConfig::kepler_k40c(2), isa::CompilerProfile::Cuda10, 0x5eed,
+          0.05};
+}
+
+CodeProfile profile_of(core::Workload& w) {
+  sim::Device dev(w.config().gpu);
+  return profile_workload(w, dev);
+}
+
+TEST(Profiler, MixFractionsSumToOne) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(w);
+  ASSERT_GT(p.warp_instructions, 0u);
+  double total = 0.0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(isa::MixClass::kCount);
+       ++c)
+    total += p.mix[c];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Profiler, LaneFractionsSumToOne) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(w);
+  ASSERT_GT(p.lane_instructions, 0u);
+  double total = 0.0;
+  for (std::size_t k = 0; k < static_cast<std::size_t>(isa::UnitKind::kCount);
+       ++k)
+    total += p.lane_fraction(static_cast<isa::UnitKind>(k));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Profiler, PhiIsIpcTimesOccupancy) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(w);
+  EXPECT_GT(p.ipc, 0.0);
+  EXPECT_GT(p.occupancy, 0.0);
+  EXPECT_LE(p.occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(p.phi(), p.ipc * p.occupancy);
+}
+
+TEST(Profiler, HotspotsAccountForEveryWarpInstruction) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(w);
+  ASSERT_FALSE(p.pc_hotspots.empty());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < p.pc_hotspots.size(); ++i) {
+    const auto& hs = p.pc_hotspots[i];
+    total += hs.warp_count;
+    EXPECT_GT(hs.warp_count, 0u);
+    EXPECT_GT(hs.lane_fraction, 0.0);
+    EXPECT_LE(hs.lane_fraction, 1.0);
+    EXPECT_FALSE(hs.mnemonic.empty());
+    if (i > 0) {  // sorted hottest-first
+      EXPECT_GE(p.pc_hotspots[i - 1].warp_count, hs.warp_count);
+    }
+  }
+  EXPECT_EQ(total, p.warp_instructions);
+}
+
+TEST(Profiler, SmIssuesTieOutAndImbalanceIsSane) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(w);
+  ASSERT_EQ(p.sm_warp_issues.size(), w.config().gpu.sm_count);
+  const std::uint64_t total = std::accumulate(
+      p.sm_warp_issues.begin(), p.sm_warp_issues.end(), std::uint64_t{0});
+  EXPECT_EQ(total, p.warp_instructions);
+  // max/mean is >= 1 by construction whenever anything was issued.
+  EXPECT_GE(p.sm_imbalance, 1.0);
+  EXPECT_LE(p.sm_imbalance, static_cast<double>(p.sm_warp_issues.size()));
+}
+
+TEST(Profiler, ActiveLaneFractionMatchesGoldenCounters) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(w);
+  EXPECT_GT(p.active_lane_fraction, 0.0);
+  EXPECT_LE(p.active_lane_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.active_lane_fraction,
+                   static_cast<double>(p.lane_instructions) /
+                       (32.0 * static_cast<double>(p.warp_instructions)));
+}
+
+TEST(Profiler, MemoryTrafficCounters) {
+  kernels::MxM naive(cfg(), core::Precision::Single, 16);
+  const auto p = profile_of(naive);
+  // The naive MxM streams A, B and C through global memory...
+  EXPECT_GT(p.global_load_bytes, 0u);
+  EXPECT_GT(p.global_store_bytes, 0u);
+  EXPECT_GT(p.global_load_bytes, p.global_store_bytes);  // K-loop reloads
+  // ...and never touches shared memory.
+  EXPECT_EQ(p.shared_load_bytes, 0u);
+  EXPECT_EQ(p.shared_store_bytes, 0u);
+
+  // The tiled GEMM stages tiles through shared memory.
+  kernels::Gemm tiled(cfg(), core::Precision::Single, 32);
+  const auto pt = profile_of(tiled);
+  EXPECT_GT(pt.shared_load_bytes, 0u);
+  EXPECT_GT(pt.shared_store_bytes, 0u);
+}
+
+TEST(Profiler, DeepProfileIsDeterministic) {
+  kernels::MxM w(cfg(), core::Precision::Single, 16);
+  const auto a = profile_of(w);
+  const auto b = profile_of(w);  // the deep trial must not perturb the golden
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+  EXPECT_EQ(a.global_load_bytes, b.global_load_bytes);
+  ASSERT_EQ(a.pc_hotspots.size(), b.pc_hotspots.size());
+  for (std::size_t i = 0; i < a.pc_hotspots.size(); ++i) {
+    EXPECT_EQ(a.pc_hotspots[i].pc, b.pc_hotspots[i].pc);
+    EXPECT_EQ(a.pc_hotspots[i].warp_count, b.pc_hotspots[i].warp_count);
+  }
+  EXPECT_EQ(a.sm_warp_issues, b.sm_warp_issues);
+}
+
+TEST(Profiler, TraceEmitsKernelAndResidencySpans) {
+  const std::string path = testing::TempDir() + "gpurel_profiler_trace.json";
+  {
+    obs::TraceWriter trace(path);
+    kernels::MxM w(cfg(), core::Precision::Single, 16);
+    sim::Device dev(w.config().gpu);
+    const auto p = profile_workload(w, dev, &trace);
+    EXPECT_GT(p.warp_instructions, 0u);
+    EXPECT_GT(trace.events_emitted(), 0u);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("\"cta 0\""), std::string::npos) << body.substr(0, 400);
+  EXPECT_NE(body.find("SM 0 residency"), std::string::npos);
+  EXPECT_NE(body.find("achieved_occupancy"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpurel::profile

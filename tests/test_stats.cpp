@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace gpurel {
@@ -92,6 +93,60 @@ TEST(SignedRatio, Magnitude) {
   EXPECT_DOUBLE_EQ(ratio_magnitude(-7.0), 7.0);
   EXPECT_DOUBLE_EQ(ratio_magnitude(3.0), 3.0);
   EXPECT_DOUBLE_EQ(ratio_magnitude(0.5), 1.0);
+}
+
+TEST(HistogramBuckets, BoundsAreGeometric) {
+  const HistogramBuckets b(1.0, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b.bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.bound(1), 10.0);
+  EXPECT_DOUBLE_EQ(b.bound(2), 100.0);
+  EXPECT_DOUBLE_EQ(b.bound(3), 1000.0);
+}
+
+TEST(HistogramBuckets, IndexOfUsesInclusiveUpperBounds) {
+  const HistogramBuckets b(1.0, 10.0, 4);
+  EXPECT_EQ(b.index_of(0.0), 0u);
+  EXPECT_EQ(b.index_of(0.5), 0u);
+  EXPECT_EQ(b.index_of(1.0), 0u);  // bound is inclusive
+  EXPECT_EQ(b.index_of(1.5), 1u);
+  EXPECT_EQ(b.index_of(10.0), 1u);
+  EXPECT_EQ(b.index_of(100.5), 3u);
+  EXPECT_EQ(b.index_of(1000.0), 3u);
+  EXPECT_EQ(b.index_of(1000.5), 4u);  // overflow bucket
+  EXPECT_EQ(b.index_of(std::numeric_limits<double>::quiet_NaN()), 4u);
+}
+
+TEST(HistogramBuckets, RejectsDegenerateLayouts) {
+  EXPECT_THROW(HistogramBuckets(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(HistogramBuckets(-1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(HistogramBuckets(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(HistogramBuckets(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramBuckets, LatencyDefaultCoversMicrosecondsToMinutes) {
+  const auto b = HistogramBuckets::latency_ms();
+  EXPECT_EQ(b.size(), 31u);
+  EXPECT_DOUBLE_EQ(b.bound(0), 1e-3);        // 1 us
+  EXPECT_GT(b.bound(b.size() - 1), 600e3);   // > 10 minutes in ms
+}
+
+TEST(Quantile, ExactOrderStatistics) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, LinearInterpolationAndClamping) {
+  const std::vector<double> xs{10, 20};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.1), 11.0);  // 10 + 0.1 * (20 - 10)
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 10.0);  // clamped to q = 0
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 20.0);   // clamped to q = 1
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{7.0}, 0.9), 7.0);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -85,6 +86,31 @@ TEST(Telemetry, SinkEscapesStrings) {
   EXPECT_TRUE(looks_like_json_object(lines[0])) << lines[0];
   EXPECT_NE(lines[0].find("a\\\"b\\\\c\\nd\\te"), std::string::npos)
       << lines[0];
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, NonFiniteDoublesSerializeAsNull) {
+  // NaN / Inf have no JSON literal; the sink must degrade them to null so
+  // every emitted line stays parseable by strict JSON readers.
+  const std::string path = temp_path("nonfinite");
+  {
+    Sink sink(path);
+    sink.emit("edge", {{"nan", std::numeric_limits<double>::quiet_NaN()},
+                       {"inf", std::numeric_limits<double>::infinity()},
+                       {"ninf", -std::numeric_limits<double>::infinity()},
+                       {"ok", 1.5}});
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(looks_like_json_object(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"nan\":null"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"inf\":null"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"ninf\":null"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"ok\":1.5"), std::string::npos) << lines[0];
+  // No bare C-library spellings may leak through as (invalid) JSON tokens.
+  EXPECT_EQ(lines[0].find(":nan"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[0].find(":inf"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[0].find(":-inf"), std::string::npos) << lines[0];
   std::remove(path.c_str());
 }
 
