@@ -91,7 +91,9 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.05);
   const bool csv = cli.get_bool("csv");
   const bool progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
+  const std::string bench_json = cli.get("bench-json");
   obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
+  std::vector<std::pair<std::string, double>> json_entries;
 
   auto injector = fault::make_sassifi();
   const core::WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
@@ -123,6 +125,9 @@ int main(int argc, char** argv) {
   for (const Mix& mix : mixes) {
     const auto factory =
         kernels::workload_factory(mix.code, core::Precision::Single, wc);
+    // One fault-free counting pass per mix, shared by both schedule runs
+    // (identical trial sets either way -- the counts are schedule-invariant).
+    const fault::SiteCounts sites = fault::count_sites(*injector, factory);
     std::vector<std::uint64_t> cost;
     fault::CampaignResult reference;
     double speedup_model = 0.0;
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
       fault::CampaignConfig cc = mix.config;
       cc.schedule = dynamic ? fault::Schedule::Dynamic
                             : fault::Schedule::StaticRoundRobin;
+      cc.sites = &sites;
       cc.trial_cycles_out = &cost;
       cc.trace = exporter.trace();
       telemetry::Timer wall;
@@ -139,9 +145,14 @@ int main(int argc, char** argv) {
                                {"mix", mix.name},
                                {"schedule", dynamic ? "dynamic" : "static"}};
       auto& metrics = obs::Registry::global();
+      const double tps =
+          ms > 0 ? 1000.0 * static_cast<double>(cost.size()) / ms : 0.0;
       metrics.gauge("gpurel_bench_wall_ms", labels).set(ms);
-      metrics.gauge("gpurel_bench_trials_per_sec", labels)
-          .set(ms > 0 ? 1000.0 * static_cast<double>(cost.size()) / ms : 0.0);
+      metrics.gauge("gpurel_bench_trials_per_sec", labels).set(tps);
+      json_entries.emplace_back("campaign/" + mix.name + "/" +
+                                    (dynamic ? "dynamic" : "static") +
+                                    ".trials_per_s",
+                                tps);
 
       if (!dynamic) {
         reference = result;
@@ -176,5 +187,6 @@ int main(int argc, char** argv) {
   std::fputc('\n', stdout);
   std::printf("workers=%u; model_x = modeled dynamic-vs-static speedup from "
               "per-trial simulated cycles\n", workers);
+  bench::write_bench_json(bench_json, json_entries);
   return 0;
 }

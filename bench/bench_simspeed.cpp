@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "beam/experiment.hpp"
+#include "bench_common.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/registry.hpp"
 #include "obs/export.hpp"
@@ -46,6 +48,7 @@ void BM_TrialWithObserver(benchmark::State& state) {
   w.prepare(dev);
   class Nop final : public sim::SimObserver {
    public:
+    unsigned wants() const override { return kWantsAfterExec; }
     void after_exec(sim::ExecContext&) override { ++n; }
     std::uint64_t n = 0;
   } obs;
@@ -85,7 +88,9 @@ void BM_KernelBuild(benchmark::State& state) {
 BENCHMARK(BM_KernelBuild)->Unit(benchmark::kMillisecond);
 
 /// ConsoleReporter that additionally records each run's real time into the
-/// process-global metrics registry as gpurel_bench_wall_ms{bench,name}.
+/// process-global metrics registry as gpurel_bench_wall_ms{bench,name} and,
+/// when --bench-json=<path> is given, collects the finalized rate counters
+/// (lane_instr/s, hook_calls/s, ...) for the BENCH_simspeed.json snapshot.
 class RegistryReporter final : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -95,9 +100,25 @@ class RegistryReporter final : public benchmark::ConsoleReporter {
           .gauge("gpurel_bench_wall_ms",
                  {{"bench", "simspeed"}, {"name", run.benchmark_name()}})
           .set(run.GetAdjustedRealTime());
+      for (const auto& [cname, counter] : run.counters) {
+        // "lane_instr/s" -> "lane_instr_per_s" so the key's only '/' is the
+        // benchmark's Arg separator.
+        std::string key = cname;
+        if (const auto slash = key.rfind("/s"); slash != std::string::npos)
+          key.replace(slash, 2, "_per_s");
+        entries_.emplace_back(run.benchmark_name() + "." + key,
+                              static_cast<double>(counter.value));
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
+
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
 };
 
 }  // namespace
@@ -107,6 +128,7 @@ int main(int argc, char** argv) {
   // (and rejects) them.
   std::string metrics_out;
   std::string trace_out;
+  std::string bench_json;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +136,8 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string("--bench-json=").size());
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -126,6 +150,7 @@ int main(int argc, char** argv) {
     return 1;
   RegistryReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  bench::write_bench_json(bench_json, reporter.entries());
   benchmark::Shutdown();
   return 0;
 }

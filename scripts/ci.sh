@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: strict-warnings build + tier-1 test suite, and (optionally)
-# a ThreadSanitizer pass over the concurrency-sensitive tests.
+# CI entry point: strict-warnings build + tier-1 test suite, a quick
+# ThreadSanitizer leg over the core concurrency tests, a Release bench smoke,
+# and (optionally) the full sanitizer subsets.
 #
-#   scripts/ci.sh          # werror build + full ctest + observability smoke
-#   scripts/ci.sh tsan     # additionally build + run the TSan test subset
+#   scripts/ci.sh          # werror build + full ctest + obs smoke
+#                          # + tsan quick leg + Release bench smoke
+#   scripts/ci.sh tsan     # additionally build + run the full TSan test subset
 #   scripts/ci.sh asan     # additionally build + run the ASan test subset
 #
 # GPUREL_RUNS / GPUREL_INJECTIONS trim the statistical test sizes so the
@@ -56,6 +58,35 @@ for line in prom:
 print(f"observability smoke OK: {len(lines)} telemetry events, "
       f"{len(names)} metric names, {len(trace)} trace events, "
       f"{len(prom)} exposition lines")
+EOF
+
+echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism)"
+# Always-on subset of the full tsan preset: the two tests that exercise the
+# worker pool and the cross-worker bit-identity contract. The preset's ctest
+# filter covers six binaries; build and run just these two here.
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}" --target test_thread_pool test_determinism
+ctest --test-dir build-tsan -R '^test_(thread_pool|determinism)$' \
+  -j "${JOBS}" --output-on-failure
+
+echo "==> Release bench smoke (BENCH_simspeed.json)"
+BENCH_JSON="${OBS_DIR}/BENCH_simspeed.json"
+cmake --preset release
+cmake --build --preset release -j "${JOBS}" --target \
+  bench_simspeed bench_campaign_throughput
+./build-release/bench/bench_simspeed \
+  --benchmark_filter='BM_ExecutorMxM/16$' --benchmark_min_time=0.05 \
+  --bench-json="${BENCH_JSON}" >/dev/null
+./build-release/bench/bench_campaign_throughput \
+  --workers=2 --injections=2 --ia=4 --bench-json="${BENCH_JSON}" >/dev/null
+python3 - "${BENCH_JSON}" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert all(isinstance(v, (int, float)) and v > 0 for v in d.values()), d
+assert "BM_ExecutorMxM/16.lane_instr_per_s" in d, d
+assert "campaign/balanced/dynamic.trials_per_s" in d, d
+print(f"bench smoke OK: {len(d)} metrics, "
+      f"MxM16={d['BM_ExecutorMxM/16.lane_instr_per_s']/1e6:.1f}M lane_instr/s")
 EOF
 
 if [[ "${1:-}" == "asan" ]]; then

@@ -57,6 +57,10 @@ class BeamObserver final : public sim::SimObserver {
   BeamObserver(std::vector<StrikePlan> plans, unsigned max_regs)
       : plans_(std::move(plans)), max_regs_(std::max(1u, max_regs)) {}
 
+  unsigned wants() const override {
+    return kWantsBeforeExec | kWantsAfterExec | kWantsTimeAdvance;
+  }
+
   void on_launch_begin(const sim::LaunchInfo&, sim::Machine& m) override {
     machine_ = &m;
   }

@@ -39,6 +39,8 @@ class CountingObserver final : public sim::SimObserver {
  public:
   explicit CountingObserver(const Injector& inj) : inj_(inj) {}
 
+  unsigned wants() const override { return kWantsAfterExec; }
+
   void after_exec(sim::ExecContext& ctx) override {
     ++total_lane_;
     if (isa::writes_predicate(ctx.instr->op)) ++pred_;
@@ -69,6 +71,15 @@ class InjectionObserver final : public sim::SimObserver {
   unsigned ia_bit = 0;              // InstructionAddress mode: PC bit to flip
 
   bool fired = false;
+
+  // Only the store-operand modes corrupt operands pre-execution; every other
+  // model's before_exec was a no-op, so claiming just after_exec lets the
+  // executor skip the per-lane before hook entirely for those trials.
+  unsigned wants() const override {
+    const bool store_mode =
+        mode == FaultModel::StoreValue || mode == FaultModel::StoreAddress;
+    return store_mode ? (kWantsBeforeExec | kWantsAfterExec) : kWantsAfterExec;
+  }
 
   // Store-operand modes corrupt the source register just before the store
   // executes and restore it afterwards (the strike hits the store unit's
@@ -157,6 +168,34 @@ struct TrialDesc {
   std::uint64_t seed;
 };
 
+/// Shared preamble of run_campaign and count_sites: the injector must be
+/// able to instrument this workload on its device and compiler profile.
+void check_instrumentable(const Injector& injector, const core::Workload& w) {
+  if (!injector.can_instrument(w, w.config().gpu))
+    throw std::invalid_argument(injector.name() + " cannot instrument " +
+                                w.name() + " on " + w.config().gpu.name);
+  if (w.config().profile != injector.profile())
+    throw std::invalid_argument(
+        "run_campaign: workload was built with the wrong compiler profile for " +
+        injector.name());
+}
+
+/// Fault-free counting run over an already prepared workload.
+SiteCounts count_prepared(const Injector& injector, core::Workload& w,
+                          sim::Device& dev) {
+  CountingObserver counter(injector);
+  const auto r = w.run_trial(dev, &counter);
+  if (r.outcome != core::Outcome::Masked)
+    throw std::logic_error("counting pass produced a non-masked outcome for " +
+                           w.name());
+  SiteCounts sites;
+  sites.per_kind = counter.per_kind_;
+  sites.pred = counter.pred_;
+  sites.stores = counter.stores_;
+  sites.total_lane = counter.total_lane_;
+  return sites;
+}
+
 }  // namespace
 
 double CampaignResult::overall_avf_sdc() const {
@@ -215,61 +254,62 @@ std::uint64_t CampaignResult::total_injections() const {
   return t;
 }
 
+SiteCounts count_sites(const Injector& injector, const WorkloadFactory& factory) {
+  auto w = factory();
+  if (!w) throw std::invalid_argument("count_sites: factory returned null");
+  sim::Device dev(w->config().gpu);
+  w->prepare(dev);
+  check_instrumentable(injector, *w);
+  return count_prepared(injector, *w, dev);
+}
+
 CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& factory,
                             const CampaignConfig& config) {
-  // Reference instance: prepare, check instrumentability, count sites.
+  // Reference instance: prepare, check instrumentability.
   auto ref = factory();
   if (!ref) throw std::invalid_argument("run_campaign: factory returned null");
-  sim::Device ref_dev(ref->config().gpu);
-  ref->prepare(ref_dev);
-  if (!injector.can_instrument(*ref, ref->config().gpu))
-    throw std::invalid_argument(injector.name() + " cannot instrument " +
-                                ref->name() + " on " + ref->config().gpu.name);
-  if (ref->config().profile != injector.profile())
-    throw std::invalid_argument(
-        "run_campaign: workload was built with the wrong compiler profile for " +
-        injector.name());
+  auto ref_dev = std::make_unique<sim::Device>(ref->config().gpu);
+  ref->prepare(*ref_dev);
+  check_instrumentable(injector, *ref);
 
-  CountingObserver counter(injector);
-  {
-    const auto r = ref->run_trial(ref_dev, &counter);
-    if (r.outcome != core::Outcome::Masked)
-      throw std::logic_error("counting pass produced a non-masked outcome for " +
-                             ref->name());
-  }
+  // Site counts: one fault-free run — or the caller's precomputed counts,
+  // which skip it entirely (bit-identical; see CampaignConfig::sites).
+  const SiteCounts sites = config.sites != nullptr
+                               ? *config.sites
+                               : count_prepared(injector, *ref, *ref_dev);
 
   CampaignResult result;
   result.injector = injector.name();
   result.workload = ref->name();
-  result.pred_sites = counter.pred_;
-  result.store_sites = counter.stores_;
-  result.total_lane_sites = counter.total_lane_;
+  result.pred_sites = sites.pred;
+  result.store_sites = sites.stores;
+  result.total_lane_sites = sites.total_lane;
   for (std::size_t k = 0; k < kKinds; ++k) {
-    result.per_kind[k].dynamic_sites = counter.per_kind_[k];
-    result.eligible_output_sites += counter.per_kind_[k];
+    result.per_kind[k].dynamic_sites = sites.per_kind[k];
+    result.eligible_output_sites += sites.per_kind[k];
   }
 
   // Build the trial list (stratified by kind, plus aux modes).
   std::vector<TrialDesc> trials;
   std::uint64_t salt = config.seed;
   for (std::size_t k = 0; k < kKinds; ++k) {
-    if (counter.per_kind_[k] == 0) continue;
+    if (sites.per_kind[k] == 0) continue;
     for (unsigned i = 0; i < config.injections_per_kind; ++i)
       trials.push_back({FaultModel::InstructionOutput, static_cast<UnitKind>(k),
                         splitmix64(salt)});
   }
-  auto add_aux = [&](FaultModel mode, unsigned n, std::uint64_t sites) {
-    if (!injector.supports(mode) || sites == 0) return;
+  auto add_aux = [&](FaultModel mode, unsigned n, std::uint64_t mode_sites) {
+    if (!injector.supports(mode) || mode_sites == 0) return;
     for (unsigned i = 0; i < n; ++i) trials.push_back({mode, UnitKind::OTHER,
                                                        splitmix64(salt)});
   };
-  add_aux(FaultModel::RegisterFile, config.rf_injections, counter.total_lane_);
-  add_aux(FaultModel::Predicate, config.pred_injections, counter.pred_);
+  add_aux(FaultModel::RegisterFile, config.rf_injections, sites.total_lane);
+  add_aux(FaultModel::Predicate, config.pred_injections, sites.pred);
   add_aux(FaultModel::InstructionAddress, config.ia_injections,
-          counter.total_lane_);
-  add_aux(FaultModel::StoreValue, config.store_value_injections, counter.stores_);
+          sites.total_lane);
+  add_aux(FaultModel::StoreValue, config.store_value_injections, sites.stores);
   add_aux(FaultModel::StoreAddress, config.store_addr_injections,
-          counter.stores_);
+          sites.stores);
 
   // Execute trials. Each worker lazily prepares one workload instance and
   // reuses it across every trial it pulls (prepare() is idempotent and
@@ -315,7 +355,7 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   };
   std::vector<WorkerState> states(workers);
   states[0].w = std::move(ref);
-  states[0].dev = std::make_unique<sim::Device>(states[0].w->config().gpu);
+  states[0].dev = std::move(ref_dev);
   states[0].max_regs = states[0].w->max_regs_per_thread();
 
   auto ensure_state = [&](std::size_t s) -> WorkerState& {
@@ -343,18 +383,18 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       case FaultModel::InstructionOutput:
         obs.target_kind = desc.kind;
         obs.target_index = rng.uniform_u64(
-            counter.per_kind_[static_cast<std::size_t>(desc.kind)]);
+            sites.per_kind[static_cast<std::size_t>(desc.kind)]);
         break;
       case FaultModel::Predicate:
-        obs.target_index = rng.uniform_u64(counter.pred_);
+        obs.target_index = rng.uniform_u64(sites.pred);
         break;
       case FaultModel::RegisterFile:
       case FaultModel::InstructionAddress:
-        obs.target_index = rng.uniform_u64(counter.total_lane_);
+        obs.target_index = rng.uniform_u64(sites.total_lane);
         break;
       case FaultModel::StoreValue:
       case FaultModel::StoreAddress:
-        obs.target_index = rng.uniform_u64(counter.stores_);
+        obs.target_index = rng.uniform_u64(sites.stores);
         break;
     }
     const telemetry::Timer trial_wall;

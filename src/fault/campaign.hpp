@@ -46,6 +46,22 @@ struct OutcomeCounts {
   void merge(const OutcomeCounts& other);
 };
 
+/// Dynamic fault-site counts of one workload under one injector's
+/// eligibility rules, measured by a fault-free counting run. A campaign
+/// normally performs this run itself; callers launching several campaigns
+/// over the same (injector, workload) pair — schedule comparisons,
+/// throughput benchmarks — can measure once with count_sites() and share the
+/// result through CampaignConfig::sites, skipping the redundant fault-free
+/// runs. Sharing is bit-identity-preserving: trial seeds and site sampling
+/// depend only on these counts, not on how they were obtained.
+struct SiteCounts {
+  std::array<std::uint64_t, static_cast<std::size_t>(isa::UnitKind::kCount)>
+      per_kind{};                  // eligible IOV sites by unit kind
+  std::uint64_t pred = 0;          // predicate-writing lane executions
+  std::uint64_t stores = 0;        // lane-level STG/STS executions
+  std::uint64_t total_lane = 0;    // all lane executions (IA/RF anchor)
+};
+
 /// How trials are distributed over campaign workers. Per-trial seeding makes
 /// results bit-identical under either policy and any worker count.
 enum class Schedule : std::uint8_t {
@@ -88,6 +104,12 @@ struct CampaignConfig {
   /// campaign's (deterministic) internal trial order. Consumed by scheduling
   /// benchmarks; leave null otherwise.
   std::vector<std::uint64_t>* trial_cycles_out = nullptr;
+  /// Precomputed site counts for this exact (injector, workload) pair (see
+  /// count_sites). When set, the campaign skips its own fault-free counting
+  /// run; results are bit-identical either way. The caller is responsible
+  /// for the pairing — counts from a different workload or injector silently
+  /// skew site sampling.
+  const SiteCounts* sites = nullptr;
 };
 
 struct KindStats {
@@ -135,6 +157,11 @@ using WorkloadFactory = std::function<std::unique_ptr<core::Workload>()>;
 /// sampled bits are reachable; flips into [size, 2^b) model the realistic
 /// jump-past-the-end PC corruption (immediate DUE).
 unsigned ia_pc_bits(const core::Workload& w);
+
+/// Run the fault-free counting pass once, for sharing across campaigns via
+/// CampaignConfig::sites. Performs the same instrumentability checks as
+/// run_campaign (and throws the same way when they fail).
+SiteCounts count_sites(const Injector& injector, const WorkloadFactory& factory);
 
 /// Run a full campaign. Throws std::invalid_argument when the injector
 /// cannot instrument the workload on its device (the paper substitutes

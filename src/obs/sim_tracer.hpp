@@ -21,6 +21,8 @@ class SimTracer final : public sim::SimObserver {
   /// `label` names the trace process group (typically the workload name).
   SimTracer(TraceWriter& writer, std::string label);
 
+  unsigned wants() const override { return kWantsBlocks; }
+
   void on_launch_begin(const sim::LaunchInfo& info, sim::Machine&) override;
   void on_launch_end(const sim::LaunchStats& stats) override;
   void on_block_placed(unsigned sm, unsigned cta, std::uint64_t cycle) override;

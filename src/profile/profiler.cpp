@@ -29,6 +29,8 @@ class DeepProfiler final : public sim::SimObserver {
  public:
   explicit DeepProfiler(unsigned sm_count) : sm_issues_(sm_count, 0) {}
 
+  unsigned wants() const override { return kWantsWarpIssue; }
+
   void on_launch_begin(const sim::LaunchInfo& info, sim::Machine&) override {
     current_ = info.launch != nullptr ? info.launch->program : nullptr;
     if (current_ != nullptr) {

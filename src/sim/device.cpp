@@ -5,7 +5,7 @@
 namespace gpurel::sim {
 
 Device::Device(arch::GpuConfig config, std::uint32_t mem_capacity)
-    : config_(std::move(config)), memory_(mem_capacity) {
+    : config_(std::move(config)), memory_(mem_capacity), exec_(config_, memory_) {
   ecc_ = config_.ecc_available;
 }
 
@@ -17,8 +17,7 @@ void Device::set_ecc(bool on) {
 
 LaunchStats Device::launch(const KernelLaunch& kl, SimObserver* observer,
                            std::uint64_t max_cycles, unsigned ordinal) {
-  Executor exec(config_, memory_);
-  return exec.run(kl, observer, max_cycles, ordinal);
+  return exec_.run(kl, observer, max_cycles, ordinal);
 }
 
 }  // namespace gpurel::sim

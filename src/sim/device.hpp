@@ -19,6 +19,11 @@ class Device {
  public:
   explicit Device(arch::GpuConfig config, std::uint32_t mem_capacity = 16u << 20);
 
+  // The persistent executor holds references into this device, so the handle
+  // is pinned in place. Workloads hold a Device by reference already.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
   const arch::GpuConfig& config() const { return config_; }
   GlobalMemory& memory() { return memory_; }
   const GlobalMemory& memory() const { return memory_; }
@@ -65,6 +70,9 @@ class Device {
  private:
   arch::GpuConfig config_;
   GlobalMemory memory_;
+  // Reused across launches: its block/warp pools and decode-table capacity
+  // persist, making back-to-back trials allocation-free after warm-up.
+  Executor exec_;
   bool ecc_ = true;
 };
 

@@ -97,7 +97,7 @@ unsigned src_reg_width(const Instr& in, unsigned slot) {
     case Opcode::STS:
       return (slot == 1 && static_cast<MemWidth>(in.aux) == MemWidth::B64) ? 2 : 1;
     case Opcode::HMMA:
-      return slot == 2 ? 4 : 4;
+      return 4;  // all three fragments span 4 registers (halves, 2/reg)
     case Opcode::FMMA:
       return slot == 2 ? 8 : 4;
     default:
@@ -119,7 +119,7 @@ ThreadRegs& Executor::live_warp_lane(std::size_t live_index, unsigned lane) {
 }
 
 SharedMemory& Executor::live_block_shared(std::size_t live_index) {
-  return *live_blocks_.at(live_index)->shared;
+  return live_blocks_.at(live_index)->shared;
 }
 
 void Executor::raise_due(DueKind kind) {
@@ -132,28 +132,58 @@ void Executor::rebuild_live_lists() {
   for (auto& sm : sms_) {
     for (BlockRt* b : sm.blocks) {
       live_blocks_.push_back(b);
-      for (auto& w : b->warps)
-        if (!w->exited) live_warps_.push_back(w.get());
+      for (WarpRt* w : b->warps)
+        if (!w->exited) live_warps_.push_back(w);
     }
   }
 }
 
+BlockRt* Executor::acquire_block() {
+  if (blocks_used_ == block_pool_.size())
+    block_pool_.push_back(std::make_unique<BlockRt>());
+  return block_pool_[blocks_used_++].get();
+}
+
+WarpRt* Executor::acquire_warp() {
+  if (warps_used_ == warp_pool_.size())
+    warp_pool_.push_back(std::make_unique<WarpRt>());
+  WarpRt* w = warp_pool_[warps_used_++].get();
+  w->pc = 0;
+  w->stack.clear();
+  w->exited = false;
+  w->at_barrier = false;
+  w->reg_ready.fill(0);
+  w->pred_ready.fill(0);
+  w->lanes.fill(ThreadRegs{});
+  return w;
+}
+
+void Executor::refresh_wake(SmState& s) {
+  std::uint64_t wake = std::numeric_limits<std::uint64_t>::max();
+  for (const WarpRt* w : s.warps)
+    if (!w->exited && !w->at_barrier) wake = std::min(wake, w->next_try);
+  s.next_wake = wake;
+}
+
 void Executor::place_block(unsigned sm, unsigned linear_block, std::uint64_t cycle) {
   const auto& launch = *launch_;
-  auto block = std::make_unique<BlockRt>();
+  BlockRt* block = acquire_block();
   block->cta_x = linear_block % launch.grid.x;
   block->cta_y = linear_block / launch.grid.x;
   block->sm = sm;
   block->threads = launch.block.count();
   block->warps_total = (block->threads + gpu_.warp_size - 1) / gpu_.warp_size;
+  block->warps_exited = 0;
+  block->warps_at_barrier = 0;
   const std::uint32_t shared_bytes =
       launch.program->shared_bytes() + launch.dynamic_shared;
-  block->shared = std::make_unique<SharedMemory>(std::max(shared_bytes, 4u));
+  block->shared.reset(std::max(shared_bytes, 4u));
+  block->warps.clear();
 
   SmState& s = sms_[sm];
   for (unsigned wi = 0; wi < block->warps_total; ++wi) {
-    auto w = std::make_unique<WarpRt>();
-    w->block = block.get();
+    WarpRt* w = acquire_warp();
+    w->block = block;
     w->sm = sm;
     w->warp_id = next_warp_id_++;
     w->warp_in_block = wi;
@@ -162,28 +192,30 @@ void Executor::place_block(unsigned sm, unsigned linear_block, std::uint64_t cyc
     const unsigned first = wi * gpu_.warp_size;
     const unsigned last = std::min(block->threads, first + gpu_.warp_size);
     w->active = static_cast<std::uint32_t>(lane_mask(last - first));
-    s.warps.push_back(w.get());
+    s.warps.push_back(w);
     s.resident_warps += 1;
-    block->warps.push_back(std::move(w));
+    block->warps.push_back(w);
   }
-  s.blocks.push_back(block.get());
-  block_storage_.push_back(std::move(block));
-  if (obs_ != nullptr) obs_->on_block_placed(sm, linear_block, cycle);
+  s.blocks.push_back(block);
+  s.touched = true;
+  if (obs_ != nullptr && (hooks_ & SimObserver::kWantsBlocks))
+    obs_->on_block_placed(sm, linear_block, cycle);
 }
 
 void Executor::remove_block(BlockRt* block, std::uint64_t cycle) {
-  if (obs_ != nullptr)
+  if (obs_ != nullptr && (hooks_ & SimObserver::kWantsBlocks))
     obs_->on_block_retired(
         block->sm, block->cta_y * launch_->grid.x + block->cta_x, cycle);
   SmState& s = sms_[block->sm];
   std::erase(s.blocks, block);
-  for (auto& w : block->warps) std::erase(s.warps, w.get());
+  for (WarpRt* w : block->warps) std::erase(s.warps, w);
   // resident_warps was already decremented warp-by-warp at each EXIT.
+  s.touched = true;
   ++completed_blocks_;
   if (next_block_ < total_blocks_ && s.blocks.size() < max_blocks_per_sm_)
     place_block(block->sm, next_block_++, cycle);
-  // The BlockRt itself stays alive in block_storage_ until the launch ends;
-  // only its scheduling presence is removed.
+  // The BlockRt itself stays alive in the pool until the launch ends; only
+  // its scheduling presence is removed.
 }
 
 std::uint32_t Executor::guard_true_mask(const WarpRt& w, const Instr& in) const {
@@ -195,31 +227,25 @@ std::uint32_t Executor::guard_true_mask(const WarpRt& w, const Instr& in) const 
   return m;
 }
 
-std::uint64_t Executor::dependency_ready(const WarpRt& w, const Instr& in) const {
+std::uint64_t Executor::dependency_ready(const WarpRt& w,
+                                         const DecodedInstr& d) const {
   std::uint64_t ready = 0;
-  auto need_regs = [&](std::uint8_t base, unsigned width) {
-    if (base == kRZ) return;
-    for (unsigned i = 0; i < width; ++i)
-      ready = std::max(ready, w.reg_ready[base + i]);
-  };
-  for (unsigned s = 0; s < 3; ++s)
-    if (src_slot_used(in, s)) need_regs(in.src[s], src_reg_width(in, s));
-  if (isa::writes_gpr(in.op)) need_regs(in.dst, dst_reg_width(in));
-  if (!in.unguarded()) ready = std::max(ready, w.pred_ready[in.guard_index()]);
-  if (isa::writes_predicate(in.op))
-    ready = std::max(ready, w.pred_ready[in.dst & 0x07]);
-  if (in.op == Opcode::SEL)
-    ready = std::max(ready, w.pred_ready[in.aux & 0x07]);
+  for (unsigned s = 0; s < d.src_count; ++s)
+    for (unsigned i = 0; i < d.src_width[s]; ++i)
+      ready = std::max(ready, w.reg_ready[d.src_base[s] + i]);
+  for (unsigned i = 0; i < d.dst_width; ++i)
+    ready = std::max(ready, w.reg_ready[d.dst_base + i]);
+  if (d.guarded) ready = std::max(ready, w.pred_ready[d.guard_pred]);
+  if (d.writes_pred) ready = std::max(ready, w.pred_ready[d.wr_pred]);
+  if (d.reads_sel) ready = std::max(ready, w.pred_ready[d.sel_pred]);
   return ready;
 }
 
-void Executor::retire_writeback(WarpRt& w, const Instr& in, std::uint64_t cycle) {
-  const std::uint64_t ready = cycle + latency(gpu_, in.op);
-  if (isa::writes_gpr(in.op) && in.dst != kRZ) {
-    const unsigned width = dst_reg_width(in);
-    for (unsigned i = 0; i < width; ++i) w.reg_ready[in.dst + i] = ready;
-  }
-  if (isa::writes_predicate(in.op)) w.pred_ready[in.dst & 0x07] = ready;
+void Executor::retire_writeback(WarpRt& w, const DecodedInstr& d,
+                                std::uint64_t cycle) {
+  const std::uint64_t ready = cycle + d.latency;
+  for (unsigned i = 0; i < d.dst_width; ++i) w.reg_ready[d.dst_base + i] = ready;
+  if (d.writes_pred) w.pred_ready[d.wr_pred] = ready;
 }
 
 void Executor::release_barrier_if_complete(BlockRt& block, std::uint64_t cycle) {
@@ -371,6 +397,170 @@ void Executor::exec_mma(WarpRt& w, const Instr& in, std::uint64_t cycle,
   }
   (void)cycle;
   (void)pc;
+}
+
+bool Executor::exec_warp_bare(WarpRt& w, std::uint32_t exec_mask,
+                              const Instr& in) {
+  // Per-case lane loops in ascending lane order: with no exec hooks attached
+  // there is nothing to interleave between lanes, so this is bit-identical
+  // to the per-lane dispatch in exec_lane (which each case mirrors verbatim).
+  const bool imm1 = (in.aux & isa::kAuxImmSrc1) != 0;
+  const auto imm_u32 = static_cast<std::uint32_t>(in.imm);
+  const std::uint8_t cmp_bits = in.aux & 0x07;
+
+#define GPUREL_FOR_LANES(body)                  \
+  for (unsigned l = 0; l < 32; ++l)             \
+    if ((exec_mask >> l) & 1u) {                \
+      ThreadRegs& r = w.lanes[l];               \
+      body;                                     \
+    }
+
+  switch (in.op) {
+    case Opcode::NOP:
+      return true;
+    case Opcode::FADD:
+      GPUREL_FOR_LANES(r.setf(in.dst, r.getf(in.src[0]) +
+                                          bits_f32(imm1 ? imm_u32
+                                                        : r.get(in.src[1]))))
+      return true;
+    case Opcode::FMUL:
+      GPUREL_FOR_LANES(r.setf(in.dst, r.getf(in.src[0]) *
+                                          bits_f32(imm1 ? imm_u32
+                                                        : r.get(in.src[1]))))
+      return true;
+    case Opcode::FFMA:
+      GPUREL_FOR_LANES(r.setf(in.dst, std::fma(r.getf(in.src[0]),
+                                               r.getf(in.src[1]),
+                                               r.getf(in.src[2]))))
+      return true;
+    case Opcode::FSETP:
+      GPUREL_FOR_LANES(r.set_pred(
+          in.dst, cmp_eval(static_cast<CmpOp>(cmp_bits), r.getf(in.src[0]),
+                           bits_f32(imm1 ? imm_u32 : r.get(in.src[1])))))
+      return true;
+    case Opcode::DADD:
+      GPUREL_FOR_LANES(r.setd(in.dst, r.getd(in.src[0]) + r.getd(in.src[1])))
+      return true;
+    case Opcode::DMUL:
+      GPUREL_FOR_LANES(r.setd(in.dst, r.getd(in.src[0]) * r.getd(in.src[1])))
+      return true;
+    case Opcode::DFMA:
+      GPUREL_FOR_LANES(r.setd(in.dst, std::fma(r.getd(in.src[0]),
+                                               r.getd(in.src[1]),
+                                               r.getd(in.src[2]))))
+      return true;
+    case Opcode::IADD:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, r.get(in.src[0]) + (imm1 ? imm_u32 : r.get(in.src[1]))))
+      return true;
+    case Opcode::IMUL:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, r.get(in.src[0]) * (imm1 ? imm_u32 : r.get(in.src[1]))))
+      return true;
+    case Opcode::IMAD:
+      GPUREL_FOR_LANES(r.set(
+          in.dst, r.get(in.src[0]) * r.get(in.src[1]) + r.get(in.src[2])))
+      return true;
+    case Opcode::ISETP:
+      GPUREL_FOR_LANES(r.set_pred(
+          in.dst,
+          cmp_eval(static_cast<CmpOp>(cmp_bits),
+                   static_cast<std::int32_t>(r.get(in.src[0])),
+                   static_cast<std::int32_t>(imm1 ? imm_u32
+                                                  : r.get(in.src[1])))))
+      return true;
+    case Opcode::SHL:
+      GPUREL_FOR_LANES(r.set(in.dst, r.get(in.src[0]) << (in.imm & 31)))
+      return true;
+    case Opcode::SHR:
+      GPUREL_FOR_LANES(r.set(in.dst, r.get(in.src[0]) >> (in.imm & 31)))
+      return true;
+    case Opcode::SHRS:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, static_cast<std::uint32_t>(
+                            static_cast<std::int32_t>(r.get(in.src[0])) >>
+                            (in.imm & 31))))
+      return true;
+    case Opcode::LOP_AND:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, r.get(in.src[0]) & (imm1 ? imm_u32 : r.get(in.src[1]))))
+      return true;
+    case Opcode::LOP_OR:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, r.get(in.src[0]) | (imm1 ? imm_u32 : r.get(in.src[1]))))
+      return true;
+    case Opcode::LOP_XOR:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, r.get(in.src[0]) ^ (imm1 ? imm_u32 : r.get(in.src[1]))))
+      return true;
+    case Opcode::MOV:
+      GPUREL_FOR_LANES(r.set(in.dst, r.get(in.src[0])))
+      return true;
+    case Opcode::MOV32I:
+      GPUREL_FOR_LANES(r.set(in.dst, imm_u32))
+      return true;
+    case Opcode::SEL:
+      GPUREL_FOR_LANES({
+        const bool p = r.get_pred(in.aux & 0x07);
+        const bool take_a = (in.aux & isa::kAuxSelNegate) ? !p : p;
+        r.set(in.dst, take_a ? r.get(in.src[0]) : r.get(in.src[1]));
+      })
+      return true;
+    case Opcode::I2F:
+      GPUREL_FOR_LANES(r.setf(
+          in.dst,
+          static_cast<float>(static_cast<std::int32_t>(r.get(in.src[0])))))
+      return true;
+    case Opcode::F2I:
+      GPUREL_FOR_LANES(
+          r.set(in.dst, static_cast<std::uint32_t>(f2i_sat(r.getf(in.src[0])))))
+      return true;
+    case Opcode::LDG:
+    case Opcode::LDS: {
+      const auto width = static_cast<MemWidth>(in.aux);
+      for (unsigned l = 0; l < 32 && due_ == DueKind::None; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        ThreadRegs& r = w.lanes[l];
+        const std::uint32_t eff_addr = r.get(in.src[0]) + imm_u32;
+        std::uint64_t v = 0;
+        const MemStatus st = in.op == Opcode::LDG
+                                 ? global_.load(eff_addr, width, v)
+                                 : w.block->shared.load(eff_addr, width, v);
+        if (st != MemStatus::Ok) {
+          raise_due(st == MemStatus::OutOfBounds ? DueKind::InvalidAddress
+                                                 : DueKind::MisalignedAddress);
+          continue;
+        }
+        if (width == MemWidth::B64) r.set64(in.dst, v);
+        else r.set(in.dst, static_cast<std::uint32_t>(v));
+      }
+      return true;
+    }
+    case Opcode::STG:
+    case Opcode::STS: {
+      const auto width = static_cast<MemWidth>(in.aux);
+      for (unsigned l = 0; l < 32 && due_ == DueKind::None; ++l) {
+        if (!((exec_mask >> l) & 1u)) continue;
+        ThreadRegs& r = w.lanes[l];
+        const std::uint32_t eff_addr = r.get(in.src[0]) + imm_u32;
+        const std::uint64_t v = width == MemWidth::B64
+                                    ? r.get64(in.src[1])
+                                    : (width == MemWidth::B16
+                                           ? (r.get(in.src[1]) & 0xffffu)
+                                           : r.get(in.src[1]));
+        const MemStatus st = in.op == Opcode::STG
+                                 ? global_.store(eff_addr, width, v)
+                                 : w.block->shared.store(eff_addr, width, v);
+        if (st != MemStatus::Ok)
+          raise_due(st == MemStatus::OutOfBounds ? DueKind::InvalidAddress
+                                                 : DueKind::MisalignedAddress);
+      }
+      return true;
+    }
+    default:
+      return false;  // rare opcode: per-lane fallback
+  }
+#undef GPUREL_FOR_LANES
 }
 
 void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
@@ -558,7 +748,7 @@ void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
       std::uint64_t v = 0;
       const MemStatus st = in.op == Opcode::LDG
                                ? global_.load(eff_addr, width, v)
-                               : w.block->shared->load(eff_addr, width, v);
+                               : w.block->shared.load(eff_addr, width, v);
       if (st != MemStatus::Ok) {
         raise_due(st == MemStatus::OutOfBounds ? DueKind::InvalidAddress
                                                : DueKind::MisalignedAddress);
@@ -579,7 +769,7 @@ void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
                                          : r.get(in.src[1]));
       const MemStatus st = in.op == Opcode::STG
                                ? global_.store(eff_addr, width, v)
-                               : w.block->shared->store(eff_addr, width, v);
+                               : w.block->shared.store(eff_addr, width, v);
       if (st != MemStatus::Ok)
         raise_due(st == MemStatus::OutOfBounds ? DueKind::InvalidAddress
                                                : DueKind::MisalignedAddress);
@@ -616,7 +806,7 @@ void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
       break;  // control and MMA handled at warp level
   }
 
-  if (obs_ != nullptr) {
+  if (obs_ != nullptr && (hooks_ & SimObserver::kWantsAfterExec)) {
     ExecContext ctx{cycle, w.sm, lane, w.warp_id, pc, &in, &r, &w.pc, eff_addr};
     obs_->after_exec(ctx);
   }
@@ -624,29 +814,29 @@ void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
 
 void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
   const std::uint32_t pc = w.pc;
-  const Instr& in = launch_->program->at(pc);
+  const Instr& in = code_[pc];
+  const DecodedInstr& d = decode_[pc];
   w.pc = pc + 1;
 
   const std::uint32_t exec_mask = guard_true_mask(w, in);
 
   // Accounting (warp- and lane-level, per unit and per mix class).
   stats_.warp_instructions += 1;
-  const auto unit = static_cast<std::size_t>(isa::unit_kind(in.op));
-  const auto mix = static_cast<std::size_t>(isa::mix_class(in.op));
-  stats_.warp_per_unit[unit] += 1;
-  stats_.warp_per_mix[mix] += 1;
+  stats_.warp_per_unit[d.unit_kind] += 1;
+  stats_.warp_per_mix[d.mix] += 1;
   const unsigned lanes = static_cast<unsigned>(std::popcount(exec_mask));
   stats_.lane_instructions += lanes;
-  stats_.lane_per_unit[unit] += lanes;
-  stats_.lane_busy_per_unit[unit] +=
-      static_cast<double>(lanes) * latency(gpu_, in.op);
+  stats_.lane_per_unit[d.unit_kind] += lanes;
+  stats_.lane_busy_per_unit[d.unit_kind] +=
+      static_cast<double>(lanes) * d.latency;
 
-  if (obs_ != nullptr) {
+  if (obs_ != nullptr && (hooks_ & SimObserver::kWantsWarpIssue)) {
     const WarpIssue wi{cycle, w.sm, w.warp_id, pc, &in, exec_mask};
     obs_->on_warp_issue(wi);
   }
 
-  if (obs_ != nullptr && exec_mask != 0) {
+  if (obs_ != nullptr && (hooks_ & SimObserver::kWantsBeforeExec) &&
+      exec_mask != 0) {
     for (unsigned l = 0; l < 32; ++l) {
       if ((exec_mask >> l) & 1u) {
         ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
@@ -655,9 +845,9 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
     }
   }
 
-  if (isa::is_control(in.op)) {
+  if (d.is_control) {
     exec_control(w, in, pc, exec_mask, cycle);
-    if (obs_ != nullptr) {
+    if (obs_ != nullptr && (hooks_ & SimObserver::kWantsAfterExec)) {
       for (unsigned l = 0; l < 32; ++l) {
         if ((exec_mask >> l) & 1u) {
           ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
@@ -665,20 +855,26 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
         }
       }
     }
-  } else if (in.op == Opcode::HMMA || in.op == Opcode::FMMA) {
+  } else if (d.is_mma) {
     exec_mma(w, in, cycle, pc);
-    if (obs_ != nullptr && due_ == DueKind::None) {
+    if (obs_ != nullptr && (hooks_ & SimObserver::kWantsAfterExec) &&
+        due_ == DueKind::None) {
       for (unsigned l = 0; l < 32; ++l) {
         ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
         obs_->after_exec(ctx);
       }
     }
   } else {
-    for (unsigned l = 0; l < 32 && due_ == DueKind::None; ++l)
-      if ((exec_mask >> l) & 1u) exec_lane(w, l, in, cycle, pc);
+    const bool hooked =
+        obs_ != nullptr &&
+        (hooks_ & (SimObserver::kWantsBeforeExec | SimObserver::kWantsAfterExec));
+    if (hooked || !exec_warp_bare(w, exec_mask, in)) {
+      for (unsigned l = 0; l < 32 && due_ == DueKind::None; ++l)
+        if ((exec_mask >> l) & 1u) exec_lane(w, l, in, cycle, pc);
+    }
   }
 
-  retire_writeback(w, in, cycle);
+  retire_writeback(w, d, cycle);
   if (!w.exited && !w.at_barrier) w.next_try = cycle + 1;
 
   // A corrupted PC (fault injection) or runaway control flow lands outside
@@ -690,59 +886,79 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
 bool Executor::try_issue(
     WarpRt& w, std::uint64_t cycle,
     std::array<unsigned, static_cast<std::size_t>(UnitGroup::kCount)>& used) {
-  if (w.pc >= launch_->program->size()) {
+  if (w.pc >= decode_.size()) {
     raise_due(DueKind::IllegalInstruction);
     return false;
   }
-  const Instr& in = launch_->program->at(w.pc);
-  const std::uint64_t dep = dependency_ready(w, in);
+  const DecodedInstr& d = decode_[w.pc];
+  const std::uint64_t dep = dependency_ready(w, d);
   if (dep > cycle) {
     w.next_try = std::max(w.next_try, dep);
     return false;
   }
-  const UnitGroup g = unit_group(gpu_, in.op);
-  if (used[static_cast<std::size_t>(g)] >= group_issue_limit(gpu_, g)) {
+  if (used[d.unit_group] >= d.group_limit) {
     w.next_try = cycle + 1;
     return false;
   }
-  used[static_cast<std::size_t>(g)] += 1;
+  used[d.unit_group] += 1;
   issue_instr(w, cycle);
   return true;
 }
 
 void Executor::schedule_sm(unsigned sm, std::uint64_t cycle) {
   SmState& s = sms_[sm];
-  if (s.warps.empty()) return;
+  const std::size_t n = s.warps.size();
+  if (n == 0) return;
   std::array<unsigned, static_cast<std::size_t>(UnitGroup::kCount)> used{};
 
+  // One prefilter pass builds each scheduler's candidate ring (warp indices
+  // in ascending order) instead of every scheduler rescanning the full warp
+  // list. Scanning a ring from lower_bound(rr % n) with wraparound visits
+  // exactly the candidates the full rotated scan would have visited, in the
+  // same order; the eligibility re-checks below keep the result identical
+  // even when an earlier issue this cycle mutated warp state (barrier
+  // release re-times warps to a later cycle, so released warps are correctly
+  // not issued this cycle whether or not they appear in a ring).
+  for (auto& ring : rings_) ring.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const WarpRt* w = s.warps[i];
+    if (w->exited || w->at_barrier || w->next_try > cycle) continue;
+    rings_[w->scheduler].push_back(static_cast<std::uint32_t>(i));
+  }
+
   for (unsigned sched = 0; sched < gpu_.schedulers_per_sm; ++sched) {
-    // Collect this scheduler's eligible warps in round-robin order.
     WarpRt* picked = nullptr;
-    const std::size_t n = s.warps.size();
-    const unsigned start = s.rr[sched];
-    for (std::size_t k = 0; k < n; ++k) {
-      WarpRt* w = s.warps[(start + k) % n];
-      if (w->scheduler != sched || w->exited || w->at_barrier) continue;
-      if (w->next_try > cycle) continue;
-      if (!try_issue(*w, cycle, used)) {
-        if (due_ != DueKind::None) return;
-        continue;
+    const std::vector<std::uint32_t>& ring = rings_[sched];
+    if (!ring.empty()) {
+      // rr may exceed n after block retirement shrank the warp list; the
+      // legacy scan indexed modulo n, so the effective start is rr % n.
+      const std::uint32_t start = static_cast<std::uint32_t>(s.rr[sched] % n);
+      const std::size_t rn = ring.size();
+      const std::size_t off = static_cast<std::size_t>(
+          std::lower_bound(ring.begin(), ring.end(), start) - ring.begin());
+      for (std::size_t k = 0; k < rn; ++k) {
+        const std::uint32_t idx = ring[(off + k) % rn];
+        WarpRt* w = s.warps[idx];
+        if (w->exited || w->at_barrier || w->next_try > cycle) continue;
+        if (!try_issue(*w, cycle, used)) {
+          if (due_ != DueKind::None) return;
+          continue;
+        }
+        picked = w;
+        s.rr[sched] = static_cast<unsigned>((idx + 1) % n);
+        break;
       }
-      picked = w;
-      s.rr[sched] = static_cast<unsigned>((start + k + 1) % n);
-      break;
+      if (due_ != DueKind::None) return;
     }
-    if (due_ != DueKind::None) return;
     if (picked == nullptr) continue;
 
     // Dual issue: a second independent instruction from the same warp.
     if (gpu_.issue_per_scheduler >= 2 && !picked->exited && !picked->at_barrier &&
-        picked->pc < launch_->program->size()) {
-      const Instr& next = launch_->program->at(picked->pc);
-      if (!isa::is_control(next.op) && dependency_ready(*picked, next) <= cycle) {
-        const UnitGroup g = unit_group(gpu_, next.op);
-        if (used[static_cast<std::size_t>(g)] < group_issue_limit(gpu_, g)) {
-          used[static_cast<std::size_t>(g)] += 1;
+        picked->pc < decode_.size()) {
+      const DecodedInstr& nd = decode_[picked->pc];
+      if (!nd.is_control && dependency_ready(*picked, nd) <= cycle) {
+        if (used[nd.unit_group] < nd.group_limit) {
+          used[nd.unit_group] += 1;
           issue_instr(*picked, cycle);
           if (due_ != DueKind::None) return;
         }
@@ -762,18 +978,30 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
 
   launch_ = &launch;
   obs_ = observer;
+  hooks_ = observer != nullptr ? observer->wants() : 0u;
   due_ = DueKind::None;
   stats_ = LaunchStats{};
   stats_.shared_bytes_per_block =
       launch.program->shared_bytes() + launch.dynamic_shared;
-  sms_.assign(gpu_.sm_count, SmState{});
-  for (auto& s : sms_) s.rr.assign(gpu_.schedulers_per_sm, 0);
-  block_storage_.clear();
+  if (sms_.size() != gpu_.sm_count) sms_.resize(gpu_.sm_count);
+  for (auto& s : sms_) {
+    s.blocks.clear();
+    s.warps.clear();
+    s.rr.assign(gpu_.schedulers_per_sm, 0);
+    s.resident_warps = 0;
+    s.next_wake = 0;
+    s.touched = false;
+  }
+  if (rings_.size() != gpu_.schedulers_per_sm) rings_.resize(gpu_.schedulers_per_sm);
   live_blocks_.clear();
   live_warps_.clear();
+  blocks_used_ = 0;  // pool watermarks: prior-run storage is reused, not freed
+  warps_used_ = 0;
   next_block_ = 0;
   completed_blocks_ = 0;
   next_warp_id_ = 0;
+  build_decode_table(gpu_, *launch.program, decode_);
+  code_ = &launch.program->at(0);
 
   const auto occ = arch::occupancy(
       gpu_, launch.program->regs_per_thread(),
@@ -787,6 +1015,10 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
     for (unsigned sm = 0; sm < gpu_.sm_count && next_block_ < total_blocks_; ++sm)
       place_block(sm, next_block_++, 0);
   rebuild_live_lists();
+  for (auto& s : sms_) {
+    refresh_wake(s);
+    s.touched = false;
+  }
 
   if (obs_ != nullptr) {
     LaunchInfo info{&launch, launch_ordinal};
@@ -795,11 +1027,10 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
 
   std::uint64_t cycle = 0;
   while (completed_blocks_ < total_blocks_ && due_ == DueKind::None) {
-    // Next event: the earliest cycle any warp can try to issue.
+    // Next event: the earliest per-SM wake cycle (each SM caches the min
+    // next_try over its schedulable warps).
     std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
-    for (const auto& s : sms_)
-      for (const WarpRt* w : s.warps)
-        if (!w->exited && !w->at_barrier) next = std::min(next, w->next_try);
+    for (const auto& s : sms_) next = std::min(next, s.next_wake);
 
     if (next == std::numeric_limits<std::uint64_t>::max()) {
       raise_due(DueKind::BarrierDeadlock);
@@ -824,7 +1055,7 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
       }
       stats_.warp_cycles += static_cast<double>(delta) * resident;
       stats_.block_cycles += static_cast<double>(delta) * static_cast<double>(blocks);
-      if (obs_ != nullptr) {
+      if (obs_ != nullptr && (hooks_ & SimObserver::kWantsTimeAdvance)) {
         obs_->on_time_advance(cycle, next, *this);
         if (due_ != DueKind::None) {
           cycle = next;
@@ -835,8 +1066,14 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
     cycle = next;
 
     bool placement_dirty = false;
-    for (unsigned sm = 0; sm < gpu_.sm_count && due_ == DueKind::None; ++sm)
+    // Only SMs at their wake cycle can issue; skipped SMs have no eligible
+    // warp, so scheduling them would be a no-op.
+    for (unsigned sm = 0; sm < gpu_.sm_count && due_ == DueKind::None; ++sm) {
+      SmState& s = sms_[sm];
+      if (s.next_wake > cycle) continue;
       schedule_sm(sm, cycle);
+      s.touched = true;
+    }
 
     // Retire completed blocks and place pending ones.
     for (auto& s : sms_) {
@@ -851,6 +1088,12 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
       }
     }
     if (placement_dirty) rebuild_live_lists();
+    for (auto& s : sms_) {
+      if (s.touched) {
+        refresh_wake(s);
+        s.touched = false;
+      }
+    }
   }
 
   stats_.cycles = cycle;
@@ -858,12 +1101,17 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
   stats_.finalize(gpu_.max_warps_per_sm);
   if (obs_ != nullptr) obs_->on_launch_end(stats_);
 
+  // Keep pools and per-SM vector capacity for the next run; drop only the
+  // raw-pointer views so a stale Machine can't dangle into reused storage.
   launch_ = nullptr;
   obs_ = nullptr;
-  sms_.clear();
+  hooks_ = 0;
+  for (auto& s : sms_) {
+    s.blocks.clear();
+    s.warps.clear();
+  }
   live_blocks_.clear();
   live_warps_.clear();
-  block_storage_.clear();
   return stats_;
 }
 

@@ -5,12 +5,29 @@
 // (skipping stall gaps). It is simultaneously the functional model (producing
 // outputs and fault effects) and the timing model (producing cycles, IPC and
 // achieved occupancy for the paper's Eq. 4).
+//
+// The engine is event-driven and allocation-free after warm-up:
+//   - each SM caches `next_wake`, the earliest cycle any of its warps can
+//     issue, so finding the next event is an O(sm_count) scan and SMs with
+//     nothing to do are skipped entirely;
+//   - a per-launch decode table (sim/decode.hpp) replaces per-issue opcode
+//     switch dispatch in the scoreboard/issue/retire path;
+//   - BlockRt/WarpRt/SharedMemory come from watermark pools owned by the
+//     executor and are reused across run() calls, so repeated trials (fault
+//     campaigns, beam experiments) stop exercising the allocator;
+//   - the observer's wants() mask is read once per launch and unclaimed hook
+//     families are skipped without constructing their contexts.
+// All of this is behaviour-preserving: scheduling order, stats, outcomes and
+// memory images are bit-identical to the straightforward engine
+// (tests/test_sched_equivalence.cpp pins this against recorded goldens).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/gpu_config.hpp"
+#include "sim/decode.hpp"
 #include "sim/launch.hpp"
 #include "sim/memory.hpp"
 #include "sim/observer.hpp"
@@ -24,7 +41,9 @@ class Executor final : public Machine {
   Executor(const arch::GpuConfig& gpu, GlobalMemory& global);
 
   /// Run one kernel launch to completion (or DUE). `max_cycles` is the
-  /// watchdog budget (0 = no watchdog). The observer may be null.
+  /// watchdog budget (0 = no watchdog). The observer may be null. The
+  /// executor is reusable: state is re-initialised at the start of each run
+  /// while pooled block/warp storage is retained across calls.
   LaunchStats run(const KernelLaunch& launch, SimObserver* observer,
                   std::uint64_t max_cycles, unsigned launch_ordinal = 0);
 
@@ -42,8 +61,15 @@ class Executor final : public Machine {
     std::vector<WarpRt*> warps;           // all resident warps (stable order)
     std::vector<unsigned> rr;             // round-robin cursor per scheduler
     unsigned resident_warps = 0;
+    // Earliest next_try over schedulable (not exited, not at-barrier) warps;
+    // uint64 max when none. Recomputed only after events that touched the SM.
+    std::uint64_t next_wake = 0;
+    bool touched = false;
   };
 
+  BlockRt* acquire_block();
+  WarpRt* acquire_warp();
+  void refresh_wake(SmState& s);
   void place_block(unsigned sm, unsigned linear_block, std::uint64_t cycle);
   void remove_block(BlockRt* block, std::uint64_t cycle);
   void rebuild_live_lists();
@@ -52,27 +78,42 @@ class Executor final : public Machine {
   bool try_issue(WarpRt& w, std::uint64_t cycle,
                  std::array<unsigned,
                             static_cast<std::size_t>(UnitGroup::kCount)>& used);
-  std::uint64_t dependency_ready(const WarpRt& w, const isa::Instr& in) const;
+  std::uint64_t dependency_ready(const WarpRt& w, const DecodedInstr& d) const;
   void issue_instr(WarpRt& w, std::uint64_t cycle);
   void exec_lane(WarpRt& w, unsigned lane, const isa::Instr& in,
                  std::uint64_t cycle, std::uint32_t pc);
+  /// Warp-wide execution of the common opcodes: one switch dispatch per warp
+  /// with a tight lane loop per case, semantically identical to calling
+  /// exec_lane per lane. Only valid when no before/after-exec hooks are
+  /// attached (hook ordering interleaves with lane execution). Returns false
+  /// for opcodes it does not handle (caller falls back to exec_lane).
+  bool exec_warp_bare(WarpRt& w, std::uint32_t exec_mask, const isa::Instr& in);
   void exec_mma(WarpRt& w, const isa::Instr& in, std::uint64_t cycle,
                 std::uint32_t pc);
   void exec_control(WarpRt& w, const isa::Instr& in, std::uint32_t pc,
                     std::uint32_t guard_mask, std::uint64_t cycle);
   void release_barrier_if_complete(BlockRt& block, std::uint64_t cycle);
-  void retire_writeback(WarpRt& w, const isa::Instr& in, std::uint64_t cycle);
+  void retire_writeback(WarpRt& w, const DecodedInstr& d, std::uint64_t cycle);
   std::uint32_t guard_true_mask(const WarpRt& w, const isa::Instr& in) const;
 
   const arch::GpuConfig& gpu_;
   GlobalMemory& global_;
   SimObserver* obs_ = nullptr;
+  unsigned hooks_ = 0;            // obs_->wants(), cached per launch
 
   const KernelLaunch* launch_ = nullptr;
+  const isa::Instr* code_ = nullptr;   // launch_->program's code, cached
+  std::vector<DecodedInstr> decode_;   // rebuilt per run (per program x GPU)
   std::vector<SmState> sms_;
+  std::vector<std::vector<std::uint32_t>> rings_;  // per-scheduler candidates
   std::vector<BlockRt*> live_blocks_;
   std::vector<WarpRt*> live_warps_;
-  std::vector<std::unique_ptr<BlockRt>> block_storage_;
+  // Watermark pools: slots [0, *_used_) are live this run; capacity persists
+  // across runs so steady-state trials perform no allocation.
+  std::vector<std::unique_ptr<BlockRt>> block_pool_;
+  std::vector<std::unique_ptr<WarpRt>> warp_pool_;
+  std::size_t blocks_used_ = 0;
+  std::size_t warps_used_ = 0;
   unsigned next_block_ = 0;       // next linear block to place
   unsigned total_blocks_ = 0;
   unsigned completed_blocks_ = 0;

@@ -5,35 +5,6 @@
 
 namespace gpurel::sim {
 
-namespace {
-
-constexpr std::uint32_t width_bytes(isa::MemWidth w) {
-  switch (w) {
-    case isa::MemWidth::B16: return 2;
-    case isa::MemWidth::B32: return 4;
-    case isa::MemWidth::B64: return 8;
-  }
-  return 4;
-}
-
-MemStatus check(std::uint32_t addr, std::uint32_t size, bool in_bounds) {
-  if (!in_bounds) return MemStatus::OutOfBounds;
-  if (addr % size != 0) return MemStatus::Misaligned;
-  return MemStatus::Ok;
-}
-
-std::uint64_t load_raw(const std::uint8_t* p, std::uint32_t size) {
-  std::uint64_t v = 0;
-  std::memcpy(&v, p, size);
-  return v;
-}
-
-void store_raw(std::uint8_t* p, std::uint32_t size, std::uint64_t v) {
-  std::memcpy(p, &v, size);
-}
-
-}  // namespace
-
 GlobalMemory::GlobalMemory(std::uint32_t capacity) : data_(capacity, 0) {
   if (capacity <= kNullGuard)
     throw std::invalid_argument("GlobalMemory: capacity below null guard");
@@ -53,24 +24,6 @@ void GlobalMemory::reset() {
   // Only the previously allocated window can be dirty.
   std::fill(data_.begin(), data_.begin() + top_, 0);
   top_ = kNullGuard;
-}
-
-MemStatus GlobalMemory::load(std::uint32_t addr, isa::MemWidth w,
-                             std::uint64_t& out) const {
-  const std::uint32_t size = width_bytes(w);
-  const MemStatus st = check(addr, size, valid(addr, size));
-  if (st != MemStatus::Ok) return st;
-  out = load_raw(&data_[addr], size);
-  return MemStatus::Ok;
-}
-
-MemStatus GlobalMemory::store(std::uint32_t addr, isa::MemWidth w,
-                              std::uint64_t value) {
-  const std::uint32_t size = width_bytes(w);
-  const MemStatus st = check(addr, size, valid(addr, size));
-  if (st != MemStatus::Ok) return st;
-  store_raw(&data_[addr], size, value);
-  return MemStatus::Ok;
 }
 
 void GlobalMemory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
@@ -102,26 +55,6 @@ void GlobalMemory::flip_allocated_bit(std::uint64_t bit_index) {
     throw std::out_of_range("GlobalMemory::flip_allocated_bit");
   const std::uint64_t byte = kNullGuard + bit_index / 8;
   data_[byte] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
-}
-
-MemStatus SharedMemory::load(std::uint32_t addr, isa::MemWidth w,
-                             std::uint64_t& out) const {
-  const std::uint32_t size = width_bytes(w);
-  const bool in_bounds = addr + size >= addr && addr + size <= data_.size();
-  const MemStatus st = check(addr, size, in_bounds);
-  if (st != MemStatus::Ok) return st;
-  out = load_raw(&data_[addr], size);
-  return MemStatus::Ok;
-}
-
-MemStatus SharedMemory::store(std::uint32_t addr, isa::MemWidth w,
-                              std::uint64_t value) {
-  const std::uint32_t size = width_bytes(w);
-  const bool in_bounds = addr + size >= addr && addr + size <= data_.size();
-  const MemStatus st = check(addr, size, in_bounds);
-  if (st != MemStatus::Ok) return st;
-  store_raw(&data_[addr], size, value);
-  return MemStatus::Ok;
 }
 
 void SharedMemory::flip_bit(std::uint64_t bit_index) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,36 @@ namespace gpurel::sim {
 
 /// Result of a guest access attempt.
 enum class MemStatus : std::uint8_t { Ok, OutOfBounds, Misaligned };
+
+namespace detail {
+
+constexpr std::uint32_t width_bytes(isa::MemWidth w) {
+  switch (w) {
+    case isa::MemWidth::B16: return 2;
+    case isa::MemWidth::B32: return 4;
+    case isa::MemWidth::B64: return 8;
+  }
+  return 4;
+}
+
+// Widths are powers of two, so natural alignment is a mask test.
+inline MemStatus check(std::uint32_t addr, std::uint32_t size, bool in_bounds) {
+  if (!in_bounds) return MemStatus::OutOfBounds;
+  if ((addr & (size - 1)) != 0) return MemStatus::Misaligned;
+  return MemStatus::Ok;
+}
+
+inline std::uint64_t load_raw(const std::uint8_t* p, std::uint32_t size) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, size);
+  return v;
+}
+
+inline void store_raw(std::uint8_t* p, std::uint32_t size, std::uint64_t v) {
+  std::memcpy(p, &v, size);
+}
+
+}  // namespace detail
 
 class GlobalMemory {
  public:
@@ -32,9 +63,22 @@ class GlobalMemory {
   void reset();
 
   /// Guest access (bounds- and alignment-checked against the allocated
-  /// watermark). B16 loads zero-extend; B64 moves 8 bytes.
-  MemStatus load(std::uint32_t addr, isa::MemWidth w, std::uint64_t& out) const;
-  MemStatus store(std::uint32_t addr, isa::MemWidth w, std::uint64_t value);
+  /// watermark). B16 loads zero-extend; B64 moves 8 bytes. Inline: this is
+  /// the hottest leaf of the whole simulator (one call per LDG/STG lane).
+  MemStatus load(std::uint32_t addr, isa::MemWidth w, std::uint64_t& out) const {
+    const std::uint32_t size = detail::width_bytes(w);
+    const MemStatus st = detail::check(addr, size, valid(addr, size));
+    if (st != MemStatus::Ok) return st;
+    out = detail::load_raw(&data_[addr], size);
+    return MemStatus::Ok;
+  }
+  MemStatus store(std::uint32_t addr, isa::MemWidth w, std::uint64_t value) {
+    const std::uint32_t size = detail::width_bytes(w);
+    const MemStatus st = detail::check(addr, size, valid(addr, size));
+    if (st != MemStatus::Ok) return st;
+    detail::store_raw(&data_[addr], size, value);
+    return MemStatus::Ok;
+  }
 
   /// Host access (asserted valid).
   void write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes);
@@ -65,8 +109,25 @@ class SharedMemory {
  public:
   explicit SharedMemory(std::uint32_t bytes) : data_(bytes, 0) {}
 
-  MemStatus load(std::uint32_t addr, isa::MemWidth w, std::uint64_t& out) const;
-  MemStatus store(std::uint32_t addr, isa::MemWidth w, std::uint64_t value);
+  /// Resize to `bytes` and zero (block-pool reuse; keeps vector capacity).
+  void reset(std::uint32_t bytes) { data_.assign(bytes, 0); }
+
+  MemStatus load(std::uint32_t addr, isa::MemWidth w, std::uint64_t& out) const {
+    const std::uint32_t size = detail::width_bytes(w);
+    const bool in_bounds = addr + size >= addr && addr + size <= data_.size();
+    const MemStatus st = detail::check(addr, size, in_bounds);
+    if (st != MemStatus::Ok) return st;
+    out = detail::load_raw(&data_[addr], size);
+    return MemStatus::Ok;
+  }
+  MemStatus store(std::uint32_t addr, isa::MemWidth w, std::uint64_t value) {
+    const std::uint32_t size = detail::width_bytes(w);
+    const bool in_bounds = addr + size >= addr && addr + size <= data_.size();
+    const MemStatus st = detail::check(addr, size, in_bounds);
+    if (st != MemStatus::Ok) return st;
+    detail::store_raw(&data_[addr], size, value);
+    return MemStatus::Ok;
+  }
 
   void flip_bit(std::uint64_t bit_index);
   std::uint64_t bits() const { return static_cast<std::uint64_t>(data_.size()) * 8; }

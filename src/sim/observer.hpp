@@ -72,6 +72,24 @@ struct WarpIssue {
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
+
+  /// Capability bits for wants(): which hook families this observer actually
+  /// implements. The executor reads the mask once per launch and skips
+  /// dispatch (including per-lane ExecContext construction) for unclaimed
+  /// hooks, so bare and sparsely-instrumented runs pay nothing for the
+  /// hooks they don't use. on_launch_begin/on_launch_end are always
+  /// delivered (once per launch — not worth a bit). Overriding wants() is a
+  /// pure optimization: the default claims everything, and because default
+  /// hook bodies are no-ops, skipping an unclaimed hook never changes
+  /// behaviour. An observer that overrides a hook MUST claim its bit.
+  static constexpr unsigned kWantsBeforeExec = 1u << 0;
+  static constexpr unsigned kWantsAfterExec = 1u << 1;
+  static constexpr unsigned kWantsWarpIssue = 1u << 2;
+  static constexpr unsigned kWantsTimeAdvance = 1u << 3;
+  static constexpr unsigned kWantsBlocks = 1u << 4;  // placed + retired
+  static constexpr unsigned kWantsAll = 0x1f;
+  virtual unsigned wants() const { return kWantsAll; }
+
   virtual void on_launch_begin(const LaunchInfo&, Machine&) {}
   virtual void on_launch_end(const LaunchStats&) {}
   /// Simulated time advanced from `from` (exclusive) to `to` (inclusive).
@@ -97,6 +115,11 @@ class SimObserver {
 class TeeObserver final : public SimObserver {
  public:
   TeeObserver(SimObserver* a, SimObserver* b) : a_(a), b_(b) {}
+
+  unsigned wants() const override {
+    return (a_ != nullptr ? a_->wants() : 0u) |
+           (b_ != nullptr ? b_->wants() : 0u);
+  }
 
   void on_launch_begin(const LaunchInfo& li, Machine& m) override {
     if (a_ != nullptr) a_->on_launch_begin(li, m);

@@ -27,6 +27,8 @@ class Tracer final : public SimObserver {
  public:
   explicit Tracer(std::ostream& os, TraceFilter filter = {});
 
+  unsigned wants() const override { return kWantsAfterExec; }
+
   void after_exec(ExecContext& ctx) override;
 
   /// Lines emitted so far.

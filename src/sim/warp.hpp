@@ -11,7 +11,6 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "sim/memory.hpp"
@@ -55,8 +54,8 @@ struct BlockRt {
   unsigned warps_total = 0;
   unsigned warps_exited = 0;
   unsigned warps_at_barrier = 0;
-  std::unique_ptr<SharedMemory> shared;
-  std::vector<std::unique_ptr<WarpRt>> warps;
+  SharedMemory shared{0};
+  std::vector<WarpRt*> warps;  // non-owning; storage lives in the executor pool
 };
 
 }  // namespace gpurel::sim

@@ -108,6 +108,32 @@ TEST(Determinism, CampaignBitIdenticalAcrossSchedulesAndChunks) {
   EXPECT_EQ(cyc_dyn, cyc_rr);
 }
 
+TEST(Determinism, PrecountedSitesDoNotPerturbResults) {
+  // Sharing one fault-free counting pass across campaigns (via
+  // CampaignConfig::sites) must be invisible: trial seeding and sampling
+  // depend only on the site counts, which are identical whether counted
+  // inline or precomputed.
+  auto inj = fault::make_sassifi();
+  fault::CampaignConfig base;
+  base.injections_per_kind = 8;
+  base.ia_injections = 10;
+  base.store_addr_injections = 6;
+  base.seed = 2024;
+  base.workers = 3;
+  auto factory = [&] {
+    return std::make_unique<MxM>(cfg(inj->profile()), Precision::Single, 16);
+  };
+
+  const auto inline_counted = fault::run_campaign(*inj, factory, base);
+
+  const fault::SiteCounts sites = fault::count_sites(*inj, factory);
+  fault::CampaignConfig precounted = base;
+  precounted.sites = &sites;
+  expect_same_campaign(inline_counted,
+                       fault::run_campaign(*inj, factory, precounted),
+                       "precounted sites");
+}
+
 TEST(Determinism, ObservabilityDoesNotPerturbResults) {
   // The full observability stack — JSONL telemetry, the metrics registry
   // (always on), and Chrome-trace output — reads timestamps and counters but
