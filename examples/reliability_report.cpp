@@ -6,6 +6,8 @@
 //   ./reliability_report --code=MXM --precision=single --arch=kepler
 //   ./reliability_report --code=GEMM-MMA --precision=half --arch=volta --csv
 //   ./reliability_report --code=MXM --metrics-out=m.json --trace-out=t.json
+//   ./reliability_report --code=MXM --json          # versioned JSON document
+//   ./reliability_report --code=MXM --cache-dir=/tmp/gpurel-cache
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
   sc.app_scale = cli.get_double("scale", 1.0);
   sc.workers = static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 1));
   sc.progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
+  sc.cache_dir = cli.get("cache-dir");  // empty → GPUREL_CACHE → recompute
   obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
   sc.trace = exporter.trace();
   core::Study study(volta ? arch::GpuConfig::volta_v100(2)
@@ -50,9 +53,20 @@ int main(int argc, char** argv) {
                     sc);
 
   const kernels::CatalogEntry entry{code, precision};
-  std::printf("reliability report: %s on %s\n\n",
-              kernels::entry_name(entry).c_str(), study.gpu().name.c_str());
+  const bool as_json = cli.get_bool("json");
+  if (!as_json)
+    std::printf("reliability report: %s on %s\n\n",
+                kernels::entry_name(entry).c_str(), study.gpu().name.c_str());
   const auto ev = study.evaluate(entry);
+
+  if (as_json) {
+    // Machine-readable document, schema-versioned (see core/report.hpp).
+    std::cout << core::code_report_json(ev).dump() << "\n";
+    if (cli.get_bool("micro"))
+      std::cout << core::micro_report_json(study.microbenchmarks()).dump()
+                << "\n";
+    return 0;
+  }
 
   core::ReportOptions options;
   options.csv = cli.get_bool("csv");

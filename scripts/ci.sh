@@ -60,6 +60,57 @@ print(f"observability smoke OK: {len(lines)} telemetry events, "
       f"{len(prom)} exposition lines")
 EOF
 
+echo "==> job layer smoke (3-way shard + merge vs unsharded + cache hits)"
+JOBS_BIN=./build-werror/tools/gpurel_jobs
+JOB_DIR="${OBS_DIR}/jobs"
+mkdir -p "${JOB_DIR}"
+# Plan a small campaign both 3-way-sharded and unsharded.
+"${JOBS_BIN}" plan --kind=campaign --arch=kepler --code=ADD --precision=single \
+  --injector=NVBitFI --injections=10 --rf=6 --ia=4 --seed=7 --scale=0.1 \
+  --shards=3 --out="${JOB_DIR}/add" >/dev/null
+"${JOBS_BIN}" plan --kind=campaign --arch=kepler --code=ADD --precision=single \
+  --injector=NVBitFI --injections=10 --rf=6 --ia=4 --seed=7 --scale=0.1 \
+  --shards=1 --out="${JOB_DIR}/add1" >/dev/null
+# Run every shard (sharing one cache) and the unsharded reference.
+for i in 0 1 2; do
+  "${JOBS_BIN}" run --spec="${JOB_DIR}/add.shard${i}of3.json" \
+    --out="${JOB_DIR}/out.${i}.json" --cache-dir="${JOB_DIR}/cache" >/dev/null
+done
+"${JOBS_BIN}" run --spec="${JOB_DIR}/add1.shard0of1.json" \
+  --out="${JOB_DIR}/unsharded.json" --cache-dir="${JOB_DIR}/cache" >/dev/null
+# The merged shards must be byte-identical to the unsharded run.
+"${JOBS_BIN}" merge --out="${JOB_DIR}/merged.json" \
+  "${JOB_DIR}"/out.[0-2].json >/dev/null
+cmp "${JOB_DIR}/merged.json" "${JOB_DIR}/unsharded.json"
+# Re-run everything against the warm cache in a fresh process: every job
+# must be served from the cache (4 hits, 0 misses) with zero simulated
+# trials, and still write byte-identical outputs.
+for i in 0 1 2; do
+  "${JOBS_BIN}" run --spec="${JOB_DIR}/add.shard${i}of3.json" \
+    --out="${JOB_DIR}/rerun.${i}.json" --cache-dir="${JOB_DIR}/cache" \
+    --metrics-out="${JOB_DIR}/metrics.${i}.json" >/dev/null
+  cmp "${JOB_DIR}/out.${i}.json" "${JOB_DIR}/rerun.${i}.json"
+done
+"${JOBS_BIN}" run --spec="${JOB_DIR}/add1.shard0of1.json" \
+  --out="${JOB_DIR}/rerun.u.json" --cache-dir="${JOB_DIR}/cache" \
+  --metrics-out="${JOB_DIR}/metrics.u.json" >/dev/null
+cmp "${JOB_DIR}/unsharded.json" "${JOB_DIR}/rerun.u.json"
+python3 - "${JOB_DIR}" <<'EOF'
+import glob, json, sys
+d = sys.argv[1]
+hits = misses = trials = 0
+for path in glob.glob(f"{d}/metrics.*.json"):
+    for m in json.load(open(path))["metrics"]:
+        if m["name"] == "gpurel_job_cache_hits_total": hits += m["value"]
+        if m["name"] == "gpurel_job_cache_misses_total": misses += m["value"]
+        if m["name"] == "gpurel_campaign_trials_total": trials += m["value"]
+assert hits == 4, f"expected 4 cache hits, got {hits}"
+assert misses == 0, f"expected 0 cache misses, got {misses}"
+assert trials == 0, f"cache-served reruns simulated {trials} trials"
+print(f"job smoke OK: 3-way merge byte-identical, {hits} cache hits, "
+      f"0 misses, 0 simulated trials on rerun")
+EOF
+
 echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism)"
 # Always-on subset of the full tsan preset: the two tests that exercise the
 # worker pool and the cross-worker bit-identity contract. The preset's ctest

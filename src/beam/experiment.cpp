@@ -1,6 +1,7 @@
 #include "beam/experiment.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -17,6 +18,43 @@ namespace gpurel::beam {
 using fault::OutcomeCounts;
 using isa::Opcode;
 using isa::UnitKind;
+
+void BeamResult::refresh_fits() {
+  const double n = static_cast<double>(std::max<std::uint64_t>(1, runs));
+  // Display normalization keeps typical values O(1..100).
+  constexpr double kDisplay = 1.0e3;
+  per_event_fit = fit_scale * kDisplay / n;
+  auto to_fit = [&](std::uint64_t count, ConfidenceInterval& ci_out) {
+    const ConfidenceInterval ci = poisson_ci95(count);
+    const double fit = fit_scale * (static_cast<double>(count) / n) * kDisplay;
+    ci_out.point = fit;
+    ci_out.lower = fit_scale * (ci.lower / n) * kDisplay;
+    ci_out.upper = fit_scale * (ci.upper / n) * kDisplay;
+    return fit;
+  };
+  fit_sdc = to_fit(outcomes.sdc, fit_sdc_ci);
+  fit_due = to_fit(outcomes.due, fit_due_ci);
+}
+
+void BeamResult::merge(const BeamResult& other) {
+  auto mismatch = [](const char* what) {
+    throw std::invalid_argument(std::string("BeamResult::merge: ") + what +
+                                " mismatch — results are not shards of the "
+                                "same experiment");
+  };
+  if (workload != other.workload) mismatch("workload");
+  if (device != other.device) mismatch("device");
+  if (ecc != other.ecc) mismatch("ecc");
+  if (mode != other.mode) mismatch("mode");
+  if (fit_scale != other.fit_scale) mismatch("fit_scale");
+  if (device_sigma_rate != other.device_sigma_rate)
+    mismatch("device_sigma_rate");
+  runs += other.runs;
+  outcomes.merge(other.outcomes);
+  for (std::size_t t = 0; t < by_target.size(); ++t)
+    by_target[t].merge(other.by_target[t]);
+  refresh_fits();
+}
 
 std::string_view strike_target_name(StrikeTarget t) {
   switch (t) {
@@ -291,9 +329,22 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
   result.device = ref->config().gpu.name;
   result.ecc = config.ecc;
   result.mode = config.mode;
-  result.runs = config.runs;
   result.device_sigma_rate =
       exposure.trial_cycles > 0 ? total_weight / exposure.trial_cycles : 0.0;
+
+  // Shard selection: every shard derives the identical per-run seed chain
+  // below and then owns the runs r with r % shard_count == shard_index. The
+  // result reports the owned subset; BeamResult::merge over all shards
+  // reproduces the unsharded experiment bit for bit.
+  if (config.shard_count == 0 || config.shard_index >= config.shard_count)
+    throw std::invalid_argument(
+        "run_beam: shard_index must be < shard_count (>= 1)");
+  std::vector<std::size_t> owned;
+  owned.reserve(config.runs / config.shard_count + 1);
+  for (std::size_t r = config.shard_index; r < config.runs;
+       r += config.shard_count)
+    owned.push_back(r);
+  result.runs = owned.size();
 
   // Flat sampling vector: all unit kinds, then RF, SH, GL, Hidden.
   std::vector<double> flat(kKinds + 4);
@@ -332,13 +383,15 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
     sink->emit("beam_start",
                {{"workload", result.workload},
                 {"device", result.device},
-                {"runs", std::uint64_t{config.runs}},
+                {"runs", std::uint64_t{owned.size()}},
                 {"workers", workers},
                 {"chunk", dynamic ? chunk : std::size_t{0}},
                 {"schedule", dynamic ? "dynamic" : "static"},
                 {"mode", config.mode == BeamMode::Accelerated ? "accelerated"
                                                               : "natural"},
-                {"ecc", config.ecc}});
+                {"ecc", config.ecc},
+                {"shard_index", config.shard_index},
+                {"shard_count", config.shard_count}});
 
   if (total_weight <= 0.0) {
     if (sink != nullptr)
@@ -488,7 +541,7 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
   };
 
   telemetry::Progress progress(config.progress, "beam " + result.workload,
-                               config.runs);
+                               owned.size());
   telemetry::Counter done;
   auto after_chunk = [&](std::size_t begin, std::size_t end) {
     done.add(end - begin);
@@ -497,7 +550,7 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
       sink->emit("beam_chunk", {{"begin", begin},
                                 {"end", end},
                                 {"done", done.value()},
-                                {"total", std::uint64_t{config.runs}}});
+                                {"total", std::uint64_t{owned.size()}}});
   };
   auto emit_chunk_span = [&](std::size_t worker, double t0, std::size_t begin,
                              std::size_t n) {
@@ -508,10 +561,12 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
                     static_cast<int>(worker), t0, trace->now_us() - t0,
                     {{"begin", begin}, {"runs", n}});
   };
+  // Ranges handed to the schedulers are *positions* in the owned order
+  // (dense [0, owned.size())); run_one maps them back to global run ids.
   auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     WorkerState& st = ensure_state(worker);
     const double t0 = trace != nullptr ? trace->now_us() : 0.0;
-    for (std::size_t r = begin; r < end; ++r) run_one(st, r);
+    for (std::size_t p = begin; p < end; ++p) run_one(st, owned[p]);
     emit_chunk_span(worker, t0, begin, end - begin);
     after_chunk(begin, end);
   };
@@ -521,8 +576,8 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
       WorkerState& st = ensure_state(shard);
       const double t0 = trace != nullptr ? trace->now_us() : 0.0;
       std::size_t n = 0;
-      for (std::size_t r = shard; r < config.runs; r += workers, ++n)
-        run_one(st, r);
+      for (std::size_t p = shard; p < owned.size(); p += workers, ++n)
+        run_one(st, owned[p]);
       if (n > 0) {
         emit_chunk_span(shard, t0, shard, n);
         after_chunk(shard, shard + n);  // one completion per shard
@@ -535,20 +590,19 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
       parallel_for(pool, workers, run_shard);
     }
   } else if (workers == 1) {
-    for (std::size_t begin = 0; begin < config.runs;) {
+    for (std::size_t begin = 0; begin < owned.size();) {
       const std::size_t step =
-          chunk > 0 ? chunk
-                    : guided_chunk(std::size_t{config.runs} - begin, 1);
-      const std::size_t end = std::min<std::size_t>(config.runs, begin + step);
+          chunk > 0 ? chunk : guided_chunk(owned.size() - begin, 1);
+      const std::size_t end = std::min(owned.size(), begin + step);
       run_range(0, begin, end);
       begin = end;
     }
   } else {
     ThreadPool pool(workers);
-    parallel_chunks(pool, config.runs, chunk, run_range);
+    parallel_chunks(pool, owned.size(), chunk, run_range);
   }
 
-  for (std::size_t r = 0; r < config.runs; ++r) {
+  for (const std::size_t r : owned) {
     result.outcomes.add(outcomes[r]);
     if (run_target[r] < kTargets) result.by_target[run_target[r]].add(outcomes[r]);
   }
@@ -571,34 +625,23 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
     bump("due", c.due);
   }
 
-  // Convert conditional probabilities to FIT (arbitrary units).
-  const double runs = static_cast<double>(std::max<std::uint64_t>(1, result.runs));
+  // Convert conditional probabilities to FIT (arbitrary units). The scale
+  // factor is a per-workload constant; the expression tree itself lives in
+  // refresh_fits() so shard merges reproduce it exactly.
   const double t_cycles = static_cast<double>(std::max<std::uint64_t>(1, golden.cycles));
-  double scale = 0.0;
   if (config.mode == BeamMode::Accelerated) {
-    scale = total_weight / t_cycles;  // FIT = Σw/T * P(X|strike)
+    result.fit_scale = total_weight / t_cycles;  // FIT = Σw/T * P(X|strike)
   } else {
-    scale = 1.0 / (config.flux_scale * t_cycles);  // FIT = count/(runs*flux*T)
+    // FIT = count/(runs*flux*T)
+    result.fit_scale = 1.0 / (config.flux_scale * t_cycles);
   }
-  // Display normalization keeps typical values O(1..100).
-  constexpr double kDisplay = 1.0e3;
-  result.per_event_fit = scale * kDisplay / runs;
-  auto to_fit = [&](std::uint64_t count, ConfidenceInterval& ci_out) {
-    const ConfidenceInterval ci = poisson_ci95(count);
-    const double fit = scale * (static_cast<double>(count) / runs) * kDisplay;
-    ci_out.point = fit;
-    ci_out.lower = scale * (ci.lower / runs) * kDisplay;
-    ci_out.upper = scale * (ci.upper / runs) * kDisplay;
-    return fit;
-  };
-  result.fit_sdc = to_fit(result.outcomes.sdc, result.fit_sdc_ci);
-  result.fit_due = to_fit(result.outcomes.due, result.fit_due_ci);
+  result.refresh_fits();
 
   if (sink != nullptr) {
     const double ms = wall.elapsed_ms();
     sink->emit("beam_end",
                {{"workload", result.workload},
-                {"runs", std::uint64_t{config.runs}},
+                {"runs", result.runs},
                 {"masked", result.outcomes.masked},
                 {"sdc", result.outcomes.sdc},
                 {"due", result.outcomes.due},
@@ -606,7 +649,8 @@ BeamResult run_beam(const CrossSectionDb& db, const core::WorkloadFactory& facto
                 {"fit_due", result.fit_due},
                 {"wall_ms", ms},
                 {"runs_per_sec",
-                 ms > 0 ? 1000.0 * static_cast<double>(config.runs) / ms : 0.0}});
+                 ms > 0 ? 1000.0 * static_cast<double>(result.runs) / ms
+                        : 0.0}});
   }
   return result;
 }

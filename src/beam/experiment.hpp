@@ -47,7 +47,7 @@ enum class StrikeTarget : std::uint8_t {
 
 std::string_view strike_target_name(StrikeTarget t);
 
-struct BeamConfig {
+struct BeamConfig : obs::RunContext {
   unsigned runs = 200;
   BeamMode mode = BeamMode::Accelerated;
   /// Natural mode: expected strikes per run = flux_scale x Σ σ_r·E_r.
@@ -60,13 +60,15 @@ struct BeamConfig {
   fault::Schedule schedule = fault::Schedule::Dynamic;
   /// Runs per dynamically-scheduled chunk; 0 = guided self-scheduling.
   unsigned chunk = 0;
-  /// JSONL telemetry sink; null falls back to GPUREL_TELEMETRY=<path>.
-  telemetry::Sink* telemetry = nullptr;
-  /// Chrome-trace timeline writer (per-worker chunk spans); null falls back
-  /// to GPUREL_TRACE=<path>. Strictly observational.
-  obs::TraceWriter* trace = nullptr;
-  /// Live runs-done meter on stderr.
-  bool progress = false;
+  /// Multi-process sharding: this process executes the runs r of the full
+  /// per-run seed chain with r % shard_count == shard_index, and the result
+  /// reports that subset (runs = owned count). BeamResult::merge over all
+  /// shards is bit-identical to the unsharded experiment.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+
+  obs::RunContext& context() { return *this; }
+  const obs::RunContext& context() const { return *this; }
 };
 
 struct BeamResult {
@@ -99,9 +101,27 @@ struct BeamResult {
   /// by_target, e.g. the functional-unit-only SDC rate.
   double per_event_fit = 0.0;
 
+  /// Conversion factor from P(error) to FIT before display normalization:
+  /// Σw/T in accelerated mode, 1/(flux·T) in natural mode. A per-workload
+  /// constant (identical across shards); kept so refresh_fits() can replay
+  /// the exact FIT expression after a merge changes the counts.
+  double fit_scale = 0.0;
+
   double fit_of(std::uint64_t events) const {
     return per_event_fit * static_cast<double>(events);
   }
+
+  /// Recompute fit_sdc / fit_due / CIs / per_event_fit from the current
+  /// outcome counts, runs, and fit_scale. run_beam and merge() share this
+  /// exact expression tree, which is what makes a sharded merge reproduce
+  /// the unsharded FITs byte for byte.
+  void refresh_fits();
+
+  /// Fold another shard of the same experiment into this result: sums runs
+  /// and outcome tallies, then refreshes the FITs. Throws
+  /// std::invalid_argument when workload/device/ecc/mode/fit_scale disagree
+  /// (those are per-experiment constants).
+  void merge(const BeamResult& other);
 };
 
 /// Run a beam experiment on a workload built by `factory`.

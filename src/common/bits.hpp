@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <string_view>
 
 namespace gpurel {
 
@@ -38,6 +39,19 @@ constexpr int popcount64(std::uint64_t m) { return std::popcount(m); }
 /// Lane mask with the low `n` lanes set (n <= 64).
 constexpr std::uint64_t lane_mask(unsigned n) {
   return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// 64-bit FNV-1a over a byte string. Used as the stable content hash of
+/// canonical JSON documents (job specs, cache keys); the constants are the
+/// standard FNV offset basis and prime, so hashes never drift across
+/// platforms or rebuilds.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 }  // namespace gpurel

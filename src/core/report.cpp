@@ -4,6 +4,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "job/serialize.hpp"
 
 namespace gpurel::core {
 
@@ -139,6 +140,78 @@ void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
       else t.render_text(os);
     }
   }
+}
+
+json::Value code_report_json(const Study::CodeEvaluation& ev) {
+  using json::Value;
+  Value v = Value::object();
+  v.set("schema_version", job::kResultSchemaVersion);
+  v.set("type", "code_report");
+  v.set("code", ev.name);
+  {
+    Value p = Value::object();
+    p.set("ipc", ev.profile.ipc);
+    p.set("occupancy", ev.profile.occupancy);
+    p.set("phi", ev.profile.phi());
+    p.set("regs_per_thread", ev.profile.regs_per_thread);
+    p.set("shared_bytes", ev.profile.shared_bytes);
+    p.set("active_lane_fraction", ev.profile.active_lane_fraction);
+    p.set("sm_imbalance", ev.profile.sm_imbalance);
+    v.set("profile", std::move(p));
+  }
+  v.set("sassifi", ev.sassifi ? job::campaign_result_to_json(*ev.sassifi)
+                              : Value());
+  v.set("nvbitfi", ev.nvbitfi ? job::campaign_result_to_json(*ev.nvbitfi)
+                              : Value());
+  v.set("nvbitfi_substituted", ev.nvbitfi_substituted);
+  v.set("half_avf_substituted", ev.half_avf_substituted);
+  {
+    Value b = Value::object();
+    b.set("ecc_on", job::beam_result_to_json(ev.beam_ecc_on));
+    b.set("ecc_off", job::beam_result_to_json(ev.beam_ecc_off));
+    v.set("beam", std::move(b));
+  }
+  {
+    Value preds = Value::object();
+    auto add = [&](const char* key,
+                   const std::optional<model::FitPrediction>& p) {
+      if (!p) {
+        preds.set(key, Value());
+        return;
+      }
+      Value e = Value::object();
+      e.set("sdc", p->sdc);
+      e.set("due", p->due);
+      preds.set(key, std::move(e));
+    };
+    add("sassifi_ecc_on", ev.pred_sassifi_on);
+    add("sassifi_ecc_off", ev.pred_sassifi_off);
+    add("nvbitfi_ecc_on", ev.pred_nvbitfi_on);
+    add("nvbitfi_ecc_off", ev.pred_nvbitfi_off);
+    v.set("predictions", std::move(preds));
+  }
+  return v;
+}
+
+json::Value micro_report_json(
+    const std::vector<Study::MicroCharacterization>& micro) {
+  using json::Value;
+  Value v = Value::object();
+  v.set("schema_version", job::kResultSchemaVersion);
+  v.set("type", "micro_report");
+  Value rows = Value::array();
+  for (const auto& mc : micro) {
+    Value e = Value::object();
+    e.set("name", mc.name);
+    e.set("unit", mc.is_rf ? std::string_view("RF")
+                           : isa::unit_kind_name(mc.kind));
+    e.set("micro_avf", mc.micro_avf);
+    e.set("exposed_bits", mc.exposed_bits);
+    e.set("beam", job::beam_result_to_json(mc.beam));
+    rows.push_back(std::move(e));
+  }
+  v.set("benches", std::move(rows));
+  return v;
 }
 
 void write_micro_report(std::ostream& os,

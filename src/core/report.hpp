@@ -1,11 +1,15 @@
-// Human-readable reports over Study results: the library-level rendering
-// used by the reliability_report example and available to downstream tools
-// (text or CSV, stable field ordering for scripting).
+// Reports over Study results: the human-readable rendering (text or CSV,
+// stable field ordering for scripting) used by the reliability_report
+// example, plus a machine-readable JSON form. The JSON documents carry a
+// top-level `schema_version` (= job::kResultSchemaVersion) and embed
+// campaign/beam results through the job-layer serializers — one serialized
+// layout per engine type across reports, JobResult files, and the cache.
 #pragma once
 
 #include <ostream>
 #include <string>
 
+#include "common/json.hpp"
 #include "core/study.hpp"
 
 namespace gpurel::core {
@@ -32,5 +36,13 @@ void write_micro_report(std::ostream& os,
 /// One-line verdict for a prediction vs a beam measurement, in the paper's
 /// signed-ratio language ("within 5x", "underestimated Nx", ...).
 std::string prediction_verdict(double beam_fit, double predicted_fit);
+
+/// Machine-readable evaluation document (schema_version, profile summary,
+/// campaign/beam results via job::*_to_json, Eq. 1-4 predictions).
+json::Value code_report_json(const Study::CodeEvaluation& ev);
+
+/// Machine-readable microbenchmark characterization document.
+json::Value micro_report_json(
+    const std::vector<Study::MicroCharacterization>& micro);
 
 }  // namespace gpurel::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/telemetry.hpp"
+#include "job/runner.hpp"
 #include "obs/trace.hpp"
 
 namespace gpurel::core {
@@ -54,6 +55,14 @@ Study::Study(arch::GpuConfig gpu, StudyConfig config)
 WorkloadConfig Study::workload_config(double scale,
                                       isa::CompilerProfile profile) const {
   return {gpu_, profile, config_.seed ^ 0x5eed, scale};
+}
+
+job::RunOptions Study::run_options() const {
+  job::RunOptions opts;
+  opts.workers = config_.workers;
+  opts.context = config_.context();
+  opts.cache_dir = config_.cache_dir;
+  return opts;
 }
 
 std::vector<CatalogEntry> Study::app_catalog() const {
@@ -241,28 +250,33 @@ std::optional<fault::CampaignResult> Study::run_injection(
     if (substituted != nullptr) *substituted = true;
   }
 
-  WorkloadConfig wc{target_gpu, injector.profile(), config_.seed ^ 0x5eed,
-                    config_.app_scale};
-  const auto factory =
-      kernels::workload_factory(entry.base, entry.precision, wc);
-
-  fault::CampaignConfig cc;
-  cc.injections_per_kind = injections_per_kind;
-  cc.seed = config_.seed * 131071 +
-            std::hash<std::string>{}(injector.name() + entry.base) +
-            static_cast<std::uint64_t>(entry.precision);
-  cc.workers = config_.workers;
-  cc.telemetry = config_.telemetry;
-  cc.trace = config_.trace;
-  cc.progress = config_.progress;
+  // Route through the job layer: an identical spec was possibly already
+  // computed (by a previous Study, a sharded gpurel_jobs fan-out, or an
+  // earlier run of this process) and is then served from the cache
+  // bit-identically; per-trial seeding guarantees the recompute path matches.
+  fault::InjectionBudget budget;
+  budget.injections_per_kind = injections_per_kind;
   if (aux_modes && injector.supports(fault::FaultModel::RegisterFile)) {
-    cc.rf_injections = config_.rf_injections;
-    cc.pred_injections = config_.pred_injections;
-    cc.ia_injections = config_.ia_injections;
-    cc.store_value_injections = config_.store_injections;
-    cc.store_addr_injections = config_.store_injections;
+    budget.rf_injections = config_.rf_injections;
+    budget.pred_injections = config_.pred_injections;
+    budget.ia_injections = config_.ia_injections;
+    budget.store_value_injections = config_.store_value_injections;
+    budget.store_addr_injections = config_.store_addr_injections;
+  } else {
+    budget.rf_injections = 0;
+    budget.pred_injections = 0;
+    budget.ia_injections = 0;
+    budget.store_value_injections = 0;
+    budget.store_addr_injections = 0;
   }
-  return fault::run_campaign(injector, factory, cc);
+  const std::uint64_t seed =
+      config_.seed * 131071 +
+      std::hash<std::string>{}(injector.name() + entry.base) +
+      static_cast<std::uint64_t>(entry.precision);
+  const job::JobSpec spec =
+      job::campaign_spec(target_gpu, entry, injector.name(), budget, seed,
+                         config_.seed ^ 0x5eed, config_.app_scale);
+  return std::move(job::run_job(spec, run_options()).campaign);
 }
 
 model::FitPrediction Study::make_prediction(const CatalogEntry& entry,
@@ -386,23 +400,19 @@ Study::CodeEvaluation Study::evaluate(const CatalogEntry& entry, EvalParts parts
     stage_done(2, "injections");
   }
 
-  // Beam experiments, ECC on and off.
+  // Beam experiments, ECC on and off — through the cache-aware job layer
+  // (bit-identical to a direct run_beam; see run_injection).
   if (parts.beam) {
-    const auto factory = kernels::workload_factory(
-        entry.base, entry.precision,
-        workload_config(config_.app_scale, isa::CompilerProfile::Cuda10));
-    beam::BeamConfig bc;
-    bc.runs = config_.app_beam_runs;
-    bc.workers = config_.workers;
-    bc.seed = config_.seed * 257 + std::hash<std::string>{}(ev.name);
-    bc.telemetry = config_.telemetry;
-    bc.trace = config_.trace;
-    bc.progress = config_.progress;
-    bc.ecc = true;
-    ev.beam_ecc_on = beam::run_beam(db_, factory, bc);
-    bc.ecc = false;
-    bc.seed += 1;
-    ev.beam_ecc_off = beam::run_beam(db_, factory, bc);
+    const std::uint64_t seed =
+        config_.seed * 257 + std::hash<std::string>{}(ev.name);
+    auto beam_job = [&](bool ecc, std::uint64_t s) {
+      const job::JobSpec spec = job::beam_spec(
+          gpu_, entry, ecc, beam::BeamMode::Accelerated, config_.app_beam_runs,
+          /*flux_scale=*/1.0, s, config_.seed ^ 0x5eed, config_.app_scale);
+      return *job::run_job(spec, run_options()).beam;
+    };
+    ev.beam_ecc_on = beam_job(true, seed);
+    ev.beam_ecc_off = beam_job(false, seed + 1);
     stage_done(2, "beam");
   }
 

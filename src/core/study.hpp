@@ -19,21 +19,32 @@
 
 #include "beam/experiment.hpp"
 #include "fault/campaign.hpp"
+#include "job/runner.hpp"
 #include "kernels/registry.hpp"
 #include "model/fit_model.hpp"
 #include "profile/profiler.hpp"
 
 namespace gpurel::core {
 
-struct StudyConfig {
+/// The injection budget (fault::InjectionBudget) and the observability
+/// context (obs::RunContext: telemetry/trace/progress, propagated to every
+/// campaign/beam run, with the usual GPUREL_TELEMETRY / GPUREL_TRACE env
+/// fallbacks) are inherited — a Study's per-kind / aux-mode knobs are the
+/// exact fields a CampaignConfig consumes, declared once.
+struct StudyConfig : fault::InjectionBudget, obs::RunContext {
+  StudyConfig() {
+    // Study-scale defaults, smaller than a standalone campaign's.
+    injections_per_kind = 60;
+    rf_injections = 50;
+    pred_injections = 30;
+    ia_injections = 30;
+    store_value_injections = 30;
+    store_addr_injections = 30;
+  }
+
   unsigned micro_beam_runs = 300;
   unsigned app_beam_runs = 150;
-  unsigned injections_per_kind = 60;
   unsigned micro_injections_per_kind = 40;
-  unsigned rf_injections = 50;
-  unsigned pred_injections = 30;
-  unsigned ia_injections = 30;
-  unsigned store_injections = 30;
   unsigned workers = 1;
   std::uint64_t seed = 42;
   /// Size knob for the application workloads.
@@ -41,16 +52,16 @@ struct StudyConfig {
   /// Size knob for the microbenchmarks (FIT estimates are size-invariant
   /// under conditional strike sampling, so these can be small).
   double micro_scale = 0.1;
-  /// JSONL telemetry sink, propagated to every campaign/beam run and used
-  /// for per-stage `study_stage` timings; null falls back to the
-  /// GPUREL_TELEMETRY=<path> environment override.
-  telemetry::Sink* telemetry = nullptr;
-  /// Chrome-trace timeline writer, propagated to every campaign/beam run
-  /// and to the per-code deep profiling pass; Study stages get their own
-  /// spans. Null falls back to GPUREL_TRACE=<path>.
-  obs::TraceWriter* trace = nullptr;
-  /// Stage/progress reporting on stderr (propagated to campaigns and beam).
-  bool progress = false;
+  /// Content-addressed result cache directory for the injection campaigns
+  /// and application beam runs (see job::ResultCache). Empty falls back to
+  /// the GPUREL_CACHE=<dir> environment override; when neither is set,
+  /// everything is recomputed. Results are bit-identical either way.
+  std::string cache_dir;
+
+  fault::InjectionBudget& budget() { return *this; }
+  const fault::InjectionBudget& budget() const { return *this; }
+  obs::RunContext& context() { return *this; }
+  const obs::RunContext& context() const { return *this; }
 };
 
 class Study {
@@ -122,6 +133,9 @@ class Study {
 
  private:
   WorkloadConfig workload_config(double scale, isa::CompilerProfile profile) const;
+  /// Execution knobs forwarded to job::run_job (workers, observability,
+  /// cache directory) — never part of a spec's content hash.
+  job::RunOptions run_options() const;
   std::optional<fault::CampaignResult> run_injection(
       const fault::Injector& injector, const kernels::CatalogEntry& entry,
       bool aux_modes, unsigned injections_per_kind, bool* substituted);

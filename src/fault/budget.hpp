@@ -1,0 +1,23 @@
+// The injection budget of a campaign: how many trials to spend per stratum.
+// Shared — by inheritance or embedding — between fault::CampaignConfig,
+// core::StudyConfig, and job::JobSpec so the knob set is declared exactly
+// once and serializes the same way everywhere.
+#pragma once
+
+namespace gpurel::fault {
+
+struct InjectionBudget {
+  /// IOV injections per eligible instruction kind (paper: 1,000 per kind
+  /// with SASSIFI; scaled down by default for simulation budgets).
+  unsigned injections_per_kind = 120;
+  /// Aux-mode injections (only run when the injector supports the mode).
+  unsigned rf_injections = 0;
+  unsigned pred_injections = 0;
+  unsigned ia_injections = 0;
+  unsigned store_value_injections = 0;
+  unsigned store_addr_injections = 0;
+
+  friend bool operator==(const InjectionBudget&, const InjectionBudget&) = default;
+};
+
+}  // namespace gpurel::fault

@@ -1,6 +1,8 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -254,6 +256,30 @@ std::uint64_t CampaignResult::total_injections() const {
   return t;
 }
 
+void CampaignResult::merge(const CampaignResult& other) {
+  auto mismatch = [](const char* what) {
+    throw std::invalid_argument(std::string("CampaignResult::merge: ") + what +
+                                " mismatch — results are not shards of the "
+                                "same campaign");
+  };
+  if (injector != other.injector) mismatch("injector");
+  if (workload != other.workload) mismatch("workload");
+  if (pred_sites != other.pred_sites || store_sites != other.store_sites ||
+      total_lane_sites != other.total_lane_sites ||
+      eligible_output_sites != other.eligible_output_sites)
+    mismatch("site count");
+  for (std::size_t k = 0; k < per_kind.size(); ++k)
+    if (per_kind[k].dynamic_sites != other.per_kind[k].dynamic_sites)
+      mismatch("per-kind dynamic sites");
+  for (std::size_t k = 0; k < per_kind.size(); ++k)
+    per_kind[k].counts.merge(other.per_kind[k].counts);
+  rf.merge(other.rf);
+  pred.merge(other.pred);
+  ia.merge(other.ia);
+  store_value.merge(other.store_value);
+  store_addr.merge(other.store_addr);
+}
+
 SiteCounts count_sites(const Injector& injector, const WorkloadFactory& factory) {
   auto w = factory();
   if (!w) throw std::invalid_argument("count_sites: factory returned null");
@@ -311,6 +337,35 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   add_aux(FaultModel::StoreAddress, config.store_addr_injections,
           sites.stores);
 
+  // Shard selection: every shard builds the identical full trial list above
+  // and then owns trials t with t % shard_count == shard_index. Outcome
+  // tallies cover only owned trials (site counts are per-campaign constants
+  // reported in full), so merging all shards reproduces the unsharded run.
+  if (config.shard_count == 0 || config.shard_index >= config.shard_count)
+    throw std::invalid_argument(
+        "run_campaign: shard_index must be < shard_count (>= 1)");
+  std::vector<std::size_t> owned;
+  owned.reserve(trials.size() / config.shard_count + 1);
+  for (std::size_t t = config.shard_index; t < trials.size();
+       t += config.shard_count)
+    owned.push_back(t);
+
+  const bool checkpointing =
+      config.checkpoint_every > 0 && static_cast<bool>(config.on_checkpoint);
+  if (checkpointing && config.schedule != Schedule::Dynamic)
+    throw std::invalid_argument(
+        "run_campaign: checkpointing requires Schedule::Dynamic");
+  if (config.resume != nullptr && config.resume->trials_done > owned.size())
+    throw std::invalid_argument(
+        "run_campaign: checkpoint covers more trials than this shard owns");
+  // Positions [0, skip) of the owned order are already accounted for by the
+  // resume checkpoint; this process executes positions [skip, owned.size()),
+  // remapped below to start at 0 so the schedulers see a dense range.
+  const std::size_t skip = config.resume != nullptr
+                               ? static_cast<std::size_t>(config.resume->trials_done)
+                               : 0;
+  const std::size_t todo = owned.size() - skip;
+
   // Execute trials. Each worker lazily prepares one workload instance and
   // reuses it across every trial it pulls (prepare() is idempotent and
   // run_trial() resets device memory); worker 0 inherits the already
@@ -335,18 +390,73 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     sink->emit("campaign_start",
                {{"injector", result.injector},
                 {"workload", result.workload},
-                {"trials", trials.size()},
+                {"trials", todo},
                 {"workers", workers},
                 {"chunk", dynamic ? chunk : std::size_t{0}},
                 {"schedule", dynamic ? "dynamic" : "static"},
-                {"ia_pc_bits", pc_bits}});
+                {"ia_pc_bits", pc_bits},
+                {"shard_index", config.shard_index},
+                {"shard_count", config.shard_count},
+                {"resumed_trials", std::uint64_t{skip}}});
   telemetry::Progress progress(config.progress, "campaign " + result.workload,
-                               trials.size());
+                               todo);
   telemetry::Counter done;
 
+  // Per-trial records stay indexed by the *global* trial id (sparse under
+  // sharding) so trial_cycles_out keeps its documented indexing.
   std::vector<core::Outcome> outcomes(trials.size(), core::Outcome::Masked);
   std::vector<std::uint64_t> cycles;
   if (config.trial_cycles_out != nullptr) cycles.assign(trials.size(), 0);
+
+  // Tally outcomes of owned positions [p_begin, p_end) into `res`. Shared by
+  // the final result, checkpoint snapshots, and the end-of-run telemetry so
+  // all three agree by construction.
+  auto tally_positions = [&](CampaignResult& res, std::size_t p_begin,
+                             std::size_t p_end) {
+    for (std::size_t p = p_begin; p < p_end; ++p) {
+      const std::size_t t = owned[skip + p];
+      switch (trials[t].mode) {
+        case FaultModel::InstructionOutput:
+          res.per_kind[static_cast<std::size_t>(trials[t].kind)].counts.add(
+              outcomes[t]);
+          break;
+        case FaultModel::RegisterFile: res.rf.add(outcomes[t]); break;
+        case FaultModel::Predicate: res.pred.add(outcomes[t]); break;
+        case FaultModel::InstructionAddress: res.ia.add(outcomes[t]); break;
+        case FaultModel::StoreValue: res.store_value.add(outcomes[t]); break;
+        case FaultModel::StoreAddress: res.store_addr.add(outcomes[t]); break;
+      }
+    }
+  };
+
+  // Checkpoint bookkeeping: chunks complete out of order under dynamic
+  // scheduling, so completed position ranges are coalesced into a contiguous
+  // frontier and a checkpoint covers exactly the frontier prefix. `result`
+  // still holds only the per-campaign header here (tallies happen after the
+  // run), so it doubles as the blank checkpoint base.
+  std::mutex ck_mu;
+  std::map<std::size_t, std::size_t> ck_ranges;  // completed [begin, end)
+  std::size_t ck_frontier = 0;
+  std::uint64_t ck_emitted_at = skip;
+  auto note_checkpoint_progress = [&](std::size_t begin, std::size_t end) {
+    if (!checkpointing) return;
+    const std::lock_guard<std::mutex> lock(ck_mu);
+    ck_ranges[begin] = end;
+    for (auto it = ck_ranges.find(ck_frontier); it != ck_ranges.end();
+         it = ck_ranges.find(ck_frontier)) {
+      ck_frontier = it->second;
+      ck_ranges.erase(it);
+    }
+    const std::uint64_t done_abs = skip + ck_frontier;
+    if (done_abs < ck_emitted_at + config.checkpoint_every) return;
+    if (done_abs >= owned.size()) return;  // the final result supersedes it
+    CampaignCheckpoint ck;
+    ck.trials_done = done_abs;
+    ck.partial = config.resume != nullptr ? config.resume->partial : result;
+    tally_positions(ck.partial, 0, ck_frontier);
+    ck_emitted_at = done_abs;
+    config.on_checkpoint(ck);
+  };
 
   struct WorkerState {
     std::unique_ptr<core::Workload> w;
@@ -412,7 +522,8 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       sink->emit("campaign_chunk", {{"begin", begin},
                                     {"end", end},
                                     {"done", done.value()},
-                                    {"total", trials.size()}});
+                                    {"total", todo}});
+    note_checkpoint_progress(begin, end);
   };
 
   auto emit_chunk_span = [&](std::size_t worker, double t0, std::size_t begin,
@@ -425,10 +536,12 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                     {{"begin", begin}, {"trials", n}});
   };
 
+  // Ranges handed to the schedulers are *positions* in the owned order
+  // (dense [0, todo)); run_one maps them back to global trial ids.
   auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     WorkerState& st = ensure_state(worker);
     const double t0 = trace != nullptr ? trace->now_us() : 0.0;
-    for (std::size_t t = begin; t < end; ++t) run_one(st, t);
+    for (std::size_t p = begin; p < end; ++p) run_one(st, owned[skip + p]);
     emit_chunk_span(worker, t0, begin, end - begin);
     after_chunk(begin, end);
   };
@@ -439,8 +552,8 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       WorkerState& st = ensure_state(shard);
       const double t0 = trace != nullptr ? trace->now_us() : 0.0;
       std::size_t n = 0;
-      for (std::size_t t = shard; t < trials.size(); t += workers, ++n)
-        run_one(st, t);
+      for (std::size_t p = shard; p < todo; p += workers, ++n)
+        run_one(st, owned[skip + p]);
       if (n > 0) {
         emit_chunk_span(shard, t0, shard, n);
         after_chunk(shard, shard + n);  // one completion per shard
@@ -453,32 +566,23 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       parallel_for(pool, workers, run_shard);
     }
   } else if (workers == 1) {
-    for (std::size_t begin = 0; begin < trials.size();) {
+    for (std::size_t begin = 0; begin < todo;) {
       const std::size_t step =
-          chunk > 0 ? chunk : guided_chunk(trials.size() - begin, 1);
-      const std::size_t end = std::min(trials.size(), begin + step);
+          chunk > 0 ? chunk : guided_chunk(todo - begin, 1);
+      const std::size_t end = std::min(todo, begin + step);
       run_range(0, begin, end);
       begin = end;
     }
   } else {
     ThreadPool pool(workers);
-    parallel_chunks(pool, trials.size(), chunk, run_range);
+    parallel_chunks(pool, todo, chunk, run_range);
   }
 
-  // Serial tally in trial order.
-  for (std::size_t t = 0; t < trials.size(); ++t) {
-    switch (trials[t].mode) {
-      case FaultModel::InstructionOutput:
-        result.per_kind[static_cast<std::size_t>(trials[t].kind)].counts.add(
-            outcomes[t]);
-        break;
-      case FaultModel::RegisterFile: result.rf.add(outcomes[t]); break;
-      case FaultModel::Predicate: result.pred.add(outcomes[t]); break;
-      case FaultModel::InstructionAddress: result.ia.add(outcomes[t]); break;
-      case FaultModel::StoreValue: result.store_value.add(outcomes[t]); break;
-      case FaultModel::StoreAddress: result.store_addr.add(outcomes[t]); break;
-    }
-  }
+  // Serial tally in trial order; a resumed prefix contributes through its
+  // checkpoint tallies (integer sums, so the combined result is bit-identical
+  // to the uninterrupted run).
+  tally_positions(result, 0, todo);
+  if (config.resume != nullptr) result.merge(config.resume->partial);
   if (config.trial_cycles_out != nullptr)
     *config.trial_cycles_out = std::move(cycles);
 
@@ -521,19 +625,18 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
 
   if (sink != nullptr) {
     OutcomeCounts all;
-    for (const core::Outcome o : outcomes) all.add(o);
+    for (std::size_t p = 0; p < todo; ++p) all.add(outcomes[owned[skip + p]]);
     const double ms = wall.elapsed_ms();
     sink->emit("campaign_end",
                {{"injector", result.injector},
                 {"workload", result.workload},
-                {"trials", trials.size()},
+                {"trials", todo},
                 {"masked", all.masked},
                 {"sdc", all.sdc},
                 {"due", all.due},
                 {"wall_ms", ms},
                 {"trials_per_sec",
-                 ms > 0 ? 1000.0 * static_cast<double>(trials.size()) / ms
-                        : 0.0}});
+                 ms > 0 ? 1000.0 * static_cast<double>(todo) / ms : 0.0}});
   }
   return result;
 }

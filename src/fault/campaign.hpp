@@ -12,15 +12,9 @@
 
 #include "common/stats.hpp"
 #include "core/workload.hpp"
+#include "fault/budget.hpp"
 #include "fault/injector.hpp"
-
-namespace gpurel::telemetry {
-class Sink;
-}
-
-namespace gpurel::obs {
-class TraceWriter;
-}
+#include "obs/run_context.hpp"
 
 namespace gpurel::fault {
 
@@ -74,44 +68,6 @@ enum class Schedule : std::uint8_t {
   StaticRoundRobin,
 };
 
-struct CampaignConfig {
-  /// IOV injections per eligible instruction kind (paper: 1,000 per kind
-  /// with SASSIFI; scaled down by default for simulation budgets).
-  unsigned injections_per_kind = 120;
-  /// Aux-mode injections (only run when the injector supports the mode).
-  unsigned rf_injections = 0;
-  unsigned pred_injections = 0;
-  unsigned ia_injections = 0;
-  unsigned store_value_injections = 0;
-  unsigned store_addr_injections = 0;
-  std::uint64_t seed = 0x1234;
-  unsigned workers = 1;
-  Schedule schedule = Schedule::Dynamic;
-  /// Trials per dynamically-scheduled chunk; 0 = guided self-scheduling
-  /// (decreasing chunk sizes, see gpurel::guided_chunk). Either way results
-  /// are bit-identical — only the work distribution changes.
-  unsigned chunk = 0;
-  /// JSONL telemetry sink; when null the GPUREL_TELEMETRY=<path> environment
-  /// override is consulted (see common/telemetry.hpp).
-  telemetry::Sink* telemetry = nullptr;
-  /// Chrome-trace timeline writer (per-worker chunk spans); when null the
-  /// GPUREL_TRACE=<path> override is consulted (see obs/trace.hpp). Strictly
-  /// observational — results stay bit-identical with tracing on or off.
-  obs::TraceWriter* trace = nullptr;
-  /// Live trials-done meter on stderr.
-  bool progress = false;
-  /// When set, receives the per-trial simulated-cycle cost, indexed by the
-  /// campaign's (deterministic) internal trial order. Consumed by scheduling
-  /// benchmarks; leave null otherwise.
-  std::vector<std::uint64_t>* trial_cycles_out = nullptr;
-  /// Precomputed site counts for this exact (injector, workload) pair (see
-  /// count_sites). When set, the campaign skips its own fault-free counting
-  /// run; results are bit-identical either way. The caller is responsible
-  /// for the pairing — counts from a different workload or injector silently
-  /// skew site sampling.
-  const SiteCounts* sites = nullptr;
-};
-
 struct KindStats {
   OutcomeCounts counts;
   std::uint64_t dynamic_sites = 0;  // eligible lane-level executions
@@ -146,6 +102,73 @@ struct CampaignResult {
   double overall_masked() const;
 
   std::uint64_t total_injections() const;  // every mode, every kind
+
+  /// Fold another shard (or resumed prefix) of the same campaign into this
+  /// result. All outcome tallies are integer sums, so merging the shards of
+  /// a campaign — in any order — reproduces the single-process result bit
+  /// for bit (per-trial seeding makes trial outcomes independent of which
+  /// process ran them). Throws std::invalid_argument when the two results
+  /// disagree on injector, workload, or site counts: those are per-campaign
+  /// constants, so a mismatch means the shards came from different
+  /// campaigns.
+  void merge(const CampaignResult& other);
+};
+
+/// Snapshot of a partially executed shard: the tally of exactly the first
+/// `trials_done` trials of this shard's deterministic trial order. A killed
+/// shard relaunched with CampaignConfig::resume pointing at its last
+/// checkpoint skips those trials and produces a bit-identical final result
+/// (per-trial seeding means the skipped trials' outcomes are already fully
+/// determined by `partial`).
+struct CampaignCheckpoint {
+  std::uint64_t trials_done = 0;
+  CampaignResult partial;
+};
+
+struct CampaignConfig : InjectionBudget, obs::RunContext {
+  std::uint64_t seed = 0x1234;
+  unsigned workers = 1;
+  Schedule schedule = Schedule::Dynamic;
+  /// Trials per dynamically-scheduled chunk; 0 = guided self-scheduling
+  /// (decreasing chunk sizes, see gpurel::guided_chunk). Either way results
+  /// are bit-identical — only the work distribution changes.
+  unsigned chunk = 0;
+  /// When set, receives the per-trial simulated-cycle cost, indexed by the
+  /// campaign's (deterministic) internal trial order. Consumed by scheduling
+  /// benchmarks; leave null otherwise.
+  std::vector<std::uint64_t>* trial_cycles_out = nullptr;
+  /// Precomputed site counts for this exact (injector, workload) pair (see
+  /// count_sites). When set, the campaign skips its own fault-free counting
+  /// run; results are bit-identical either way. The caller is responsible
+  /// for the pairing — counts from a different workload or injector silently
+  /// skew site sampling.
+  const SiteCounts* sites = nullptr;
+
+  /// Multi-process sharding: this process runs the trials t of the full
+  /// deterministic trial list with t % shard_count == shard_index. Site
+  /// counts (per-campaign constants) are reported in full by every shard;
+  /// outcome tallies cover only the owned trials, so
+  /// CampaignResult::merge over all shards equals the unsharded run.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+
+  /// Emit a CampaignCheckpoint through on_checkpoint every time this many
+  /// additional owned trials form a completed contiguous prefix of the
+  /// shard's trial order. 0 disables checkpointing. Requires
+  /// Schedule::Dynamic (the static path reports no usable completion
+  /// ranges). The callback runs under an internal lock — keep it brief.
+  unsigned checkpoint_every = 0;
+  std::function<void(const CampaignCheckpoint&)> on_checkpoint;
+  /// Resume from a checkpoint previously emitted by this exact shard
+  /// (same spec, same shard_index/shard_count): the covered trial prefix is
+  /// skipped and its tallies merged back in, reproducing the uninterrupted
+  /// result bit for bit.
+  const CampaignCheckpoint* resume = nullptr;
+
+  InjectionBudget& budget() { return *this; }
+  const InjectionBudget& budget() const { return *this; }
+  obs::RunContext& context() { return *this; }
+  const obs::RunContext& context() const { return *this; }
 };
 
 using WorkloadFactory = std::function<std::unique_ptr<core::Workload>()>;
@@ -163,9 +186,11 @@ unsigned ia_pc_bits(const core::Workload& w);
 /// run_campaign (and throws the same way when they fail).
 SiteCounts count_sites(const Injector& injector, const WorkloadFactory& factory);
 
-/// Run a full campaign. Throws std::invalid_argument when the injector
-/// cannot instrument the workload on its device (the paper substitutes
-/// NVBitFI-on-Volta AVFs in that case — a decision made by the Study layer).
+/// Run a full campaign (or one shard of it — see CampaignConfig::shard_*).
+/// Throws std::invalid_argument when the injector cannot instrument the
+/// workload on its device (the paper substitutes NVBitFI-on-Volta AVFs in
+/// that case — a decision made by the Study layer), or when the shard /
+/// checkpoint configuration is inconsistent.
 CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& factory,
                             const CampaignConfig& config);
 

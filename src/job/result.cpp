@@ -1,0 +1,100 @@
+#include "job/result.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "job/serialize.hpp"
+
+namespace gpurel::job {
+
+using json::Value;
+
+Value result_to_json(const JobResult& r) {
+  Value v = Value::object();
+  v.set("schema_version", kResultSchemaVersion);
+  v.set("engine", kEngineVersion);
+  v.set("spec", spec_to_json(r.spec));
+  if (r.spec.kind == JobKind::Campaign) {
+    if (!r.campaign.has_value())
+      throw std::runtime_error("job: campaign JobResult has no campaign result");
+    v.set("result", campaign_result_to_json(*r.campaign));
+  } else {
+    if (!r.beam.has_value())
+      throw std::runtime_error("job: beam JobResult has no beam result");
+    v.set("result", beam_result_to_json(*r.beam));
+  }
+  return v;
+}
+
+JobResult result_from_json(const Value& doc) {
+  check_schema_version(doc, "job result");
+  JobResult r;
+  r.spec = spec_from_json(doc.at("spec"));
+  const Value& body = doc.at("result");
+  const std::string& type = json::get_string(body, "type");
+  if (r.spec.kind == JobKind::Campaign) {
+    if (type != "campaign_result")
+      throw std::runtime_error(
+          "job: campaign spec paired with result type \"" + type + "\"");
+    r.campaign = campaign_result_from_json(body);
+  } else {
+    if (type != "beam_result")
+      throw std::runtime_error("job: beam spec paired with result type \"" +
+                               type + "\"");
+    r.beam = beam_result_from_json(body);
+  }
+  return r;
+}
+
+std::string result_dump(const JobResult& r) {
+  return result_to_json(r).dump();
+}
+
+JobResult merge_results(const std::vector<JobResult>& shards) {
+  if (shards.empty())
+    throw std::invalid_argument("job: merge_results on empty input");
+
+  // All shards must describe the same job once the shard stamp is erased.
+  const std::string base = canonical_json(with_shard(shards[0].spec, 0, 1));
+  const unsigned count = shards[0].spec.shard.count;
+  if (shards.size() != count)
+    throw std::invalid_argument(
+        "job: merge_results got " + std::to_string(shards.size()) +
+        " shards for a " + std::to_string(count) + "-way job");
+
+  std::vector<const JobResult*> by_index(count, nullptr);
+  for (const JobResult& s : shards) {
+    if (canonical_json(with_shard(s.spec, 0, 1)) != base)
+      throw std::invalid_argument(
+          "job: merge_results shards describe different jobs");
+    if (s.spec.shard.count != count || s.spec.shard.index >= count)
+      throw std::invalid_argument("job: merge_results shard index " +
+                                  std::to_string(s.spec.shard.index) + "/" +
+                                  std::to_string(s.spec.shard.count) +
+                                  " out of range");
+    if (by_index[s.spec.shard.index] != nullptr)
+      throw std::invalid_argument("job: merge_results duplicate shard index " +
+                                  std::to_string(s.spec.shard.index));
+    by_index[s.spec.shard.index] = &s;
+  }
+
+  // Merge in shard order; outcome tallies are integer sums, so this equals
+  // the unsharded run bit for bit.
+  JobResult merged = *by_index[0];
+  for (unsigned i = 1; i < count; ++i) {
+    const JobResult& s = *by_index[i];
+    if (merged.spec.kind == JobKind::Campaign) {
+      if (!s.campaign.has_value())
+        throw std::invalid_argument("job: merge_results shard missing result");
+      merged.campaign->merge(*s.campaign);
+    } else {
+      if (!s.beam.has_value())
+        throw std::invalid_argument("job: merge_results shard missing result");
+      merged.beam->merge(*s.beam);
+    }
+  }
+  merged.spec = with_shard(merged.spec, 0, 1);
+  return merged;
+}
+
+}  // namespace gpurel::job

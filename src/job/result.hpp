@@ -1,0 +1,44 @@
+// JobResult: the serialized outcome of executing one JobSpec — the spec that
+// produced it plus exactly one engine result (campaign or beam, matching
+// spec.kind). This is the unit that travels: shard processes write JobResult
+// files, the merge step folds them into the unsharded result, and the
+// content-addressed cache stores them verbatim.
+//
+// dump() is canonical (fixed field order, exact number round-trips), so two
+// JobResults with bit-identical contents serialize to byte-identical files —
+// the property the sharding and cache acceptance tests compare with cmp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "job/spec.hpp"
+
+namespace gpurel::job {
+
+struct JobResult {
+  JobSpec spec;
+  std::optional<fault::CampaignResult> campaign;
+  std::optional<beam::BeamResult> beam;
+};
+
+/// {"schema_version", "engine", "spec", "result"} with the result document
+/// produced by the shared serializers in job/serialize.hpp.
+json::Value result_to_json(const JobResult& r);
+/// Parse a JobResult document; throws std::runtime_error on malformed input,
+/// unsupported schema_version, or a result type not matching spec.kind.
+JobResult result_from_json(const json::Value& doc);
+
+/// Canonical serialized bytes: dump(result_to_json(r)).
+std::string result_dump(const JobResult& r);
+
+/// Combine the per-shard results of one fanned-out job into the unsharded
+/// result: validates that all specs are identical modulo shard and that the
+/// shard indices are exactly a permutation of 0..count-1, merges in shard
+/// order, and stamps the output spec with shard {0, 1} — so the merged file
+/// is byte-identical to a single-process run of the same job. Throws
+/// std::invalid_argument on an empty input or any validation failure.
+JobResult merge_results(const std::vector<JobResult>& shards);
+
+}  // namespace gpurel::job

@@ -1,0 +1,46 @@
+// JSON round-trips for engine result types (and the GpuConfig embedded in
+// specs). One emit/parse pair per type, shared by JobResult files, the
+// content-addressed cache, checkpoints, and core/report's JSON output — so
+// there is exactly one serialized layout per type, all carrying
+// schema_version = job::kResultSchemaVersion.
+//
+// Round trips are exact: every counter is an integer in JSON, every double
+// uses shortest-round-trip form, and derived FIT fields are *recomputed* on
+// parse via BeamResult::refresh_fits() (never stored), so
+// parse(dump(r)) == r bit for bit.
+#pragma once
+
+#include <string_view>
+
+#include "arch/gpu_config.hpp"
+#include "beam/experiment.hpp"
+#include "common/json.hpp"
+#include "fault/campaign.hpp"
+
+namespace gpurel::job {
+
+json::Value gpu_to_json(const arch::GpuConfig& gpu);
+arch::GpuConfig gpu_from_json(const json::Value& doc);
+
+json::Value counts_to_json(const fault::OutcomeCounts& c);
+fault::OutcomeCounts counts_from_json(const json::Value& doc);
+
+json::Value campaign_result_to_json(const fault::CampaignResult& r);
+fault::CampaignResult campaign_result_from_json(const json::Value& doc);
+
+json::Value beam_result_to_json(const beam::BeamResult& r);
+beam::BeamResult beam_result_from_json(const json::Value& doc);
+
+/// Name/enum mappings used by the serializers (throw std::runtime_error on
+/// unknown names).
+core::Precision precision_from_name(std::string_view name);
+isa::UnitKind unit_kind_from_name(std::string_view name);
+arch::Architecture architecture_from_name(std::string_view name);
+isa::CompilerProfile compiler_profile_from_name(std::string_view name);
+beam::BeamMode beam_mode_from_name(std::string_view name);
+
+/// Verify a result document's schema_version; throws std::runtime_error
+/// naming `what` when absent or unsupported.
+void check_schema_version(const json::Value& doc, const char* what);
+
+}  // namespace gpurel::job

@@ -1,0 +1,141 @@
+#include "job/spec.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "job/serialize.hpp"
+
+namespace gpurel::job {
+
+using json::Value;
+
+std::string_view job_kind_name(JobKind k) {
+  return k == JobKind::Campaign ? "campaign" : "beam";
+}
+
+Value spec_to_json(const JobSpec& spec) {
+  Value v = Value::object();
+  v.set("spec_version", kSpecVersion);
+  v.set("kind", job_kind_name(spec.kind));
+  v.set("device", gpu_to_json(spec.device));
+  {
+    Value w = Value::object();
+    w.set("base", spec.entry.base);
+    w.set("precision", core::precision_name(spec.entry.precision));
+    w.set("input_seed", spec.input_seed);
+    w.set("scale", spec.scale);
+    v.set("workload", std::move(w));
+  }
+  v.set("profile", isa::compiler_profile_name(spec.profile));
+  v.set("seed", spec.seed);
+  if (spec.kind == JobKind::Campaign) {
+    Value c = Value::object();
+    c.set("injector", spec.injector);
+    Value b = Value::object();
+    b.set("injections_per_kind", spec.budget.injections_per_kind);
+    b.set("rf_injections", spec.budget.rf_injections);
+    b.set("pred_injections", spec.budget.pred_injections);
+    b.set("ia_injections", spec.budget.ia_injections);
+    b.set("store_value_injections", spec.budget.store_value_injections);
+    b.set("store_addr_injections", spec.budget.store_addr_injections);
+    c.set("budget", std::move(b));
+    v.set("campaign", std::move(c));
+  } else {
+    Value b = Value::object();
+    b.set("ecc", spec.ecc);
+    b.set("mode", spec.mode == beam::BeamMode::Accelerated ? "accelerated"
+                                                           : "natural");
+    b.set("runs", spec.runs);
+    b.set("flux_scale", spec.flux_scale);
+    v.set("beam", std::move(b));
+  }
+  {
+    Value s = Value::object();
+    s.set("index", spec.shard.index);
+    s.set("count", spec.shard.count);
+    v.set("shard", std::move(s));
+  }
+  return v;
+}
+
+JobSpec spec_from_json(const Value& doc) {
+  const std::int64_t version = json::get_int(doc, "spec_version");
+  if (version != kSpecVersion)
+    throw std::runtime_error("job: unsupported spec_version " +
+                             std::to_string(version));
+  JobSpec spec;
+  const std::string& kind = json::get_string(doc, "kind");
+  if (kind == "campaign") {
+    spec.kind = JobKind::Campaign;
+  } else if (kind == "beam") {
+    spec.kind = JobKind::Beam;
+  } else {
+    throw std::runtime_error("job: unknown job kind \"" + kind + "\"");
+  }
+  spec.device = gpu_from_json(doc.at("device"));
+  {
+    const Value& w = doc.at("workload");
+    spec.entry.base = json::get_string(w, "base");
+    spec.entry.precision = precision_from_name(json::get_string(w, "precision"));
+    spec.input_seed = json::get_uint(w, "input_seed");
+    spec.scale = json::get_double(w, "scale");
+  }
+  spec.profile = compiler_profile_from_name(json::get_string(doc, "profile"));
+  spec.seed = json::get_uint(doc, "seed");
+  if (spec.kind == JobKind::Campaign) {
+    const Value& c = doc.at("campaign");
+    spec.injector = json::get_string(c, "injector");
+    const Value& b = c.at("budget");
+    auto u32 = [&](const char* key) {
+      return static_cast<unsigned>(json::get_uint(b, key));
+    };
+    spec.budget.injections_per_kind = u32("injections_per_kind");
+    spec.budget.rf_injections = u32("rf_injections");
+    spec.budget.pred_injections = u32("pred_injections");
+    spec.budget.ia_injections = u32("ia_injections");
+    spec.budget.store_value_injections = u32("store_value_injections");
+    spec.budget.store_addr_injections = u32("store_addr_injections");
+  } else {
+    const Value& b = doc.at("beam");
+    spec.ecc = json::get_bool(b, "ecc");
+    spec.mode = beam_mode_from_name(json::get_string(b, "mode"));
+    spec.runs = static_cast<unsigned>(json::get_uint(b, "runs"));
+    spec.flux_scale = json::get_double(b, "flux_scale");
+  }
+  {
+    const Value& s = doc.at("shard");
+    spec.shard.index = static_cast<unsigned>(json::get_uint(s, "index"));
+    spec.shard.count = static_cast<unsigned>(json::get_uint(s, "count"));
+  }
+  return spec;
+}
+
+std::string canonical_json(const JobSpec& spec) {
+  return spec_to_json(spec).dump();
+}
+
+std::uint64_t content_hash(const JobSpec& spec) {
+  return fnv1a64(canonical_json(spec));
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17] = {};
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[h & 0xf];
+    h >>= 4;
+  }
+  return std::string(buf, 16);
+}
+
+std::string cache_key(const JobSpec& spec) {
+  return hash_hex(content_hash(spec)) + "-" + kEngineVersion;
+}
+
+JobSpec with_shard(JobSpec spec, unsigned index, unsigned count) {
+  spec.shard.index = index;
+  spec.shard.count = count;
+  return spec;
+}
+
+}  // namespace gpurel::job

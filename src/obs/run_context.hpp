@@ -1,0 +1,31 @@
+// The observability context threaded through every engine run: telemetry
+// sink, timeline trace writer, and the stderr progress toggle. One struct —
+// inherited by CampaignConfig / BeamConfig / StudyConfig — replaces the
+// raw-pointer triple those configs used to declare separately. All members
+// are strictly observational: results stay bit-identical whatever they
+// point at (pinned by tests/test_determinism.cpp).
+#pragma once
+
+#include "common/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace gpurel::obs {
+
+struct RunContext {
+  /// JSONL telemetry sink; when null the GPUREL_TELEMETRY=<path> environment
+  /// override is consulted (see common/telemetry.hpp).
+  telemetry::Sink* telemetry = nullptr;
+  /// Chrome-trace timeline writer; when null the GPUREL_TRACE=<path>
+  /// override is consulted (see obs/trace.hpp).
+  TraceWriter* trace = nullptr;
+  /// Live progress meter on stderr.
+  bool progress = false;
+
+  /// The sink/writer a run should actually use (configured-or-env-fallback).
+  gpurel::telemetry::Sink* resolved_sink() const {
+    return gpurel::telemetry::resolve(telemetry);
+  }
+  TraceWriter* resolved_trace() const { return resolve_trace(trace); }
+};
+
+}  // namespace gpurel::obs

@@ -1,0 +1,111 @@
+// gpurel::json — the document model under the job layer. The properties
+// tested here (deterministic dump, exact number round-trips) are what make
+// content hashes stable and cache hits byte-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hpp"
+
+namespace gpurel::json {
+namespace {
+
+TEST(Json, DumpIsCompactAndInsertionOrdered) {
+  Value v = Value::object();
+  v.set("b", 1);
+  v.set("a", Value::array());
+  Value inner = Value::object();
+  inner.set("x", true);
+  v.set("c", std::move(inner));
+  EXPECT_EQ(v.dump(), R"({"b":1,"a":[],"c":{"x":true}})");
+}
+
+TEST(Json, SetOverwritesInPlace) {
+  Value v = Value::object();
+  v.set("a", 1);
+  v.set("b", 2);
+  v.set("a", 3);  // overwrite must not change member order
+  EXPECT_EQ(v.dump(), R"({"a":3,"b":2})");
+}
+
+TEST(Json, ScalarRoundTrips) {
+  Value v = Value::object();
+  v.set("null", Value());
+  v.set("t", true);
+  v.set("f", false);
+  v.set("int", std::int64_t{-42});
+  v.set("uint", std::uint64_t{18446744073709551615ull});  // > int64 max
+  v.set("dbl", 0.1);
+  v.set("str", "a\"b\\c\n\t\x01");
+  const std::string bytes = v.dump();
+  const Value r = Value::parse(bytes);
+  EXPECT_TRUE(r.at("null").is_null());
+  EXPECT_TRUE(r.at("t").as_bool());
+  EXPECT_FALSE(r.at("f").as_bool());
+  EXPECT_EQ(r.at("int").as_int(), -42);
+  EXPECT_EQ(r.at("uint").as_uint(), 18446744073709551615ull);
+  EXPECT_EQ(r.at("dbl").as_double(), 0.1);
+  EXPECT_EQ(r.at("str").as_string(), "a\"b\\c\n\t\x01");
+  // The canonical-bytes identity the content hash depends on.
+  EXPECT_EQ(r.dump(), bytes);
+}
+
+TEST(Json, IntegersNeverCoerceThroughDouble) {
+  // 2^63 + 1 is not representable as a double; a double-based parser would
+  // corrupt it and break cache-key stability for uint64 seeds.
+  const Value v = Value::parse("[9223372036854775809,-9223372036854775808]");
+  EXPECT_EQ(v[0].type(), Value::Type::Uint);
+  EXPECT_EQ(v[0].as_uint(), 9223372036854775809ull);
+  EXPECT_EQ(v[1].type(), Value::Type::Int);
+  EXPECT_EQ(v[1].as_int(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Json, DoubleShortestFormRoundTrips) {
+  for (const double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 2.5}) {
+    Value v = Value::array();
+    v.push_back(d);
+    const Value r = Value::parse(v.dump());
+    EXPECT_EQ(r[0].as_double(), d) << v.dump();
+    EXPECT_EQ(r.dump(), v.dump());
+  }
+}
+
+TEST(Json, NanBecomesNullAndReadsBackAsNan) {
+  Value v = Value::array();
+  v.push_back(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(v.dump(), "[null]");
+  EXPECT_TRUE(std::isnan(Value::parse("[null]")[0].as_double()));
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const Value v = Value::parse(R"(["é€"])");
+  EXPECT_EQ(v[0].as_string(), "\xc3\xa9\xe2\x82\xac");  // é€
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Value::parse(""), std::runtime_error);
+  EXPECT_THROW(Value::parse("{"), std::runtime_error);
+  EXPECT_THROW(Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Value::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(Value::parse("[01]"), std::runtime_error);
+  EXPECT_THROW(Value::parse(R"({"a")"), std::runtime_error);
+}
+
+TEST(Json, DepthLimitStopsRunawayNesting) {
+  const std::string deep(1000, '[');
+  EXPECT_THROW(Value::parse(deep), std::runtime_error);
+}
+
+TEST(Json, AccessorsThrowOnMismatch) {
+  const Value v = Value::parse(R"({"s":"x","n":1})");
+  EXPECT_THROW(v.at("s").as_int(), std::runtime_error);
+  EXPECT_THROW(v.at("missing"), std::out_of_range);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(get_uint(v, "s"), std::runtime_error);
+  EXPECT_EQ(get_uint(v, "n"), 1u);
+}
+
+}  // namespace
+}  // namespace gpurel::json

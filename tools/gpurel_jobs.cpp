@@ -1,0 +1,210 @@
+// gpurel_jobs: plan, execute, and merge serialized jobs — the multi-process
+// face of the gpurel::job layer.
+//
+//   plan   build a JobSpec from flags and write one spec file per shard:
+//            gpurel_jobs plan --kind=campaign --arch=kepler --code=MXM
+//              --injector=SASSIFI --injections=40 --seed=7 --shards=3
+//              --out=specs/mxm
+//          writes specs/mxm.shard0of3.json ... and prints the cache key.
+//
+//   run    execute one spec file (cache-aware, resumable):
+//            gpurel_jobs run --spec=specs/mxm.shard0of3.json
+//              --out=out/mxm.0.json --workers=4 --cache-dir=$GPUREL_CACHE
+//              --checkpoint=out/mxm.0.ckpt --checkpoint-every=64
+//              --metrics-out=out/metrics.json
+//
+//   merge  fold per-shard result files into the unsharded result:
+//            gpurel_jobs merge --out=out/mxm.json out/mxm.*.json
+//          The merged file is byte-identical to running the job unsharded
+//          (integer tallies + replayed FIT expressions; see job/result.hpp).
+//
+// Exit status: 0 on success, 1 on bad usage, 2 on execution/validation
+// failure.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "job/runner.hpp"
+#include "job/serialize.hpp"
+#include "obs/export.hpp"
+
+using namespace gpurel;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gpurel_jobs <plan|run|merge> [--flags]\n"
+               "  plan  --kind=campaign|beam --arch=kepler|volta [--sm=N]\n"
+               "        --code=NAME --precision=int|half|single|double\n"
+               "        [--injector=SASSIFI|NVBitFI --injections=N --rf=N\n"
+               "         --pred=N --ia=N --store-value=N --store-addr=N]\n"
+               "        [--ecc[=false] --mode=accelerated|natural --runs=N\n"
+               "         --flux-scale=X]\n"
+               "        [--seed=N --input-seed=N --scale=X]\n"
+               "        --shards=N --out=PREFIX\n"
+               "  run   --spec=FILE --out=FILE [--workers=N --cache-dir=DIR\n"
+               "        --checkpoint=FILE --checkpoint-every=N\n"
+               "        --metrics-out=FILE --trace-out=FILE --progress]\n"
+               "  merge --out=FILE SHARD_RESULT.json...\n");
+  return 1;
+}
+
+core::Precision parse_precision(const std::string& s) {
+  if (s == "int" || s == "int32") return core::Precision::Int32;
+  if (s == "half" || s == "fp16") return core::Precision::Half;
+  if (s == "double" || s == "fp64") return core::Precision::Double;
+  return core::Precision::Single;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// All result/spec files are written through here: canonical dump + '\n',
+/// so sharded-merge outputs and unsharded runs compare byte for byte.
+void write_doc(const std::string& path, const json::Value& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << doc.dump() << '\n';
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+int cmd_plan(const Cli& cli) {
+  job::JobSpec spec;
+  const std::string kind = cli.get("kind", "campaign");
+  if (kind != "campaign" && kind != "beam") return usage();
+
+  const unsigned sm = static_cast<unsigned>(cli.get_int("sm", 2));
+  spec.device = cli.get("arch", "kepler") == "volta"
+                    ? arch::GpuConfig::volta_v100(sm)
+                    : arch::GpuConfig::kepler_k40c(sm);
+  spec.entry = {cli.get("code", "MXM"),
+                parse_precision(cli.get("precision", "single"))};
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  spec.input_seed =
+      static_cast<std::uint64_t>(cli.get_int("input-seed", 0x5eed));
+  spec.scale = cli.get_double("scale", 1.0);
+
+  if (kind == "campaign") {
+    spec.kind = job::JobKind::Campaign;
+    spec.injector = cli.get("injector", "SASSIFI");
+    spec.profile = spec.injector == "SASSIFI" ? isa::CompilerProfile::Cuda7
+                                              : isa::CompilerProfile::Cuda10;
+    auto u = [&](const char* flag, std::int64_t def) {
+      return static_cast<unsigned>(cli.get_int(flag, def));
+    };
+    spec.budget.injections_per_kind = u("injections", 120);
+    spec.budget.rf_injections = u("rf", 0);
+    spec.budget.pred_injections = u("pred", 0);
+    spec.budget.ia_injections = u("ia", 0);
+    spec.budget.store_value_injections = u("store-value", 0);
+    spec.budget.store_addr_injections = u("store-addr", 0);
+  } else {
+    spec.kind = job::JobKind::Beam;
+    spec.profile = isa::CompilerProfile::Cuda10;
+    spec.ecc = cli.get_bool("ecc", true);
+    spec.mode = cli.get("mode", "accelerated") == "natural"
+                    ? beam::BeamMode::Natural
+                    : beam::BeamMode::Accelerated;
+    spec.runs = static_cast<unsigned>(cli.get_int("runs", 200));
+    spec.flux_scale = cli.get_double("flux-scale", 1.0);
+  }
+
+  const unsigned shards = static_cast<unsigned>(cli.get_int("shards", 1));
+  const std::string prefix = cli.get("out");
+  if (shards == 0 || prefix.empty()) return usage();
+
+  for (unsigned i = 0; i < shards; ++i) {
+    const job::JobSpec shard = job::with_shard(spec, i, shards);
+    const std::string path = prefix + ".shard" + std::to_string(i) + "of" +
+                             std::to_string(shards) + ".json";
+    write_doc(path, job::spec_to_json(shard));
+    std::printf("%s\t%s\n", path.c_str(), job::cache_key(shard).c_str());
+  }
+  std::printf("unsharded cache key: %s\n",
+              job::cache_key(job::with_shard(spec, 0, 1)).c_str());
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  const std::string spec_path = cli.get("spec");
+  const std::string out_path = cli.get("out");
+  if (spec_path.empty() || out_path.empty()) return usage();
+
+  const job::JobSpec spec =
+      job::spec_from_json(json::Value::parse(slurp(spec_path)));
+
+  obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
+  job::RunOptions opts;
+  opts.workers =
+      static_cast<unsigned>(cli.get_int_env("workers", "GPUREL_WORKERS", 1));
+  opts.context.trace = exporter.trace();
+  opts.context.progress = cli.get_bool_env("progress", "GPUREL_PROGRESS", false);
+  opts.cache_dir = cli.get("cache-dir");  // empty → GPUREL_CACHE → disabled
+  opts.checkpoint_path = cli.get("checkpoint");
+  opts.checkpoint_every =
+      static_cast<unsigned>(cli.get_int("checkpoint-every", 0));
+
+  const job::JobResult result = job::run_job(spec, opts);
+  write_doc(out_path, job::result_to_json(result));
+  std::printf("%s\t%s\n", out_path.c_str(), job::cache_key(spec).c_str());
+  return 0;
+}
+
+int cmd_merge(const Cli& cli, const std::vector<std::string>& inputs) {
+  const std::string out_path = cli.get("out");
+  if (out_path.empty() || inputs.empty()) return usage();
+
+  std::vector<job::JobResult> shards;
+  shards.reserve(inputs.size());
+  for (const std::string& path : inputs)
+    shards.push_back(job::result_from_json(json::Value::parse(slurp(path))));
+
+  const job::JobResult merged = job::merge_results(shards);
+  write_doc(out_path, job::result_to_json(merged));
+  std::printf("%s\t%s\n", out_path.c_str(),
+              job::cache_key(merged.spec).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  // Cli parses --flags; bare arguments (merge's shard files) are gathered
+  // here since the flag parser ignores positionals.
+  std::vector<std::string> positionals;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      // Skip "--name value" pairs: a bare token following a valueless flag
+      // is that flag's value, not a positional.
+      if (i > 2 && std::string(argv[i - 1]).rfind("--", 0) == 0 &&
+          std::string(argv[i - 1]).find('=') == std::string::npos)
+        continue;
+      positionals.push_back(arg);
+    }
+  }
+  const Cli cli(argc - 1, argv + 1);
+
+  try {
+    if (cmd == "plan") return cmd_plan(cli);
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "merge") return cmd_merge(cli, positionals);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpurel_jobs: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
