@@ -182,6 +182,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Checkpoint-fork batching: the same injection-heavy profile as due-heavy,
+  // but on MXM, which is fork-safe (QUICKSORT reads host state mid-trial and
+  // falls back to plain execution). Each worker simulates the shared
+  // fault-free prefix once and forks every trial's suffix from the deepest
+  // valid snapshot; results are bit-identical, only wall-clock moves.
+  {
+    const unsigned fork_epochs =
+        std::max<unsigned>(1, static_cast<unsigned>(cli.get_int("fork-epochs", 8)));
+    fault::CampaignConfig fc = base;
+    fc.schedule = fault::Schedule::Dynamic;
+    fc.injections_per_kind = std::max(1u, iov / 4);
+    // IA-skewed: instruction-address trials usually DUE at the fault itself,
+    // so a plain run pays the whole prefix for nothing while a forked run
+    // pays only the snapshot-to-fault gap -- the profile fork batching is for.
+    fc.ia_injections = 2 * ia;
+    fc.rf_injections = ia / 2;
+    fc.store_addr_injections = ia / 2;
+    const auto factory =
+        kernels::workload_factory("MXM", core::Precision::Single, wc);
+    fault::CampaignResult reference;
+    double plain_tps = 0.0;
+    for (const bool forked : {false, true}) {
+      fault::CampaignConfig cc = fc;
+      cc.fork_epochs = forked ? fork_epochs : 0;
+      std::vector<std::uint64_t> cost;
+      cc.trial_cycles_out = &cost;
+      cc.trace = exporter.trace();
+      telemetry::Timer wall;
+      const auto result = fault::run_campaign(*injector, factory, cc);
+      const double ms = wall.elapsed_ms();
+      const double tps =
+          ms > 0 ? 1000.0 * static_cast<double>(cost.size()) / ms : 0.0;
+      const obs::Labels labels{{"bench", "campaign_throughput"},
+                               {"mix", "fork-heavy"},
+                               {"schedule", forked ? "forked" : "plain"}};
+      auto& metrics = obs::Registry::global();
+      metrics.gauge("gpurel_bench_wall_ms", labels).set(ms);
+      metrics.gauge("gpurel_bench_trials_per_sec", labels).set(tps);
+      json_entries.emplace_back(std::string("campaign/fork-heavy/") +
+                                    (forked ? "forked" : "plain") +
+                                    ".trials_per_s",
+                                tps);
+      if (!forked) {
+        reference = result;
+        plain_tps = tps;
+      } else {
+        if (result.total_injections() != reference.total_injections() ||
+            result.overall_avf_sdc() != reference.overall_avf_sdc() ||
+            result.overall_avf_due() != reference.overall_avf_due()) {
+          std::fprintf(stderr, "FATAL: fork batching changed fork-heavy results\n");
+          return 1;
+        }
+        json_entries.emplace_back(
+            "campaign/fork-heavy/forked.speedup_x",
+            plain_tps > 0 ? tps / plain_tps : 0.0);
+      }
+      table.row()
+          .cell("fork-heavy")
+          .cell(forked ? "forked" : "plain")
+          .cell_int(static_cast<long long>(cost.size()))
+          .cell(ms, 1)
+          .cell(tps, 1)
+          .cell(0.0, 2)
+          .cell(forked && plain_tps > 0 ? tps / plain_tps : 1.0, 2);
+    }
+  }
+
   if (csv) std::fputs(table.to_csv().c_str(), stdout);
   else std::fputs(table.to_text().c_str(), stdout);
   std::fputc('\n', stdout);

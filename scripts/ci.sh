@@ -111,6 +111,25 @@ print(f"job smoke OK: 3-way merge byte-identical, {hits} cache hits, "
       f"0 misses, 0 simulated trials on rerun")
 EOF
 
+echo "==> fork-equivalence smoke (checkpoint-fork batching is bit-identical)"
+# The same campaign planned plain and with checkpoint-fork batching must
+# produce byte-identical result documents; only the spec (and so the cache
+# key) differs, which is why the comparison strips the embedded spec.
+for fork in 0 4; do
+  "${JOBS_BIN}" plan --kind=campaign --arch=kepler --code=MXM \
+    --precision=single --injector=SASSIFI --injections=4 --rf=8 --ia=12 \
+    --seed=13 --scale=0.05 --fork-epochs="${fork}" \
+    --out="${JOB_DIR}/mxm.fork${fork}" >/dev/null
+  "${JOBS_BIN}" run --spec="${JOB_DIR}/mxm.fork${fork}.shard0of1.json" \
+    --out="${JOB_DIR}/mxm.fork${fork}.out.json" >/dev/null
+  python3 -c 'import json, sys
+json.dump(json.load(open(sys.argv[1]))["result"], open(sys.argv[2], "w"),
+          sort_keys=True)' \
+    "${JOB_DIR}/mxm.fork${fork}.out.json" "${JOB_DIR}/mxm.fork${fork}.result"
+done
+cmp "${JOB_DIR}/mxm.fork0.result" "${JOB_DIR}/mxm.fork4.result"
+echo "fork-equivalence smoke OK: forked result byte-identical to plain"
+
 echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism)"
 # Always-on subset of the full tsan preset: the two tests that exercise the
 # worker pool and the cross-worker bit-identity contract. The preset's ctest

@@ -49,14 +49,55 @@ TrialRunner::TrialRunner(sim::Device& dev, sim::SimObserver* obs,
 
 bool TrialRunner::launch(const sim::KernelLaunch& kl) {
   if (due()) return false;
+  if (resume_ != nullptr && ordinal_ < resume_->launch_ordinal) {
+    ++ordinal_;  // already part of the snapshot; stats preset via resume_from
+    return true;
+  }
   const std::uint64_t remaining =
       cycle_budget_ == 0 ? 0
                          : (stats_.cycles >= cycle_budget_
                                 ? 1  // out of budget: next launch trips instantly
                                 : cycle_budget_ - stats_.cycles);
-  const sim::LaunchStats st = dev_.launch(kl, obs_, remaining, ordinal_++);
+  sim::ForkIO io;
+  sim::ForkIO* fork = nullptr;
+  if (resume_ != nullptr) {
+    io.resume = resume_;
+    fork = &io;
+    resume_ = nullptr;  // suffix launches after this one run normally
+  } else if (capture_marks_ != nullptr) {
+    io.marks = capture_marks_;
+    io.next_mark = capture_next_;
+    io.lane_base = stats_.lane_instructions;
+    io.out = capture_out_;
+    fork = &io;
+  }
+  const std::size_t before =
+      io.out != nullptr ? capture_out_->size() : 0;
+  const unsigned ordinal = ordinal_++;
+  const sim::LaunchStats st = dev_.launch(kl, obs_, remaining, ordinal, fork);
+  if (io.out != nullptr) {
+    capture_next_ = io.next_mark;
+    // Stamp trial-level context on the snapshots this launch appended:
+    // which launch was in flight and the stats merged before it started.
+    for (std::size_t i = before; i < capture_out_->size(); ++i) {
+      (*capture_out_)[i].launch_ordinal = ordinal;
+      (*capture_out_)[i].prior = stats_;
+    }
+  }
   stats_.merge(st);
   return stats_.due == sim::DueKind::None;
+}
+
+void TrialRunner::enable_capture(const std::vector<std::uint64_t>* marks,
+                                 std::vector<sim::Snapshot>* out) {
+  capture_marks_ = marks;
+  capture_out_ = out;
+  capture_next_ = 0;
+}
+
+void TrialRunner::resume_from(const sim::Snapshot& snap) {
+  resume_ = &snap;
+  stats_ = snap.prior;
 }
 
 void TrialRunner::force_due(sim::DueKind kind) {
@@ -148,7 +189,53 @@ TrialResult Workload::run_trial(sim::Device& dev, sim::SimObserver* obs) {
   setup(dev);
   TrialRunner runner(dev, obs, watchdog_budget_);
   execute(dev, runner);
+  return classify(dev, runner);
+}
 
+void Workload::capture_prefix(sim::Device& dev,
+                              const std::vector<std::uint64_t>& marks,
+                              std::vector<sim::Snapshot>& out) {
+  if (!prepared_)
+    throw std::logic_error(name() + ": capture_prefix before prepare()");
+  if (!fork_safe())
+    throw std::logic_error(name() + ": capture_prefix on a workload that is "
+                                    "not fork-safe");
+  dev.reset();
+  outputs_.clear();
+  setup(dev);
+  TrialRunner runner(dev, nullptr, watchdog_budget_);
+  runner.enable_capture(&marks, &out);
+  execute(dev, runner);
+  if (runner.due())
+    throw std::runtime_error(name() + ": fault-free capture run raised DUE: " +
+                             std::string(sim::due_kind_name(runner.stats().due)));
+  if (out.size() != marks.size())
+    throw std::logic_error(name() + ": capture run missed snapshot marks");
+}
+
+TrialResult Workload::run_trial_forked(sim::Device& dev,
+                                       const sim::Snapshot& snap,
+                                       sim::SimObserver* obs) {
+  if (!prepared_)
+    throw std::logic_error(name() + ": run_trial_forked before prepare()");
+  if (!fork_safe())
+    throw std::logic_error(name() + ": run_trial_forked on a workload that is "
+                                    "not fork-safe");
+  dev.reset();
+  outputs_.clear();
+  setup(dev);
+  // Bump allocation is deterministic, so a fresh setup() reproduces the
+  // capture run's layout; the snapshot then supplies the bytes.
+  if (dev.memory().allocated_top() != snap.memory_top)
+    throw std::logic_error(name() + ": snapshot memory layout mismatch");
+  dev.memory().restore_allocated(snap.memory_top, snap.memory);
+  TrialRunner runner(dev, obs, watchdog_budget_);
+  runner.resume_from(snap);
+  execute(dev, runner);
+  return classify(dev, runner);
+}
+
+TrialResult Workload::classify(sim::Device& dev, TrialRunner& runner) {
   TrialResult result;
   result.stats = runner.stats();
   result.stats.finalize(config_.gpu.max_warps_per_sm);

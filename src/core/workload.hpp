@@ -21,6 +21,7 @@
 #include "sim/device.hpp"
 #include "sim/launch.hpp"
 #include "sim/observer.hpp"
+#include "sim/snapshot.hpp"
 
 namespace gpurel::core {
 
@@ -60,6 +61,19 @@ class TrialRunner {
   /// convergence loop exceeds its bound because device data was corrupted).
   void force_due(sim::DueKind kind);
 
+  /// Capture mode: while driving the trial, append a sim::Snapshot to `out`
+  /// at each cumulative lane-instruction mark (sorted, strictly increasing;
+  /// counted across all launches of the trial). Both pointers must outlive
+  /// the trial.
+  void enable_capture(const std::vector<std::uint64_t>* marks,
+                      std::vector<sim::Snapshot>* out);
+  /// Resume mode: launches before the snapshot's ordinal are skipped (their
+  /// effects are part of the snapshot), the in-flight launch resumes from
+  /// the saved executor state, and merged stats are preset with the
+  /// snapshot's prior launches so watchdog arithmetic matches an unforked
+  /// trial bit for bit. The snapshot must outlive the trial.
+  void resume_from(const sim::Snapshot& snap);
+
   bool due() const { return stats_.due != sim::DueKind::None; }
   const sim::LaunchStats& stats() const { return stats_; }
 
@@ -69,6 +83,10 @@ class TrialRunner {
   std::uint64_t cycle_budget_;
   unsigned ordinal_ = 0;
   sim::LaunchStats stats_;
+  const std::vector<std::uint64_t>* capture_marks_ = nullptr;
+  std::vector<sim::Snapshot>* capture_out_ = nullptr;
+  std::size_t capture_next_ = 0;
+  const sim::Snapshot* resume_ = nullptr;
 };
 
 struct WorkloadConfig {
@@ -95,6 +113,11 @@ class Workload {
   /// Whether the kernels model a precompiled vendor library (cuBLAS-like);
   /// SASSIFI cannot instrument such kernels on Kepler (paper §III-D).
   virtual bool uses_library() const { return false; }
+  /// Whether execute() only drives launches — it never reads device memory
+  /// host-side mid-trial (convergence checks, pivot reads) nor writes inputs
+  /// between launches — so any point of the trial is reachable from a device
+  /// snapshot alone and trials may be forked from a shared prefix.
+  virtual bool fork_safe() const { return false; }
 
   const WorkloadConfig& config() const { return config_; }
 
@@ -117,6 +140,22 @@ class Workload {
 
   /// Execute one trial against fresh device memory and classify the result.
   TrialResult run_trial(sim::Device& dev, sim::SimObserver* obs = nullptr);
+
+  /// Run the fault-free prefix of a trial once, capturing a snapshot at each
+  /// cumulative lane-instruction mark (sorted, strictly increasing, all below
+  /// the trial's total). Requires prepare() and fork_safe(); throws if the
+  /// capture run raises a DUE or misses a mark.
+  void capture_prefix(sim::Device& dev, const std::vector<std::uint64_t>& marks,
+                      std::vector<sim::Snapshot>& out);
+
+  /// Re-run the suffix of a trial from `snap`: device memory is rebuilt via
+  /// setup() (bump allocation is deterministic, so addresses match), the
+  /// allocated image is restored from the snapshot, and execution resumes at
+  /// the saved cycle. With an observer whose side effects begin only after
+  /// the snapshot's lane mark, the classification and merged stats are
+  /// bit-identical to run_trial on the same fault.
+  TrialResult run_trial_forked(sim::Device& dev, const sim::Snapshot& snap,
+                               sim::SimObserver* obs = nullptr);
 
  protected:
   // --- subclass interface -------------------------------------------------
@@ -145,6 +184,8 @@ class Workload {
     std::uint32_t addr;
     std::uint32_t bytes;
   };
+
+  TrialResult classify(sim::Device& dev, TrialRunner& runner);
 
   std::vector<const isa::Program*> programs_;
   std::vector<OutputRegion> outputs_;

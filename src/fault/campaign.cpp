@@ -1,6 +1,8 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -35,13 +37,46 @@ void OutcomeCounts::merge(const OutcomeCounts& other) {
 namespace {
 
 constexpr std::size_t kKinds = static_cast<std::size_t>(UnitKind::kCount);
+constexpr std::size_t kFaultModels =
+    static_cast<std::size_t>(FaultModel::StoreAddress) + 1;
 
-/// Fault-free pass: count the dynamic sites each mode can target.
+/// Per-mode site counts consumed by the fault-free prefix up to one snapshot
+/// epoch. `lane_mark` is the cumulative issue-domain lane-instruction count
+/// at the epoch's end-of-cycle boundary — the same boundary the executor's
+/// capture hook uses (sim/snapshot.hpp), so a trial whose sampled target
+/// index is >= the epoch's count for its mode fires strictly after the fork.
+struct EpochSites {
+  std::uint64_t lane_mark = 0;
+  SiteCounts at;
+};
+
+/// Fault-free pass: count the dynamic sites each mode can target. With
+/// `marks` set, additionally records the running counts at each cumulative
+/// lane-instruction mark. Marks live in the issue domain (exec-mask
+/// popcounts, exactly stats_.lane_instructions) while site counts live in
+/// the after-exec domain — the two only agree at cycle boundaries (MMA
+/// delivers after_exec for all 32 lanes regardless of mask), so crossings
+/// are detected on cycle change and flushed before the new cycle's events.
 class CountingObserver final : public sim::SimObserver {
  public:
-  explicit CountingObserver(const Injector& inj) : inj_(inj) {}
+  explicit CountingObserver(const Injector& inj,
+                            const std::vector<std::uint64_t>* marks = nullptr,
+                            std::vector<EpochSites>* epochs = nullptr)
+      : inj_(inj), marks_(marks), epochs_(epochs) {}
 
-  unsigned wants() const override { return kWantsAfterExec; }
+  unsigned wants() const override {
+    return kWantsAfterExec | (marks_ != nullptr ? kWantsWarpIssue : 0u);
+  }
+
+  void on_warp_issue(const sim::WarpIssue& wi) override {
+    if (wi.cycle != cycle_) {
+      flush();
+      cycle_ = wi.cycle;
+    }
+    lanes_ += static_cast<unsigned>(std::popcount(wi.exec_mask));
+  }
+
+  void on_launch_end(const sim::LaunchStats&) override { flush(); }
 
   void after_exec(sim::ExecContext& ctx) override {
     ++total_lane_;
@@ -58,7 +93,26 @@ class CountingObserver final : public sim::SimObserver {
   std::uint64_t total_lane_ = 0;
 
  private:
+  void flush() {
+    if (marks_ == nullptr) return;
+    while (next_mark_ < marks_->size() && (*marks_)[next_mark_] <= lanes_) {
+      EpochSites e;
+      e.lane_mark = lanes_;
+      e.at.per_kind = per_kind_;
+      e.at.pred = pred_;
+      e.at.stores = stores_;
+      e.at.total_lane = total_lane_;
+      epochs_->push_back(e);
+      ++next_mark_;
+    }
+  }
+
   const Injector& inj_;
+  const std::vector<std::uint64_t>* marks_;
+  std::vector<EpochSites>* epochs_;
+  std::uint64_t lanes_ = 0;   // issue-domain cumulative lane instructions
+  std::uint64_t cycle_ = std::numeric_limits<std::uint64_t>::max();
+  std::size_t next_mark_ = 0;
 };
 
 /// One-shot single-fault observer.
@@ -155,6 +209,14 @@ class InjectionObserver final : public sim::SimObserver {
     }
   }
 
+  /// Forked trials resume after a prefix that already consumed `n` of this
+  /// mode's sites; preloading the counters makes the target-index comparison
+  /// see the same running count an unforked trial would at that point.
+  void preset_counts(std::uint64_t n) {
+    count_ = n;
+    store_count_ = n;
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t store_count_ = 0;
@@ -182,10 +244,13 @@ void check_instrumentable(const Injector& injector, const core::Workload& w) {
         injector.name());
 }
 
-/// Fault-free counting run over an already prepared workload.
+/// Fault-free counting run over an already prepared workload. With `marks`
+/// set, also fills `epochs` with the per-mode counts at each mark.
 SiteCounts count_prepared(const Injector& injector, core::Workload& w,
-                          sim::Device& dev) {
-  CountingObserver counter(injector);
+                          sim::Device& dev,
+                          const std::vector<std::uint64_t>* marks = nullptr,
+                          std::vector<EpochSites>* epochs = nullptr) {
+  CountingObserver counter(injector, marks, epochs);
   const auto r = w.run_trial(dev, &counter);
   if (r.outcome != core::Outcome::Masked)
     throw std::logic_error("counting pass produced a non-masked outcome for " +
@@ -298,11 +363,50 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   ref->prepare(*ref_dev);
   check_instrumentable(injector, *ref);
 
+  // Plan-time validation: RegisterFile trials flip one bit of a register
+  // sampled from [0, max_regs). A workload whose kernels use no registers
+  // has no RF state to strike; silently clamping the sample range to 1 (the
+  // old behaviour) injected into a register the program does not own —
+  // always masked, silently diluting the reported RF AVF.
+  if (config.rf_injections > 0 && injector.supports(FaultModel::RegisterFile) &&
+      ref->max_regs_per_thread() == 0)
+    throw std::invalid_argument(
+        "run_campaign: RegisterFile injections requested but " + ref->name() +
+        " uses no architectural registers");
+
+  // Checkpoint-fork batching: place up to fork_epochs snapshot marks evenly
+  // over the trial's cumulative lane-instruction count (golden run; trials
+  // are bit-identical until their injection fires, so the prefix is shared).
+  bool forking = config.fork_epochs > 0 && ref->fork_safe();
+  std::vector<std::uint64_t> marks;
+  if (forking) {
+    const std::uint64_t total = ref->golden_stats().lane_instructions;
+    for (unsigned i = 1; i <= config.fork_epochs; ++i) {
+      const std::uint64_t m = total / (config.fork_epochs + 1) * i +
+                              total % (config.fork_epochs + 1) * i /
+                                  (config.fork_epochs + 1);
+      if (m == 0 || m >= total) continue;
+      if (!marks.empty() && marks.back() == m) continue;
+      marks.push_back(m);
+    }
+    if (marks.empty()) forking = false;
+  }
+
   // Site counts: one fault-free run — or the caller's precomputed counts,
-  // which skip it entirely (bit-identical; see CampaignConfig::sites).
-  const SiteCounts sites = config.sites != nullptr
-                               ? *config.sites
-                               : count_prepared(injector, *ref, *ref_dev);
+  // which skip it entirely (bit-identical; see CampaignConfig::sites). Fork
+  // batching additionally needs the running per-mode counts at each mark,
+  // which only a counting run can measure, so with caller-provided sites and
+  // forking enabled a counting run still happens (for the epochs alone).
+  std::vector<EpochSites> epochs;
+  const SiteCounts sites =
+      config.sites != nullptr
+          ? *config.sites
+          : count_prepared(injector, *ref, *ref_dev, forking ? &marks : nullptr,
+                           forking ? &epochs : nullptr);
+  if (forking && config.sites != nullptr)
+    count_prepared(injector, *ref, *ref_dev, &marks, &epochs);
+  if (forking && epochs.size() != marks.size())
+    forking = false;  // defensive: a missed mark disables forking, not trials
 
   CampaignResult result;
   result.injector = injector.name();
@@ -324,8 +428,16 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       trials.push_back({FaultModel::InstructionOutput, static_cast<UnitKind>(k),
                         splitmix64(salt)});
   }
+  // A mode that was requested and is supported but has zero dynamic sites in
+  // this workload gets its trials resolved as Masked at plan time (a strike
+  // on a unit the program never exercises corrupts nothing), with a
+  // telemetry warning. The old path silently dropped the trials — and had it
+  // run them, sampling a target from an empty range would have reached
+  // Rng::uniform_u64(0), which is undefined.
+  std::array<bool, kFaultModels> zero_site_mode{};
   auto add_aux = [&](FaultModel mode, unsigned n, std::uint64_t mode_sites) {
-    if (!injector.supports(mode) || mode_sites == 0) return;
+    if (!injector.supports(mode) || n == 0) return;
+    if (mode_sites == 0) zero_site_mode[static_cast<std::size_t>(mode)] = true;
     for (unsigned i = 0; i < n; ++i) trials.push_back({mode, UnitKind::OTHER,
                                                        splitmix64(salt)});
   };
@@ -397,7 +509,17 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                 {"ia_pc_bits", pc_bits},
                 {"shard_index", config.shard_index},
                 {"shard_count", config.shard_count},
-                {"resumed_trials", std::uint64_t{skip}}});
+                {"resumed_trials", std::uint64_t{skip}},
+                {"fork_epochs", forking ? marks.size() : std::size_t{0}}});
+  if (sink != nullptr)
+    for (std::size_t m = 0; m < zero_site_mode.size(); ++m)
+      if (zero_site_mode[m])
+        sink->emit("campaign_zero_site_mode",
+                   {{"injector", result.injector},
+                    {"workload", result.workload},
+                    {"model",
+                     std::string(fault_model_name(static_cast<FaultModel>(m)))},
+                    {"resolution", "masked"}});
   telemetry::Progress progress(config.progress, "campaign " + result.workload,
                                todo);
   telemetry::Counter done;
@@ -462,6 +584,10 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     std::unique_ptr<core::Workload> w;
     std::unique_ptr<sim::Device> dev;
     unsigned max_regs = 0;
+    // Fork batching: snapshots of the shared fault-free prefix, one per
+    // epoch mark, captured lazily on the worker's first forked trial.
+    std::vector<sim::Snapshot> snaps;
+    bool snaps_ready = false;
   };
   std::vector<WorkerState> states(workers);
   states[0].w = std::move(ref);
@@ -479,36 +605,117 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     return st;
   };
 
-  auto run_one = [&](WorkerState& st, std::size_t t) {
-    const TrialDesc& desc = trials[t];
+  auto ensure_snaps = [&](WorkerState& st) {
+    if (st.snaps_ready) return;
+    st.w->capture_prefix(*st.dev, marks, st.snaps);
+    st.snaps_ready = true;
+  };
+
+  // Per-trial fault sampling, shared verbatim by the execution path and the
+  // fork planner below so the RNG draw sequence stays byte-for-byte
+  // identical whether or not a trial is forked.
+  struct TrialSample {
+    unsigned bit = 0;
+    unsigned ia_bit = 0;
+    unsigned rf_reg = 0;
+    std::uint64_t target_index = 0;
+  };
+  auto sample_trial = [&](const TrialDesc& desc,
+                          unsigned max_regs) -> TrialSample {
     Rng rng(desc.seed);
-    InjectionObserver obs;
-    obs.mode = desc.mode;
-    obs.inj = &injector;
-    obs.bit = rng.next_u32();  // reduced modulo the destination width at fire time
-    obs.ia_bit = static_cast<unsigned>(rng.uniform_u64(pc_bits));
-    obs.rf_reg =
-        static_cast<unsigned>(rng.uniform_u64(std::max(1u, st.max_regs)));
+    TrialSample s;
+    s.bit = rng.next_u32();  // reduced modulo the destination width at fire time
+    s.ia_bit = static_cast<unsigned>(rng.uniform_u64(pc_bits));
+    // max(1, regs): every trial draws rf_reg to keep the draw order fixed
+    // across modes; RF-mode trials on a zero-register workload were already
+    // rejected at plan time, so the clamp only ever pads non-RF draws.
+    s.rf_reg = static_cast<unsigned>(rng.uniform_u64(std::max(1u, max_regs)));
     switch (desc.mode) {
       case FaultModel::InstructionOutput:
-        obs.target_kind = desc.kind;
-        obs.target_index = rng.uniform_u64(
+        s.target_index = rng.uniform_u64(
             sites.per_kind[static_cast<std::size_t>(desc.kind)]);
         break;
       case FaultModel::Predicate:
-        obs.target_index = rng.uniform_u64(sites.pred);
+        s.target_index = rng.uniform_u64(sites.pred);
         break;
       case FaultModel::RegisterFile:
       case FaultModel::InstructionAddress:
-        obs.target_index = rng.uniform_u64(sites.total_lane);
+        s.target_index = rng.uniform_u64(sites.total_lane);
         break;
       case FaultModel::StoreValue:
       case FaultModel::StoreAddress:
-        obs.target_index = rng.uniform_u64(sites.stores);
+        s.target_index = rng.uniform_u64(sites.stores);
         break;
     }
+    return s;
+  };
+
+  // Sites of a trial's mode consumed by the prefix up to an epoch.
+  auto epoch_sites_for = [](FaultModel mode, UnitKind kind,
+                            const EpochSites& e) -> std::uint64_t {
+    switch (mode) {
+      case FaultModel::InstructionOutput:
+        return e.at.per_kind[static_cast<std::size_t>(kind)];
+      case FaultModel::Predicate: return e.at.pred;
+      case FaultModel::RegisterFile:
+      case FaultModel::InstructionAddress: return e.at.total_lane;
+      case FaultModel::StoreValue:
+      case FaultModel::StoreAddress: return e.at.stores;
+    }
+    return 0;
+  };
+
+  // Fork planning: bucket each owned trial by the deepest epoch whose prefix
+  // consumes only sites strictly before the trial's target, so the injection
+  // fires inside the resumed suffix. -1 = run the trial from scratch.
+  std::vector<int> trial_epoch;
+  if (forking) {
+    trial_epoch.assign(trials.size(), -1);
+    for (const std::size_t t : owned) {
+      const TrialDesc& d = trials[t];
+      if (zero_site_mode[static_cast<std::size_t>(d.mode)]) continue;
+      const TrialSample s = sample_trial(d, states[0].max_regs);
+      int e = -1;
+      while (e + 1 < static_cast<int>(epochs.size()) &&
+             epoch_sites_for(d.mode, d.kind, epochs[static_cast<std::size_t>(
+                                                 e + 1)]) <= s.target_index)
+        ++e;
+      trial_epoch[t] = e;
+    }
+  }
+
+  auto run_one = [&](WorkerState& st, std::size_t t) {
+    const TrialDesc& desc = trials[t];
+    if (zero_site_mode[static_cast<std::size_t>(desc.mode)]) {
+      // Resolved at plan time: no reachable site, so the fault is masked by
+      // definition — no RNG draws, no simulation.
+      outcomes[t] = core::Outcome::Masked;
+      if (!cycles.empty()) cycles[t] = 0;
+      m_trials.add();
+      return;
+    }
+    const TrialSample sample = sample_trial(desc, st.max_regs);
+    InjectionObserver obs;
+    obs.mode = desc.mode;
+    obs.inj = &injector;
+    obs.bit = sample.bit;
+    obs.ia_bit = sample.ia_bit;
+    obs.rf_reg = sample.rf_reg;
+    obs.target_kind = desc.kind;  // meaningful for IOV; ignored otherwise
+    obs.target_index = sample.target_index;
     const telemetry::Timer trial_wall;
-    const core::TrialResult r = st.w->run_trial(*st.dev, &obs);
+    core::TrialResult r;
+    const int epoch = forking ? trial_epoch[t] : -1;
+    if (epoch >= 0) {
+      ensure_snaps(st);
+      const EpochSites& es = epochs[static_cast<std::size_t>(epoch)];
+      obs.preset_counts(epoch_sites_for(desc.mode, desc.kind, es));
+      r = st.w->run_trial_forked(*st.dev,
+                                 st.snaps[static_cast<std::size_t>(epoch)],
+                                 &obs);
+    } else {
+      r = st.w->run_trial(*st.dev, &obs);
+    }
     m_latency.observe(trial_wall.elapsed_ms());
     m_trials.add();
     outcomes[t] = r.outcome;
@@ -524,6 +731,22 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                                     {"done", done.value()},
                                     {"total", todo}});
     note_checkpoint_progress(begin, end);
+  };
+
+  // A static shard completes the strided position set {shard, shard+workers,
+  // ...}, not a contiguous range; the old report of [shard, shard+n) made
+  // chunk events overlap between shards and overstate early progress. The
+  // strided extent is reported explicitly instead, and never feeds the
+  // checkpoint frontier (checkpointing already requires Schedule::Dynamic).
+  auto after_shard = [&](std::size_t shard, std::size_t n) {
+    done.add(n);
+    progress.tick(n);
+    if (sink != nullptr)
+      sink->emit("campaign_chunk", {{"begin", shard},
+                                    {"stride", std::size_t{workers}},
+                                    {"count", n},
+                                    {"done", done.value()},
+                                    {"total", todo}});
   };
 
   auto emit_chunk_span = [&](std::size_t worker, double t0, std::size_t begin,
@@ -556,7 +779,7 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
         run_one(st, owned[skip + p]);
       if (n > 0) {
         emit_chunk_span(shard, t0, shard, n);
-        after_chunk(shard, shard + n);  // one completion per shard
+        after_shard(shard, n);  // one completion per shard, strided positions
       }
     };
     if (workers == 1) {
@@ -583,6 +806,8 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   // to the uninterrupted run).
   tally_positions(result, 0, todo);
   if (config.resume != nullptr) result.merge(config.resume->partial);
+  if (config.trial_outcomes_out != nullptr)
+    *config.trial_outcomes_out = outcomes;
   if (config.trial_cycles_out != nullptr)
     *config.trial_cycles_out = std::move(cycles);
 

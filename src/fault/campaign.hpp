@@ -137,6 +137,20 @@ struct CampaignConfig : InjectionBudget, obs::RunContext {
   /// campaign's (deterministic) internal trial order. Consumed by scheduling
   /// benchmarks; leave null otherwise.
   std::vector<std::uint64_t>* trial_cycles_out = nullptr;
+  /// When set, receives the per-trial outcome, indexed like trial_cycles_out
+  /// (trials not owned by this shard keep Outcome::Masked). Consumed by the
+  /// fork-equivalence tests; leave null otherwise.
+  std::vector<core::Outcome>* trial_outcomes_out = nullptr;
+
+  /// Checkpoint-fork trial batching: when > 0 and the workload is fork-safe
+  /// (core::Workload::fork_safe), each worker simulates the shared fault-free
+  /// prefix once, snapshotting device state at up to this many evenly spaced
+  /// epochs, and every trial whose injection fires after an epoch resumes
+  /// from the deepest valid snapshot instead of re-simulating the prefix.
+  /// Per-trial RNG draws and outcomes are bit-identical to fork_epochs == 0;
+  /// only wall-clock changes. Ignored (plain execution) for workloads that
+  /// are not fork-safe.
+  unsigned fork_epochs = 0;
   /// Precomputed site counts for this exact (injector, workload) pair (see
   /// count_sites). When set, the campaign skips its own fault-free counting
   /// run; results are bit-identical either way. The caller is responsible

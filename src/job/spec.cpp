@@ -40,6 +40,9 @@ Value spec_to_json(const JobSpec& spec) {
     b.set("store_value_injections", spec.budget.store_value_injections);
     b.set("store_addr_injections", spec.budget.store_addr_injections);
     c.set("budget", std::move(b));
+    // Only serialized when enabled: hashes of pre-existing specs must not
+    // move just because the field now exists.
+    if (spec.fork_epochs != 0) c.set("fork_epochs", spec.fork_epochs);
     v.set("campaign", std::move(c));
   } else {
     Value b = Value::object();
@@ -96,6 +99,8 @@ JobSpec spec_from_json(const Value& doc) {
     spec.budget.ia_injections = u32("ia_injections");
     spec.budget.store_value_injections = u32("store_value_injections");
     spec.budget.store_addr_injections = u32("store_addr_injections");
+    if (const Value* fe = c.find("fork_epochs"))
+      spec.fork_epochs = static_cast<unsigned>(fe->as_uint());
   } else {
     const Value& b = doc.at("beam");
     spec.ecc = json::get_bool(b, "ecc");

@@ -37,7 +37,7 @@ inline constexpr std::int64_t kResultSchemaVersion = 1;
 /// content-hash ⊕ engine version, so cached results never survive an engine
 /// change that could alter outcomes. Bump on ANY behavioral engine change
 /// (new fault model semantics, RNG changes, FIT formula changes, ...).
-inline constexpr const char* kEngineVersion = "gpurel-engine-5";
+inline constexpr const char* kEngineVersion = "gpurel-engine-6";
 
 enum class JobKind : std::uint8_t { Campaign, Beam };
 
@@ -72,6 +72,11 @@ struct JobSpec {
   // --- campaign jobs -------------------------------------------------------
   std::string injector = "SASSIFI";  // "SASSIFI" | "NVBitFI"
   fault::InjectionBudget budget;
+  /// Checkpoint-fork trial batching (CampaignConfig::fork_epochs). Results
+  /// are bit-identical at any value, but the field is part of the spec so a
+  /// planned corpus records how it was (or should be) executed; it is only
+  /// serialized when nonzero, so existing spec hashes are unchanged.
+  unsigned fork_epochs = 0;
 
   // --- beam jobs -----------------------------------------------------------
   bool ecc = true;

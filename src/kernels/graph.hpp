@@ -59,6 +59,7 @@ class Nw final : public core::Workload {
 
   std::string base_name() const override { return "NW"; }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override { return true; }
 
  protected:
   void build_programs() override;

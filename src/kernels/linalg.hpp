@@ -15,6 +15,7 @@ class Gaussian final : public core::Workload {
 
   std::string base_name() const override { return "GAUSSIAN"; }
   core::Precision precision() const override { return core::Precision::Single; }
+  bool fork_safe() const override { return true; }
   unsigned n() const { return n_; }
 
  protected:
@@ -35,6 +36,7 @@ class Lud final : public core::Workload {
 
   std::string base_name() const override { return "LUD"; }
   core::Precision precision() const override { return core::Precision::Single; }
+  bool fork_safe() const override { return true; }
   unsigned n() const { return n_; }
 
  protected:

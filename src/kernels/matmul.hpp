@@ -17,6 +17,7 @@ class MxM final : public core::Workload {
 
   std::string base_name() const override { return "MXM"; }
   core::Precision precision() const override { return precision_; }
+  bool fork_safe() const override { return true; }
   unsigned n() const { return n_; }
 
  protected:
@@ -42,6 +43,7 @@ class Gemm final : public core::Workload {
   std::string base_name() const override { return "GEMM"; }
   core::Precision precision() const override { return precision_; }
   bool uses_library() const override { return true; }
+  bool fork_safe() const override { return true; }
   unsigned n() const { return n_; }
   unsigned tile() const { return tile_; }
 
@@ -69,6 +71,7 @@ class GemmMma final : public core::Workload {
   std::string base_name() const override { return "GEMM-MMA"; }
   core::Precision precision() const override { return precision_; }
   bool uses_library() const override { return true; }
+  bool fork_safe() const override { return true; }
   unsigned n() const { return n_; }
 
  protected:

@@ -24,6 +24,7 @@ class ArithMicro final : public core::Workload {
   std::string base_name() const override;
   std::string name() const override;
   core::Precision precision() const override { return precision_; }
+  bool fork_safe() const override { return true; }
 
  protected:
   void build_programs() override;
@@ -50,6 +51,7 @@ class RfMicro final : public core::Workload {
   std::string base_name() const override { return "RF"; }
   std::string name() const override { return "RF"; }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override { return true; }
 
   unsigned data_regs() const { return data_regs_; }
 
@@ -77,6 +79,7 @@ class LdstMicro final : public core::Workload {
   std::string base_name() const override { return "LDST"; }
   std::string name() const override { return "LDST"; }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override { return true; }
 
  protected:
   void build_programs() override;
@@ -100,6 +103,7 @@ class MmaMicro final : public core::Workload {
 
   std::string base_name() const override { return "MMA"; }
   core::Precision precision() const override { return precision_; }
+  bool fork_safe() const override { return true; }
 
  protected:
   void build_programs() override;

@@ -20,6 +20,7 @@ class Mergesort final : public core::Workload {
 
   std::string base_name() const override { return "MERGESORT"; }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override { return true; }
 
  protected:
   void build_programs() override;

@@ -16,6 +16,7 @@ class Hotspot final : public core::Workload {
 
   std::string base_name() const override { return "HOTSPOT"; }
   core::Precision precision() const override { return precision_; }
+  bool fork_safe() const override { return true; }
   unsigned grid_dim() const { return n_; }
 
  protected:
@@ -42,6 +43,7 @@ class Lava final : public core::Workload {
 
   std::string base_name() const override { return "LAVA"; }
   core::Precision precision() const override { return precision_; }
+  bool fork_safe() const override { return true; }
 
  protected:
   void build_programs() override;

@@ -39,6 +39,7 @@ class ConvNet : public core::Workload {
   std::string base_name() const override { return base_; }
   core::Precision precision() const override { return precision_; }
   bool uses_library() const override { return true; }
+  bool fork_safe() const override { return true; }
 
   /// Class scores of the last completed trial (decoded to float).
   std::vector<float> read_scores(sim::Device& dev) const;

@@ -16,8 +16,9 @@ void Device::set_ecc(bool on) {
 }
 
 LaunchStats Device::launch(const KernelLaunch& kl, SimObserver* observer,
-                           std::uint64_t max_cycles, unsigned ordinal) {
-  return exec_.run(kl, observer, max_cycles, ordinal);
+                           std::uint64_t max_cycles, unsigned ordinal,
+                           ForkIO* fork) {
+  return exec_.run(kl, observer, max_cycles, ordinal, fork);
 }
 
 }  // namespace gpurel::sim

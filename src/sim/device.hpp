@@ -63,9 +63,12 @@ class Device {
     return out;
   }
 
-  /// Run a kernel. `max_cycles` = watchdog budget, 0 = unlimited.
+  /// Run a kernel. `max_cycles` = watchdog budget, 0 = unlimited. `fork`
+  /// (may be null) selects snapshot capture or mid-launch resume, see
+  /// sim/snapshot.hpp.
   LaunchStats launch(const KernelLaunch& kl, SimObserver* observer = nullptr,
-                     std::uint64_t max_cycles = 0, unsigned ordinal = 0);
+                     std::uint64_t max_cycles = 0, unsigned ordinal = 0,
+                     ForkIO* fork = nullptr);
 
  private:
   arch::GpuConfig config_;

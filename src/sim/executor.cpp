@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/bits.hpp"
 #include "common/fp16.hpp"
@@ -156,6 +157,145 @@ WarpRt* Executor::acquire_warp() {
   w->pred_ready.fill(0);
   w->lanes.fill(ThreadRegs{});
   return w;
+}
+
+Snapshot Executor::make_snapshot(std::uint64_t cycle,
+                                 std::uint64_t lane_mark) const {
+  Snapshot snap;
+  snap.lane_mark = lane_mark;
+  snap.memory_top = global_.allocated_top();
+  snap.memory = global_.save_allocated();
+  ExecutorSnapshot& e = snap.exec;
+  e.cycle = cycle;
+  e.stats = stats_;
+  e.next_block = next_block_;
+  e.total_blocks = total_blocks_;
+  e.completed_blocks = completed_blocks_;
+  e.next_warp_id = next_warp_id_;
+  e.max_blocks_per_sm = max_blocks_per_sm_;
+
+  // Only resident blocks (and their warps, exited ones included — they stay
+  // in the SM lists until the block retires) are captured; retired pool
+  // slots are never read again, so they need no restoration.
+  std::vector<std::pair<const BlockRt*, std::size_t>> block_index;
+  std::vector<std::pair<const WarpRt*, std::size_t>> warp_index;
+  auto index_of = [](auto& table, const auto* p) {
+    for (const auto& [q, i] : table)
+      if (q == p) return i;
+    throw std::logic_error("Executor::make_snapshot: dangling runtime pointer");
+  };
+  for (const SmState& s : sms_) {
+    for (const BlockRt* b : s.blocks) {
+      block_index.emplace_back(b, e.blocks.size());
+      BlockSnap bs;
+      bs.cta_x = b->cta_x;
+      bs.cta_y = b->cta_y;
+      bs.sm = b->sm;
+      bs.threads = b->threads;
+      bs.warps_total = b->warps_total;
+      bs.warps_exited = b->warps_exited;
+      bs.warps_at_barrier = b->warps_at_barrier;
+      bs.shared = b->shared;
+      e.blocks.push_back(std::move(bs));
+      for (const WarpRt* w : b->warps) {
+        warp_index.emplace_back(w, e.warps.size());
+        e.blocks.back().warps.push_back(e.warps.size());
+        WarpSnap ws;
+        ws.block_index = e.blocks.size() - 1;
+        ws.sm = w->sm;
+        ws.scheduler = w->scheduler;
+        ws.warp_id = w->warp_id;
+        ws.warp_in_block = w->warp_in_block;
+        ws.pc = w->pc;
+        ws.active = w->active;
+        ws.stack = w->stack;
+        ws.exited = w->exited;
+        ws.at_barrier = w->at_barrier;
+        ws.next_try = w->next_try;
+        ws.reg_ready = w->reg_ready;
+        ws.pred_ready = w->pred_ready;
+        ws.lanes = w->lanes;
+        e.warps.push_back(std::move(ws));
+      }
+    }
+  }
+  e.sms.resize(sms_.size());
+  for (std::size_t sm = 0; sm < sms_.size(); ++sm) {
+    const SmState& s = sms_[sm];
+    SmSnap& ss = e.sms[sm];
+    for (const BlockRt* b : s.blocks)
+      ss.blocks.push_back(index_of(block_index, b));
+    for (const WarpRt* w : s.warps)
+      ss.warps.push_back(index_of(warp_index, w));
+    ss.rr = s.rr;
+    ss.resident_warps = s.resident_warps;
+    ss.next_wake = s.next_wake;
+  }
+  return snap;
+}
+
+void Executor::restore_snapshot(const ExecutorSnapshot& snap) {
+  stats_ = snap.stats;
+  next_block_ = snap.next_block;
+  total_blocks_ = snap.total_blocks;
+  completed_blocks_ = snap.completed_blocks;
+  next_warp_id_ = snap.next_warp_id;
+  max_blocks_per_sm_ = snap.max_blocks_per_sm;
+
+  // Live-set compaction: watermarks restart at the captured live counts;
+  // pool slots past them are reinitialised by place_block/acquire_warp when
+  // (if) they are reused later in the resumed run.
+  blocks_used_ = 0;
+  warps_used_ = 0;
+  std::vector<BlockRt*> blocks(snap.blocks.size());
+  std::vector<WarpRt*> warps(snap.warps.size());
+  for (std::size_t i = 0; i < snap.blocks.size(); ++i) {
+    const BlockSnap& bs = snap.blocks[i];
+    BlockRt* b = acquire_block();
+    b->cta_x = bs.cta_x;
+    b->cta_y = bs.cta_y;
+    b->sm = bs.sm;
+    b->threads = bs.threads;
+    b->warps_total = bs.warps_total;
+    b->warps_exited = bs.warps_exited;
+    b->warps_at_barrier = bs.warps_at_barrier;
+    b->shared = bs.shared;
+    b->warps.clear();
+    blocks[i] = b;
+  }
+  for (std::size_t i = 0; i < snap.warps.size(); ++i) {
+    const WarpSnap& ws = snap.warps[i];
+    WarpRt* w = acquire_warp();
+    w->block = blocks.at(ws.block_index);
+    w->sm = ws.sm;
+    w->scheduler = ws.scheduler;
+    w->warp_id = ws.warp_id;
+    w->warp_in_block = ws.warp_in_block;
+    w->pc = ws.pc;
+    w->active = ws.active;
+    w->stack = ws.stack;
+    w->exited = ws.exited;
+    w->at_barrier = ws.at_barrier;
+    w->next_try = ws.next_try;
+    w->reg_ready = ws.reg_ready;
+    w->pred_ready = ws.pred_ready;
+    w->lanes = ws.lanes;
+    warps[i] = w;
+  }
+  for (std::size_t i = 0; i < snap.blocks.size(); ++i)
+    for (std::size_t wi : snap.blocks[i].warps)
+      blocks[i]->warps.push_back(warps.at(wi));
+  for (std::size_t sm = 0; sm < sms_.size(); ++sm) {
+    const SmSnap& ss = snap.sms.at(sm);
+    SmState& s = sms_[sm];
+    for (std::size_t bi : ss.blocks) s.blocks.push_back(blocks.at(bi));
+    for (std::size_t wi : ss.warps) s.warps.push_back(warps.at(wi));
+    s.rr = ss.rr;
+    s.resident_warps = ss.resident_warps;
+    s.next_wake = ss.next_wake;
+    s.touched = false;
+  }
+  rebuild_live_lists();
 }
 
 void Executor::refresh_wake(SmState& s) {
@@ -968,21 +1108,22 @@ void Executor::schedule_sm(unsigned sm, std::uint64_t cycle) {
 }
 
 LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
-                          std::uint64_t max_cycles, unsigned launch_ordinal) {
+                          std::uint64_t max_cycles, unsigned launch_ordinal,
+                          ForkIO* fork) {
   if (launch.program == nullptr)
     throw std::invalid_argument("Executor::run: null program");
   if (launch.grid.count() == 0 || launch.block.count() == 0)
     throw std::invalid_argument("Executor::run: empty grid or block");
   if (launch.block.count() > gpu_.max_threads_per_block)
     throw std::invalid_argument("Executor::run: block too large");
+  const Snapshot* resume = fork != nullptr ? fork->resume : nullptr;
+  const bool capturing =
+      fork != nullptr && resume == nullptr && fork->marks != nullptr;
 
   launch_ = &launch;
   obs_ = observer;
   hooks_ = observer != nullptr ? observer->wants() : 0u;
   due_ = DueKind::None;
-  stats_ = LaunchStats{};
-  stats_.shared_bytes_per_block =
-      launch.program->shared_bytes() + launch.dynamic_shared;
   if (sms_.size() != gpu_.sm_count) sms_.resize(gpu_.sm_count);
   for (auto& s : sms_) {
     s.blocks.clear();
@@ -995,29 +1136,43 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
   if (rings_.size() != gpu_.schedulers_per_sm) rings_.resize(gpu_.schedulers_per_sm);
   live_blocks_.clear();
   live_warps_.clear();
-  blocks_used_ = 0;  // pool watermarks: prior-run storage is reused, not freed
-  warps_used_ = 0;
-  next_block_ = 0;
-  completed_blocks_ = 0;
-  next_warp_id_ = 0;
   build_decode_table(gpu_, *launch.program, decode_);
   code_ = &launch.program->at(0);
 
-  const auto occ = arch::occupancy(
-      gpu_, launch.program->regs_per_thread(),
-      launch.program->shared_bytes() + launch.dynamic_shared, launch.block.count());
-  max_blocks_per_sm_ = occ.blocks_per_sm;
-  total_blocks_ = launch.grid.count();
+  if (resume == nullptr) {
+    stats_ = LaunchStats{};
+    stats_.shared_bytes_per_block =
+        launch.program->shared_bytes() + launch.dynamic_shared;
+    blocks_used_ = 0;  // pool watermarks: prior-run storage is reused, not freed
+    warps_used_ = 0;
+    next_block_ = 0;
+    completed_blocks_ = 0;
+    next_warp_id_ = 0;
 
-  // Initial placement, round-robin across SMs.
-  for (unsigned round = 0; round < max_blocks_per_sm_ && next_block_ < total_blocks_;
-       ++round)
-    for (unsigned sm = 0; sm < gpu_.sm_count && next_block_ < total_blocks_; ++sm)
-      place_block(sm, next_block_++, 0);
-  rebuild_live_lists();
-  for (auto& s : sms_) {
-    refresh_wake(s);
-    s.touched = false;
+    const auto occ = arch::occupancy(gpu_, launch.program->regs_per_thread(),
+                                     launch.program->shared_bytes() +
+                                         launch.dynamic_shared,
+                                     launch.block.count());
+    max_blocks_per_sm_ = occ.blocks_per_sm;
+    total_blocks_ = launch.grid.count();
+
+    // Initial placement, round-robin across SMs.
+    for (unsigned round = 0;
+         round < max_blocks_per_sm_ && next_block_ < total_blocks_; ++round)
+      for (unsigned sm = 0; sm < gpu_.sm_count && next_block_ < total_blocks_;
+           ++sm)
+        place_block(sm, next_block_++, 0);
+    rebuild_live_lists();
+    for (auto& s : sms_) {
+      refresh_wake(s);
+      s.touched = false;
+    }
+  } else {
+    // Mid-launch resume: the caller has already restored global memory;
+    // scheduler, stats, and warp state come from the snapshot. next_wake is
+    // restored verbatim, so the first event of the resumed loop is exactly
+    // the event the capturing run processed next.
+    restore_snapshot(resume->exec);
   }
 
   if (obs_ != nullptr) {
@@ -1025,12 +1180,29 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
     obs_->on_launch_begin(info, *this);
   }
 
-  std::uint64_t cycle = 0;
+  std::uint64_t cycle = resume != nullptr ? resume->exec.cycle : 0;
   while (completed_blocks_ < total_blocks_ && due_ == DueKind::None) {
     // Next event: the earliest per-SM wake cycle (each SM caches the min
     // next_try over its schedulable warps).
     std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
     for (const auto& s : sms_) next = std::min(next, s.next_wake);
+
+    // Cycle-boundary capture. One cycle value can span several loop
+    // iterations (warps an issue-limited scheduler skipped keep next_wake at
+    // the current cycle), so the body's end is not the cycle's end; only
+    // when the next event is strictly later has `cycle` fully retired. That
+    // is the same boundary the site-counting observer sees (it flushes when
+    // an issued warp's cycle changes), keeping epoch site counts and
+    // snapshot state consistent — a mid-cycle snapshot would hold less
+    // progress than the counts claim and skew forked injections early.
+    if (capturing && due_ == DueKind::None && next > cycle) {
+      const std::uint64_t mark = fork->lane_base + stats_.lane_instructions;
+      while (fork->next_mark < fork->marks->size() &&
+             (*fork->marks)[fork->next_mark] <= mark) {
+        fork->out->push_back(make_snapshot(cycle, mark));
+        ++fork->next_mark;
+      }
+    }
 
     if (next == std::numeric_limits<std::uint64_t>::max()) {
       raise_due(DueKind::BarrierDeadlock);
@@ -1093,6 +1265,21 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
         refresh_wake(s);
         s.touched = false;
       }
+    }
+
+  }
+
+  // Final-cycle capture: marks crossed by the launch's last cycle never see
+  // a later event inside the loop, so they are flushed here (the counting
+  // observer's on_launch_end flush is the matching boundary). Resuming such
+  // a snapshot re-enters the loop with every block complete and exits
+  // immediately, which is exactly the state it captured.
+  if (capturing && due_ == DueKind::None) {
+    const std::uint64_t mark = fork->lane_base + stats_.lane_instructions;
+    while (fork->next_mark < fork->marks->size() &&
+           (*fork->marks)[fork->next_mark] <= mark) {
+      fork->out->push_back(make_snapshot(cycle, mark));
+      ++fork->next_mark;
     }
   }
 

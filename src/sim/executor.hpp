@@ -31,6 +31,7 @@
 #include "sim/launch.hpp"
 #include "sim/memory.hpp"
 #include "sim/observer.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/timing.hpp"
 #include "sim/warp.hpp"
 
@@ -43,9 +44,13 @@ class Executor final : public Machine {
   /// Run one kernel launch to completion (or DUE). `max_cycles` is the
   /// watchdog budget (0 = no watchdog). The observer may be null. The
   /// executor is reusable: state is re-initialised at the start of each run
-  /// while pooled block/warp storage is retained across calls.
+  /// while pooled block/warp storage is retained across calls. `fork` (may
+  /// be null) selects snapshot capture or mid-launch resume — see
+  /// sim/snapshot.hpp; either way the simulated schedule, stats, and memory
+  /// effects are bit-identical to a plain run reaching the same state.
   LaunchStats run(const KernelLaunch& launch, SimObserver* observer,
-                  std::uint64_t max_cycles, unsigned launch_ordinal = 0);
+                  std::uint64_t max_cycles, unsigned launch_ordinal = 0,
+                  ForkIO* fork = nullptr);
 
   // Machine interface ------------------------------------------------------
   GlobalMemory& global() override { return global_; }
@@ -69,6 +74,11 @@ class Executor final : public Machine {
 
   BlockRt* acquire_block();
   WarpRt* acquire_warp();
+  /// Snapshot the live executor + allocated global memory at end-of-cycle.
+  Snapshot make_snapshot(std::uint64_t cycle, std::uint64_t lane_mark) const;
+  /// Rebuild pools, SM lists, and counters from a snapshot (global memory is
+  /// restored by the caller — see Workload::run_trial_forked).
+  void restore_snapshot(const ExecutorSnapshot& snap);
   void refresh_wake(SmState& s);
   void place_block(unsigned sm, unsigned linear_block, std::uint64_t cycle);
   void remove_block(BlockRt* block, std::uint64_t cycle);

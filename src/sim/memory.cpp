@@ -50,6 +50,21 @@ void GlobalMemory::write_u32(std::uint32_t addr, std::uint32_t value) {
     throw std::out_of_range("GlobalMemory::write_u32");
 }
 
+std::vector<std::uint8_t> GlobalMemory::save_allocated() const {
+  return std::vector<std::uint8_t>(data_.begin() + kNullGuard,
+                                   data_.begin() + top_);
+}
+
+void GlobalMemory::restore_allocated(std::uint32_t top,
+                                     std::span<const std::uint8_t> image) {
+  if (top < kNullGuard || top > data_.size() ||
+      image.size() != static_cast<std::size_t>(top - kNullGuard))
+    throw std::invalid_argument("GlobalMemory::restore_allocated: image does "
+                                "not match the allocation watermark");
+  std::memcpy(&data_[kNullGuard], image.data(), image.size());
+  top_ = top;
+}
+
 void GlobalMemory::flip_allocated_bit(std::uint64_t bit_index) {
   if (bit_index >= allocated_bits())
     throw std::out_of_range("GlobalMemory::flip_allocated_bit");

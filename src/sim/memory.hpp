@@ -97,6 +97,15 @@ class GlobalMemory {
   std::uint32_t capacity() const { return static_cast<std::uint32_t>(data_.size()); }
   std::uint32_t allocated_top() const { return top_; }
 
+  /// Copy out the allocated window [kNullGuard, top) — the only bytes guest
+  /// code can touch. Together with restore_allocated this gives the
+  /// checkpoint-fork layer a bit-exact memory image.
+  std::vector<std::uint8_t> save_allocated() const;
+  /// Overwrite the allocated window with a previously saved image and set the
+  /// allocation watermark to `top`. Throws std::invalid_argument when the
+  /// image size disagrees with `top` or `top` exceeds capacity.
+  void restore_allocated(std::uint32_t top, std::span<const std::uint8_t> image);
+
  private:
   bool valid(std::uint32_t addr, std::uint32_t size) const {
     return addr >= kNullGuard && addr + size >= addr && addr + size <= top_;

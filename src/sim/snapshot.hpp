@@ -1,0 +1,126 @@
+// Device-state snapshots for checkpoint-fork trial batching.
+//
+// Fault-injection trials of one campaign are bit-identical until their
+// injection fires, so the fault-free prefix can be simulated once and every
+// trial forked from the saved state. A Snapshot captures everything a trial
+// resumed mid-launch needs: the allocated global-memory image, every resident
+// block's shared memory and warp state (registers, divergence stacks,
+// scoreboards), the per-SM scheduler state (warp order, round-robin cursors,
+// next_wake caches), and the in-progress LaunchStats accumulators. The PR-4
+// watermark pools make the copies cheap and bounded — only live blocks and
+// warps are captured; retired pool slots are never touched again.
+//
+// Snapshots are taken at the end of a simulated cycle, keyed by the
+// cumulative lane-instruction count of the trial (the issue-domain counter
+// stats_.lane_instructions accumulates). That boundary is observable from
+// outside the executor through on_warp_issue popcounts, which is how the
+// campaign layer counts per-mode fault sites consumed by each prefix without
+// a second instrumented run (see fault/campaign.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/launch.hpp"
+#include "sim/memory.hpp"
+#include "sim/registers.hpp"
+#include "sim/warp.hpp"
+
+namespace gpurel::sim {
+
+/// One resident warp, with its BlockRt pointer replaced by an index into
+/// ExecutorSnapshot::blocks. Exited warps of still-resident blocks are
+/// included: they stay in the SM's warp list until their block retires.
+struct WarpSnap {
+  std::size_t block_index = 0;
+  unsigned sm = 0;
+  unsigned scheduler = 0;
+  unsigned warp_id = 0;
+  unsigned warp_in_block = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t active = 0;
+  std::vector<StackEntry> stack;
+  bool exited = false;
+  bool at_barrier = false;
+  std::uint64_t next_try = 0;
+  std::array<std::uint64_t, 256> reg_ready{};
+  std::array<std::uint64_t, 8> pred_ready{};
+  std::array<ThreadRegs, 32> lanes;
+};
+
+/// One resident block; `warps` indexes into ExecutorSnapshot::warps in the
+/// same order as the live BlockRt::warps list.
+struct BlockSnap {
+  unsigned cta_x = 0;
+  unsigned cta_y = 0;
+  unsigned sm = 0;
+  unsigned threads = 0;
+  unsigned warps_total = 0;
+  unsigned warps_exited = 0;
+  unsigned warps_at_barrier = 0;
+  SharedMemory shared{0};
+  std::vector<std::size_t> warps;
+};
+
+/// Per-SM scheduler state: block/warp lists as index sequences (order is
+/// scheduling-relevant), round-robin cursors, and the cached wake cycle.
+struct SmSnap {
+  std::vector<std::size_t> blocks;
+  std::vector<std::size_t> warps;
+  std::vector<unsigned> rr;
+  unsigned resident_warps = 0;
+  std::uint64_t next_wake = 0;
+};
+
+/// Full executor state at the end of one simulated cycle of one launch.
+struct ExecutorSnapshot {
+  std::uint64_t cycle = 0;
+  LaunchStats stats;  // in-progress accumulators (not finalized)
+  std::vector<BlockSnap> blocks;
+  std::vector<WarpSnap> warps;
+  std::vector<SmSnap> sms;
+  unsigned next_block = 0;
+  unsigned total_blocks = 0;
+  unsigned completed_blocks = 0;
+  unsigned next_warp_id = 0;
+  unsigned max_blocks_per_sm = 0;
+};
+
+/// A trial-level fork point: executor state plus the global-memory image and
+/// the position within the trial's launch sequence.
+struct Snapshot {
+  /// Cumulative lane instructions of the trial at the capture boundary
+  /// (issue-domain: sum of exec-mask popcounts over all launches so far).
+  std::uint64_t lane_mark = 0;
+  /// Which launch of the trial was in flight (TrialRunner ordinal).
+  unsigned launch_ordinal = 0;
+  /// TrialRunner stats accumulated over the launches *before* the one in
+  /// flight; resuming presets the runner with these so watchdog arithmetic
+  /// and merged trial stats match the unforked run bit for bit.
+  LaunchStats prior;
+  std::uint32_t memory_top = 0;
+  std::vector<std::uint8_t> memory;  // bytes [GlobalMemory::kNullGuard, top)
+  ExecutorSnapshot exec;
+};
+
+/// Capture/resume channel of Executor::run. Exactly one of the two roles is
+/// active per launch:
+///  - capture: `marks` names cumulative lane-instruction thresholds (sorted,
+///    strictly increasing); at the end of the first cycle whose cumulative
+///    count (lane_base + this launch's lane_instructions) reaches each
+///    remaining mark, a Snapshot is appended to `out` and next_mark advances.
+///    The caller threads next_mark/lane_base across the trial's launches and
+///    stamps launch_ordinal/prior on the appended snapshots.
+///  - resume: `resume` points at a previously captured Snapshot; the run
+///    restores executor state from it (the caller restores global memory)
+///    and continues from the saved cycle instead of placing blocks afresh.
+struct ForkIO {
+  const std::vector<std::uint64_t>* marks = nullptr;
+  std::size_t next_mark = 0;
+  std::uint64_t lane_base = 0;
+  std::vector<Snapshot>* out = nullptr;
+  const Snapshot* resume = nullptr;
+};
+
+}  // namespace gpurel::sim

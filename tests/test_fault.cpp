@@ -3,8 +3,14 @@
 // microbenchmark (integer chains: AVF ~100%, paper §V-A) and on matrix codes.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/telemetry.hpp"
 #include "fault/campaign.hpp"
 #include "fault/injector.hpp"
+#include "isa/kernel_builder.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/microbench.hpp"
 #include "sim/device.hpp"
@@ -290,6 +296,137 @@ TEST(Campaign, IaPcBitsCoverProgramRange) {
   if (bits > 1) {
     EXPECT_LT((std::uint64_t{1} << (bits - 1)), max_size);
   }
+}
+
+/// Straight-line integer arithmetic with no stores and no predicate writes:
+/// the store and predicate fault modes have zero dynamic sites here. Nothing
+/// reaches memory, so verification is vacuous by construction.
+class StorelessWorkload final : public core::Workload {
+ public:
+  explicit StorelessWorkload(core::WorkloadConfig cfg)
+      : Workload(std::move(cfg)) {}
+  std::string base_name() const override { return "NOSTORE"; }
+  Precision precision() const override { return Precision::Int32; }
+
+ protected:
+  void build_programs() override {
+    isa::KernelBuilder b("nostore", config_.profile);
+    isa::Reg acc = b.reg();
+    b.movi(acc, 1);
+    for (int i = 0; i < 8; ++i) b.iaddi(acc, acc, 3);
+    program_ = b.build();
+    register_program(&program_);
+  }
+  void setup(sim::Device&) override {}
+  void execute(sim::Device&, core::TrialRunner& runner) override {
+    runner.launch({&program_, {1, 1}, {32, 1}, 0, {}});
+  }
+  bool verify(sim::Device&) override { return true; }
+
+ private:
+  isa::Program program_;
+};
+
+/// An EXIT-only kernel: regs_per_thread == 0, so the RegisterFile fault mode
+/// has no architectural state to strike.
+class NoRegWorkload final : public core::Workload {
+ public:
+  explicit NoRegWorkload(core::WorkloadConfig cfg) : Workload(std::move(cfg)) {}
+  std::string base_name() const override { return "NOREG"; }
+  Precision precision() const override { return Precision::Int32; }
+
+ protected:
+  void build_programs() override {
+    // Built directly: KernelBuilder reports at least one register even for
+    // an empty kernel, and the point here is a true zero-register program.
+    program_ = isa::Program("noreg", {isa::Instr{.op = isa::Opcode::EXIT}},
+                            /*regs_per_thread=*/0, /*shared_bytes=*/0);
+    register_program(&program_);
+  }
+  void setup(sim::Device&) override {}
+  void execute(sim::Device&, core::TrialRunner& runner) override {
+    runner.launch({&program_, {1, 1}, {32, 1}, 0, {}});
+  }
+  bool verify(sim::Device&) override { return true; }
+
+ private:
+  isa::Program program_;
+};
+
+// Regression: requesting a supported fault mode on a workload with zero
+// dynamic sites for it used to silently drop the trials — and the sampling
+// path it skipped would have called Rng::uniform_u64(0), which is undefined.
+// Such trials are now resolved as Masked at plan time (a strike on a unit
+// the program never exercises corrupts nothing) and flagged via telemetry.
+TEST(Campaign, ZeroSiteModesResolveMaskedWithWarning) {
+  auto inj = make_sassifi();
+  const std::string path =
+      testing::TempDir() + "gpurel_zero_site_warn.jsonl";
+  CampaignConfig cc;
+  cc.injections_per_kind = 2;
+  cc.store_value_injections = 5;
+  cc.store_addr_injections = 5;
+  cc.pred_injections = 3;
+  cc.seed = 77;
+  auto factory = [&] {
+    return std::make_unique<StorelessWorkload>(cfg_for(*inj));
+  };
+  CampaignResult r;
+  {
+    telemetry::Sink sink(path);
+    cc.telemetry = &sink;
+    r = run_campaign(*inj, factory, cc);
+  }
+  EXPECT_EQ(r.store_sites, 0u);
+  EXPECT_EQ(r.pred_sites, 0u);
+  // Every zero-site trial is accounted for, and every one is masked.
+  EXPECT_EQ(r.store_value.total(), 5u);
+  EXPECT_EQ(r.store_value.masked, 5u);
+  EXPECT_EQ(r.store_addr.total(), 5u);
+  EXPECT_EQ(r.store_addr.masked, 5u);
+  EXPECT_EQ(r.pred.total(), 3u);
+  EXPECT_EQ(r.pred.masked, 3u);
+  // IOV trials on the exercised kinds still run normally.
+  EXPECT_GT(r.total_injections(), 13u);
+
+  std::ifstream in(path);
+  std::string line, joined;
+  std::size_t warnings = 0;
+  while (std::getline(in, line)) {
+    if (line.find("campaign_zero_site_mode") != std::string::npos) ++warnings;
+    joined += line;
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(warnings, 3u);  // PR, STV, STA
+  EXPECT_NE(joined.find("\"model\":\"STV\""), std::string::npos);
+  EXPECT_NE(joined.find("\"model\":\"STA\""), std::string::npos);
+  EXPECT_NE(joined.find("\"model\":\"PR\""), std::string::npos);
+  EXPECT_NE(joined.find("\"resolution\":\"masked\""), std::string::npos);
+}
+
+// Regression: RF trials on a workload whose kernels use no registers used to
+// clamp the sample range to max(1, max_regs) and flip a register the program
+// does not own — always masked, silently diluting the reported RF AVF. This
+// is a configuration error and is now rejected at plan time.
+TEST(Campaign, RejectsRegisterFileModeWithoutRegisters) {
+  auto inj = make_sassifi();
+  auto factory = [&] {
+    return std::make_unique<NoRegWorkload>(cfg_for(*inj));
+  };
+  {
+    auto w = factory();
+    sim::Device dev(w->config().gpu);
+    w->prepare(dev);
+    ASSERT_EQ(w->max_regs_per_thread(), 0u);
+  }
+  CampaignConfig cc;
+  cc.rf_injections = 2;
+  EXPECT_THROW(run_campaign(*inj, factory, cc), std::invalid_argument);
+  // Without the RF request the same workload is campaignable.
+  cc.rf_injections = 0;
+  cc.injections_per_kind = 2;
+  const auto r = run_campaign(*inj, factory, cc);
+  EXPECT_EQ(r.rf.total(), 0u);
 }
 
 TEST(OutcomeCounts, Accounting) {

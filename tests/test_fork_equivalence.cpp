@@ -1,0 +1,216 @@
+// Checkpoint-fork equivalence: campaigns executed with fork batching
+// (CampaignConfig::fork_epochs > 0) must reproduce the unforked campaign bit
+// for bit — per-trial outcomes, per-trial simulated cycles, and every
+// aggregate tally — across worker counts, schedules, and epoch bucketings.
+// Also pins the Workload-level snapshot contract directly: a trial resumed
+// from a captured prefix with no fault behaves exactly like a fresh trial.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/microbench.hpp"
+#include "kernels/sort.hpp"
+#include "sim/device.hpp"
+
+namespace gpurel::fault {
+namespace {
+
+using core::Outcome;
+using core::Precision;
+using core::WorkloadConfig;
+using kernels::ArithMicro;
+using kernels::Mergesort;
+using kernels::MicroOp;
+using kernels::MxM;
+using kernels::Quicksort;
+
+struct RunOut {
+  CampaignResult result;
+  std::vector<Outcome> outcomes;
+  std::vector<std::uint64_t> cycles;
+};
+
+RunOut run(const Injector& inj, const WorkloadFactory& factory,
+           const InjectionBudget& budget, unsigned workers, Schedule sched,
+           unsigned fork_epochs) {
+  CampaignConfig cc;
+  cc.budget() = budget;
+  cc.seed = 0xf0f0;
+  cc.workers = workers;
+  cc.schedule = sched;
+  cc.fork_epochs = fork_epochs;
+  RunOut out;
+  cc.trial_outcomes_out = &out.outcomes;
+  cc.trial_cycles_out = &out.cycles;
+  out.result = run_campaign(inj, factory, cc);
+  return out;
+}
+
+void expect_same_counts(const OutcomeCounts& a, const OutcomeCounts& b,
+                        const char* what) {
+  EXPECT_EQ(a.masked, b.masked) << what;
+  EXPECT_EQ(a.sdc, b.sdc) << what;
+  EXPECT_EQ(a.due, b.due) << what;
+}
+
+void expect_same_result(const CampaignResult& a, const CampaignResult& b) {
+  for (std::size_t k = 0; k < a.per_kind.size(); ++k) {
+    expect_same_counts(a.per_kind[k].counts, b.per_kind[k].counts, "per_kind");
+    EXPECT_EQ(a.per_kind[k].dynamic_sites, b.per_kind[k].dynamic_sites);
+  }
+  expect_same_counts(a.rf, b.rf, "rf");
+  expect_same_counts(a.pred, b.pred, "pred");
+  expect_same_counts(a.ia, b.ia, "ia");
+  expect_same_counts(a.store_value, b.store_value, "store_value");
+  expect_same_counts(a.store_addr, b.store_addr, "store_addr");
+}
+
+void expect_same_trials(const RunOut& a, const RunOut& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t t = 0; t < a.outcomes.size(); ++t) {
+    EXPECT_EQ(a.outcomes[t], b.outcomes[t]) << "trial " << t;
+    EXPECT_EQ(a.cycles[t], b.cycles[t]) << "trial " << t;
+  }
+  expect_same_result(a.result, b.result);
+}
+
+TEST(ForkEquivalence, MxmAllModesAcrossWorkersAndEpochs) {
+  auto inj = make_sassifi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  auto factory = [&] {
+    return std::make_unique<MxM>(wc, Precision::Single, 16);
+  };
+  InjectionBudget budget;
+  budget.injections_per_kind = 6;
+  budget.rf_injections = 6;
+  budget.pred_injections = 4;
+  budget.ia_injections = 6;
+  budget.store_value_injections = 4;
+  budget.store_addr_injections = 4;
+
+  const RunOut base =
+      run(*inj, factory, budget, 1, Schedule::Dynamic, /*fork_epochs=*/0);
+  ASSERT_GT(base.result.total_injections(), 0u);
+  // A mix of outcomes, otherwise the equivalence below is vacuous.
+  OutcomeCounts all;
+  for (const Outcome o : base.outcomes) all.add(o);
+  EXPECT_GT(all.masked, 0u);
+  EXPECT_GT(all.sdc + all.due, 0u);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    const RunOut forked =
+        run(*inj, factory, budget, workers, Schedule::Dynamic, 4);
+    expect_same_trials(base, forked);
+  }
+  for (const unsigned epochs : {1u, 9u}) {
+    const RunOut forked =
+        run(*inj, factory, budget, 2, Schedule::Dynamic, epochs);
+    expect_same_trials(base, forked);
+  }
+  // Static round-robin scheduling forks identically.
+  const RunOut forked_static =
+      run(*inj, factory, budget, 2, Schedule::StaticRoundRobin, 4);
+  expect_same_trials(base, forked_static);
+}
+
+TEST(ForkEquivalence, MultiLaunchWorkloadForksMidSequence) {
+  // Mergesort runs one launch per merge pass, so epochs land at nonzero
+  // launch ordinals and exercise the skip/resume path of TrialRunner.
+  auto inj = make_nvbitfi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  auto factory = [&] { return std::make_unique<Mergesort>(wc); };
+  InjectionBudget budget;
+  budget.injections_per_kind = 4;
+
+  const RunOut base = run(*inj, factory, budget, 1, Schedule::Dynamic, 0);
+  ASSERT_GT(base.result.total_injections(), 0u);
+  for (const unsigned epochs : {3u, 7u}) {
+    const RunOut forked = run(*inj, factory, budget, 2, Schedule::Dynamic, epochs);
+    expect_same_trials(base, forked);
+  }
+}
+
+TEST(ForkEquivalence, HighAvfMicrobenchKeepsSdcProfile) {
+  auto inj = make_nvbitfi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  auto factory = [&] {
+    return std::make_unique<ArithMicro>(wc, Precision::Int32, MicroOp::Fma);
+  };
+  InjectionBudget budget;
+  budget.injections_per_kind = 12;
+
+  const RunOut base = run(*inj, factory, budget, 1, Schedule::Dynamic, 0);
+  OutcomeCounts all;
+  for (const Outcome o : base.outcomes) all.add(o);
+  EXPECT_GT(all.sdc, 0u);  // integer chains: flips survive to the output
+  const RunOut forked = run(*inj, factory, budget, 4, Schedule::Dynamic, 5);
+  expect_same_trials(base, forked);
+}
+
+TEST(ForkEquivalence, NonForkSafeWorkloadFallsBackUnchanged) {
+  // Quicksort reads pivots/counters back to the host mid-trial, so it is not
+  // fork-safe: fork_epochs must be silently ignored, not break the campaign.
+  auto inj = make_nvbitfi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  auto factory = [&] { return std::make_unique<Quicksort>(wc) ; };
+  ASSERT_FALSE(factory()->fork_safe());
+  InjectionBudget budget;
+  budget.injections_per_kind = 2;
+
+  const RunOut base = run(*inj, factory, budget, 1, Schedule::Dynamic, 0);
+  const RunOut forked = run(*inj, factory, budget, 2, Schedule::Dynamic, 4);
+  expect_same_trials(base, forked);
+}
+
+TEST(ForkEquivalence, CapturePrefixAndFaultFreeResume) {
+  // Workload-level contract: a trial resumed from any captured epoch with no
+  // fault attached finishes Masked with exactly the fresh trial's stats.
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
+                          isa::CompilerProfile::Cuda10, 0x5eed, 0.05};
+  MxM w(wc, Precision::Single, 16);
+  sim::Device dev(wc.gpu);
+  w.prepare(dev);
+  ASSERT_TRUE(w.fork_safe());
+
+  const core::TrialResult fresh = w.run_trial(dev);
+  EXPECT_EQ(fresh.outcome, core::Outcome::Masked);
+
+  const std::uint64_t total = w.golden_stats().lane_instructions;
+  ASSERT_GT(total, 4u);
+  const std::vector<std::uint64_t> marks{total / 4, total / 2, 3 * total / 4};
+  std::vector<sim::Snapshot> snaps;
+  w.capture_prefix(dev, marks, snaps);
+  ASSERT_EQ(snaps.size(), marks.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_GE(snaps[i].lane_mark, marks[i]);
+    const core::TrialResult resumed = w.run_trial_forked(dev, snaps[i]);
+    EXPECT_EQ(resumed.outcome, core::Outcome::Masked) << "epoch " << i;
+    EXPECT_EQ(resumed.stats.cycles, fresh.stats.cycles) << "epoch " << i;
+    EXPECT_EQ(resumed.stats.lane_instructions, fresh.stats.lane_instructions)
+        << "epoch " << i;
+    EXPECT_EQ(resumed.stats.warp_instructions, fresh.stats.warp_instructions)
+        << "epoch " << i;
+  }
+}
+
+TEST(ForkEquivalence, CapturePrefixRejectsNonForkSafe) {
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
+                          isa::CompilerProfile::Cuda10, 0x5eed, 0.05};
+  Quicksort w(wc);
+  sim::Device dev(wc.gpu);
+  w.prepare(dev);
+  std::vector<sim::Snapshot> snaps;
+  EXPECT_THROW(w.capture_prefix(dev, {1}, snaps), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpurel::fault

@@ -109,6 +109,39 @@ TEST(JobSpecTest, HashCoversEveryResultDeterminingField) {
   EXPECT_TRUE(differs(s));
 }
 
+// fork_epochs is execution batching, not a result-determining field, but it
+// is recorded in planned specs. It must not disturb the hash of any spec
+// that doesn't use it (every pre-existing spec corpus), and must round-trip
+// and re-hash when it is used.
+TEST(JobSpecTest, ForkEpochsHashesOnlyWhenEnabled) {
+  const JobSpec base = reference_campaign_spec();
+  ASSERT_EQ(base.fork_epochs, 0u);
+  EXPECT_EQ(canonical_json(base).find("fork_epochs"), std::string::npos);
+
+  JobSpec forked = base;
+  forked.fork_epochs = 8;
+  EXPECT_NE(canonical_json(forked).find("\"fork_epochs\":8"),
+            std::string::npos);
+  EXPECT_NE(content_hash(forked), content_hash(base));
+  const JobSpec back =
+      spec_from_json(json::Value::parse(canonical_json(forked)));
+  EXPECT_EQ(back.fork_epochs, 8u);
+  EXPECT_EQ(canonical_json(back), canonical_json(forked));
+}
+
+// Fork batching only changes wall-clock: the campaign portion of a
+// fork-batched job is byte-identical to the plain job's.
+TEST(JobShardTest, ForkBatchedJobReproducesPlainResult) {
+  const JobSpec plain = reference_campaign_spec();
+  JobSpec forked = plain;
+  forked.fork_epochs = 6;
+  const JobResult a = run_job(plain);
+  const JobResult b = run_job(forked);
+  ASSERT_TRUE(a.campaign && b.campaign);
+  EXPECT_EQ(campaign_result_to_json(*a.campaign).dump(),
+            campaign_result_to_json(*b.campaign).dump());
+}
+
 TEST(JobSpecTest, RoundTripsThroughJson) {
   for (const JobSpec& spec :
        {reference_campaign_spec(), with_shard(reference_beam_spec(), 2, 5)}) {

@@ -42,7 +42,8 @@ int usage() {
                "  plan  --kind=campaign|beam --arch=kepler|volta [--sm=N]\n"
                "        --code=NAME --precision=int|half|single|double\n"
                "        [--injector=SASSIFI|NVBitFI --injections=N --rf=N\n"
-               "         --pred=N --ia=N --store-value=N --store-addr=N]\n"
+               "         --pred=N --ia=N --store-value=N --store-addr=N\n"
+               "         --fork-epochs=N]\n"
                "        [--ecc[=false] --mode=accelerated|natural --runs=N\n"
                "         --flux-scale=X]\n"
                "        [--seed=N --input-seed=N --scale=X]\n"
@@ -108,6 +109,7 @@ int cmd_plan(const Cli& cli) {
     spec.budget.ia_injections = u("ia", 0);
     spec.budget.store_value_injections = u("store-value", 0);
     spec.budget.store_addr_injections = u("store-addr", 0);
+    spec.fork_epochs = u("fork-epochs", 0);
   } else {
     spec.kind = job::JobKind::Beam;
     spec.profile = isa::CompilerProfile::Cuda10;
