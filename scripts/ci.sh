@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: strict-warnings build + tier-1 test suite, a quick
-# ThreadSanitizer leg over the core concurrency tests, a Release bench smoke,
-# and (optionally) the full sanitizer subsets.
+# CI entry point: determinism lint gate, strict-warnings build + tier-1 test
+# suite, clang-tidy (when installed), a quick ThreadSanitizer leg, a quick
+# UBSan leg, a Release bench smoke, and (optionally) the full sanitizer
+# subsets.
 #
-#   scripts/ci.sh          # werror build + full ctest + obs smoke
-#                          # + tsan quick leg + Release bench smoke
+#   scripts/ci.sh          # lint + werror build + full ctest + obs smoke
+#                          # + clang-tidy (or skip) + tsan/ubsan quick legs
+#                          # + Release bench smoke
 #   scripts/ci.sh tsan     # additionally build + run the full TSan test subset
 #   scripts/ci.sh asan     # additionally build + run the ASan test subset
+#   scripts/ci.sh ubsan    # additionally build + run the full UBSan test subset
 #
 # GPUREL_RUNS / GPUREL_INJECTIONS trim the statistical test sizes so the
 # suite stays fast on small CI runners; the tests' assertions are written to
@@ -18,12 +21,31 @@ export GPUREL_RUNS="${GPUREL_RUNS:-80}"
 export GPUREL_INJECTIONS="${GPUREL_INJECTIONS:-30}"
 JOBS="$(nproc)"
 
-echo "==> configure+build (werror preset: -Wall -Wextra -Werror)"
+echo "==> determinism lint (gpurel_lint: fails on any new finding)"
+# Gate before the full build: only the core library + the lint tool are
+# compiled here, so a contract violation fails CI in the first minutes. The
+# baseline (tools/lint/baseline.json) is kept empty on purpose — fix findings
+# or annotate them with a rationale, don't grandfather them.
 cmake --preset werror
+cmake --build --preset werror -j "${JOBS}" --target gpurel_lint
+./build-werror/tools/gpurel_lint src tools tests
+
+echo "==> build (werror preset: -Wall -Wextra -Wshadow -Wsign-conversion -Werror)"
 cmake --build --preset werror -j "${JOBS}"
 
 echo "==> tier-1 tests (GPUREL_RUNS=${GPUREL_RUNS} GPUREL_INJECTIONS=${GPUREL_INJECTIONS})"
 ctest --preset werror -j "${JOBS}"
+
+echo "==> clang-tidy (curated .clang-tidy profile; skipped when not installed)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The werror preset exports compile_commands.json; run over the library and
+  # tool sources (tests are covered by the widened -W set and sanitizers).
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-werror --quiet
+  echo "clang-tidy OK"
+else
+  echo "clang-tidy not installed; skipping (CI runners without LLVM still pass)"
+fi
 
 echo "==> observability smoke (telemetry JSONL + metrics JSON/Prometheus + trace)"
 OBS_DIR="$(mktemp -d)"
@@ -139,6 +161,16 @@ cmake --build --preset tsan -j "${JOBS}" --target test_thread_pool test_determin
 ctest --test-dir build-tsan -R '^test_(thread_pool|determinism)$' \
   -j "${JOBS}" --output-on-failure
 
+echo "==> UBSan quick leg (executor arithmetic + serializers)"
+# Always-on subset of the full ubsan preset: the RNG/JSON/fault/executor and
+# arithmetic-fuzz tests, where conversion and float-divide UB would corrupt
+# results silently. -fno-sanitize-recover turns any hit into a test failure.
+cmake --preset ubsan
+cmake --build --preset ubsan -j "${JOBS}" --target \
+  test_rng test_json test_fault test_executor test_fuzz_arith
+ctest --test-dir build-ubsan -R '^test_(rng|json|fault|executor|fuzz_arith)$' \
+  -j "${JOBS}" --output-on-failure
+
 echo "==> Release bench smoke (BENCH_simspeed.json)"
 BENCH_JSON="${OBS_DIR}/BENCH_simspeed.json"
 cmake --preset release
@@ -174,6 +206,15 @@ if [[ "${1:-}" == "tsan" ]]; then
     test_thread_pool test_fault test_beam test_determinism test_telemetry \
     test_obs
   ctest --preset tsan -j "${JOBS}"
+fi
+
+if [[ "${1:-}" == "ubsan" ]]; then
+  echo "==> UBSan pass (executor arithmetic / fuzzers / ISA semantics)"
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "${JOBS}" --target \
+    test_rng test_json test_fault test_executor test_fuzz_arith \
+    test_fuzz_control test_isa_semantics
+  ctest --preset ubsan -j "${JOBS}"
 fi
 
 echo "==> CI OK"

@@ -110,6 +110,17 @@ const std::string& Value::as_string() const {
   return str_;
 }
 
+void append_shortest_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Shortest round-trip form: dump → parse → dump is byte-stable.
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, p);
+}
+
 void Value::dump(std::string& out) const {
   char buf[32];
   switch (type_) {
@@ -125,16 +136,9 @@ void Value::dump(std::string& out) const {
       out.append(buf, p);
       break;
     }
-    case Type::Double: {
-      if (!std::isfinite(dbl_)) {
-        out += "null";
-        break;
-      }
-      // Shortest round-trip form: dump → parse → dump is byte-stable.
-      auto [p, ec] = std::to_chars(buf, buf + sizeof buf, dbl_);
-      out.append(buf, p);
+    case Type::Double:
+      append_shortest_double(out, dbl_);
       break;
-    }
     case Type::String: telemetry::append_json_string(out, str_); break;
     case Type::Array: {
       out.push_back('[');

@@ -104,6 +104,13 @@ class Value {
   std::vector<std::pair<std::string, Value>> obj_;
 };
 
+/// Append the canonical rendering of a double: std::to_chars shortest
+/// round-trip form, non-finite as "null". This is the ONLY sanctioned float
+/// formatter for serialized documents (lint rule float-format / D4) — every
+/// other rendering is either lossy or locale/libc-dependent, which breaks
+/// byte-stable caching.
+void append_shortest_double(std::string& out, double v);
+
 /// Convenience: parse typed fields with error messages naming the key.
 std::uint64_t get_uint(const Value& obj, std::string_view key);
 std::int64_t get_int(const Value& obj, std::string_view key);

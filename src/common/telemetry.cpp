@@ -46,6 +46,10 @@ void Field::append_to(std::string& out) const {
       break;
     case Kind::Dbl:
       if (std::isfinite(d_)) {
+        // Telemetry is a human-skimmed progress stream, not a result
+        // document: 6 significant digits keep lines short, and nothing may
+        // parse these values back (results go through json::Value).
+        // gpurel-lint: allow(float-format) lossy by design, not a result doc
         std::snprintf(buf, sizeof buf, "%.6g", d_);
         out += buf;
       } else {
@@ -68,6 +72,9 @@ Sink::~Sink() {
 void Sink::emit(std::string_view event, std::initializer_list<Field> fields) {
   std::string line;
   line.reserve(64 + fields.size() * 24);
+  // JSONL event stream, schema owned by the event name + t_ms convention;
+  // per-line schema_version would double the stream for no consumer.
+  // gpurel-lint: allow(schema-version) event-name-keyed JSONL, not a result doc
   line += "{\"event\":";
   append_json_string(line, event);
   line.push_back(',');

@@ -43,6 +43,9 @@ class Timer {
   }
 
  private:
+  // Observability-only stopwatch: elapsed_ms() feeds progress meters and the
+  // telemetry t_ms field, never results or cache keys.
+  // gpurel-lint: allow(wall-clock) timing is observability-only, see above
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

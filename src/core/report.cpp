@@ -12,12 +12,17 @@ std::string prediction_verdict(double beam_fit, double predicted_fit) {
   const double r = signed_ratio(beam_fit, predicted_fit);
   if (r == 0.0) return "no events / no prediction";
   const double mag = ratio_magnitude(r);
+  // Prose verdict for the human-readable report; the machine-readable ratio
+  // goes through json::Value in the study export, so rounding here is fine.
   char buf[96];
   if (mag <= 5.0) {
+    // gpurel-lint: allow(float-format) human-readable prose, not a result doc
     std::snprintf(buf, sizeof(buf), "within the paper's 5x band (%+.1fx)", r);
   } else if (r > 0) {
+    // gpurel-lint: allow(float-format) human-readable prose, not a result doc
     std::snprintf(buf, sizeof(buf), "underestimated %.0fx", mag);
   } else {
+    // gpurel-lint: allow(float-format) human-readable prose, not a result doc
     std::snprintf(buf, sizeof(buf), "overestimated %.0fx", mag);
   }
   return buf;

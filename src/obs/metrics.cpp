@@ -5,34 +5,24 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/json.hpp"
 #include "common/telemetry.hpp"
 
 namespace gpurel::obs {
 
 namespace {
 
-// Shortest round-trip-safe formatting for JSON / Prometheus sample values;
-// non-finite values become null ("nan"/"inf" are invalid JSON — same rule as
-// telemetry::Field).
+// Sample-value formatting for JSON / Prometheus exposition. Finite values go
+// through the canonical shortest-round-trip dumper; non-finite values become
+// JSON null ("nan"/"inf" are invalid JSON — same rule as telemetry::Field)
+// or the Prometheus spellings NaN/+Inf/-Inf.
 void append_double(std::string& out, double v, bool prometheus) {
   if (!std::isfinite(v)) {
     out += prometheus ? (std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf"))
                       : "null";
     return;
   }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double parsed = 0.0;
-  if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) {
-    // Try a shorter representation when it still round-trips.
-    char shorter[40];
-    std::snprintf(shorter, sizeof shorter, "%.10g", v);
-    if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
-      out += shorter;
-      return;
-    }
-  }
-  out += buf;
+  json::append_shortest_double(out, v);
 }
 
 void append_u64(std::string& out, std::uint64_t v) {
@@ -211,7 +201,9 @@ std::size_t Registry::size() const {
 
 std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\"metrics\":[";
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kMetricsSchemaVersion);
+  out += ",\"metrics\":[";
   bool first = true;
   for (const auto& [key, m] : metrics_) {
     if (!first) out += ',';

@@ -73,6 +73,10 @@ class Histogram {
 /// Label set attached to a metric, e.g. {{"kind","FADD"},{"outcome","sdc"}}.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Layout version stamped into Registry::to_json() documents (lint rule
+/// schema-version / S1). Bump on any field change.
+inline constexpr int kMetricsSchemaVersion = 1;
+
 class Registry {
  public:
   /// The process-wide registry used by the runtime, benches and examples.
@@ -87,7 +91,8 @@ class Registry {
                        const HistogramBuckets& buckets =
                            HistogramBuckets::latency_ms());
 
-  /// {"metrics":[{name, type, labels, value | count/sum/p50/p90/p99/buckets}]}
+  /// {"schema_version":N,"metrics":[{name, type, labels,
+  ///  value | count/sum/p50/p90/p99/buckets}]} with N = kMetricsSchemaVersion.
   std::string to_json() const;
   /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
   /// series with cumulative le labels for histograms).

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
 #include <optional>
 
 #include "isa/program.hpp"
@@ -32,16 +31,28 @@ class DeepProfiler final : public sim::SimObserver {
   unsigned wants() const override { return kWantsWarpIssue; }
 
   void on_launch_begin(const sim::LaunchInfo& info, sim::Machine&) override {
-    current_ = info.launch != nullptr ? info.launch->program : nullptr;
-    if (current_ != nullptr) {
-      auto& counters = per_program_[current_];
-      if (counters.empty()) counters.resize(current_->size());
+    const isa::Program* prog =
+        info.launch != nullptr ? info.launch->program : nullptr;
+    current_idx_ = kNoProgram;
+    if (prog == nullptr) return;
+    // Counters are kept in first-launch order (deterministic), never in
+    // address order: pointer-keyed maps would leak allocation addresses into
+    // the report's tie-breaks. Pointer *equality* for the lookup is fine.
+    for (std::size_t i = 0; i < per_program_.size(); ++i) {
+      if (per_program_[i].program == prog) {
+        current_idx_ = i;
+        return;
+      }
     }
+    current_idx_ = per_program_.size();
+    per_program_.push_back(
+        {prog, std::vector<PcCounters>(prog->size())});
   }
 
   void on_warp_issue(const sim::WarpIssue& wi) override {
-    if (current_ != nullptr && wi.pc < per_program_[current_].size()) {
-      auto& c = per_program_[current_][wi.pc];
+    if (current_idx_ != kNoProgram &&
+        wi.pc < per_program_[current_idx_].counters.size()) {
+      auto& c = per_program_[current_idx_].counters[wi.pc];
       c.warps += 1;
       c.lanes += static_cast<unsigned>(std::popcount(wi.exec_mask));
     }
@@ -118,9 +129,14 @@ class DeepProfiler final : public sim::SimObserver {
     std::uint64_t warps = 0;
     std::uint64_t lanes = 0;
   };
+  struct ProgramCounters {
+    const isa::Program* program;
+    std::vector<PcCounters> counters;
+  };
 
-  const isa::Program* current_ = nullptr;
-  std::map<const isa::Program*, std::vector<PcCounters>> per_program_;
+  static constexpr std::size_t kNoProgram = static_cast<std::size_t>(-1);
+  std::size_t current_idx_ = kNoProgram;
+  std::vector<ProgramCounters> per_program_;
   std::vector<std::uint64_t> sm_issues_;
   std::uint64_t global_load_bytes_ = 0;
   std::uint64_t global_store_bytes_ = 0;

@@ -807,12 +807,23 @@ void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
       r.set(in.dst, r.get(in.src[0]) ^ src1_u32());
       break;
     // ---- SFU ----
-    case Opcode::MUFU_RCP:
-      r.setf(in.dst, 1.0f / r.getf(in.src[0]));
+    // RCP/RSQ spell out the IEEE zero cases instead of dividing: the bit
+    // patterns are identical (1/±0 = ±Inf) but a literal division by zero is
+    // UB under -fsanitize=float-divide-by-zero.
+    case Opcode::MUFU_RCP: {
+      const float x = r.getf(in.src[0]);
+      r.setf(in.dst, x == 0.0f ? std::copysign(
+                                     std::numeric_limits<float>::infinity(), x)
+                               : 1.0f / x);
       break;
-    case Opcode::MUFU_RSQ:
-      r.setf(in.dst, 1.0f / std::sqrt(r.getf(in.src[0])));
+    }
+    case Opcode::MUFU_RSQ: {
+      const float s = std::sqrt(r.getf(in.src[0]));
+      r.setf(in.dst, s == 0.0f ? std::copysign(
+                                     std::numeric_limits<float>::infinity(), s)
+                               : 1.0f / s);
       break;
+    }
     case Opcode::MUFU_EX2:
       r.setf(in.dst, std::exp2(r.getf(in.src[0])));
       break;

@@ -1,0 +1,13 @@
+// BAD fixture for rule unordered-container (D1): declares an unordered map
+// in a serialization path and iterates it, leaking visit order into output.
+// Analyzed by test_lint.cpp as src/job/<this>; never compiled.
+#include <string>
+#include <unordered_map>
+
+std::string serialize_counts(const std::unordered_map<int, int>& counts) {
+  std::string out;
+  for (const auto& [k, v] : counts) {
+    out += std::to_string(k) + ":" + std::to_string(v) + ",";
+  }
+  return out;
+}

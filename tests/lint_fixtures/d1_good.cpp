@@ -1,0 +1,13 @@
+// GOOD fixture for rule unordered-container (D1): ordered map, deterministic
+// iteration order. Analyzed by test_lint.cpp as src/job/<this>; never
+// compiled.
+#include <map>
+#include <string>
+
+std::string serialize_counts(const std::map<int, int>& counts) {
+  std::string out;
+  for (const auto& [k, v] : counts) {
+    out += std::to_string(k) + ":" + std::to_string(v) + ",";
+  }
+  return out;
+}

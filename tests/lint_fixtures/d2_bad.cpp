@@ -1,0 +1,11 @@
+// BAD fixture for rule wall-clock (D2): wall-clock time and libc randomness
+// in a result-determining path. Analyzed by test_lint.cpp as src/sim/<this>;
+// never compiled.
+#include <chrono>
+#include <cstdlib>
+
+unsigned jitter_seed() {
+  const auto now = std::chrono::system_clock::now();
+  const auto ticks = static_cast<unsigned>(now.time_since_epoch().count());
+  return ticks + static_cast<unsigned>(std::rand());
+}

@@ -1,0 +1,11 @@
+// GOOD fixture for rule wall-clock (D2): all entropy flows from the seeded
+// Rng, all time from simulated cycles. Analyzed by test_lint.cpp as
+// src/sim/<this>; never compiled.
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+std::uint64_t pick_site(gpurel::common::Rng& rng, std::uint64_t site_count,
+                        std::uint64_t cycle) {
+  return (rng.uniform_u64(site_count) + cycle) % site_count;
+}

@@ -1,0 +1,12 @@
+// BAD fixture for rule pointer-key (D3): pointers as ordering keys — the
+// iteration/comparison order depends on allocation addresses. Never compiled.
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Program;
+
+std::map<const Program*, int> launch_counts;
+std::set<int*> dirty_cells;
+std::size_t addr_hash = std::hash<void*>{}(nullptr);

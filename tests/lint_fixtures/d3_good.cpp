@@ -1,0 +1,7 @@
+// GOOD fixture for rule pointer-key (D3): stable-id keys; pointer *values*
+// are fine — only pointer keys order nondeterministically. Never compiled.
+#include <cstdint>
+#include <map>
+
+std::map<std::uint64_t, int> launch_counts;
+std::map<int, char*> buffer_by_id;

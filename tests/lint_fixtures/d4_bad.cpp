@@ -1,0 +1,11 @@
+// BAD fixture for rule float-format (D4): printf float conversion in
+// serialization code — lossy and locale/libc-dependent. Analyzed by
+// test_lint.cpp as src/obs/export.cpp; never compiled.
+#include <cstdio>
+#include <string>
+
+void append_value(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}

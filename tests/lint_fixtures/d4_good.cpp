@@ -1,0 +1,10 @@
+// GOOD fixture for rule float-format (D4): floats routed through the one
+// sanctioned dumper. Analyzed by test_lint.cpp as src/obs/export.cpp; never
+// compiled.
+#include <string>
+
+#include "common/json.hpp"
+
+void append_value(std::string& out, double v) {
+  gpurel::json::append_shortest_double(out, v);
+}

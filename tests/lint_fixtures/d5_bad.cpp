@@ -1,0 +1,15 @@
+// BAD fixture for rule raw-hash (D5): hashing the raw bytes of a padded
+// struct — the padding bytes are indeterminate, so the digest is unstable.
+// Never compiled.
+#include <cstdint>
+
+struct Padded {
+  char tag;
+  double value;
+};
+
+std::uint64_t fnv1a64(const char* data, unsigned long len);
+
+std::uint64_t struct_digest(const Padded& p) {
+  return fnv1a64(reinterpret_cast<const char*>(&p), sizeof(Padded));
+}

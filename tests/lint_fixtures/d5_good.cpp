@@ -1,0 +1,18 @@
+// GOOD fixture for rule raw-hash (D5): field-wise hashing over canonical
+// values — padding never enters the digest. Never compiled.
+#include <cstdint>
+
+struct Padded {
+  char tag;
+  double value;
+};
+
+std::uint64_t fnv1a64_u64(std::uint64_t h, std::uint64_t v);
+std::uint64_t bits_of(double v);
+
+std::uint64_t struct_digest(const Padded& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a64_u64(h, static_cast<std::uint64_t>(p.tag));
+  h = fnv1a64_u64(h, bits_of(p.value));
+  return h;
+}

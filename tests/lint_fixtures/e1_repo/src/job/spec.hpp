@@ -1,0 +1,5 @@
+// Mini spec header for the E1 fixture repo (tests/test_lint.cpp copies this
+// tree into a temp dir and exercises the engine-manifest workflow on it).
+#pragma once
+
+inline constexpr const char* kEngineVersion = "fixture-engine-1";

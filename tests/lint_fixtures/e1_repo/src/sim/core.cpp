@@ -1,0 +1,3 @@
+// Result-determining source in the E1 fixture repo; editing its token stream
+// without bumping kEngineVersion must trip rule engine-version.
+int simulate(int x) { return x * 2; }

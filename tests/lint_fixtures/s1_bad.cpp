@@ -1,0 +1,11 @@
+// BAD fixture for rule schema-version (S1): a hand-rolled JSON document with
+// no schema_version field — consumers cannot detect layout drift. Analyzed by
+// test_lint.cpp as src/obs/export.cpp; never compiled.
+#include <string>
+
+std::string to_json(int value) {
+  std::string out = "{\"value\":";
+  out += std::to_string(value);
+  out += "}";
+  return out;
+}

@@ -1,0 +1,11 @@
+// GOOD fixture for rule schema-version (S1): the document stamps a top-level
+// schema_version. Analyzed by test_lint.cpp as src/obs/export.cpp; never
+// compiled.
+#include <string>
+
+std::string to_json(int value) {
+  std::string out = "{\"schema_version\":1,\"value\":";
+  out += std::to_string(value);
+  out += "}";
+  return out;
+}

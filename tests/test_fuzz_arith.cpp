@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -92,7 +93,15 @@ std::uint32_t host_step(const Step& s, const std::vector<std::uint32_t>& r) {
       if (v <= -2147483648.0f) return 0x80000000u;
       return static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
     }
-    case FuzzOp::Rcp: return f32_bits(squash(1.0f / f(s.a)));
+    case FuzzOp::Rcp: {
+      // Same explicit IEEE zero handling as the executor's MUFU_RCP: the
+      // bits are identical to 1/x, without tripping float-divide-by-zero.
+      const float v = f(s.a);
+      const float rcp =
+          v == 0.0f ? std::copysign(std::numeric_limits<float>::infinity(), v)
+                    : 1.0f / v;
+      return f32_bits(squash(rcp));
+    }
     case FuzzOp::Ex2: {
       // Clamp the exponent input so exp2 stays finite.
       float v = f(s.a);

@@ -136,6 +136,30 @@ TEST(Semantics, SfuApproximations) {
               5.0f, 1e-6);
 }
 
+TEST(Semantics, SfuZeroInputsFollowIeee) {
+  // Regression for the UBSan float-divide-by-zero fix: RCP/RSQ spell out the
+  // zero cases explicitly and must still produce the exact IEEE infinities
+  // (1/±0 = ±Inf; rsq(-0) = 1/sqrt(-0) = 1/-0 = -Inf), bit for bit.
+  auto rcp_bits = [](float x) {
+    return run_scalar([x](KernelBuilder& b, Reg v) {
+      Reg f = b.reg();
+      b.movf(f, x);
+      b.rcp(v, f);
+    });
+  };
+  auto rsq_bits = [](float x) {
+    return run_scalar([x](KernelBuilder& b, Reg v) {
+      Reg f = b.reg();
+      b.movf(f, x);
+      b.rsq(v, f);
+    });
+  };
+  EXPECT_EQ(rcp_bits(0.0f), 0x7f800000u);   // +Inf
+  EXPECT_EQ(rcp_bits(-0.0f), 0xff800000u);  // -Inf
+  EXPECT_EQ(rsq_bits(0.0f), 0x7f800000u);   // +Inf
+  EXPECT_EQ(rsq_bits(-0.0f), 0xff800000u);  // -Inf
+}
+
 TEST(Semantics, MinMaxAndNan) {
   EXPECT_FLOAT_EQ(run_scalar_f([](KernelBuilder& b, Reg v) {
                     Reg a = b.reg(), c = b.reg();
@@ -257,8 +281,8 @@ TEST_P(DisasmSweep, EveryOpcodeRenders) {
 INSTANTIATE_TEST_SUITE_P(
     AllOpcodes, DisasmSweep,
     ::testing::Range(0, static_cast<int>(Opcode::kCount)),
-    [](const ::testing::TestParamInfo<int>& info) {
-      std::string n(isa::opcode_name(static_cast<Opcode>(info.param)));
+    [](const ::testing::TestParamInfo<int>& param_info) {
+      std::string n(isa::opcode_name(static_cast<Opcode>(param_info.param)));
       for (char& c : n)
         if (!isalnum(static_cast<unsigned char>(c))) c = '_';
       return n;

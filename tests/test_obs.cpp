@@ -141,6 +141,8 @@ TEST(Metrics, JsonExportIsBalancedAndComplete) {
   reg.histogram("gpurel_latency_ms").observe(0.5);
   const std::string json = reg.to_json();
   EXPECT_TRUE(balanced_json(json)) << json;
+  // The document is schema-versioned (lint rule schema-version / S1).
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,\"metrics\":[", 0), 0u) << json;
   EXPECT_NE(json.find("\"gpurel_trials_total\""), std::string::npos);
   EXPECT_NE(json.find("7"), std::string::npos);
   EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);

@@ -65,21 +65,24 @@ TEST(Apps, HotspotMatchesHostStencil) {
   std::vector<float> t(n * n), p(n * n);
   for (auto& v : t) v = static_cast<float>(rng.uniform(60.0, 90.0));
   for (auto& v : p) v = static_cast<float>(rng.uniform(0.0, 2.0));
+  auto idx = [&](int r, int c) {
+    return static_cast<std::size_t>(r) * n + static_cast<std::size_t>(c);
+  };
   auto at = [&](const std::vector<float>& a, int r, int c) {
     r = std::clamp(r, 0, static_cast<int>(n) - 1);
     c = std::clamp(c, 0, static_cast<int>(n) - 1);
-    return a[r * n + c];
+    return a[idx(r, c)];
   };
   std::vector<float> cur = t, nxt(n * n);
   for (unsigned s = 0; s < steps; ++s) {
     for (int r = 0; r < static_cast<int>(n); ++r) {
       for (int c = 0; c < static_cast<int>(n); ++c) {
         const float tc = at(cur, r, c);
-        float acc = p[r * n + c];
+        float acc = p[idx(r, c)];
         acc += 0.1f * (at(cur, r - 1, c) + at(cur, r + 1, c) - 2 * tc);
         acc += 0.1f * (at(cur, r, c + 1) + at(cur, r, c - 1) - 2 * tc);
         acc += 0.05f * (80.0f - tc);
-        nxt[r * n + c] = tc + 0.5f * acc;
+        nxt[idx(r, c)] = tc + 0.5f * acc;
       }
     }
     std::swap(cur, nxt);
@@ -317,14 +320,17 @@ TEST(Apps, CclLabelsAreComponentMinima) {
 
   std::vector<int> parent(D * D);
   for (unsigned i = 0; i < D * D; ++i) parent[i] = static_cast<int>(i);
+  auto slot = [&](int x) -> int& {
+    return parent[static_cast<std::size_t>(x)];
+  };
   std::function<int(int)> find = [&](int x) {
-    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    while (slot(x) != x) x = slot(x) = slot(slot(x));
     return x;
   };
-  auto unite = [&](int a, int b) {
-    a = find(a);
-    b = find(b);
-    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  auto unite = [&](unsigned a, unsigned b) {
+    const int ra = find(static_cast<int>(a));
+    const int rb = find(static_cast<int>(b));
+    if (ra != rb) slot(std::max(ra, rb)) = std::min(ra, rb);
   };
   for (unsigned r = 0; r < D; ++r)
     for (unsigned c = 0; c < D; ++c) {

@@ -1,0 +1,110 @@
+// CLI for the gpurel determinism linter. Exit codes: 0 clean (or everything
+// baselined), 1 new findings, 2 usage or I/O error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: gpurel_lint [options] [path...]\n"
+      "\n"
+      "Static determinism/reproducibility checks for the gpurel tree\n"
+      "(docs/ARCHITECTURE.md §11 is the rule catalogue). Paths are files or\n"
+      "directories relative to the repo root; default: src tools tests.\n"
+      "\n"
+      "options:\n"
+      "  --repo-root=DIR    repo root (default: .)\n"
+      "  --baseline=FILE    baseline file (default: tools/lint/baseline.json\n"
+      "                     under the repo root, when present)\n"
+      "  --manifest=FILE    engine manifest (default:\n"
+      "                     tools/lint/engine_manifest.txt under the root)\n"
+      "  --no-manifest      skip the engine-version manifest diff (rule E1)\n"
+      "  --update-manifest  rewrite the manifest from the current tree;\n"
+      "                     refuses if sources changed without a\n"
+      "                     kEngineVersion bump (see --force)\n"
+      "  --force            allow --update-manifest without an engine bump\n"
+      "  --json             print the schema-versioned JSON report to stdout\n"
+      "  --list-rules       print the rule slugs and exit\n"
+      "  -h, --help         this text\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gpurel::lint::Options opts;
+  bool as_json = false;
+  bool do_update = false;
+  bool force = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : gpurel::lint::rule_names())
+        std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--no-manifest") {
+      opts.check_manifest = false;
+    } else if (arg == "--update-manifest") {
+      do_update = true;
+    } else if (arg == "--force") {
+      force = true;
+    } else if (arg.rfind("--repo-root=", 0) == 0) {
+      opts.repo_root = value_of("--repo-root=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      opts.baseline_path = value_of("--baseline=");
+    } else if (arg.rfind("--manifest=", 0) == 0) {
+      opts.manifest_path = value_of("--manifest=");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "gpurel_lint: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+  if (opts.paths.empty()) opts.paths = {"src", "tools", "tests"};
+
+  try {
+    if (do_update) {
+      std::string manifest = opts.manifest_path;
+      if (manifest.empty())
+        manifest = opts.repo_root + "/tools/lint/engine_manifest.txt";
+      const gpurel::lint::ManifestStatus st =
+          gpurel::lint::update_manifest(opts.repo_root, manifest, force);
+      std::fprintf(st.ok ? stdout : stderr, "gpurel_lint: %s\n",
+                   st.message.c_str());
+      return st.ok ? 0 : 2;
+    }
+
+    const gpurel::lint::Report report = gpurel::lint::run(opts);
+    if (as_json) {
+      std::printf("%s\n", gpurel::lint::report_json(report).c_str());
+    } else {
+      for (const gpurel::lint::Finding& f : report.findings)
+        std::fprintf(stderr, "%s:%d: [%s]%s %s  {%s}\n", f.path.c_str(),
+                     f.line, f.rule.c_str(), f.baselined ? " (baselined)" : "",
+                     f.message.c_str(), f.fingerprint.c_str());
+      std::fprintf(stderr,
+                   "gpurel_lint: %zu files, %zu finding(s), %zu new\n",
+                   report.files_scanned, report.findings.size(),
+                   report.new_findings);
+    }
+    return report.new_findings > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gpurel_lint: %s\n", e.what());
+    return 2;
+  }
+}
