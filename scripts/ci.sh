@@ -76,7 +76,9 @@ sample = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$')
 prom = [l for l in open(f"{d}/metrics.prom").read().splitlines() if l]
 assert prom, "Prometheus exposition is empty"
 for line in prom:
-    assert line.startswith("# TYPE ") or sample.match(line), line
+    assert line.startswith(("# TYPE ", "# HELP ")) or sample.match(line), line
+assert any(l.startswith("# HELP gpurel_campaign_") for l in prom), \
+    "no HELP line for campaign metrics"
 print(f"observability smoke OK: {len(lines)} telemetry events, "
       f"{len(names)} metric names, {len(trace)} trace events, "
       f"{len(prom)} exposition lines")
@@ -151,6 +153,56 @@ json.dump(json.load(open(sys.argv[1]))["result"], open(sys.argv[2], "w"),
 done
 cmp "${JOB_DIR}/mxm.fork0.result" "${JOB_DIR}/mxm.fork4.result"
 echo "fork-equivalence smoke OK: forked result byte-identical to plain"
+
+echo "==> propagation smoke (provenance JSONL + outcome-identical to plain)"
+# The same campaign planned plain and with the propagation flight recorder:
+# the instrumented run must emit schema-versioned per-trial records and an
+# aggregate report while leaving every outcome tally byte-identical.
+for prop in off on; do
+  FLAG=""; [[ "${prop}" == "on" ]] && FLAG="--propagation"
+  "${JOBS_BIN}" plan --kind=campaign --arch=kepler --code=MXM \
+    --precision=single --injector=SASSIFI --injections=4 --rf=6 --pred=4 \
+    --ia=6 --store-value=4 --store-addr=4 --seed=13 --scale=0.05 ${FLAG} \
+    --out="${JOB_DIR}/prop.${prop}" >/dev/null
+done
+"${JOBS_BIN}" run --spec="${JOB_DIR}/prop.off.shard0of1.json" \
+  --out="${JOB_DIR}/prop.off.out.json" >/dev/null
+GPUREL_TELEMETRY="${JOB_DIR}/prop.jsonl" \
+  "${JOBS_BIN}" run --spec="${JOB_DIR}/prop.on.shard0of1.json" \
+  --out="${JOB_DIR}/prop.on.out.json" >/dev/null
+"${JOBS_BIN}" report "${JOB_DIR}/prop.on.out.json" |
+  grep -q "Fault propagation" || { echo "report subcommand failed"; exit 1; }
+python3 - "${JOB_DIR}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+REQUIRED = {
+    "schema_version", "trial", "model", "fired", "effect", "kind", "mix",
+    "opcode", "bit", "pc", "sm", "warp", "lane", "cta", "cycle", "lane_instr",
+    "regs_touched", "preds_touched", "shared_bytes", "global_bytes",
+    "warps_reached", "blocks_reached", "control_divergences",
+    "overwrite_kills", "masking_depth", "taint_live_at_end", "outcome", "due",
+    "geometry", "corrupted_elems", "output_rows", "output_cols",
+}
+recs = [json.loads(l) for l in open(f"{d}/prop.jsonl") if l.strip()]
+recs = [r for r in recs if r.get("event") == "propagation_record"]
+assert recs, "no propagation_record telemetry events"
+for r in recs:
+    missing = REQUIRED - set(r)
+    assert not missing, f"record missing {missing}"
+    assert r["schema_version"] == 1, r
+    assert r["outcome"] in ("Masked", "SDC", "DUE"), r
+trials = [r["trial"] for r in recs]
+assert trials == sorted(trials), "records not in trial order"
+on = json.load(open(f"{d}/prop.on.out.json"))["result"]
+off = json.load(open(f"{d}/prop.off.out.json"))["result"]
+rep = on.pop("propagation")
+assert rep["schema_version"] == 1 and rep["trials"] == len(recs), rep
+assert json.dumps(on, sort_keys=True) == json.dumps(off, sort_keys=True), \
+    "propagation changed outcome tallies"
+fired = sum(r["fired"] for r in recs)
+print(f"propagation smoke OK: {len(recs)} records ({fired} fired), "
+      f"outcome tallies identical to plain run")
+EOF
 
 echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism)"
 # Always-on subset of the full tsan preset: the two tests that exercise the

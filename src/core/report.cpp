@@ -107,6 +107,18 @@ void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
     else if (options.csv) t.render_csv(os);
     else t.render_text(os);
   }
+  if (options.include_propagation) {
+    // Only propagation-enabled campaigns carry a report (plain-text only:
+    // the CSV form keeps its historical column set).
+    auto add = [&](const char* name, const fault::CampaignResult& r) {
+      if (!r.propagation.has_value() || options.csv) return;
+      std::string text;
+      obs::write_propagation_report(text, *r.propagation);
+      os << name << " " << text;
+    };
+    if (ev.sassifi) add("SASSIFI", *ev.sassifi);
+    if (ev.nvbitfi) add("NVBitFI", *ev.nvbitfi);
+  }
   if (options.include_beam) {
     Table t({"ECC", "SDC FIT", "SDC 95% CI", "DUE FIT", "DUE 95% CI"});
     auto add = [&](const char* ecc, const beam::BeamResult& r) {

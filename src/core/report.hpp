@@ -19,6 +19,9 @@ struct ReportOptions {
   bool include_avf = true;
   bool include_beam = true;
   bool include_prediction = true;
+  /// Fault-propagation tables, shown when a campaign carries a
+  /// PropagationReport (StudyConfig::propagation). Text reports only.
+  bool include_propagation = true;
   bool csv = false;
   /// Per-PC hotspot rows shown under the profile table (0 disables).
   unsigned hotspot_top_n = 5;

@@ -273,9 +273,10 @@ std::optional<fault::CampaignResult> Study::run_injection(
       config_.seed * 131071 +
       std::hash<std::string>{}(injector.name() + entry.base) +
       static_cast<std::uint64_t>(entry.precision);
-  const job::JobSpec spec =
+  job::JobSpec spec =
       job::campaign_spec(target_gpu, entry, injector.name(), budget, seed,
                          config_.seed ^ 0x5eed, config_.app_scale);
+  spec.propagation = config_.propagation;
   return std::move(job::run_job(spec, run_options()).campaign);
 }
 

@@ -57,6 +57,12 @@ struct StudyConfig : fault::InjectionBudget, obs::RunContext {
   /// the GPUREL_CACHE=<dir> environment override; when neither is set,
   /// everything is recomputed. Results are bit-identical either way.
   std::string cache_dir;
+  /// Attach the fault-propagation flight recorder to every injection
+  /// campaign (obs::PropagationObserver). Outcomes and AVFs are unchanged;
+  /// each CampaignResult additionally carries a PropagationReport, surfaced
+  /// by core::report's propagation section. Note the flag is part of the
+  /// JobSpec, so enabling it addresses a different cache entry.
+  bool propagation = false;
 
   fault::InjectionBudget& budget() { return *this; }
   const fault::InjectionBudget& budget() const { return *this; }

@@ -170,6 +170,37 @@ void Workload::capture_golden(sim::Device& dev) {
   }
 }
 
+Workload::OutputGeometry Workload::output_geometry() const {
+  OutputGeometry g;
+  g.elem_bytes = precision_bytes(precision());
+  std::uint64_t total = 0;
+  for (const auto& region : outputs_) total += region.bytes;
+  g.cols = total / g.elem_bytes;
+  return g;
+}
+
+std::vector<std::uint64_t> Workload::corrupted_elements(sim::Device& dev) const {
+  const unsigned elem = std::max(1u, output_geometry().elem_bytes);
+  std::vector<std::uint64_t> bad;
+  std::uint64_t base = 0;  // element offset of the current region
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    std::vector<std::uint8_t> bytes(outputs_[i].bytes);
+    dev.memory().read_bytes(outputs_[i].addr, bytes);
+    const std::vector<std::uint8_t>& gold = golden_[i];
+    const std::size_t n = std::min(bytes.size(), gold.size());
+    for (std::size_t b = 0; b < n; b += elem) {
+      for (std::size_t k = b; k < std::min(n, b + elem); ++k) {
+        if (bytes[k] != gold[k]) {
+          bad.push_back(base + b / elem);
+          break;
+        }
+      }
+    }
+    base += outputs_[i].bytes / elem;
+  }
+  return bad;
+}
+
 bool Workload::verify(sim::Device& dev) {
   if (outputs_.empty())
     throw std::logic_error(name() + ": no output regions registered and verify() "

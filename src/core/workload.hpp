@@ -138,6 +138,22 @@ class Workload {
   /// Cycle budget used as the trial watchdog.
   std::uint64_t watchdog_budget() const { return watchdog_budget_; }
 
+  /// Logical shape of the verified output, for SDC corruption-geometry
+  /// classification (obs::classify_sdc_geometry). Default: one row of
+  /// precision-sized elements spanning the registered output regions (in
+  /// registration order); matrix workloads override with their real shape.
+  struct OutputGeometry {
+    std::uint64_t rows = 1;
+    std::uint64_t cols = 0;
+    unsigned elem_bytes = 4;
+  };
+  virtual OutputGeometry output_geometry() const;
+
+  /// Flattened (row-major over output_geometry) indices of output elements
+  /// whose bytes differ from golden. Reads live device memory, so call it
+  /// right after a trial classified as SDC, before the next reset.
+  std::vector<std::uint64_t> corrupted_elements(sim::Device& dev) const;
+
   /// Execute one trial against fresh device memory and classify the result.
   TrialResult run_trial(sim::Device& dev, sim::SimObserver* obs = nullptr);
 

@@ -125,6 +125,9 @@ class InjectionObserver final : public sim::SimObserver {
   unsigned bit = 0;                 // flip position within the destination
   unsigned rf_reg = 0;              // RegisterFile mode: which register
   unsigned ia_bit = 0;              // InstructionAddress mode: PC bit to flip
+  /// Propagation flight recorder (teed behind this observer); notified the
+  /// moment the fault fires so it can seed its taint state. May be null.
+  obs::PropagationObserver* prop = nullptr;
 
   bool fired = false;
 
@@ -151,6 +154,12 @@ class InjectionObserver final : public sim::SimObserver {
     const std::uint8_t reg =
         mode == FaultModel::StoreAddress ? ctx.instr->src[0] : ctx.instr->src[1];
     fired = true;
+    if (prop != nullptr)
+      prop->note_injection(ctx,
+                           reg == isa::kRZ
+                               ? obs::PropagationObserver::Seed::None
+                               : obs::PropagationObserver::Seed::StoreBytes,
+                           bit % 32, reg);
     if (reg == isa::kRZ) return;
     saved_reg_ = reg;
     saved_val_ = ctx.regs->get(reg);
@@ -177,6 +186,12 @@ class InjectionObserver final : public sim::SimObserver {
                       flip_bit32(ctx.regs->get(static_cast<std::uint8_t>(reg)),
                                  bsel % 32));
         fired = true;
+        if (prop != nullptr)
+          prop->note_injection(ctx,
+                               reg >= isa::kRZ
+                                   ? obs::PropagationObserver::Seed::None
+                                   : obs::PropagationObserver::Seed::GprWrite,
+                               bsel, reg);
         break;
       }
       case FaultModel::Predicate: {
@@ -185,6 +200,12 @@ class InjectionObserver final : public sim::SimObserver {
         const std::uint8_t p = ctx.instr->dst & 0x07;
         ctx.regs->set_pred(p, !ctx.regs->get_pred(p));
         fired = true;
+        if (prop != nullptr)
+          prop->note_injection(ctx,
+                               p >= isa::kNumPredicates
+                                   ? obs::PropagationObserver::Seed::None
+                                   : obs::PropagationObserver::Seed::PredWrite,
+                               p, p);
         break;
       }
       case FaultModel::InstructionAddress: {
@@ -193,6 +214,9 @@ class InjectionObserver final : public sim::SimObserver {
         // applied verbatim — every sampled bit is reachable.
         *ctx.next_pc ^= (1u << (ia_bit & 31u));
         fired = true;
+        if (prop != nullptr)
+          prop->note_injection(
+              ctx, obs::PropagationObserver::Seed::ControlFlow, ia_bit, 0);
         break;
       }
       case FaultModel::RegisterFile: {
@@ -201,6 +225,12 @@ class InjectionObserver final : public sim::SimObserver {
                       flip_bit32(ctx.regs->get(static_cast<std::uint8_t>(rf_reg)),
                                  bit % 32));
         fired = true;
+        if (prop != nullptr)
+          prop->note_injection(ctx,
+                               rf_reg >= isa::kRZ
+                                   ? obs::PropagationObserver::Seed::None
+                                   : obs::PropagationObserver::Seed::GprWrite,
+                               bit % 32, rf_reg);
         break;
       }
       case FaultModel::StoreValue:
@@ -343,6 +373,12 @@ void CampaignResult::merge(const CampaignResult& other) {
   ia.merge(other.ia);
   store_value.merge(other.store_value);
   store_addr.merge(other.store_addr);
+  if (other.propagation.has_value()) {
+    if (propagation.has_value())
+      propagation->merge(*other.propagation);
+    else
+      propagation = other.propagation;
+  }
 }
 
 SiteCounts count_sites(const Injector& injector, const WorkloadFactory& factory) {
@@ -470,6 +506,11 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   if (config.resume != nullptr && config.resume->trials_done > owned.size())
     throw std::invalid_argument(
         "run_campaign: checkpoint covers more trials than this shard owns");
+  const bool propagation = config.propagation;
+  if (propagation && config.resume != nullptr)
+    throw std::invalid_argument(
+        "run_campaign: propagation provenance cannot resume from a checkpoint "
+        "(the skipped prefix has no per-trial records)");
   // Positions [0, skip) of the owned order are already accounted for by the
   // resume checkpoint; this process executes positions [skip, owned.size()),
   // remapped below to start at 0 so the schedulers see a dense range.
@@ -529,6 +570,8 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   std::vector<core::Outcome> outcomes(trials.size(), core::Outcome::Masked);
   std::vector<std::uint64_t> cycles;
   if (config.trial_cycles_out != nullptr) cycles.assign(trials.size(), 0);
+  std::vector<obs::PropagationRecord> records;
+  if (propagation) records.resize(trials.size());
 
   // Tally outcomes of owned positions [p_begin, p_end) into `res`. Shared by
   // the final result, checkpoint snapshots, and the end-of-run telemetry so
@@ -609,6 +652,14 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     if (st.snaps_ready) return;
     st.w->capture_prefix(*st.dev, marks, st.snaps);
     st.snaps_ready = true;
+    // Snapshot-pool footprint: count every capture and track the largest
+    // per-worker pool (each worker holds one snapshot set).
+    std::uint64_t bytes = 0;
+    for (const sim::Snapshot& s : st.snaps) bytes += s.memory.size();
+    metrics.counter("gpurel_campaign_snapshots_total")
+        .add(st.snaps.size());
+    metrics.gauge("gpurel_campaign_snapshot_pool_bytes")
+        .set_max(static_cast<double>(bytes));
   };
 
   // Per-trial fault sampling, shared verbatim by the execution path and the
@@ -691,6 +742,13 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       // definition — no RNG draws, no simulation.
       outcomes[t] = core::Outcome::Masked;
       if (!cycles.empty()) cycles[t] = 0;
+      if (propagation) {
+        obs::PropagationRecord& rec = records[t];
+        rec.trial = t;
+        rec.model = std::string(fault_model_name(desc.mode));
+        rec.fired = false;
+        rec.outcome = "Masked";
+      }
       m_trials.add();
       return;
     }
@@ -703,6 +761,18 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     obs.rf_reg = sample.rf_reg;
     obs.target_kind = desc.kind;  // meaningful for IOV; ignored otherwise
     obs.target_index = sample.target_index;
+    // Provenance rides behind the injection observer in a tee: injection
+    // first (so the tracker sees post-injection register state), tracker
+    // second. Both claim only hooks the injection path already claims, so
+    // the executor's dispatch — and thus every outcome — is unchanged.
+    obs::PropagationObserver prop;
+    sim::TeeObserver tee(&obs, &prop);
+    sim::SimObserver* trial_obs = &obs;
+    if (propagation) {
+      prop.begin_trial(t, std::string(fault_model_name(desc.mode)));
+      obs.prop = &prop;
+      trial_obs = &tee;
+    }
     const telemetry::Timer trial_wall;
     core::TrialResult r;
     const int epoch = forking ? trial_epoch[t] : -1;
@@ -710,16 +780,38 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       ensure_snaps(st);
       const EpochSites& es = epochs[static_cast<std::size_t>(epoch)];
       obs.preset_counts(epoch_sites_for(desc.mode, desc.kind, es));
+      // The skipped prefix is fault-free, so the tracker only needs its
+      // lane-instruction clock advanced to keep records fork-invariant.
+      if (propagation) prop.preset_lane_count(es.at.total_lane);
       r = st.w->run_trial_forked(*st.dev,
                                  st.snaps[static_cast<std::size_t>(epoch)],
-                                 &obs);
+                                 trial_obs);
     } else {
-      r = st.w->run_trial(*st.dev, &obs);
+      r = st.w->run_trial(*st.dev, trial_obs);
     }
     m_latency.observe(trial_wall.elapsed_ms());
     m_trials.add();
     outcomes[t] = r.outcome;
     if (!cycles.empty()) cycles[t] = r.stats.cycles;
+    if (propagation) {
+      obs::PropagationRecord rec = prop.finish();
+      rec.outcome = std::string(core::outcome_name(r.outcome));
+      if (r.outcome == core::Outcome::Due) {
+        rec.due = std::string(sim::due_kind_name(r.due));
+      } else if (r.outcome == core::Outcome::Sdc) {
+        // Outputs are still on the device here (next trial resets it), so
+        // the corruption footprint can be diffed against the golden copy.
+        const core::Workload::OutputGeometry g = st.w->output_geometry();
+        std::vector<std::uint64_t> bad = st.w->corrupted_elements(*st.dev);
+        rec.output_rows = g.rows;
+        rec.output_cols = g.cols;
+        rec.corrupted_elems = bad.size();
+        rec.geometry =
+            std::string(obs::sdc_geometry_name(obs::classify_sdc_geometry(
+                bad, g.rows, g.cols)));
+      }
+      records[t] = std::move(rec);
+    }
   };
 
   auto after_chunk = [&](std::size_t begin, std::size_t end) {
@@ -810,6 +902,59 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     *config.trial_outcomes_out = outcomes;
   if (config.trial_cycles_out != nullptr)
     *config.trial_cycles_out = std::move(cycles);
+
+  if (propagation) {
+    // Aggregate and emit serially in owned-trial order: records were filled
+    // in place by whichever worker ran the trial, so the JSONL stream (and
+    // the report's integer sums) are identical for any worker count.
+    obs::PropagationReport rep;
+    for (std::size_t p = 0; p < todo; ++p) rep.add(records[owned[skip + p]]);
+    result.propagation = std::move(rep);
+    if (sink != nullptr) {
+      for (std::size_t p = 0; p < todo; ++p) {
+        const obs::PropagationRecord& rec = records[owned[skip + p]];
+        auto site_name = [&](std::string_view s) {
+          return rec.fired ? std::string(s) : std::string();
+        };
+        sink->emit(
+            "propagation_record",
+            {{"schema_version", obs::kPropagationSchemaVersion},
+             {"trial", rec.trial},
+             {"model", rec.model},
+             {"fired", rec.fired},
+             {"effect", rec.effect},
+             {"kind", site_name(isa::unit_kind_name(rec.site_kind))},
+             {"mix", site_name(isa::mix_class_name(rec.site_mix))},
+             {"opcode", site_name(isa::opcode_name(rec.site_opcode))},
+             {"bit", rec.bit},
+             {"pc", rec.pc},
+             {"sm", rec.sm},
+             {"warp", rec.warp},
+             {"lane", rec.lane},
+             {"cta", rec.cta},
+             {"cycle", rec.cycle},
+             {"lane_instr", rec.lane_instr},
+             {"regs_touched", rec.regs_touched},
+             {"preds_touched", rec.preds_touched},
+             {"shared_bytes", rec.shared_bytes},
+             {"global_bytes", rec.global_bytes},
+             {"warps_reached", rec.warps_reached},
+             {"blocks_reached", rec.blocks_reached},
+             {"control_divergences", rec.control_divergences},
+             {"overwrite_kills", rec.overwrite_kills},
+             {"masking_depth", rec.masking_depth},
+             {"taint_live_at_end", rec.taint_live_at_end},
+             {"outcome", rec.outcome},
+             {"due", rec.due},
+             {"geometry", rec.geometry},
+             {"corrupted_elems", rec.corrupted_elems},
+             {"output_rows", rec.output_rows},
+             {"output_cols", rec.output_cols}});
+      }
+    }
+    if (config.propagation_records_out != nullptr)
+      *config.propagation_records_out = std::move(records);
+  }
 
   // Registry snapshot of this campaign's outcomes and injection-site
   // coverage (counters accumulate across campaigns in one process).

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "core/workload.hpp"
 #include "fault/budget.hpp"
 #include "fault/injector.hpp"
+#include "obs/propagation.hpp"
 #include "obs/run_context.hpp"
 
 namespace gpurel::fault {
@@ -84,6 +86,11 @@ struct CampaignResult {
   std::uint64_t total_lane_sites = 0;  // all lane executions (IA/RF anchor)
   std::uint64_t eligible_output_sites = 0;
 
+  /// Aggregate fault-propagation tables (CampaignConfig::propagation); absent
+  /// on plain campaigns, so their serialized results are byte-identical to
+  /// pre-propagation builds.
+  std::optional<obs::PropagationReport> propagation;
+
   const KindStats& kind(isa::UnitKind k) const {
     return per_kind[static_cast<std::size_t>(k)];
   }
@@ -151,6 +158,18 @@ struct CampaignConfig : InjectionBudget, obs::RunContext {
   /// only wall-clock changes. Ignored (plain execution) for workloads that
   /// are not fork-safe.
   unsigned fork_epochs = 0;
+  /// Fault-propagation flight recorder: when true, every executed trial runs
+  /// with an obs::PropagationObserver teed behind the injection observer,
+  /// producing a per-trial provenance record (emitted as `propagation_record`
+  /// telemetry events in trial order after the run) and the aggregate
+  /// CampaignResult::propagation tables. Observer-only: outcome tallies are
+  /// bit-identical to a plain campaign (the tee claims no hook family the
+  /// injection observer does not already claim). Incompatible with `resume`
+  /// (a resumed prefix has no records to aggregate).
+  bool propagation = false;
+  /// When set (with propagation), receives the per-trial records indexed by
+  /// global trial id; trials not owned by this shard keep default records.
+  std::vector<obs::PropagationRecord>* propagation_records_out = nullptr;
   /// Precomputed site counts for this exact (injector, workload) pair (see
   /// count_sites). When set, the campaign skips its own fault-free counting
   /// run; results are bit-identical either way. The caller is responsible

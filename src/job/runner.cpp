@@ -29,7 +29,9 @@ std::unique_ptr<fault::Injector> make_injector(const std::string& name) {
 /// a stale checkpoint from a different spec (or engine version) is never
 /// resumed from.
 void write_checkpoint(const std::string& path, const std::string& job_key,
-                      const fault::CampaignCheckpoint& ck) {
+                      const fault::CampaignCheckpoint& ck,
+                      obs::TraceWriter* trace) {
+  const double t0 = trace != nullptr ? trace->now_us() : 0.0;
   Value v = Value::object();
   v.set("schema_version", kResultSchemaVersion);
   v.set("type", "campaign_checkpoint");
@@ -45,6 +47,10 @@ void write_checkpoint(const std::string& path, const std::string& job_key,
       if (!out) throw std::runtime_error("write failed for " + tmp);
     }
     fs::rename(tmp, path);
+    if (trace != nullptr)
+      trace->complete("checkpoint write", "job", obs::kWallPid, 0, t0,
+                      trace->now_us() - t0,
+                      {{"trials_done", ck.trials_done}});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpurel: checkpoint write failed for %s: %s\n",
                  path.c_str(), e.what());
@@ -81,8 +87,19 @@ std::optional<fault::CampaignCheckpoint> load_checkpoint(
 }  // namespace
 
 JobResult run_job(const JobSpec& spec, const RunOptions& opts) {
+  obs::TraceWriter* trace = opts.context.resolved_trace();
+  const std::string key = cache_key(spec);
+  const double t0 = trace != nullptr ? trace->now_us() : 0.0;
   const ResultCache cache(opts.cache_dir);
-  if (std::optional<JobResult> hit = cache.load(spec)) return std::move(*hit);
+  if (std::optional<JobResult> hit = cache.load(spec)) {
+    if (trace != nullptr)
+      trace->complete("job cache hit", "job", obs::kWallPid, 0, t0,
+                      trace->now_us() - t0, {{"key", key}});
+    return std::move(*hit);
+  }
+  if (trace != nullptr && cache.enabled())
+    trace->instant("job cache miss", "job", obs::kWallPid, 0, trace->now_us(),
+                   {{"key", key}});
 
   core::WorkloadConfig wc{spec.device, spec.profile, spec.input_seed,
                           spec.scale};
@@ -105,6 +122,7 @@ JobResult run_job(const JobSpec& spec, const RunOptions& opts) {
     cc.seed = spec.seed;
     cc.workers = opts.workers;
     cc.fork_epochs = spec.fork_epochs;
+    cc.propagation = spec.propagation;
     cc.shard_index = spec.shard.index;
     cc.shard_count = spec.shard.count;
 
@@ -114,14 +132,23 @@ JobResult run_job(const JobSpec& spec, const RunOptions& opts) {
       const std::string job_key = cache_key(spec);
       cc.checkpoint_every =
           opts.checkpoint_every != 0 ? opts.checkpoint_every : 64;
-      cc.on_checkpoint = [path = opts.checkpoint_path,
-                          job_key](const fault::CampaignCheckpoint& ck) {
-        write_checkpoint(path, job_key, ck);
+      cc.on_checkpoint = [path = opts.checkpoint_path, job_key,
+                          trace](const fault::CampaignCheckpoint& ck) {
+        write_checkpoint(path, job_key, ck, trace);
       };
       if (std::optional<fault::CampaignCheckpoint> loaded =
               load_checkpoint(opts.checkpoint_path, job_key)) {
-        resume = std::move(*loaded);
-        cc.resume = &resume;
+        if (spec.propagation) {
+          // A resumed prefix has no per-trial provenance, so the shard
+          // restarts from scratch rather than producing a partial report.
+          std::fprintf(stderr,
+                       "gpurel: ignoring checkpoint %s (propagation jobs "
+                       "cannot resume); restarting shard\n",
+                       opts.checkpoint_path.c_str());
+        } else {
+          resume = std::move(*loaded);
+          cc.resume = &resume;
+        }
       }
     }
 
@@ -146,7 +173,13 @@ JobResult run_job(const JobSpec& spec, const RunOptions& opts) {
     out.beam = beam::run_beam(db, factory, bc);
   }
 
-  cache.store(out);
+  if (trace != nullptr)
+    trace->complete("job run", "job", obs::kWallPid, 0, t0,
+                    trace->now_us() - t0,
+                    {{"key", key}, {"kind", job_kind_name(spec.kind)}});
+  if (cache.store(out) && trace != nullptr)
+    trace->instant("job cache store", "job", obs::kWallPid, 0, trace->now_us(),
+                   {{"key", key}});
   return out;
 }
 

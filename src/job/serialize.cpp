@@ -166,6 +166,9 @@ Value campaign_result_to_json(const fault::CampaignResult& r) {
   v.set("store_sites", r.store_sites);
   v.set("total_lane_sites", r.total_lane_sites);
   v.set("eligible_output_sites", r.eligible_output_sites);
+  // Only propagation-enabled campaigns carry a report; plain results keep
+  // their pre-existing byte-identical serialization.
+  if (r.propagation.has_value()) v.set("propagation", r.propagation->to_json());
   return v;
 }
 
@@ -189,6 +192,8 @@ fault::CampaignResult campaign_result_from_json(const Value& doc) {
   r.store_sites = json::get_uint(doc, "store_sites");
   r.total_lane_sites = json::get_uint(doc, "total_lane_sites");
   r.eligible_output_sites = json::get_uint(doc, "eligible_output_sites");
+  if (const Value* p = doc.find("propagation"))
+    r.propagation = obs::PropagationReport::from_json(*p);
   return r;
 }
 

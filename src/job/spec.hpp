@@ -77,6 +77,11 @@ struct JobSpec {
   /// planned corpus records how it was (or should be) executed; it is only
   /// serialized when nonzero, so existing spec hashes are unchanged.
   unsigned fork_epochs = 0;
+  /// Fault-propagation flight recorder (CampaignConfig::propagation). The
+  /// observer is outcome-neutral but the flag is part of the spec so a cached
+  /// result records whether it carries a propagation report; serialized only
+  /// when true, so existing spec hashes are unchanged.
+  bool propagation = false;
 
   // --- beam jobs -----------------------------------------------------------
   bool ecc = true;

@@ -115,6 +115,13 @@ void MxM::execute(sim::Device& dev, core::TrialRunner& runner) {
 // Gemm (tiled, library-modeled)
 // ---------------------------------------------------------------------------
 
+core::Workload::OutputGeometry MxM::output_geometry() const {
+  OutputGeometry g = Workload::output_geometry();
+  g.rows = n_;
+  g.cols = n_;
+  return g;
+}
+
 Gemm::Gemm(core::WorkloadConfig config, Precision precision, unsigned n)
     : Workload(std::move(config)), precision_(precision) {
   tile_ = 16;
@@ -274,6 +281,13 @@ void Gemm::execute(sim::Device& dev, core::TrialRunner& runner) {
 // GemmMma (tensor cores)
 // ---------------------------------------------------------------------------
 
+core::Workload::OutputGeometry Gemm::output_geometry() const {
+  OutputGeometry g = Workload::output_geometry();
+  g.rows = n_;
+  g.cols = n_;
+  return g;
+}
+
 GemmMma::GemmMma(core::WorkloadConfig config, Precision precision, unsigned n)
     : Workload(std::move(config)), precision_(precision) {
   if (precision_ != Precision::Half && precision_ != Precision::Single)
@@ -428,6 +442,13 @@ void GemmMma::execute(sim::Device& dev, core::TrialRunner& runner) {
   sim::KernelLaunch kl{&program_, {blocks, 1}, {warps_per_block * 32, 1}, 0,
                        {a_, b_, c_, n_}};
   runner.launch(kl);
+}
+
+core::Workload::OutputGeometry GemmMma::output_geometry() const {
+  OutputGeometry g = Workload::output_geometry();
+  g.rows = n_;
+  g.cols = n_;
+  return g;
 }
 
 }  // namespace gpurel::kernels

@@ -18,6 +18,7 @@ class MxM final : public core::Workload {
   std::string base_name() const override { return "MXM"; }
   core::Precision precision() const override { return precision_; }
   bool fork_safe() const override { return true; }
+  OutputGeometry output_geometry() const override;
   unsigned n() const { return n_; }
 
  protected:
@@ -44,6 +45,7 @@ class Gemm final : public core::Workload {
   core::Precision precision() const override { return precision_; }
   bool uses_library() const override { return true; }
   bool fork_safe() const override { return true; }
+  OutputGeometry output_geometry() const override;
   unsigned n() const { return n_; }
   unsigned tile() const { return tile_; }
 
@@ -72,6 +74,7 @@ class GemmMma final : public core::Workload {
   core::Precision precision() const override { return precision_; }
   bool uses_library() const override { return true; }
   bool fork_safe() const override { return true; }
+  OutputGeometry output_geometry() const override;
   unsigned n() const { return n_; }
 
  protected:

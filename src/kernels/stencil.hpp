@@ -17,6 +17,12 @@ class Hotspot final : public core::Workload {
   std::string base_name() const override { return "HOTSPOT"; }
   core::Precision precision() const override { return precision_; }
   bool fork_safe() const override { return true; }
+  OutputGeometry output_geometry() const override {
+    OutputGeometry g = Workload::output_geometry();
+    g.rows = n_;
+    g.cols = n_;
+    return g;
+  }
   unsigned grid_dim() const { return n_; }
 
  protected:

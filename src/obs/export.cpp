@@ -6,7 +6,31 @@
 
 #include "obs/metrics.hpp"
 
+#ifdef __linux__
+#include <cstring>
+#include <fstream>
+#include <string>
+#endif
+
 namespace gpurel::obs {
+
+namespace {
+
+/// Peak resident set size of this process in bytes (0 where unavailable).
+double peak_rss_bytes() {
+#ifdef __linux__
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    // "VmHWM:     12345 kB"
+    return std::strtod(line.c_str() + 6, nullptr) * 1024.0;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
 
 std::string prometheus_path_for(const std::string& metrics_path) {
   const std::string json_ext = ".json";
@@ -43,7 +67,9 @@ void Exporter::flush() {
   flushed_ = true;
   if (owned_trace_ != nullptr) owned_trace_->close();
   if (metrics_path_.empty()) return;
-  const Registry& reg = Registry::global();
+  Registry& reg = Registry::global();
+  if (const double rss = peak_rss_bytes(); rss > 0.0)
+    reg.gauge("gpurel_process_peak_rss_bytes").set_max(rss);
   reg.write_json(metrics_path_);
   reg.write_prometheus(prometheus_path_for(metrics_path_));
 }

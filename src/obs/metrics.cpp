@@ -263,12 +263,60 @@ std::string Registry::to_json() const {
   return out;
 }
 
+namespace {
+
+/// Help catalogue for the metrics gpurel itself emits. Unknown names (user
+/// metrics registered through the same Registry) simply get no HELP line.
+const char* metric_help(const std::string& name) {
+  static const std::pair<const char*, const char*> kHelp[] = {
+      {"gpurel_campaign_trials_total", "Injection trials executed"},
+      {"gpurel_campaign_trial_latency_ms", "Wall-clock latency of one trial"},
+      {"gpurel_campaign_snapshots_total",
+       "Fork-prefix snapshots captured across workers"},
+      {"gpurel_campaign_snapshot_pool_bytes",
+       "Largest per-worker snapshot pool (memory image bytes)"},
+      {"gpurel_campaign_outcomes_total",
+       "Trial outcomes by fault model, unit kind, and outcome"},
+      {"gpurel_campaign_dynamic_sites",
+       "Dynamic injection sites of the last campaign, per unit kind"},
+      {"gpurel_campaign_site_coverage",
+       "Injections per dynamic site in the last campaign"},
+      {"gpurel_beam_runs_total", "Beam experiment runs executed"},
+      {"gpurel_beam_run_latency_ms", "Wall-clock latency of one beam run"},
+      {"gpurel_beam_outcomes_total", "Beam run outcomes by strike target"},
+      {"gpurel_job_cache_hits_total", "Job results served from the cache"},
+      {"gpurel_job_cache_misses_total", "Job cache lookups that missed"},
+      {"gpurel_job_cache_stores_total", "Job results written to the cache"},
+      {"gpurel_process_peak_rss_bytes",
+       "Peak resident set size of the process"},
+      {"gpurel_threadpool_jobs_total", "Jobs executed by the thread pool"},
+      {"gpurel_threadpool_queue_depth", "Current thread-pool queue depth"},
+      {"gpurel_threadpool_queue_depth_peak", "Peak thread-pool queue depth"},
+      {"gpurel_threadpool_chunk_pulls_total",
+       "Dynamic-schedule chunk claims by the thread pool"},
+      {"gpurel_threadpool_index_pulls_total",
+       "Dynamic-schedule index claims by the thread pool"},
+  };
+  for (const auto& [n, h] : kHelp)
+    if (name == n) return h;
+  return nullptr;
+}
+
+}  // namespace
+
 std::string Registry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   std::string last_name;
   for (const auto& [key, m] : metrics_) {
     if (m.name != last_name) {
+      if (const char* help = metric_help(m.name)) {
+        out += "# HELP ";
+        out += m.name;
+        out += ' ';
+        out += help;
+        out += '\n';
+      }
       out += "# TYPE ";
       out += m.name;
       switch (m.kind) {

@@ -1,0 +1,602 @@
+#include "obs/propagation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/instr_info.hpp"
+
+namespace gpurel::obs {
+
+using isa::MixClass;
+using isa::Opcode;
+using isa::UnitKind;
+
+std::string_view sdc_geometry_name(SdcGeometry g) {
+  switch (g) {
+    case SdcGeometry::SingleValue: return "single_value";
+    case SdcGeometry::SameRow: return "same_row";
+    case SdcGeometry::SameColumn: return "same_column";
+    case SdcGeometry::Block: return "block";
+    case SdcGeometry::Random: return "random";
+    case SdcGeometry::kCount: break;
+  }
+  return "?";
+}
+
+SdcGeometry classify_sdc_geometry(const std::vector<std::uint64_t>& elems,
+                                  std::uint64_t rows, std::uint64_t cols) {
+  if (elems.empty())
+    throw std::invalid_argument("classify_sdc_geometry: no corrupted elements");
+  if (cols == 0) cols = 1;
+  if (elems.size() == 1) return SdcGeometry::SingleValue;
+  std::uint64_t r_min = ~std::uint64_t{0}, r_max = 0;
+  std::uint64_t c_min = ~std::uint64_t{0}, c_max = 0;
+  for (const std::uint64_t e : elems) {
+    const std::uint64_t r = e / cols, c = e % cols;
+    r_min = std::min(r_min, r);
+    r_max = std::max(r_max, r);
+    c_min = std::min(c_min, c);
+    c_max = std::max(c_max, c);
+  }
+  if (r_min == r_max) return SdcGeometry::SameRow;
+  if (c_min == c_max) return SdcGeometry::SameColumn;
+  // Dense rectangular cluster: bounding box spans several rows and columns
+  // but holds at most twice as many cells as there are corrupted elements.
+  const std::uint64_t area = (r_max - r_min + 1) * (c_max - c_min + 1);
+  if (area <= 2 * static_cast<std::uint64_t>(elems.size()))
+    return SdcGeometry::Block;
+  (void)rows;
+  return SdcGeometry::Random;
+}
+
+json::Value PropagationRecord::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", kPropagationSchemaVersion);
+  doc.set("trial", trial);
+  doc.set("model", model);
+  doc.set("fired", fired);
+  doc.set("effect", effect);
+  doc.set("kind", fired ? isa::unit_kind_name(site_kind) : std::string_view{});
+  doc.set("mix", fired ? isa::mix_class_name(site_mix) : std::string_view{});
+  doc.set("opcode", fired ? isa::opcode_name(site_opcode) : std::string_view{});
+  doc.set("bit", bit);
+  doc.set("pc", pc);
+  doc.set("sm", sm);
+  doc.set("warp", warp);
+  doc.set("lane", lane);
+  doc.set("cta", cta);
+  doc.set("cycle", cycle);
+  doc.set("lane_instr", lane_instr);
+  doc.set("regs_touched", regs_touched);
+  doc.set("preds_touched", preds_touched);
+  doc.set("shared_bytes", shared_bytes);
+  doc.set("global_bytes", global_bytes);
+  doc.set("warps_reached", warps_reached);
+  doc.set("blocks_reached", blocks_reached);
+  doc.set("control_divergences", control_divergences);
+  doc.set("overwrite_kills", overwrite_kills);
+  doc.set("masking_depth", masking_depth);
+  doc.set("taint_live_at_end", taint_live_at_end);
+  doc.set("outcome", outcome);
+  doc.set("due", due);
+  doc.set("geometry", geometry);
+  doc.set("corrupted_elems", corrupted_elems);
+  doc.set("output_rows", output_rows);
+  doc.set("output_cols", output_cols);
+  return doc;
+}
+
+std::size_t spread_bucket(std::uint64_t n) {
+  if (n == 0) return 0;
+  std::size_t b = 1;
+  std::uint64_t floor = 1;
+  while (b + 1 < PropagationReport::kSpreadBuckets && floor * 2 <= n) {
+    floor *= 2;
+    ++b;
+  }
+  return b;
+}
+
+std::uint64_t spread_bucket_floor(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+void PropagationReport::Cell::add(const PropagationRecord& rec) {
+  ++trials;
+  if (rec.outcome == "SDC") ++sdc;
+  else if (rec.outcome == "DUE") ++due;
+  else ++masked;
+  control_divergences += rec.control_divergences;
+  overwrite_kills += rec.overwrite_kills;
+  const std::size_t d =
+      std::min<std::uint64_t>(rec.masking_depth, kDepthBuckets - 1);
+  ++masking_depth[d];
+  ++reg_spread[spread_bucket(rec.regs_touched)];
+  ++mem_spread[spread_bucket(rec.shared_bytes + rec.global_bytes)];
+  if (!rec.geometry.empty()) {
+    for (std::size_t g = 0; g < static_cast<std::size_t>(SdcGeometry::kCount);
+         ++g) {
+      if (rec.geometry == sdc_geometry_name(static_cast<SdcGeometry>(g))) {
+        ++geometry[g];
+        break;
+      }
+    }
+  }
+}
+
+void PropagationReport::Cell::merge(const Cell& other) {
+  trials += other.trials;
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+  control_divergences += other.control_divergences;
+  overwrite_kills += other.overwrite_kills;
+  for (std::size_t i = 0; i < kDepthBuckets; ++i)
+    masking_depth[i] += other.masking_depth[i];
+  for (std::size_t i = 0; i < kSpreadBuckets; ++i) {
+    reg_spread[i] += other.reg_spread[i];
+    mem_spread[i] += other.mem_spread[i];
+  }
+  for (std::size_t i = 0; i < geometry.size(); ++i)
+    geometry[i] += other.geometry[i];
+}
+
+void PropagationReport::add(const PropagationRecord& rec) {
+  ++trials;
+  if (!rec.fired) return;
+  ++fired;
+  cells[static_cast<std::size_t>(rec.site_kind)]
+       [static_cast<std::size_t>(rec.site_mix)]
+           .add(rec);
+}
+
+void PropagationReport::merge(const PropagationReport& other) {
+  trials += other.trials;
+  fired += other.fired;
+  for (std::size_t k = 0; k < cells.size(); ++k)
+    for (std::size_t m = 0; m < cells[k].size(); ++m)
+      cells[k][m].merge(other.cells[k][m]);
+}
+
+namespace {
+
+json::Value array_of(const std::uint64_t* v, std::size_t n) {
+  json::Value a = json::Value::array();
+  for (std::size_t i = 0; i < n; ++i) a.push_back(v[i]);
+  return a;
+}
+
+void fill_from(const json::Value& a, std::uint64_t* v, std::size_t n,
+               const char* what) {
+  if (!a.is_array() || a.size() != n)
+    throw std::runtime_error(std::string("PropagationReport: bad ") + what);
+  for (std::size_t i = 0; i < n; ++i) v[i] = a[i].as_uint();
+}
+
+}  // namespace
+
+json::Value PropagationReport::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", kPropagationSchemaVersion);
+  doc.set("trials", trials);
+  doc.set("fired", fired);
+  json::Value arr = json::Value::array();
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    for (std::size_t m = 0; m < cells[k].size(); ++m) {
+      const Cell& c = cells[k][m];
+      if (c.trials == 0) continue;
+      json::Value cj = json::Value::object();
+      cj.set("kind", isa::unit_kind_name(static_cast<UnitKind>(k)));
+      cj.set("mix", isa::mix_class_name(static_cast<MixClass>(m)));
+      cj.set("trials", c.trials);
+      cj.set("masked", c.masked);
+      cj.set("sdc", c.sdc);
+      cj.set("due", c.due);
+      cj.set("control_divergences", c.control_divergences);
+      cj.set("overwrite_kills", c.overwrite_kills);
+      cj.set("masking_depth", array_of(c.masking_depth.data(), kDepthBuckets));
+      cj.set("reg_spread", array_of(c.reg_spread.data(), kSpreadBuckets));
+      cj.set("mem_spread", array_of(c.mem_spread.data(), kSpreadBuckets));
+      cj.set("geometry", array_of(c.geometry.data(), c.geometry.size()));
+      arr.push_back(std::move(cj));
+    }
+  }
+  doc.set("cells", std::move(arr));
+  return doc;
+}
+
+PropagationReport PropagationReport::from_json(const json::Value& doc) {
+  if (json::get_int(doc, "schema_version") != kPropagationSchemaVersion)
+    throw std::runtime_error("PropagationReport: unsupported schema_version");
+  PropagationReport rep;
+  rep.trials = json::get_uint(doc, "trials");
+  rep.fired = json::get_uint(doc, "fired");
+  const json::Value& arr = doc.at("cells");
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const json::Value& cj = arr[i];
+    const std::string& kind = json::get_string(cj, "kind");
+    const std::string& mix = json::get_string(cj, "mix");
+    std::size_t k = rep.cells.size(), m = 0;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(UnitKind::kCount); ++j)
+      if (kind == isa::unit_kind_name(static_cast<UnitKind>(j))) k = j;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(MixClass::kCount); ++j)
+      if (mix == isa::mix_class_name(static_cast<MixClass>(j))) m = j;
+    if (k == rep.cells.size())
+      throw std::runtime_error("PropagationReport: unknown unit kind " + kind);
+    Cell& c = rep.cells[k][m];
+    c.trials = json::get_uint(cj, "trials");
+    c.masked = json::get_uint(cj, "masked");
+    c.sdc = json::get_uint(cj, "sdc");
+    c.due = json::get_uint(cj, "due");
+    c.control_divergences = json::get_uint(cj, "control_divergences");
+    c.overwrite_kills = json::get_uint(cj, "overwrite_kills");
+    fill_from(cj.at("masking_depth"), c.masking_depth.data(), kDepthBuckets,
+              "masking_depth");
+    fill_from(cj.at("reg_spread"), c.reg_spread.data(), kSpreadBuckets,
+              "reg_spread");
+    fill_from(cj.at("mem_spread"), c.mem_spread.data(), kSpreadBuckets,
+              "mem_spread");
+    fill_from(cj.at("geometry"), c.geometry.data(), c.geometry.size(),
+              "geometry");
+  }
+  return rep;
+}
+
+void write_propagation_report(std::string& out, const PropagationReport& rep) {
+  out += "Fault propagation (" + std::to_string(rep.fired) + "/" +
+         std::to_string(rep.trials) + " trials fired)\n";
+  out +=
+      "  kind      mix     trials masked    sdc    due  ctl-div  kills  "
+      "geometry (1/row/col/blk/rnd)\n";
+  auto pad = [](std::string s, std::size_t w) {
+    while (s.size() < w) s += ' ';
+    return s;
+  };
+  auto num = [](std::uint64_t v, std::size_t w) {
+    std::string s = std::to_string(v);
+    while (s.size() < w) s.insert(s.begin(), ' ');
+    return s;
+  };
+  for (std::size_t k = 0; k < rep.cells.size(); ++k) {
+    for (std::size_t m = 0; m < rep.cells[k].size(); ++m) {
+      const PropagationReport::Cell& c = rep.cells[k][m];
+      if (c.trials == 0) continue;
+      out += "  " +
+             pad(std::string(isa::unit_kind_name(static_cast<UnitKind>(k))),
+                 10) +
+             pad(std::string(isa::mix_class_name(static_cast<MixClass>(m))),
+                 8) +
+             num(c.trials, 6) + num(c.masked, 7) + num(c.sdc, 7) +
+             num(c.due, 7) + num(c.control_divergences, 9) +
+             num(c.overwrite_kills, 7) + "  ";
+      for (std::size_t g = 0; g < c.geometry.size(); ++g) {
+        if (g > 0) out += '/';
+        out += std::to_string(c.geometry[g]);
+      }
+      out += '\n';
+    }
+  }
+}
+
+// --- PropagationObserver ----------------------------------------------------
+
+namespace {
+
+unsigned mem_width_bytes(const isa::Instr& in) {
+  switch (static_cast<isa::MemWidth>(in.aux)) {
+    case isa::MemWidth::B16: return 2;
+    case isa::MemWidth::B32: return 4;
+    case isa::MemWidth::B64: return 8;
+  }
+  return 4;
+}
+
+bool is_mma(Opcode op) { return op == Opcode::HMMA || op == Opcode::FMMA; }
+
+std::uint64_t reg_key(unsigned warp, unsigned lane, unsigned reg) {
+  return (static_cast<std::uint64_t>(warp) << 16) |
+         (static_cast<std::uint64_t>(lane) << 8) | reg;
+}
+
+}  // namespace
+
+void PropagationObserver::begin_trial(std::uint64_t trial, std::string model) {
+  rec_ = PropagationRecord{};
+  rec_.trial = trial;
+  rec_.model = std::move(model);
+  lane_count_ = 0;
+  injected_ = false;
+  pending_seed_ = Seed::None;
+  pending_regs_ = nullptr;
+  seed_reg_ = 0;
+  last_ctl_key_ = ~std::uint64_t{0};
+  warps_.clear();
+  global_taint_.clear();
+  shared_taint_.clear();
+  regs_ever_.clear();
+  preds_ever_.clear();
+  global_ever_.clear();
+  shared_ever_.clear();
+  warps_ever_.clear();
+  ctas_ever_.clear();
+  mma_tainted_ = false;
+  mma_enc_ = 0;
+}
+
+void PropagationObserver::preset_lane_count(std::uint64_t n) { lane_count_ = n; }
+
+void PropagationObserver::note_injection(const sim::ExecContext& ctx, Seed seed,
+                                         unsigned bit, unsigned reg) {
+  rec_.fired = true;
+  rec_.effect = seed != Seed::None;
+  rec_.site_kind = isa::unit_kind(ctx.instr->op);
+  rec_.site_mix = isa::mix_class(ctx.instr->op);
+  rec_.site_opcode = ctx.instr->op;
+  rec_.bit = bit;
+  rec_.pc = ctx.pc;
+  rec_.sm = ctx.sm;
+  rec_.warp = ctx.warp_id;
+  rec_.lane = ctx.lane;
+  rec_.cta = ctx.cta;
+  rec_.cycle = ctx.cycle;
+  rec_.lane_instr = lane_count_;
+  injected_ = true;
+  // Seeding is deferred to this observer's after_exec for the same lane so
+  // the faulted instruction's own (clean-source) writeback cannot clear it.
+  pending_seed_ = seed;
+  pending_regs_ = ctx.regs;
+  seed_reg_ = reg;
+}
+
+PropagationObserver::WarpTaint& PropagationObserver::warp_taint(
+    unsigned warp_id) {
+  return warps_[warp_id];
+}
+
+void PropagationObserver::note_depth(std::uint8_t enc) {
+  if (enc > 0 && static_cast<std::uint64_t>(enc - 1) > rec_.masking_depth)
+    rec_.masking_depth = enc - 1;
+}
+
+void PropagationObserver::note_reach(const sim::ExecContext& ctx) {
+  warps_ever_.insert(ctx.warp_id);
+  ctas_ever_.insert(ctx.cta);
+}
+
+void PropagationObserver::taint_reg(sim::ExecContext& ctx, std::uint8_t reg,
+                                    std::uint8_t enc) {
+  warp_taint(ctx.warp_id).lanes[ctx.lane].reg[reg] = enc;
+  regs_ever_.insert(reg_key(ctx.warp_id, ctx.lane, reg));
+  note_reach(ctx);
+  note_depth(enc);
+}
+
+void PropagationObserver::clear_reg(sim::ExecContext& ctx, std::uint8_t reg) {
+  const auto it = warps_.find(ctx.warp_id);
+  if (it == warps_.end()) return;
+  std::uint8_t& slot = it->second.lanes[ctx.lane].reg[reg];
+  if (slot == 0) return;
+  slot = 0;
+  ++rec_.overwrite_kills;
+}
+
+void PropagationObserver::taint_pred(sim::ExecContext& ctx, std::uint8_t p,
+                                     std::uint8_t enc) {
+  warp_taint(ctx.warp_id).lanes[ctx.lane].pred[p] = enc;
+  preds_ever_.insert(reg_key(ctx.warp_id, ctx.lane, p));
+  note_reach(ctx);
+  note_depth(enc);
+}
+
+void PropagationObserver::taint_byte(bool shared, unsigned cta,
+                                     std::uint32_t addr, std::uint8_t enc) {
+  if (shared) {
+    shared_taint_[(static_cast<std::uint64_t>(cta) << 32) | addr] = enc;
+    shared_ever_.insert((static_cast<std::uint64_t>(cta) << 32) | addr);
+  } else {
+    global_taint_[addr] = enc;
+    global_ever_.insert(addr);
+  }
+  note_depth(enc);
+}
+
+void PropagationObserver::clear_byte(bool shared, unsigned cta,
+                                     std::uint32_t addr) {
+  if (shared) {
+    const auto it =
+        shared_taint_.find((static_cast<std::uint64_t>(cta) << 32) | addr);
+    if (it == shared_taint_.end()) return;
+    shared_taint_.erase(it);
+  } else {
+    const auto it = global_taint_.find(addr);
+    if (it == global_taint_.end()) return;
+    global_taint_.erase(it);
+  }
+  ++rec_.overwrite_kills;
+}
+
+void PropagationObserver::after_exec(sim::ExecContext& ctx) {
+  ++lane_count_;
+  if (!injected_) return;
+
+  const isa::Instr& in = *ctx.instr;
+  const auto wit = warps_.find(ctx.warp_id);
+  WarpTaint* wt = wit != warps_.end() ? &wit->second : nullptr;
+  LaneTaint* lt = wt != nullptr ? &wt->lanes[ctx.lane] : nullptr;
+
+  // Source taint: max derivation depth over the warp's sticky control taint,
+  // the guard predicate, every used source register, and loaded bytes.
+  std::uint8_t senc = 0;
+  const auto fold = [&senc](std::uint8_t e) {
+    if (e > senc) senc = e;
+  };
+  if (wt != nullptr && wt->control) fold(wt->control_depth);
+  if (lt != nullptr && !in.unguarded()) fold(lt->pred[in.guard_index()]);
+  if (lt != nullptr && in.op == Opcode::SEL) fold(lt->pred[in.aux & 0x07]);
+  if (is_mma(in.op)) {
+    // Warp-wide: one tainted fragment anywhere taints every lane's
+    // accumulator. Lanes arrive in order, so lane 0 computes the warp OR.
+    if (ctx.lane == 0) {
+      mma_tainted_ = false;
+      mma_enc_ = 0;
+      if (wt != nullptr) {
+        for (unsigned l = 0; l < 32; ++l) {
+          const LaneTaint& t = wt->lanes[l];
+          for (unsigned s = 0; s < 3; ++s) {
+            if (!sim::src_slot_used(in, s)) continue;
+            const unsigned width = sim::src_reg_width(in, s);
+            for (unsigned k = 0; k < width; ++k) {
+              const unsigned reg = in.src[s] + k;
+              if (reg < isa::kRZ && t.reg[reg] > mma_enc_)
+                mma_enc_ = t.reg[reg];
+            }
+          }
+        }
+        mma_tainted_ = mma_enc_ > 0;
+      }
+    }
+    if (mma_tainted_) fold(mma_enc_);
+  } else if (lt != nullptr) {
+    for (unsigned s = 0; s < 3; ++s) {
+      if (!sim::src_slot_used(in, s)) continue;
+      const unsigned width = sim::src_reg_width(in, s);
+      for (unsigned k = 0; k < width; ++k) {
+        const unsigned reg = in.src[s] + k;
+        if (reg < isa::kRZ) fold(lt->reg[reg]);
+      }
+    }
+  }
+  if (in.op == Opcode::LDG || in.op == Opcode::LDS || in.op == Opcode::ATOM) {
+    const unsigned bytes =
+        in.op == Opcode::ATOM ? 4u : mem_width_bytes(in);
+    const bool shared = in.op == Opcode::LDS;
+    for (unsigned i = 0; i < bytes; ++i) {
+      if (shared) {
+        const auto it = shared_taint_.find(
+            (static_cast<std::uint64_t>(ctx.cta) << 32) | (ctx.eff_addr + i));
+        if (it != shared_taint_.end()) fold(it->second);
+      } else {
+        const auto it = global_taint_.find(ctx.eff_addr + i);
+        if (it != global_taint_.end()) fold(it->second);
+      }
+    }
+  }
+
+  const std::uint8_t wenc =
+      senc == 0 ? 0 : (senc >= kDepthCap ? kDepthCap : senc + 1);
+
+  // Destination writeback: propagate or kill.
+  if (isa::writes_gpr(in.op)) {
+    const unsigned width = std::max(sim::dst_reg_width(in), 1u);
+    for (unsigned k = 0; k < width; ++k) {
+      const unsigned reg = in.dst + k;
+      if (reg >= isa::kRZ) continue;
+      if (wenc > 0) taint_reg(ctx, static_cast<std::uint8_t>(reg), wenc);
+      else clear_reg(ctx, static_cast<std::uint8_t>(reg));
+    }
+  }
+  if (isa::writes_predicate(in.op)) {
+    const std::uint8_t p = in.dst & 0x07;
+    if (p < isa::kNumPredicates) {
+      if (wenc > 0) {
+        taint_pred(ctx, p, wenc);
+      } else if (lt != nullptr && lt->pred[p] != 0) {
+        lt->pred[p] = 0;
+        ++rec_.overwrite_kills;
+      }
+    }
+  }
+
+  // Memory writeback (STG/STS store `bytes`; ATOM rewrites its 32-bit word).
+  if (in.op == Opcode::STG || in.op == Opcode::STS || in.op == Opcode::ATOM) {
+    const unsigned bytes =
+        in.op == Opcode::ATOM ? 4u : mem_width_bytes(in);
+    const bool shared = in.op == Opcode::STS;
+    for (unsigned i = 0; i < bytes; ++i) {
+      if (wenc > 0) taint_byte(shared, ctx.cta, ctx.eff_addr + i, wenc);
+      else clear_byte(shared, ctx.cta, ctx.eff_addr + i);
+    }
+    if (wenc > 0) note_reach(ctx);
+  }
+
+  // Control flow: a tainted guard on a control instruction is a divergence
+  // event (counted once per warp issue) and makes the warp's control state
+  // sticky-tainted — every later write of the warp is suspect.
+  if (isa::is_control(in.op) && lt != nullptr && !in.unguarded()) {
+    const std::uint8_t genc = lt->pred[in.guard_index()];
+    if (genc > 0) {
+      const std::uint64_t key = (ctx.cycle << 24) ^
+                                (static_cast<std::uint64_t>(ctx.warp_id) << 12) ^
+                                ctx.pc;
+      if (key != last_ctl_key_) {
+        last_ctl_key_ = key;
+        ++rec_.control_divergences;
+      }
+      WarpTaint& w = warp_taint(ctx.warp_id);
+      w.control = true;
+      w.control_depth = std::max(w.control_depth, genc);
+      note_reach(ctx);
+      note_depth(genc);
+    }
+  }
+
+  // Apply the deferred injection seed once the faulted lane's writeback (and
+  // the general rules above) are done, so the seed cannot be cleared by the
+  // faulted instruction itself.
+  if (pending_seed_ != Seed::None && ctx.regs == pending_regs_) {
+    const Seed seed = pending_seed_;
+    pending_seed_ = Seed::None;
+    pending_regs_ = nullptr;
+    switch (seed) {
+      case Seed::GprWrite:
+        taint_reg(ctx, static_cast<std::uint8_t>(seed_reg_), 1);
+        break;
+      case Seed::PredWrite:
+        taint_pred(ctx, static_cast<std::uint8_t>(seed_reg_), 1);
+        break;
+      case Seed::ControlFlow: {
+        WarpTaint& w = warp_taint(ctx.warp_id);
+        w.control = true;
+        w.control_depth = std::max<std::uint8_t>(w.control_depth, 1);
+        ++rec_.control_divergences;
+        note_reach(ctx);
+        break;
+      }
+      case Seed::StoreBytes: {
+        const bool shared = in.op == Opcode::STS;
+        const unsigned bytes = mem_width_bytes(in);
+        for (unsigned i = 0; i < bytes; ++i)
+          taint_byte(shared, ctx.cta, ctx.eff_addr + i, 1);
+        note_reach(ctx);
+        break;
+      }
+      case Seed::None:
+        break;
+    }
+  }
+}
+
+PropagationRecord PropagationObserver::finish() {
+  rec_.regs_touched = regs_ever_.size();
+  rec_.preds_touched = preds_ever_.size();
+  rec_.shared_bytes = shared_ever_.size();
+  rec_.global_bytes = global_ever_.size();
+  rec_.warps_reached = warps_ever_.size();
+  rec_.blocks_reached = ctas_ever_.size();
+  bool live = !global_taint_.empty() || !shared_taint_.empty();
+  for (const auto& [id, wt] : warps_) {
+    if (live) break;
+    if (wt.control) live = true;
+    for (unsigned l = 0; l < 32 && !live; ++l) {
+      for (unsigned r = 0; r < 256 && !live; ++r)
+        if (wt.lanes[l].reg[r] != 0) live = true;
+      for (unsigned p = 0; p < 8 && !live; ++p)
+        if (wt.lanes[l].pred[p] != 0) live = true;
+    }
+  }
+  rec_.taint_live_at_end = live;
+  return rec_;
+}
+
+}  // namespace gpurel::obs

@@ -1,0 +1,260 @@
+// Fault-propagation flight recorder: per-trial provenance of an injected
+// fault's lifetime inside the simulator — where it landed, how far the
+// corruption spread (taint tracking over registers, predicates, shared and
+// global memory), whether control flow diverged, and how it ended (masked by
+// overwrite, SDC with an output-corruption geometry in the taxonomy of "The
+// Anatomy of Silent Data Corruption", or DUE). Purely observational: the
+// PropagationObserver claims only the after-exec hook and never mutates
+// architectural state, so enabling it cannot change trial outcomes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+#include "sim/observer.hpp"
+
+namespace gpurel::obs {
+
+/// Version of the per-trial provenance record and the aggregate report
+/// (bumped together; every emitted document carries it).
+inline constexpr std::int64_t kPropagationSchemaVersion = 1;
+
+/// Output-corruption geometry of an SDC trial, classified from the flattened
+/// (row-major) indices of the corrupted output elements.
+enum class SdcGeometry : std::uint8_t {
+  SingleValue,  // exactly one corrupted element
+  SameRow,      // all corrupted elements share a row
+  SameColumn,   // all corrupted elements share a column
+  Block,        // confined to a dense rectangular region
+  Random,       // anything else (scattered)
+  kCount,
+};
+
+std::string_view sdc_geometry_name(SdcGeometry g);
+
+/// Classify corrupted element indices against a rows x cols row-major output.
+/// `elems` must be non-empty; a Block is a bounding box spanning more than
+/// one row and column whose area is at most twice the corrupted count.
+SdcGeometry classify_sdc_geometry(const std::vector<std::uint64_t>& elems,
+                                  std::uint64_t rows, std::uint64_t cols);
+
+/// Provenance of one injected trial. Every field is derived from simulated
+/// state only (cycles, lane-instruction counts, architectural footprints),
+/// so the record is byte-identical for any worker count, schedule, or
+/// fork-epoch bucketing — see to_json() for the pinned serialization.
+struct PropagationRecord {
+  std::uint64_t trial = 0;      // global trial id in the campaign's order
+  std::string model;            // fault model short name (IOV/RF/PR/IA/...)
+
+  // Injection site. `fired` is false for trials resolved at plan time (zero
+  // reachable sites); `effect` is false when the strike hit write-discarding
+  // state (RZ destination, PT predicate) and changed nothing.
+  bool fired = false;
+  bool effect = false;
+  isa::UnitKind site_kind = isa::UnitKind::OTHER;
+  isa::MixClass site_mix = isa::MixClass::OTHERS;
+  isa::Opcode site_opcode = isa::Opcode::NOP;
+  unsigned bit = 0;             // flip position (mode-specific meaning)
+  std::uint32_t pc = 0;
+  unsigned sm = 0;
+  unsigned warp = 0;
+  unsigned lane = 0;
+  unsigned cta = 0;
+
+  // First architectural divergence from the fault-free run: under the
+  // single-fault model state is bit-identical until the flip lands, so this
+  // is the fire point. `lane_instr` counts after-exec lane executions before
+  // the faulted instruction; forked trials preset the counter with the
+  // snapshot prefix's count, keeping the value identical to an unforked run.
+  std::uint64_t cycle = 0;
+  std::uint64_t lane_instr = 0;
+
+  // Contamination footprint: distinct architectural locations ever touched
+  // by tainted values (cumulative, never decremented by overwrites).
+  std::uint64_t regs_touched = 0;
+  std::uint64_t preds_touched = 0;
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t global_bytes = 0;
+  std::uint64_t warps_reached = 0;
+  std::uint64_t blocks_reached = 0;
+  std::uint64_t control_divergences = 0;  // control ops with tainted guard/PC
+
+  // Masking dynamics: clean overwrites that killed a tainted location, the
+  // deepest derivation chain observed (injection = depth 0), and whether any
+  // taint survived to the end of the trial.
+  std::uint64_t overwrite_kills = 0;
+  std::uint64_t masking_depth = 0;
+  bool taint_live_at_end = false;
+
+  // Terminal event.
+  std::string outcome;          // "Masked" / "SDC" / "DUE"
+  std::string due;              // DUE cause ("" otherwise)
+  std::string geometry;         // SDC corruption geometry ("" otherwise)
+  std::uint64_t corrupted_elems = 0;
+  std::uint64_t output_rows = 0;
+  std::uint64_t output_cols = 0;
+
+  /// Canonical schema-versioned JSON document (one JSONL line when dumped).
+  json::Value to_json() const;
+};
+
+/// Aggregate propagation tables per (unit kind x opcode class) of the
+/// injection site: outcome split, masking-depth histogram, contamination
+/// spread histograms (CDF-able), and SDC-geometry mix. Merging shards is an
+/// integer sum, mirroring CampaignResult::merge.
+struct PropagationReport {
+  /// Masking-depth histogram buckets: depth 0..7, last bucket = 8 and over.
+  static constexpr std::size_t kDepthBuckets = 9;
+  /// Spread histogram buckets: 0, 1, 2, 4, ..., 256, last = 512 and over.
+  static constexpr std::size_t kSpreadBuckets = 11;
+
+  struct Cell {
+    std::uint64_t trials = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t due = 0;
+    std::uint64_t control_divergences = 0;
+    std::uint64_t overwrite_kills = 0;
+    std::array<std::uint64_t, kDepthBuckets> masking_depth{};
+    std::array<std::uint64_t, kSpreadBuckets> reg_spread{};
+    std::array<std::uint64_t, kSpreadBuckets> mem_spread{};
+    std::array<std::uint64_t, static_cast<std::size_t>(SdcGeometry::kCount)>
+        geometry{};
+
+    void add(const PropagationRecord& rec);
+    void merge(const Cell& other);
+  };
+
+  std::uint64_t trials = 0;   // every propagation-enabled trial, fired or not
+  std::uint64_t fired = 0;
+  std::array<std::array<Cell, static_cast<std::size_t>(isa::MixClass::kCount)>,
+             static_cast<std::size_t>(isa::UnitKind::kCount)>
+      cells{};
+
+  const Cell& cell(isa::UnitKind k, isa::MixClass m) const {
+    return cells[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)];
+  }
+
+  void add(const PropagationRecord& rec);
+  void merge(const PropagationReport& other);
+
+  /// Sparse canonical JSON: only cells with trials > 0 are serialized.
+  json::Value to_json() const;
+  static PropagationReport from_json(const json::Value& doc);
+};
+
+/// Map a spread count onto its kSpreadBuckets histogram bucket.
+std::size_t spread_bucket(std::uint64_t n);
+/// Lower bound of a spread bucket (0, 1, 2, 4, ..., 512).
+std::uint64_t spread_bucket_floor(std::size_t bucket);
+
+/// Human-readable propagation tables (used by core::report and the
+/// `gpurel_jobs report` subcommand).
+void write_propagation_report(std::string& out, const PropagationReport& rep);
+
+/// Per-trial taint tracker. Composed *behind* the injection observer in a
+/// sim::TeeObserver so its after-exec hook sees post-injection state; the
+/// injection observer calls note_injection at fire time. Claims only the
+/// after-exec hook — the executor's dispatch path (and therefore timing,
+/// scheduling, and outcomes) is identical to an injection-only run, which
+/// already claims that hook for every fault model.
+///
+/// Taint is a may-propagate over-approximation: a destination becomes
+/// tainted when any used source slot, the guard predicate, a loaded byte, or
+/// the warp's (sticky) control state is tainted; a clean write over a
+/// tainted location kills it and counts as an overwrite masking event. MMA
+/// is warp-wide: one tainted fragment taints all 32 lanes' accumulators.
+/// Instruction-address faults and control ops with tainted guards set the
+/// sticky per-warp control taint (every later write of that warp is
+/// suspect).
+class PropagationObserver final : public sim::SimObserver {
+ public:
+  /// How the injection manifested, for taint seeding.
+  enum class Seed : std::uint8_t {
+    GprWrite,     // IOV / RF: one register of (warp, lane) flipped
+    PredWrite,    // Predicate: one predicate of (warp, lane) flipped
+    ControlFlow,  // IA: the warp's next PC flipped
+    StoreBytes,   // STV / STA: the bytes the store writes are wrong
+    None,         // fired but no architectural change (RZ / PT target)
+  };
+
+  unsigned wants() const override { return kWantsAfterExec; }
+
+  /// Arm the tracker for one trial. `model` is the fault model short name.
+  void begin_trial(std::uint64_t trial, std::string model);
+
+  /// Forked trials: preset the after-exec lane-instruction counter with the
+  /// snapshot prefix's count (same domain as SiteCounts::total_lane), so
+  /// recorded fire points match an unforked run bit for bit.
+  void preset_lane_count(std::uint64_t n);
+
+  /// Called by the injection observer the moment its fault fires, before
+  /// this observer's after_exec for the same instruction. `reg` names the
+  /// flipped GPR (GprWrite) or predicate (PredWrite); ignored otherwise.
+  void note_injection(const sim::ExecContext& ctx, Seed seed, unsigned bit,
+                      unsigned reg);
+
+  void after_exec(sim::ExecContext& ctx) override;
+
+  /// Close the trial and return the record (terminal fields still blank —
+  /// the campaign stamps outcome/due/geometry, which need the workload).
+  PropagationRecord finish();
+
+ private:
+  struct LaneTaint {
+    std::array<std::uint8_t, 256> reg{};   // 0 = clean, else depth + 1
+    std::array<std::uint8_t, 8> pred{};    // same encoding; [7] unused (PT)
+  };
+  struct WarpTaint {
+    std::array<LaneTaint, 32> lanes{};
+    bool control = false;                  // sticky control-flow taint
+    std::uint8_t control_depth = 0;        // depth + 1 at divergence
+  };
+
+  static constexpr std::uint8_t kDepthCap = 255;
+
+  WarpTaint& warp_taint(unsigned warp_id);
+  void taint_reg(sim::ExecContext& ctx, std::uint8_t reg, std::uint8_t enc);
+  void clear_reg(sim::ExecContext& ctx, std::uint8_t reg);
+  void taint_pred(sim::ExecContext& ctx, std::uint8_t p, std::uint8_t enc);
+  void taint_byte(bool shared, unsigned cta, std::uint32_t addr,
+                  std::uint8_t enc);
+  void clear_byte(bool shared, unsigned cta, std::uint32_t addr);
+  void note_reach(const sim::ExecContext& ctx);
+  void note_depth(std::uint8_t enc);
+
+  PropagationRecord rec_;
+  std::uint64_t lane_count_ = 0;
+  bool injected_ = false;
+  Seed pending_seed_ = Seed::None;         // applied at the site's after_exec
+  const sim::ThreadRegs* pending_regs_ = nullptr;
+  unsigned seed_reg_ = 0;                  // flipped GPR / predicate index
+  std::uint64_t last_ctl_key_ = ~std::uint64_t{0};  // dedupe per warp issue
+
+  // Shadow taint state (ordered containers: deterministic iteration).
+  std::map<unsigned, WarpTaint> warps_;
+  std::map<std::uint32_t, std::uint8_t> global_taint_;
+  std::map<std::uint64_t, std::uint8_t> shared_taint_;  // key cta<<32 | addr
+
+  // Cumulative footprint ("ever touched by taint").
+  std::set<std::uint64_t> regs_ever_;    // warp<<16 | lane<<8 | reg
+  std::set<std::uint64_t> preds_ever_;   // warp<<16 | lane<<8 | pred
+  std::set<std::uint32_t> global_ever_;
+  std::set<std::uint64_t> shared_ever_;
+  std::set<unsigned> warps_ever_;
+  std::set<unsigned> ctas_ever_;
+
+  // Warp-wide MMA taint, computed once per (warp, cycle, pc) at lane 0.
+  bool mma_tainted_ = false;
+  std::uint8_t mma_enc_ = 0;
+};
+
+}  // namespace gpurel::obs

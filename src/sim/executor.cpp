@@ -958,7 +958,8 @@ void Executor::exec_lane(WarpRt& w, unsigned lane, const Instr& in,
   }
 
   if (obs_ != nullptr && (hooks_ & SimObserver::kWantsAfterExec)) {
-    ExecContext ctx{cycle, w.sm, lane, w.warp_id, pc, &in, &r, &w.pc, eff_addr};
+    ExecContext ctx{cycle, w.sm, lane, w.warp_id, pc, &in, &r, &w.pc, eff_addr,
+                    linear_cta(w)};
     obs_->after_exec(ctx);
   }
 }
@@ -990,7 +991,8 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
       exec_mask != 0) {
     for (unsigned l = 0; l < 32; ++l) {
       if ((exec_mask >> l) & 1u) {
-        ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
+        ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc,
+                        0, linear_cta(w)};
         obs_->before_exec(ctx);
       }
     }
@@ -1001,7 +1003,8 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
     if (obs_ != nullptr && (hooks_ & SimObserver::kWantsAfterExec)) {
       for (unsigned l = 0; l < 32; ++l) {
         if ((exec_mask >> l) & 1u) {
-          ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
+          ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l],
+                          &w.pc, 0, linear_cta(w)};
           obs_->after_exec(ctx);
         }
       }
@@ -1011,7 +1014,8 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
     if (obs_ != nullptr && (hooks_ & SimObserver::kWantsAfterExec) &&
         due_ == DueKind::None) {
       for (unsigned l = 0; l < 32; ++l) {
-        ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc, 0};
+        ExecContext ctx{cycle, w.sm, l, w.warp_id, pc, &in, &w.lanes[l], &w.pc,
+                        0, linear_cta(w)};
         obs_->after_exec(ctx);
       }
     }

@@ -105,6 +105,10 @@ class Executor final : public Machine {
   void release_barrier_if_complete(BlockRt& block, std::uint64_t cycle);
   void retire_writeback(WarpRt& w, const DecodedInstr& d, std::uint64_t cycle);
   std::uint32_t guard_true_mask(const WarpRt& w, const isa::Instr& in) const;
+  /// Linear CTA id of the warp's block (matches the block lifecycle hooks).
+  unsigned linear_cta(const WarpRt& w) const {
+    return w.block->cta_y * launch_->grid.x + w.block->cta_x;
+  }
 
   const arch::GpuConfig& gpu_;
   GlobalMemory& global_;

@@ -55,6 +55,7 @@ struct ExecContext {
   ThreadRegs* regs = nullptr;
   std::uint32_t* next_pc = nullptr;
   std::uint32_t eff_addr = 0;    // effective address for memory ops (post-exec)
+  unsigned cta = 0;              // linear CTA id within the grid
 };
 
 /// One issued warp instruction (all guard-true lanes together), handed to

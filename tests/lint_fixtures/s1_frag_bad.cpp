@@ -1,0 +1,19 @@
+// BAD fixture for rule schema-version (S1, append-style emitter): the
+// document is assembled from `\"key\":` fragments — no single literal starts
+// with `{"`, but three or more keyed fragments are a JSON document in
+// disguise and need a schema_version too. Analyzed by test_lint.cpp as
+// src/obs/export.cpp; never compiled.
+#include <string>
+
+std::string to_json(int a, int b, int c) {
+  std::string out;
+  out += "{";
+  out += "\"alpha\":";
+  out += std::to_string(a);
+  out += ",\"beta\":";
+  out += std::to_string(b);
+  out += ",\"gamma\":";
+  out += std::to_string(c);
+  out += "}";
+  return out;
+}

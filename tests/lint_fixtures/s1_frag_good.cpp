@@ -1,0 +1,14 @@
+// GOOD fixture for rule schema-version (S1, append-style emitter): two keyed
+// fragments are below the document threshold — a stray key/value pair is not
+// a JSON document. Analyzed by test_lint.cpp as src/obs/export.cpp; never
+// compiled. (An append-style emitter that mentions schema_version anywhere
+// is covered by the s1_good.cpp mention check.)
+#include <string>
+
+std::string to_pair(int a) {
+  std::string out;
+  out += "\"left\":";
+  out += std::to_string(a);
+  out += ",\"right\":0";
+  return out;
+}

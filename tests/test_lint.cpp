@@ -130,6 +130,23 @@ TEST(LintRules, SchemaVersionS1) {
             0u);
 }
 
+TEST(LintRules, SchemaVersionS1AppendStyleEmitter) {
+  // Three or more `\"key\":` fragments across a file's literals are a JSON
+  // document in disguise even when no single literal starts with `{"`.
+  const auto bad = analyze_fixture("s1_frag_bad.cpp", "src/obs/export.cpp");
+  EXPECT_EQ(count_rule(bad, "schema-version"), 1u)
+      << report_json({bad, 1, "", 0});
+  // Two fragments are below threshold, and the rule stays path-scoped.
+  EXPECT_EQ(
+      count_rule(analyze_fixture("s1_frag_good.cpp", "src/obs/export.cpp"),
+                 "schema-version"),
+      0u);
+  EXPECT_EQ(
+      count_rule(analyze_fixture("s1_frag_bad.cpp", "src/common/json.cpp"),
+                 "schema-version"),
+      0u);
+}
+
 // --- Suppression comments --------------------------------------------------
 
 TEST(LintSuppression, SameLineAllowSilencesTheFinding) {

@@ -158,6 +158,7 @@ TEST(Metrics, PrometheusExposition) {
   Registry reg;
   reg.counter("gpurel_trials_total", {{"mix", "balanced"}}).add(12);
   reg.gauge("gpurel_queue_depth").set(3);
+  reg.counter("gpurel_campaign_trials_total").add(4);
   Histogram& h = reg.histogram("gpurel_lat_ms", {{"phase", "run"}},
                                HistogramBuckets(1.0, 10.0, 3));
   h.observe(0.5);
@@ -184,6 +185,14 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_NE(prom.find("gpurel_lat_ms_count{phase=\"run\"} 3"),
             std::string::npos);
   EXPECT_NE(prom.find("gpurel_lat_ms_sum{phase=\"run\"}"), std::string::npos);
+  // Catalogued gpurel metrics carry a HELP line ahead of their TYPE line;
+  // ad-hoc names simply get none (HELP is optional in the exposition format).
+  EXPECT_NE(prom.find("# HELP gpurel_campaign_trials_total "
+                      "Injection trials executed\n"
+                      "# TYPE gpurel_campaign_trials_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("# HELP gpurel_trials_total"), std::string::npos) << prom;
 }
 
 TEST(Metrics, GlobalRegistryIsSingleton) {

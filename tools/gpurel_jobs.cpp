@@ -18,6 +18,10 @@
 //          The merged file is byte-identical to running the job unsharded
 //          (integer tallies + replayed FIT expressions; see job/result.hpp).
 //
+//   report render a campaign result's fault-propagation tables (requires
+//          a job planned with --propagation):
+//            gpurel_jobs report out/mxm.json
+//
 // Exit status: 0 on success, 1 on bad usage, 2 on execution/validation
 // failure.
 #include <cstdio>
@@ -38,12 +42,12 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gpurel_jobs <plan|run|merge> [--flags]\n"
+               "usage: gpurel_jobs <plan|run|merge|report> [--flags]\n"
                "  plan  --kind=campaign|beam --arch=kepler|volta [--sm=N]\n"
                "        --code=NAME --precision=int|half|single|double\n"
                "        [--injector=SASSIFI|NVBitFI --injections=N --rf=N\n"
                "         --pred=N --ia=N --store-value=N --store-addr=N\n"
-               "         --fork-epochs=N]\n"
+               "         --fork-epochs=N --propagation]\n"
                "        [--ecc[=false] --mode=accelerated|natural --runs=N\n"
                "         --flux-scale=X]\n"
                "        [--seed=N --input-seed=N --scale=X]\n"
@@ -51,7 +55,8 @@ int usage() {
                "  run   --spec=FILE --out=FILE [--workers=N --cache-dir=DIR\n"
                "        --checkpoint=FILE --checkpoint-every=N\n"
                "        --metrics-out=FILE --trace-out=FILE --progress]\n"
-               "  merge --out=FILE SHARD_RESULT.json...\n");
+               "  merge --out=FILE SHARD_RESULT.json...\n"
+               "  report RESULT.json\n");
   return 1;
 }
 
@@ -110,6 +115,7 @@ int cmd_plan(const Cli& cli) {
     spec.budget.store_value_injections = u("store-value", 0);
     spec.budget.store_addr_injections = u("store-addr", 0);
     spec.fork_epochs = u("fork-epochs", 0);
+    spec.propagation = cli.get_bool("propagation", false);
   } else {
     spec.kind = job::JobKind::Beam;
     spec.profile = isa::CompilerProfile::Cuda10;
@@ -125,6 +131,8 @@ int cmd_plan(const Cli& cli) {
   const std::string prefix = cli.get("out");
   if (shards == 0 || prefix.empty()) return usage();
 
+  obs::TraceWriter* trace = obs::env_trace();
+  const double t0 = trace != nullptr ? trace->now_us() : 0.0;
   for (unsigned i = 0; i < shards; ++i) {
     const job::JobSpec shard = job::with_shard(spec, i, shards);
     const std::string path = prefix + ".shard" + std::to_string(i) + "of" +
@@ -134,6 +142,9 @@ int cmd_plan(const Cli& cli) {
   }
   std::printf("unsharded cache key: %s\n",
               job::cache_key(job::with_shard(spec, 0, 1)).c_str());
+  if (trace != nullptr)
+    trace->complete("jobs plan", "cli", obs::kWallPid, 0, t0,
+                    trace->now_us() - t0, {{"shards", shards}});
   return 0;
 }
 
@@ -162,10 +173,37 @@ int cmd_run(const Cli& cli) {
   return 0;
 }
 
+int cmd_report(const std::vector<std::string>& inputs) {
+  if (inputs.empty()) return usage();
+  for (const std::string& path : inputs) {
+    const job::JobResult result =
+        job::result_from_json(json::Value::parse(slurp(path)));
+    if (inputs.size() > 1) std::printf("== %s ==\n", path.c_str());
+    if (!result.campaign.has_value()) {
+      std::fprintf(stderr, "gpurel_jobs: %s is not a campaign result\n",
+                   path.c_str());
+      return 2;
+    }
+    if (!result.campaign->propagation.has_value()) {
+      std::fprintf(stderr,
+                   "gpurel_jobs: %s carries no propagation report (plan the "
+                   "job with --propagation)\n",
+                   path.c_str());
+      return 2;
+    }
+    std::string text;
+    obs::write_propagation_report(text, *result.campaign->propagation);
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_merge(const Cli& cli, const std::vector<std::string>& inputs) {
   const std::string out_path = cli.get("out");
   if (out_path.empty() || inputs.empty()) return usage();
 
+  obs::TraceWriter* trace = obs::env_trace();
+  const double t0 = trace != nullptr ? trace->now_us() : 0.0;
   std::vector<job::JobResult> shards;
   shards.reserve(inputs.size());
   for (const std::string& path : inputs)
@@ -173,6 +211,9 @@ int cmd_merge(const Cli& cli, const std::vector<std::string>& inputs) {
 
   const job::JobResult merged = job::merge_results(shards);
   write_doc(out_path, job::result_to_json(merged));
+  if (trace != nullptr)
+    trace->complete("jobs merge", "cli", obs::kWallPid, 0, t0,
+                    trace->now_us() - t0, {{"shards", inputs.size()}});
   std::printf("%s\t%s\n", out_path.c_str(),
               job::cache_key(merged.spec).c_str());
   return 0;
@@ -204,6 +245,7 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmd_plan(cli);
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "merge") return cmd_merge(cli, positionals);
+    if (cmd == "report") return cmd_report(positionals);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpurel_jobs: %s\n", e.what());
     return 2;

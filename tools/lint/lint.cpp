@@ -605,6 +605,25 @@ bool mentions_schema_version(const SourceView& v,
   return false;
 }
 
+/// Count `\"key\":` fragments in one literal (escapes intact): the signature
+/// of an append-style JSON emitter that builds a document piecewise, where
+/// no single literal starts with `{"`.
+std::size_t json_key_fragments(const std::string& t) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i] != '\\' || t[i + 1] != '"') continue;
+    std::size_t j = i + 2;
+    while (j < t.size() &&
+           (std::isalnum(static_cast<unsigned char>(t[j])) != 0 ||
+            t[j] == '_'))
+      ++j;
+    if (j == i + 2) continue;  // empty key
+    if (j + 2 < t.size() && t[j] == '\\' && t[j + 1] == '"' && t[j + 2] == ':')
+      ++n;
+  }
+  return n;
+}
+
 void rule_schema_version(const std::string& path, const SourceView& v,
                          const std::vector<Tok>& toks, Emitter& em) {
   if (!in_s1_scope(path)) return;
@@ -622,6 +641,24 @@ void rule_schema_version(const std::string& path, const SourceView& v,
               "annotate why the format is externally owned");
       return;  // one finding per file is enough
     }
+  }
+  // Append-style emitters assemble the document from `\"key\":` fragments
+  // and never spell a `{"` prefix in one literal; three or more fragments
+  // in a file is a JSON document in disguise and needs a version too.
+  std::size_t fragments = 0;
+  int first_line = 0;
+  for (const Literal& lit : v.strings) {
+    const std::size_t n = json_key_fragments(lit.text);
+    if (n > 0 && first_line == 0) first_line = lit.line;
+    fragments += n;
+  }
+  if (fragments >= 3) {
+    em.emit("schema-version", first_line,
+            "append-style JSON emitter (" + std::to_string(fragments) +
+                " `\\\"key\\\":` fragments) without a schema_version "
+                "field: consumers cannot detect layout drift; stamp a "
+                "top-level schema_version or annotate why the format is "
+                "externally owned");
   }
 }
 
