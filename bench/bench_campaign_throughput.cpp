@@ -183,10 +183,11 @@ int main(int argc, char** argv) {
   }
 
   // Checkpoint-fork batching: the same injection-heavy profile as due-heavy,
-  // but on MXM, which is fork-safe (QUICKSORT reads host state mid-trial and
-  // falls back to plain execution). Each worker simulates the shared
-  // fault-free prefix once and forks every trial's suffix from the deepest
-  // valid snapshot; results are bit-identical, only wall-clock moves.
+  // but on MXM, which is fork-safe (host-stepped QUICKSORT reads host state
+  // mid-trial and falls back to plain execution). Three series: plain
+  // execution, forked with full-image restores (the PR 6 shape), and forked
+  // with delta (dirty-tracking) restores plus the shared snapshot pool.
+  // Results are bit-identical across all three; only wall-clock moves.
   {
     const unsigned fork_epochs =
         std::max<unsigned>(1, static_cast<unsigned>(cli.get_int("fork-epochs", 8)));
@@ -203,9 +204,10 @@ int main(int argc, char** argv) {
         kernels::workload_factory("MXM", core::Precision::Single, wc);
     fault::CampaignResult reference;
     double plain_tps = 0.0;
-    for (const bool forked : {false, true}) {
+    for (const std::string mode : {"plain", "forked", "delta"}) {
       fault::CampaignConfig cc = fc;
-      cc.fork_epochs = forked ? fork_epochs : 0;
+      cc.fork_epochs = mode == "plain" ? 0 : fork_epochs;
+      cc.fork_delta = mode == "delta";
       std::vector<std::uint64_t> cost;
       cc.trial_cycles_out = &cost;
       cc.trace = exporter.trace();
@@ -216,15 +218,13 @@ int main(int argc, char** argv) {
           ms > 0 ? 1000.0 * static_cast<double>(cost.size()) / ms : 0.0;
       const obs::Labels labels{{"bench", "campaign_throughput"},
                                {"mix", "fork-heavy"},
-                               {"schedule", forked ? "forked" : "plain"}};
+                               {"schedule", mode}};
       auto& metrics = obs::Registry::global();
       metrics.gauge("gpurel_bench_wall_ms", labels).set(ms);
       metrics.gauge("gpurel_bench_trials_per_sec", labels).set(tps);
-      json_entries.emplace_back(std::string("campaign/fork-heavy/") +
-                                    (forked ? "forked" : "plain") +
-                                    ".trials_per_s",
-                                tps);
-      if (!forked) {
+      json_entries.emplace_back(
+          std::string("campaign/fork-heavy/") + mode + ".trials_per_s", tps);
+      if (mode == "plain") {
         reference = result;
         plain_tps = tps;
       } else {
@@ -235,18 +235,106 @@ int main(int argc, char** argv) {
           return 1;
         }
         json_entries.emplace_back(
-            "campaign/fork-heavy/forked.speedup_x",
+            "campaign/fork-heavy/" + mode + ".speedup_x",
             plain_tps > 0 ? tps / plain_tps : 0.0);
       }
       table.row()
           .cell("fork-heavy")
-          .cell(forked ? "forked" : "plain")
+          .cell(mode)
           .cell_int(static_cast<long long>(cost.size()))
           .cell(ms, 1)
           .cell(tps, 1)
           .cell(0.0, 2)
-          .cell(forked && plain_tps > 0 ? tps / plain_tps : 1.0, 2);
+          .cell(mode != "plain" && plain_tps > 0 ? tps / plain_tps : 1.0, 2);
     }
+  }
+
+  // Graph-heavy mix: the device-stepped graph/sort workloads (BFS-DEV,
+  // CCL-DEV, QUICKSORT-DEV) whose fixed launch sequences made the iterative
+  // third of the catalog fork-safe. Plain and forked series are interleaved
+  // over `reps` rounds so load noise on a shared CI box hits both equally;
+  // trials and wall time accumulate per series and the reported trials/s is
+  // the aggregate over every workload and round.
+  {
+    const unsigned fork_epochs =
+        std::max<unsigned>(1, static_cast<unsigned>(cli.get_int("fork-epochs", 8)));
+    const unsigned reps =
+        std::max<unsigned>(1, static_cast<unsigned>(cli.get_int("reps", 3)));
+    const std::vector<std::string> codes{"BFS-DEV", "CCL-DEV", "QUICKSORT-DEV"};
+    fault::CampaignConfig gc = base;
+    gc.schedule = fault::Schedule::Dynamic;
+    gc.injections_per_kind = std::max(1u, iov / 4);
+    gc.ia_injections = ia;
+    gc.rf_injections = ia / 2;
+    gc.store_addr_injections = ia / 4;
+
+    std::vector<core::WorkloadFactory> factories;
+    std::vector<fault::SiteCounts> site_counts;
+    std::vector<fault::CampaignResult> references(codes.size());
+    for (const std::string& code : codes) {
+      factories.push_back(
+          kernels::workload_factory(code, core::Precision::Int32, wc));
+      site_counts.push_back(fault::count_sites(*injector, factories.back()));
+    }
+
+    double wall_ms[2] = {0.0, 0.0};
+    std::uint64_t trials[2] = {0, 0};
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      for (const bool forked : {false, true}) {
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+          fault::CampaignConfig cc = gc;
+          cc.fork_epochs = forked ? fork_epochs : 0;
+          cc.sites = &site_counts[i];
+          std::vector<std::uint64_t> cost;
+          cc.trial_cycles_out = &cost;
+          cc.trace = exporter.trace();
+          telemetry::Timer wall;
+          const auto result = fault::run_campaign(*injector, factories[i], cc);
+          const std::size_t k = forked ? 1 : 0;
+          wall_ms[k] += wall.elapsed_ms();
+          trials[k] += cost.size();
+          if (rep == 0 && !forked) {
+            references[i] = result;
+          } else if (result.total_injections() !=
+                         references[i].total_injections() ||
+                     result.overall_avf_sdc() !=
+                         references[i].overall_avf_sdc() ||
+                     result.overall_avf_due() !=
+                         references[i].overall_avf_due()) {
+            std::fprintf(stderr, "FATAL: fork batching changed %s results\n",
+                         codes[i].c_str());
+            return 1;
+          }
+        }
+      }
+    }
+    auto& metrics = obs::Registry::global();
+    double tps[2] = {0.0, 0.0};
+    for (const bool forked : {false, true}) {
+      const std::size_t k = forked ? 1 : 0;
+      tps[k] = wall_ms[k] > 0
+                   ? 1000.0 * static_cast<double>(trials[k]) / wall_ms[k]
+                   : 0.0;
+      const obs::Labels labels{{"bench", "campaign_throughput"},
+                               {"mix", "graph-heavy"},
+                               {"schedule", forked ? "forked" : "plain"}};
+      metrics.gauge("gpurel_bench_wall_ms", labels).set(wall_ms[k]);
+      metrics.gauge("gpurel_bench_trials_per_sec", labels).set(tps[k]);
+      json_entries.emplace_back(std::string("campaign/graph-heavy/") +
+                                    (forked ? "forked" : "plain") +
+                                    ".trials_per_s",
+                                tps[k]);
+      table.row()
+          .cell("graph-heavy")
+          .cell(forked ? "forked" : "plain")
+          .cell_int(static_cast<long long>(trials[k]))
+          .cell(wall_ms[k], 1)
+          .cell(tps[k], 1)
+          .cell(0.0, 2)
+          .cell(forked && tps[0] > 0 ? tps[1] / tps[0] : 1.0, 2);
+    }
+    json_entries.emplace_back("campaign/graph-heavy/forked.speedup_x",
+                              tps[0] > 0 ? tps[1] / tps[0] : 0.0);
   }
 
   if (csv) std::fputs(table.to_csv().c_str(), stdout);

@@ -152,7 +152,38 @@ json.dump(json.load(open(sys.argv[1]))["result"], open(sys.argv[2], "w"),
     "${JOB_DIR}/mxm.fork${fork}.out.json" "${JOB_DIR}/mxm.fork${fork}.result"
 done
 cmp "${JOB_DIR}/mxm.fork0.result" "${JOB_DIR}/mxm.fork4.result"
-echo "fork-equivalence smoke OK: forked result byte-identical to plain"
+# Delta (dirty-tracking) restores are the forked default; full-image restores
+# behind --fork-delta=false must produce the same bytes — and across a
+# different worker count, which also exercises the shared snapshot pool.
+"${JOBS_BIN}" plan --kind=campaign --arch=kepler --code=MXM \
+  --precision=single --injector=SASSIFI --injections=4 --rf=8 --ia=12 \
+  --seed=13 --scale=0.05 --fork-epochs=4 --fork-delta=false \
+  --out="${JOB_DIR}/mxm.nodelta" >/dev/null
+"${JOBS_BIN}" run --spec="${JOB_DIR}/mxm.nodelta.shard0of1.json" \
+  --out="${JOB_DIR}/mxm.nodelta.out.json" --workers=2 >/dev/null
+python3 -c 'import json, sys
+json.dump(json.load(open(sys.argv[1]))["result"], open(sys.argv[2], "w"),
+          sort_keys=True)' \
+  "${JOB_DIR}/mxm.nodelta.out.json" "${JOB_DIR}/mxm.nodelta.result"
+cmp "${JOB_DIR}/mxm.fork4.result" "${JOB_DIR}/mxm.nodelta.result"
+# Shared snapshot pool: one capture pass serves every worker, so a forked
+# multi-worker run must emit exactly one campaign_snapshot_capture event,
+# flagged shared.
+GPUREL_TELEMETRY="${JOB_DIR}/fork.jsonl" \
+  "${JOBS_BIN}" run --spec="${JOB_DIR}/mxm.fork4.shard0of1.json" \
+  --out="${JOB_DIR}/mxm.fork4.warm.json" --workers=2 >/dev/null
+cmp "${JOB_DIR}/mxm.fork4.out.json" "${JOB_DIR}/mxm.fork4.warm.json"
+python3 - "${JOB_DIR}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+evs = [json.loads(l) for l in open(f"{d}/fork.jsonl") if l.strip()]
+caps = [e for e in evs if e.get("event") == "campaign_snapshot_capture"]
+assert len(caps) == 1, f"expected exactly 1 capture event, got {len(caps)}"
+assert caps[0]["shared"] is True, caps[0]
+assert caps[0]["epochs"] == 4 and caps[0]["image_bytes"] > 0, caps[0]
+print("fork-equivalence smoke OK: forked/delta/full results byte-identical, "
+      "one shared snapshot capture across 2 workers")
+EOF
 
 echo "==> propagation smoke (provenance JSONL + outcome-identical to plain)"
 # The same campaign planned plain and with the propagation flight recorder:
@@ -204,13 +235,16 @@ print(f"propagation smoke OK: {len(recs)} records ({fired} fired), "
       f"outcome tallies identical to plain run")
 EOF
 
-echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism)"
-# Always-on subset of the full tsan preset: the two tests that exercise the
-# worker pool and the cross-worker bit-identity contract. The preset's ctest
-# filter covers six binaries; build and run just these two here.
+echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism + fork)"
+# Always-on subset of the full tsan preset: the tests that exercise the
+# worker pool, the cross-worker bit-identity contract, and the shared
+# snapshot pool (read-only snapshot set + per-worker delta restores across
+# workers). The preset's ctest filter covers more binaries; build and run
+# just these three here.
 cmake --preset tsan
-cmake --build --preset tsan -j "${JOBS}" --target test_thread_pool test_determinism
-ctest --test-dir build-tsan -R '^test_(thread_pool|determinism)$' \
+cmake --build --preset tsan -j "${JOBS}" --target \
+  test_thread_pool test_determinism test_fork_equivalence
+ctest --test-dir build-tsan -R '^test_(thread_pool|determinism|fork_equivalence)$' \
   -j "${JOBS}" --output-on-failure
 
 echo "==> UBSan quick leg (executor arithmetic + serializers)"

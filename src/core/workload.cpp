@@ -62,6 +62,7 @@ bool TrialRunner::launch(const sim::KernelLaunch& kl) {
   sim::ForkIO* fork = nullptr;
   if (resume_ != nullptr) {
     io.resume = resume_;
+    io.delta = resume_delta_;
     fork = &io;
     resume_ = nullptr;  // suffix launches after this one run normally
   } else if (capture_marks_ != nullptr) {
@@ -95,8 +96,9 @@ void TrialRunner::enable_capture(const std::vector<std::uint64_t>* marks,
   capture_next_ = 0;
 }
 
-void TrialRunner::resume_from(const sim::Snapshot& snap) {
+void TrialRunner::resume_from(const sim::Snapshot& snap, bool delta) {
   resume_ = &snap;
+  resume_delta_ = delta;
   stats_ = snap.prior;
 }
 
@@ -215,6 +217,7 @@ bool Workload::verify(sim::Device& dev) {
 
 TrialResult Workload::run_trial(sim::Device& dev, sim::SimObserver* obs) {
   if (!prepared_) throw std::logic_error(name() + ": run_trial before prepare()");
+  fork_resident_ = nullptr;  // reset() below disarms dirty tracking
   dev.reset();
   outputs_.clear();
   setup(dev);
@@ -231,6 +234,7 @@ void Workload::capture_prefix(sim::Device& dev,
   if (!fork_safe())
     throw std::logic_error(name() + ": capture_prefix on a workload that is "
                                     "not fork-safe");
+  fork_resident_ = nullptr;
   dev.reset();
   outputs_.clear();
   setup(dev);
@@ -246,22 +250,39 @@ void Workload::capture_prefix(sim::Device& dev,
 
 TrialResult Workload::run_trial_forked(sim::Device& dev,
                                        const sim::Snapshot& snap,
-                                       sim::SimObserver* obs) {
+                                       sim::SimObserver* obs, bool delta) {
   if (!prepared_)
     throw std::logic_error(name() + ": run_trial_forked before prepare()");
   if (!fork_safe())
     throw std::logic_error(name() + ": run_trial_forked on a workload that is "
                                     "not fork-safe");
-  dev.reset();
-  outputs_.clear();
-  setup(dev);
-  // Bump allocation is deterministic, so a fresh setup() reproduces the
-  // capture run's layout; the snapshot then supplies the bytes.
-  if (dev.memory().allocated_top() != snap.memory_top)
-    throw std::logic_error(name() + ": snapshot memory layout mismatch");
-  dev.memory().restore_allocated(snap.memory_top, snap.memory);
+  // Delta fast path: the previous trial on this device forked from this very
+  // snapshot with tracking armed, so memory differs from the snapshot image
+  // only on tracked dirty pages, layout included. Copy those back and skip
+  // reset + setup entirely (registered outputs and member addresses are
+  // unchanged — allocation is deterministic and nothing was reset).
+  if (delta && fork_resident_ == &snap && dev.memory().dirty_tracking() &&
+      dev.memory().allocated_top() == snap.memory_top) {
+    last_restore_bytes_ =
+        dev.memory().restore_allocated_delta(snap.memory_top, snap.memory);
+  } else {
+    fork_resident_ = nullptr;
+    dev.reset();
+    outputs_.clear();
+    setup(dev);
+    // Bump allocation is deterministic, so a fresh setup() reproduces the
+    // capture run's layout; the snapshot then supplies the bytes.
+    if (dev.memory().allocated_top() != snap.memory_top)
+      throw std::logic_error(name() + ": snapshot memory layout mismatch");
+    dev.memory().restore_allocated(snap.memory_top, snap.memory);
+    last_restore_bytes_ = snap.memory.size();
+    if (delta) {
+      dev.memory().set_dirty_tracking(true);
+      fork_resident_ = &snap;
+    }
+  }
   TrialRunner runner(dev, obs, watchdog_budget_);
-  runner.resume_from(snap);
+  runner.resume_from(snap, delta);
   execute(dev, runner);
   return classify(dev, runner);
 }

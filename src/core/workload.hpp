@@ -36,6 +36,13 @@ unsigned precision_bytes(Precision p);
 enum class Outcome : std::uint8_t { Masked, Sdc, Due };
 std::string_view outcome_name(Outcome o);
 
+/// How an iterative workload drives its convergence loop. Host stepping
+/// reads the convergence flag from device memory between launches (simple,
+/// but not fork-safe); device stepping chains per-iteration convergence
+/// flags through device memory and issues a fixed launch sequence, leaving
+/// only a post-loop host read — which is fork-safe.
+enum class Stepping : std::uint8_t { Host, Device };
+
 struct TrialResult {
   Outcome outcome = Outcome::Masked;
   sim::DueKind due = sim::DueKind::None;
@@ -71,8 +78,10 @@ class TrialRunner {
   /// effects are part of the snapshot), the in-flight launch resumes from
   /// the saved executor state, and merged stats are preset with the
   /// snapshot's prior launches so watchdog arithmetic matches an unforked
-  /// trial bit for bit. The snapshot must outlive the trial.
-  void resume_from(const sim::Snapshot& snap);
+  /// trial bit for bit. The snapshot must outlive the trial. `delta` permits
+  /// the executor's dirty-flag delta restore when it is still resident on
+  /// this snapshot (bit-identical either way).
+  void resume_from(const sim::Snapshot& snap, bool delta = false);
 
   bool due() const { return stats_.due != sim::DueKind::None; }
   const sim::LaunchStats& stats() const { return stats_; }
@@ -87,6 +96,7 @@ class TrialRunner {
   std::vector<sim::Snapshot>* capture_out_ = nullptr;
   std::size_t capture_next_ = 0;
   const sim::Snapshot* resume_ = nullptr;
+  bool resume_delta_ = false;
 };
 
 struct WorkloadConfig {
@@ -170,8 +180,21 @@ class Workload {
   /// the saved cycle. With an observer whose side effects begin only after
   /// the snapshot's lane mark, the classification and merged stats are
   /// bit-identical to run_trial on the same fault.
+  ///
+  /// With `delta` set, dirty tracking is armed after the restore; when the
+  /// next forked trial resumes from the *same* snapshot on the same device,
+  /// the reset + setup + full image copy are replaced by a copy of only the
+  /// pages/warps the previous suffix touched (O(footprint) instead of
+  /// O(device image)). Any intervening plain trial, capture, or different
+  /// snapshot falls back to the full path. Results are bit-identical.
   TrialResult run_trial_forked(sim::Device& dev, const sim::Snapshot& snap,
-                               sim::SimObserver* obs = nullptr);
+                               sim::SimObserver* obs = nullptr,
+                               bool delta = false);
+
+  /// Bytes of snapshot image copied back by the most recent
+  /// run_trial_forked restore (full image size, or the dirty subset on the
+  /// delta fast path) — feeds gpurel_campaign_snapshot_restore_bytes_total.
+  std::uint64_t last_restore_bytes() const { return last_restore_bytes_; }
 
  protected:
   // --- subclass interface -------------------------------------------------
@@ -209,6 +232,12 @@ class Workload {
   sim::LaunchStats golden_stats_;
   std::uint64_t watchdog_budget_ = 0;
   bool prepared_ = false;
+  // Delta-restore residency: the snapshot whose image the device's dirty
+  // tracking is diffing against (nullptr when the last trial was plain or
+  // tracking was disarmed). Guarded by pointer identity plus the memory
+  // watermark and the armed-tracking check in run_trial_forked.
+  const sim::Snapshot* fork_resident_ = nullptr;
+  std::uint64_t last_restore_bytes_ = 0;
 };
 
 }  // namespace gpurel::core

@@ -133,8 +133,13 @@ class InjectionObserver final : public sim::SimObserver {
 
   // Only the store-operand modes corrupt operands pre-execution; every other
   // model's before_exec was a no-op, so claiming just after_exec lets the
-  // executor skip the per-lane before hook entirely for those trials.
+  // executor skip the per-lane before hook entirely for those trials. Once
+  // the one-shot fault has fired (and any store-operand latch is restored),
+  // every remaining hook call would be a no-op, so all claims are dropped and
+  // the executor re-polls the mask at the next cycle boundary — the rest of
+  // the trial simulates on the bare whole-warp paths.
   unsigned wants() const override {
+    if (fired && !restore_pending_) return 0u;
     const bool store_mode =
         mode == FaultModel::StoreValue || mode == FaultModel::StoreAddress;
     return store_mode ? (kWantsBeforeExec | kWantsAfterExec) : kWantsAfterExec;
@@ -537,6 +542,8 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   obs::Counter& m_trials = metrics.counter("gpurel_campaign_trials_total");
   obs::Histogram& m_latency =
       metrics.histogram("gpurel_campaign_trial_latency_ms");
+  obs::Counter& m_restore_bytes =
+      metrics.counter("gpurel_campaign_snapshot_restore_bytes_total");
   telemetry::Timer wall;
   const bool dynamic = config.schedule == Schedule::Dynamic;
   if (sink != nullptr)
@@ -551,7 +558,9 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                 {"shard_index", config.shard_index},
                 {"shard_count", config.shard_count},
                 {"resumed_trials", std::uint64_t{skip}},
-                {"fork_epochs", forking ? marks.size() : std::size_t{0}}});
+                {"fork_epochs", forking ? marks.size() : std::size_t{0}},
+                {"fork_delta", forking && config.fork_delta},
+                {"fork_shared_pool", forking && config.fork_shared_pool}});
   if (sink != nullptr)
     for (std::size_t m = 0; m < zero_site_mode.size(); ++m)
       if (zero_site_mode[m])
@@ -627,10 +636,13 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     std::unique_ptr<core::Workload> w;
     std::unique_ptr<sim::Device> dev;
     unsigned max_regs = 0;
-    // Fork batching: snapshots of the shared fault-free prefix, one per
-    // epoch mark, captured lazily on the worker's first forked trial.
-    std::vector<sim::Snapshot> snaps;
-    bool snaps_ready = false;
+    // Fork batching: the snapshot set this worker's forked trials resume
+    // from — the campaign-wide shared set (captured once, before workers
+    // start) or this worker's own lazily captured copy when
+    // fork_shared_pool is off. Snapshots are immutable after capture, so
+    // read-only sharing across workers needs no synchronisation.
+    const std::vector<sim::Snapshot>* snap_set = nullptr;
+    std::vector<sim::Snapshot> own_snaps;
   };
   std::vector<WorkerState> states(workers);
   states[0].w = std::move(ref);
@@ -648,18 +660,28 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     return st;
   };
 
-  auto ensure_snaps = [&](WorkerState& st) {
-    if (st.snaps_ready) return;
-    st.w->capture_prefix(*st.dev, marks, st.snaps);
-    st.snaps_ready = true;
-    // Snapshot-pool footprint: count every capture and track the largest
-    // per-worker pool (each worker holds one snapshot set).
+  // One capture pass = one event; the ci.sh warm-shared-pool leg asserts
+  // exactly one of these per campaign regardless of worker count.
+  auto note_capture = [&](const std::vector<sim::Snapshot>& snaps,
+                          bool shared) {
     std::uint64_t bytes = 0;
-    for (const sim::Snapshot& s : st.snaps) bytes += s.memory.size();
-    metrics.counter("gpurel_campaign_snapshots_total")
-        .add(st.snaps.size());
-    metrics.gauge("gpurel_campaign_snapshot_pool_bytes")
-        .set_max(static_cast<double>(bytes));
+    for (const sim::Snapshot& s : snaps) bytes += s.memory.size();
+    metrics.counter("gpurel_campaign_snapshots_total").add(snaps.size());
+    if (sink != nullptr)
+      sink->emit("campaign_snapshot_capture", {{"workload", result.workload},
+                                               {"epochs", snaps.size()},
+                                               {"image_bytes", bytes},
+                                               {"shared", shared}});
+  };
+
+  auto ensure_snaps = [&](WorkerState& st) {
+    if (st.snap_set != nullptr) return;
+    // Legacy per-worker pool (fork_shared_pool off): capture lazily on the
+    // worker's first forked trial. The shared path assigns snap_set before
+    // workers are dispatched, so it never reaches the capture here.
+    st.w->capture_prefix(*st.dev, marks, st.own_snaps);
+    st.snap_set = &st.own_snaps;
+    note_capture(st.own_snaps, /*shared=*/false);
   };
 
   // Per-trial fault sampling, shared verbatim by the execution path and the
@@ -735,6 +757,23 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     }
   }
 
+  // Shared snapshot pool: capture the fault-free prefix ONCE, on the
+  // reference instance, and hand every worker the same immutable snapshot
+  // vector — eliminating the W-1 redundant prefix simulations of the lazy
+  // per-worker path. Captured eagerly (before dispatch) so no worker races
+  // the capture; skipped when no executed trial actually forks.
+  std::vector<sim::Snapshot> shared_snaps;
+  bool shared_pool = false;
+  if (forking && config.fork_shared_pool) {
+    for (std::size_t p = skip; p < owned.size() && !shared_pool; ++p)
+      shared_pool = trial_epoch[owned[p]] >= 0;
+    if (shared_pool) {
+      states[0].w->capture_prefix(*states[0].dev, marks, shared_snaps);
+      for (auto& st : states) st.snap_set = &shared_snaps;
+      note_capture(shared_snaps, /*shared=*/true);
+    }
+  }
+
   auto run_one = [&](WorkerState& st, std::size_t t) {
     const TrialDesc& desc = trials[t];
     if (zero_site_mode[static_cast<std::size_t>(desc.mode)]) {
@@ -783,9 +822,10 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       // The skipped prefix is fault-free, so the tracker only needs its
       // lane-instruction clock advanced to keep records fork-invariant.
       if (propagation) prop.preset_lane_count(es.at.total_lane);
-      r = st.w->run_trial_forked(*st.dev,
-                                 st.snaps[static_cast<std::size_t>(epoch)],
-                                 trial_obs);
+      r = st.w->run_trial_forked(
+          *st.dev, (*st.snap_set)[static_cast<std::size_t>(epoch)], trial_obs,
+          config.fork_delta);
+      m_restore_bytes.add(st.w->last_restore_bytes());
     } else {
       r = st.w->run_trial(*st.dev, trial_obs);
     }
@@ -851,12 +891,35 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                     {{"begin", begin}, {"trials", n}});
   };
 
+  // Batch epoch-sorting: under forking, each worker executes its batch's
+  // positions grouped by fork epoch (stable sort, so same-epoch trials keep
+  // their position order) so consecutive trials resume from a hot snapshot —
+  // the delta fast path only fires for back-to-back trials on the same
+  // snapshot. Per-trial seeding makes every outcome independent of execution
+  // order, and completion is still reported for the whole batch, so chunk
+  // events and the checkpoint frontier are unchanged.
+  auto sorted_positions = [&](std::size_t begin, std::size_t end,
+                              std::size_t stride) {
+    std::vector<std::size_t> ps;
+    ps.reserve((end - begin + stride - 1) / stride);
+    for (std::size_t p = begin; p < end; p += stride) ps.push_back(p);
+    std::stable_sort(ps.begin(), ps.end(), [&](std::size_t a, std::size_t b) {
+      return trial_epoch[owned[skip + a]] < trial_epoch[owned[skip + b]];
+    });
+    return ps;
+  };
+
   // Ranges handed to the schedulers are *positions* in the owned order
   // (dense [0, todo)); run_one maps them back to global trial ids.
   auto run_range = [&](std::size_t worker, std::size_t begin, std::size_t end) {
     WorkerState& st = ensure_state(worker);
     const double t0 = trace != nullptr ? trace->now_us() : 0.0;
-    for (std::size_t p = begin; p < end; ++p) run_one(st, owned[skip + p]);
+    if (forking) {
+      for (const std::size_t p : sorted_positions(begin, end, 1))
+        run_one(st, owned[skip + p]);
+    } else {
+      for (std::size_t p = begin; p < end; ++p) run_one(st, owned[skip + p]);
+    }
     emit_chunk_span(worker, t0, begin, end - begin);
     after_chunk(begin, end);
   };
@@ -867,8 +930,15 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       WorkerState& st = ensure_state(shard);
       const double t0 = trace != nullptr ? trace->now_us() : 0.0;
       std::size_t n = 0;
-      for (std::size_t p = shard; p < todo; p += workers, ++n)
-        run_one(st, owned[skip + p]);
+      if (forking) {
+        const std::vector<std::size_t> ps =
+            sorted_positions(shard, todo, workers);
+        n = ps.size();
+        for (const std::size_t p : ps) run_one(st, owned[skip + p]);
+      } else {
+        for (std::size_t p = shard; p < todo; p += workers, ++n)
+          run_one(st, owned[skip + p]);
+      }
       if (n > 0) {
         emit_chunk_span(shard, t0, shard, n);
         after_shard(shard, n);  // one completion per shard, strided positions
@@ -891,6 +961,25 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   } else {
     ThreadPool pool(workers);
     parallel_chunks(pool, todo, chunk, run_range);
+  }
+
+  // Snapshot-pool footprint: the bytes actually retained for fork batching —
+  // each distinct snapshot set's memory images (ONE set under the shared
+  // pool, one per capturing worker on the legacy path) plus every worker's
+  // delta-tracking dirty scratch. set_max keeps the high-water mark across
+  // campaigns in one process.
+  if (forking) {
+    std::uint64_t pool_bytes = 0;
+    if (shared_pool)
+      for (const sim::Snapshot& s : shared_snaps) pool_bytes += s.memory.size();
+    for (WorkerState& st : states) {
+      if (st.snap_set == &st.own_snaps)
+        for (const sim::Snapshot& s : st.own_snaps)
+          pool_bytes += s.memory.size();
+      if (st.dev) pool_bytes += st.dev->memory().dirty_scratch_bytes();
+    }
+    metrics.gauge("gpurel_campaign_snapshot_pool_bytes")
+        .set_max(static_cast<double>(pool_bytes));
   }
 
   // Serial tally in trial order; a resumed prefix contributes through its

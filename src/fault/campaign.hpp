@@ -158,6 +158,21 @@ struct CampaignConfig : InjectionBudget, obs::RunContext {
   /// only wall-clock changes. Ignored (plain execution) for workloads that
   /// are not fork-safe.
   unsigned fork_epochs = 0;
+  /// Delta restores (fork_epochs > 0 only): arm coarse dirty tracking on the
+  /// worker's device so consecutive trials forked from the same snapshot copy
+  /// back only the state the previous suffix touched instead of the full
+  /// device image. Bit-identity-neutral; off switches every restore back to
+  /// the full copy (the A/B knob for the ci.sh byte-identity leg and the
+  /// bench delta series).
+  bool fork_delta = true;
+  /// Shared snapshot set (fork_epochs > 0 only): capture the fault-free
+  /// prefix once, before workers start, and share the immutable snapshot
+  /// vector read-only across all workers — eliminating the W-1 redundant
+  /// prefix simulations of the per-worker capture path. Each worker's trial
+  /// batch is sorted by fork epoch so consecutive trials reuse a hot
+  /// snapshot. Bit-identity-neutral; off restores the legacy lazy per-worker
+  /// capture.
+  bool fork_shared_pool = true;
   /// Fault-propagation flight recorder: when true, every executed trial runs
   /// with an obs::PropagationObserver teed behind the injection observer,
   /// producing a per-trial provenance record (emitted as `propagation_record`

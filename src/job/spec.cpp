@@ -43,6 +43,7 @@ Value spec_to_json(const JobSpec& spec) {
     // Only serialized when enabled: hashes of pre-existing specs must not
     // move just because the field now exists.
     if (spec.fork_epochs != 0) c.set("fork_epochs", spec.fork_epochs);
+    if (!spec.fork_delta) c.set("fork_delta", spec.fork_delta);
     if (spec.propagation) c.set("propagation", spec.propagation);
     v.set("campaign", std::move(c));
   } else {
@@ -102,6 +103,7 @@ JobSpec spec_from_json(const Value& doc) {
     spec.budget.store_addr_injections = u32("store_addr_injections");
     if (const Value* fe = c.find("fork_epochs"))
       spec.fork_epochs = static_cast<unsigned>(fe->as_uint());
+    if (const Value* fd = c.find("fork_delta")) spec.fork_delta = fd->as_bool();
     if (const Value* pr = c.find("propagation")) spec.propagation = pr->as_bool();
   } else {
     const Value& b = doc.at("beam");

@@ -13,23 +13,47 @@ using isa::KernelBuilder;
 using isa::Pred;
 using isa::Reg;
 
+namespace {
+
+/// Device-stepping gate: wrap `body` in a check of the one-shot flag at
+/// `gate`, so the launch is a cheap no-op once the iteration chain has
+/// stopped lighting flags. Shared by the BFS and CCL device-stepped kernels.
+void emit_gated(KernelBuilder& b, Reg gate, const std::function<void()>& body) {
+  Reg g = b.reg();
+  b.ldg(g, gate);
+  Pred live = b.pred();
+  b.isetpi(live, g, 1, CmpOp::EQ);
+  b.if_then(live, body);
+  b.free(live);
+  b.free(g);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // BFS
 // ---------------------------------------------------------------------------
 
-Bfs::Bfs(core::WorkloadConfig config, unsigned nodes, unsigned degree)
-    : Workload(std::move(config)), nodes_(nodes), degree_(degree) {
+Bfs::Bfs(core::WorkloadConfig config, unsigned nodes, unsigned degree,
+         core::Stepping stepping)
+    : Workload(std::move(config)),
+      nodes_(nodes),
+      degree_(degree),
+      stepping_(stepping) {
   if (nodes_ == 0)
     nodes_ = std::max(256u, static_cast<unsigned>(2048 * config_.scale) / 64 * 64);
   if (nodes_ % 64 != 0) throw std::invalid_argument("Bfs: nodes must be 64-aligned");
 }
 
-void Bfs::build_programs() {
-  KernelBuilder b("BFS.step", config_.profile);
-  Reg row_off = b.load_param(0), col = b.load_param(1), cost = b.load_param(2);
-  Reg fin = b.load_param(3), fout = b.load_param(4), changed = b.load_param(5);
-  Reg n = b.load_param(6);
+namespace {
 
+/// One BFS level for one node: consume the in-frontier, relax edges, build
+/// the out-frontier, and store 1 to `changed` when any cost updates. The
+/// host-stepped kernel polls `changed`; the device-stepped kernel points it
+/// at the next level's gate flag. Emission order matches the original
+/// host-only kernel exactly, so that program stays byte-identical.
+void emit_bfs_level(KernelBuilder& b, Reg row_off, Reg col, Reg cost, Reg fin,
+                    Reg fout, Reg changed, Reg n) {
   Reg v = b.global_tid_x();
   Pred in_range = b.pred();
   b.isetp(in_range, v, n, CmpOp::LT);
@@ -83,7 +107,31 @@ void Bfs::build_programs() {
       b.free(active);
     });
   });
-  step_ = b.build();
+}
+
+}  // namespace
+
+void Bfs::build_programs() {
+  if (stepping_ == core::Stepping::Host) {
+    KernelBuilder b("BFS.step", config_.profile);
+    Reg row_off = b.load_param(0), col = b.load_param(1), cost = b.load_param(2);
+    Reg fin = b.load_param(3), fout = b.load_param(4), changed = b.load_param(5);
+    Reg n = b.load_param(6);
+    emit_bfs_level(b, row_off, col, cost, fin, fout, changed, n);
+    step_ = b.build();
+  } else {
+    // Device stepping: same level body, but gated on this level's flag and
+    // notifying the next level's flag (param layout matches the host kernel
+    // with the gate address appended).
+    KernelBuilder b("BFS.dstep", config_.profile);
+    Reg row_off = b.load_param(0), col = b.load_param(1), cost = b.load_param(2);
+    Reg fin = b.load_param(3), fout = b.load_param(4), next = b.load_param(5);
+    Reg n = b.load_param(6), gate = b.load_param(7);
+    emit_gated(b, gate, [&] {
+      emit_bfs_level(b, row_off, col, cost, fin, fout, next, n);
+    });
+    step_ = b.build();
+  }
   register_program(&step_);
 }
 
@@ -110,13 +158,39 @@ void Bfs::setup(sim::Device& dev) {
   frontier_[0] = dev.alloc_copy<std::uint32_t>(fin);
   frontier_[1] = dev.alloc_copy<std::uint32_t>(fout);
   changed_ = dev.alloc(4);
+  if (stepping_ == core::Stepping::Device) {
+    // One gate flag per level plus the final convergence flag; level 0 is
+    // armed here (host writes in setup() are fork-safe — only execute() must
+    // stay free of mid-trial host access).
+    std::vector<std::uint32_t> flags(kMaxLevels + 1, 0);
+    flags[0] = 1;
+    flags_ = dev.alloc_copy<std::uint32_t>(flags);
+  }
   register_output(cost_, nodes_ * 4);
 }
 
 void Bfs::execute(sim::Device& dev, core::TrialRunner& runner) {
-  const unsigned max_levels = 24;  // random graphs of this size stay shallow
+  if (stepping_ == core::Stepping::Device) {
+    // Fixed launch sequence: level k runs only if launch k-1 set flags[k],
+    // and sets flags[k+1] when any cost changed. One host read after the
+    // last launch, so the whole trial is reachable from a device snapshot.
+    for (unsigned level = 0; level < kMaxLevels; ++level) {
+      sim::KernelLaunch kl{&step_,
+                           {nodes_ / 64, 1},
+                           {64, 1},
+                           0,
+                           {row_off_, col_, cost_, frontier_[level % 2],
+                            frontier_[(level + 1) % 2], flags_ + (level + 1) * 4,
+                            nodes_, flags_ + level * 4}};
+      if (!runner.launch(kl)) return;
+    }
+    // Still expanding after the last allowed level: host-visible hang.
+    if (dev.memory().read_u32(flags_ + kMaxLevels * 4) != 0)
+      runner.force_due(sim::DueKind::Watchdog);
+    return;
+  }
   for (unsigned level = 0;; ++level) {
-    if (level >= max_levels) {
+    if (level >= kMaxLevels) {
       // Fault-perturbed traversal refusing to converge: host-visible hang.
       runner.force_due(sim::DueKind::Watchdog);
       return;
@@ -137,22 +211,25 @@ void Bfs::execute(sim::Device& dev, core::TrialRunner& runner) {
 // CCL
 // ---------------------------------------------------------------------------
 
-Ccl::Ccl(core::WorkloadConfig config, unsigned dim)
-    : Workload(std::move(config)), dim_(dim) {
+Ccl::Ccl(core::WorkloadConfig config, unsigned dim, core::Stepping stepping)
+    : Workload(std::move(config)), dim_(dim), stepping_(stepping) {
   if (dim_ < 8 || (dim_ & (dim_ - 1)) != 0)
     throw std::invalid_argument("Ccl: dim must be a power of two >= 8");
   dim_log2_ = 0;
   while ((dim_ >> dim_log2_) != 1) ++dim_log2_;
 }
 
-void Ccl::build_programs() {
-  KernelBuilder b("CCL.step", config_.profile);
-  Reg img = b.load_param(0), labels = b.load_param(1), changed = b.load_param(2);
+namespace {
 
+/// One label-propagation sweep for one pixel; stores 1 to `changed` when the
+/// pixel's label shrank. Emission order matches the original host-only
+/// kernel exactly, so that program stays byte-identical.
+void emit_ccl_sweep(KernelBuilder& b, Reg img, Reg labels, Reg changed,
+                    unsigned dim, unsigned dim_log2) {
   Reg p = b.global_tid_x();
   Reg row = b.reg(), c = b.reg();
-  b.shr(row, p, dim_log2_);
-  b.landi(c, p, static_cast<std::int32_t>(dim_ - 1));
+  b.shr(row, p, dim_log2);
+  b.landi(c, p, static_cast<std::int32_t>(dim - 1));
 
   Reg ia = b.reg(), fg = b.reg();
   b.addr_index(ia, img, p, 4);
@@ -191,12 +268,12 @@ void Ccl::build_programs() {
 
     Pred bound = b.pred();
     b.isetpi(bound, row, 0, CmpOp::GT);
-    consider(-static_cast<std::int32_t>(dim_), bound);
-    b.isetpi(bound, row, static_cast<std::int32_t>(dim_ - 1), CmpOp::LT);
-    consider(static_cast<std::int32_t>(dim_), bound);
+    consider(-static_cast<std::int32_t>(dim), bound);
+    b.isetpi(bound, row, static_cast<std::int32_t>(dim - 1), CmpOp::LT);
+    consider(static_cast<std::int32_t>(dim), bound);
     b.isetpi(bound, c, 0, CmpOp::GT);
     consider(-1, bound);
-    b.isetpi(bound, c, static_cast<std::int32_t>(dim_ - 1), CmpOp::LT);
+    b.isetpi(bound, c, static_cast<std::int32_t>(dim - 1), CmpOp::LT);
     consider(1, bound);
     b.free(bound);
 
@@ -211,7 +288,25 @@ void Ccl::build_programs() {
     });
     b.free(shrunk);
   });
-  step_ = b.build();
+}
+
+}  // namespace
+
+void Ccl::build_programs() {
+  if (stepping_ == core::Stepping::Host) {
+    KernelBuilder b("CCL.step", config_.profile);
+    Reg img = b.load_param(0), labels = b.load_param(1),
+        changed = b.load_param(2);
+    emit_ccl_sweep(b, img, labels, changed, dim_, dim_log2_);
+    step_ = b.build();
+  } else {
+    KernelBuilder b("CCL.dstep", config_.profile);
+    Reg img = b.load_param(0), labels = b.load_param(1),
+        next = b.load_param(2), gate = b.load_param(3);
+    emit_gated(b, gate,
+               [&] { emit_ccl_sweep(b, img, labels, next, dim_, dim_log2_); });
+    step_ = b.build();
+  }
   register_program(&step_);
 }
 
@@ -227,12 +322,32 @@ void Ccl::setup(sim::Device& dev) {
   img_ = dev.alloc_copy<std::uint32_t>(img);
   labels_ = dev.alloc_copy<std::int32_t>(labels);
   changed_ = dev.alloc(4);
+  if (stepping_ == core::Stepping::Device) {
+    std::vector<std::uint32_t> flags(4 * dim_ + 1, 0);
+    flags[0] = 1;
+    flags_ = dev.alloc_copy<std::uint32_t>(flags);
+  }
   register_output(labels_, total * 4);
 }
 
 void Ccl::execute(sim::Device& dev, core::TrialRunner& runner) {
   const unsigned total = dim_ * dim_;
   const unsigned max_iters = 4 * dim_;
+  if (stepping_ == core::Stepping::Device) {
+    // Fixed launch sequence with per-iteration gate flags (see Bfs).
+    for (unsigned it = 0; it < max_iters; ++it) {
+      sim::KernelLaunch kl{&step_,
+                           {total / 64, 1},
+                           {64, 1},
+                           0,
+                           {img_, labels_, flags_ + (it + 1) * 4,
+                            flags_ + it * 4}};
+      if (!runner.launch(kl)) return;
+    }
+    if (dev.memory().read_u32(flags_ + max_iters * 4) != 0)
+      runner.force_due(sim::DueKind::Watchdog);
+    return;
+  }
   for (unsigned it = 0;; ++it) {
     if (it >= max_iters) {
       runner.force_due(sim::DueKind::Watchdog);

@@ -3,6 +3,15 @@
 // labeling by iterative label propagation (host loop until fixpoint). Both
 // match the paper's profile for these codes: branchy integer code, poor
 // memory access patterns, and under-utilized functional units.
+//
+// Both iterative codes come in two stepping variants (core::Stepping):
+// host stepping polls the convergence flag between launches (the paper's
+// Rodinia shape, but not fork-safe), device stepping chains one gate flag
+// per iteration through device memory — launch k executes only when the
+// previous launch set flags[k], and a fixed-length launch sequence ends in a
+// single post-loop host read of the last flag — which makes the workload
+// fork-safe for checkpoint-fork campaign batching. The host-stepped kernels
+// and schedules are byte-identical to the pre-variant code.
 #pragma once
 
 #include "core/workload.hpp"
@@ -12,10 +21,16 @@ namespace gpurel::kernels {
 
 class Bfs final : public core::Workload {
  public:
-  Bfs(core::WorkloadConfig config, unsigned nodes = 0, unsigned degree = 4);
+  Bfs(core::WorkloadConfig config, unsigned nodes = 0, unsigned degree = 4,
+      core::Stepping stepping = core::Stepping::Host);
 
-  std::string base_name() const override { return "BFS"; }
+  std::string base_name() const override {
+    return stepping_ == core::Stepping::Device ? "BFS-DEV" : "BFS";
+  }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override {
+    return stepping_ == core::Stepping::Device;
+  }
 
  protected:
   void build_programs() override;
@@ -23,20 +38,30 @@ class Bfs final : public core::Workload {
   void execute(sim::Device& dev, core::TrialRunner& runner) override;
 
  private:
+  static constexpr unsigned kMaxLevels = 24;  // random graphs stay shallow
+
   unsigned nodes_;
   unsigned degree_;
+  core::Stepping stepping_;
   isa::Program step_;
   std::uint32_t row_off_ = 0, col_ = 0, cost_ = 0;
   std::uint32_t frontier_[2] = {0, 0};
   std::uint32_t changed_ = 0;
+  std::uint32_t flags_ = 0;  // device stepping: one gate flag per level
 };
 
 class Ccl final : public core::Workload {
  public:
-  explicit Ccl(core::WorkloadConfig config, unsigned dim = 16);
+  explicit Ccl(core::WorkloadConfig config, unsigned dim = 16,
+               core::Stepping stepping = core::Stepping::Host);
 
-  std::string base_name() const override { return "CCL"; }
+  std::string base_name() const override {
+    return stepping_ == core::Stepping::Device ? "CCL-DEV" : "CCL";
+  }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override {
+    return stepping_ == core::Stepping::Device;
+  }
 
  protected:
   void build_programs() override;
@@ -46,8 +71,10 @@ class Ccl final : public core::Workload {
  private:
   unsigned dim_;       // image is dim x dim, dim a power of two
   unsigned dim_log2_;
+  core::Stepping stepping_;
   isa::Program step_;
   std::uint32_t img_ = 0, labels_ = 0, changed_ = 0;
+  std::uint32_t flags_ = 0;  // device stepping: one gate flag per iteration
 };
 
 /// Needleman–Wunsch sequence alignment: integer dynamic programming swept

@@ -31,6 +31,18 @@ std::unique_ptr<core::Workload> make_workload(const std::string& base,
   if (base == "CCL") return std::make_unique<Ccl>(std::move(config));
   if (base == "MERGESORT") return std::make_unique<Mergesort>(std::move(config));
   if (base == "QUICKSORT") return std::make_unique<Quicksort>(std::move(config));
+  // Device-stepped (fork-safe) variants of the iterative codes. Not part of
+  // the beam catalogs — the host-stepped shapes match the paper's setup —
+  // but first-class for checkpoint-fork campaign batching.
+  if (base == "BFS-DEV")
+    return std::make_unique<Bfs>(std::move(config), 0, 4,
+                                 core::Stepping::Device);
+  if (base == "CCL-DEV")
+    return std::make_unique<Ccl>(std::move(config), 16,
+                                 core::Stepping::Device);
+  if (base == "QUICKSORT-DEV")
+    return std::make_unique<Quicksort>(std::move(config), 0,
+                                       core::Stepping::Device);
   if (base == "YOLOV2") return ConvNet::yolov2(std::move(config), precision);
   if (base == "YOLOV3") return ConvNet::yolov3(std::move(config), precision);
   if (base == "ADD")

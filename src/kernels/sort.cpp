@@ -137,15 +137,107 @@ void Mergesort::execute(sim::Device& dev, core::TrialRunner& runner) {
 // Quicksort
 // ---------------------------------------------------------------------------
 
-Quicksort::Quicksort(core::WorkloadConfig config, unsigned n)
-    : Workload(std::move(config)), n_(n) {
+Quicksort::Quicksort(core::WorkloadConfig config, unsigned n,
+                     core::Stepping stepping)
+    : Workload(std::move(config)), n_(n), stepping_(stepping) {
   if (n_ == 0)
     n_ = std::max(256u, static_cast<unsigned>(2048 * config_.scale) / 64 * 64);
   if (n_ < 128 || n_ % 64 != 0)
     throw std::invalid_argument("Quicksort: n must be 64-aligned and >= 128");
+  // Device stepping sizes its fixed launch sequence and device tables from
+  // n: segment-list capacity covers the worst legitimate round (every
+  // partitionable segment, len > kSmall, pushes two children — at most
+  // 2n/(kSmall+2) slots), the small table holds every possible >= 2-element
+  // small segment, and the round count bounds the recursion depth of a
+  // random-pivot sort with a generous margin (the fault-free prepare() run
+  // throws loudly if it were ever too small).
+  unsigned lg = 0;
+  while ((1u << lg) < n_) ++lg;
+  segcap_ = std::max(64u, n_ / 16);
+  smallcap_ = n_ / 2;
+  rounds_ = 3 * lg + 4;
 }
 
+namespace {
+
+/// Insertion-sort the small segment segtab[seg] = (lo, hi) with one thread.
+/// Shared by the host-stepped kernel (seg = global tid, range-checked by the
+/// caller) and the device-stepped kernel (seg = strided loop counter); the
+/// emission order matches the original host-only kernel exactly, so that
+/// program stays byte-identical.
+void emit_small_sort_one(KernelBuilder& b, Reg data, Reg segtab, Reg seg) {
+  Reg two_t = b.reg(), addr = b.reg(), lo = b.reg(), hi = b.reg();
+  b.shl(two_t, seg, 1);
+  b.addr_index(addr, segtab, two_t, 4);
+  b.ldg(lo, addr);
+  b.ldg(hi, addr, 4);
+  Reg i = b.reg();
+  b.iaddi(i, lo, 1);
+  Reg sent = b.reg();
+  b.movi(sent, kSentinelMin);
+  b.while_loop(
+      [&](Pred p) { b.isetp(p, i, hi, CmpOp::LT); },
+      [&] {
+        Reg key = b.reg(), ka = b.reg();
+        b.addr_index(ka, data, i, 4);
+        b.ldg(key, ka);
+        Reg j = b.reg();
+        b.iaddi(j, i, -1);
+        // while (j >= lo && data[j] > key): sentinel turns the exhausted
+        // case into INT_MIN which never exceeds key.
+        Reg w = b.reg(), jaddr = b.reg(), jc = b.reg();
+        auto load_guarded = [&] {
+          b.imnmx(jc, j, lo, /*take_max=*/true);
+          b.addr_index(jaddr, data, jc, 4);
+          b.ldg(w, jaddr);
+          Pred livej = b.pred();
+          b.isetp(livej, j, lo, CmpOp::GE);
+          b.sel(w, w, sent, livej);
+          b.free(livej);
+        };
+        load_guarded();
+        b.while_loop(
+            [&](Pred p) { b.isetp(p, w, key, CmpOp::GT); },
+            [&] {
+              // data[j+1] = data[j]; --j
+              Reg j1 = b.reg(), da = b.reg();
+              b.iaddi(j1, j, 1);
+              b.addr_index(da, data, j1, 4);
+              b.stg(da, w);
+              b.iaddi(j, j, -1);
+              load_guarded();
+              b.free(j1);
+              b.free(da);
+            });
+        Reg j1 = b.reg(), da = b.reg();
+        b.iaddi(j1, j, 1);
+        b.addr_index(da, data, j1, 4);
+        b.stg(da, key);
+        b.iaddi(i, i, 1);
+        b.free(key);
+        b.free(ka);
+        b.free(j);
+        b.free(w);
+        b.free(jaddr);
+        b.free(jc);
+        b.free(j1);
+        b.free(da);
+      });
+  b.free(two_t);
+  b.free(addr);
+  b.free(lo);
+  b.free(hi);
+  b.free(i);
+  b.free(sent);
+}
+
+}  // namespace
+
 void Quicksort::build_programs() {
+  if (stepping_ == core::Stepping::Device) {
+    build_device_programs();
+    return;
+  }
   // partition: scatter data[lo, hi-1) around `pivot` into scratch using two
   // atomic cursors (less-than grows from lo; rest fills down from hi-2).
   {
@@ -227,65 +319,443 @@ void Quicksort::build_programs() {
     Reg t = b.global_tid_x();
     Pred in_range = b.pred();
     b.isetp(in_range, t, nsegs, CmpOp::LT);
-    b.if_then(in_range, [&] {
-      Reg two_t = b.reg(), addr = b.reg(), lo = b.reg(), hi = b.reg();
-      b.shl(two_t, t, 1);
-      b.addr_index(addr, segtab, two_t, 4);
-      b.ldg(lo, addr);
-      b.ldg(hi, addr, 4);
-      Reg i = b.reg();
-      b.iaddi(i, lo, 1);
-      Reg sent = b.reg();
-      b.movi(sent, kSentinelMin);
-      b.while_loop(
-          [&](Pred p) { b.isetp(p, i, hi, CmpOp::LT); },
-          [&] {
-            Reg key = b.reg(), ka = b.reg();
-            b.addr_index(ka, data, i, 4);
-            b.ldg(key, ka);
-            Reg j = b.reg();
-            b.iaddi(j, i, -1);
-            // while (j >= lo && data[j] > key): sentinel turns the exhausted
-            // case into INT_MIN which never exceeds key.
-            Reg w = b.reg(), jaddr = b.reg(), jc = b.reg();
-            auto load_guarded = [&] {
-              b.imnmx(jc, j, lo, /*take_max=*/true);
-              b.addr_index(jaddr, data, jc, 4);
-              b.ldg(w, jaddr);
-              Pred livej = b.pred();
-              b.isetp(livej, j, lo, CmpOp::GE);
-              b.sel(w, w, sent, livej);
-              b.free(livej);
-            };
-            load_guarded();
-            b.while_loop(
-                [&](Pred p) { b.isetp(p, w, key, CmpOp::GT); },
-                [&] {
-                  // data[j+1] = data[j]; --j
-                  Reg j1 = b.reg(), da = b.reg();
-                  b.iaddi(j1, j, 1);
-                  b.addr_index(da, data, j1, 4);
-                  b.stg(da, w);
-                  b.iaddi(j, j, -1);
-                  load_guarded();
-                  b.free(j1);
-                  b.free(da);
+    b.if_then(in_range, [&] { emit_small_sort_one(b, data, segtab, t); });
+    small_sort_ = b.build();
+    register_program(&small_sort_);
+  }
+}
+
+void Quicksort::build_device_programs() {
+  // plan: classify every segment in this round's input list. Large segments
+  // (len > kSmall) get their pivot cached and their scatter cursors reset;
+  // small ones (len >= 2) are appended to the device-built small table;
+  // empty and single-element ones are dropped. Out-of-bounds segments raise
+  // the error flag. Thread 0 also zeroes the round's output-list count (the
+  // list the previous round consumed; the finish kernel appends after this
+  // launch completes).
+  {
+    KernelBuilder b("QUICKSORT.dplan", config_.profile);
+    Reg segs_in = b.load_param(0), cnt_in = b.load_param(1);
+    Reg data = b.load_param(2), pivots = b.load_param(3), ctrs = b.load_param(4);
+    Reg smalltab = b.load_param(5), smallcnt = b.load_param(6);
+    Reg cnt_out = b.load_param(7), err = b.load_param(8), n = b.load_param(9);
+
+    Reg t = b.global_tid_x();
+    Reg zero = b.reg();
+    b.movi(zero, 0);
+    Pred first = b.pred();
+    b.isetpi(first, t, 0, CmpOp::EQ);
+    b.if_then(first, [&] { b.stg(cnt_out, zero); });
+    b.free(first);
+
+    Reg cnt = b.reg(), cap = b.reg();
+    b.ldg(cnt, cnt_in);
+    b.movi(cap, static_cast<std::int32_t>(segcap_));
+    b.imnmx(cnt, cnt, cap, /*take_max=*/false);  // overflowed list: clamp
+
+    Reg one = b.reg();
+    b.movi(one, 1);
+    auto set_err = [&] { b.stg(err, one); };
+
+    Reg s = b.reg();
+    b.mov(s, t);
+    b.while_loop(
+        [&](Pred p) { b.isetp(p, s, cnt, CmpOp::LT); },
+        [&] {
+          Reg sa = b.reg(), lo = b.reg(), hi = b.reg();
+          b.addr_index(sa, segs_in, s, 8);
+          b.ldg(lo, sa);
+          b.ldg(hi, sa, 4);
+          Reg minus1 = b.reg(), neg_lo = b.reg(), len = b.reg();
+          b.movi(minus1, -1);
+          b.imul(neg_lo, lo, minus1);
+          b.iadd(len, hi, neg_lo);
+          // Bound checks mirror the host variant's pop-time checks; a
+          // corrupt segment raises err (an InvalidAddress DUE on the host).
+          Pred ok_lo = b.pred();
+          b.isetpi(ok_lo, lo, 0, CmpOp::GE);
+          b.if_then_else(
+              ok_lo,
+              [&] {
+                Pred ok_ord = b.pred();
+                b.isetp(ok_ord, hi, lo, CmpOp::GE);
+                b.if_then_else(
+                    ok_ord,
+                    [&] {
+                      Pred ok_hi = b.pred();
+                      b.isetp(ok_hi, hi, n, CmpOp::LE);
+                      b.if_then_else(
+                          ok_hi,
+                          [&] {
+                            Pred big = b.pred();
+                            b.isetpi(big, len,
+                                     static_cast<std::int32_t>(kSmall),
+                                     CmpOp::GT);
+                            b.if_then_else(
+                                big,
+                                [&] {
+                                  // pivot = data[hi - 1]; reset this slot's
+                                  // scatter cursors.
+                                  Reg him1 = b.reg(), pa = b.reg();
+                                  Reg piv = b.reg();
+                                  b.iaddi(him1, hi, -1);
+                                  b.addr_index(pa, data, him1, 4);
+                                  b.ldg(piv, pa);
+                                  Reg va = b.reg(), ca = b.reg();
+                                  b.addr_index(va, pivots, s, 4);
+                                  b.stg(va, piv);
+                                  b.addr_index(ca, ctrs, s, 8);
+                                  b.stg(ca, zero);
+                                  b.stg(ca, zero, 4);
+                                  b.free(him1);
+                                  b.free(pa);
+                                  b.free(piv);
+                                  b.free(va);
+                                  b.free(ca);
+                                },
+                                [&] {
+                                  Pred ge2 = b.pred();
+                                  b.isetpi(ge2, len, 2, CmpOp::GE);
+                                  b.if_then(ge2, [&] {
+                                    // Append to the small-segment table.
+                                    Reg pos = b.reg();
+                                    b.atom(pos, smallcnt, one, AtomOp::Add, 0);
+                                    Pred fit = b.pred();
+                                    b.isetpi(
+                                        fit, pos,
+                                        static_cast<std::int32_t>(smallcap_),
+                                        CmpOp::LT);
+                                    b.if_then_else(
+                                        fit,
+                                        [&] {
+                                          Reg ta = b.reg();
+                                          b.addr_index(ta, smalltab, pos, 8);
+                                          b.stg(ta, lo);
+                                          b.stg(ta, hi, 4);
+                                          b.free(ta);
+                                        },
+                                        set_err);
+                                    b.free(fit);
+                                    b.free(pos);
+                                  });
+                                  b.free(ge2);
+                                });
+                            b.free(big);
+                          },
+                          set_err);
+                      b.free(ok_hi);
+                    },
+                    set_err);
+                b.free(ok_ord);
+              },
+              set_err);
+          b.free(ok_lo);
+          b.free(sa);
+          b.free(lo);
+          b.free(hi);
+          b.free(minus1);
+          b.free(neg_lo);
+          b.free(len);
+          b.iaddi(s, s, 64);
+        });
+    dplan_ = b.build();
+    register_program(&dplan_);
+  }
+  // scatter: partition every large segment around its cached pivot into
+  // scratch, kScatterBlocks blocks striding over the segment slots and the
+  // 64 threads of each block striding over the segment's elements. Same
+  // two-cursor scheme as the host partition kernel, but cursors live in a
+  // per-slot array so all segments partition in one launch.
+  {
+    KernelBuilder b("QUICKSORT.dscatter", config_.profile);
+    Reg data = b.load_param(0), scratch = b.load_param(1), ctrs = b.load_param(2);
+    Reg segs_in = b.load_param(3), cnt_in = b.load_param(4);
+    Reg pivots = b.load_param(5), n = b.load_param(6);
+
+    Reg cnt = b.reg(), cap = b.reg();
+    b.ldg(cnt, cnt_in);
+    b.movi(cap, static_cast<std::int32_t>(segcap_));
+    b.imnmx(cnt, cnt, cap, /*take_max=*/false);
+    Reg tid = b.tid_x();
+    Reg one = b.reg(), minus1 = b.reg();
+    b.movi(one, 1);
+    b.movi(minus1, -1);
+
+    Reg s = b.ctaid_x();
+    b.while_loop(
+        [&](Pred p) { b.isetp(p, s, cnt, CmpOp::LT); },
+        [&] {
+          Reg sa = b.reg(), lo = b.reg(), hi = b.reg();
+          b.addr_index(sa, segs_in, s, 8);
+          b.ldg(lo, sa);
+          b.ldg(hi, sa, 4);
+          Reg neg_lo = b.reg(), len = b.reg();
+          b.imul(neg_lo, lo, minus1);
+          b.iadd(len, hi, neg_lo);
+          // Only well-formed large segments partition; plan already raised
+          // err for the rest.
+          Pred ok_lo = b.pred(), ok_ord = b.pred(), ok_hi = b.pred();
+          Pred big = b.pred();
+          b.isetpi(ok_lo, lo, 0, CmpOp::GE);
+          b.if_then(ok_lo, [&] {
+            b.isetp(ok_ord, hi, lo, CmpOp::GE);
+            b.if_then(ok_ord, [&] {
+              b.isetp(ok_hi, hi, n, CmpOp::LE);
+              b.if_then(ok_hi, [&] {
+                b.isetpi(big, len, static_cast<std::int32_t>(kSmall),
+                         CmpOp::GT);
+                b.if_then(big, [&] {
+                  Reg pa = b.reg(), piv = b.reg(), ca = b.reg();
+                  b.addr_index(pa, pivots, s, 4);
+                  b.ldg(piv, pa);
+                  b.addr_index(ca, ctrs, s, 8);
+                  Reg i = b.reg(), end = b.reg();
+                  b.iadd(i, lo, tid);
+                  b.iaddi(end, hi, -1);
+                  b.while_loop(
+                      [&](Pred p) { b.isetp(p, i, end, CmpOp::LT); },
+                      [&] {
+                        Reg va = b.reg(), v = b.reg();
+                        b.addr_index(va, data, i, 4);
+                        b.ldg(v, va);
+                        Pred less = b.pred();
+                        b.isetp(less, v, piv, CmpOp::LT);
+                        Reg pos = b.reg(), out_idx = b.reg();
+                        b.if_then_else(
+                            less,
+                            [&] {
+                              b.atom(pos, ca, one, AtomOp::Add, 0);
+                              b.iadd(out_idx, lo, pos);
+                            },
+                            [&] {
+                              b.atom(pos, ca, one, AtomOp::Add, 4);
+                              // hi - 2 - pos
+                              Reg tmp = b.reg(), neg_pos = b.reg();
+                              b.iaddi(tmp, hi, -2);
+                              b.imul(neg_pos, pos, minus1);
+                              b.iadd(out_idx, tmp, neg_pos);
+                              b.free(tmp);
+                              b.free(neg_pos);
+                            });
+                        Reg oa = b.reg();
+                        b.addr_index(oa, scratch, out_idx, 4);
+                        b.stg(oa, v);
+                        b.iaddi(i, i, 64);
+                        b.free(va);
+                        b.free(v);
+                        b.free(less);
+                        b.free(pos);
+                        b.free(out_idx);
+                        b.free(oa);
+                      });
+                  b.free(pa);
+                  b.free(piv);
+                  b.free(ca);
+                  b.free(i);
+                  b.free(end);
                 });
-            Reg j1 = b.reg(), da = b.reg();
-            b.iaddi(j1, j, 1);
-            b.addr_index(da, data, j1, 4);
-            b.stg(da, key);
-            b.iaddi(i, i, 1);
-            b.free(key);
-            b.free(ka);
-            b.free(j);
-            b.free(w);
-            b.free(jaddr);
-            b.free(jc);
-            b.free(j1);
-            b.free(da);
+              });
+            });
           });
-    });
+          b.free(ok_lo);
+          b.free(ok_ord);
+          b.free(ok_hi);
+          b.free(big);
+          b.free(sa);
+          b.free(lo);
+          b.free(hi);
+          b.free(neg_lo);
+          b.free(len);
+          b.iaddi(s, s, static_cast<std::int32_t>(kScatterBlocks));
+        });
+    dscatter_ = b.build();
+    register_program(&dscatter_);
+  }
+  // finish: copy each large segment back from scratch (shifting the >= side
+  // one right, as the host copyback does), place the pivot at the split
+  // point, and push both children onto the next round's list. A cursor that
+  // escaped its segment raises err instead (the host variant's
+  // InvalidAddress check).
+  {
+    KernelBuilder b("QUICKSORT.dfinish", config_.profile);
+    Reg data = b.load_param(0), scratch = b.load_param(1), ctrs = b.load_param(2);
+    Reg segs_in = b.load_param(3), cnt_in = b.load_param(4);
+    Reg pivots = b.load_param(5), segs_out = b.load_param(6);
+    Reg cnt_out = b.load_param(7), err = b.load_param(8), n = b.load_param(9);
+
+    Reg cnt = b.reg(), cap = b.reg();
+    b.ldg(cnt, cnt_in);
+    b.movi(cap, static_cast<std::int32_t>(segcap_));
+    b.imnmx(cnt, cnt, cap, /*take_max=*/false);
+    Reg tid = b.tid_x();
+    Reg one = b.reg(), minus1 = b.reg();
+    b.movi(one, 1);
+    b.movi(minus1, -1);
+    auto set_err = [&] { b.stg(err, one); };
+
+    Reg s = b.ctaid_x();
+    b.while_loop(
+        [&](Pred p) { b.isetp(p, s, cnt, CmpOp::LT); },
+        [&] {
+          Reg sa = b.reg(), lo = b.reg(), hi = b.reg();
+          b.addr_index(sa, segs_in, s, 8);
+          b.ldg(lo, sa);
+          b.ldg(hi, sa, 4);
+          Reg neg_lo = b.reg(), len = b.reg();
+          b.imul(neg_lo, lo, minus1);
+          b.iadd(len, hi, neg_lo);
+          // Guard predicates are consumed by the entry branch of each region,
+          // so they are freed at body entry — the nesting otherwise exceeds
+          // the architectural predicate count.
+          Pred ok_lo = b.pred();
+          b.isetpi(ok_lo, lo, 0, CmpOp::GE);
+          b.if_then(ok_lo, [&] {
+            b.free(ok_lo);
+            Pred ok_ord = b.pred();
+            b.isetp(ok_ord, hi, lo, CmpOp::GE);
+            b.if_then(ok_ord, [&] {
+              b.free(ok_ord);
+              Pred ok_hi = b.pred();
+              b.isetp(ok_hi, hi, n, CmpOp::LE);
+              b.if_then(ok_hi, [&] {
+                b.free(ok_hi);
+                Pred big = b.pred();
+                b.isetpi(big, len, static_cast<std::int32_t>(kSmall),
+                         CmpOp::GT);
+                b.if_then(big, [&] {
+                  b.free(big);
+                  Reg ca = b.reg(), lt = b.reg(), seg_len = b.reg();
+                  b.addr_index(ca, ctrs, s, 8);
+                  b.ldg(lt, ca);
+                  b.iaddi(seg_len, len, -1);
+                  Pred lt_lo = b.pred();
+                  b.isetpi(lt_lo, lt, 0, CmpOp::GE);
+                  b.if_then_else(
+                      lt_lo,
+                      [&] {
+                        b.free(lt_lo);
+                        Pred lt_hi = b.pred();
+                        b.isetp(lt_hi, lt, seg_len, CmpOp::LE);
+                        b.if_then_else(
+                            lt_hi,
+                            [&] {
+                              b.free(lt_hi);
+                              Reg i = b.reg();
+                              b.mov(i, tid);
+                              b.while_loop(
+                                  [&](Pred p) {
+                                    b.isetp(p, i, seg_len, CmpOp::LT);
+                                  },
+                                  [&] {
+                                    Reg src = b.reg(), va = b.reg();
+                                    Reg v = b.reg();
+                                    b.iadd(src, lo, i);
+                                    b.addr_index(va, scratch, src, 4);
+                                    b.ldg(v, va);
+                                    Pred past = b.pred();
+                                    b.isetp(past, i, lt, CmpOp::GE);
+                                    Reg shifted = b.reg(), dst = b.reg();
+                                    b.iaddi(shifted, src, 1);
+                                    b.sel(dst, shifted, src, past);
+                                    Reg da = b.reg();
+                                    b.addr_index(da, data, dst, 4);
+                                    b.stg(da, v);
+                                    b.iaddi(i, i, 64);
+                                    b.free(src);
+                                    b.free(va);
+                                    b.free(v);
+                                    b.free(past);
+                                    b.free(shifted);
+                                    b.free(dst);
+                                    b.free(da);
+                                  });
+                              b.free(i);
+                              // Lane 0 places the pivot and pushes both
+                              // children.
+                              Pred lane0 = b.pred();
+                              b.isetpi(lane0, tid, 0, CmpOp::EQ);
+                              b.if_then(lane0, [&] {
+                                Reg pva = b.reg(), piv = b.reg();
+                                b.addr_index(pva, pivots, s, 4);
+                                b.ldg(piv, pva);
+                                Reg pidx = b.reg(), pa = b.reg();
+                                b.iadd(pidx, lo, lt);
+                                b.addr_index(pa, data, pidx, 4);
+                                b.stg(pa, piv);
+                                Reg two = b.reg(), pos = b.reg();
+                                b.movi(two, 2);
+                                b.atom(pos, cnt_out, two, AtomOp::Add, 0);
+                                Pred fit = b.pred();
+                                b.isetpi(
+                                    fit, pos,
+                                    static_cast<std::int32_t>(segcap_) - 2,
+                                    CmpOp::LE);
+                                b.if_then_else(
+                                    fit,
+                                    [&] {
+                                      Reg oa = b.reg(), c2lo = b.reg();
+                                      b.addr_index(oa, segs_out, pos, 8);
+                                      b.stg(oa, lo);
+                                      b.stg(oa, pidx, 4);
+                                      b.iaddi(c2lo, pidx, 1);
+                                      b.stg(oa, c2lo, 8);
+                                      b.stg(oa, hi, 12);
+                                      b.free(oa);
+                                      b.free(c2lo);
+                                    },
+                                    set_err);
+                                b.free(fit);
+                                b.free(pva);
+                                b.free(piv);
+                                b.free(pidx);
+                                b.free(pa);
+                                b.free(two);
+                                b.free(pos);
+                              });
+                              b.free(lane0);
+                            },
+                            set_err);
+                      },
+                      set_err);
+                  b.free(ca);
+                  b.free(lt);
+                  b.free(seg_len);
+                });
+              });
+            });
+          });
+          b.free(sa);
+          b.free(lo);
+          b.free(hi);
+          b.free(neg_lo);
+          b.free(len);
+          b.iaddi(s, s, static_cast<std::int32_t>(kScatterBlocks));
+        });
+    dfinish_ = b.build();
+    register_program(&dfinish_);
+  }
+  // dsmall: grid-strided version of the host small-sort kernel, reading the
+  // segment count from the device-built table instead of a launch param.
+  {
+    KernelBuilder b("QUICKSORT.dsmall", config_.profile);
+    Reg data = b.load_param(0), segtab = b.load_param(1);
+    Reg nsegs_addr = b.load_param(2);
+    Reg nsegs = b.reg(), cap = b.reg();
+    b.ldg(nsegs, nsegs_addr);
+    b.movi(cap, static_cast<std::int32_t>(smallcap_));
+    b.imnmx(nsegs, nsegs, cap, /*take_max=*/false);
+    Reg t = b.global_tid_x();
+    Reg ntid = b.ntid_x(), nct = b.nctaid_x();
+    Reg stride = b.reg();
+    b.imul(stride, ntid, nct);
+    Reg s = b.reg();
+    b.mov(s, t);
+    b.while_loop(
+        [&](Pred p) { b.isetp(p, s, nsegs, CmpOp::LT); },
+        [&] {
+          emit_small_sort_one(b, data, segtab, s);
+          b.iadd(s, s, stride);
+        });
     small_sort_ = b.build();
     register_program(&small_sort_);
   }
@@ -298,13 +768,34 @@ void Quicksort::setup(sim::Device& dev) {
     v = static_cast<std::int32_t>(rng.uniform_i64(-1000000, 1000000));
   data_ = dev.alloc_copy<std::int32_t>(data);
   scratch_ = dev.alloc(n_ * 4);
-  counters_ = dev.alloc(8);
-  segtab_ = dev.alloc(n_ * 8);
+  if (stepping_ == core::Stepping::Host) {
+    counters_ = dev.alloc(8);
+    segtab_ = dev.alloc(n_ * 8);
+    register_output(data_, n_ * 4);
+    return;
+  }
+  // Device stepping: ping-ponged segment lists seeded with [0, n), per-slot
+  // scatter cursors, a pivot cache, the device-built small-segment table,
+  // and the error flag. Fresh allocations are zeroed, so only the seed
+  // segment and its count need explicit writes.
+  counters_ = dev.alloc(segcap_ * 8);
+  segs_[0] = dev.alloc(segcap_ * 8);
+  segs_[1] = dev.alloc(segcap_ * 8);
+  cnts_ = dev.alloc(8);
+  pivots_ = dev.alloc(segcap_ * 4);
+  segtab_ = dev.alloc(smallcap_ * 8);
+  smallcnt_ = dev.alloc(4);
+  err_ = dev.alloc(4);
+  dev.memory().write_u32(segs_[0] + 4, n_);
+  dev.memory().write_u32(cnts_, 1);
   register_output(data_, n_ * 4);
 }
 
 void Quicksort::execute(sim::Device& dev, core::TrialRunner& runner) {
-  constexpr unsigned kSmall = 32;
+  if (stepping_ == core::Stepping::Device) {
+    execute_device(dev, runner);
+    return;
+  }
   std::vector<std::pair<unsigned, unsigned>> stack{{0, n_}};
   std::vector<std::pair<unsigned, unsigned>> small_segs;
   unsigned iterations = 0;
@@ -363,6 +854,49 @@ void Quicksort::execute(sim::Device& dev, core::TrialRunner& runner) {
   sim::KernelLaunch fin{&small_sort_, {(nsegs + 31) / 32, 1}, {32, 1}, 0,
                         {data_, segtab_, nsegs}};
   runner.launch(fin);
+}
+
+void Quicksort::execute_device(sim::Device& dev, core::TrialRunner& runner) {
+  // Fixed launch sequence: rounds_ breadth-first partition rounds over the
+  // ping-ponged segment lists, then one sweep over the accumulated small
+  // table. The host reads device state only after the last launch, so the
+  // workload is fork-safe.
+  for (unsigned r = 0; r < rounds_; ++r) {
+    const std::uint32_t in = segs_[r % 2], out = segs_[(r + 1) % 2];
+    const std::uint32_t cin = cnts_ + (r % 2) * 4;
+    const std::uint32_t cout = cnts_ + ((r + 1) % 2) * 4;
+    sim::KernelLaunch plan{&dplan_,
+                           {1, 1},
+                           {64, 1},
+                           0,
+                           {in, cin, data_, pivots_, counters_, segtab_,
+                            smallcnt_, cout, err_, n_}};
+    if (!runner.launch(plan)) return;
+    sim::KernelLaunch scat{&dscatter_,
+                           {kScatterBlocks, 1},
+                           {64, 1},
+                           0,
+                           {data_, scratch_, counters_, in, cin, pivots_, n_}};
+    if (!runner.launch(scat)) return;
+    sim::KernelLaunch fin{&dfinish_,
+                          {kScatterBlocks, 1},
+                          {64, 1},
+                          0,
+                          {data_, scratch_, counters_, in, cin, pivots_, out,
+                           cout, err_, n_}};
+    if (!runner.launch(fin)) return;
+  }
+  sim::KernelLaunch small{
+      &small_sort_, {2, 1}, {64, 1}, 0, {data_, segtab_, smallcnt_}};
+  if (!runner.launch(small)) return;
+  if (dev.memory().read_u32(err_) != 0) {
+    runner.force_due(sim::DueKind::InvalidAddress);
+    return;
+  }
+  // Segments left on the final list mean the fixed round budget did not
+  // cover the recursion depth — the host variant's watchdog equivalent.
+  if (dev.memory().read_u32(cnts_ + (rounds_ % 2) * 4) != 0)
+    runner.force_due(sim::DueKind::Watchdog);
 }
 
 }  // namespace gpurel::kernels

@@ -7,6 +7,14 @@
 // around its pivot using global atomic counters; the host reads the split
 // point and pushes sub-segments until they are small, then a final kernel
 // insertion-sorts all small segments in parallel (one thread each).
+//
+// Quicksort also comes device-stepped (core::Stepping::Device): the
+// recursion becomes breadth-first rounds over ping-ponged device segment
+// lists (plan / scatter / finish kernels per round, see sort.cpp), small
+// segments accumulate in a device-built table, and the host only issues the
+// fixed launch sequence plus two post-loop reads — making the workload
+// fork-safe for checkpoint-fork campaign batching. The host-stepped kernels
+// and schedule are byte-identical to the pre-variant code.
 #pragma once
 
 #include "core/workload.hpp"
@@ -36,10 +44,16 @@ class Mergesort final : public core::Workload {
 
 class Quicksort final : public core::Workload {
  public:
-  explicit Quicksort(core::WorkloadConfig config, unsigned n = 0);
+  explicit Quicksort(core::WorkloadConfig config, unsigned n = 0,
+                     core::Stepping stepping = core::Stepping::Host);
 
-  std::string base_name() const override { return "QUICKSORT"; }
+  std::string base_name() const override {
+    return stepping_ == core::Stepping::Device ? "QUICKSORT-DEV" : "QUICKSORT";
+  }
   core::Precision precision() const override { return core::Precision::Int32; }
+  bool fork_safe() const override {
+    return stepping_ == core::Stepping::Device;
+  }
 
  protected:
   void build_programs() override;
@@ -47,11 +61,26 @@ class Quicksort final : public core::Workload {
   void execute(sim::Device& dev, core::TrialRunner& runner) override;
 
  private:
+  static constexpr unsigned kSmall = 32;         // insertion-sort threshold
+  static constexpr unsigned kScatterBlocks = 4;  // device-stepped grid width
+
+  void build_device_programs();
+  void execute_device(sim::Device& dev, core::TrialRunner& runner);
+
   unsigned n_;
+  core::Stepping stepping_;
   isa::Program partition_;
   isa::Program copyback_;
   isa::Program small_sort_;
   std::uint32_t data_ = 0, scratch_ = 0, counters_ = 0, segtab_ = 0;
+  // Device stepping: breadth-first rounds over ping-ponged segment lists.
+  isa::Program dplan_, dscatter_, dfinish_;
+  unsigned segcap_ = 0;    // slots per segment list
+  unsigned smallcap_ = 0;  // slots in the device-built small-segment table
+  unsigned rounds_ = 0;    // fixed partition-round count
+  std::uint32_t segs_[2] = {0, 0};  // (lo, hi) pair lists, ping-ponged
+  std::uint32_t cnts_ = 0;          // two u32 counts, one per list
+  std::uint32_t pivots_ = 0, smallcnt_ = 0, err_ = 0;
 };
 
 }  // namespace gpurel::kernels

@@ -274,7 +274,11 @@ const char* metric_help(const std::string& name) {
       {"gpurel_campaign_snapshots_total",
        "Fork-prefix snapshots captured across workers"},
       {"gpurel_campaign_snapshot_pool_bytes",
-       "Largest per-worker snapshot pool (memory image bytes)"},
+       "Bytes retained for fork batching: snapshot memory images of each "
+       "distinct pool plus per-worker dirty-tracking scratch"},
+      {"gpurel_campaign_snapshot_restore_bytes_total",
+       "Snapshot image bytes copied back by forked-trial restores (the "
+       "dirty subset on delta restores)"},
       {"gpurel_campaign_outcomes_total",
        "Trial outcomes by fault model, unit kind, and outcome"},
       {"gpurel_campaign_dynamic_sites",

@@ -116,11 +116,15 @@ Executor::Executor(const arch::GpuConfig& gpu, GlobalMemory& global)
     : gpu_(gpu), global_(global) {}
 
 ThreadRegs& Executor::live_warp_lane(std::size_t live_index, unsigned lane) {
-  return live_warps_.at(live_index)->lanes.at(lane & 31u);
+  WarpRt* w = live_warps_.at(live_index);
+  w->dirty = true;  // the returned reference may be written (fault injection)
+  return w->lanes.at(lane & 31u);
 }
 
 SharedMemory& Executor::live_block_shared(std::size_t live_index) {
-  return live_blocks_.at(live_index)->shared;
+  BlockRt* b = live_blocks_.at(live_index);
+  b->shared_dirty = true;
+  return b->shared;
 }
 
 void Executor::raise_due(DueKind kind) {
@@ -139,16 +143,31 @@ void Executor::rebuild_live_lists() {
   }
 }
 
-BlockRt* Executor::acquire_block() {
+// The _raw variants hand out the next pool slot without reinitialising it.
+// Only the snapshot-restore path may use them: it assigns every field the
+// initialising variants would have cleared (registers, scoreboards, shared
+// memory), so the clears would be dead stores — and they dominate full
+// restore cost (a warp's lanes + scoreboard are ~34 KB).
+BlockRt* Executor::acquire_block_raw() {
   if (blocks_used_ == block_pool_.size())
     block_pool_.push_back(std::make_unique<BlockRt>());
   return block_pool_[blocks_used_++].get();
 }
 
-WarpRt* Executor::acquire_warp() {
+BlockRt* Executor::acquire_block() {
+  BlockRt* b = acquire_block_raw();
+  b->shared_dirty = true;
+  return b;
+}
+
+WarpRt* Executor::acquire_warp_raw() {
   if (warps_used_ == warp_pool_.size())
     warp_pool_.push_back(std::make_unique<WarpRt>());
-  WarpRt* w = warp_pool_[warps_used_++].get();
+  return warp_pool_[warps_used_++].get();
+}
+
+WarpRt* Executor::acquire_warp() {
+  WarpRt* w = acquire_warp_raw();
   w->pc = 0;
   w->stack.clear();
   w->exited = false;
@@ -156,6 +175,7 @@ WarpRt* Executor::acquire_warp() {
   w->reg_ready.fill(0);
   w->pred_ready.fill(0);
   w->lanes.fill(ThreadRegs{});
+  w->dirty = true;
   return w;
 }
 
@@ -251,7 +271,7 @@ void Executor::restore_snapshot(const ExecutorSnapshot& snap) {
   std::vector<WarpRt*> warps(snap.warps.size());
   for (std::size_t i = 0; i < snap.blocks.size(); ++i) {
     const BlockSnap& bs = snap.blocks[i];
-    BlockRt* b = acquire_block();
+    BlockRt* b = acquire_block_raw();
     b->cta_x = bs.cta_x;
     b->cta_y = bs.cta_y;
     b->sm = bs.sm;
@@ -260,12 +280,13 @@ void Executor::restore_snapshot(const ExecutorSnapshot& snap) {
     b->warps_exited = bs.warps_exited;
     b->warps_at_barrier = bs.warps_at_barrier;
     b->shared = bs.shared;
+    b->shared_dirty = false;  // slot now equals snapshot entity i
     b->warps.clear();
     blocks[i] = b;
   }
   for (std::size_t i = 0; i < snap.warps.size(); ++i) {
     const WarpSnap& ws = snap.warps[i];
-    WarpRt* w = acquire_warp();
+    WarpRt* w = acquire_warp_raw();
     w->block = blocks.at(ws.block_index);
     w->sm = ws.sm;
     w->scheduler = ws.scheduler;
@@ -280,6 +301,7 @@ void Executor::restore_snapshot(const ExecutorSnapshot& snap) {
     w->reg_ready = ws.reg_ready;
     w->pred_ready = ws.pred_ready;
     w->lanes = ws.lanes;
+    w->dirty = false;  // slot now equals snapshot entity i
     warps[i] = w;
   }
   for (std::size_t i = 0; i < snap.blocks.size(); ++i)
@@ -290,6 +312,68 @@ void Executor::restore_snapshot(const ExecutorSnapshot& snap) {
     SmState& s = sms_[sm];
     for (std::size_t bi : ss.blocks) s.blocks.push_back(blocks.at(bi));
     for (std::size_t wi : ss.warps) s.warps.push_back(warps.at(wi));
+    s.rr = ss.rr;
+    s.resident_warps = ss.resident_warps;
+    s.next_wake = ss.next_wake;
+    s.touched = false;
+  }
+  rebuild_live_lists();
+}
+
+void Executor::restore_snapshot_delta(const ExecutorSnapshot& snap) {
+  stats_ = snap.stats;
+  next_block_ = snap.next_block;
+  total_blocks_ = snap.total_blocks;
+  completed_blocks_ = snap.completed_blocks;
+  next_warp_id_ = snap.next_warp_id;
+  max_blocks_per_sm_ = snap.max_blocks_per_sm;
+
+  // Residency invariant: the previous resume restored pool slot i from
+  // snapshot entity i and the watermarks restarted at the captured counts,
+  // so slots below them were never re-acquired — slot i still holds entity
+  // i's state up to the flagged mutations. Blocks placed later in that run
+  // live above the watermark and are simply dropped here.
+  blocks_used_ = snap.blocks.size();
+  warps_used_ = snap.warps.size();
+  for (std::size_t i = 0; i < snap.blocks.size(); ++i) {
+    const BlockSnap& bs = snap.blocks[i];
+    BlockRt* b = block_pool_[i].get();
+    b->warps_exited = bs.warps_exited;
+    b->warps_at_barrier = bs.warps_at_barrier;
+    if (b->shared_dirty) {
+      b->shared = bs.shared;
+      b->shared_dirty = false;
+    }
+    b->warps.clear();
+  }
+  for (std::size_t i = 0; i < snap.warps.size(); ++i) {
+    const WarpSnap& ws = snap.warps[i];
+    WarpRt* w = warp_pool_[i].get();
+    w->block = block_pool_[ws.block_index].get();
+    // Scheduling scalars are rewritten unconditionally (stalled warps mutate
+    // next_try without being flagged); only the heavy architectural arrays
+    // are gated on the dirty flag.
+    w->pc = ws.pc;
+    w->active = ws.active;
+    w->stack = ws.stack;
+    w->exited = ws.exited;
+    w->at_barrier = ws.at_barrier;
+    w->next_try = ws.next_try;
+    if (w->dirty) {
+      w->reg_ready = ws.reg_ready;
+      w->pred_ready = ws.pred_ready;
+      w->lanes = ws.lanes;
+      w->dirty = false;
+    }
+  }
+  for (std::size_t i = 0; i < snap.blocks.size(); ++i)
+    for (std::size_t wi : snap.blocks[i].warps)
+      block_pool_[i]->warps.push_back(warp_pool_[wi].get());
+  for (std::size_t sm = 0; sm < sms_.size(); ++sm) {
+    const SmSnap& ss = snap.sms.at(sm);
+    SmState& s = sms_[sm];
+    for (std::size_t bi : ss.blocks) s.blocks.push_back(block_pool_[bi].get());
+    for (std::size_t wi : ss.warps) s.warps.push_back(warp_pool_[wi].get());
     s.rr = ss.rr;
     s.resident_warps = ss.resident_warps;
     s.next_wake = ss.next_wake;
@@ -969,6 +1053,10 @@ void Executor::issue_instr(WarpRt& w, std::uint64_t cycle) {
   const Instr& in = code_[pc];
   const DecodedInstr& d = decode_[pc];
   w.pc = pc + 1;
+  // Issuing mutates architectural state (registers, scoreboard ready times,
+  // and — via observers — anything a hook touches): flag for delta restores.
+  w.dirty = true;
+  if (in.op == Opcode::STS) w.block->shared_dirty = true;
 
   const std::uint32_t exec_mask = guard_true_mask(w, in);
 
@@ -1155,6 +1243,7 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
   code_ = &launch.program->at(0);
 
   if (resume == nullptr) {
+    resident_ = nullptr;  // fresh placement invalidates snapshot residency
     stats_ = LaunchStats{};
     stats_.shared_bytes_per_block =
         launch.program->shared_bytes() + launch.dynamic_shared;
@@ -1186,8 +1275,13 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
     // Mid-launch resume: the caller has already restored global memory;
     // scheduler, stats, and warp state come from the snapshot. next_wake is
     // restored verbatim, so the first event of the resumed loop is exactly
-    // the event the capturing run processed next.
-    restore_snapshot(resume->exec);
+    // the event the capturing run processed next. When the pools are still
+    // resident on this very snapshot, only dirty slots are copied back.
+    if (fork->delta && resident_ == resume)
+      restore_snapshot_delta(resume->exec);
+    else
+      restore_snapshot(resume->exec);
+    resident_ = fork->delta ? resume : nullptr;
   }
 
   if (obs_ != nullptr) {
@@ -1251,6 +1345,10 @@ LaunchStats Executor::run(const KernelLaunch& launch, SimObserver* observer,
       }
     }
     cycle = next;
+    // Re-read the hook claims at the cycle boundary: a one-shot observer
+    // (e.g. an injection that has fired) may drop its per-lane hooks, and
+    // from the next cycle on the launch runs on the bare warp paths.
+    if (obs_ != nullptr) hooks_ = obs_->wants();
 
     bool placement_dirty = false;
     // Only SMs at their wake cycle can issue; skipped SMs have no eligible

@@ -15,8 +15,10 @@
 //   - BlockRt/WarpRt/SharedMemory come from watermark pools owned by the
 //     executor and are reused across run() calls, so repeated trials (fault
 //     campaigns, beam experiments) stop exercising the allocator;
-//   - the observer's wants() mask is read once per launch and unclaimed hook
-//     families are skipped without constructing their contexts.
+//   - the observer's wants() mask is read at launch start and re-read at
+//     cycle boundaries; unclaimed hook families are skipped without
+//     constructing their contexts, so an observer that drops its claims
+//     mid-launch (a fired one-shot injection) runs the rest on bare paths.
 // All of this is behaviour-preserving: scheduling order, stats, outcomes and
 // memory images are bit-identical to the straightforward engine
 // (tests/test_sched_equivalence.cpp pins this against recorded goldens).
@@ -74,11 +76,22 @@ class Executor final : public Machine {
 
   BlockRt* acquire_block();
   WarpRt* acquire_warp();
+  /// Pool slots without reinitialisation — restore_snapshot only, which
+  /// overwrites every field the initialising variants clear.
+  BlockRt* acquire_block_raw();
+  WarpRt* acquire_warp_raw();
   /// Snapshot the live executor + allocated global memory at end-of-cycle.
   Snapshot make_snapshot(std::uint64_t cycle, std::uint64_t lane_mark) const;
   /// Rebuild pools, SM lists, and counters from a snapshot (global memory is
   /// restored by the caller — see Workload::run_trial_forked).
   void restore_snapshot(const ExecutorSnapshot& snap);
+  /// Delta variant: valid only while the executor is resident on the same
+  /// snapshot (pool slot i still corresponds to snapshot entity i, and every
+  /// architectural mutation since the last restore set a dirty flag). Copies
+  /// back the heavy per-warp arrays only for dirty slots; scheduling scalars,
+  /// SM lists, and counters are always restored. Bit-identical to the full
+  /// restore.
+  void restore_snapshot_delta(const ExecutorSnapshot& snap);
   void refresh_wake(SmState& s);
   void place_block(unsigned sm, unsigned linear_block, std::uint64_t cycle);
   void remove_block(BlockRt* block, std::uint64_t cycle);
@@ -135,6 +148,10 @@ class Executor final : public Machine {
   unsigned max_blocks_per_sm_ = 0;
   DueKind due_ = DueKind::None;
   LaunchStats stats_;
+  // Snapshot this executor's pools were last restored from with delta
+  // tracking requested; nullptr after any plain (non-resume) run. While set,
+  // pool slot i mirrors snapshot entity i up to the dirty flags.
+  const Snapshot* resident_ = nullptr;
 };
 
 }  // namespace gpurel::sim

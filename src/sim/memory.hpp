@@ -57,9 +57,13 @@ class GlobalMemory {
   static constexpr std::uint32_t kNullGuard = 4096;
 
   /// Allocate `bytes` (aligned); throws std::bad_alloc style runtime_error on
-  /// exhaustion. Returns the guest address.
+  /// exhaustion. Returns the guest address. Allocating while dirty tracking
+  /// is armed disarms it (the tracked window no longer matches the image the
+  /// dirty set was diffed against); callers of the delta-restore fast path
+  /// re-check dirty_tracking() and fall back to a full restore.
   std::uint32_t alloc(std::uint32_t bytes, std::uint32_t align = 256);
-  /// Reset the allocator and zero memory (fresh trial).
+  /// Reset the allocator and zero memory (fresh trial). Disarms dirty
+  /// tracking.
   void reset();
 
   /// Guest access (bounds- and alignment-checked against the allocated
@@ -77,6 +81,10 @@ class GlobalMemory {
     const MemStatus st = detail::check(addr, size, valid(addr, size));
     if (st != MemStatus::Ok) return st;
     detail::store_raw(&data_[addr], size, value);
+    // Naturally aligned guest stores never cross a page (alignment is a mask
+    // test against the power-of-two width, and the width divides the page
+    // size), so one page mark covers the whole access.
+    if (tracking_) mark_page(addr >> kDirtyPageShift);
     return MemStatus::Ok;
   }
 
@@ -106,12 +114,50 @@ class GlobalMemory {
   /// image size disagrees with `top` or `top` exceeds capacity.
   void restore_allocated(std::uint32_t top, std::span<const std::uint8_t> image);
 
+  // Coarse dirty tracking for delta restores (checkpoint-fork fast path).
+  // While armed, every mutation — guest stores, host writes, bit flips —
+  // marks its kDirtyPageSize-byte page, so the dirty set is a superset of the
+  // bytes that differ from the image the tracking run started from.
+  static constexpr std::uint32_t kDirtyPageShift = 8;
+  static constexpr std::uint32_t kDirtyPageSize = 1u << kDirtyPageShift;
+
+  /// Arm (or disarm) dirty tracking; arming clears any previous dirty set.
+  void set_dirty_tracking(bool on);
+  bool dirty_tracking() const { return tracking_; }
+  /// Bytes of tracking scratch retained by this device (dirty map + page
+  /// list) — the per-worker cost of the shared-snapshot delta pool.
+  std::uint64_t dirty_scratch_bytes() const {
+    return dirty_map_.size() + dirty_pages_.capacity() * sizeof(std::uint32_t);
+  }
+  /// Copy back only the dirty pages from `image` (same contract as
+  /// restore_allocated, plus: tracking must be armed and `top` must equal the
+  /// current watermark — the caller guarantees the only divergence from the
+  /// image is what tracking saw). Clears the dirty set; returns the number of
+  /// bytes copied.
+  std::size_t restore_allocated_delta(std::uint32_t top,
+                                      std::span<const std::uint8_t> image);
+
  private:
   bool valid(std::uint32_t addr, std::uint32_t size) const {
     return addr >= kNullGuard && addr + size >= addr && addr + size <= top_;
   }
+  void mark_page(std::uint32_t page) {
+    if (!dirty_map_[page]) {
+      dirty_map_[page] = 1;
+      dirty_pages_.push_back(page);
+    }
+  }
+  void mark_range(std::uint32_t addr, std::uint32_t size) {
+    if (!tracking_ || size == 0) return;
+    const std::uint32_t first = addr >> kDirtyPageShift;
+    const std::uint32_t last = (addr + size - 1) >> kDirtyPageShift;
+    for (std::uint32_t p = first; p <= last; ++p) mark_page(p);
+  }
   std::vector<std::uint8_t> data_;
   std::uint32_t top_ = kNullGuard;
+  bool tracking_ = false;
+  std::vector<std::uint8_t> dirty_map_;     // one byte per page
+  std::vector<std::uint32_t> dirty_pages_;  // insertion-ordered dirty set
 };
 
 class SharedMemory {

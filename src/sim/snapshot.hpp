@@ -121,6 +121,12 @@ struct ForkIO {
   std::uint64_t lane_base = 0;
   std::vector<Snapshot>* out = nullptr;
   const Snapshot* resume = nullptr;
+  /// Resume-only: permit a delta restore. When the executor is still
+  /// resident on `resume` (same snapshot, every mutation since the last
+  /// restore flagged by the dirty bits), only dirty warp/block slots are
+  /// copied back; otherwise the restore silently falls back to the full
+  /// copy. Either way the restored state is bit-identical.
+  bool delta = false;
 };
 
 }  // namespace gpurel::sim

@@ -44,6 +44,12 @@ struct WarpRt {
   std::array<std::uint64_t, 256> reg_ready{};
   std::array<std::uint64_t, 8> pred_ready{};
   std::array<ThreadRegs, 32> lanes;
+
+  // Delta-restore flag: set whenever architectural state (lanes, scoreboard
+  // ready times) may have changed since the warp was last made equal to a
+  // snapshot slot. Cheap scheduling scalars (pc, active, stack, next_try,
+  // barrier/exit bits) are always re-restored, so they never set it.
+  bool dirty = true;
 };
 
 struct BlockRt {
@@ -56,6 +62,10 @@ struct BlockRt {
   unsigned warps_at_barrier = 0;
   SharedMemory shared{0};
   std::vector<WarpRt*> warps;  // non-owning; storage lives in the executor pool
+
+  // Delta-restore flag for the shared-memory contents (the block's scalar
+  // counters are always re-restored).
+  bool shared_dirty = true;
 };
 
 }  // namespace gpurel::sim

@@ -11,6 +11,7 @@
 
 #include "fault/campaign.hpp"
 #include "fault/injector.hpp"
+#include "kernels/graph.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/microbench.hpp"
 #include "kernels/sort.hpp"
@@ -21,8 +22,11 @@ namespace {
 
 using core::Outcome;
 using core::Precision;
+using core::Stepping;
 using core::WorkloadConfig;
 using kernels::ArithMicro;
+using kernels::Bfs;
+using kernels::Ccl;
 using kernels::Mergesort;
 using kernels::MicroOp;
 using kernels::MxM;
@@ -34,15 +38,22 @@ struct RunOut {
   std::vector<std::uint64_t> cycles;
 };
 
+struct ForkKnobs {
+  bool delta = true;
+  bool shared_pool = true;
+};
+
 RunOut run(const Injector& inj, const WorkloadFactory& factory,
            const InjectionBudget& budget, unsigned workers, Schedule sched,
-           unsigned fork_epochs) {
+           unsigned fork_epochs, ForkKnobs knobs = {}) {
   CampaignConfig cc;
   cc.budget() = budget;
   cc.seed = 0xf0f0;
   cc.workers = workers;
   cc.schedule = sched;
   cc.fork_epochs = fork_epochs;
+  cc.fork_delta = knobs.delta;
+  cc.fork_shared_pool = knobs.shared_pool;
   RunOut out;
   cc.trial_outcomes_out = &out.outcomes;
   cc.trial_cycles_out = &out.cycles;
@@ -153,6 +164,116 @@ TEST(ForkEquivalence, HighAvfMicrobenchKeepsSdcProfile) {
   EXPECT_GT(all.sdc, 0u);  // integer chains: flips survive to the output
   const RunOut forked = run(*inj, factory, budget, 4, Schedule::Dynamic, 5);
   expect_same_trials(base, forked);
+}
+
+TEST(ForkEquivalence, DeviceSteppedWorkloadsForkAcrossWorkersAndEpochs) {
+  // The device-stepped variants of the iterative codes (BFS-DEV, CCL-DEV,
+  // QUICKSORT-DEV) chain their convergence through device memory, so — unlike
+  // their host-stepped shapes — they fork. Equivalence must hold across
+  // worker counts and epoch bucketings for each.
+  auto inj = make_nvbitfi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  const std::vector<WorkloadFactory> factories{
+      [&] { return std::make_unique<Bfs>(wc, 0, 4, Stepping::Device); },
+      [&] { return std::make_unique<Ccl>(wc, 16, Stepping::Device); },
+      [&] { return std::make_unique<Quicksort>(wc, 0, Stepping::Device); },
+  };
+  InjectionBudget budget;
+  budget.injections_per_kind = 3;
+
+  for (const auto& factory : factories) {
+    ASSERT_TRUE(factory()->fork_safe());
+    const RunOut base = run(*inj, factory, budget, 1, Schedule::Dynamic, 0);
+    ASSERT_GT(base.result.total_injections(), 0u);
+    for (const unsigned workers : {1u, 2u, 4u}) {
+      const RunOut forked =
+          run(*inj, factory, budget, workers, Schedule::Dynamic, 4);
+      expect_same_trials(base, forked);
+    }
+    for (const unsigned epochs : {1u, 6u}) {
+      const RunOut forked =
+          run(*inj, factory, budget, 2, Schedule::Dynamic, epochs);
+      expect_same_trials(base, forked);
+    }
+  }
+}
+
+TEST(ForkEquivalence, DeltaRestoreMatchesFullRestore) {
+  // Campaign level: delta restores on and off must produce the same trials
+  // bit for bit (and both must match the unforked campaign).
+  auto inj = make_sassifi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  auto factory = [&] {
+    return std::make_unique<MxM>(wc, Precision::Single, 16);
+  };
+  InjectionBudget budget;
+  budget.injections_per_kind = 5;
+  budget.rf_injections = 5;
+
+  const RunOut base = run(*inj, factory, budget, 1, Schedule::Dynamic, 0);
+  ASSERT_GT(base.result.total_injections(), 0u);
+  const RunOut full = run(*inj, factory, budget, 2, Schedule::Dynamic, 4,
+                          {/*delta=*/false, /*shared_pool=*/true});
+  const RunOut delta = run(*inj, factory, budget, 2, Schedule::Dynamic, 4,
+                           {/*delta=*/true, /*shared_pool=*/true});
+  expect_same_trials(base, full);
+  expect_same_trials(base, delta);
+}
+
+TEST(ForkEquivalence, DeltaFastPathRestoresFewerBytesSameResult) {
+  // Workload level: the second consecutive fault-free resume from the same
+  // snapshot takes the dirty-tracking fast path — fewer bytes copied, same
+  // outcome and stats as the full restore.
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
+                          isa::CompilerProfile::Cuda10, 0x5eed, 0.05};
+  MxM w(wc, Precision::Single, 16);
+  sim::Device dev(wc.gpu);
+  w.prepare(dev);
+  const core::TrialResult fresh = w.run_trial(dev);
+
+  const std::uint64_t total = w.golden_stats().lane_instructions;
+  std::vector<sim::Snapshot> snaps;
+  w.capture_prefix(dev, {total / 2}, snaps);
+  ASSERT_EQ(snaps.size(), 1u);
+
+  const core::TrialResult full =
+      w.run_trial_forked(dev, snaps[0], nullptr, /*delta=*/false);
+  const std::uint64_t full_bytes = w.last_restore_bytes();
+  // First delta call arms tracking (full restore), second takes the fast path.
+  w.run_trial_forked(dev, snaps[0], nullptr, /*delta=*/true);
+  const core::TrialResult fast =
+      w.run_trial_forked(dev, snaps[0], nullptr, /*delta=*/true);
+  const std::uint64_t fast_bytes = w.last_restore_bytes();
+
+  EXPECT_EQ(full.outcome, core::Outcome::Masked);
+  EXPECT_EQ(fast.outcome, core::Outcome::Masked);
+  EXPECT_EQ(fast.stats.cycles, fresh.stats.cycles);
+  EXPECT_EQ(fast.stats.lane_instructions, fresh.stats.lane_instructions);
+  EXPECT_EQ(full.stats.cycles, fresh.stats.cycles);
+  EXPECT_GT(fast_bytes, 0u);
+  EXPECT_LT(fast_bytes, full_bytes);
+}
+
+TEST(ForkEquivalence, SharedSnapshotPoolMatchesPerWorkerCapture) {
+  // One shared capture pass and per-worker lazy captures must agree bit for
+  // bit with each other and with the unforked campaign.
+  auto inj = make_nvbitfi();
+  const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
+                          0x5eed, 0.05};
+  auto factory = [&] { return std::make_unique<Mergesort>(wc); };
+  InjectionBudget budget;
+  budget.injections_per_kind = 4;
+
+  const RunOut base = run(*inj, factory, budget, 1, Schedule::Dynamic, 0);
+  ASSERT_GT(base.result.total_injections(), 0u);
+  const RunOut shared = run(*inj, factory, budget, 3, Schedule::Dynamic, 4,
+                            {/*delta=*/true, /*shared_pool=*/true});
+  const RunOut per_worker = run(*inj, factory, budget, 3, Schedule::Dynamic, 4,
+                                {/*delta=*/true, /*shared_pool=*/false});
+  expect_same_trials(base, shared);
+  expect_same_trials(base, per_worker);
 }
 
 TEST(ForkEquivalence, NonForkSafeWorkloadFallsBackUnchanged) {

@@ -47,7 +47,7 @@ int usage() {
                "        --code=NAME --precision=int|half|single|double\n"
                "        [--injector=SASSIFI|NVBitFI --injections=N --rf=N\n"
                "         --pred=N --ia=N --store-value=N --store-addr=N\n"
-               "         --fork-epochs=N --propagation]\n"
+               "         --fork-epochs=N --fork-delta[=false] --propagation]\n"
                "        [--ecc[=false] --mode=accelerated|natural --runs=N\n"
                "         --flux-scale=X]\n"
                "        [--seed=N --input-seed=N --scale=X]\n"
@@ -115,6 +115,7 @@ int cmd_plan(const Cli& cli) {
     spec.budget.store_value_injections = u("store-value", 0);
     spec.budget.store_addr_injections = u("store-addr", 0);
     spec.fork_epochs = u("fork-epochs", 0);
+    spec.fork_delta = cli.get_bool("fork-delta", true);
     spec.propagation = cli.get_bool("propagation", false);
   } else {
     spec.kind = job::JobKind::Beam;
