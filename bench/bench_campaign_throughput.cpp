@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   obs::Exporter exporter(cli.get("metrics-out"), cli.get("trace-out"));
   std::vector<std::pair<std::string, double>> json_entries;
 
-  auto injector = fault::make_sassifi();
+  auto injector = fault::make_injector("SASSIFI");
   const core::WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
                                 injector->profile(), 0x5eed, scale};
 

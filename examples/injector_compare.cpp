@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   fault::CampaignResult results[2];
   const char* names[2] = {"SASSIFI", "NVBitFI"};
   for (int i = 0; i < 2; ++i) {
-    auto inj = i == 0 ? fault::make_sassifi() : fault::make_nvbitfi();
+    auto inj = i == 0 ? fault::make_injector("SASSIFI") : fault::make_injector("NVBitFI");
     const core::WorkloadConfig wc{gpu, inj->profile(), 0x5eed, 1.0};
     results[i] =
         fault::run_campaign(*inj, kernels::workload_factory(code, precision, wc),

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
               beam_result.fit_sdc, beam_result.fit_sdc_ci.lower,
               beam_result.fit_sdc_ci.upper, beam_result.fit_due);
 
-  auto injector = fault::make_nvbitfi();
+  auto injector = fault::make_injector("NVBitFI");
   fault::CampaignConfig cc;
   cc.injections_per_kind = 25;
   cc.trace = exporter.trace();

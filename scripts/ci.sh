@@ -235,16 +235,48 @@ print(f"propagation smoke OK: {len(recs)} records ({fired} fired), "
       f"outcome tallies identical to plain run")
 EOF
 
+echo "==> microarch smoke (MicroArch campaign: strata, DUE causes, arch purity)"
+# A MicroArch job through the job layer: the result must carry the four
+# micro-architectural strata with their static site counts and a DUE-cause
+# split accounting for every DUE — and an architectural job planned next to
+# it must carry none of that (the serialized layout of pre-redesign results
+# is unchanged).
+"${JOBS_BIN}" plan --kind=campaign --arch=kepler --code=MXM \
+  --precision=single --injector=MicroArch --injections=0 --sched=10 \
+  --scoreboard=10 --cta=10 --warp-control=10 --seed=13 --scale=0.05 \
+  --fork-epochs=4 --out="${JOB_DIR}/march" >/dev/null
+"${JOBS_BIN}" run --spec="${JOB_DIR}/march.shard0of1.json" \
+  --out="${JOB_DIR}/march.out.json" --workers=2 >/dev/null
+python3 - "${JOB_DIR}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+r = json.load(open(f"{d}/march.out.json"))["result"]
+ma = r["microarch"]
+strata = ["scheduler", "scoreboard", "cta", "warp_control"]
+for s in strata:
+    assert ma[f"{s}_sites"] > 0, (s, ma)
+    assert sum(ma[s][k] for k in ("masked", "sdc", "due")) == 10, (s, ma)
+dues = sum(ma[s]["due"] for s in strata)
+causes = r["due_causes"]
+assert sum(causes.values()) == dues, (causes, dues)
+assert causes["ecc"] == 0, causes
+arch = json.load(open(f"{d}/prop.off.out.json"))["result"]
+assert "microarch" not in arch, "architectural result grew a microarch section"
+print(f"microarch smoke OK: 40 strikes over 4 classes, {dues} DUEs "
+      f"({causes})")
+EOF
+
 echo "==> ThreadSanitizer quick leg (thread pool + campaign determinism + fork)"
 # Always-on subset of the full tsan preset: the tests that exercise the
-# worker pool, the cross-worker bit-identity contract, and the shared
-# snapshot pool (read-only snapshot set + per-worker delta restores across
-# workers). The preset's ctest filter covers more binaries; build and run
-# just these three here.
+# worker pool, the cross-worker bit-identity contract, the shared snapshot
+# pool (read-only snapshot set + per-worker delta restores across workers),
+# and the multi-worker MicroArch campaigns (machine-state strikes from
+# worker threads). The preset's ctest filter covers more binaries; build and
+# run just these four here.
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}" --target \
-  test_thread_pool test_determinism test_fork_equivalence
-ctest --test-dir build-tsan -R '^test_(thread_pool|determinism|fork_equivalence)$' \
+  test_thread_pool test_determinism test_fork_equivalence test_microarch
+ctest --test-dir build-tsan -R '^test_(thread_pool|determinism|fork_equivalence|microarch)$' \
   -j "${JOBS}" --output-on-failure
 
 echo "==> UBSan quick leg (executor arithmetic + serializers)"

@@ -103,9 +103,34 @@ void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
                              : "; FP16 AVFs from FP32 variant";
       add("NVBitFI", *ev.nvbitfi, note);
     }
-    if (!ev.sassifi && !ev.nvbitfi) os << "(not instrumentable)\n";
+    if (ev.microarch)
+      add("MicroArch", *ev.microarch, "simulator-only (hidden state)");
+    if (!ev.sassifi && !ev.nvbitfi && !ev.microarch)
+      os << "(not instrumentable)\n";
     else if (options.csv) t.render_csv(os);
     else t.render_text(os);
+
+    // DUE-cause taxonomy (core::DueCause): how each campaign's DUEs
+    // manifested. Campaigns without DUEs contribute no row.
+    Table d({"injector", "hang", "launch fail", "watchdog", "barrier deadlock",
+             "ecc"});
+    auto add_causes = [&](const char* name, const fault::CampaignResult& r) {
+      if (r.due_causes.total() == 0) return;
+      d.row()
+          .cell(name)
+          .cell_int(static_cast<long long>(r.due_causes.hang))
+          .cell_int(static_cast<long long>(r.due_causes.launch_failure))
+          .cell_int(static_cast<long long>(r.due_causes.watchdog))
+          .cell_int(static_cast<long long>(r.due_causes.barrier_deadlock))
+          .cell_int(static_cast<long long>(r.due_causes.ecc));
+    };
+    if (ev.sassifi) add_causes("SASSIFI", *ev.sassifi);
+    if (ev.nvbitfi) add_causes("NVBitFI", *ev.nvbitfi);
+    if (ev.microarch) add_causes("MicroArch", *ev.microarch);
+    if (d.num_rows() > 0) {
+      if (options.csv) d.render_csv(os);
+      else d.render_text(os);
+    }
   }
   if (options.include_propagation) {
     // Only propagation-enabled campaigns carry a report (plain-text only:
@@ -156,6 +181,24 @@ void write_code_report(std::ostream& os, const Study::CodeEvaluation& ev,
       if (options.csv) t.render_csv(os);
       else t.render_text(os);
     }
+
+    // Injector-reach DUE sweep (§V): the predicted DUE FIT as the injector
+    // is granted reach into one more micro-architectural class per level,
+    // closing the gap toward the ECC-on beam measurement.
+    if (ev.reach) {
+      Table r({"reach", "predicted DUE", "verdict vs beam"});
+      for (const auto& level : ev.reach->levels)
+        r.row()
+            .cell(level.name)
+            .cell(format_sci(level.predicted_due))
+            .cell(prediction_verdict(ev.reach->beam_due, level.predicted_due));
+      r.row()
+          .cell("beam (ECC on)")
+          .cell(format_sci(ev.reach->beam_due))
+          .cell("measured");
+      if (options.csv) r.render_csv(os);
+      else r.render_text(os);
+    }
   }
 }
 
@@ -180,6 +223,8 @@ json::Value code_report_json(const Study::CodeEvaluation& ev) {
                               : Value());
   v.set("nvbitfi", ev.nvbitfi ? job::campaign_result_to_json(*ev.nvbitfi)
                               : Value());
+  v.set("microarch", ev.microarch ? job::campaign_result_to_json(*ev.microarch)
+                                  : Value());
   v.set("nvbitfi_substituted", ev.nvbitfi_substituted);
   v.set("half_avf_substituted", ev.half_avf_substituted);
   {
@@ -206,6 +251,26 @@ json::Value code_report_json(const Study::CodeEvaluation& ev) {
     add("nvbitfi_ecc_on", ev.pred_nvbitfi_on);
     add("nvbitfi_ecc_off", ev.pred_nvbitfi_off);
     v.set("predictions", std::move(preds));
+  }
+  if (ev.reach) {
+    Value r = Value::object();
+    r.set("schema_version", kReachSweepSchemaVersion);
+    r.set("base", ev.reach->base);
+    r.set("beam_due", ev.reach->beam_due);
+    r.set("hidden_due", ev.reach->hidden_due);
+    Value levels = Value::array();
+    for (const auto& level : ev.reach->levels) {
+      Value e = Value::object();
+      e.set("reach", level.name);
+      if (level.granted)
+        e.set("granted", fault::site_class_name(*level.granted));
+      e.set("predicted_due", level.predicted_due);
+      levels.push_back(std::move(e));
+    }
+    r.set("levels", std::move(levels));
+    v.set("injector_reach", std::move(r));
+  } else {
+    v.set("injector_reach", Value());
   }
   return v;
 }

@@ -40,6 +40,13 @@ struct StudyConfig : fault::InjectionBudget, obs::RunContext {
     ia_injections = 30;
     store_value_injections = 30;
     store_addr_injections = 30;
+    // Micro-architectural strata (MicroArch injector only; run_injection
+    // grants each stratum solely to injectors that reach its site class, so
+    // SASSIFI/NVBitFI specs — and their cache hashes — are untouched).
+    sched_injections = 24;
+    scoreboard_injections = 24;
+    cta_injections = 24;
+    warp_control_injections = 24;
   }
 
   unsigned micro_beam_runs = 300;
@@ -70,6 +77,11 @@ struct StudyConfig : fault::InjectionBudget, obs::RunContext {
   const obs::RunContext& context() const { return *this; }
 };
 
+/// Schema version of the injector-reach sweep section emitted by
+/// core::code_report_json (independent of job::kResultSchemaVersion: the
+/// sweep is a derived analysis, not an engine result).
+inline constexpr int kReachSweepSchemaVersion = 1;
+
 class Study {
  public:
   Study(arch::GpuConfig gpu, StudyConfig config);
@@ -96,6 +108,29 @@ class Study {
   const model::FitInputs& fit_inputs();
 
   // ---- Stage 2 + 3 -------------------------------------------------------
+  /// One level of the injector-reach DUE sweep: the cumulative DUE-FIT
+  /// prediction (ECC on) after granting the injector one more site class.
+  struct ReachLevel {
+    std::string name;  // "architectural", "+scheduler", ...
+    /// Site class granted at this level; nullopt for the base level.
+    std::optional<fault::SiteClass> granted;
+    double predicted_due = 0.0;  // cumulative prediction, monotone in level
+  };
+
+  /// The §V DUE-gap analysis, quantified: level 0 is the architectural
+  /// (SASSIFI/NVBitFI-class) Eq. 1-4 DUE prediction exactly as reported
+  /// today; each further level adds the hidden-strike beam DUE FIT scaled by
+  /// the granted class's static-site share and its MicroArch-measured DUE
+  /// AVF. The prediction is non-decreasing in reach, closing toward the
+  /// beam-measured DUE as the injector reaches more of the
+  /// parallelism-management state.
+  struct ReachSweep {
+    std::string base;           // which prediction anchors level 0
+    double beam_due = 0.0;      // measured DUE FIT, ECC on
+    double hidden_due = 0.0;    // beam DUE FIT attributed to hidden strikes
+    std::vector<ReachLevel> levels;
+  };
+
   struct CodeEvaluation {
     kernels::CatalogEntry entry;
     std::string name;
@@ -105,6 +140,9 @@ class Study {
 
     std::optional<fault::CampaignResult> sassifi;
     std::optional<fault::CampaignResult> nvbitfi;
+    /// Simulator-only MicroArch campaign over the scheduler / scoreboard /
+    /// CTA-bookkeeping / warp-control site classes (§V DUE-gap analysis).
+    std::optional<fault::CampaignResult> microarch;
     /// Kepler library code: the NVBitFI AVF was measured on Volta (§III-D).
     bool nvbitfi_substituted = false;
     /// Half-precision code: FP16 per-kind AVFs were grafted from the
@@ -118,6 +156,11 @@ class Study {
 
     std::optional<model::FitPrediction> pred_sassifi_on, pred_sassifi_off;
     std::optional<model::FitPrediction> pred_nvbitfi_on, pred_nvbitfi_off;
+
+    /// DUE-gap sweep over injector reach (see ReachSweep); present when the
+    /// MicroArch campaign, an architectural prediction, and the ECC-on beam
+    /// measurement are all available.
+    std::optional<ReachSweep> reach;
   };
 
   /// Which stages of an evaluation to run (predictions need injections).
@@ -131,6 +174,12 @@ class Study {
   /// Full (or partial) evaluation of one catalog entry.
   CodeEvaluation evaluate(const kernels::CatalogEntry& entry,
                           EvalParts parts = kAllParts);
+
+  /// Build the injector-reach sweep from an evaluation's MicroArch campaign,
+  /// base architectural prediction, and ECC-on beam result; nullopt when any
+  /// is missing. Pure function of the evaluation (exposed for tests and for
+  /// callers assembling evaluations from cached job results).
+  static std::optional<ReachSweep> reach_sweep(const CodeEvaluation& ev);
 
   /// The device's Table-I application catalog.
   std::vector<kernels::CatalogEntry> app_catalog() const;

@@ -43,6 +43,36 @@ std::string_view outcome_name(Outcome o) {
   return "?";
 }
 
+std::string_view due_cause_name(DueCause c) {
+  switch (c) {
+    case DueCause::None: return "none";
+    case DueCause::Hang: return "hang";
+    case DueCause::LaunchFailure: return "launch_failure";
+    case DueCause::Watchdog: return "watchdog";
+    case DueCause::BarrierDeadlock: return "barrier_deadlock";
+    case DueCause::Ecc: return "ecc";
+    case DueCause::kCount: break;
+  }
+  return "?";
+}
+
+DueCause due_cause_of(sim::DueKind k) {
+  switch (k) {
+    case sim::DueKind::None: return DueCause::None;
+    // Device exceptions abort the launch at the API boundary.
+    case sim::DueKind::InvalidAddress:
+    case sim::DueKind::MisalignedAddress:
+    case sim::DueKind::IllegalInstruction:
+      return DueCause::LaunchFailure;
+    case sim::DueKind::Watchdog: return DueCause::Watchdog;
+    case sim::DueKind::BarrierDeadlock: return DueCause::BarrierDeadlock;
+    case sim::DueKind::EccDoubleBit: return DueCause::Ecc;
+    // Hidden-resource strikes stop the device without an exception.
+    case sim::DueKind::HiddenResource: return DueCause::Hang;
+  }
+  return DueCause::None;
+}
+
 TrialRunner::TrialRunner(sim::Device& dev, sim::SimObserver* obs,
                          std::uint64_t cycle_budget)
     : dev_(dev), obs_(obs), cycle_budget_(cycle_budget) {}
@@ -294,6 +324,7 @@ TrialResult Workload::classify(sim::Device& dev, TrialRunner& runner) {
   if (runner.due()) {
     result.outcome = Outcome::Due;
     result.due = result.stats.due;
+    result.cause = due_cause_of(result.due);
   } else {
     result.outcome = verify(dev) ? Outcome::Masked : Outcome::Sdc;
   }

@@ -36,6 +36,22 @@ unsigned precision_bytes(Precision p);
 enum class Outcome : std::uint8_t { Masked, Sdc, Due };
 std::string_view outcome_name(Outcome o);
 
+/// Coarse DUE-cause taxonomy ("Sources of DUEs" / paper §V): how a
+/// detected-unrecoverable outcome manifested at the API boundary. Derived
+/// from the engine's sim::DueKind detail (due_cause_of), which
+/// Workload::classify used to collapse into a bare Outcome::Due.
+enum class DueCause : std::uint8_t {
+  None,             // not a DUE
+  Hang,             // device stopped making progress (hidden-resource strike)
+  LaunchFailure,    // launch aborted with a device exception
+  Watchdog,         // runtime watchdog expired (stalled but live scheduler)
+  BarrierDeadlock,  // blocked forever at a synchronization point
+  Ecc,              // uncorrectable-ECC abort
+  kCount,
+};
+std::string_view due_cause_name(DueCause c);
+DueCause due_cause_of(sim::DueKind k);
+
 /// How an iterative workload drives its convergence loop. Host stepping
 /// reads the convergence flag from device memory between launches (simple,
 /// but not fork-safe); device stepping chains per-iteration convergence
@@ -46,6 +62,7 @@ enum class Stepping : std::uint8_t { Host, Device };
 struct TrialResult {
   Outcome outcome = Outcome::Masked;
   sim::DueKind due = sim::DueKind::None;
+  DueCause cause = DueCause::None;  // = due_cause_of(due) on a DUE
   sim::LaunchStats stats;  // merged over all launches of the trial
 };
 

@@ -16,6 +16,13 @@ struct InjectionBudget {
   unsigned ia_injections = 0;
   unsigned store_value_injections = 0;
   unsigned store_addr_injections = 0;
+  /// Micro-architectural strata (only run when the injector reaches the
+  /// class — the MicroArch injector; see fault/microarch.hpp). Serialized
+  /// only when nonzero, so pre-existing JobSpec hashes are untouched.
+  unsigned sched_injections = 0;
+  unsigned scoreboard_injections = 0;
+  unsigned cta_injections = 0;
+  unsigned warp_control_injections = 0;
 
   friend bool operator==(const InjectionBudget&, const InjectionBudget&) = default;
 };

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/microarch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/instr_info.hpp"
@@ -34,19 +35,42 @@ void OutcomeCounts::merge(const OutcomeCounts& other) {
   due += other.due;
 }
 
+void DueCauseCounts::add(core::DueCause c) {
+  switch (c) {
+    case core::DueCause::None: break;
+    case core::DueCause::Hang: ++hang; break;
+    case core::DueCause::LaunchFailure: ++launch_failure; break;
+    case core::DueCause::Watchdog: ++watchdog; break;
+    case core::DueCause::BarrierDeadlock: ++barrier_deadlock; break;
+    case core::DueCause::Ecc: ++ecc; break;
+    case core::DueCause::kCount: break;
+  }
+}
+
+void DueCauseCounts::merge(const DueCauseCounts& other) {
+  hang += other.hang;
+  launch_failure += other.launch_failure;
+  watchdog += other.watchdog;
+  barrier_deadlock += other.barrier_deadlock;
+  ecc += other.ecc;
+}
+
 namespace {
 
 constexpr std::size_t kKinds = static_cast<std::size_t>(UnitKind::kCount);
-constexpr std::size_t kFaultModels =
-    static_cast<std::size_t>(FaultModel::StoreAddress) + 1;
 
-/// Per-mode site counts consumed by the fault-free prefix up to one snapshot
-/// epoch. `lane_mark` is the cumulative issue-domain lane-instruction count
-/// at the epoch's end-of-cycle boundary — the same boundary the executor's
-/// capture hook uses (sim/snapshot.hpp), so a trial whose sampled target
-/// index is >= the epoch's count for its mode fires strictly after the fork.
+/// Per-class site counts consumed by the fault-free prefix up to one
+/// snapshot epoch. `lane_mark` is the cumulative issue-domain
+/// lane-instruction count at the epoch's end-of-cycle boundary — the same
+/// boundary the executor's capture hook uses (sim/snapshot.hpp), so a trial
+/// whose sampled target index is >= the epoch's count for its class fires
+/// strictly after the fork. `cum_cycle` is the cumulative cycle position of
+/// that same boundary (prior launches + the in-flight launch's cycle),
+/// which is how micro-architectural trials — addressed by fire cycle, not
+/// site index — are bucketed.
 struct EpochSites {
   std::uint64_t lane_mark = 0;
+  std::uint64_t cum_cycle = 0;
   SiteCounts at;
 };
 
@@ -76,7 +100,14 @@ class CountingObserver final : public sim::SimObserver {
     lanes_ += static_cast<unsigned>(std::popcount(wi.exec_mask));
   }
 
-  void on_launch_end(const sim::LaunchStats&) override { flush(); }
+  void on_launch_end(const sim::LaunchStats& st) override {
+    flush();
+    // Cumulative-cycle base for the next launch's epochs — the same
+    // accumulation a snapshot's `prior` stats carry, so cum_cycle matches
+    // the resumed position of a forked trial exactly.
+    launch_base_ += st.cycles;
+    cycle_ = std::numeric_limits<std::uint64_t>::max();
+  }
 
   void after_exec(sim::ExecContext& ctx) override {
     ++total_lane_;
@@ -98,6 +129,13 @@ class CountingObserver final : public sim::SimObserver {
     while (next_mark_ < marks_->size() && (*marks_)[next_mark_] <= lanes_) {
       EpochSites e;
       e.lane_mark = lanes_;
+      // The executor snapshots at this same boundary with its cycle counter
+      // still on the last issued cycle, so `prior.cycles + exec cycle` of
+      // the snapshot equals exactly this value.
+      e.cum_cycle = launch_base_ + (cycle_ == std::numeric_limits<
+                                                  std::uint64_t>::max()
+                                        ? 0
+                                        : cycle_);
       e.at.per_kind = per_kind_;
       e.at.pred = pred_;
       e.at.stores = stores_;
@@ -112,6 +150,7 @@ class CountingObserver final : public sim::SimObserver {
   std::vector<EpochSites>* epochs_;
   std::uint64_t lanes_ = 0;   // issue-domain cumulative lane instructions
   std::uint64_t cycle_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t launch_base_ = 0;  // cycles of completed launches
   std::size_t next_mark_ = 0;
 };
 
@@ -262,10 +301,28 @@ class InjectionObserver final : public sim::SimObserver {
 };
 
 struct TrialDesc {
-  FaultModel mode;
-  UnitKind kind;       // IOV only
+  SiteClass cls;
+  UnitKind kind;       // InstructionOutput only
   std::uint64_t seed;
 };
+
+/// Dynamic sites of an architectural class within a set of counting-run
+/// counts — the single class→stratum mapping shared by trial planning,
+/// fault sampling, and fork-epoch bucketing (which used to carry three
+/// copies of the same per-mode switch). Micro-architectural classes have
+/// static site spaces (SiteSpace), not dynamic counts, and return 0 here.
+std::uint64_t class_sites(const SiteCounts& sc, SiteClass cls, UnitKind kind) {
+  switch (cls) {
+    case SiteClass::InstructionOutput:
+      return sc.per_kind[static_cast<std::size_t>(kind)];
+    case SiteClass::Predicate: return sc.pred;
+    case SiteClass::RegisterFile:
+    case SiteClass::InstructionAddress: return sc.total_lane;
+    case SiteClass::StoreValue:
+    case SiteClass::StoreAddress: return sc.stores;
+    default: return 0;
+  }
+}
 
 /// Shared preamble of run_campaign and count_sites: the injector must be
 /// able to instrument this workload on its device and compiler profile.
@@ -300,6 +357,24 @@ SiteCounts count_prepared(const Injector& injector, core::Workload& w,
 
 }  // namespace
 
+// Micro-architectural strata fold into the overall AVF weighted by their
+// static site counts (exactly zero mass on architectural campaigns, whose
+// numbers are therefore unchanged to the bit).
+namespace {
+struct Stratum {
+  const OutcomeCounts* counts;
+  std::uint64_t sites;
+};
+
+std::array<Stratum, 5> aux_strata(const CampaignResult& r) {
+  return {{{&r.pred, r.pred_sites},
+           {&r.scheduler, r.scheduler_sites},
+           {&r.scoreboard, r.scoreboard_sites},
+           {&r.cta, r.cta_sites},
+           {&r.warp_control, r.warp_control_sites}}};
+}
+}  // namespace
+
 double CampaignResult::overall_avf_sdc() const {
   double num = 0, den = 0;
   for (std::size_t k = 0; k < kKinds; ++k) {
@@ -308,9 +383,10 @@ double CampaignResult::overall_avf_sdc() const {
            per_kind[k].counts.avf_sdc();
     den += static_cast<double>(per_kind[k].dynamic_sites);
   }
-  if (pred.total() > 0 && pred_sites > 0) {
-    num += static_cast<double>(pred_sites) * pred.avf_sdc();
-    den += static_cast<double>(pred_sites);
+  for (const Stratum& s : aux_strata(*this)) {
+    if (s.counts->total() == 0 || s.sites == 0) continue;
+    num += static_cast<double>(s.sites) * s.counts->avf_sdc();
+    den += static_cast<double>(s.sites);
   }
   return den > 0 ? num / den : 0.0;
 }
@@ -323,9 +399,10 @@ double CampaignResult::overall_avf_due() const {
            per_kind[k].counts.avf_due();
     den += static_cast<double>(per_kind[k].dynamic_sites);
   }
-  if (pred.total() > 0 && pred_sites > 0) {
-    num += static_cast<double>(pred_sites) * pred.avf_due();
-    den += static_cast<double>(pred_sites);
+  for (const Stratum& s : aux_strata(*this)) {
+    if (s.counts->total() == 0 || s.sites == 0) continue;
+    num += static_cast<double>(s.sites) * s.counts->avf_due();
+    den += static_cast<double>(s.sites);
   }
   return den > 0 ? num / den : 0.0;
 }
@@ -335,7 +412,9 @@ double CampaignResult::overall_masked() const {
   for (std::size_t k = 0; k < kKinds; ++k)
     if (per_kind[k].counts.total() > 0)
       den += static_cast<double>(per_kind[k].dynamic_sites);
-  if (pred.total() > 0 && pred_sites > 0) den += static_cast<double>(pred_sites);
+  for (const Stratum& s : aux_strata(*this))
+    if (s.counts->total() > 0 && s.sites > 0)
+      den += static_cast<double>(s.sites);
   if (den <= 0) return 0.0;  // nothing injected: no masked mass either
   return 1.0 - overall_avf_sdc() - overall_avf_due();
 }
@@ -351,7 +430,9 @@ unsigned ia_pc_bits(const core::Workload& w) {
 
 std::uint64_t CampaignResult::total_injections() const {
   std::uint64_t t = rf.total() + pred.total() + ia.total() +
-                    store_value.total() + store_addr.total();
+                    store_value.total() + store_addr.total() +
+                    scheduler.total() + scoreboard.total() + cta.total() +
+                    warp_control.total();
   for (const auto& k : per_kind) t += k.counts.total();
   return t;
 }
@@ -368,6 +449,11 @@ void CampaignResult::merge(const CampaignResult& other) {
       total_lane_sites != other.total_lane_sites ||
       eligible_output_sites != other.eligible_output_sites)
     mismatch("site count");
+  if (scheduler_sites != other.scheduler_sites ||
+      scoreboard_sites != other.scoreboard_sites ||
+      cta_sites != other.cta_sites ||
+      warp_control_sites != other.warp_control_sites)
+    mismatch("micro-architectural site count");
   for (std::size_t k = 0; k < per_kind.size(); ++k)
     if (per_kind[k].dynamic_sites != other.per_kind[k].dynamic_sites)
       mismatch("per-kind dynamic sites");
@@ -378,6 +464,11 @@ void CampaignResult::merge(const CampaignResult& other) {
   ia.merge(other.ia);
   store_value.merge(other.store_value);
   store_addr.merge(other.store_addr);
+  scheduler.merge(other.scheduler);
+  scoreboard.merge(other.scoreboard);
+  cta.merge(other.cta);
+  warp_control.merge(other.warp_control);
+  due_causes.merge(other.due_causes);
   if (other.propagation.has_value()) {
     if (propagation.has_value())
       propagation->merge(*other.propagation);
@@ -449,6 +540,13 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   if (forking && epochs.size() != marks.size())
     forking = false;  // defensive: a missed mark disables forking, not trials
 
+  // The injector's reach descriptor: static site spaces of the
+  // micro-architectural classes it can strike (empty for the SASS-level
+  // injectors, whose reach is purely architectural/dynamic).
+  const SiteSpace space = injector.enumerate_sites(*ref, ref->config().gpu);
+  const MicroArchLayout layout = microarch_layout(*ref, ref->config().gpu);
+  const std::uint64_t golden_cycles = ref->golden_stats().cycles;
+
   CampaignResult result;
   result.injector = injector.name();
   result.workload = ref->name();
@@ -459,36 +557,49 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     result.per_kind[k].dynamic_sites = sites.per_kind[k];
     result.eligible_output_sites += sites.per_kind[k];
   }
+  result.scheduler_sites = space.of(SiteClass::Scheduler).sites();
+  result.scoreboard_sites = space.of(SiteClass::Scoreboard).sites();
+  result.cta_sites = space.of(SiteClass::CtaBookkeeping).sites();
+  result.warp_control_sites = space.of(SiteClass::WarpControl).sites();
 
-  // Build the trial list (stratified by kind, plus aux modes).
+  // Build the trial list (stratified by kind, plus every other reached
+  // class the budget funds).
   std::vector<TrialDesc> trials;
   std::uint64_t salt = config.seed;
   for (std::size_t k = 0; k < kKinds; ++k) {
     if (sites.per_kind[k] == 0) continue;
     for (unsigned i = 0; i < config.injections_per_kind; ++i)
-      trials.push_back({FaultModel::InstructionOutput, static_cast<UnitKind>(k),
+      trials.push_back({SiteClass::InstructionOutput, static_cast<UnitKind>(k),
                         splitmix64(salt)});
   }
-  // A mode that was requested and is supported but has zero dynamic sites in
-  // this workload gets its trials resolved as Masked at plan time (a strike
-  // on a unit the program never exercises corrupts nothing), with a
-  // telemetry warning. The old path silently dropped the trials — and had it
-  // run them, sampling a target from an empty range would have reached
+  // A class that was requested and is reached but has zero sites in this
+  // workload gets its trials resolved as Masked at plan time (a strike on a
+  // unit the program never exercises corrupts nothing), with a telemetry
+  // warning. The old path silently dropped the trials — and had it run
+  // them, sampling a target from an empty range would have reached
   // Rng::uniform_u64(0), which is undefined.
-  std::array<bool, kFaultModels> zero_site_mode{};
-  auto add_aux = [&](FaultModel mode, unsigned n, std::uint64_t mode_sites) {
-    if (!injector.supports(mode) || n == 0) return;
-    if (mode_sites == 0) zero_site_mode[static_cast<std::size_t>(mode)] = true;
-    for (unsigned i = 0; i < n; ++i) trials.push_back({mode, UnitKind::OTHER,
-                                                       splitmix64(salt)});
+  std::array<bool, kSiteClasses> zero_site_class{};
+  auto add_stratum = [&](SiteClass cls, unsigned n) {
+    if (!injector.reaches(cls) || n == 0) return;
+    const std::uint64_t cls_sites =
+        is_microarch(cls) ? space.of(cls).sites()
+                          : class_sites(sites, cls, UnitKind::OTHER);
+    if (cls_sites == 0) zero_site_class[static_cast<std::size_t>(cls)] = true;
+    for (unsigned i = 0; i < n; ++i)
+      trials.push_back({cls, UnitKind::OTHER, splitmix64(salt)});
   };
-  add_aux(FaultModel::RegisterFile, config.rf_injections, sites.total_lane);
-  add_aux(FaultModel::Predicate, config.pred_injections, sites.pred);
-  add_aux(FaultModel::InstructionAddress, config.ia_injections,
-          sites.total_lane);
-  add_aux(FaultModel::StoreValue, config.store_value_injections, sites.stores);
-  add_aux(FaultModel::StoreAddress, config.store_addr_injections,
-          sites.stores);
+  add_stratum(SiteClass::RegisterFile, config.rf_injections);
+  add_stratum(SiteClass::Predicate, config.pred_injections);
+  add_stratum(SiteClass::InstructionAddress, config.ia_injections);
+  add_stratum(SiteClass::StoreValue, config.store_value_injections);
+  add_stratum(SiteClass::StoreAddress, config.store_addr_injections);
+  // Micro-architectural strata ride strictly after the architectural ones so
+  // the architectural salt chain — and with it every pre-existing trial
+  // seed — is byte-for-byte untouched.
+  add_stratum(SiteClass::Scheduler, config.sched_injections);
+  add_stratum(SiteClass::Scoreboard, config.scoreboard_injections);
+  add_stratum(SiteClass::CtaBookkeeping, config.cta_injections);
+  add_stratum(SiteClass::WarpControl, config.warp_control_injections);
 
   // Shard selection: every shard builds the identical full trial list above
   // and then owns trials t with t % shard_count == shard_index. Outcome
@@ -562,13 +673,13 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                 {"fork_delta", forking && config.fork_delta},
                 {"fork_shared_pool", forking && config.fork_shared_pool}});
   if (sink != nullptr)
-    for (std::size_t m = 0; m < zero_site_mode.size(); ++m)
-      if (zero_site_mode[m])
+    for (std::size_t m = 0; m < zero_site_class.size(); ++m)
+      if (zero_site_class[m])
         sink->emit("campaign_zero_site_mode",
                    {{"injector", result.injector},
                     {"workload", result.workload},
                     {"model",
-                     std::string(fault_model_name(static_cast<FaultModel>(m)))},
+                     std::string(site_class_name(static_cast<SiteClass>(m)))},
                     {"resolution", "masked"}});
   telemetry::Progress progress(config.progress, "campaign " + result.workload,
                                todo);
@@ -577,6 +688,7 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   // Per-trial records stay indexed by the *global* trial id (sparse under
   // sharding) so trial_cycles_out keeps its documented indexing.
   std::vector<core::Outcome> outcomes(trials.size(), core::Outcome::Masked);
+  std::vector<core::DueCause> causes(trials.size(), core::DueCause::None);
   std::vector<std::uint64_t> cycles;
   if (config.trial_cycles_out != nullptr) cycles.assign(trials.size(), 0);
   std::vector<obs::PropagationRecord> records;
@@ -589,17 +701,23 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
                              std::size_t p_end) {
     for (std::size_t p = p_begin; p < p_end; ++p) {
       const std::size_t t = owned[skip + p];
-      switch (trials[t].mode) {
-        case FaultModel::InstructionOutput:
+      switch (trials[t].cls) {
+        case SiteClass::InstructionOutput:
           res.per_kind[static_cast<std::size_t>(trials[t].kind)].counts.add(
               outcomes[t]);
           break;
-        case FaultModel::RegisterFile: res.rf.add(outcomes[t]); break;
-        case FaultModel::Predicate: res.pred.add(outcomes[t]); break;
-        case FaultModel::InstructionAddress: res.ia.add(outcomes[t]); break;
-        case FaultModel::StoreValue: res.store_value.add(outcomes[t]); break;
-        case FaultModel::StoreAddress: res.store_addr.add(outcomes[t]); break;
+        case SiteClass::RegisterFile: res.rf.add(outcomes[t]); break;
+        case SiteClass::Predicate: res.pred.add(outcomes[t]); break;
+        case SiteClass::InstructionAddress: res.ia.add(outcomes[t]); break;
+        case SiteClass::StoreValue: res.store_value.add(outcomes[t]); break;
+        case SiteClass::StoreAddress: res.store_addr.add(outcomes[t]); break;
+        case SiteClass::Scheduler: res.scheduler.add(outcomes[t]); break;
+        case SiteClass::Scoreboard: res.scoreboard.add(outcomes[t]); break;
+        case SiteClass::CtaBookkeeping: res.cta.add(outcomes[t]); break;
+        case SiteClass::WarpControl: res.warp_control.add(outcomes[t]); break;
+        case SiteClass::kCount: break;
       }
+      res.due_causes.add(causes[t]);
     }
   };
 
@@ -692,67 +810,58 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     unsigned ia_bit = 0;
     unsigned rf_reg = 0;
     std::uint64_t target_index = 0;
+    std::uint64_t fire_cycle = 0;  // micro-architectural trials only
   };
   auto sample_trial = [&](const TrialDesc& desc,
                           unsigned max_regs) -> TrialSample {
     Rng rng(desc.seed);
     TrialSample s;
+    if (is_microarch(desc.cls)) {
+      // Micro-architectural trials address a static site plus a fire cycle
+      // drawn over the golden cycle count. Their seeds are fresh (the
+      // strata append after every architectural one), so this draw order is
+      // free — the architectural sequence below stays byte-for-byte fixed.
+      s.target_index = rng.uniform_u64(space.of(desc.cls).sites());
+      s.fire_cycle =
+          rng.uniform_u64(std::max<std::uint64_t>(1, golden_cycles));
+      return s;
+    }
     s.bit = rng.next_u32();  // reduced modulo the destination width at fire time
     s.ia_bit = static_cast<unsigned>(rng.uniform_u64(pc_bits));
     // max(1, regs): every trial draws rf_reg to keep the draw order fixed
     // across modes; RF-mode trials on a zero-register workload were already
     // rejected at plan time, so the clamp only ever pads non-RF draws.
     s.rf_reg = static_cast<unsigned>(rng.uniform_u64(std::max(1u, max_regs)));
-    switch (desc.mode) {
-      case FaultModel::InstructionOutput:
-        s.target_index = rng.uniform_u64(
-            sites.per_kind[static_cast<std::size_t>(desc.kind)]);
-        break;
-      case FaultModel::Predicate:
-        s.target_index = rng.uniform_u64(sites.pred);
-        break;
-      case FaultModel::RegisterFile:
-      case FaultModel::InstructionAddress:
-        s.target_index = rng.uniform_u64(sites.total_lane);
-        break;
-      case FaultModel::StoreValue:
-      case FaultModel::StoreAddress:
-        s.target_index = rng.uniform_u64(sites.stores);
-        break;
-    }
+    s.target_index = rng.uniform_u64(class_sites(sites, desc.cls, desc.kind));
     return s;
-  };
-
-  // Sites of a trial's mode consumed by the prefix up to an epoch.
-  auto epoch_sites_for = [](FaultModel mode, UnitKind kind,
-                            const EpochSites& e) -> std::uint64_t {
-    switch (mode) {
-      case FaultModel::InstructionOutput:
-        return e.at.per_kind[static_cast<std::size_t>(kind)];
-      case FaultModel::Predicate: return e.at.pred;
-      case FaultModel::RegisterFile:
-      case FaultModel::InstructionAddress: return e.at.total_lane;
-      case FaultModel::StoreValue:
-      case FaultModel::StoreAddress: return e.at.stores;
-    }
-    return 0;
   };
 
   // Fork planning: bucket each owned trial by the deepest epoch whose prefix
   // consumes only sites strictly before the trial's target, so the injection
-  // fires inside the resumed suffix. -1 = run the trial from scratch.
+  // fires inside the resumed suffix. Micro-architectural trials are bucketed
+  // by simulated-time position instead: an epoch is valid when its boundary
+  // is at or before the fire cycle (advance windows are [from, to), so a
+  // fire exactly on the boundary still lands in the resumed suffix). -1 =
+  // run the trial from scratch.
   std::vector<int> trial_epoch;
   if (forking) {
     trial_epoch.assign(trials.size(), -1);
     for (const std::size_t t : owned) {
       const TrialDesc& d = trials[t];
-      if (zero_site_mode[static_cast<std::size_t>(d.mode)]) continue;
+      if (zero_site_class[static_cast<std::size_t>(d.cls)]) continue;
       const TrialSample s = sample_trial(d, states[0].max_regs);
       int e = -1;
-      while (e + 1 < static_cast<int>(epochs.size()) &&
-             epoch_sites_for(d.mode, d.kind, epochs[static_cast<std::size_t>(
-                                                 e + 1)]) <= s.target_index)
-        ++e;
+      if (is_microarch(d.cls)) {
+        while (e + 1 < static_cast<int>(epochs.size()) &&
+               epochs[static_cast<std::size_t>(e + 1)].cum_cycle <=
+                   s.fire_cycle)
+          ++e;
+      } else {
+        while (e + 1 < static_cast<int>(epochs.size()) &&
+               class_sites(epochs[static_cast<std::size_t>(e + 1)].at, d.cls,
+                           d.kind) <= s.target_index)
+          ++e;
+      }
       trial_epoch[t] = e;
     }
   }
@@ -776,7 +885,7 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
 
   auto run_one = [&](WorkerState& st, std::size_t t) {
     const TrialDesc& desc = trials[t];
-    if (zero_site_mode[static_cast<std::size_t>(desc.mode)]) {
+    if (zero_site_class[static_cast<std::size_t>(desc.cls)]) {
       // Resolved at plan time: no reachable site, so the fault is masked by
       // definition — no RNG draws, no simulation.
       outcomes[t] = core::Outcome::Masked;
@@ -784,7 +893,7 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       if (propagation) {
         obs::PropagationRecord& rec = records[t];
         rec.trial = t;
-        rec.model = std::string(fault_model_name(desc.mode));
+        rec.model = std::string(site_class_name(desc.cls));
         rec.fired = false;
         rec.outcome = "Masked";
       }
@@ -792,8 +901,68 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
       return;
     }
     const TrialSample sample = sample_trial(desc, st.max_regs);
+    const int epoch = forking ? trial_epoch[t] : -1;
+    const telemetry::Timer trial_wall;
+    core::TrialResult r;
+
+    // Stamp the terminal-event fields the workload owns (outcome, DUE
+    // cause, SDC corruption geometry) onto a provenance record.
+    auto finish_record = [&](obs::PropagationRecord rec) {
+      rec.outcome = std::string(core::outcome_name(r.outcome));
+      if (r.outcome == core::Outcome::Due) {
+        rec.due = std::string(sim::due_kind_name(r.due));
+        rec.due_cause = std::string(core::due_cause_name(r.cause));
+      } else if (r.outcome == core::Outcome::Sdc) {
+        // Outputs are still on the device here (next trial resets it), so
+        // the corruption footprint can be diffed against the golden copy.
+        const core::Workload::OutputGeometry g = st.w->output_geometry();
+        std::vector<std::uint64_t> bad = st.w->corrupted_elements(*st.dev);
+        rec.output_rows = g.rows;
+        rec.output_cols = g.cols;
+        rec.corrupted_elems = bad.size();
+        rec.geometry =
+            std::string(obs::sdc_geometry_name(obs::classify_sdc_geometry(
+                bad, g.rows, g.cols)));
+      }
+      records[t] = std::move(rec);
+    };
+
+    if (is_microarch(desc.cls)) {
+      // Micro-architectural strike: machine state, not an instruction site —
+      // no taint tracker (there is no instruction provenance to seed); the
+      // record is assembled from the observer's own account instead.
+      MicroArchObserver march(layout, desc.cls, sample.target_index,
+                              sample.fire_cycle);
+      if (epoch >= 0) {
+        ensure_snaps(st);
+        const sim::Snapshot& snap =
+            (*st.snap_set)[static_cast<std::size_t>(epoch)];
+        march.preset_cycle_base(snap.prior.cycles);
+        r = st.w->run_trial_forked(*st.dev, snap, &march, config.fork_delta);
+        m_restore_bytes.add(st.w->last_restore_bytes());
+      } else {
+        r = st.w->run_trial(*st.dev, &march);
+      }
+      m_latency.observe(trial_wall.elapsed_ms());
+      m_trials.add();
+      outcomes[t] = r.outcome;
+      causes[t] = r.cause;
+      if (!cycles.empty()) cycles[t] = r.stats.cycles;
+      if (propagation) {
+        obs::PropagationRecord rec;
+        rec.trial = t;
+        rec.model = std::string(site_class_name(desc.cls));
+        rec.fired = march.fired();
+        rec.effect = march.effect();
+        rec.bit = march.site().bit;
+        rec.cycle = march.fired() ? sample.fire_cycle : 0;
+        finish_record(std::move(rec));
+      }
+      return;
+    }
+
     InjectionObserver obs;
-    obs.mode = desc.mode;
+    obs.mode = fault_model_of(desc.cls);
     obs.inj = &injector;
     obs.bit = sample.bit;
     obs.ia_bit = sample.ia_bit;
@@ -808,17 +977,14 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     sim::TeeObserver tee(&obs, &prop);
     sim::SimObserver* trial_obs = &obs;
     if (propagation) {
-      prop.begin_trial(t, std::string(fault_model_name(desc.mode)));
+      prop.begin_trial(t, std::string(site_class_name(desc.cls)));
       obs.prop = &prop;
       trial_obs = &tee;
     }
-    const telemetry::Timer trial_wall;
-    core::TrialResult r;
-    const int epoch = forking ? trial_epoch[t] : -1;
     if (epoch >= 0) {
       ensure_snaps(st);
       const EpochSites& es = epochs[static_cast<std::size_t>(epoch)];
-      obs.preset_counts(epoch_sites_for(desc.mode, desc.kind, es));
+      obs.preset_counts(class_sites(es.at, desc.cls, desc.kind));
       // The skipped prefix is fault-free, so the tracker only needs its
       // lane-instruction clock advanced to keep records fork-invariant.
       if (propagation) prop.preset_lane_count(es.at.total_lane);
@@ -832,26 +998,9 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
     m_latency.observe(trial_wall.elapsed_ms());
     m_trials.add();
     outcomes[t] = r.outcome;
+    causes[t] = r.cause;
     if (!cycles.empty()) cycles[t] = r.stats.cycles;
-    if (propagation) {
-      obs::PropagationRecord rec = prop.finish();
-      rec.outcome = std::string(core::outcome_name(r.outcome));
-      if (r.outcome == core::Outcome::Due) {
-        rec.due = std::string(sim::due_kind_name(r.due));
-      } else if (r.outcome == core::Outcome::Sdc) {
-        // Outputs are still on the device here (next trial resets it), so
-        // the corruption footprint can be diffed against the golden copy.
-        const core::Workload::OutputGeometry g = st.w->output_geometry();
-        std::vector<std::uint64_t> bad = st.w->corrupted_elements(*st.dev);
-        rec.output_rows = g.rows;
-        rec.output_cols = g.cols;
-        rec.corrupted_elems = bad.size();
-        rec.geometry =
-            std::string(obs::sdc_geometry_name(obs::classify_sdc_geometry(
-                bad, g.rows, g.cols)));
-      }
-      records[t] = std::move(rec);
-    }
+    if (propagation) finish_record(prop.finish());
   };
 
   auto after_chunk = [&](std::size_t begin, std::size_t end) {
@@ -1035,6 +1184,7 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
              {"taint_live_at_end", rec.taint_live_at_end},
              {"outcome", rec.outcome},
              {"due", rec.due},
+             {"due_cause", rec.due_cause},
              {"geometry", rec.geometry},
              {"corrupted_elems", rec.corrupted_elems},
              {"output_rows", rec.output_rows},
@@ -1081,6 +1231,10 @@ CampaignResult run_campaign(const Injector& injector, const WorkloadFactory& fac
   count_outcomes("ia", "all", result.ia);
   count_outcomes("store_value", "all", result.store_value);
   count_outcomes("store_addr", "all", result.store_addr);
+  count_outcomes("sched", "all", result.scheduler);
+  count_outcomes("scoreboard", "all", result.scoreboard);
+  count_outcomes("cta", "all", result.cta);
+  count_outcomes("warp_control", "all", result.warp_control);
 
   if (sink != nullptr) {
     OutcomeCounts all;

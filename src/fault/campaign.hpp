@@ -75,6 +75,23 @@ struct KindStats {
   std::uint64_t dynamic_sites = 0;  // eligible lane-level executions
 };
 
+/// DUE outcomes split by core::DueCause (how the DUE manifested). Tallied
+/// over every injected trial; all-zero — and skipped by the serializers —
+/// when the campaign produced no DUEs.
+struct DueCauseCounts {
+  std::uint64_t hang = 0;
+  std::uint64_t launch_failure = 0;
+  std::uint64_t watchdog = 0;
+  std::uint64_t barrier_deadlock = 0;
+  std::uint64_t ecc = 0;
+
+  std::uint64_t total() const {
+    return hang + launch_failure + watchdog + barrier_deadlock + ecc;
+  }
+  void add(core::DueCause c);
+  void merge(const DueCauseCounts& other);
+};
+
 struct CampaignResult {
   std::string injector;
   std::string workload;
@@ -85,6 +102,19 @@ struct CampaignResult {
   std::uint64_t store_sites = 0;  // lane-level STG/STS executions
   std::uint64_t total_lane_sites = 0;  // all lane executions (IA/RF anchor)
   std::uint64_t eligible_output_sites = 0;
+
+  /// Micro-architectural strata (MicroArch injector): outcome tallies and
+  /// static site counts per reached class. All-zero on architectural
+  /// campaigns and serialized only when exercised, keeping pre-existing
+  /// results byte-identical.
+  OutcomeCounts scheduler, scoreboard, cta, warp_control;
+  std::uint64_t scheduler_sites = 0;
+  std::uint64_t scoreboard_sites = 0;
+  std::uint64_t cta_sites = 0;
+  std::uint64_t warp_control_sites = 0;
+
+  /// DUE-cause split over every injected trial of this shard.
+  DueCauseCounts due_causes;
 
   /// Aggregate fault-propagation tables (CampaignConfig::propagation); absent
   /// on plain campaigns, so their serialized results are byte-identical to

@@ -1,20 +1,23 @@
 #include "fault/injector.hpp"
 
+#include <stdexcept>
+
+#include "fault/microarch.hpp"
+
 namespace gpurel::fault {
 
 using isa::Opcode;
 using isa::UnitKind;
 
-std::string_view fault_model_name(FaultModel m) {
-  switch (m) {
-    case FaultModel::InstructionOutput: return "IOV";
-    case FaultModel::RegisterFile: return "RF";
-    case FaultModel::Predicate: return "PR";
-    case FaultModel::InstructionAddress: return "IA";
-    case FaultModel::StoreValue: return "STV";
-    case FaultModel::StoreAddress: return "STA";
+SiteSpace Injector::enumerate_sites(const core::Workload&,
+                                    const arch::GpuConfig&) const {
+  SiteSpace space;
+  for (std::size_t c = 0; c < kArchSiteClasses; ++c) {
+    if (!reaches(static_cast<SiteClass>(c))) continue;
+    space.classes[c].reached = true;
+    space.classes[c].dynamic = true;
   }
-  return "?";
+  return space;
 }
 
 namespace {
@@ -52,17 +55,18 @@ class Sassifi final : public Injector {
     }
   }
 
-  bool supports(FaultModel m) const override {
-    switch (m) {
-      case FaultModel::InstructionOutput:
-      case FaultModel::RegisterFile:
-      case FaultModel::Predicate:
-      case FaultModel::InstructionAddress:
-      case FaultModel::StoreValue:
-      case FaultModel::StoreAddress:
+  bool reaches(SiteClass c) const override {
+    switch (c) {
+      case SiteClass::InstructionOutput:
+      case SiteClass::RegisterFile:
+      case SiteClass::Predicate:
+      case SiteClass::InstructionAddress:
+      case SiteClass::StoreValue:
+      case SiteClass::StoreAddress:
         return true;  // SASSIFI's full mode set
+      default:
+        return false;  // SASS instrumentation sees no micro-arch state
     }
-    return false;
   }
 
   bool can_instrument(const core::Workload& w,
@@ -92,8 +96,8 @@ class Nvbitfi final : public Injector {
     return true;  // any other GPR-writing instruction
   }
 
-  bool supports(FaultModel m) const override {
-    return m == FaultModel::InstructionOutput;
+  bool reaches(SiteClass c) const override {
+    return c == SiteClass::InstructionOutput;
   }
 
   bool can_instrument(const core::Workload& w,
@@ -103,9 +107,42 @@ class Nvbitfi final : public Injector {
   }
 };
 
+using Factory = std::unique_ptr<Injector> (*)();
+
+struct RegistryEntry {
+  const char* name;
+  Factory make;
+};
+
+// Registration order is the order unknown-name errors and
+// registered_injectors() list the names in.
+constexpr RegistryEntry kRegistry[] = {
+    {"SASSIFI", [] { return std::unique_ptr<Injector>(new Sassifi); }},
+    {"NVBitFI", [] { return std::unique_ptr<Injector>(new Nvbitfi); }},
+    {"MicroArch", [] { return std::unique_ptr<Injector>(new MicroArchInjector); }},
+};
+
 }  // namespace
 
-std::unique_ptr<Injector> make_sassifi() { return std::make_unique<Sassifi>(); }
-std::unique_ptr<Injector> make_nvbitfi() { return std::make_unique<Nvbitfi>(); }
+std::unique_ptr<Injector> make_injector(const std::string& name) {
+  for (const RegistryEntry& e : kRegistry)
+    if (name == e.name) return e.make();
+  std::string known;
+  for (const RegistryEntry& e : kRegistry) {
+    if (!known.empty()) known += ", ";
+    known += e.name;
+  }
+  throw std::invalid_argument("make_injector: unknown injector \"" + name +
+                              "\" (registered: " + known + ")");
+}
+
+const std::vector<std::string>& registered_injectors() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const RegistryEntry& e : kRegistry) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
 
 }  // namespace gpurel::fault

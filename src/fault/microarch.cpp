@@ -1,0 +1,190 @@
+#include "fault/microarch.hpp"
+
+#include <algorithm>
+
+#include "sim/warp.hpp"
+
+namespace gpurel::fault {
+
+MicroArchLayout microarch_layout(const core::Workload& w,
+                                 const arch::GpuConfig& gpu) {
+  MicroArchLayout l;
+  l.sm_count = gpu.sm_count;
+  l.schedulers_per_sm = gpu.schedulers_per_sm;
+  l.max_warps_per_sm = gpu.max_warps_per_sm;
+  l.max_blocks_per_sm = gpu.max_blocks_per_sm;
+  l.regs_per_warp = std::clamp<std::uint64_t>(w.max_regs_per_thread(), 1, 256);
+  return l;
+}
+
+SiteSpace microarch_site_space(const MicroArchLayout& l) {
+  SiteSpace space;
+  auto cls = [&](SiteClass c) -> SiteSpace::ClassSpace& {
+    SiteSpace::ClassSpace& cs = space.of(c);
+    cs.reached = true;
+    return cs;
+  };
+  const std::uint64_t warps = l.sm_count * l.max_warps_per_sm;
+  cls(SiteClass::Scheduler).components = {
+      {kSchedRoundRobin, "round_robin_cursor",
+       l.sm_count * l.schedulers_per_sm, 8},
+      {kSchedNextWake, "next_wake_cache", l.sm_count, 32},
+      {kSchedWarpNextTry, "warp_next_try", warps, 32},
+  };
+  cls(SiteClass::Scoreboard).components = {
+      {kScoreRegReady, "reg_ready", warps * l.regs_per_warp, 32},
+      {kScorePredReady, "pred_ready", warps * isa::kNumPredicates, 32},
+  };
+  cls(SiteClass::CtaBookkeeping).components = {
+      {kCtaRetireCount, "warps_exited", l.sm_count * l.max_blocks_per_sm, 8},
+      {kCtaBarrierCount, "warps_at_barrier", l.sm_count * l.max_blocks_per_sm,
+       8},
+  };
+  cls(SiteClass::WarpControl).components = {
+      {kWarpPc, "warp_pc", warps, 32},
+      {kWarpActiveMask, "active_mask", warps, 32},
+      {kWarpDivergenceStack, "divergence_stack_top", warps, 64},
+  };
+  return space;
+}
+
+SiteSpace MicroArchInjector::enumerate_sites(const core::Workload& w,
+                                             const arch::GpuConfig& gpu) const {
+  return microarch_site_space(microarch_layout(w, gpu));
+}
+
+MicroArchObserver::MicroArchObserver(const MicroArchLayout& layout,
+                                     SiteClass cls, std::uint64_t site_index,
+                                     std::uint64_t fire_cycle)
+    : layout_(layout),
+      site_(microarch_site_space(layout).decode(cls, site_index)),
+      fire_(fire_cycle) {}
+
+void MicroArchObserver::on_launch_end(const sim::LaunchStats& st) {
+  base_ += st.cycles;
+}
+
+void MicroArchObserver::on_time_advance(std::uint64_t from, std::uint64_t to,
+                                        sim::Machine& m) {
+  if (fired_) return;
+  if (fire_ < base_ + from || fire_ >= base_ + to) return;
+  fired_ = true;
+  effect_ = apply(m, to);
+}
+
+bool MicroArchObserver::apply(sim::Machine& m, std::uint64_t now) {
+  const std::uint64_t sm_count = m.sched_sm_count();
+  if (sm_count == 0) return false;
+
+  // A mutable warp slot that can still issue; strikes on exited warps (or
+  // slots past the resident count) corrupt state the engine never reads.
+  auto live_warp = [&](std::uint64_t sm, std::uint64_t index) -> sim::WarpRt* {
+    if (sm >= sm_count) return nullptr;
+    sim::WarpRt* w = m.sm_warp_state(sm, index);
+    return (w == nullptr || w->exited) ? nullptr : w;
+  };
+
+  switch (site_.cls) {
+    case SiteClass::Scheduler:
+      switch (site_.component) {
+        case kSchedRoundRobin: {
+          const std::uint64_t sm = site_.instance / layout_.schedulers_per_sm;
+          if (sm >= sm_count) return false;
+          unsigned* rr = m.sched_rr_cursor(
+              sm,
+              static_cast<unsigned>(site_.instance % layout_.schedulers_per_sm));
+          if (rr == nullptr) return false;
+          // The engine reads the cursor modulo the resident warp count, so
+          // any corrupted value stays a valid (if wrong) starting position.
+          *rr ^= 1u << site_.bit;
+          return true;
+        }
+        case kSchedNextWake: {
+          if (site_.instance >= sm_count) return false;
+          std::uint64_t* wake = m.sched_next_wake(site_.instance);
+          if (wake == nullptr) return false;
+          *wake ^= std::uint64_t{1} << site_.bit;
+          if (*wake < now) *wake = now;
+          // Deliberately no sched_touch: the corrupted cache must persist
+          // until the engine itself next re-derives it (that persistence IS
+          // the fault — a forward flip oversleeps the whole SM).
+          return true;
+        }
+        case kSchedWarpNextTry: {
+          const std::uint64_t sm = site_.instance / layout_.max_warps_per_sm;
+          sim::WarpRt* w =
+              live_warp(sm, site_.instance % layout_.max_warps_per_sm);
+          if (w == nullptr) return false;
+          w->next_try ^= std::uint64_t{1} << site_.bit;
+          if (w->next_try < now) w->next_try = now;
+          m.sched_touch(sm);  // wake cache is stale; re-derive at the boundary
+          return true;
+        }
+        default:
+          return false;
+      }
+    case SiteClass::Scoreboard: {
+      const std::uint64_t per_warp = site_.component == kScoreRegReady
+                                         ? layout_.regs_per_warp
+                                         : isa::kNumPredicates;
+      const std::uint64_t per_sm = layout_.max_warps_per_sm * per_warp;
+      sim::WarpRt* w = live_warp(site_.instance / per_sm,
+                                 site_.instance % per_sm / per_warp);
+      if (w == nullptr) return false;
+      const std::uint64_t entry = site_.instance % per_warp;
+      // Ready times in the past mean "ready now" — dependency checks take a
+      // max against the current cycle at issue — so backward flips need no
+      // clamp; forward flips manufacture a dependency stall.
+      if (site_.component == kScoreRegReady)
+        w->reg_ready[entry] ^= std::uint64_t{1} << site_.bit;
+      else
+        w->pred_ready[entry] ^= std::uint64_t{1} << site_.bit;
+      return true;
+    }
+    case SiteClass::CtaBookkeeping: {
+      const std::uint64_t sm = site_.instance / layout_.max_blocks_per_sm;
+      if (sm >= sm_count) return false;
+      sim::BlockRt* b =
+          m.sm_block_state(sm, site_.instance % layout_.max_blocks_per_sm);
+      if (b == nullptr) return false;
+      if (site_.component == kCtaRetireCount)
+        b->warps_exited ^= 1u << site_.bit;
+      else if (site_.component == kCtaBarrierCount)
+        b->warps_at_barrier ^= 1u << site_.bit;
+      else
+        return false;
+      return true;
+    }
+    case SiteClass::WarpControl: {
+      const std::uint64_t sm = site_.instance / layout_.max_warps_per_sm;
+      sim::WarpRt* w = live_warp(sm, site_.instance % layout_.max_warps_per_sm);
+      if (w == nullptr) return false;
+      switch (site_.component) {
+        case kWarpPc:
+          // Out-of-program values surface as IllegalInstruction at the next
+          // issue (the engine's PC bounds check); in-program values are
+          // wrong control flow.
+          w->pc ^= 1u << site_.bit;
+          return true;
+        case kWarpActiveMask:
+          w->active ^= 1u << site_.bit;
+          return true;
+        case kWarpDivergenceStack: {
+          if (w->stack.empty()) return false;  // structure unoccupied
+          sim::StackEntry& top = w->stack.back();
+          if (site_.bit < 32)
+            top.mask ^= 1u << site_.bit;
+          else
+            top.pc ^= 1u << (site_.bit - 32);
+          return true;
+        }
+        default:
+          return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace gpurel::fault

@@ -1,0 +1,133 @@
+// The MicroArch injector: strikes the scheduler / scoreboard /
+// CTA-bookkeeping / warp-control state that SASS-level tools cannot reach.
+//
+// The paper's headline negative result (§V) is that SASSIFI/NVBitFI-class
+// injection under-predicts DUEs by orders of magnitude because real DUEs
+// originate in parallelism-management hardware. Owning the simulator, we can
+// strike that state directly:
+//
+//   Scheduler      — per-SM earliest-wake caches, per-scheduler round-robin
+//                    cursors, per-warp next-issue times. Forward corruption
+//                    oversleeps warps into the watchdog (hangs); cursor
+//                    corruption perturbs issue order (mostly masked).
+//   Scoreboard     — per-warp register/predicate ready times. Forward
+//                    corruption manufactures dependency stalls (hangs).
+//   CtaBookkeeping — resident-block retire and barrier-arrival counts.
+//                    Overcounted retires kill CTAs early (SDC) or wedge the
+//                    retire check (deadlock DUE); barrier miscounts release
+//                    barriers early (SDC) or never (barrier-deadlock DUE).
+//   WarpControl    — warp PC, active mask, divergence-stack top. High PC
+//                    bits land outside the program (launch-failure DUE);
+//                    low bits and mask/stack corruption are wrong-control-
+//                    flow SDCs.
+//
+// A strike is a (component, instance slot, bit) triple drawn uniformly over
+// the class's static site space (fault/site.hpp) plus a fire cycle drawn
+// uniformly over the workload's golden cycle count; MicroArchObserver
+// applies the flip inside the simulated-time window containing the fire
+// cycle. The normative slot/bit catalogue lives in docs/ARCHITECTURE.md §13.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/injector.hpp"
+#include "sim/observer.hpp"
+
+namespace gpurel::fault {
+
+// Component ids within each micro-architectural site class (catalogue §13).
+inline constexpr std::uint32_t kSchedRoundRobin = 0;   // per-scheduler cursor
+inline constexpr std::uint32_t kSchedNextWake = 1;     // per-SM wake cache
+inline constexpr std::uint32_t kSchedWarpNextTry = 2;  // per-warp issue time
+inline constexpr std::uint32_t kScoreRegReady = 0;     // register ready time
+inline constexpr std::uint32_t kScorePredReady = 1;    // predicate ready time
+inline constexpr std::uint32_t kCtaRetireCount = 0;    // warps_exited
+inline constexpr std::uint32_t kCtaBarrierCount = 1;   // warps_at_barrier
+inline constexpr std::uint32_t kWarpPc = 0;
+inline constexpr std::uint32_t kWarpActiveMask = 1;
+inline constexpr std::uint32_t kWarpDivergenceStack = 2;  // top entry
+
+/// Slot-count parameters of the micro-architectural site spaces; one place
+/// derives both the SiteSpace (enumeration/sampling) and the instance→
+/// (sm, warp, …) decoding (MicroArchObserver), so they cannot drift apart.
+struct MicroArchLayout {
+  std::uint64_t sm_count = 0;
+  std::uint64_t schedulers_per_sm = 0;
+  std::uint64_t max_warps_per_sm = 0;
+  std::uint64_t max_blocks_per_sm = 0;
+  /// Scoreboard slots per warp: the workload's architectural register count
+  /// (clamped to [1, 256], the engine's per-warp scoreboard size).
+  std::uint64_t regs_per_warp = 1;
+};
+
+MicroArchLayout microarch_layout(const core::Workload& w,
+                                 const arch::GpuConfig& gpu);
+
+/// The static site spaces of the four micro-architectural classes.
+SiteSpace microarch_site_space(const MicroArchLayout& layout);
+
+class MicroArchInjector final : public Injector {
+ public:
+  std::string name() const override { return "MicroArch"; }
+  isa::CompilerProfile profile() const override {
+    return isa::CompilerProfile::Cuda10;
+  }
+  bool reaches(SiteClass c) const override { return is_microarch(c); }
+  SiteSpace enumerate_sites(const core::Workload& w,
+                            const arch::GpuConfig& gpu) const override;
+  /// No instruction-output sites: this injector strikes machine state, not
+  /// instruction destinations.
+  bool eligible_output(const isa::Instr&) const override { return false; }
+  /// Simulator-level access needs no SASS instrumentation: any workload on
+  /// any device.
+  bool can_instrument(const core::Workload&,
+                      const arch::GpuConfig&) const override {
+    return true;
+  }
+};
+
+/// One-shot micro-architectural strike. The fire position is a cumulative
+/// cycle (across all launches of the trial); the flip is applied during the
+/// simulated-time window [from, to) that contains it, mutating state as of
+/// the window's end cycle. Wake/issue times whose flip lands in the past
+/// are clamped to the window end — a ready time in the past means "ready
+/// now" — which also keeps the engine's next-event arithmetic monotone.
+class MicroArchObserver final : public sim::SimObserver {
+ public:
+  /// `site_index` is a flat index into layout's site space for `cls`
+  /// (decoded on construction); `fire_cycle` is the cumulative fire
+  /// position.
+  MicroArchObserver(const MicroArchLayout& layout, SiteClass cls,
+                    std::uint64_t site_index, std::uint64_t fire_cycle);
+
+  /// Forked trials resume after `prior_cycles` of already-simulated
+  /// launches whose on_launch_end this observer never saw; preloading the
+  /// cycle base keeps the cumulative fire position aligned with an
+  /// unforked run.
+  void preset_cycle_base(std::uint64_t prior_cycles) { base_ = prior_cycles; }
+
+  bool fired() const { return fired_; }
+  /// Whether the strike actually changed machine state (false: the sampled
+  /// slot was unoccupied or out of dynamic range — masked by definition).
+  bool effect() const { return effect_; }
+  const FaultSite& site() const { return site_; }
+
+  unsigned wants() const override {
+    return fired_ ? 0u : kWantsTimeAdvance;
+  }
+  void on_time_advance(std::uint64_t from, std::uint64_t to,
+                       sim::Machine& m) override;
+  void on_launch_end(const sim::LaunchStats& st) override;
+
+ private:
+  bool apply(sim::Machine& m, std::uint64_t now);
+
+  MicroArchLayout layout_;
+  FaultSite site_;
+  std::uint64_t fire_ = 0;
+  std::uint64_t base_ = 0;  // cumulative cycles of completed launches
+  bool fired_ = false;
+  bool effect_ = false;
+};
+
+}  // namespace gpurel::fault

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "beam/cross_section.hpp"
+#include "fault/injector.hpp"
 #include "job/serialize.hpp"
 
 namespace gpurel::job {
@@ -18,12 +19,6 @@ namespace fs = std::filesystem;
 using json::Value;
 
 namespace {
-
-std::unique_ptr<fault::Injector> make_injector(const std::string& name) {
-  if (name == "SASSIFI") return fault::make_sassifi();
-  if (name == "NVBitFI") return fault::make_nvbitfi();
-  throw std::runtime_error("job: unknown injector \"" + name + "\"");
-}
 
 /// Persist a checkpoint atomically. The file carries the job's cache key, so
 /// a stale checkpoint from a different spec (or engine version) is never
@@ -110,7 +105,7 @@ JobResult run_job(const JobSpec& spec, const RunOptions& opts) {
   out.spec = spec;
   if (spec.kind == JobKind::Campaign) {
     const std::unique_ptr<fault::Injector> injector =
-        make_injector(spec.injector);
+        fault::make_injector(spec.injector);
     if (injector->profile() != spec.profile)
       throw std::runtime_error(
           "job: spec profile does not match injector " + spec.injector +
@@ -193,8 +188,9 @@ JobSpec campaign_spec(const arch::GpuConfig& device,
   spec.kind = JobKind::Campaign;
   spec.device = device;
   spec.entry = entry;
-  spec.profile = injector == "SASSIFI" ? isa::CompilerProfile::Cuda7
-                                       : isa::CompilerProfile::Cuda10;
+  // Resolve the profile through the registry so an unknown name fails here,
+  // with the list of registered injectors, rather than at run time.
+  spec.profile = fault::make_injector(injector)->profile();
   spec.seed = seed;
   spec.input_seed = input_seed;
   spec.scale = scale;

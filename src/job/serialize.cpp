@@ -166,6 +166,35 @@ Value campaign_result_to_json(const fault::CampaignResult& r) {
   v.set("store_sites", r.store_sites);
   v.set("total_lane_sites", r.total_lane_sites);
   v.set("eligible_output_sites", r.eligible_output_sites);
+  // Micro-architectural strata are serialized only when the injector reaches
+  // them (site counts are zero for the SASS-level injectors), so
+  // architectural campaigns keep their pre-existing layout here — and a
+  // round trip preserves the site constants CampaignResult::merge checks.
+  // The DUE-cause split below is additive for any campaign that saw a DUE;
+  // readers treat both sections as optional.
+  if (r.scheduler_sites + r.scoreboard_sites + r.cta_sites +
+          r.warp_control_sites >
+      0) {
+    Value m = Value::object();
+    m.set("scheduler", counts_to_json(r.scheduler));
+    m.set("scoreboard", counts_to_json(r.scoreboard));
+    m.set("cta", counts_to_json(r.cta));
+    m.set("warp_control", counts_to_json(r.warp_control));
+    m.set("scheduler_sites", r.scheduler_sites);
+    m.set("scoreboard_sites", r.scoreboard_sites);
+    m.set("cta_sites", r.cta_sites);
+    m.set("warp_control_sites", r.warp_control_sites);
+    v.set("microarch", std::move(m));
+  }
+  if (r.due_causes.total() > 0) {
+    Value d = Value::object();
+    d.set("hang", r.due_causes.hang);
+    d.set("launch_failure", r.due_causes.launch_failure);
+    d.set("watchdog", r.due_causes.watchdog);
+    d.set("barrier_deadlock", r.due_causes.barrier_deadlock);
+    d.set("ecc", r.due_causes.ecc);
+    v.set("due_causes", std::move(d));
+  }
   // Only propagation-enabled campaigns carry a report; plain results keep
   // their pre-existing byte-identical serialization.
   if (r.propagation.has_value()) v.set("propagation", r.propagation->to_json());
@@ -192,6 +221,23 @@ fault::CampaignResult campaign_result_from_json(const Value& doc) {
   r.store_sites = json::get_uint(doc, "store_sites");
   r.total_lane_sites = json::get_uint(doc, "total_lane_sites");
   r.eligible_output_sites = json::get_uint(doc, "eligible_output_sites");
+  if (const Value* m = doc.find("microarch")) {
+    r.scheduler = counts_from_json(m->at("scheduler"));
+    r.scoreboard = counts_from_json(m->at("scoreboard"));
+    r.cta = counts_from_json(m->at("cta"));
+    r.warp_control = counts_from_json(m->at("warp_control"));
+    r.scheduler_sites = json::get_uint(*m, "scheduler_sites");
+    r.scoreboard_sites = json::get_uint(*m, "scoreboard_sites");
+    r.cta_sites = json::get_uint(*m, "cta_sites");
+    r.warp_control_sites = json::get_uint(*m, "warp_control_sites");
+  }
+  if (const Value* d = doc.find("due_causes")) {
+    r.due_causes.hang = json::get_uint(*d, "hang");
+    r.due_causes.launch_failure = json::get_uint(*d, "launch_failure");
+    r.due_causes.watchdog = json::get_uint(*d, "watchdog");
+    r.due_causes.barrier_deadlock = json::get_uint(*d, "barrier_deadlock");
+    r.due_causes.ecc = json::get_uint(*d, "ecc");
+  }
   if (const Value* p = doc.find("propagation"))
     r.propagation = obs::PropagationReport::from_json(*p);
   return r;

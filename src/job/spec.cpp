@@ -39,6 +39,16 @@ Value spec_to_json(const JobSpec& spec) {
     b.set("ia_injections", spec.budget.ia_injections);
     b.set("store_value_injections", spec.budget.store_value_injections);
     b.set("store_addr_injections", spec.budget.store_addr_injections);
+    // Micro-architectural strata: serialized only when nonzero, so hashes
+    // of pre-existing (architectural-only) specs do not move.
+    if (spec.budget.sched_injections != 0)
+      b.set("sched_injections", spec.budget.sched_injections);
+    if (spec.budget.scoreboard_injections != 0)
+      b.set("scoreboard_injections", spec.budget.scoreboard_injections);
+    if (spec.budget.cta_injections != 0)
+      b.set("cta_injections", spec.budget.cta_injections);
+    if (spec.budget.warp_control_injections != 0)
+      b.set("warp_control_injections", spec.budget.warp_control_injections);
     c.set("budget", std::move(b));
     // Only serialized when enabled: hashes of pre-existing specs must not
     // move just because the field now exists.
@@ -101,6 +111,13 @@ JobSpec spec_from_json(const Value& doc) {
     spec.budget.ia_injections = u32("ia_injections");
     spec.budget.store_value_injections = u32("store_value_injections");
     spec.budget.store_addr_injections = u32("store_addr_injections");
+    auto opt_u32 = [&](const char* key, unsigned& out) {
+      if (const Value* f = b.find(key)) out = static_cast<unsigned>(f->as_uint());
+    };
+    opt_u32("sched_injections", spec.budget.sched_injections);
+    opt_u32("scoreboard_injections", spec.budget.scoreboard_injections);
+    opt_u32("cta_injections", spec.budget.cta_injections);
+    opt_u32("warp_control_injections", spec.budget.warp_control_injections);
     if (const Value* fe = c.find("fork_epochs"))
       spec.fork_epochs = static_cast<unsigned>(fe->as_uint());
     if (const Value* fd = c.find("fork_delta")) spec.fork_delta = fd->as_bool();

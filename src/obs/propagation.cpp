@@ -79,6 +79,7 @@ json::Value PropagationRecord::to_json() const {
   doc.set("taint_live_at_end", taint_live_at_end);
   doc.set("outcome", outcome);
   doc.set("due", due);
+  doc.set("due_cause", due_cause);
   doc.set("geometry", geometry);
   doc.set("corrupted_elems", corrupted_elems);
   doc.set("output_rows", output_rows);

@@ -96,7 +96,8 @@ struct PropagationRecord {
 
   // Terminal event.
   std::string outcome;          // "Masked" / "SDC" / "DUE"
-  std::string due;              // DUE cause ("" otherwise)
+  std::string due;              // engine DueKind detail ("" otherwise)
+  std::string due_cause;        // core::DueCause taxonomy ("" otherwise)
   std::string geometry;         // SDC corruption geometry ("" otherwise)
   std::uint64_t corrupted_elems = 0;
   std::uint64_t output_rows = 0;

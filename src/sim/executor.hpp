@@ -62,6 +62,36 @@ class Executor final : public Machine {
   SharedMemory& live_block_shared(std::size_t live_index) override;
   void raise_due(DueKind kind) override;
 
+  // Micro-architectural state (fault/microarch.hpp strikes through these).
+  std::size_t sched_sm_count() const override { return sms_.size(); }
+  unsigned* sched_rr_cursor(std::size_t sm, unsigned scheduler) override {
+    auto& rr = sms_[sm].rr;
+    return scheduler < rr.size() ? &rr[scheduler] : nullptr;
+  }
+  std::uint64_t* sched_next_wake(std::size_t sm) override {
+    return &sms_[sm].next_wake;
+  }
+  void sched_touch(std::size_t sm) override { sms_[sm].touched = true; }
+  std::size_t sm_warp_count(std::size_t sm) const override {
+    return sms_[sm].warps.size();
+  }
+  WarpRt* sm_warp_state(std::size_t sm, std::size_t index) override {
+    auto& warps = sms_[sm].warps;
+    if (index >= warps.size()) return nullptr;
+    // Scoreboard arrays are only copied back for dirty slots under a
+    // delta-tracked snapshot restore; handing out mutable access must flag
+    // the warp or a forked follow-up trial would resume on corrupted state.
+    warps[index]->dirty = true;
+    return warps[index];
+  }
+  std::size_t sm_block_count(std::size_t sm) const override {
+    return sms_[sm].blocks.size();
+  }
+  BlockRt* sm_block_state(std::size_t sm, std::size_t index) override {
+    auto& blocks = sms_[sm].blocks;
+    return index < blocks.size() ? blocks[index] : nullptr;
+  }
+
  private:
   struct SmState {
     std::vector<BlockRt*> blocks;

@@ -15,6 +15,9 @@
 
 namespace gpurel::sim {
 
+struct WarpRt;
+struct BlockRt;
+
 /// Access to the live machine, valid during a launch.
 class Machine {
  public:
@@ -32,6 +35,36 @@ class Machine {
   virtual SharedMemory& live_block_shared(std::size_t live_index) = 0;
   /// Abort the launch with the given DUE (takes effect at the next step).
   virtual void raise_due(DueKind kind) = 0;
+
+  // Micro-architectural state access (per-SM scheduler caches, warp
+  // scoreboards, CTA bookkeeping), used by the MicroArch injector. The
+  // defaults expose nothing — a machine that models none of this state is
+  // simply out of every micro-architectural injector's reach. Indices are
+  // per-SM resident positions, stable only until the next placement event;
+  // accessors return nullptr past the resident count (a strike on an
+  // unoccupied slot corrupts nothing).
+  virtual std::size_t sched_sm_count() const { return 0; }
+  /// Round-robin cursor of one scheduler of one SM.
+  virtual unsigned* sched_rr_cursor(std::size_t /*sm*/, unsigned /*scheduler*/) {
+    return nullptr;
+  }
+  /// The SM's cached earliest-wake cycle.
+  virtual std::uint64_t* sched_next_wake(std::size_t /*sm*/) { return nullptr; }
+  /// Mark the SM's wake cache stale so the engine re-derives it at the next
+  /// cycle boundary (call after mutating a warp's timing state).
+  virtual void sched_touch(std::size_t /*sm*/) {}
+  virtual std::size_t sm_warp_count(std::size_t /*sm*/) const { return 0; }
+  /// Mutable per-warp state (PC, divergence stack, scoreboard ready times).
+  /// Implementations flag the warp for full state restoration under
+  /// delta-tracked snapshot resume.
+  virtual WarpRt* sm_warp_state(std::size_t /*sm*/, std::size_t /*index*/) {
+    return nullptr;
+  }
+  virtual std::size_t sm_block_count(std::size_t /*sm*/) const { return 0; }
+  /// Mutable per-resident-block bookkeeping (retire/barrier counts).
+  virtual BlockRt* sm_block_state(std::size_t /*sm*/, std::size_t /*index*/) {
+    return nullptr;
+  }
 };
 
 struct LaunchInfo {

@@ -49,7 +49,7 @@ void expect_same_campaign(const fault::CampaignResult& a,
 }
 
 TEST(Determinism, CampaignBitIdenticalAcrossWorkerCounts) {
-  auto inj = fault::make_sassifi();
+  auto inj = fault::make_injector("SASSIFI");
   fault::CampaignConfig base;
   base.injections_per_kind = 8;
   base.ia_injections = 12;
@@ -72,7 +72,7 @@ TEST(Determinism, CampaignBitIdenticalAcrossWorkerCounts) {
 }
 
 TEST(Determinism, CampaignBitIdenticalAcrossSchedulesAndChunks) {
-  auto inj = fault::make_sassifi();
+  auto inj = fault::make_injector("SASSIFI");
   fault::CampaignConfig base;
   base.injections_per_kind = 8;
   base.ia_injections = 10;
@@ -113,7 +113,7 @@ TEST(Determinism, PrecountedSitesDoNotPerturbResults) {
   // CampaignConfig::sites) must be invisible: trial seeding and sampling
   // depend only on the site counts, which are identical whether counted
   // inline or precomputed.
-  auto inj = fault::make_sassifi();
+  auto inj = fault::make_injector("SASSIFI");
   fault::CampaignConfig base;
   base.injections_per_kind = 8;
   base.ia_injections = 10;
@@ -139,7 +139,7 @@ TEST(Determinism, ObservabilityDoesNotPerturbResults) {
   // (always on), and Chrome-trace output — reads timestamps and counters but
   // must never feed back into seeding, scheduling decisions, or tallies:
   // an instrumented campaign is bit-identical to a bare one.
-  auto inj = fault::make_sassifi();
+  auto inj = fault::make_injector("SASSIFI");
   fault::CampaignConfig base;
   base.injections_per_kind = 8;
   base.ia_injections = 10;

@@ -36,7 +36,7 @@ WorkloadConfig cfg_for(const Injector& inj, bool volta = false,
 }
 
 TEST(Injector, SassifiCapabilities) {
-  auto s = make_sassifi();
+  auto s = make_injector("SASSIFI");
   EXPECT_EQ(s->name(), "SASSIFI");
   EXPECT_EQ(s->profile(), CompilerProfile::Cuda7);
   EXPECT_TRUE(s->supports(FaultModel::Predicate));
@@ -52,7 +52,7 @@ TEST(Injector, SassifiCapabilities) {
 }
 
 TEST(Injector, NvbitfiCapabilities) {
-  auto n = make_nvbitfi();
+  auto n = make_injector("NVBitFI");
   EXPECT_EQ(n->profile(), CompilerProfile::Cuda10);
   EXPECT_TRUE(n->supports(FaultModel::InstructionOutput));
   EXPECT_FALSE(n->supports(FaultModel::Predicate));
@@ -74,8 +74,8 @@ TEST(Injector, NvbitfiCapabilities) {
 }
 
 TEST(Injector, LibraryAndArchRestrictions) {
-  auto s = make_sassifi();
-  auto n = make_nvbitfi();
+  auto s = make_injector("SASSIFI");
+  auto n = make_injector("NVBitFI");
   const auto kepler = arch::GpuConfig::kepler_k40c(2);
   const auto volta = arch::GpuConfig::volta_v100(2);
 
@@ -94,7 +94,7 @@ TEST(Injector, LibraryAndArchRestrictions) {
 TEST(Campaign, IntegerMicrobenchHasNearTotalAvf) {
   // Paper §V-A: microbenchmark AVF is ~100% for the integer versions —
   // a flipped accumulator bit always survives to the output.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   CampaignConfig cc;
   cc.injections_per_kind = 40;
   cc.seed = 7;
@@ -110,7 +110,7 @@ TEST(Campaign, IntegerMicrobenchHasNearTotalAvf) {
 }
 
 TEST(Campaign, ResultsAreReproducible) {
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   CampaignConfig cc;
   cc.injections_per_kind = 15;
   cc.seed = 99;
@@ -125,7 +125,7 @@ TEST(Campaign, ResultsAreReproducible) {
 }
 
 TEST(Campaign, WorkerCountDoesNotChangeResults) {
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   CampaignConfig cc;
   cc.injections_per_kind = 12;
   cc.seed = 31;
@@ -141,7 +141,7 @@ TEST(Campaign, WorkerCountDoesNotChangeResults) {
 }
 
 TEST(Campaign, MxMShowsAllThreeOutcomeClasses) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   CampaignConfig cc;
   cc.injections_per_kind = 60;
   cc.ia_injections = 40;
@@ -170,7 +170,7 @@ TEST(Campaign, MxMShowsAllThreeOutcomeClasses) {
 }
 
 TEST(Campaign, RejectsMismatchedProfile) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   CampaignConfig cc;
   auto bad_factory = [&] {
     // Cuda10 workload given to the Cuda7-era injector.
@@ -183,7 +183,7 @@ TEST(Campaign, RejectsMismatchedProfile) {
 }
 
 TEST(Campaign, RejectsUninstrumentableWorkload) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   CampaignConfig cc;
   auto lib_factory = [&] {
     return std::make_unique<Gemm>(cfg_for(*inj), Precision::Single, 32);
@@ -193,7 +193,7 @@ TEST(Campaign, RejectsUninstrumentableWorkload) {
 
 
 TEST(Campaign, StoreModesExerciseStores) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   CampaignConfig cc;
   cc.injections_per_kind = 10;
   cc.store_value_injections = 40;
@@ -215,7 +215,7 @@ TEST(Campaign, StoreModesExerciseStores) {
 }
 
 TEST(Campaign, NvbitfiIgnoresStoreModes) {
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   EXPECT_FALSE(inj->supports(FaultModel::StoreValue));
   EXPECT_FALSE(inj->supports(FaultModel::StoreAddress));
   CampaignConfig cc;
@@ -247,7 +247,7 @@ TEST(Campaign, OverallMaskedIsZeroWithoutTrials) {
   EXPECT_DOUBLE_EQ(empty.overall_avf_due(), 0.0);
 
   // Same through the campaign runner with every injection count at zero.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   CampaignConfig cc;
   cc.injections_per_kind = 0;
   auto factory = [&] {
@@ -259,7 +259,7 @@ TEST(Campaign, OverallMaskedIsZeroWithoutTrials) {
 }
 
 TEST(Campaign, NonEmptyMaskedSdcDueSumToOne) {
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   CampaignConfig cc;
   cc.injections_per_kind = 10;
   cc.seed = 5;
@@ -277,7 +277,7 @@ TEST(Campaign, IaPcBitsCoverProgramRange) {
   // so bits 12-14 were declared yet never flipped and the sampled range had
   // no relation to the program. The bit width now derives from the largest
   // program: smallest b >= 1 with 2^b >= max instruction count.
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   auto w = std::make_unique<MxM>(cfg_for(*inj), Precision::Single, 16);
   sim::Device dev(w->config().gpu);
   w->prepare(dev);
@@ -359,7 +359,7 @@ class NoRegWorkload final : public core::Workload {
 // Such trials are now resolved as Masked at plan time (a strike on a unit
 // the program never exercises corrupts nothing) and flagged via telemetry.
 TEST(Campaign, ZeroSiteModesResolveMaskedWithWarning) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const std::string path =
       testing::TempDir() + "gpurel_zero_site_warn.jsonl";
   CampaignConfig cc;
@@ -409,7 +409,7 @@ TEST(Campaign, ZeroSiteModesResolveMaskedWithWarning) {
 // does not own — always masked, silently diluting the reported RF AVF. This
 // is a configuration error and is now rejected at plan time.
 TEST(Campaign, RejectsRegisterFileModeWithoutRegisters) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   auto factory = [&] {
     return std::make_unique<NoRegWorkload>(cfg_for(*inj));
   };

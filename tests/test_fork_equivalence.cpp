@@ -91,7 +91,7 @@ void expect_same_trials(const RunOut& a, const RunOut& b) {
 }
 
 TEST(ForkEquivalence, MxmAllModesAcrossWorkersAndEpochs) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   auto factory = [&] {
@@ -133,7 +133,7 @@ TEST(ForkEquivalence, MxmAllModesAcrossWorkersAndEpochs) {
 TEST(ForkEquivalence, MultiLaunchWorkloadForksMidSequence) {
   // Mergesort runs one launch per merge pass, so epochs land at nonzero
   // launch ordinals and exercise the skip/resume path of TrialRunner.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   auto factory = [&] { return std::make_unique<Mergesort>(wc); };
@@ -149,7 +149,7 @@ TEST(ForkEquivalence, MultiLaunchWorkloadForksMidSequence) {
 }
 
 TEST(ForkEquivalence, HighAvfMicrobenchKeepsSdcProfile) {
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   auto factory = [&] {
@@ -171,7 +171,7 @@ TEST(ForkEquivalence, DeviceSteppedWorkloadsForkAcrossWorkersAndEpochs) {
   // QUICKSORT-DEV) chain their convergence through device memory, so — unlike
   // their host-stepped shapes — they fork. Equivalence must hold across
   // worker counts and epoch bucketings for each.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   const std::vector<WorkloadFactory> factories{
@@ -202,7 +202,7 @@ TEST(ForkEquivalence, DeviceSteppedWorkloadsForkAcrossWorkersAndEpochs) {
 TEST(ForkEquivalence, DeltaRestoreMatchesFullRestore) {
   // Campaign level: delta restores on and off must produce the same trials
   // bit for bit (and both must match the unforked campaign).
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   auto factory = [&] {
@@ -259,7 +259,7 @@ TEST(ForkEquivalence, DeltaFastPathRestoresFewerBytesSameResult) {
 TEST(ForkEquivalence, SharedSnapshotPoolMatchesPerWorkerCapture) {
   // One shared capture pass and per-worker lazy captures must agree bit for
   // bit with each other and with the unforked campaign.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   auto factory = [&] { return std::make_unique<Mergesort>(wc); };
@@ -279,7 +279,7 @@ TEST(ForkEquivalence, SharedSnapshotPoolMatchesPerWorkerCapture) {
 TEST(ForkEquivalence, NonForkSafeWorkloadFallsBackUnchanged) {
   // Quicksort reads pivots/counters back to the host mid-trial, so it is not
   // fork-safe: fork_epochs must be silently ignored, not break the campaign.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   const WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2), inj->profile(),
                           0x5eed, 0.05};
   auto factory = [&] { return std::make_unique<Quicksort>(wc) ; };

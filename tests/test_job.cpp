@@ -310,7 +310,7 @@ TEST(JobCheckpointTest, ResumeFromMidCheckpointReproducesUninterruptedRun) {
   // Capture genuine mid-run checkpoints from an uninterrupted campaign.
   std::vector<fault::CampaignCheckpoint> checkpoints;
   {
-    const auto injector = fault::make_nvbitfi();
+    const auto injector = fault::make_injector("NVBitFI");
     const auto factory = kernels::workload_factory(
         spec.entry.base, spec.entry.precision,
         {spec.device, spec.profile, spec.input_seed, spec.scale});
@@ -369,7 +369,7 @@ TEST(JobCheckpointTest, ForeignCheckpointIsIgnored) {
 }
 
 TEST(JobCheckpointTest, CheckpointsRequireDynamicSchedule) {
-  const auto injector = fault::make_nvbitfi();
+  const auto injector = fault::make_injector("NVBitFI");
   const JobSpec spec = reference_campaign_spec();
   const auto factory = kernels::workload_factory(
       spec.entry.base, spec.entry.precision,
@@ -388,7 +388,16 @@ TEST(JobCheckpointTest, CheckpointsRequireDynamicSchedule) {
 TEST(JobRunnerTest, RejectsUnknownInjectorAndProfileMismatch) {
   JobSpec spec = reference_campaign_spec();
   spec.injector = "FaultFairy";
-  EXPECT_THROW(run_job(spec), std::runtime_error);
+  // The registry's unknown-name error must list the registered injectors.
+  try {
+    run_job(spec);
+    FAIL() << "run_job accepted an unknown injector";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("registered:"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("SASSIFI"), std::string::npos)
+        << e.what();
+  }
   spec = reference_campaign_spec();
   spec.profile = isa::CompilerProfile::Cuda7;  // NVBitFI is a Cuda10 tool
   EXPECT_THROW(run_job(spec), std::runtime_error);

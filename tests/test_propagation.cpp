@@ -67,7 +67,7 @@ WorkloadFactory mxm_factory(const Injector& inj) {
 }
 
 TEST(Propagation, RecordsByteIdenticalAcrossWorkersAndForkEpochs) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const WorkloadFactory factory = mxm_factory(*inj);
   const InjectionBudget budget = small_budget();
 
@@ -97,7 +97,7 @@ TEST(Propagation, RecordsByteIdenticalAcrossWorkersAndForkEpochs) {
 }
 
 TEST(Propagation, EnabledCampaignKeepsEveryOutcome) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const WorkloadFactory factory = mxm_factory(*inj);
   const InjectionBudget budget = small_budget();
 
@@ -145,7 +145,7 @@ TEST(Propagation, EnabledCampaignKeepsEveryOutcome) {
 TEST(Propagation, MmaWorkloadRecordsTensorSites) {
   // The tensor-core path: NVBitFI on Volta FGEMM-MMA must classify fired MMA
   // strikes under the MMA mix class and still leave outcomes untouched.
-  auto inj = make_nvbitfi();
+  auto inj = make_injector("NVBitFI");
   const WorkloadConfig wc{arch::GpuConfig::volta_v100(2), inj->profile(),
                           0x5eed, 0.1};
   const WorkloadFactory factory = [wc] {
@@ -181,7 +181,7 @@ TEST(Propagation, MmaWorkloadRecordsTensorSites) {
 }
 
 TEST(Propagation, ShardReportsMergeIntoUnsharded) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const WorkloadFactory factory = mxm_factory(*inj);
   const InjectionBudget budget = small_budget();
 
@@ -208,7 +208,7 @@ TEST(Propagation, ShardReportsMergeIntoUnsharded) {
 }
 
 TEST(Propagation, ResumeIsRejected) {
-  auto inj = make_sassifi();
+  auto inj = make_injector("SASSIFI");
   const WorkloadFactory factory = mxm_factory(*inj);
   CampaignConfig cc;
   cc.budget() = small_budget();

@@ -136,7 +136,7 @@ TEST(Telemetry, CampaignEmitsStartChunkEnd) {
   const std::string path = temp_path("campaign");
   {
     Sink sink(path);
-    auto inj = fault::make_sassifi();
+    auto inj = fault::make_injector("SASSIFI");
     const core::WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
                                   inj->profile(), 0x5eed, 0.05};
     fault::CampaignConfig cc;
@@ -177,7 +177,7 @@ TEST(Telemetry, StaticScheduleChunksReportStride) {
   std::uint64_t total_trials = 0;
   {
     Sink sink(path);
-    auto inj = fault::make_sassifi();
+    auto inj = fault::make_injector("SASSIFI");
     const core::WorkloadConfig wc{arch::GpuConfig::kepler_k40c(2),
                                   inj->profile(), 0x5eed, 0.05};
     fault::CampaignConfig cc;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "fault/injector.hpp"
 #include "job/runner.hpp"
 #include "job/serialize.hpp"
 #include "obs/export.hpp"
@@ -45,8 +46,9 @@ int usage() {
                "usage: gpurel_jobs <plan|run|merge|report> [--flags]\n"
                "  plan  --kind=campaign|beam --arch=kepler|volta [--sm=N]\n"
                "        --code=NAME --precision=int|half|single|double\n"
-               "        [--injector=SASSIFI|NVBitFI --injections=N --rf=N\n"
-               "         --pred=N --ia=N --store-value=N --store-addr=N\n"
+               "        [--injector=SASSIFI|NVBitFI|MicroArch --injections=N\n"
+               "         --rf=N --pred=N --ia=N --store-value=N --store-addr=N\n"
+               "         --sched=N --scoreboard=N --cta=N --warp-control=N\n"
                "         --fork-epochs=N --fork-delta[=false] --propagation]\n"
                "        [--ecc[=false] --mode=accelerated|natural --runs=N\n"
                "         --flux-scale=X]\n"
@@ -103,8 +105,9 @@ int cmd_plan(const Cli& cli) {
   if (kind == "campaign") {
     spec.kind = job::JobKind::Campaign;
     spec.injector = cli.get("injector", "SASSIFI");
-    spec.profile = spec.injector == "SASSIFI" ? isa::CompilerProfile::Cuda7
-                                              : isa::CompilerProfile::Cuda10;
+    // The registry resolves the compiler profile (and rejects unknown names
+    // with the list of registered injectors).
+    spec.profile = fault::make_injector(spec.injector)->profile();
     auto u = [&](const char* flag, std::int64_t def) {
       return static_cast<unsigned>(cli.get_int(flag, def));
     };
@@ -114,6 +117,10 @@ int cmd_plan(const Cli& cli) {
     spec.budget.ia_injections = u("ia", 0);
     spec.budget.store_value_injections = u("store-value", 0);
     spec.budget.store_addr_injections = u("store-addr", 0);
+    spec.budget.sched_injections = u("sched", 0);
+    spec.budget.scoreboard_injections = u("scoreboard", 0);
+    spec.budget.cta_injections = u("cta", 0);
+    spec.budget.warp_control_injections = u("warp-control", 0);
     spec.fork_epochs = u("fork-epochs", 0);
     spec.fork_delta = cli.get_bool("fork-delta", true);
     spec.propagation = cli.get_bool("propagation", false);
